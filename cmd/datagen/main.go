@@ -1,0 +1,126 @@
+// Command datagen materializes the synthetic evaluation datasets to disk:
+// the structured table (JSON + CSV), the documents of each split as .txt
+// files, and the gold annotations as JSON.
+//
+// Usage:
+//
+//	datagen -dataset disease -out ./data        # Disease A-Z
+//	datagen -dataset resume  -out ./data        # Résumé
+//	datagen -dataset disease -seed 42 -out ./d  # alternative seed
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"thor/internal/datagen"
+)
+
+func main() {
+	var (
+		name = flag.String("dataset", "disease", "dataset to generate: disease or resume")
+		out  = flag.String("out", "data", "output directory")
+		seed = flag.Int64("seed", 0, "generation seed (0 = the dataset's default)")
+	)
+	flag.Parse()
+
+	var ds *datagen.Dataset
+	switch *name {
+	case "disease":
+		s := *seed
+		if s == 0 {
+			s = datagen.DiseaseSeed
+		}
+		ds = datagen.Disease(s)
+	case "resume":
+		s := *seed
+		if s == 0 {
+			s = datagen.ResumeSeed
+		}
+		ds = datagen.Resume(s)
+	default:
+		fatal(fmt.Errorf("unknown dataset %q", *name))
+	}
+
+	if err := datagen.Validate(ds); err != nil {
+		fatal(err)
+	}
+	root := filepath.Join(*out, ds.Name)
+	if err := write(ds, root); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: table %s\n", root, ds.Table)
+	for _, s := range []struct {
+		name  string
+		split *datagen.Split
+	}{{"train", &ds.Train}, {"valid", &ds.Valid}, {"test", &ds.Test}} {
+		fmt.Printf("  %-5s %s\n", s.name, datagen.SplitStats(s.split))
+	}
+}
+
+func write(ds *datagen.Dataset, root string) error {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return err
+	}
+	// Structured table.
+	tj, err := os.Create(filepath.Join(root, "table.json"))
+	if err != nil {
+		return err
+	}
+	defer tj.Close()
+	if err := ds.Table.WriteJSON(tj); err != nil {
+		return err
+	}
+	tc, err := os.Create(filepath.Join(root, "table.csv"))
+	if err != nil {
+		return err
+	}
+	defer tc.Close()
+	if err := ds.Table.WriteCSV(tc); err != nil {
+		return err
+	}
+	// The embedding space, so cmd/thor runs reproduce the experiments.
+	vf, err := os.Create(filepath.Join(root, "vectors.bin"))
+	if err != nil {
+		return err
+	}
+	defer vf.Close()
+	if _, err := ds.Space.WriteTo(vf); err != nil {
+		return err
+	}
+	// Splits.
+	for _, s := range []struct {
+		name  string
+		split *datagen.Split
+	}{{"train", &ds.Train}, {"valid", &ds.Valid}, {"test", &ds.Test}} {
+		dir := filepath.Join(root, s.name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for _, d := range s.split.Docs {
+			if err := os.WriteFile(filepath.Join(dir, d.Name+".txt"), []byte(d.Text), 0o644); err != nil {
+				return err
+			}
+		}
+		gf, err := os.Create(filepath.Join(dir, "gold.json"))
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(gf)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(s.split.Gold)
+		gf.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

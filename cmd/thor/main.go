@@ -1,0 +1,192 @@
+// Command thor runs the THOR pipeline over a user-supplied table and
+// documents and writes the enriched table.
+//
+// Usage:
+//
+//	thor -table table.json -docs dir/ [-tau 0.7] [-subject Disease] [-out out.json] [-format json|csv]
+//
+// The table is JSON (see schema.WriteJSON) or CSV with a header row; the
+// documents directory holds one .txt file per document (the file name,
+// without extension and with dashes as spaces, is used as the document's
+// default subject when it matches a table row). The embedding space is built
+// from the table's own instances plus subword hashing, so the command works
+// out of the box; programmatic users can supply richer spaces via the
+// library API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"thor/internal/embed"
+	"thor/internal/schema"
+	"thor/internal/segment"
+	"thor/internal/text"
+	"thor/internal/thor"
+)
+
+func main() {
+	var (
+		tablePath = flag.String("table", "", "path to the integrated table (.json or .csv)")
+		docsDir   = flag.String("docs", "", "directory of .txt documents")
+		tau       = flag.Float64("tau", 0.7, "similarity threshold τ in [0,1]")
+		subject   = flag.String("subject", "", "subject concept (required for CSV tables)")
+		outPath   = flag.String("out", "", "output path (default: stdout)")
+		format    = flag.String("format", "json", "output format: json or csv")
+		vectors   = flag.String("vectors", "", "optional THORVEC1 embedding file (default: build from the table)")
+		report    = flag.String("report", "", "optional path for the JSON run report (entities + stats)")
+		workers   = flag.Int("workers", 1, "documents processed concurrently")
+		verbose   = flag.Bool("v", false, "print extracted entities")
+	)
+	flag.Parse()
+	if *tablePath == "" || *docsDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	table, err := loadTable(*tablePath, schema.Concept(*subject))
+	if err != nil {
+		fatal(err)
+	}
+	docs, err := loadDocs(*docsDir, table)
+	if err != nil {
+		fatal(err)
+	}
+	if len(docs) == 0 {
+		fatal(fmt.Errorf("no .txt documents in %s", *docsDir))
+	}
+
+	space := selfSpace(table)
+	if *vectors != "" {
+		f, err := os.Open(*vectors)
+		if err != nil {
+			fatal(err)
+		}
+		space, err = embed.ReadSpace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	res, err := thor.Run(table, space, docs, thor.Config{Tau: *tau, Workers: *workers})
+	if err != nil {
+		fatal(err)
+	}
+	if *report != "" {
+		rf, err := os.Create(*report)
+		if err != nil {
+			fatal(err)
+		}
+		err = res.WriteReport(rf)
+		rf.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *verbose {
+		for _, e := range res.AllEntities() {
+			fmt.Fprintf(os.Stderr, "%-24s %-18s %s\n", e.Subject, e.Concept, e.Phrase)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "thor: %d docs, %d sentences, %d entities, %d slots filled (%v)\n",
+		res.Stats.Documents, res.Stats.Sentences, res.Stats.Entities,
+		res.Stats.Filled, res.Stats.Total().Round(1e6))
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	switch *format {
+	case "json":
+		err = res.Table.WriteJSON(out)
+	case "csv":
+		err = res.Table.WriteCSV(out)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func loadTable(path string, subject schema.Concept) (*schema.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".json":
+		return schema.ReadJSON(f)
+	case ".csv":
+		if subject == "" {
+			return nil, fmt.Errorf("-subject is required for CSV tables")
+		}
+		return schema.ReadCSV(f, subject)
+	default:
+		return nil, fmt.Errorf("unsupported table format %q", filepath.Ext(path))
+	}
+}
+
+func loadDocs(dir string, table *schema.Table) ([]segment.Document, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var docs []segment.Document
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".txt") {
+			continue
+		}
+		body, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		name := strings.TrimSuffix(e.Name(), ".txt")
+		// A file named after a subject row becomes that subject's document.
+		defaultSubject := ""
+		candidate := strings.ReplaceAll(name, "-", " ")
+		if row := table.Row(candidate); row != nil {
+			defaultSubject = row.Subject
+		}
+		docs = append(docs, segment.Document{
+			Name:           name,
+			DefaultSubject: defaultSubject,
+			Text:           string(body),
+		})
+	}
+	return docs, nil
+}
+
+// selfSpace builds an embedding space from the table's own instances: words
+// of each column cluster around a per-concept centroid, and unknown document
+// words fall back to subword hashing. It is the zero-configuration space the
+// CLI ships with.
+func selfSpace(table *schema.Table) *embed.Space {
+	space := embed.NewSpace()
+	for _, c := range table.Schema.Concepts {
+		centroid := embed.HashVector("cli-centroid:" + string(c))
+		for _, v := range table.ColumnValues(c) {
+			for _, w := range strings.Fields(text.NormalizePhrase(v)) {
+				if space.Contains(w) {
+					continue
+				}
+				space.Add(w, embed.Blend(centroid, embed.SubwordVector(w), 0.6))
+			}
+		}
+	}
+	return space
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thor:", err)
+	os.Exit(1)
+}

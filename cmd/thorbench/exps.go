@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"thor/internal/datagen"
+	"thor/internal/eval"
+	"thor/internal/experiments"
+)
+
+func header(title string) {
+	fmt.Println()
+	fmt.Println("==============================================================")
+	fmt.Println(title)
+	fmt.Println("==============================================================")
+}
+
+func runExp1() {
+	header("Experiment 1 — comparison against the state of the art (Disease A-Z)")
+	ds := experiments.DiseaseDataset()
+	fmt.Println("structured table:", ds.Table)
+	fmt.Println("test split      :", datagen.SplitStats(&ds.Test))
+	c := experiments.DiseaseComparison()
+	fmt.Println()
+	experiments.RenderTableV(os.Stdout, c)
+	fmt.Println()
+	experiments.RenderFig5(os.Stdout, c)
+	fmt.Println()
+	experiments.RenderFig6(os.Stdout, c)
+	fmt.Println()
+	experiments.RenderTableVI(os.Stdout, c)
+	fmt.Println()
+	experiments.RenderFig7(os.Stdout, c)
+	fmt.Println()
+	experiments.RenderTableVII(os.Stdout, c)
+	fmt.Println()
+	experiments.RenderTableVIII(os.Stdout, c)
+
+	// The held-out validation split selects τ without touching the test set.
+	if tuned, err := experiments.TuneTau(ds, experiments.TuneF1); err == nil {
+		fmt.Printf("\nvalidation-tuned tau = %.1f (valid F1 %.2f, test F1 %.2f)\n",
+			tuned.Tau, tuned.ValidScore, c.ThorAt(tuned.Tau).Report.Overall.F1())
+	}
+
+	// Subject-level bootstrap confidence intervals for the headline rows
+	// (the paper reports point estimates only).
+	for _, row := range []*experiments.SystemResult{
+		c.ThorAt(experiments.BestTau), c.Other("LM-Human"),
+	} {
+		bs := eval.Bootstrap(row.Predictions, ds.Test.Gold, 500, 0.05, 1)
+		fmt.Printf("%s F1 %.2f (95%% CI %.2f-%.2f over %d resamples)\n",
+			row.Name, bs.F1.Point, bs.F1.Low, bs.F1.High, bs.Resamples)
+	}
+}
+
+func runExp2() {
+	header("Experiment 2 — manual vs automatic annotation (Disease A-Z)")
+	s := experiments.Annotation()
+	experiments.RenderTableIX(os.Stdout, s)
+	fmt.Println()
+	experiments.RenderTableX(os.Stdout, s)
+	fmt.Println()
+	experiments.RenderFig8(os.Stdout, s)
+}
+
+func runExp3() {
+	header("Experiment 3 — generalizability (Résumé)")
+	ds := experiments.ResumeDataset()
+	fmt.Println("structured table:", ds.Table)
+	fmt.Println("test split      :", datagen.SplitStats(&ds.Test))
+	c := experiments.ResumeComparison()
+	fmt.Println()
+	experiments.RenderTableXI(os.Stdout, c)
+	fmt.Println()
+	experiments.RenderFig7(os.Stdout, c) // Fig 9 is the Résumé instance of the bar chart
+	fmt.Println()
+	experiments.RenderFig10(os.Stdout, c)
+}

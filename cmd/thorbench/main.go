@@ -1,0 +1,52 @@
+// Command thorbench regenerates every table and figure of the paper's
+// evaluation section from the synthetic datasets.
+//
+// Usage:
+//
+//	thorbench               # all experiments
+//	thorbench -exp 1        # Experiment 1 only (Tables V–VIII, Figs 5–7)
+//	thorbench -exp 2        # Experiment 2 only (Tables IX–X, Fig 8)
+//	thorbench -exp 3        # Experiment 3 only (Table XI, Figs 9–10)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thor/internal/experiments"
+)
+
+func main() {
+	exp := flag.Int("exp", 0, "experiment to run (1, 2 or 3; 0 = all)")
+	csvDir := flag.String("csv", "", "optional directory for CSV series of every table/figure")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := experiments.WriteCSVSeries(*csvDir,
+			experiments.DiseaseComparison(),
+			experiments.ResumeComparison(),
+			experiments.Annotation(),
+		); err != nil {
+			fmt.Fprintln(os.Stderr, "thorbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("CSV series written to %s\n", *csvDir)
+	}
+
+	switch *exp {
+	case 0:
+		runExp1()
+		runExp2()
+		runExp3()
+	case 1:
+		runExp1()
+	case 2:
+		runExp2()
+	case 3:
+		runExp3()
+	default:
+		fmt.Fprintf(os.Stderr, "thorbench: unknown experiment %d\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,11 @@
+// Package thor is a from-scratch Go reproduction of "Mitigating Data
+// Sparsity in Integrated Data through Text Conceptualization" (ICDE 2024):
+// the THOR entity-centric slot-filling system, every substrate it depends
+// on, the comparator systems of its evaluation, and a benchmark harness that
+// regenerates every table and figure of the paper.
+//
+// See README.md for the quickstart, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured record. The root-level benchmarks
+// in bench_test.go regenerate each table/figure; `go run ./cmd/thorbench`
+// prints them all.
+package thor

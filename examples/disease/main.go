@@ -1,0 +1,65 @@
+// Disease A-Z: slot-filling at the paper's scale with a τ sweep.
+//
+// Generates the synthetic Disease A-Z dataset (284-row integrated table, 11
+// concepts, 91 test documents), clears the evaluation table to the paper's
+// worst case, runs THOR at several thresholds and reports the
+// precision/recall trade-off plus a sample of the filled slots.
+//
+//	go run ./examples/disease
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"thor/internal/datagen"
+	"thor/internal/eval"
+	"thor/internal/thor"
+)
+
+func main() {
+	ds := datagen.Disease(datagen.DiseaseSeed)
+	fmt.Println("structured table :", ds.Table)
+	fmt.Println("test split       :", datagen.SplitStats(&ds.Test))
+	target := ds.TestTable()
+	fmt.Printf("evaluation table : %d rows, all non-subject cells ⊥\n\n", len(target.Rows))
+
+	fmt.Printf("%-6s %8s %7s %7s %7s %9s\n", "tau", "time", "P", "R", "F1", "filled")
+	var best *thor.Result
+	bestF1 := -1.0
+	for _, tau := range []float64{0.5, 0.7, 0.9} {
+		start := time.Now()
+		res, err := thor.Run(target, ds.Space, ds.Test.Docs, thor.Config{
+			Tau:       tau,
+			Knowledge: ds.Table, // fine-tune on the full structured table
+			Lexicon:   ds.Lexicon,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		preds := make([]eval.Mention, 0)
+		for _, e := range res.AllEntities() {
+			preds = append(preds, eval.Mention{Subject: e.Subject, Concept: e.Concept, Phrase: e.Phrase})
+		}
+		o := eval.Evaluate(preds, ds.Test.Gold).Overall
+		fmt.Printf("%-6.1f %8s %7.2f %7.2f %7.2f %9d\n",
+			tau, time.Since(start).Round(time.Millisecond),
+			o.Precision(), o.Recall(), o.F1(), res.Stats.Filled)
+		if f := o.F1(); f > bestF1 {
+			bestF1, best = f, res
+		}
+	}
+
+	// Show one enriched row from the best run.
+	subject := ds.Test.Subjects[0]
+	row := best.Table.Row(subject)
+	fmt.Printf("\nenriched row for %q (best run):\n", subject)
+	for _, c := range best.Table.Schema.NonSubject() {
+		vals := row.Values(c)
+		if len(vals) > 4 {
+			vals = vals[:4]
+		}
+		fmt.Printf("  %-14s %v\n", c, vals)
+	}
+}

@@ -1,0 +1,107 @@
+// Schema evolution: THOR's adaptation advantage over supervised models.
+//
+// The paper's Experiment 2 ends on this point: extending the reference
+// schema with a new concept forces a supervised LM through a full
+// re-annotation and re-training cycle, while THOR only re-runs fine-tuning
+// on the (updated) structured data — seconds instead of weeks.
+//
+// This example starts from a reduced Disease A-Z schema, runs THOR, then
+// evolves the schema by adding the 'Medicine' concept with a handful of
+// structured instances, re-fine-tunes and shows the new concept being filled
+// with zero annotation effort.
+//
+//	go run ./examples/evolution
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"thor/internal/datagen"
+	"thor/internal/schema"
+	"thor/internal/thor"
+)
+
+func main() {
+	ds := datagen.Disease(datagen.DiseaseSeed)
+
+	// --- Stage 1: a reduced schema without 'Medicine' ---
+	reduced := reducedTable(ds.Table, "Medicine")
+	target1 := testTableFor(ds, reduced.Schema)
+	res1, err := thor.Run(target1, ds.Space, ds.Test.Docs, thor.Config{
+		Tau: 0.7, Knowledge: reduced, Lexicon: ds.Lexicon,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stage 1 (no Medicine): %d concepts, %d slots filled\n",
+		len(reduced.Schema.Concepts), res1.Stats.Filled)
+
+	// --- Stage 2: the schema evolves — 'Medicine' is added ---
+	start := time.Now()
+	evolved := reduced.Clone() // structured data stays; schema grows
+	evolved.Schema = evolved.Schema.WithConcept("Medicine")
+	for _, row := range ds.Table.Rows {
+		if vals := row.Values("Medicine"); len(vals) > 0 {
+			for _, v := range vals {
+				evolved.Row(row.Subject).Add("Medicine", v)
+			}
+		}
+	}
+	target2 := testTableFor(ds, evolved.Schema)
+	res2, err := thor.Run(target2, ds.Space, ds.Test.Docs, thor.Config{
+		Tau: 0.7, Knowledge: evolved, Lexicon: ds.Lexicon,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptation := time.Since(start)
+
+	medicines := 0
+	for _, row := range res2.Table.Rows {
+		medicines += len(row.Values("Medicine"))
+	}
+	fmt.Printf("stage 2 (evolved)    : %d concepts, %d slots filled, %d Medicine values\n",
+		len(evolved.Schema.Concepts), res2.Stats.Filled, medicines)
+	fmt.Printf("\nadaptation cost: %v of re-fine-tuning — no re-annotation, no re-training.\n",
+		adaptation.Round(time.Millisecond))
+	fmt.Println("(the paper: re-annotating for one new concept repeats a 600+ hour process)")
+
+	subject := ds.Test.Subjects[0]
+	if vals := res2.Table.Row(subject).Values("Medicine"); len(vals) > 0 {
+		fmt.Printf("\nnew 'Medicine' slots for %q: %v\n", subject, vals)
+	}
+}
+
+// reducedTable copies a table dropping one concept from schema and cells.
+func reducedTable(t *schema.Table, drop schema.Concept) *schema.Table {
+	sch := schema.NewSchema(t.Schema.Subject)
+	for _, c := range t.Schema.Concepts {
+		if c != drop {
+			sch = sch.WithConcept(c)
+		}
+	}
+	out := schema.NewTable(sch)
+	for _, row := range t.Rows {
+		nr := out.AddRow(row.Subject)
+		for c, vs := range row.Cells {
+			if c == drop {
+				continue
+			}
+			for _, v := range vs {
+				nr.Add(c, v)
+			}
+		}
+	}
+	return out
+}
+
+// testTableFor builds a cleared evaluation table over the given schema.
+func testTableFor(ds *datagen.Dataset, sch schema.Schema) *schema.Table {
+	t := schema.NewTable(sch)
+	for _, s := range ds.Test.Subjects {
+		t.AddRow(s)
+	}
+	return t
+}

@@ -1,0 +1,90 @@
+// Quickstart: the paper's Fig. 1 running example, end to end.
+//
+// Two health data sources are integrated over the 'Disease' subject concept;
+// the integration produces labeled nulls (⊥). THOR then conceptualizes an
+// external text against the integrated schema and fills the missing values.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"thor/internal/embed"
+	"thor/internal/integrate"
+	"thor/internal/schema"
+	"thor/internal/segment"
+	"thor/internal/thor"
+)
+
+func main() {
+	// --- The two sources of Fig. 1 ---
+	d1 := schema.NewTable(schema.NewSchema("Disease", "Anatomy"))
+	d1.AddRow("Acoustic Neuroma").Add("Anatomy", "nervous system")
+
+	d2 := schema.NewTable(schema.NewSchema("Disease", "Complication"))
+	d2.AddRow("Tuberculosis").Add("Complication", "skin cancer")
+
+	// --- Integration: full disjunction over the subject concept ---
+	table, err := integrate.FullDisjunction("Disease",
+		integrate.Source{Name: "D1", Table: d1},
+		integrate.Source{Name: "D2", Table: d2},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("integrated:", table)
+	fmt.Println(integrate.Describe(table, 2))
+
+	// --- A tiny embedding space standing in for pre-trained vectors ---
+	// (real deployments plug in their own; the datagen package shows how a
+	// full space is built).
+	space := embed.NewSpace()
+	anatomy := embed.HashVector("centroid:anatomy")
+	complication := embed.HashVector("centroid:complication")
+	put := func(centroid embed.Vector, alpha float64, noise string, words ...string) {
+		for _, w := range words {
+			for _, part := range strings.Fields(w) {
+				key := noise
+				if key == "" {
+					key = "noise:" + part
+				}
+				space.Add(part, embed.Blend(centroid, embed.HashVector(key), alpha))
+			}
+		}
+	}
+	put(anatomy, 0.58, "", "nervous system", "brain", "nerve", "ear", "lungs")
+	put(complication, 0.60, "", "unsteadiness", "empyema")
+	put(complication, 0.85, "family:cancer", "cancer", "cancerous", "non-cancerous", "tumor")
+	space.Add("skin", embed.Blend(complication, embed.HashVector("noise:skin"), 0.55))
+
+	// --- The external document of Fig. 1 ---
+	doc := segment.Document{
+		Name: "health-portal",
+		Text: "An Acoustic Neuroma is a slow-growing non-cancerous brain tumor. " +
+			"It develops on the main nerve leading from the inner ear to the brain. " +
+			"Tuberculosis generally damages the lungs.",
+	}
+
+	// --- Run THOR ---
+	res, err := thor.Run(table, space, []segment.Document{doc}, thor.Config{Tau: 0.6})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nextracted entities:")
+	for _, e := range res.AllEntities() {
+		fmt.Printf("  %-18s %-14s %-28s (c_m=%q score=%.2f)\n",
+			e.Subject, e.Concept, e.Phrase, e.Matched, e.Score)
+	}
+
+	fmt.Println("\nenriched table:")
+	if err := res.Table.WriteCSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsparsity before: %.0f%%   after: %.0f%%\n",
+		100*table.Sparsity().Ratio(), 100*res.Table.Sparsity().Ratio())
+}

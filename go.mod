@@ -1,0 +1,3 @@
+module thor
+
+go 1.22

@@ -1,0 +1,154 @@
+// Package ahocorasick implements the Aho–Corasick multi-pattern string
+// matching automaton [Aho & Corasick 1975], the paper's traditional
+// entity-recognition Baseline: structured-data instances become dictionary
+// patterns, and all their occurrences in a document are reported in one pass.
+package ahocorasick
+
+import "strings"
+
+// Match is a single pattern occurrence in the searched text.
+type Match struct {
+	// Pattern is the index of the matched pattern, in insertion order.
+	Pattern int
+	// Start and End are byte offsets of the occurrence, End exclusive.
+	Start, End int
+}
+
+type node struct {
+	next    map[byte]int32
+	fail    int32
+	outputs []int32 // pattern indices terminating here
+}
+
+// Automaton is an immutable Aho–Corasick automaton over a set of patterns.
+// Build one with NewAutomaton; it is then safe for concurrent use.
+type Automaton struct {
+	nodes    []node
+	patterns []string
+}
+
+// NewAutomaton builds the automaton for the given patterns. Matching is
+// case-insensitive (patterns and text are lowered). Empty patterns are
+// ignored but keep their index so Match.Pattern remains meaningful.
+func NewAutomaton(patterns []string) *Automaton {
+	a := &Automaton{
+		nodes:    []node{{next: map[byte]int32{}}},
+		patterns: make([]string, len(patterns)),
+	}
+	for i, p := range patterns {
+		a.patterns[i] = p
+		lp := strings.ToLower(p)
+		if lp == "" {
+			continue
+		}
+		a.insert(lp, int32(i))
+	}
+	a.buildFailureLinks()
+	return a
+}
+
+func (a *Automaton) insert(pattern string, id int32) {
+	cur := int32(0)
+	for i := 0; i < len(pattern); i++ {
+		c := pattern[i]
+		nxt, ok := a.nodes[cur].next[c]
+		if !ok {
+			a.nodes = append(a.nodes, node{next: map[byte]int32{}})
+			nxt = int32(len(a.nodes) - 1)
+			a.nodes[cur].next[c] = nxt
+		}
+		cur = nxt
+	}
+	a.nodes[cur].outputs = append(a.nodes[cur].outputs, id)
+}
+
+// buildFailureLinks computes failure transitions breadth-first and merges
+// output sets along failure chains.
+func (a *Automaton) buildFailureLinks() {
+	queue := make([]int32, 0, len(a.nodes))
+	for _, child := range a.nodes[0].next {
+		a.nodes[child].fail = 0
+		queue = append(queue, child)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for c, child := range a.nodes[cur].next {
+			queue = append(queue, child)
+			f := a.nodes[cur].fail
+			for f != 0 {
+				if nxt, ok := a.nodes[f].next[c]; ok {
+					f = nxt
+					goto found
+				}
+				f = a.nodes[f].fail
+			}
+			if nxt, ok := a.nodes[0].next[c]; ok && nxt != child {
+				f = nxt
+			} else {
+				f = 0
+			}
+		found:
+			a.nodes[child].fail = f
+			a.nodes[child].outputs = append(a.nodes[child].outputs, a.nodes[f].outputs...)
+		}
+	}
+}
+
+// FindAll returns every occurrence of every pattern in text, in order of
+// match end position. Matching is case-insensitive.
+func (a *Automaton) FindAll(text string) []Match {
+	lower := strings.ToLower(text)
+	var out []Match
+	cur := int32(0)
+	for i := 0; i < len(lower); i++ {
+		c := lower[i]
+		for {
+			if nxt, ok := a.nodes[cur].next[c]; ok {
+				cur = nxt
+				break
+			}
+			if cur == 0 {
+				break
+			}
+			cur = a.nodes[cur].fail
+		}
+		for _, pid := range a.nodes[cur].outputs {
+			plen := len(a.patterns[pid])
+			// Patterns were lowered for insertion; ToLower of ASCII keeps
+			// byte length, and the datasets are ASCII, so plen is the
+			// matched span length.
+			out = append(out, Match{Pattern: int(pid), Start: i + 1 - plen, End: i + 1})
+		}
+	}
+	return out
+}
+
+// FindWholeWords returns matches whose span is delimited by non-letter
+// characters (or text boundaries) on both sides, so the pattern "acne" does
+// not fire inside "acnestis". This is how the Baseline model uses the
+// automaton.
+func (a *Automaton) FindWholeWords(text string) []Match {
+	all := a.FindAll(text)
+	out := all[:0]
+	for _, m := range all {
+		if isWordBoundary(text, m.Start-1) && isWordBoundary(text, m.End) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func isWordBoundary(text string, i int) bool {
+	if i < 0 || i >= len(text) {
+		return true
+	}
+	c := text[i]
+	return !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9')
+}
+
+// Pattern returns the pattern string for an index.
+func (a *Automaton) Pattern(i int) string { return a.patterns[i] }
+
+// Len returns the number of patterns the automaton was built with.
+func (a *Automaton) Len() int { return len(a.patterns) }

@@ -1,0 +1,131 @@
+package ahocorasick
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func matchedStrings(a *Automaton, text string, ms []Match) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = strings.ToLower(text[m.Start:m.End])
+	}
+	return out
+}
+
+func TestFindAllBasic(t *testing.T) {
+	a := NewAutomaton([]string{"he", "she", "his", "hers"})
+	ms := a.FindAll("ushers")
+	got := matchedStrings(a, "ushers", ms)
+	sort.Strings(got)
+	want := []string{"he", "hers", "she"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("matches = %v, want %v", got, want)
+	}
+}
+
+func TestFindAllOffsets(t *testing.T) {
+	a := NewAutomaton([]string{"acne", "skin cancer"})
+	text := "Acne may precede skin cancer screening."
+	for _, m := range a.FindAll(text) {
+		span := strings.ToLower(text[m.Start:m.End])
+		if span != strings.ToLower(a.Pattern(m.Pattern)) {
+			t.Errorf("span %q != pattern %q", span, a.Pattern(m.Pattern))
+		}
+	}
+}
+
+func TestFindAllCaseInsensitive(t *testing.T) {
+	a := NewAutomaton([]string{"Tuberculosis"})
+	if ms := a.FindAll("TUBERCULOSIS damages the lungs"); len(ms) != 1 {
+		t.Errorf("case-insensitive match failed: %v", ms)
+	}
+}
+
+func TestFindWholeWords(t *testing.T) {
+	a := NewAutomaton([]string{"acne"})
+	if ms := a.FindWholeWords("the acnestis area"); len(ms) != 0 {
+		t.Errorf("substring matched as whole word: %v", ms)
+	}
+	if ms := a.FindWholeWords("severe acne appeared"); len(ms) != 1 {
+		t.Errorf("whole word not matched: %v", ms)
+	}
+	if ms := a.FindWholeWords("acne"); len(ms) != 1 {
+		t.Errorf("boundary-at-edges not matched: %v", ms)
+	}
+}
+
+func TestOverlappingMatches(t *testing.T) {
+	a := NewAutomaton([]string{"aba", "bab"})
+	ms := a.FindAll("ababab")
+	if len(ms) != 4 {
+		t.Errorf("overlap: got %d matches, want 4: %v", len(ms), ms)
+	}
+}
+
+func TestEmptyPatternsAndText(t *testing.T) {
+	a := NewAutomaton([]string{"", "x"})
+	if ms := a.FindAll(""); len(ms) != 0 {
+		t.Errorf("empty text matched: %v", ms)
+	}
+	if ms := a.FindAll("x"); len(ms) != 1 || ms[0].Pattern != 1 {
+		t.Errorf("pattern indexing off after empty pattern: %v", ms)
+	}
+	if a.Len() != 2 {
+		t.Errorf("Len = %d", a.Len())
+	}
+}
+
+func TestDuplicatePatterns(t *testing.T) {
+	a := NewAutomaton([]string{"flu", "flu"})
+	ms := a.FindAll("flu season")
+	if len(ms) != 2 {
+		t.Errorf("duplicate patterns should both report: %v", ms)
+	}
+}
+
+func TestManyPatterns(t *testing.T) {
+	// A dictionary resembling the structured-data use: hundreds of
+	// multi-word instances.
+	var pats []string
+	for i := 0; i < 300; i++ {
+		pats = append(pats, "term"+string(rune('a'+i%26))+"x"+strings.Repeat("q", i%5))
+	}
+	pats = append(pats, "acoustic neuroma")
+	a := NewAutomaton(pats)
+	ms := a.FindWholeWords("an acoustic neuroma is a tumor")
+	if len(ms) != 1 || a.Pattern(ms[0].Pattern) != "acoustic neuroma" {
+		t.Errorf("multiword dictionary match failed: %v", ms)
+	}
+}
+
+// Property: every reported span equals its pattern (lower-cased), and a
+// naive strings.Index scan finds the same number of occurrences.
+func TestAgainstNaiveSearch(t *testing.T) {
+	patterns := []string{"ab", "bc", "abc", "ca", "a"}
+	a := NewAutomaton(patterns)
+	f := func(raw string) bool {
+		// Restrict the alphabet so matches actually occur.
+		var b strings.Builder
+		for _, r := range raw {
+			b.WriteByte("abc"[int(r)%3])
+		}
+		text := b.String()
+		got := len(a.FindAll(text))
+		want := 0
+		for _, p := range patterns {
+			for i := 0; i+len(p) <= len(text); i++ {
+				if text[i:i+len(p)] == p {
+					want++
+				}
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+package datagen
+
+import "time"
+
+// AnnotationCost models the manual annotation effort of Experiment 2
+// (Tables IX and X): three domain annotators plus a linguistic supervisor,
+// with per-token annotation times between 8 and 13 seconds. Table X computes
+// cumulative effort at the conservative per-token maximum, which this model
+// reproduces.
+type AnnotationCost struct {
+	// MinTokenSeconds and MaxTokenSeconds bound the per-token annotation
+	// time observed in the paper (8–13 s).
+	MinTokenSeconds float64
+	MaxTokenSeconds float64
+	// Annotators is the team size (3 annotators + 1 supervisor in the
+	// paper; the supervisor is accounted separately).
+	Annotators int
+}
+
+// DefaultAnnotationCost returns the paper's observed parameters.
+func DefaultAnnotationCost() AnnotationCost {
+	return AnnotationCost{MinTokenSeconds: 8, MaxTokenSeconds: 13, Annotators: 3}
+}
+
+// SecondsForWords returns the conservative (maximum-rate) annotation time in
+// seconds for a document set of the given word count — the 'Annotation
+// Time(s)' column of Table X.
+func (c AnnotationCost) SecondsForWords(words int) float64 {
+	return c.MaxTokenSeconds * float64(words)
+}
+
+// DocRange returns the min and max annotation time for a single document of
+// the given word count (the 'Single Doc.' column of Table IX).
+func (c AnnotationCost) DocRange(words int) (min, max time.Duration) {
+	return time.Duration(c.MinTokenSeconds*float64(words)) * time.Second,
+		time.Duration(c.MaxTokenSeconds*float64(words)) * time.Second
+}
+
+// SubjectRange returns the min and max annotation time for all documents of
+// one subject (the 'Single Disease' column of Table IX).
+func (c AnnotationCost) SubjectRange(wordsPerDoc []int) (min, max time.Duration) {
+	total := 0
+	for _, w := range wordsPerDoc {
+		total += w
+	}
+	return c.DocRange(total)
+}
+
+// TotalHours returns the total annotation duration in hours for a corpus of
+// the given word count at the conservative per-token rate — the '600+
+// Hours' figure of Table IX (the paper accounts effort at the maximum
+// observed rate, as Table X shows).
+func (c AnnotationCost) TotalHours(words int) float64 {
+	return c.MaxTokenSeconds * float64(words) / 3600
+}

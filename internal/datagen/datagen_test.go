@@ -1,0 +1,326 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"thor/internal/embed"
+	"thor/internal/schema"
+	"thor/internal/text"
+)
+
+// The generators are deterministic but heavy; build each dataset once.
+var (
+	diseaseDS = Disease(DiseaseSeed)
+	resumeDS  = Resume(ResumeSeed)
+)
+
+func TestDiseaseDeterminism(t *testing.T) {
+	other := Disease(DiseaseSeed)
+	if len(other.Test.Gold) != len(diseaseDS.Test.Gold) {
+		t.Fatalf("gold size differs across runs: %d vs %d",
+			len(other.Test.Gold), len(diseaseDS.Test.Gold))
+	}
+	for i := range other.Test.Gold {
+		if other.Test.Gold[i] != diseaseDS.Test.Gold[i] {
+			t.Fatalf("gold mention %d differs", i)
+		}
+	}
+	if other.Table.InstanceCount() != diseaseDS.Table.InstanceCount() {
+		t.Error("table instance count differs across runs")
+	}
+}
+
+func TestDiseaseTableIIShape(t *testing.T) {
+	tab := diseaseDS.Table
+	if got := len(tab.Schema.Concepts); got != 11 {
+		t.Errorf("concepts = %d, want 11", got)
+	}
+	if got := len(tab.Rows); got != 284 {
+		t.Errorf("rows = %d, want 284", got)
+	}
+	// Paper: 4,706 total instances. Accept ±20%.
+	n := tab.InstanceCount()
+	if n < 3700 || n > 5700 {
+		t.Errorf("instances = %d, want ≈4706", n)
+	}
+	// The integrated table must be sparse (the problem THOR addresses).
+	sp := tab.Sparsity()
+	if sp.Ratio() < 0.25 || sp.Ratio() > 0.75 {
+		t.Errorf("sparsity = %.2f, want mid-range", sp.Ratio())
+	}
+}
+
+func TestDiseaseTableIIIShape(t *testing.T) {
+	cases := []struct {
+		name             string
+		s                Stats
+		subjects         int
+		docsLo, docsHi   int
+		entLo, entHi     int
+		wordsLo, wordsHi int
+	}{
+		{"train", SplitStats(&diseaseDS.Train), 240, 1200, 1700, 14000, 24000, 120000, 230000},
+		{"valid", SplitStats(&diseaseDS.Valid), 61, 250, 360, 3000, 5200, 26000, 55000},
+		{"test", SplitStats(&diseaseDS.Test), 13, 75, 105, 1700, 2800, 13000, 27000},
+	}
+	for _, c := range cases {
+		if c.s.Subjects != c.subjects {
+			t.Errorf("%s subjects = %d, want %d", c.name, c.s.Subjects, c.subjects)
+		}
+		if c.s.Docs < c.docsLo || c.s.Docs > c.docsHi {
+			t.Errorf("%s docs = %d, want [%d,%d]", c.name, c.s.Docs, c.docsLo, c.docsHi)
+		}
+		if c.s.Entities < c.entLo || c.s.Entities > c.entHi {
+			t.Errorf("%s entities = %d, want [%d,%d]", c.name, c.s.Entities, c.entLo, c.entHi)
+		}
+		if c.s.Words < c.wordsLo || c.s.Words > c.wordsHi {
+			t.Errorf("%s words = %d, want [%d,%d]", c.name, c.s.Words, c.wordsLo, c.wordsHi)
+		}
+	}
+}
+
+func TestDiseaseGoldConsistency(t *testing.T) {
+	subjects := make(map[string]bool)
+	for _, s := range diseaseDS.Test.Subjects {
+		subjects[strings.ToLower(s)] = true
+	}
+	seen := make(map[string]bool)
+	for _, g := range diseaseDS.Test.Gold {
+		if !subjects[g.Subject] {
+			t.Fatalf("gold mention for non-test subject %q", g.Subject)
+		}
+		if !diseaseDS.Table.Schema.Has(g.Concept) {
+			t.Fatalf("gold mention with off-schema concept %q", g.Concept)
+		}
+		key := g.Subject + "|" + string(g.Concept) + "|" + g.Phrase
+		if seen[key] {
+			t.Fatalf("duplicate gold mention %s", key)
+		}
+		seen[key] = true
+		if g.Phrase != text.NormalizePhrase(g.Phrase) {
+			t.Fatalf("gold phrase not normalized: %q", g.Phrase)
+		}
+	}
+}
+
+func TestDiseaseGoldAppearsInDocs(t *testing.T) {
+	// Every gold phrase must actually occur in some document of its
+	// subject (annotations come from generation).
+	docText := make(map[string]string)
+	for _, d := range diseaseDS.Test.Docs {
+		docText[strings.ToLower(d.DefaultSubject)] += " " + text.NormalizePhrase(d.Text)
+	}
+	missing := 0
+	for _, g := range diseaseDS.Test.Gold {
+		if !strings.Contains(docText[g.Subject], g.Phrase) {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d/%d gold phrases not found in their subject's documents",
+			missing, len(diseaseDS.Test.Gold))
+	}
+}
+
+func TestDiseaseKnownNovelSeparation(t *testing.T) {
+	// The Baseline-recall regime: only a minority of test gold phrases may
+	// appear verbatim in the structured table.
+	dict := make(map[string]bool)
+	for _, c := range diseaseDS.Table.Schema.Concepts {
+		for _, v := range diseaseDS.Table.ColumnValues(c) {
+			dict[text.NormalizePhrase(v)] = true
+		}
+	}
+	inTable := 0
+	for _, g := range diseaseDS.Test.Gold {
+		if dict[g.Phrase] {
+			inTable++
+		}
+	}
+	frac := float64(inTable) / float64(len(diseaseDS.Test.Gold))
+	if frac < 0.08 || frac > 0.45 {
+		t.Errorf("table coverage of gold = %.2f, want the sparse regime [0.08, 0.45]", frac)
+	}
+}
+
+func TestDiseaseEmbeddingClusters(t *testing.T) {
+	sp := diseaseDS.Space
+	// Known and novel instances of the same concept must be closer than
+	// instances of different concepts, on average.
+	same := avgSim(sp, diseaseDS.Vocab["Anatomy"][:20], diseaseDS.Vocab["Anatomy"][20:40])
+	diff := avgSim(sp, diseaseDS.Vocab["Anatomy"][:20], diseaseDS.Vocab["Medicine"][:20])
+	if same <= diff+0.15 {
+		t.Errorf("cluster geometry weak: same=%.3f diff=%.3f", same, diff)
+	}
+}
+
+func avgSim(sp *embed.Space, a, b []string) float64 {
+	var sum float64
+	n := 0
+	for _, x := range a {
+		for _, y := range b {
+			sum += sp.Similarity(text.NormalizePhrase(x), text.NormalizePhrase(y))
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+func TestDiseaseTestTable(t *testing.T) {
+	tt := diseaseDS.TestTable()
+	if len(tt.Rows) != 13 {
+		t.Fatalf("test table rows = %d", len(tt.Rows))
+	}
+	if sp := tt.Sparsity(); sp.Missing != sp.Cells {
+		t.Error("test table must be fully cleared (worst case)")
+	}
+}
+
+func TestDiseasePretrainCoverage(t *testing.T) {
+	if diseaseDS.PretrainCovered["Composition"] {
+		t.Error("Composition must be uncovered (UniNER zero recall)")
+	}
+	if !diseaseDS.PretrainCovered["Symptom"] {
+		t.Error("Symptom should be covered")
+	}
+}
+
+func TestResumeTableShape(t *testing.T) {
+	tab := resumeDS.Table
+	if got := len(tab.Schema.Concepts); got != 12 {
+		t.Errorf("concepts = %d, want 12", got)
+	}
+	if got := len(tab.Rows); got != 201 {
+		t.Errorf("rows = %d, want 201", got)
+	}
+	n := tab.InstanceCount()
+	if n < 2300 || n > 4200 {
+		t.Errorf("instances = %d, want ≈3119", n)
+	}
+}
+
+func TestResumeSplitShape(t *testing.T) {
+	test := SplitStats(&resumeDS.Test)
+	if test.Subjects != 100 {
+		t.Errorf("test subjects = %d, want 100", test.Subjects)
+	}
+	if test.Docs != 20 {
+		t.Errorf("test docs = %d, want 20 (5 CVs each)", test.Docs)
+	}
+	if test.Entities < 1600 || test.Entities > 2800 {
+		t.Errorf("test entities = %d, want ≈2140", test.Entities)
+	}
+	if test.Words < 20000 || test.Words > 60000 {
+		t.Errorf("test words = %d, want ≈38459", test.Words)
+	}
+}
+
+func TestResumeDocsBundleFiveCVs(t *testing.T) {
+	for _, d := range resumeDS.Test.Docs {
+		if d.DefaultSubject != "" {
+			t.Fatalf("bundled doc %q should have no default subject", d.Name)
+		}
+	}
+	// Each test doc opens 5 CVs (related mentions may add further names).
+	doc := resumeDS.Test.Docs[0]
+	openings := 0
+	for _, s := range resumeDS.Test.Subjects {
+		if strings.Contains(doc.Text, s+" is ") || strings.Contains(doc.Text, s+" has ") {
+			openings++
+		}
+	}
+	if openings != 5 {
+		t.Errorf("doc 0 opens %d CVs, want 5", openings)
+	}
+}
+
+func TestResumeGenericConcepts(t *testing.T) {
+	for _, c := range []schema.Concept{"Name", "University", "Companies Worked At"} {
+		if !resumeDS.GenericConcept[c] {
+			t.Errorf("%s should be generic (GPT-4 strength)", c)
+		}
+	}
+	for _, c := range []schema.Concept{"Worked As", "Years Of Experience"} {
+		if resumeDS.GenericConcept[c] {
+			t.Errorf("%s should not be generic (GPT-4 weakness)", c)
+		}
+	}
+}
+
+func TestAnnotationCostModel(t *testing.T) {
+	c := DefaultAnnotationCost()
+	// Table X anchor: LM-Human-1 trained on 973 words took 12,649 s
+	// (13 s/token).
+	if got := c.SecondsForWords(973); got != 12649 {
+		t.Errorf("SecondsForWords(973) = %v, want 12649", got)
+	}
+	lo, hi := c.DocRange(100)
+	if lo >= hi || lo.Seconds() != 800 || hi.Seconds() != 1300 {
+		t.Errorf("DocRange(100) = %v, %v", lo, hi)
+	}
+	// Table IX: full train corpus annotation exceeds 600 hours.
+	words := SplitStats(&diseaseDS.Train).Words
+	if h := c.TotalHours(words); h < 400 {
+		t.Errorf("TotalHours(train=%d words) = %.0f, want 400+", words, h)
+	}
+	slo, shi := c.SubjectRange([]int{100, 150})
+	if slo.Seconds() != 2000 || shi.Seconds() != 3250 {
+		t.Errorf("SubjectRange = %v, %v", slo, shi)
+	}
+}
+
+func TestLexiconCoversVocabulary(t *testing.T) {
+	lex := diseaseDS.Lexicon
+	for _, w := range []string{"empyema", "amoxicillin", "keratin"} {
+		if _, ok := lex[w]; !ok {
+			t.Errorf("lexicon missing %q", w)
+		}
+	}
+}
+
+func TestVocabPoolsDisjoint(t *testing.T) {
+	// known/novel separation is by head word; instances must not repeat
+	// across the two pools.
+	for _, ds := range []*Dataset{diseaseDS, resumeDS} {
+		dict := make(map[string]bool)
+		for _, c := range ds.Table.Schema.Concepts {
+			if c == ds.Table.Schema.Subject {
+				continue
+			}
+			for _, v := range ds.Table.ColumnValues(c) {
+				dict[text.NormalizePhrase(v)] = true
+			}
+		}
+		if len(dict) == 0 {
+			t.Fatalf("%s: empty table dictionary", ds.Name)
+		}
+	}
+}
+
+func TestValidateDatasets(t *testing.T) {
+	if err := Validate(diseaseDS); err != nil {
+		t.Errorf("disease dataset invalid: %v", err)
+	}
+	if err := Validate(resumeDS); err != nil {
+		t.Errorf("resume dataset invalid: %v", err)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	ds := Disease(DiseaseSeed)
+	ds.Test.Gold[0].Phrase = "phrase that never occurs anywhere zz"
+	if err := Validate(ds); err == nil {
+		t.Error("corrupted gold phrase not detected")
+	}
+	ds2 := Disease(DiseaseSeed)
+	ds2.Test.Gold[0].Concept = "NotAConcept"
+	if err := Validate(ds2); err == nil {
+		t.Error("off-schema concept not detected")
+	}
+	ds3 := Disease(DiseaseSeed)
+	ds3.Test.Subjects = append(ds3.Test.Subjects, ds3.Train.Subjects[0])
+	if err := Validate(ds3); err == nil {
+		t.Error("split overlap not detected")
+	}
+}

@@ -1,0 +1,139 @@
+// Package datagen deterministically generates the paper's two evaluation
+// datasets — Disease A-Z and Résumé — at the scale of Tables II and III.
+//
+// The real corpora (NHS/WHO/CDC health pages; job-seeker CVs) and their 600+
+// hours of manual annotation are unavailable, so the generator synthesizes
+// the closest equivalent that exercises the same code paths:
+//
+//   - per-concept vocabularies with cluster-consistent embeddings (known
+//     table instances and novel out-of-table instances share a concept
+//     cluster, so semantic matchers generalize and exact matchers do not),
+//   - deliberate cross-concept confusers ('blood' as Anatomy vs 'blood clot'
+//     as Complication) so syntactic refinement has work to do,
+//   - a structured table whose coverage of the document entities matches the
+//     Baseline's published recall regime, and
+//   - ground-truth annotations that come for free from generation.
+//
+// All randomness is seeded; generation is reproducible bit-for-bit.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thor/internal/embed"
+	"thor/internal/eval"
+	"thor/internal/pos"
+	"thor/internal/schema"
+	"thor/internal/segment"
+)
+
+// Split is one portion of a dataset (train/validation/test).
+type Split struct {
+	// Subjects are the subject instances covered by this split.
+	Subjects []string
+	// Docs are the text documents, one or more per subject.
+	Docs []segment.Document
+	// Gold holds the ground-truth annotations: unique (subject, concept,
+	// phrase) triples planted in the documents.
+	Gold []eval.Mention
+	// Words is the total word count of the documents.
+	Words int
+}
+
+// GoldFor returns the gold mentions restricted to the given subject set.
+func (s *Split) GoldFor(subjects map[string]bool) []eval.Mention {
+	var out []eval.Mention
+	for _, g := range s.Gold {
+		if subjects[g.Subject] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Dataset is a fully generated evaluation dataset.
+type Dataset struct {
+	// Name is "disease-az" or "resume".
+	Name string
+	// Table is the integrated structured table R (the weak supervision
+	// THOR fine-tunes on).
+	Table *schema.Table
+	// Space is the embedding space covering the dataset vocabulary — the
+	// stand-in for the pre-trained vectors.
+	Space *embed.Space
+	// Train, Valid and Test follow the paper's splits (Table III).
+	Train, Valid, Test Split
+	// Lexicon extends the POS tagger with domain nouns so generated drug
+	// names and the like are tagged correctly.
+	Lexicon map[string]pos.Tag
+	// Vocab is the full per-concept vocabulary (instances that may appear
+	// in documents, a superset of the table's instances).
+	Vocab map[schema.Concept][]string
+	// PretrainCovered marks concepts covered by the UniNER simulator's
+	// "pre-training" lexicon; under-represented concepts (Composition) are
+	// absent, reproducing its published zero recall there.
+	PretrainCovered map[schema.Concept]bool
+	// PretrainCoverage gives the covered fraction of each concept's
+	// vocabulary (0 = absent from every public benchmark).
+	PretrainCoverage map[schema.Concept]float64
+	// GenericConcept marks concepts whose instances are generic world
+	// knowledge (people, universities, companies) on which the zero-shot
+	// GPT-4 simulator performs well.
+	GenericConcept map[schema.Concept]bool
+}
+
+// TestTable builds the cleared evaluation table R_test' of Section V: one
+// row per test subject, all non-subject cells labeled nulls.
+func (d *Dataset) TestTable() *schema.Table {
+	t := schema.NewTable(d.Table.Schema)
+	for _, s := range d.Test.Subjects {
+		t.AddRow(s)
+	}
+	return t
+}
+
+// Stats summarizes a split like Table III of the paper.
+type Stats struct {
+	Subjects int
+	Docs     int
+	Entities int
+	Words    int
+}
+
+// SplitStats computes Table III-style statistics for a split.
+func SplitStats(s *Split) Stats {
+	return Stats{
+		Subjects: len(s.Subjects),
+		Docs:     len(s.Docs),
+		Entities: len(s.Gold),
+		Words:    s.Words,
+	}
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d subjects, %d docs, %d entities, %d words",
+		s.Subjects, s.Docs, s.Entities, s.Words)
+}
+
+// pick returns a random element of xs.
+func pick[T any](rng *rand.Rand, xs []T) T {
+	return xs[rng.Intn(len(xs))]
+}
+
+// sampleDistinct returns up to n distinct elements of xs, in random order.
+func sampleDistinct[T any](rng *rand.Rand, xs []T, n int) []T {
+	if n >= len(xs) {
+		out := make([]T, len(xs))
+		copy(out, xs)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	idx := rng.Perm(len(xs))[:n]
+	out := make([]T, n)
+	for i, j := range idx {
+		out[i] = xs[j]
+	}
+	return out
+}

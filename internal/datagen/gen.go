@@ -1,0 +1,637 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"thor/internal/embed"
+	"thor/internal/eval"
+	"thor/internal/pos"
+	"thor/internal/schema"
+	"thor/internal/segment"
+	"thor/internal/text"
+)
+
+// conceptSpec describes how one non-subject concept is generated.
+type conceptSpec struct {
+	concept schema.Concept
+	// known and novel are disjoint instance pools, split by head word: the
+	// structured table only draws from known, so novel instances are
+	// invisible to exact matchers but live in the same embedding cluster.
+	known, novel []string
+	// templates are sentence patterns with exactly one %s slot.
+	templates []string
+	// altTemplates are alternative phrasings used by splits with
+	// altTemplateP > 0 — the format shift that makes test documents not
+	// resemble the training distribution (Experiment 3's premise).
+	altTemplates []string
+	// listTemplates take a comma-joined list of 2–3 instances.
+	listTemplates []string
+	// coverage is the fraction of the concept's vocabulary present in the
+	// UniNER simulator's pre-training lexicon (0 reproduces the published
+	// zero recall on Composition).
+	coverage float64
+	// generic marks world-knowledge concepts the GPT-4 simulator is strong
+	// on (names, universities, companies).
+	generic bool
+	// tableP is the probability a table row has any value for this
+	// concept; tableMaxVals caps values per cell.
+	tableP       float64
+	tableMaxVals int
+	// modifierWords lists the words of this concept's instances that are
+	// generic modifiers (weak embedding pull).
+	modifierWords map[string]bool
+}
+
+func (c *conceptSpec) allInstances() []string {
+	out := make([]string, 0, len(c.known)+len(c.novel))
+	out = append(out, c.known...)
+	out = append(out, c.novel...)
+	return out
+}
+
+// splitSpec sets the per-split generation densities (Table III shapes).
+type splitSpec struct {
+	subjects       int
+	docsPerSubject int
+	// factsPerConcept is the mean number of unique facts per (subject,
+	// concept); actual counts vary ±30%.
+	factsPerConcept float64
+	// relatedPerSubject is the number of other subject-pool names
+	// mentioned (gold mentions of the subject concept).
+	relatedPerSubject int
+	// fillerPerDoc pads documents with entity-free sentences.
+	fillerPerDoc int
+	// trapsPerDoc plants vocabulary phrases in contexts the annotators
+	// would not mark as entities — the false-positive surface real corpora
+	// have. Known-pool traps fool exact matchers at every τ; fringe-novel
+	// traps only fool the semantic matcher at permissive τ.
+	trapsPerDoc int
+	// knownTrapP is the probability a trap comes from the known pool
+	// (strict-τ and Baseline false positives); the rest are fringe-novel.
+	knownTrapP float64
+	// altTemplateP is the probability a fact sentence uses the concept's
+	// alternative phrasing instead of the shared one (format shift).
+	altTemplateP float64
+}
+
+// domainSpec is a complete dataset recipe.
+type domainSpec struct {
+	name           string
+	subjectConcept schema.Concept
+	concepts       []*conceptSpec
+	// subjectPool holds every subject-like name; the first totalSubjects
+	// entries become split subjects, the rest only appear as related
+	// mentions (novel subject-concept instances).
+	subjectPool []string
+	// openingTemplates introduce the subject (one %s = subject name).
+	openingTemplates []string
+	// relatedTemplates mention another subject-pool name (one %s).
+	relatedTemplates []string
+	// trapTemplates embed a vocabulary phrase in a non-entity context.
+	trapTemplates      []string
+	filler             []string
+	train, valid, test splitSpec
+	// tableRows is the structured table size (284 / 201 in the paper).
+	tableRows int
+	// knownFactP is the probability a planted fact is drawn from the known
+	// pool rather than the novel pool (the Baseline-recall lever).
+	knownFactP float64
+	// groupPerDoc bundles several subjects into one document (Résumé: 5
+	// CVs per doc). 1 means one subject per document.
+	groupPerDoc int
+}
+
+// Generate materializes a dataset from a domain recipe. The same seed always
+// yields the identical dataset.
+func generate(spec *domainSpec, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+
+	total := spec.train.subjects + spec.valid.subjects + spec.test.subjects
+	if total > len(spec.subjectPool) {
+		panic(fmt.Sprintf("datagen: %s: subject pool too small: %d < %d",
+			spec.name, len(spec.subjectPool), total))
+	}
+	subjects := spec.subjectPool[:total]
+	trainSubj := subjects[:spec.train.subjects]
+	validSubj := subjects[spec.train.subjects : spec.train.subjects+spec.valid.subjects]
+	testSubj := subjects[spec.train.subjects+spec.valid.subjects:]
+
+	ds := &Dataset{
+		Name:             spec.name,
+		Space:            buildSpace(spec),
+		Lexicon:          buildLexicon(spec),
+		Vocab:            make(map[schema.Concept][]string),
+		PretrainCovered:  make(map[schema.Concept]bool),
+		PretrainCoverage: make(map[schema.Concept]float64),
+		GenericConcept:   make(map[schema.Concept]bool),
+	}
+	for _, cs := range spec.concepts {
+		ds.Vocab[cs.concept] = cs.allInstances()
+		ds.PretrainCovered[cs.concept] = cs.coverage > 0
+		ds.PretrainCoverage[cs.concept] = cs.coverage
+		ds.GenericConcept[cs.concept] = cs.generic
+	}
+	ds.Vocab[spec.subjectConcept] = append([]string(nil), spec.subjectPool...)
+	ds.GenericConcept[spec.subjectConcept] = true
+	ds.PretrainCovered[spec.subjectConcept] = true
+	ds.PretrainCoverage[spec.subjectConcept] = 0.50
+
+	ds.Table = buildTable(spec, rng, subjects)
+	ds.Train = buildSplit(spec, spec.train, rng, trainSubj)
+	ds.Valid = buildSplit(spec, spec.valid, rng, validSubj)
+	ds.Test = buildSplit(spec, spec.test, rng, testSubj)
+	return ds
+}
+
+// buildSpace places every vocabulary word in the embedding space around its
+// concept centroid(s). Words shared between concepts (the cross-concept
+// confusers) sit between centroids; generic modifiers get only a weak pull.
+func buildSpace(spec *domainSpec) *embed.Space {
+	type placement struct {
+		sum   embed.Vector
+		n     int
+		alpha float64
+	}
+	words := make(map[string]*placement)
+	place := func(word string, centroid embed.Vector, alpha float64) {
+		w := strings.ToLower(word)
+		p, ok := words[w]
+		if !ok {
+			p = &placement{alpha: alpha}
+			words[w] = p
+		}
+		p.sum = p.sum.Add(centroid)
+		p.n++
+		if alpha > p.alpha {
+			p.alpha = alpha
+		}
+	}
+	centroidOf := func(c schema.Concept) embed.Vector {
+		return embed.HashVector("centroid:" + spec.name + ":" + string(c))
+	}
+	for _, cs := range spec.concepts {
+		centroid := centroidOf(cs.concept)
+		for _, inst := range cs.allInstances() {
+			for _, w := range strings.Fields(text.NormalizePhrase(inst)) {
+				// Heterogeneous cluster tightness: some words sit close to
+				// the concept centroid, others at the fringe. This is what
+				// makes τ meaningful — strict thresholds only expand to the
+				// tight core, so fringe-word instances become reachable
+				// only at permissive τ, reproducing the paper's
+				// precision/recall trade-off.
+				alpha := 0.46 + 0.46*skew(hashFrac("alpha:"+w))
+				if cs.modifierWords[w] {
+					alpha = 0.45
+				}
+				place(w, centroid, alpha)
+			}
+		}
+		// Concept-name words live near the centroid but not inside the
+		// instance core (real embeddings put 'anatomy' near anatomy terms,
+		// yet 'anatomy' is not itself an anatomical entity). The zero-shot
+		// simulators key on these; THOR's matcher only reaches them at
+		// permissive τ, where they become false positives.
+		for _, w := range strings.Fields(text.NormalizePhrase(string(cs.concept))) {
+			place(w, centroid, 0.72)
+		}
+	}
+	subjCentroid := centroidOf(spec.subjectConcept)
+	for _, name := range spec.subjectPool {
+		for _, w := range strings.Fields(text.NormalizePhrase(name)) {
+			place(w, subjCentroid, 0.46+0.46*skew(hashFrac("alpha:"+w)))
+		}
+	}
+	for _, w := range strings.Fields(text.NormalizePhrase(string(spec.subjectConcept))) {
+		place(w, subjCentroid, 0.72)
+	}
+
+	// Generic context words (template and filler vocabulary: 'doctors',
+	// 'leaflet', 'treatment', ...) get a weak pull toward a hash-chosen
+	// concept, the way real distributional embeddings place common domain
+	// words near everything they co-occur with. They are reachable only at
+	// permissive τ, where they become the bulk of the false positives —
+	// the low-precision end of Table V.
+	for _, w := range contextWords(spec) {
+		if _, placed := words[w]; placed {
+			continue
+		}
+		cs := spec.concepts[int(hashFrac("ctx-concept:"+w)*float64(len(spec.concepts)))%len(spec.concepts)]
+		place(w, centroidOf(cs.concept), 0.30+0.35*hashFrac("ctx-alpha:"+w))
+	}
+
+	space := embed.NewSpace()
+	for w, p := range words {
+		base := p.sum.Scale(1 / float64(p.n)).Normalize()
+		space.Add(w, embed.Blend(base, embed.HashVector("noise:"+spec.name+":"+w), p.alpha))
+	}
+	return space
+}
+
+// contextWords collects the content words of every sentence template and
+// filler sentence in the recipe.
+func contextWords(spec *domainSpec) []string {
+	seen := make(map[string]bool)
+	var out []string
+	collect := func(ss []string) {
+		for _, s := range ss {
+			for _, w := range strings.Fields(text.NormalizePhrase(strings.ReplaceAll(s, "%s", " "))) {
+				if text.IsStopword(w) || seen[w] {
+					continue
+				}
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+	}
+	collect(spec.openingTemplates)
+	collect(spec.relatedTemplates)
+	collect(spec.trapTemplates)
+	collect(spec.filler)
+	for _, cs := range spec.concepts {
+		collect(cs.templates)
+		collect(cs.altTemplates)
+		collect(cs.listTemplates)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// buildLexicon registers every vocabulary content word as a noun so the POS
+// tagger treats synthesized terms (drug names, company names) correctly.
+// Modifier words keep their built-in tags.
+func buildLexicon(spec *domainSpec) map[string]pos.Tag {
+	lex := make(map[string]pos.Tag)
+	add := func(inst string, modifiers map[string]bool) {
+		for _, w := range strings.Fields(text.NormalizePhrase(inst)) {
+			if modifiers != nil && modifiers[w] {
+				continue
+			}
+			if text.IsStopword(w) {
+				continue
+			}
+			lex[w] = pos.NOUN
+		}
+	}
+	for _, cs := range spec.concepts {
+		for _, inst := range cs.allInstances() {
+			add(inst, cs.modifierWords)
+		}
+	}
+	for _, name := range spec.subjectPool {
+		add(name, nil)
+	}
+	return lex
+}
+
+// buildTable samples the structured table: tableRows subjects (test and
+// valid subjects first so evaluation subjects always have rows, matching the
+// paper where the integrated table covers the evaluated diseases), cells
+// filled from the known pools only.
+func buildTable(spec *domainSpec, rng *rand.Rand, subjects []string) *schema.Table {
+	sch := schema.NewSchema(spec.subjectConcept)
+	for _, cs := range spec.concepts {
+		sch = sch.WithConcept(cs.concept)
+	}
+	tab := schema.NewTable(sch)
+
+	// Row order: valid + test subjects first (so every evaluated subject
+	// has a row, as in the paper), then train subjects up to tableRows.
+	nTrain := spec.train.subjects
+	rows := make([]string, 0, spec.tableRows)
+	rows = append(rows, subjects[nTrain:]...) // valid + test
+	for _, s := range subjects[:nTrain] {
+		if len(rows) >= spec.tableRows {
+			break
+		}
+		rows = append(rows, s)
+	}
+	for _, subj := range rows {
+		row := tab.AddRow(subj)
+		for _, cs := range spec.concepts {
+			if rng.Float64() > cs.tableP || len(cs.known) == 0 {
+				continue
+			}
+			n := 1 + rng.Intn(cs.tableMaxVals)
+			for _, v := range sampleDistinct(rng, cs.known, n) {
+				row.Add(cs.concept, v)
+			}
+		}
+	}
+	return tab
+}
+
+// subjectFacts samples the unique facts of one subject for one split.
+func subjectFacts(spec *domainSpec, ss splitSpec, rng *rand.Rand, subject string) map[schema.Concept][]string {
+	facts := make(map[schema.Concept][]string)
+	for _, cs := range spec.concepts {
+		mean := ss.factsPerConcept
+		n := int(mean*0.7) + rng.Intn(int(mean*0.6)+1) // mean ±30%
+		if n < 1 {
+			n = 1
+		}
+		seen := make(map[string]bool)
+		var out []string
+		for len(out) < n {
+			var pool []string
+			if rng.Float64() < spec.knownFactP && len(cs.known) > 0 {
+				pool = cs.known
+			} else {
+				pool = cs.novel
+			}
+			if len(pool) == 0 {
+				break
+			}
+			f := pick(rng, pool)
+			if seen[f] {
+				// Avoid infinite loops on tiny pools.
+				if len(seen) >= len(cs.known)+len(cs.novel) {
+					break
+				}
+				continue
+			}
+			seen[f] = true
+			out = append(out, f)
+		}
+		facts[cs.concept] = out
+	}
+	return facts
+}
+
+// buildSplit generates documents and gold annotations for one split.
+func buildSplit(spec *domainSpec, ss splitSpec, rng *rand.Rand, subjects []string) Split {
+	split := Split{Subjects: append([]string(nil), subjects...)}
+	goldSeen := make(map[string]bool)
+	addGold := func(subj string, c schema.Concept, phrase string) {
+		m := eval.Mention{Subject: subj, Concept: c, Phrase: phrase}.Normalize()
+		key := m.Subject + "\x00" + string(m.Concept) + "\x00" + m.Phrase
+		if goldSeen[key] {
+			return
+		}
+		goldSeen[key] = true
+		split.Gold = append(split.Gold, m)
+	}
+
+	group := spec.groupPerDoc
+	if group < 1 {
+		group = 1
+	}
+
+	// Per-subject sentence bundles.
+	type bundle struct {
+		subject   string
+		sentences [][]string // per-doc sentence lists
+	}
+	bundles := make([]bundle, 0, len(subjects))
+	for _, subj := range subjects {
+		facts := subjectFacts(spec, ss, rng, subj)
+		sentences := subjectSentences(spec, ss, rng, subj, facts, addGold)
+		// Partition sentences across this subject's documents.
+		docs := ss.docsPerSubject
+		if group > 1 {
+			docs = 1 // grouped domains put one section per subject
+		}
+		parts := make([][]string, docs)
+		for i, s := range sentences {
+			parts[i%docs] = append(parts[i%docs], s)
+		}
+		bundles = append(bundles, bundle{subject: subj, sentences: parts})
+	}
+
+	if group == 1 {
+		for _, b := range bundles {
+			for di, sents := range b.sentences {
+				if len(sents) == 0 {
+					continue
+				}
+				doc := segment.Document{
+					Name:           fmt.Sprintf("%s-%s-%d", spec.name, sanitize(b.subject), di),
+					DefaultSubject: b.subject,
+					Text:           strings.Join(sents, " "),
+				}
+				split.Docs = append(split.Docs, doc)
+				split.Words += countWords(doc.Text)
+			}
+		}
+	} else {
+		// Bundle `group` subjects per document (Résumé: 5 CVs per doc).
+		for i := 0; i < len(bundles); i += group {
+			hi := i + group
+			if hi > len(bundles) {
+				hi = len(bundles)
+			}
+			var sents []string
+			for _, b := range bundles[i:hi] {
+				sents = append(sents, b.sentences[0]...)
+			}
+			doc := segment.Document{
+				Name: fmt.Sprintf("%s-doc-%d", spec.name, i/group),
+				Text: strings.Join(sents, " "),
+			}
+			split.Docs = append(split.Docs, doc)
+			split.Words += countWords(doc.Text)
+		}
+	}
+	return split
+}
+
+// subjectSentences renders one subject's facts into sentences: an opening
+// mention, fact sentences per concept, related-subject mentions and filler.
+func subjectSentences(spec *domainSpec, ss splitSpec, rng *rand.Rand, subj string,
+	facts map[schema.Concept][]string, addGold func(string, schema.Concept, string)) []string {
+
+	var sents []string
+	opening := fmt.Sprintf(pick(rng, spec.openingTemplates), subj)
+	sents = append(sents, opening)
+	addGold(subj, spec.subjectConcept, subj)
+
+	// Concept facts, iterated in schema order for determinism.
+	concepts := make([]*conceptSpec, len(spec.concepts))
+	copy(concepts, spec.concepts)
+	var factSents []string
+	for _, cs := range concepts {
+		fs := facts[cs.concept]
+		for i := 0; i < len(fs); {
+			// Occasionally emit a list sentence covering 2–3 facts.
+			if len(cs.listTemplates) > 0 && len(fs)-i >= 2 && rng.Float64() < 0.4 {
+				n := 2
+				if len(fs)-i >= 3 && rng.Float64() < 0.5 {
+					n = 3
+				}
+				items := fs[i : i+n]
+				factSents = append(factSents, fmt.Sprintf(pick(rng, cs.listTemplates), joinList(items)))
+				for _, f := range items {
+					addGold(subj, cs.concept, f)
+				}
+				i += n
+				continue
+			}
+			tpl := cs.templates
+			if len(cs.altTemplates) > 0 && rng.Float64() < ss.altTemplateP {
+				tpl = cs.altTemplates
+			}
+			factSents = append(factSents, fmt.Sprintf(pick(rng, tpl), fs[i]))
+			addGold(subj, cs.concept, fs[i])
+			i++
+		}
+	}
+
+	// Trap mentions: vocabulary phrases the annotators did not mark.
+	if len(spec.trapTemplates) > 0 {
+		factWords := make(map[string]bool)
+		for _, fs := range facts {
+			for _, f := range fs {
+				for _, w := range strings.Fields(text.NormalizePhrase(f)) {
+					factWords[w] = true
+				}
+			}
+		}
+		docs := maxInt(1, ss.docsPerSubject)
+		for i := 0; i < ss.trapsPerDoc*docs; i++ {
+			cs := spec.concepts[rng.Intn(len(spec.concepts))]
+			inst := trapInstance(rng, cs, factWords, ss.knownTrapP)
+			if inst == "" {
+				continue
+			}
+			factSents = append(factSents, fmt.Sprintf(pick(rng, spec.trapTemplates), inst))
+		}
+	}
+
+	// Related subject mentions.
+	for i := 0; i < ss.relatedPerSubject; i++ {
+		other := pick(rng, spec.subjectPool)
+		if strings.EqualFold(other, subj) {
+			continue
+		}
+		factSents = append(factSents, fmt.Sprintf(pick(rng, spec.relatedTemplates), other))
+		addGold(subj, spec.subjectConcept, other)
+	}
+
+	rng.Shuffle(len(factSents), func(i, j int) { factSents[i], factSents[j] = factSents[j], factSents[i] })
+	sents = append(sents, factSents...)
+
+	for i := 0; i < ss.fillerPerDoc*maxInt(1, ss.docsPerSubject); i++ {
+		// Insert filler at random positions after the opening.
+		f := pick(rng, spec.filler)
+		pos := 1 + rng.Intn(len(sents))
+		sents = append(sents[:pos], append([]string{f}, sents[pos:]...)...)
+	}
+	return sents
+}
+
+// trapInstance picks a vocabulary phrase that shares no content word with
+// the subject's facts, so it cannot be scored as a (partial) true positive.
+// With probability 0.35 it is an exact known-pool instance (fooling exact
+// matchers at every threshold); otherwise it is a fringe novel instance,
+// reachable only by permissive semantic matching.
+func trapInstance(rng *rand.Rand, cs *conceptSpec, factWords map[string]bool, knownTrapP float64) string {
+	for attempt := 0; attempt < 12; attempt++ {
+		var cand string
+		if rng.Float64() < knownTrapP && len(cs.known) > 0 {
+			cand = pick(rng, cs.known)
+		} else if len(cs.novel) > 0 {
+			cand = pick(rng, cs.novel)
+			words := strings.Fields(text.NormalizePhrase(cand))
+			if len(words) == 0 {
+				continue
+			}
+			// Fringe check on the head word: only weakly clustered heads
+			// qualify as novel traps.
+			if hashFrac("alpha:"+words[len(words)-1]) > 0.55 {
+				continue
+			}
+		} else {
+			return ""
+		}
+		ok := true
+		for _, w := range strings.Fields(text.NormalizePhrase(cand)) {
+			if factWords[w] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return cand
+		}
+	}
+	return ""
+}
+
+func joinList(items []string) string {
+	switch len(items) {
+	case 0:
+		return ""
+	case 1:
+		return items[0]
+	default:
+		return strings.Join(items[:len(items)-1], ", ") + " and " + items[len(items)-1]
+	}
+}
+
+func countWords(s string) int { return len(strings.Fields(s)) }
+
+func sanitize(s string) string {
+	return strings.ToLower(strings.ReplaceAll(s, " ", "-"))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// combinePools builds a concept's known/novel instance pools from heads and
+// modifiers, splitting by head word so the pools stay disjoint even under
+// partial matching. knownShare of heads go to the known pool. bareP is the
+// probability a bare head (no modifier) joins a pool alongside its combos.
+func combinePools(rng *rand.Rand, heads, modifiers []string, knownShare float64, combosPerHead int) (known, novel []string) {
+	hs := append([]string(nil), heads...)
+	rng.Shuffle(len(hs), func(i, j int) { hs[i], hs[j] = hs[j], hs[i] })
+	nKnown := int(float64(len(hs)) * knownShare)
+	for i, h := range hs {
+		pool := &novel
+		if i < nKnown {
+			pool = &known
+		}
+		*pool = append(*pool, h)
+		if len(modifiers) == 0 {
+			continue
+		}
+		for _, m := range sampleDistinct(rng, modifiers, combosPerHead) {
+			*pool = append(*pool, m+" "+h)
+		}
+	}
+	sort.Strings(known)
+	sort.Strings(novel)
+	return known, novel
+}
+
+// skew biases a uniform fraction toward 0, thinning the tight core of each
+// concept cluster so strict thresholds accept markedly fewer novel heads.
+func skew(f float64) float64 { return f * f }
+
+// hashFrac maps a string to a deterministic fraction in [0, 1).
+func hashFrac(s string) float64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return float64(h%10000) / 10000
+}
+
+// modifierSet collects the modifier words for embedding placement.
+func modifierSet(lists ...[]string) map[string]bool {
+	out := make(map[string]bool)
+	for _, l := range lists {
+		for _, m := range l {
+			for _, w := range strings.Fields(strings.ToLower(m)) {
+				out[w] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package datagen
+
+import (
+	"fmt"
+	"strings"
+
+	"thor/internal/eval"
+	"thor/internal/text"
+)
+
+// Validate checks a generated dataset's structural invariants: split
+// subjects are disjoint, every gold mention belongs to its split's subjects
+// and the schema, gold phrases are normalized and actually occur in the
+// subject's documents, the embedding space covers the vocabulary, and the
+// table's evaluation subjects all have rows. It returns the first violation
+// found.
+func Validate(ds *Dataset) error {
+	if ds.Table == nil || ds.Space == nil {
+		return fmt.Errorf("datagen: %s: missing table or space", ds.Name)
+	}
+	seen := make(map[string]string) // lower subject -> split name
+	for _, sp := range []struct {
+		name  string
+		split *Split
+	}{{"train", &ds.Train}, {"valid", &ds.Valid}, {"test", &ds.Test}} {
+		for _, s := range sp.split.Subjects {
+			key := strings.ToLower(s)
+			if prev, dup := seen[key]; dup {
+				return fmt.Errorf("datagen: %s: subject %q in both %s and %s", ds.Name, s, prev, sp.name)
+			}
+			seen[key] = sp.name
+		}
+		if err := validateSplit(ds, sp.name, sp.split); err != nil {
+			return err
+		}
+	}
+	// Every test subject must have a table row (the paper's setting).
+	for _, s := range ds.Test.Subjects {
+		if ds.Table.Row(s) == nil {
+			return fmt.Errorf("datagen: %s: test subject %q has no table row", ds.Name, s)
+		}
+	}
+	// The space must cover the vocabulary's content words.
+	for concept, instances := range ds.Vocab {
+		for _, inst := range instances {
+			for _, w := range strings.Fields(text.NormalizePhrase(inst)) {
+				if text.IsStopword(w) {
+					continue
+				}
+				if !ds.Space.Contains(w) {
+					return fmt.Errorf("datagen: %s: vocabulary word %q of %s missing from the space", ds.Name, w, concept)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func validateSplit(ds *Dataset, name string, split *Split) error {
+	subjects := make(map[string]bool, len(split.Subjects))
+	for _, s := range split.Subjects {
+		subjects[strings.ToLower(s)] = true
+	}
+	// Group document text per subject for occurrence checks.
+	bySubject := make(map[string]*strings.Builder)
+	grouped := true
+	for _, d := range split.Docs {
+		if d.DefaultSubject == "" {
+			grouped = false
+			break
+		}
+		key := strings.ToLower(d.DefaultSubject)
+		if bySubject[key] == nil {
+			bySubject[key] = &strings.Builder{}
+		}
+		bySubject[key].WriteByte(' ')
+		bySubject[key].WriteString(text.NormalizePhrase(d.Text))
+	}
+	var allText string
+	if !grouped {
+		var b strings.Builder
+		for _, d := range split.Docs {
+			b.WriteByte(' ')
+			b.WriteString(text.NormalizePhrase(d.Text))
+		}
+		allText = b.String()
+	}
+
+	dup := make(map[eval.Mention]bool, len(split.Gold))
+	for _, g := range split.Gold {
+		if !subjects[g.Subject] {
+			return fmt.Errorf("datagen: %s/%s: gold mention for foreign subject %q", ds.Name, name, g.Subject)
+		}
+		if !ds.Table.Schema.Has(g.Concept) {
+			return fmt.Errorf("datagen: %s/%s: gold mention with off-schema concept %q", ds.Name, name, g.Concept)
+		}
+		if g.Phrase == "" || g.Phrase != text.NormalizePhrase(g.Phrase) {
+			return fmt.Errorf("datagen: %s/%s: gold phrase %q not normalized", ds.Name, name, g.Phrase)
+		}
+		if dup[g] {
+			return fmt.Errorf("datagen: %s/%s: duplicate gold mention %v", ds.Name, name, g)
+		}
+		dup[g] = true
+		haystack := allText
+		if grouped {
+			if b := bySubject[g.Subject]; b != nil {
+				haystack = b.String()
+			} else {
+				haystack = ""
+			}
+		}
+		if !strings.Contains(haystack, g.Phrase) {
+			return fmt.Errorf("datagen: %s/%s: gold phrase %q absent from documents", ds.Name, name, g.Phrase)
+		}
+	}
+	return nil
+}

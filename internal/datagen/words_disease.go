@@ -1,0 +1,192 @@
+package datagen
+
+// Curated word material for the Disease A-Z domain (Table II: 11 concepts).
+// Instances are built combinatorially from heads and modifiers, giving each
+// concept a vocabulary far larger than the structured table's coverage — the
+// regime in which exact dictionary matching (the Baseline) loses most of its
+// recall while semantic matching generalizes.
+
+var anatomyHeads = []string{
+	"lung", "lungs", "liver", "kidney", "heart", "brain", "nerve", "spine",
+	"skin", "ear", "eye", "throat", "stomach", "intestine", "bladder",
+	"pancreas", "spleen", "artery", "vein", "muscle", "joint", "bone",
+	"tendon", "cornea", "retina", "sinus", "tonsil", "gland", "colon",
+	"esophagus", "diaphragm", "trachea", "scalp", "jaw", "gum", "blood",
+	"nervous system", "inner ear", "spinal cord", "blood vessel",
+	"optic nerve", "vocal cords", "hair follicle", "lymph node",
+	"bone marrow", "heart valve", "rib cage", "nasal cavity",
+}
+
+var anatomyModifiers = []string{
+	"left", "right", "inner", "outer", "upper", "lower", "peripheral",
+	"central", "frontal", "vestibular", "cranial", "facial", "abdominal",
+	"cardiac", "renal", "hepatic", "main",
+}
+
+var causeHeads = []string{
+	"viral infection", "bacterial infection", "fungal infection",
+	"bacteria", "virus", "fungus", "parasite", "genetic mutation",
+	"hormonal imbalance", "immune reaction", "vitamin deficiency",
+	"iron deficiency", "poor hygiene", "contaminated water",
+	"airborne droplets", "insect bite", "tick bite", "tissue damage",
+	"nerve compression", "smoking", "alcohol abuse", "radiation exposure",
+	"chemical exposure", "blocked duct", "plaque buildup", "food poisoning",
+	"allergic reaction", "autoimmune response", "enzyme deficiency",
+}
+
+var causeModifiers = []string{
+	"chronic", "repeated", "severe", "untreated", "prolonged", "acute",
+	"recurrent", "persistent",
+}
+
+var complicationHeads = []string{
+	"hearing loss", "vision loss", "kidney failure", "heart failure",
+	"organ damage", "blood clot", "scarring", "paralysis", "seizures",
+	"infertility", "chronic pain", "empyema", "sepsis", "meningitis",
+	"pneumonia", "abscess", "ulceration", "gangrene", "stroke",
+	"nerve damage", "unsteadiness", "deafness", "blindness", "tumor",
+	"skin cancer", "respiratory failure", "internal bleeding",
+	"memory loss", "joint deformity", "bone fracture", "depression",
+	"anxiety", "liver damage", "speech problems", "balance problems",
+	"dark spots", "swollen glands",
+}
+
+var complicationModifiers = []string{
+	"permanent", "severe", "progressive", "partial", "sudden", "long-term",
+	"irreversible", "recurring",
+}
+
+var compositionHeads = []string{
+	"calcium deposits", "fibrous tissue", "fatty tissue", "scar tissue",
+	"keratin", "collagen", "uric acid crystals", "cholesterol", "plaque",
+	"protein clumps", "melanin", "dead skin cells", "sebum", "mucus", "pus",
+	"cyst fluid", "mineral salts",
+}
+
+var compositionModifiers = []string{"hardened", "excess", "abnormal", "thickened"}
+
+var diagnosisHeads = []string{
+	"blood test", "urine test", "skin biopsy", "biopsy", "ct scan",
+	"mri scan", "x-ray", "ultrasound", "endoscopy", "colonoscopy",
+	"physical examination", "hearing test", "vision test", "allergy test",
+	"genetic screening", "stool sample", "lumbar puncture",
+	"electrocardiogram", "blood pressure reading", "tissue culture",
+	"sputum test", "bone scan", "nerve conduction study",
+}
+
+var diagnosisModifiers = []string{"routine", "detailed", "follow-up", "specialized"}
+
+// medicinePrefixes and medicineSuffixes synthesize plausible drug names
+// ("amoxicillin", "ketozole", ...). Every synthesized name is registered in
+// the embedding space near the Medicine centroid and in the POS lexicon as a
+// noun.
+var medicinePrefixes = []string{
+	"amoxi", "metro", "predni", "ibu", "cetri", "dexa", "fluco", "keto",
+	"lisino", "ome", "panto", "rifa", "strepto", "tetra", "vanco", "cipro",
+	"azithro", "clinda", "doxy", "erythro", "genta", "hydro", "lora", "nysta",
+}
+
+var medicineSuffixes = []string{
+	"cillin", "mycin", "profen", "zole", "sone", "pril", "prazole",
+	"floxacin", "dryl", "statin", "vir", "cycline",
+}
+
+var medicinePhrases = []string{
+	"antibiotic ointment", "antifungal cream", "pain reliever",
+	"antihistamine tablets", "insulin", "steroid cream", "beta blockers",
+	"cough syrup", "antiviral tablets", "oral antibiotics", "eye drops",
+	"nasal spray",
+}
+
+var precautionHeads = []string{
+	"regular exercise", "balanced diet", "hand washing", "adequate sleep",
+	"vaccination", "sun protection", "protective equipment",
+	"clean drinking water", "stress management", "regular checkups",
+	"smoking cessation", "limited alcohol intake", "proper ventilation",
+	"mosquito nets", "safe food handling", "good posture", "weight control",
+	"gentle skin care",
+}
+
+var riskfactorHeads = []string{
+	"family history", "obesity", "smoking", "advanced age",
+	"weakened immune system", "diabetes", "high blood pressure",
+	"sedentary lifestyle", "poor nutrition", "excessive sun exposure",
+	"occupational exposure", "pregnancy", "hormonal changes",
+	"previous injury", "crowded living conditions", "chronic stress",
+	"genetic predisposition", "vitamin d deficiency", "frequent travel",
+}
+
+var surgeryHeads = []string{
+	"tumor removal", "organ transplant", "laser surgery", "bypass surgery",
+	"joint replacement", "skin graft", "laparoscopic procedure",
+	"appendectomy", "tonsillectomy", "corrective surgery",
+	"drainage procedure", "stent placement", "cochlear implant",
+	"radiosurgery", "microsurgical removal", "valve repair",
+	"keyhole surgery", "biopsy excision",
+}
+
+var symptomHeads = []string{
+	"fever", "fatigue", "headache", "nausea", "vomiting", "dizziness",
+	"chest pain", "shortness of breath", "persistent cough", "rash",
+	"itching", "swelling", "joint pain", "muscle weakness", "weight loss",
+	"night sweats", "chills", "sore throat", "runny nose", "abdominal pain",
+	"diarrhea", "constipation", "blurred vision", "tinnitus", "numbness",
+	"loss of appetite", "insomnia", "hoarseness", "stiffness", "tremors",
+	"pale skin", "excessive thirst",
+}
+
+var symptomModifiers = []string{
+	"mild", "severe", "persistent", "sudden", "intermittent", "chronic",
+	"occasional", "intense",
+}
+
+// realDiseases seed the subject-name pool with recognizable names.
+var realDiseases = []string{
+	"Acne", "Asthma", "Tuberculosis", "Malaria", "Measles", "Mumps",
+	"Influenza", "Pneumonia", "Bronchitis", "Hepatitis", "Cirrhosis",
+	"Diabetes", "Arthritis", "Osteoporosis", "Psoriasis", "Eczema",
+	"Dermatitis", "Conjunctivitis", "Glaucoma", "Cataracts", "Vertigo",
+	"Migraine", "Epilepsy", "Anemia", "Leukemia", "Lymphoma", "Melanoma",
+	"Gout", "Lupus", "Scoliosis", "Sciatica", "Tetanus", "Typhoid",
+	"Cholera", "Dengue", "Rabies", "Shingles", "Chickenpox", "Rubella",
+	"Scarlet Fever", "Whooping Cough", "Acoustic Neuroma", "Appendicitis",
+	"Tonsillitis", "Sinusitis", "Laryngitis", "Gastritis", "Colitis",
+	"Pancreatitis", "Nephritis", "Cystitis", "Meningioma", "Sarcoidosis",
+	"Endometriosis", "Fibromyalgia", "Hypothyroidism", "Hyperthyroidism",
+	"Hypertension", "Hypotension", "Tachycardia",
+}
+
+// Synthetic disease-name material: modifier + anatomy-adjective + pathology.
+var diseaseNameModifiers = []string{
+	"Chronic", "Acute", "Congenital", "Juvenile", "Adult-Onset", "Atypical",
+	"Primary", "Secondary", "Recurrent", "Idiopathic", "Seasonal",
+	"Hereditary", "Progressive", "Benign",
+}
+
+var diseaseNameAnatomies = []string{
+	"Renal", "Hepatic", "Cardiac", "Pulmonary", "Dermal", "Neural",
+	"Ocular", "Gastric", "Spinal", "Vascular", "Muscular", "Auditory",
+	"Nasal", "Oral", "Pancreatic", "Thyroid",
+}
+
+var diseaseNamePathologies = []string{
+	"Fibrosis", "Dystrophy", "Syndrome", "Atrophy", "Sclerosis",
+	"Stenosis", "Neuropathy", "Myopathy", "Dysplasia", "Edema",
+	"Necrosis", "Lesion Disorder", "Inflammation", "Deficiency",
+}
+
+// fillerSentences carry no entities; they pad documents like real prose.
+var diseaseFiller = []string{
+	"The outlook is generally good with early treatment.",
+	"Most people recover fully within a few weeks.",
+	"The condition affects people of all ages.",
+	"Early recognition makes management much easier.",
+	"Cases vary widely from person to person.",
+	"Researchers continue to study the underlying mechanisms.",
+	"Support groups can help patients cope with the condition.",
+	"A healthcare professional should be consulted promptly.",
+	"Hospital admission is rarely necessary.",
+	"The condition was first described more than a century ago.",
+	"Awareness campaigns have improved early reporting.",
+	"Follow-up visits are scheduled every few months.",
+}

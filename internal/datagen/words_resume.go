@@ -1,0 +1,159 @@
+package datagen
+
+// Curated word material for the Résumé domain (Table II: 12 concepts).
+
+var firstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+	"Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+	"Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen",
+	"Christopher", "Lisa", "Daniel", "Nancy", "Matthew", "Betty", "Anthony",
+	"Margaret", "Mark", "Sandra", "Priya", "Rahul", "Wei", "Mei", "Ahmed",
+	"Fatima", "Carlos", "Sofia", "Pierre", "Amelie", "Yuki", "Hiro",
+	"Olga", "Ivan", "Chioma", "Kwame", "Ingrid", "Lars", "Aisha", "Omar",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+	"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+	"Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+	"Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+	"Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+	"Carter", "Roberts", "Khan", "Patel", "Chen", "Kumar", "Ali", "Silva",
+}
+
+var awardHeads = []string{
+	"employee of the month", "best paper award", "hackathon winner",
+	"innovation award", "excellence award", "star performer award",
+	"leadership award", "top seller award", "customer service award",
+	"rising star award", "chairman's club award", "quality champion award",
+	"team spirit award", "mentor of the year", "founders award",
+	"spot bonus award", "engineering excellence award",
+}
+
+var certVendors = []string{
+	"aws", "google cloud", "microsoft azure", "cisco", "oracle", "salesforce",
+	"pmi", "scrum alliance", "comptia", "red hat", "vmware", "six sigma",
+}
+
+var certTypes = []string{
+	"certified solutions architect", "certified developer",
+	"certified administrator", "professional certification",
+	"associate certification", "security certification",
+	"networking certification", "data engineer certification",
+	"project management certification", "master certification",
+}
+
+var degreeTypes = []string{
+	"bachelor of science", "bachelor of arts", "bachelor of engineering",
+	"master of science", "master of arts", "master of engineering",
+	"master of business administration", "doctorate", "phd", "diploma",
+	"associate degree",
+}
+
+var degreeFields = []string{
+	"computer science", "electrical engineering", "mechanical engineering",
+	"information technology", "data science", "business administration",
+	"economics", "mathematics", "physics", "chemistry", "biology",
+	"psychology", "marketing", "finance", "accounting", "graphic design",
+	"civil engineering", "statistics", "linguistics", "philosophy",
+}
+
+var universityStems = []string{
+	"Stanford", "Harvard", "Princeton", "Columbia", "Cornell", "Oxford",
+	"Cambridge", "Toronto", "Melbourne", "Auckland", "Heidelberg",
+	"Uppsala", "Bologna", "Salamanca", "Coimbra", "Leiden", "Geneva",
+	"Vienna", "Prague", "Warsaw", "Lisbon", "Dublin", "Edinburgh",
+	"Glasgow", "Manchester", "Bristol", "Helsinki", "Copenhagen", "Zurich",
+	"Barcelona", "Madrid", "Lyon", "Grenoble", "Munich", "Hamburg", "Kyoto",
+	"Osaka", "Seoul", "Taipei", "Singapore", "Delhi", "Mumbai", "Dhaka",
+	"Cairo", "Nairobi", "Lagos", "Monterrey", "Bogota", "Santiago",
+}
+
+var collegeStems = []string{
+	"St Xavier", "St Mary", "Riverside", "Lakeshore", "Hillcrest",
+	"Oakwood", "Maplewood", "Northgate", "Southridge", "Eastfield",
+	"Westbrook", "Kingsway", "Queensland", "Victoria", "Trinity",
+	"Wellington", "Sunrise", "Greenfield", "Silverlake", "Brookstone",
+}
+
+var languages = []string{
+	"english", "spanish", "french", "german", "mandarin", "hindi",
+	"bengali", "arabic", "portuguese", "russian", "japanese", "italian",
+	"dutch", "korean", "turkish", "swedish", "polish", "greek", "urdu",
+	"tamil", "vietnamese", "thai", "hebrew", "finnish", "norwegian",
+	"danish", "czech", "hungarian", "romanian", "ukrainian", "swahili",
+	"catalan",
+}
+
+var cities = []string{
+	"new york", "london", "barcelona", "berlin", "paris", "tokyo",
+	"san francisco", "seattle", "austin", "chicago", "boston", "toronto",
+	"vancouver", "sydney", "melbourne", "singapore", "dubai", "mumbai",
+	"bangalore", "dhaka", "amsterdam", "stockholm", "zurich", "dublin",
+	"lisbon", "madrid", "milan", "munich", "prague", "warsaw", "brussels",
+	"copenhagen", "oslo", "helsinki", "vienna", "athens", "istanbul",
+	"seoul", "shanghai", "beijing", "hong kong", "sao paulo",
+	"mexico city", "buenos aires", "cape town", "nairobi", "cairo",
+}
+
+var roleSeniorities = []string{
+	"senior", "junior", "lead", "principal", "associate", "staff", "chief",
+	"assistant", "head",
+}
+
+var roleHeads = []string{
+	"software engineer", "data analyst", "project manager", "data scientist",
+	"product manager", "web developer", "systems administrator",
+	"network engineer", "database administrator", "business analyst",
+	"qa engineer", "devops engineer", "ux designer", "graphic designer",
+	"marketing specialist", "sales executive", "financial analyst",
+	"hr manager", "operations manager", "technical writer",
+	"security analyst", "machine learning engineer", "mobile developer",
+	"research scientist", "accountant", "consultant", "customer support specialist",
+}
+
+var skillHeads = []string{
+	"python", "java", "javascript", "typescript", "golang", "rust", "sql",
+	"nosql", "machine learning", "deep learning", "data visualization",
+	"statistical analysis", "cloud computing", "docker", "kubernetes",
+	"react", "angular", "django", "spring boot", "excel", "tableau",
+	"power bi", "git", "linux", "agile methodology", "scrum", "leadership",
+	"public speaking", "negotiation", "team management", "copywriting",
+	"seo", "photoshop", "figma", "autocad", "salesforce crm",
+	"financial modeling", "risk assessment", "etl pipelines",
+	"natural language processing",
+}
+
+var companyStems = []string{
+	"Acme", "Globex", "Initech", "Umbrella", "Vertex", "Quantum", "Nimbus",
+	"Apex", "Zenith", "Orion", "Polaris", "Vega", "Atlas", "Titan",
+	"Nova", "Pulsar", "Horizon", "Summit", "Cascade", "Meridian",
+	"Beacon", "Catalyst", "Momentum", "Synergy", "Fusion", "Vortex",
+	"Crystal", "Ember", "Granite", "Harbor",
+}
+
+var companySuffixes = []string{
+	"Technologies", "Systems", "Solutions", "Labs", "Software", "Analytics",
+	"Consulting", "Dynamics", "Industries", "Networks", "Digital", "Group",
+}
+
+var resumeFiller = []string{
+	"References from previous employers are available upon request at any time.",
+	"The candidate is open to relocation and willing to travel for the right position.",
+	"Strong communication abilities were noted repeatedly by previous employers and clients alike.",
+	"The attached portfolio showcases a broad range of completed projects from recent years.",
+	"Remote collaboration across multiple time zones has been part of every recent role.",
+	"Performance reviews over the last several evaluation cycles were consistently positive.",
+	"The candidate enjoys mentoring younger colleagues and organizing internal study groups.",
+	"Volunteer work includes several community initiatives organized over the past few years.",
+	"Continuous learning remains a personal priority alongside regular conference attendance.",
+	"The profile was last updated recently and reflects the current employment status.",
+	"Day to day responsibilities covered planning, estimation, delivery and stakeholder reporting.",
+	"The candidate contributed to internal documentation and onboarding material throughout each engagement.",
+	"Hobbies include long distance running, chess and contributing to open source projects.",
+	"Salary expectations and notice period details can be discussed during the interview.",
+	"Availability for an initial conversation is generally good on weekday afternoons.",
+	"Past teams describe a dependable colleague with a calm approach under pressure.",
+}

@@ -1,0 +1,283 @@
+package dep
+
+import (
+	"strings"
+	"testing"
+
+	"thor/internal/pos"
+	"thor/internal/text"
+)
+
+func parse(t *testing.T, s string) *Tree {
+	t.Helper()
+	sents := text.SplitSentences(s)
+	if len(sents) != 1 {
+		t.Fatalf("expected 1 sentence from %q", s)
+	}
+	return Parse(pos.New().Tag(sents[0]))
+}
+
+func nodeByText(t *testing.T, tr *Tree, w string) Node {
+	t.Helper()
+	for _, n := range tr.Nodes {
+		if n.Lower == w {
+			return n
+		}
+	}
+	t.Fatalf("token %q not found in %v", w, tr.Nodes)
+	return Node{}
+}
+
+// The paper's Fig. 3: 'Tuberculosis generally damages the lungs'.
+func TestParseRunningExample(t *testing.T) {
+	tr := parse(t, "Tuberculosis generally damages the lungs.")
+
+	damages := nodeByText(t, tr, "damages")
+	if damages.Rel != RelRoot || damages.Head != -1 {
+		t.Fatalf("root should be 'damages': %+v", damages)
+	}
+	if n := nodeByText(t, tr, "tuberculosis"); n.Rel != RelNsubj || tr.Nodes[n.Head].Lower != "damages" {
+		t.Errorf("tuberculosis: %s -> %v, want nsubj -> damages", n.Rel, n.Head)
+	}
+	if n := nodeByText(t, tr, "lungs"); n.Rel != RelObj || tr.Nodes[n.Head].Lower != "damages" {
+		t.Errorf("lungs: %s, want obj of damages", n.Rel)
+	}
+	if n := nodeByText(t, tr, "the"); n.Rel != RelDet || tr.Nodes[n.Head].Lower != "lungs" {
+		t.Errorf("the: %s -> ?, want det -> lungs", n.Rel)
+	}
+	if n := nodeByText(t, tr, "generally"); n.Rel != RelAdvmod {
+		t.Errorf("generally: %s, want advmod", n.Rel)
+	}
+}
+
+func TestParseCompoundNoun(t *testing.T) {
+	tr := parse(t, "The brain tumor grows slowly.")
+	brain := nodeByText(t, tr, "brain")
+	if brain.Rel != RelCompound || tr.Nodes[brain.Head].Lower != "tumor" {
+		t.Errorf("brain: rel=%s head=%d, want compound -> tumor", brain.Rel, brain.Head)
+	}
+	tumor := nodeByText(t, tr, "tumor")
+	if tumor.Rel != RelNsubj {
+		t.Errorf("tumor: %s, want nsubj", tumor.Rel)
+	}
+}
+
+func TestParseAdjectiveModifier(t *testing.T) {
+	tr := parse(t, "A severe infection damages the inner ear.")
+	severe := nodeByText(t, tr, "severe")
+	if severe.Rel != RelAmod || tr.Nodes[severe.Head].Lower != "infection" {
+		t.Errorf("severe: rel=%s, want amod -> infection", severe.Rel)
+	}
+	inner := nodeByText(t, tr, "inner")
+	if inner.Rel != RelAmod || tr.Nodes[inner.Head].Lower != "ear" {
+		t.Errorf("inner: rel=%s head=%q, want amod -> ear", inner.Rel, tr.Nodes[inner.Head].Lower)
+	}
+}
+
+func TestParsePrepositionalPhrase(t *testing.T) {
+	tr := parse(t, "It develops on the main nerve.")
+	on := nodeByText(t, tr, "on")
+	if on.Rel != RelPrep || tr.Nodes[on.Head].Lower != "develops" {
+		t.Errorf("on: rel=%s head=%q, want prep -> develops", on.Rel, tr.Nodes[on.Head].Lower)
+	}
+	nerve := nodeByText(t, tr, "nerve")
+	if nerve.Rel != RelPobj || tr.Nodes[nerve.Head].Lower != "on" {
+		t.Errorf("nerve: rel=%s, want pobj -> on", nerve.Rel)
+	}
+}
+
+func TestParseCoordination(t *testing.T) {
+	tr := parse(t, "Symptoms include fever and headache.")
+	and := nodeByText(t, tr, "and")
+	if and.Rel != RelCc {
+		t.Errorf("and: %s, want cc", and.Rel)
+	}
+	headache := nodeByText(t, tr, "headache")
+	if headache.Rel != RelConj || tr.Nodes[headache.Head].Lower != "fever" {
+		t.Errorf("headache: rel=%s head=%q, want conj -> fever", headache.Rel, tr.Nodes[headache.Head].Lower)
+	}
+}
+
+func TestParseAuxiliary(t *testing.T) {
+	tr := parse(t, "The patient has developed symptoms.")
+	has := nodeByText(t, tr, "has")
+	if has.Rel != RelAux {
+		t.Errorf("has: %s, want aux", has.Rel)
+	}
+	if root := tr.Nodes[tr.Root()]; root.Lower != "developed" {
+		t.Errorf("root = %q, want developed", root.Lower)
+	}
+}
+
+func TestParseVerblessFragment(t *testing.T) {
+	// Noun-phrase-only input: the head of the first nominal run roots the
+	// tree and parsing must not fail.
+	tr := parse(t, "A slow-growing non-cancerous brain tumor")
+	root := tr.Nodes[tr.Root()]
+	if root.Lower != "tumor" {
+		t.Errorf("fragment root = %q, want tumor", root.Lower)
+	}
+}
+
+func TestParseEmptyAndSingle(t *testing.T) {
+	tr := Parse(nil)
+	if tr.Root() != -1 || len(tr.Nodes) != 0 {
+		t.Errorf("empty parse: root=%d nodes=%d", tr.Root(), len(tr.Nodes))
+	}
+	tr2 := parse(t, "Tuberculosis")
+	if tr2.Root() != 0 {
+		t.Errorf("single-token root = %d", tr2.Root())
+	}
+}
+
+func TestSubtreeSpans(t *testing.T) {
+	tr := parse(t, "Tuberculosis generally damages the lungs.")
+	lungs := nodeByText(t, tr, "lungs")
+	sub := tr.Subtree(lungs.Index)
+	if len(sub) != 2 { // "the lungs"
+		t.Fatalf("subtree(lungs) = %v", sub)
+	}
+	if tr.Nodes[sub[0]].Lower != "the" || tr.Nodes[sub[1]].Lower != "lungs" {
+		t.Errorf("subtree order wrong: %v", sub)
+	}
+}
+
+// Every parse must be a tree: exactly one root, all heads in range, no
+// self-loops, and no cycles.
+func TestParseTreeInvariants(t *testing.T) {
+	sentences := []string{
+		"Tuberculosis generally damages the lungs.",
+		"An acoustic neuroma is a slow-growing non-cancerous brain tumor.",
+		"It develops on the main nerve leading from the inner ear to the brain.",
+		"Complications may include hearing loss and unsteadiness.",
+		"Alice worked as a senior software engineer at Acme for 5 years.",
+		"She holds a degree in computer science from Stanford University.",
+		"and or but", "the the the", "!!!", "word",
+	}
+	for _, s := range sentences {
+		sents := text.SplitSentences(s)
+		if len(sents) == 0 {
+			continue
+		}
+		tr := Parse(pos.New().Tag(sents[0]))
+		checkTree(t, tr, s)
+	}
+}
+
+func checkTree(t *testing.T, tr *Tree, src string) {
+	t.Helper()
+	n := len(tr.Nodes)
+	if n == 0 {
+		return
+	}
+	roots := 0
+	for i, nd := range tr.Nodes {
+		if nd.Head == -1 {
+			roots++
+			if nd.Rel != RelRoot {
+				t.Errorf("%q: headless node %d has rel %s", src, i, nd.Rel)
+			}
+			continue
+		}
+		if nd.Head < 0 || nd.Head >= n || nd.Head == i {
+			t.Errorf("%q: node %d has invalid head %d", src, i, nd.Head)
+		}
+	}
+	if roots != 1 {
+		t.Errorf("%q: %d roots, want 1\n%s", src, roots, tr)
+	}
+	// Cycle check: walking heads from any node must reach the root.
+	for i := range tr.Nodes {
+		seen := map[int]bool{}
+		j := i
+		for j != -1 {
+			if seen[j] {
+				t.Fatalf("%q: cycle through node %d\n%s", src, i, tr)
+			}
+			seen[j] = true
+			j = tr.Nodes[j].Head
+		}
+	}
+}
+
+func TestParsePassiveVoice(t *testing.T) {
+	// "is caused by X": the copula roots the clause (no lexical verb before
+	// it), and the agent attaches through the preposition chain.
+	tr := parse(t, "The condition is caused by a bacterial infection.")
+	by := nodeByText(t, tr, "by")
+	if by.Rel != RelPrep {
+		t.Errorf("by: rel=%s, want prep", by.Rel)
+	}
+	infection := nodeByText(t, tr, "infection")
+	if infection.Rel != RelPobj || tr.Nodes[infection.Head].Lower != "by" {
+		t.Errorf("infection: rel=%s, want pobj of by", infection.Rel)
+	}
+	condition := nodeByText(t, tr, "condition")
+	if condition.Rel != RelNsubj {
+		t.Errorf("condition: rel=%s, want nsubj", condition.Rel)
+	}
+}
+
+func TestParseCoordinationChain(t *testing.T) {
+	tr := parse(t, "Symptoms include fever, chills and fatigue.")
+	fever := nodeByText(t, tr, "fever")
+	if fever.Rel != RelObj {
+		t.Errorf("fever: rel=%s, want obj", fever.Rel)
+	}
+	// Each later conjunct must attach leftward into the coordination.
+	for _, w := range []string{"chills", "fatigue"} {
+		n := nodeByText(t, tr, w)
+		if n.Head < 0 || n.Head >= n.Index {
+			t.Errorf("%s: head=%d, want an earlier node", w, n.Head)
+		}
+	}
+}
+
+func TestParseNumbersAsModifiers(t *testing.T) {
+	tr := parse(t, "She has 5 years of experience.")
+	five := nodeByText(t, tr, "5")
+	if five.Rel != RelNummod || tr.Nodes[five.Head].Lower != "years" {
+		t.Errorf("5: rel=%s head=%q, want nummod -> years", five.Rel, tr.Nodes[five.Head].Lower)
+	}
+}
+
+func TestParseNestedPrepositions(t *testing.T) {
+	tr := parse(t, "Alice worked at a laboratory in Barcelona for a decade.")
+	for _, prep := range []string{"at", "in", "for"} {
+		n := nodeByText(t, tr, prep)
+		if n.Rel != RelPrep {
+			t.Errorf("%s: rel=%s, want prep", prep, n.Rel)
+		}
+	}
+	barcelona := nodeByText(t, tr, "barcelona")
+	if barcelona.Rel != RelPobj {
+		t.Errorf("barcelona: rel=%s, want pobj", barcelona.Rel)
+	}
+}
+
+func TestParseDeterminerOnlyNoCrash(t *testing.T) {
+	tr := parse(t, "The the a an.")
+	checkTree(t, tr, "determiner soup")
+}
+
+func TestParseSubtreeOfRootCoversSentence(t *testing.T) {
+	tr := parse(t, "Tuberculosis generally damages the lungs.")
+	sub := tr.Subtree(tr.Root())
+	if len(sub) != len(tr.Nodes) {
+		t.Errorf("root subtree covers %d of %d nodes", len(sub), len(tr.Nodes))
+	}
+	// Surface order.
+	for i := 1; i < len(sub); i++ {
+		if sub[i] <= sub[i-1] {
+			t.Errorf("subtree not in surface order: %v", sub)
+		}
+	}
+}
+
+func TestTreeStringRendering(t *testing.T) {
+	tr := parse(t, "Acne causes spots.")
+	s := tr.String()
+	if !strings.Contains(s, "-root->") || !strings.Contains(s, "ROOT") {
+		t.Errorf("String() = %q", s)
+	}
+}

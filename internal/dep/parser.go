@@ -1,0 +1,354 @@
+// Package dep implements a deterministic rule-based dependency parser over
+// part-of-speech-tagged sentences.
+//
+// It stands in for spaCy's statistical parser in the original THOR system.
+// THOR consumes the parse only to (a) extract noun phrases — subtrees rooted
+// at a NOUN/PROPN/PRON with leading modifiers — and (b) expose
+// subject-verb-object structure (nsubj/obj thematic roles, Fig. 3 of the
+// paper). The head-finding rules below recover exactly those relations for
+// declarative English prose.
+package dep
+
+import (
+	"fmt"
+	"strings"
+
+	"thor/internal/pos"
+)
+
+// Relation names follow Universal Dependencies.
+const (
+	RelRoot     = "root"
+	RelNsubj    = "nsubj"
+	RelObj      = "obj"
+	RelDet      = "det"
+	RelAmod     = "amod"
+	RelNummod   = "nummod"
+	RelCompound = "compound"
+	RelPrep     = "prep"
+	RelPobj     = "pobj"
+	RelAux      = "aux"
+	RelAdvmod   = "advmod"
+	RelCc       = "cc"
+	RelConj     = "conj"
+	RelPunct    = "punct"
+	RelDep      = "dep"
+)
+
+// Node is one token in the dependency tree.
+type Node struct {
+	pos.TaggedToken
+	// Index is the node's position in the sentence.
+	Index int
+	// Head is the index of the governing node, or -1 for the root.
+	Head int
+	// Rel is the dependency relation to the head.
+	Rel string
+}
+
+// Tree is a parsed sentence: nodes in surface order plus a child index.
+type Tree struct {
+	Nodes    []Node
+	children [][]int
+	root     int
+}
+
+// Root returns the index of the root node, or -1 for an empty tree.
+func (t *Tree) Root() int { return t.root }
+
+// Children returns the indices of the direct dependents of node i, in
+// surface order.
+func (t *Tree) Children(i int) []int { return t.children[i] }
+
+// Subtree returns the indices of node i and all its descendants, in surface
+// order.
+func (t *Tree) Subtree(i int) []int {
+	var out []int
+	var walk func(int)
+	walk = func(j int) {
+		out = append(out, j)
+		for _, c := range t.children[j] {
+			walk(c)
+		}
+	}
+	walk(i)
+	// The walk is pre-order over an ordered child index; sort by surface
+	// position for a stable span.
+	for a := 1; a < len(out); a++ {
+		for b := a; b > 0 && out[b] < out[b-1]; b-- {
+			out[b], out[b-1] = out[b-1], out[b]
+		}
+	}
+	return out
+}
+
+// String renders the tree one relation per line, for debugging and tests.
+func (t *Tree) String() string {
+	var b strings.Builder
+	for _, n := range t.Nodes {
+		head := "ROOT"
+		if n.Head >= 0 {
+			head = t.Nodes[n.Head].Text
+		}
+		fmt.Fprintf(&b, "%s -%s-> %s\n", n.Text, n.Rel, head)
+	}
+	return b.String()
+}
+
+// Parse builds a dependency tree for a tagged sentence. Parsing never fails:
+// unattachable tokens fall back to the root with relation "dep".
+func Parse(tagged []pos.TaggedToken) *Tree {
+	n := len(tagged)
+	t := &Tree{Nodes: make([]Node, n), children: make([][]int, n), root: -1}
+	for i, tok := range tagged {
+		t.Nodes[i] = Node{TaggedToken: tok, Index: i, Head: -1, Rel: RelDep}
+	}
+	if n == 0 {
+		return t
+	}
+
+	root := findRoot(t.Nodes)
+	t.root = root
+	t.Nodes[root].Rel = RelRoot
+
+	// Pass 1: nominal-run heads. A nominal run is a maximal sequence of
+	// NOUN/PROPN (optionally mixed with PRON); its head is the final token
+	// and earlier nominals attach as compounds ("brain tumor" → brain
+	// -compound-> tumor).
+	runHead := make([]int, n) // runHead[i] = head index of the run containing i, or -1
+	for i := range runHead {
+		runHead[i] = -1
+	}
+	for i := 0; i < n; {
+		if !t.Nodes[i].Tag.IsNominal() {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < n && t.Nodes[j+1].Tag.IsNominal() {
+			j++
+		}
+		for k := i; k <= j; k++ {
+			runHead[k] = j
+			if k != j {
+				attach(t, k, j, RelCompound)
+			}
+		}
+		i = j + 1
+	}
+
+	// Pass 2: pre-nominal modifiers attach to the head of the next nominal
+	// run to the right.
+	for i := 0; i < n; i++ {
+		node := t.Nodes[i]
+		if !node.Tag.IsModifier() {
+			continue
+		}
+		if h := nextRunHead(t, runHead, i); h >= 0 {
+			switch node.Tag {
+			case pos.DET:
+				attach(t, i, h, RelDet)
+			case pos.NUM:
+				attach(t, i, h, RelNummod)
+			default:
+				attach(t, i, h, RelAmod)
+			}
+		}
+	}
+
+	// Pass 3: clause structure around the root.
+	for i := 0; i < n; i++ {
+		node := &t.Nodes[i]
+		if i == root || node.Head >= 0 {
+			continue
+		}
+		switch node.Tag {
+		case pos.AUX:
+			attach(t, i, root, RelAux)
+		case pos.ADV:
+			attach(t, i, nearestVerb(t.Nodes, i, root), RelAdvmod)
+		case pos.PUNCT:
+			attach(t, i, root, RelPunct)
+		}
+	}
+
+	// Pass 4: subject = head of last nominal run before the root;
+	// object = head of first nominal run after the root that is not
+	// governed by a preposition or conjunction.
+	if subj := lastRunHeadBefore(t, runHead, root); subj >= 0 {
+		attach(t, subj, root, RelNsubj)
+	}
+	assignObjectsAndPreps(t, runHead, root)
+
+	// Pass 5: coordination. "X and Y": cc attaches to the following
+	// conjunct; the conjunct attaches to the preceding attached nominal.
+	for i := 0; i < n; i++ {
+		if t.Nodes[i].Tag != pos.CCONJ {
+			continue
+		}
+		next := nextRunHead(t, runHead, i)
+		prev := prevAttachedRunHead(t, runHead, i)
+		if next >= 0 && prev >= 0 && t.Nodes[next].Head < 0 {
+			attach(t, next, prev, RelConj)
+		}
+		if next >= 0 {
+			attach(t, i, next, RelCc)
+		} else if prev >= 0 {
+			attach(t, i, prev, RelCc)
+		}
+	}
+
+	// Fallback: anything still unattached hangs off the root.
+	for i := 0; i < n; i++ {
+		if i != root && t.Nodes[i].Head < 0 {
+			attach(t, i, root, RelDep)
+		}
+	}
+
+	rebuildChildren(t)
+	return t
+}
+
+// findRoot picks the sentence root: the first lexical verb, else the first
+// auxiliary, else the head of the first nominal run, else token 0.
+func findRoot(nodes []Node) int {
+	for i, n := range nodes {
+		if n.Tag == pos.VERB {
+			return i
+		}
+	}
+	for i, n := range nodes {
+		if n.Tag == pos.AUX {
+			return i
+		}
+	}
+	last := -1
+	for i, n := range nodes {
+		if n.Tag.IsNominal() {
+			last = i
+			if i+1 >= len(nodes) || !nodes[i+1].Tag.IsNominal() {
+				return last
+			}
+		}
+	}
+	if last >= 0 {
+		return last
+	}
+	return 0
+}
+
+func attach(t *Tree, child, head int, rel string) {
+	if child == head || head < 0 {
+		return
+	}
+	if t.Nodes[child].Head >= 0 {
+		return // first attachment wins; rules are ordered by precedence
+	}
+	if t.Nodes[child].Rel == RelRoot {
+		return
+	}
+	t.Nodes[child].Head = head
+	t.Nodes[child].Rel = rel
+}
+
+// nextRunHead scans right from i for the head of the next nominal run,
+// crossing only other pre-nominal modifiers ("a slow-growing non-cancerous
+// brain tumor": every modifier reaches "tumor").
+func nextRunHead(t *Tree, runHead []int, i int) int {
+	for j := i + 1; j < len(runHead); j++ {
+		if runHead[j] >= 0 {
+			return runHead[j]
+		}
+		if !t.Nodes[j].Tag.IsModifier() {
+			return -1
+		}
+	}
+	return -1
+}
+
+func lastRunHeadBefore(t *Tree, runHead []int, root int) int {
+	for j := root - 1; j >= 0; j-- {
+		if runHead[j] >= 0 && runHead[j] < root && t.Nodes[runHead[j]].Head < 0 {
+			return runHead[j]
+		}
+	}
+	return -1
+}
+
+func prevAttachedRunHead(t *Tree, runHead []int, i int) int {
+	for j := i - 1; j >= 0; j-- {
+		if runHead[j] >= 0 && runHead[j] <= j {
+			return runHead[j]
+		}
+	}
+	return -1
+}
+
+func nearestVerb(nodes []Node, i, root int) int {
+	for j := i + 1; j < len(nodes); j++ {
+		if nodes[j].Tag == pos.VERB || nodes[j].Tag == pos.AUX {
+			return j
+		}
+	}
+	for j := i - 1; j >= 0; j-- {
+		if nodes[j].Tag == pos.VERB || nodes[j].Tag == pos.AUX {
+			return j
+		}
+	}
+	return root
+}
+
+// assignObjectsAndPreps walks right of each verb attaching prepositions,
+// their objects (pobj) and direct objects (obj).
+func assignObjectsAndPreps(t *Tree, runHead []int, root int) {
+	n := len(t.Nodes)
+	// Attach every ADP to the nearest preceding verb or nominal head; its
+	// following nominal run head becomes pobj of the ADP.
+	for i := 0; i < n; i++ {
+		if t.Nodes[i].Tag != pos.ADP {
+			continue
+		}
+		gov := root
+		for j := i - 1; j >= 0; j-- {
+			tag := t.Nodes[j].Tag
+			if tag == pos.VERB || tag == pos.AUX || (runHead[j] == j) {
+				gov = j
+				break
+			}
+		}
+		attach(t, i, gov, RelPrep)
+		if h := nextRunHead(t, runHead, i); h >= 0 {
+			attach(t, h, i, RelPobj)
+		} else {
+			// Preposition followed by modifiers then a nominal
+			// ("of the inner ear"): scan forward to the first run head.
+			for j := i + 1; j < n; j++ {
+				if runHead[j] >= 0 {
+					attach(t, runHead[j], i, RelPobj)
+					break
+				}
+				if !t.Nodes[j].Tag.IsModifier() && t.Nodes[j].Tag != pos.ADV {
+					break
+				}
+			}
+		}
+	}
+	// Direct object: first unattached nominal run head right of the root.
+	for j := root + 1; j < n; j++ {
+		if runHead[j] == j && t.Nodes[j].Head < 0 {
+			attach(t, j, root, RelObj)
+			break
+		}
+	}
+}
+
+func rebuildChildren(t *Tree) {
+	for i := range t.children {
+		t.children[i] = nil
+	}
+	for i, n := range t.Nodes {
+		if n.Head >= 0 {
+			t.children[n.Head] = append(t.children[n.Head], i)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// splitmix64 is a tiny, high-quality PRNG used to expand a 64-bit seed into a
+// deterministic stream of pseudo-random words. It avoids math/rand so hash
+// vectors stay stable across Go releases.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// gauss returns an approximately standard-normal sample via the sum of
+// uniform variates (Irwin–Hall with n=4, rescaled). Adequate for placing
+// vectors isotropically.
+func (s *splitmix64) gauss() float64 {
+	const inv = 1.0 / (1 << 63)
+	sum := 0.0
+	for i := 0; i < 4; i++ {
+		sum += float64(int64(s.next())) * inv // uniform in (-1, 1)
+	}
+	return sum * math.Sqrt(3.0/4.0)
+}
+
+// HashVector deterministically maps an arbitrary string to a unit vector.
+// Equal strings always map to equal vectors; distinct strings map to nearly
+// orthogonal vectors in expectation.
+func HashVector(s string) Vector {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	rng := splitmix64(h.Sum64())
+	var v Vector
+	for i := range v {
+		v[i] = float32(rng.gauss())
+	}
+	return v.Normalize()
+}
+
+// SubwordVector maps a word to the normalized sum of hash vectors of its
+// character n-grams (n = 3..5, fastText-style, with boundary markers). Words
+// sharing morphology ("cancer", "cancerous") therefore share most of their
+// n-grams and end up nearby, which is what gives the matcher out-of-
+// vocabulary generalization.
+func SubwordVector(word string) Vector {
+	if word == "" {
+		return Vector{}
+	}
+	padded := "<" + word + ">"
+	runes := []rune(padded)
+	var sum Vector
+	count := 0
+	for n := 3; n <= 5; n++ {
+		if len(runes) < n {
+			break
+		}
+		for i := 0; i+n <= len(runes); i++ {
+			sum = sum.Add(HashVector(string(runes[i : i+n])))
+			count++
+		}
+	}
+	if count == 0 {
+		return HashVector(word)
+	}
+	return sum.Normalize()
+}

@@ -1,0 +1,101 @@
+package embed
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The on-disk vector format: a magic header, the dimensionality, the word
+// count, then length-prefixed UTF-8 words each followed by Dim little-endian
+// float32 components. The format is versioned through the magic string.
+const vectorMagic = "THORVEC1"
+
+// WriteTo serializes the space. Words are written in sorted order so equal
+// spaces produce byte-identical files.
+func (s *Space) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.WriteString(vectorMagic)); err != nil {
+		return n, err
+	}
+	var header [8]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(Dim))
+	binary.LittleEndian.PutUint32(header[4:8], uint32(len(s.vecs)))
+	if err := count(bw.Write(header[:])); err != nil {
+		return n, err
+	}
+	var buf [4]byte
+	for _, word := range s.Words() {
+		binary.LittleEndian.PutUint32(buf[:], uint32(len(word)))
+		if err := count(bw.Write(buf[:])); err != nil {
+			return n, err
+		}
+		if err := count(bw.WriteString(word)); err != nil {
+			return n, err
+		}
+		vec := s.vecs[word]
+		for _, x := range vec {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(x))
+			if err := count(bw.Write(buf[:])); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadSpace parses a space previously produced by WriteTo.
+func ReadSpace(r io.Reader) (*Space, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(vectorMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("embed: read magic: %w", err)
+	}
+	if string(magic) != vectorMagic {
+		return nil, fmt.Errorf("embed: not a %s file (got %q)", vectorMagic, magic)
+	}
+	var header [8]byte
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		return nil, fmt.Errorf("embed: read header: %w", err)
+	}
+	dim := binary.LittleEndian.Uint32(header[0:4])
+	if dim != Dim {
+		return nil, fmt.Errorf("embed: file has dimension %d, this build uses %d", dim, Dim)
+	}
+	total := binary.LittleEndian.Uint32(header[4:8])
+	const maxWords = 1 << 24
+	if total > maxWords {
+		return nil, fmt.Errorf("embed: implausible word count %d", total)
+	}
+	s := NewSpace()
+	var buf [4]byte
+	for i := uint32(0); i < total; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("embed: word %d length: %w", i, err)
+		}
+		wlen := binary.LittleEndian.Uint32(buf[:])
+		if wlen == 0 || wlen > 1<<12 {
+			return nil, fmt.Errorf("embed: word %d has implausible length %d", i, wlen)
+		}
+		word := make([]byte, wlen)
+		if _, err := io.ReadFull(br, word); err != nil {
+			return nil, fmt.Errorf("embed: word %d bytes: %w", i, err)
+		}
+		var vec Vector
+		for d := 0; d < Dim; d++ {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, fmt.Errorf("embed: word %q component %d: %w", word, d, err)
+			}
+			vec[d] = math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
+		}
+		s.vecs[string(word)] = vec
+	}
+	return s, nil
+}

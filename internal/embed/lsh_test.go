@@ -1,0 +1,121 @@
+package embed
+
+import (
+	"fmt"
+	"testing"
+)
+
+// clusteredSpace builds a vocabulary of tight clusters plus background
+// noise, the geometry the matcher queries.
+func clusteredSpace(clusters, perCluster, noise int) *Space {
+	s := NewSpace()
+	for c := 0; c < clusters; c++ {
+		centroid := HashVector(fmt.Sprintf("lsh-test-centroid-%d", c))
+		for i := 0; i < perCluster; i++ {
+			w := fmt.Sprintf("c%dw%d", c, i)
+			s.Add(w, Blend(centroid, HashVector("n:"+w), 0.8))
+		}
+	}
+	for i := 0; i < noise; i++ {
+		w := fmt.Sprintf("noise%d", i)
+		s.Add(w, HashVector(w))
+	}
+	return s
+}
+
+func TestLSHRecallAtMatcherThresholds(t *testing.T) {
+	s := clusteredSpace(8, 40, 400)
+	idx := NewLSHIndex(s, 0, 0)
+	query := s.Lookup("c3w0")
+	for _, tau := range []float64{0.5, 0.7, 0.9} {
+		exact := s.Neighbors(query, tau)
+		approx := idx.Neighbors(query, tau)
+		if len(exact) == 0 {
+			t.Fatalf("tau=%v: exact search found nothing; bad fixture", tau)
+		}
+		// The approximate result must be a subset of the exact one...
+		exactSet := map[string]bool{}
+		for _, n := range exact {
+			exactSet[n.Word] = true
+		}
+		for _, n := range approx {
+			if !exactSet[n.Word] {
+				t.Errorf("tau=%v: LSH returned non-neighbor %q", tau, n.Word)
+			}
+		}
+		// ...and recover nearly all of it at these thresholds.
+		recall := float64(len(approx)) / float64(len(exact))
+		if recall < 0.9 {
+			t.Errorf("tau=%v: LSH recall = %.2f (%d/%d)", tau, recall, len(approx), len(exact))
+		}
+	}
+}
+
+func TestLSHPrunesCandidates(t *testing.T) {
+	s := clusteredSpace(8, 40, 800)
+	idx := NewLSHIndex(s, 0, 0)
+	query := s.Lookup("c0w0")
+	cands := idx.Candidates(query)
+	if cands >= s.Len() {
+		t.Errorf("LSH scored %d of %d entries — no pruning", cands, s.Len())
+	}
+	if cands == 0 {
+		t.Error("LSH scored nothing; query's own cluster lost")
+	}
+}
+
+func TestLSHDeterministic(t *testing.T) {
+	s := clusteredSpace(4, 20, 100)
+	a := NewLSHIndex(s, 10, 16)
+	b := NewLSHIndex(s, 10, 16)
+	q := s.Lookup("c1w1")
+	na, nb := a.Neighbors(q, 0.5), b.Neighbors(q, 0.5)
+	if len(na) != len(nb) {
+		t.Fatalf("nondeterministic index: %d vs %d", len(na), len(nb))
+	}
+	for i := range na {
+		if na[i] != nb[i] {
+			t.Errorf("neighbor %d differs: %v vs %v", i, na[i], nb[i])
+		}
+	}
+}
+
+func TestLSHMoreTablesMoreRecall(t *testing.T) {
+	s := clusteredSpace(8, 40, 400)
+	q := s.Lookup("c2w5")
+	few := len(NewLSHIndex(s, 8, 4).Neighbors(q, 0.5))
+	many := len(NewLSHIndex(s, 8, 32).Neighbors(q, 0.5))
+	if many < few {
+		t.Errorf("more tables lost neighbors: %d -> %d", few, many)
+	}
+}
+
+func TestLSHParamValidation(t *testing.T) {
+	s := clusteredSpace(2, 5, 0)
+	idx := NewLSHIndex(s, -1, 0)
+	if idx.k != DefaultLSHBits || idx.l != DefaultLSHTables {
+		t.Errorf("defaults not applied: k=%d l=%d", idx.k, idx.l)
+	}
+	if idx.Len() != 10 {
+		t.Errorf("Len = %d", idx.Len())
+	}
+}
+
+func BenchmarkNeighborsExact(b *testing.B) {
+	s := clusteredSpace(10, 100, 4000)
+	q := s.Lookup("c0w0")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Neighbors(q, 0.7)
+	}
+}
+
+func BenchmarkNeighborsLSH(b *testing.B) {
+	s := clusteredSpace(10, 100, 4000)
+	idx := NewLSHIndex(s, 0, 0)
+	q := s.Lookup("c0w0")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Neighbors(q, 0.7)
+	}
+}

@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+)
+
+// Interval is a two-sided confidence interval with its point estimate.
+type Interval struct {
+	Low, Point, High float64
+}
+
+// Contains reports whether x lies within [Low, High].
+func (iv Interval) Contains(x float64) bool { return x >= iv.Low && x <= iv.High }
+
+// BootstrapResult carries the resampled intervals for the three headline
+// metrics.
+type BootstrapResult struct {
+	Precision, Recall, F1 Interval
+	// Resamples is the number of bootstrap iterations performed.
+	Resamples int
+}
+
+// Bootstrap estimates confidence intervals for precision, recall and F1 by
+// resampling evaluation subjects with replacement — the paper reports point
+// estimates only; the intervals quantify how sensitive those numbers are to
+// the particular test subjects drawn.
+//
+// Subjects (not individual mentions) are the resampling unit because
+// mentions of one subject are correlated: they come from the same documents.
+// The confidence level is two-sided at the given alpha (e.g. 0.05 for 95%);
+// all randomness flows from seed.
+func Bootstrap(predictions, gold []Mention, resamples int, alpha float64, seed int64) BootstrapResult {
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.05
+	}
+	preds := normalizeAll(predictions)
+	golds := normalizeAll(gold)
+
+	// Group mentions per subject once.
+	subjects := make([]string, 0)
+	seen := make(map[string]bool)
+	predsBy := make(map[string][]Mention)
+	goldsBy := make(map[string][]Mention)
+	for _, g := range golds {
+		if !seen[g.Subject] {
+			seen[g.Subject] = true
+			subjects = append(subjects, g.Subject)
+		}
+		goldsBy[g.Subject] = append(goldsBy[g.Subject], g)
+	}
+	for _, p := range preds {
+		if !seen[p.Subject] {
+			seen[p.Subject] = true
+			subjects = append(subjects, p.Subject)
+		}
+		predsBy[p.Subject] = append(predsBy[p.Subject], p)
+	}
+	sort.Strings(subjects)
+
+	point := Evaluate(preds, golds).Overall
+	out := BootstrapResult{Resamples: resamples}
+	if len(subjects) == 0 {
+		return out
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]float64, resamples)
+	rs := make([]float64, resamples)
+	fs := make([]float64, resamples)
+	for i := 0; i < resamples; i++ {
+		var sp, sg []Mention
+		for j := 0; j < len(subjects); j++ {
+			s := subjects[rng.Intn(len(subjects))]
+			// Resampled subjects must stay distinct for the aligner's
+			// subject scoping; suffix them with the draw index.
+			suffix := "\x00" + strconv.Itoa(j)
+			for _, m := range predsBy[s] {
+				m.Subject += suffix
+				sp = append(sp, m)
+			}
+			for _, m := range goldsBy[s] {
+				m.Subject += suffix
+				sg = append(sg, m)
+			}
+		}
+		o := Evaluate(sp, sg).Overall
+		ps[i], rs[i], fs[i] = o.Precision(), o.Recall(), o.F1()
+	}
+	out.Precision = interval(ps, point.Precision(), alpha)
+	out.Recall = interval(rs, point.Recall(), alpha)
+	out.F1 = interval(fs, point.F1(), alpha)
+	return out
+}
+
+func interval(samples []float64, point, alpha float64) Interval {
+	sort.Float64s(samples)
+	lo := int(float64(len(samples)) * alpha / 2)
+	hi := int(float64(len(samples)) * (1 - alpha/2))
+	if hi >= len(samples) {
+		hi = len(samples) - 1
+	}
+	return Interval{Low: samples[lo], Point: point, High: samples[hi]}
+}

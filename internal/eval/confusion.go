@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"thor/internal/schema"
+)
+
+// ConfusionMatrix counts, for every matched (prediction, gold) pair, how
+// often gold concept G was predicted as concept P. The diagonal holds the
+// type-correct matches; off-diagonal cells are the cross-concept confusions
+// the syntactic refinement (and the kg filter) target. Unmatched predictions
+// and gold mentions appear under the pseudo-concepts PredictedNoise and
+// MissedGold.
+type ConfusionMatrix struct {
+	// Cells maps gold concept -> predicted concept -> count.
+	Cells map[schema.Concept]map[schema.Concept]int
+}
+
+// Pseudo-concepts for the unmatched margins.
+const (
+	// PredictedNoise collects spurious predictions (no gold counterpart).
+	PredictedNoise schema.Concept = "<spurious>"
+	// MissedGold collects gold mentions nothing matched.
+	MissedGold schema.Concept = "<missed>"
+)
+
+// Confusion aligns predictions with gold mentions (same greedy strategy as
+// Evaluate) and tabulates the concept-level confusion matrix.
+func Confusion(predictions, gold []Mention) *ConfusionMatrix {
+	preds := normalizeAll(predictions)
+	golds := normalizeAll(gold)
+	cm := &ConfusionMatrix{Cells: make(map[schema.Concept]map[schema.Concept]int)}
+
+	goldBySubject := make(map[string][]int)
+	for i, g := range golds {
+		goldBySubject[g.Subject] = append(goldBySubject[g.Subject], i)
+	}
+	usedGold := make([]bool, len(golds))
+	matchedPred := make([]bool, len(preds))
+	for pass := 0; pass < 3; pass++ {
+		for pi, p := range preds {
+			if matchedPred[pi] {
+				continue
+			}
+			for _, gi := range goldBySubject[p.Subject] {
+				if usedGold[gi] {
+					continue
+				}
+				g := golds[gi]
+				kind := phraseOverlap(p.Phrase, g.Phrase)
+				typeOK := p.Concept == g.Concept
+				ok := false
+				switch pass {
+				case 0:
+					ok = kind == overlapExact && typeOK
+				case 1:
+					ok = kind >= overlapPartial && typeOK
+				case 2:
+					ok = kind >= overlapPartial
+				}
+				if ok {
+					cm.bump(g.Concept, p.Concept)
+					matchedPred[pi] = true
+					usedGold[gi] = true
+					break
+				}
+			}
+		}
+	}
+	for pi, p := range preds {
+		if !matchedPred[pi] {
+			cm.bump(PredictedNoise, p.Concept)
+		}
+	}
+	for gi, g := range golds {
+		if !usedGold[gi] {
+			cm.bump(g.Concept, MissedGold)
+		}
+	}
+	return cm
+}
+
+func (cm *ConfusionMatrix) bump(gold, pred schema.Concept) {
+	row := cm.Cells[gold]
+	if row == nil {
+		row = make(map[schema.Concept]int)
+		cm.Cells[gold] = row
+	}
+	row[pred]++
+}
+
+// Count returns the (gold, predicted) cell.
+func (cm *ConfusionMatrix) Count(gold, pred schema.Concept) int {
+	return cm.Cells[gold][pred]
+}
+
+// Confusions lists the off-diagonal cells (true confusions between two real
+// concepts), largest first.
+func (cm *ConfusionMatrix) Confusions() []ConfusionCell {
+	var out []ConfusionCell
+	for g, row := range cm.Cells {
+		if g == PredictedNoise {
+			continue
+		}
+		for p, n := range row {
+			if p == g || p == MissedGold {
+				continue
+			}
+			out = append(out, ConfusionCell{Gold: g, Predicted: p, Count: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Gold != out[j].Gold {
+			return out[i].Gold < out[j].Gold
+		}
+		return out[i].Predicted < out[j].Predicted
+	})
+	return out
+}
+
+// ConfusionCell is one off-diagonal confusion.
+type ConfusionCell struct {
+	Gold, Predicted schema.Concept
+	Count           int
+}
+
+// Render writes the matrix as a fixed-width table, concepts sorted, with the
+// pseudo-concept margins last.
+func (cm *ConfusionMatrix) Render(w io.Writer) {
+	concepts := cm.concepts()
+	fmt.Fprintf(w, "%-16s", "gold\\pred")
+	for _, c := range concepts {
+		fmt.Fprintf(w, " %10s", clip(string(c)))
+	}
+	fmt.Fprintln(w)
+	for _, g := range concepts {
+		fmt.Fprintf(w, "%-16s", clip(string(g)))
+		for _, p := range concepts {
+			fmt.Fprintf(w, " %10d", cm.Count(g, p))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func (cm *ConfusionMatrix) concepts() []schema.Concept {
+	seen := make(map[schema.Concept]bool)
+	var out []schema.Concept
+	add := func(c schema.Concept) {
+		if !seen[c] && c != PredictedNoise && c != MissedGold {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for g, row := range cm.Cells {
+		add(g)
+		for p := range row {
+			add(p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return append(out, PredictedNoise, MissedGold)
+}
+
+func clip(s string) string {
+	if len(s) > 10 {
+		return s[:10]
+	}
+	return strings.TrimSpace(s)
+}

@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestConfusionDiagonal(t *testing.T) {
+	gold := []Mention{
+		m("x", "Anatomy", "lungs"),
+		m("x", "Complication", "empyema"),
+	}
+	cm := Confusion(gold, gold)
+	if cm.Count("Anatomy", "Anatomy") != 1 || cm.Count("Complication", "Complication") != 1 {
+		t.Errorf("diagonal wrong: %+v", cm.Cells)
+	}
+	if len(cm.Confusions()) != 0 {
+		t.Errorf("perfect predictions produced confusions: %v", cm.Confusions())
+	}
+}
+
+func TestConfusionOffDiagonal(t *testing.T) {
+	gold := []Mention{m("x", "Anatomy", "blood")}
+	pred := []Mention{m("x", "Complication", "blood")}
+	cm := Confusion(pred, gold)
+	if cm.Count("Anatomy", "Complication") != 1 {
+		t.Fatalf("confusion not recorded: %+v", cm.Cells)
+	}
+	cs := cm.Confusions()
+	if len(cs) != 1 || cs[0].Gold != "Anatomy" || cs[0].Predicted != "Complication" || cs[0].Count != 1 {
+		t.Errorf("Confusions = %v", cs)
+	}
+}
+
+func TestConfusionMargins(t *testing.T) {
+	gold := []Mention{m("x", "Anatomy", "lungs")}
+	pred := []Mention{m("x", "Complication", "keyboard")} // spurious
+	cm := Confusion(pred, gold)
+	if cm.Count(PredictedNoise, "Complication") != 1 {
+		t.Errorf("spurious prediction not in noise margin: %+v", cm.Cells)
+	}
+	if cm.Count("Anatomy", MissedGold) != 1 {
+		t.Errorf("missed gold not in margin: %+v", cm.Cells)
+	}
+	// Margins must not count as confusions.
+	if len(cm.Confusions()) != 0 {
+		t.Errorf("margins leaked into Confusions: %v", cm.Confusions())
+	}
+}
+
+func TestConfusionConsistentWithEvaluate(t *testing.T) {
+	gold := []Mention{
+		m("x", "Anatomy", "lungs"), m("x", "Complication", "empyema"),
+		m("y", "Cause", "bacteria"), m("y", "Anatomy", "skin"),
+	}
+	pred := []Mention{
+		m("x", "Anatomy", "lungs"),         // COR
+		m("x", "Anatomy", "empyema"),       // INC (gold is Complication)
+		m("y", "Cause", "dirt"),            // SPU
+		m("y", "Anatomy", "the skin area"), // PAR
+	}
+	rep := Evaluate(pred, gold)
+	cm := Confusion(pred, gold)
+
+	// Diagonal total = COR + PAR.
+	diag := 0
+	for _, c := range cm.concepts() {
+		diag += cm.Count(c, c)
+	}
+	if diag != rep.Overall.Correct+rep.Overall.Partial {
+		t.Errorf("diagonal %d != COR+PAR %d", diag, rep.Overall.Correct+rep.Overall.Partial)
+	}
+	// Off-diagonal confusions = INC.
+	inc := 0
+	for _, c := range cm.Confusions() {
+		inc += c.Count
+	}
+	if inc != rep.Overall.Incorrect {
+		t.Errorf("confusions %d != INC %d", inc, rep.Overall.Incorrect)
+	}
+	// Noise margin = SPU; missed margin = Missing.
+	noise, missed := 0, 0
+	for _, row := range cm.Cells[PredictedNoise] {
+		noise += row
+	}
+	for _, row := range cm.Cells {
+		missed += row[MissedGold]
+	}
+	if noise != rep.Overall.Spurious {
+		t.Errorf("noise margin %d != SPU %d", noise, rep.Overall.Spurious)
+	}
+	// Evaluate attributes INC-consumed gold to Missing as well, so the
+	// matrix's missed margin plus the confusions equals Evaluate's MIS.
+	if missed+inc != rep.Overall.Missing {
+		t.Errorf("missed margin %d + INC %d != MIS %d", missed, inc, rep.Overall.Missing)
+	}
+}
+
+func TestConfusionRender(t *testing.T) {
+	gold := []Mention{m("x", "Anatomy", "lungs")}
+	cm := Confusion(gold, gold)
+	var buf bytes.Buffer
+	cm.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Anatomy") || !strings.Contains(out, "gold\\pred") {
+		t.Errorf("render output:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 3 {
+		t.Error("render output too short")
+	}
+}

@@ -1,0 +1,259 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"thor/internal/schema"
+)
+
+func m(subj string, c schema.Concept, phrase string) Mention {
+	return Mention{Subject: subj, Concept: c, Phrase: phrase}
+}
+
+func TestPhraseOverlap(t *testing.T) {
+	cases := []struct {
+		pred, gold string
+		want       overlapKind
+	}{
+		{"lungs", "lungs", overlapExact},
+		{"vestibular", "main vestibular nerve", overlapPartial},
+		{"main vestibular nerve", "vestibular", overlapPartial},
+		{"brain tumor", "non-cancerous brain tumor", overlapPartial},
+		{"skin cancer", "lung cancer", overlapPartial}, // shares 'cancer' (half the words)
+		{"lungs", "brain", overlapNone},
+		{"", "brain", overlapNone},
+	}
+	for _, c := range cases {
+		if got := phraseOverlap(c.pred, c.gold); got != c.want {
+			t.Errorf("phraseOverlap(%q,%q) = %v, want %v", c.pred, c.gold, got, c.want)
+		}
+	}
+}
+
+func TestEvaluatePerfect(t *testing.T) {
+	gold := []Mention{
+		m("acne", "Complication", "scarring"),
+		m("acne", "Anatomy", "skin"),
+	}
+	rep := Evaluate(gold, gold)
+	o := rep.Overall
+	if o.Correct != 2 || o.Predicted() != 2 || o.FP() != 0 || o.FN() != 0 {
+		t.Fatalf("perfect eval: %+v", o)
+	}
+	if o.Precision() != 1 || o.Recall() != 1 || o.F1() != 1 || o.Sensitivity() != 1 {
+		t.Errorf("perfect scores: P=%v R=%v F1=%v", o.Precision(), o.Recall(), o.F1())
+	}
+}
+
+func TestEvaluatePartialCredit(t *testing.T) {
+	gold := []Mention{m("x", "Anatomy", "main vestibular nerve")}
+	pred := []Mention{m("x", "Anatomy", "vestibular")}
+	o := Evaluate(pred, gold).Overall
+	if o.Partial != 1 || o.Correct != 0 {
+		t.Fatalf("expected 1 partial: %+v", o)
+	}
+	if o.TP() != 1 {
+		t.Errorf("raw TP should count partial: %d", o.TP())
+	}
+	if math.Abs(o.Precision()-0.5) > 1e-9 || math.Abs(o.Recall()-0.5) > 1e-9 {
+		t.Errorf("partial credit: P=%v R=%v, want 0.5", o.Precision(), o.Recall())
+	}
+}
+
+func TestEvaluateWrongType(t *testing.T) {
+	gold := []Mention{m("x", "Anatomy", "blood")}
+	pred := []Mention{m("x", "Complication", "blood")}
+	rep := Evaluate(pred, gold)
+	o := rep.Overall
+	if o.Incorrect != 1 || o.Missing != 1 {
+		t.Fatalf("wrong type: %+v", o)
+	}
+	if o.TP() != 0 || o.FP() != 1 || o.FN() != 1 {
+		t.Errorf("counts: TP=%d FP=%d FN=%d", o.TP(), o.FP(), o.FN())
+	}
+	// Per-concept attribution: FP under predicted concept, FN under gold.
+	if rep.PerConcept["Complication"].Incorrect != 1 {
+		t.Error("incorrect not attributed to predicted concept")
+	}
+	if rep.PerConcept["Anatomy"].Missing != 1 {
+		t.Error("miss not attributed to gold concept")
+	}
+}
+
+func TestEvaluateSpuriousAndMissing(t *testing.T) {
+	gold := []Mention{m("x", "Anatomy", "lungs"), m("x", "Anatomy", "brain")}
+	pred := []Mention{m("x", "Anatomy", "lungs"), m("x", "Anatomy", "keyboard")}
+	o := Evaluate(pred, gold).Overall
+	if o.Correct != 1 || o.Spurious != 1 || o.Missing != 1 {
+		t.Fatalf("outcome: %+v", o)
+	}
+	if p := o.Precision(); math.Abs(p-0.5) > 1e-9 {
+		t.Errorf("P = %v", p)
+	}
+	if r := o.Recall(); math.Abs(r-0.5) > 1e-9 {
+		t.Errorf("R = %v", r)
+	}
+}
+
+func TestEvaluateSubjectScoping(t *testing.T) {
+	// Same phrase under a different subject must not match.
+	gold := []Mention{m("acne", "Anatomy", "skin")}
+	pred := []Mention{m("flu", "Anatomy", "skin")}
+	o := Evaluate(pred, gold).Overall
+	if o.Correct != 0 || o.Spurious != 1 || o.Missing != 1 {
+		t.Fatalf("cross-subject match leaked: %+v", o)
+	}
+}
+
+func TestEvaluateGoldUsedOnce(t *testing.T) {
+	gold := []Mention{m("x", "Anatomy", "lungs")}
+	pred := []Mention{m("x", "Anatomy", "lungs"), m("x", "Anatomy", "lungs")}
+	o := Evaluate(pred, gold).Overall
+	if o.Correct != 1 || o.Spurious != 1 {
+		t.Fatalf("duplicate prediction double-matched: %+v", o)
+	}
+}
+
+func TestEvaluateExactPreferredOverPartial(t *testing.T) {
+	// Two golds; the exact one must be taken by the exact prediction even if
+	// the partial prediction comes first.
+	gold := []Mention{m("x", "Anatomy", "inner ear")}
+	pred := []Mention{
+		m("x", "Anatomy", "ear"),       // partial
+		m("x", "Anatomy", "inner ear"), // exact
+	}
+	o := Evaluate(pred, gold).Overall
+	if o.Correct != 1 {
+		t.Fatalf("exact prediction lost to partial: %+v", o)
+	}
+	if o.Spurious != 1 {
+		t.Errorf("leftover partial should be spurious: %+v", o)
+	}
+}
+
+func TestEvaluateCaseAndWhitespaceInsensitive(t *testing.T) {
+	gold := []Mention{m("Acne", "Anatomy", "The Skin")}
+	pred := []Mention{m("acne ", "Anatomy", "skin")}
+	o := Evaluate(pred, gold).Overall
+	if o.TP() != 1 {
+		t.Fatalf("normalization failed: %+v", o)
+	}
+}
+
+func TestEvaluateEmptyInputs(t *testing.T) {
+	o := Evaluate(nil, nil).Overall
+	if o.Predicted() != 0 || o.F1() != 0 {
+		t.Errorf("empty eval: %+v", o)
+	}
+	o2 := Evaluate(nil, []Mention{m("x", "A", "y")}).Overall
+	if o2.Missing != 1 || o2.Recall() != 0 {
+		t.Errorf("gold only: %+v", o2)
+	}
+	o3 := Evaluate([]Mention{m("x", "A", "y")}, nil).Overall
+	if o3.Spurious != 1 || o3.Precision() != 0 {
+		t.Errorf("pred only: %+v", o3)
+	}
+}
+
+func TestReportConceptsSorted(t *testing.T) {
+	gold := []Mention{m("x", "B", "b"), m("x", "A", "a")}
+	rep := Evaluate(gold, gold)
+	cs := rep.Concepts()
+	if len(cs) != 2 || cs[0] != "A" || cs[1] != "B" {
+		t.Errorf("Concepts = %v", cs)
+	}
+}
+
+// Invariant: Correct+Partial+Missing == gold count, and
+// Predicted == len(pred) after normalization.
+func TestEvaluateConservation(t *testing.T) {
+	gold := []Mention{
+		m("x", "Anatomy", "lungs"), m("x", "Complication", "empyema"),
+		m("y", "Anatomy", "skin"), m("y", "Cause", "bacteria"),
+	}
+	pred := []Mention{
+		m("x", "Anatomy", "lungs"), m("x", "Anatomy", "empyema"),
+		m("y", "Cause", "dirt"), m("y", "Anatomy", "the skin"),
+		m("y", "Anatomy", "spurious thing"),
+	}
+	rep := Evaluate(pred, gold)
+	o := rep.Overall
+	if got := o.Correct + o.Partial + o.Missing; got != len(gold) {
+		t.Errorf("gold conservation: %d != %d (%+v)", got, len(gold), o)
+	}
+	if o.Predicted() != len(pred) {
+		t.Errorf("prediction conservation: %d != %d", o.Predicted(), len(pred))
+	}
+	// Per-concept totals must sum to overall.
+	var sum Outcome
+	for _, c := range rep.Concepts() {
+		sum = sum.add(rep.PerConcept[c])
+	}
+	if sum != o {
+		t.Errorf("per-concept sum %+v != overall %+v", sum, o)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	o := Outcome{Correct: 1, Spurious: 1}
+	if s := o.String(); s == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestBootstrapIntervals(t *testing.T) {
+	// Build a multi-subject scenario with a known mix of hits and misses.
+	var gold, pred []Mention
+	for i := 0; i < 20; i++ {
+		subj := fmt.Sprintf("s%d", i)
+		gold = append(gold, m(subj, "A", "alpha"), m(subj, "B", "beta"))
+		pred = append(pred, m(subj, "A", "alpha")) // hit
+		if i%2 == 0 {
+			pred = append(pred, m(subj, "B", "junk"+subj)) // miss
+		}
+	}
+	point := Evaluate(pred, gold).Overall
+	bs := Bootstrap(pred, gold, 300, 0.05, 7)
+	for name, iv := range map[string]Interval{
+		"P": bs.Precision, "R": bs.Recall, "F1": bs.F1,
+	} {
+		if iv.Low > iv.High || iv.Low < 0 || iv.High > 1 {
+			t.Errorf("%s interval malformed: %+v", name, iv)
+		}
+	}
+	if !bs.F1.Contains(point.F1()) {
+		t.Errorf("point F1 %.3f outside interval [%.3f, %.3f]", point.F1(), bs.F1.Low, bs.F1.High)
+	}
+	if bs.F1.High-bs.F1.Low <= 0 {
+		t.Error("interval has zero width despite subject variance")
+	}
+	// Determinism.
+	bs2 := Bootstrap(pred, gold, 300, 0.05, 7)
+	if bs != bs2 {
+		t.Error("bootstrap not deterministic for a fixed seed")
+	}
+	// A different seed may produce (slightly) different bounds; it must not
+	// panic or produce malformed output.
+	_ = Bootstrap(pred, gold, 300, 0.05, 8)
+}
+
+func TestBootstrapDegenerate(t *testing.T) {
+	bs := Bootstrap(nil, nil, 10, 0.05, 1)
+	if bs.Resamples != 10 {
+		t.Errorf("resamples = %d", bs.Resamples)
+	}
+	if bs.F1.Low != 0 || bs.F1.High != 0 {
+		t.Errorf("empty bootstrap F1 = %+v", bs.F1)
+	}
+	// Defaults kick in for nonsensical parameters.
+	one := []Mention{m("x", "A", "a")}
+	bs2 := Bootstrap(one, one, -1, 2.0, 1)
+	if bs2.Resamples != 1000 {
+		t.Errorf("default resamples = %d", bs2.Resamples)
+	}
+	if bs2.F1.Point != 1 {
+		t.Errorf("perfect single-subject F1 = %v", bs2.F1.Point)
+	}
+}

@@ -1,0 +1,26 @@
+package eval_test
+
+import (
+	"fmt"
+
+	"thor/internal/eval"
+)
+
+// ExampleEvaluate shows the SemEval-style partial matching: 'vestibular' is
+// a partially correct extraction of 'main vestibular nerve' and earns half
+// credit.
+func ExampleEvaluate() {
+	gold := []eval.Mention{
+		{Subject: "Acoustic Neuroma", Concept: "Anatomy", Phrase: "main vestibular nerve"},
+		{Subject: "Acoustic Neuroma", Concept: "Complication", Phrase: "hearing loss"},
+	}
+	pred := []eval.Mention{
+		{Subject: "Acoustic Neuroma", Concept: "Anatomy", Phrase: "vestibular"},
+		{Subject: "Acoustic Neuroma", Concept: "Complication", Phrase: "hearing loss"},
+	}
+	o := eval.Evaluate(pred, gold).Overall
+	fmt.Printf("COR=%d PAR=%d P=%.2f R=%.2f F1=%.2f\n",
+		o.Correct, o.Partial, o.Precision(), o.Recall(), o.F1())
+	// Output:
+	// COR=1 PAR=1 P=0.75 R=0.75 F1=0.75
+}

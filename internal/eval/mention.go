@@ -1,0 +1,105 @@
+// Package eval implements the paper's evaluation machinery: the
+// SemEval-2013-style partial-matching scorer (nervaluate [104]) producing
+// Precision/Recall/F1, raw prediction counts (TP/FP/FN, Tables VI/VII) and
+// per-concept sensitivity (Table VIII).
+package eval
+
+import (
+	"strings"
+
+	"thor/internal/schema"
+	"thor/internal/text"
+)
+
+// Mention is one conceptualized entity occurrence: the unit both ground
+// truth annotations and system predictions are expressed in.
+type Mention struct {
+	// Subject is the subject instance the mention is about.
+	Subject string
+	// Concept is the assigned schema concept.
+	Concept schema.Concept
+	// Phrase is the normalized entity phrase.
+	Phrase string
+}
+
+// Normalize canonicalizes the mention's phrase and subject for comparison.
+func (m Mention) Normalize() Mention {
+	return Mention{
+		Subject: strings.ToLower(strings.TrimSpace(m.Subject)),
+		Concept: m.Concept,
+		Phrase:  text.NormalizePhrase(m.Phrase),
+	}
+}
+
+// overlapKind classifies how a predicted phrase relates to a gold phrase.
+type overlapKind int
+
+const (
+	overlapNone overlapKind = iota
+	overlapPartial
+	overlapExact
+)
+
+// phraseOverlap implements the partial-matching criterion of SemEval-2013:
+// exact when the normalized phrases are equal; partial when one contains the
+// other as a word subsequence or they share at least half of the shorter
+// phrase's content words (e.g. predicting 'vestibular' for 'main vestibular
+// nerve' is partially correct).
+func phraseOverlap(pred, gold string) overlapKind {
+	if pred == gold {
+		return overlapExact
+	}
+	pw, gw := strings.Fields(pred), strings.Fields(gold)
+	if len(pw) == 0 || len(gw) == 0 {
+		return overlapNone
+	}
+	if containsSeq(pw, gw) || containsSeq(gw, pw) {
+		return overlapPartial
+	}
+	shared := 0
+	set := make(map[string]bool, len(pw))
+	for _, w := range pw {
+		if !text.IsStopword(w) {
+			set[w] = true
+		}
+	}
+	short := 0
+	for _, w := range gw {
+		if text.IsStopword(w) {
+			continue
+		}
+		short++
+		if set[w] {
+			shared++
+		}
+	}
+	if short == 0 {
+		return overlapNone
+	}
+	predContent := len(set)
+	if predContent < short {
+		short = predContent
+	}
+	if short > 0 && 2*shared >= short {
+		return overlapPartial
+	}
+	return overlapNone
+}
+
+// containsSeq reports whether needle occurs as a contiguous subsequence of
+// haystack.
+func containsSeq(haystack, needle []string) bool {
+	if len(needle) == 0 || len(needle) > len(haystack) {
+		return false
+	}
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j, w := range needle {
+			if haystack[i+j] != w {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,225 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"thor/internal/schema"
+)
+
+// Outcome tallies the five nervaluate alignment categories plus the derived
+// paper counts.
+type Outcome struct {
+	// Correct: exact phrase and correct concept (COR).
+	Correct int
+	// Partial: overlapping phrase and correct concept (PAR).
+	Partial int
+	// Incorrect: overlapping phrase, wrong concept (INC).
+	Incorrect int
+	// Spurious: prediction with no gold counterpart (SPU).
+	Spurious int
+	// Missing: gold mention no prediction reached (MIS).
+	Missing int
+}
+
+// Predicted returns the number of predictions evaluated.
+func (o Outcome) Predicted() int { return o.Correct + o.Partial + o.Incorrect + o.Spurious }
+
+// TP returns the paper's "correct predictions" count: exact plus partial
+// type-correct matches (this is how Tables VI, VII and XI count TP).
+func (o Outcome) TP() int { return o.Correct + o.Partial }
+
+// FP returns the paper's "incorrect predictions" count.
+func (o Outcome) FP() int { return o.Incorrect + o.Spurious }
+
+// FN returns the missed gold mentions. Gold mentions consumed by a
+// wrong-type prediction are recorded under Missing (attributed to the gold
+// concept), so Missing alone is the FN count.
+func (o Outcome) FN() int { return o.Missing }
+
+// Precision returns the SemEval partial-credit precision:
+// (COR + 0.5·PAR) / all predictions.
+func (o Outcome) Precision() float64 {
+	d := o.Predicted()
+	if d == 0 {
+		return 0
+	}
+	return (float64(o.Correct) + 0.5*float64(o.Partial)) / float64(d)
+}
+
+// Recall returns the partial-credit recall:
+// (COR + 0.5·PAR) / all gold mentions (= Correct+Partial+Missing).
+func (o Outcome) Recall() float64 {
+	d := o.Correct + o.Partial + o.Missing
+	if d == 0 {
+		return 0
+	}
+	return (float64(o.Correct) + 0.5*float64(o.Partial)) / float64(d)
+}
+
+// F1 returns the harmonic mean of Precision and Recall.
+func (o Outcome) F1() float64 {
+	p, r := o.Precision(), o.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Sensitivity returns TP / gold, the paper's Table VIII metric: the share of
+// ground-truth entities the system recognized at least partially.
+func (o Outcome) Sensitivity() float64 {
+	gold := o.Correct + o.Partial + o.Missing
+	if gold == 0 {
+		return 0
+	}
+	return float64(o.TP()) / float64(gold)
+}
+
+func (o Outcome) add(p Outcome) Outcome {
+	return Outcome{
+		Correct:   o.Correct + p.Correct,
+		Partial:   o.Partial + p.Partial,
+		Incorrect: o.Incorrect + p.Incorrect,
+		Spurious:  o.Spurious + p.Spurious,
+		Missing:   o.Missing + p.Missing,
+	}
+}
+
+// String renders the outcome compactly.
+func (o Outcome) String() string {
+	return fmt.Sprintf("pred=%d TP=%d FP=%d FN=%d P=%.2f R=%.2f F1=%.2f",
+		o.Predicted(), o.TP(), o.FP(), o.FN(), o.Precision(), o.Recall(), o.F1())
+}
+
+// Report is a full evaluation: overall outcome plus the per-concept
+// breakdown used by Tables VII and VIII and Fig. 10.
+type Report struct {
+	Overall    Outcome
+	GoldTotal  int
+	PerConcept map[schema.Concept]Outcome
+}
+
+// Concepts returns the evaluated concepts sorted by name.
+func (r *Report) Concepts() []schema.Concept {
+	out := make([]schema.Concept, 0, len(r.PerConcept))
+	for c := range r.PerConcept {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Evaluate aligns predictions against gold mentions and scores them.
+//
+// Alignment is greedy and subject-scoped, best match class first: every
+// prediction is matched to at most one unused gold mention of the same
+// subject, preferring exact type-correct matches, then partial type-correct,
+// then overlapping type-incorrect. Unmatched predictions are spurious;
+// unmatched gold mentions are missing. Per-concept outcomes attribute
+// predictions to the predicted concept and missing mentions to the gold
+// concept, following nervaluate.
+func Evaluate(predictions, gold []Mention) *Report {
+	preds := normalizeAll(predictions)
+	golds := normalizeAll(gold)
+
+	rep := &Report{
+		GoldTotal:  len(golds),
+		PerConcept: make(map[schema.Concept]Outcome),
+	}
+
+	// Index gold by subject.
+	goldBySubject := make(map[string][]int)
+	for i, g := range golds {
+		goldBySubject[g.Subject] = append(goldBySubject[g.Subject], i)
+	}
+	usedGold := make([]bool, len(golds))
+	type match struct {
+		pred, gold int
+		kind       overlapKind
+		typeOK     bool
+	}
+
+	// Three alignment passes: exact+type, partial+type, overlap-only.
+	assign := make([]match, 0, len(preds))
+	matchedPred := make([]bool, len(preds))
+	for pass := 0; pass < 3; pass++ {
+		for pi, p := range preds {
+			if matchedPred[pi] {
+				continue
+			}
+			for _, gi := range goldBySubject[p.Subject] {
+				if usedGold[gi] {
+					continue
+				}
+				g := golds[gi]
+				kind := phraseOverlap(p.Phrase, g.Phrase)
+				typeOK := p.Concept == g.Concept
+				ok := false
+				switch pass {
+				case 0:
+					ok = kind == overlapExact && typeOK
+				case 1:
+					ok = kind >= overlapPartial && typeOK
+				case 2:
+					ok = kind >= overlapPartial
+				}
+				if ok {
+					assign = append(assign, match{pi, gi, kind, typeOK})
+					matchedPred[pi] = true
+					usedGold[gi] = true
+					break
+				}
+			}
+		}
+	}
+
+	bump := func(c schema.Concept, f func(*Outcome)) {
+		o := rep.PerConcept[c]
+		f(&o)
+		rep.PerConcept[c] = o
+		f(&rep.Overall)
+	}
+
+	for _, m := range assign {
+		p := preds[m.pred]
+		switch {
+		case m.typeOK && m.kind == overlapExact:
+			bump(p.Concept, func(o *Outcome) { o.Correct++ })
+		case m.typeOK:
+			bump(p.Concept, func(o *Outcome) { o.Partial++ })
+		default:
+			// Wrong-type match: the prediction is incorrect under its own
+			// concept; the consumed gold mention is missed under its
+			// concept.
+			bump(p.Concept, func(o *Outcome) { o.Incorrect++ })
+			bumpGold := rep.PerConcept[golds[m.gold].Concept]
+			bumpGold.Missing++
+			rep.PerConcept[golds[m.gold].Concept] = bumpGold
+			rep.Overall.Missing++
+		}
+	}
+	for pi, p := range preds {
+		if !matchedPred[pi] {
+			bump(p.Concept, func(o *Outcome) { o.Spurious++ })
+		}
+	}
+	for gi, g := range golds {
+		if !usedGold[gi] {
+			bump(g.Concept, func(o *Outcome) { o.Missing++ })
+		}
+	}
+	return rep
+}
+
+func normalizeAll(ms []Mention) []Mention {
+	out := make([]Mention, 0, len(ms))
+	for _, m := range ms {
+		n := m.Normalize()
+		if n.Phrase == "" {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}

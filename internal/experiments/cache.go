@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"sync"
+
+	"thor/internal/datagen"
+)
+
+// The datasets and full comparisons are deterministic and somewhat costly to
+// build, so benchmarks and the CLI share memoized instances.
+var (
+	diseaseOnce sync.Once
+	diseaseDS   *datagen.Dataset
+
+	resumeOnce sync.Once
+	resumeDS   *datagen.Dataset
+
+	diseaseCmpOnce sync.Once
+	diseaseCmp     *Comparison
+
+	resumeCmpOnce sync.Once
+	resumeCmp     *Comparison
+
+	annotationOnce  sync.Once
+	annotationStudy *AnnotationStudy
+)
+
+// DiseaseDataset returns the shared Disease A-Z dataset.
+func DiseaseDataset() *datagen.Dataset {
+	diseaseOnce.Do(func() { diseaseDS = datagen.Disease(datagen.DiseaseSeed) })
+	return diseaseDS
+}
+
+// ResumeDataset returns the shared Résumé dataset.
+func ResumeDataset() *datagen.Dataset {
+	resumeOnce.Do(func() { resumeDS = datagen.Resume(datagen.ResumeSeed) })
+	return resumeDS
+}
+
+// DiseaseComparison returns the shared Experiment 1 results.
+func DiseaseComparison() *Comparison {
+	diseaseCmpOnce.Do(func() { diseaseCmp = Compare(DiseaseDataset()) })
+	return diseaseCmp
+}
+
+// ResumeComparison returns the shared Experiment 3 results.
+func ResumeComparison() *Comparison {
+	resumeCmpOnce.Do(func() { resumeCmp = Compare(ResumeDataset()) })
+	return resumeCmp
+}
+
+// Annotation returns the shared Experiment 2 results.
+func Annotation() *AnnotationStudy {
+	annotationOnce.Do(func() { annotationStudy = StudyAnnotation(DiseaseDataset()) })
+	return annotationStudy
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import "time"
+
+// SimulatedCost estimates the original (GPU-era) runtime of a comparator
+// from corpus sizes. The paper's hardware is unavailable, so this cost model
+// is calibrated to the wall-clock figures it reports (Table V and Section
+// VI-A "Compute Requirements"):
+//
+//   - LM-SD and LM-Human fine-tune RoBERTa-Base on an RTX 3060 (1–3 h
+//     including inference; Table V: 3,626 s and 3,564 s),
+//   - UniNER runs 7B-parameter inference on an A100 (34–56 min over the
+//     test documents; Table V: 3,298 s),
+//   - GPT-4 is a metered API whose latency the paper does not report,
+//   - the Baseline and THOR run on a plain CPU: their measured time IS the
+//     real cost, so the model returns zero for them.
+//
+// The constants below reproduce the paper's magnitudes at the paper's corpus
+// sizes and scale linearly for other workloads.
+func SimulatedCost(model string, tableWords, trainWords, testWords int) time.Duration {
+	const (
+		// RoBERTa fine-tuning: seconds of RTX 3060 time per training word
+		// (several epochs with evaluation passes).
+		robertaTrainSecPerWord = 0.0148
+		// RoBERTa inference over the test documents.
+		robertaInferSecPerWord = 0.055
+		// Structured rows are re-rendered and oversampled for LM-SD, so its
+		// effective per-word cost is much higher than LM-Human's.
+		lmsdTrainSecPerWord = 0.185
+		// UniNER-7B generation-style inference on an A100.
+		uninerInferSecPerWord = 0.17
+	)
+	var secs float64
+	switch model {
+	case "LM-SD":
+		secs = lmsdTrainSecPerWord*float64(tableWords) +
+			robertaInferSecPerWord*float64(testWords)
+	case "LM-Human":
+		secs = robertaTrainSecPerWord*float64(trainWords) +
+			robertaInferSecPerWord*float64(testWords)
+	case "UniNER":
+		secs = uninerInferSecPerWord * float64(testWords)
+	default: // Baseline, THOR, GPT-4: no GPU cost to simulate
+		return 0
+	}
+	return time.Duration(secs * float64(time.Second))
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSVSeries materializes every table and figure as a CSV file under
+// dir, ready for external plotting. File names follow the paper's artifact
+// numbering (table5.csv, fig5.csv, ...).
+func WriteCSVSeries(dir string, disease, resume *Comparison, study *AnnotationStudy) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	writers := []struct {
+		name string
+		rows [][]string
+	}{
+		{"table5.csv", comparisonRows(disease)},
+		{"fig5.csv", prCurveRows(disease)},
+		{"fig6.csv", timeRows(disease)},
+		{"table6.csv", countRows(disease)},
+		{"fig7.csv", barRows(disease)},
+		{"table7.csv", conceptCountRows(disease)},
+		{"table8.csv", sensitivityRows(disease)},
+		{"table10.csv", annotationRows(study)},
+		{"fig8.csv", annotationCurveRows(study)},
+		{"table11.csv", comparisonRows(resume)},
+		{"fig9.csv", barRows(resume)},
+		{"fig10.csv", conceptF1Rows(resume)},
+	}
+	for _, w := range writers {
+		if err := writeCSV(filepath.Join(dir, w.name), w.rows); err != nil {
+			return fmt.Errorf("experiments: %s: %w", w.name, err)
+		}
+	}
+	return nil
+}
+
+func writeCSV(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f3(x float64) string { return strconv.FormatFloat(x, 'f', 3, 64) }
+
+func comparisonRows(c *Comparison) [][]string {
+	rows := [][]string{{"model", "tau", "seconds", "simulated_gpu_seconds", "precision", "recall", "f1"}}
+	for _, r := range c.All() {
+		o := r.Report.Overall
+		rows = append(rows, []string{
+			r.Name, f3(r.Tau), f3(r.Measured.Seconds()), f3(r.Simulated.Seconds()),
+			f3(o.Precision()), f3(o.Recall()), f3(o.F1()),
+		})
+	}
+	return rows
+}
+
+func prCurveRows(c *Comparison) [][]string {
+	rows := [][]string{{"model", "recall", "precision"}}
+	for _, r := range c.All() {
+		o := r.Report.Overall
+		rows = append(rows, []string{r.Name, f3(o.Recall()), f3(o.Precision())})
+	}
+	return rows
+}
+
+func timeRows(c *Comparison) [][]string {
+	rows := [][]string{{"tau", "seconds"}}
+	for _, r := range c.Thor {
+		rows = append(rows, []string{f3(r.Tau), f3(r.Measured.Seconds())})
+	}
+	return rows
+}
+
+func countRows(c *Comparison) [][]string {
+	rows := [][]string{{"model", "gold", "predicted", "tp", "fp"}}
+	for _, r := range append(topPrecisionThor(c), c.Others...) {
+		o := r.Report.Overall
+		rows = append(rows, []string{
+			r.Name,
+			strconv.Itoa(r.Report.GoldTotal), strconv.Itoa(o.Predicted()),
+			strconv.Itoa(o.TP()), strconv.Itoa(o.FP()),
+		})
+	}
+	return rows
+}
+
+func barRows(c *Comparison) [][]string {
+	rows := [][]string{{"model", "tp", "fp", "fn"}}
+	for _, r := range append(topPrecisionThor(c), c.Others...) {
+		o := r.Report.Overall
+		rows = append(rows, []string{
+			r.Name, strconv.Itoa(o.TP()), strconv.Itoa(o.FP()), strconv.Itoa(o.FN()),
+		})
+	}
+	return rows
+}
+
+func conceptCountRows(c *Comparison) [][]string {
+	rows := [][]string{{"concept", "model", "predicted", "tp", "fn"}}
+	for _, concept := range conceptsOf(c) {
+		for _, r := range exp1Systems(c) {
+			o := r.Report.PerConcept[concept]
+			rows = append(rows, []string{
+				string(concept), r.Name,
+				strconv.Itoa(o.Predicted()), strconv.Itoa(o.TP()), strconv.Itoa(o.FN()),
+			})
+		}
+	}
+	return rows
+}
+
+func sensitivityRows(c *Comparison) [][]string {
+	rows := [][]string{{"concept", "model", "sensitivity"}}
+	for _, concept := range conceptsOf(c) {
+		for _, r := range exp1Systems(c) {
+			rows = append(rows, []string{
+				string(concept), r.Name, f3(r.Report.PerConcept[concept].Sensitivity()),
+			})
+		}
+	}
+	return rows
+}
+
+func conceptF1Rows(c *Comparison) [][]string {
+	rows := [][]string{{"concept", "model", "f1"}}
+	for _, concept := range conceptsOf(c) {
+		for _, r := range exp1Systems(c) {
+			rows = append(rows, []string{
+				string(concept), r.Name, f3(r.Report.PerConcept[concept].F1()),
+			})
+		}
+	}
+	return rows
+}
+
+func annotationRows(s *AnnotationStudy) [][]string {
+	rows := [][]string{{"model", "subjects", "docs", "entities", "words", "f1", "annotation_seconds"}}
+	rows = append(rows, []string{
+		"THOR", "0", "0",
+		strconv.Itoa(s.ThorEntities), strconv.Itoa(s.ThorWords), f3(s.ThorF1), "0",
+	})
+	for _, p := range s.Points {
+		rows = append(rows, []string{
+			p.Name, strconv.Itoa(p.Subjects), strconv.Itoa(p.Docs),
+			strconv.Itoa(p.Entities), strconv.Itoa(p.Words), f3(p.F1),
+			f3(p.AnnotationSeconds),
+		})
+	}
+	return rows
+}
+
+func annotationCurveRows(s *AnnotationStudy) [][]string {
+	rows := [][]string{{"model", "annotation_hours", "f1"}}
+	rows = append(rows, []string{"THOR", "0", f3(s.ThorF1)})
+	for _, p := range s.Points {
+		rows = append(rows, []string{p.Name, f3(p.AnnotationSeconds / 3600), f3(p.F1)})
+	}
+	return rows
+}

@@ -1,0 +1,271 @@
+// Package experiments reproduces the paper's evaluation section: Experiment
+// 1 (comparison against the state of the art, Tables V–VIII and Figs. 5–7),
+// Experiment 2 (manual vs. automatic annotation, Tables IX–X and Fig. 8) and
+// Experiment 3 (generalizability on Résumé, Table XI and Figs. 9–10). Every
+// table and figure has a renderer in render.go and a benchmark in the
+// repository root's bench_test.go.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"thor/internal/datagen"
+	"thor/internal/eval"
+	"thor/internal/models"
+	"thor/internal/segment"
+	"thor/internal/thor"
+)
+
+// Taus is the threshold sweep of Table V.
+var Taus = []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// BestTau is the F1-optimal threshold the paper reports (τ=0.7).
+const BestTau = 0.7
+
+// GPT4Seed fixes the zero-shot simulator's session.
+const GPT4Seed = 20240301
+
+// SystemResult is one evaluated system run.
+type SystemResult struct {
+	// Name is the display name ("THOR (τ=0.7)", "LM-SD", ...).
+	Name string
+	// Tau is set for THOR rows, 0 otherwise.
+	Tau float64
+	// Measured is this implementation's wall-clock time.
+	Measured time.Duration
+	// Simulated is the cost-model estimate of the original system's
+	// GPU-era runtime (zero when the measured CPU time is the real cost).
+	Simulated time.Duration
+	// Report is the evaluation against the split's gold mentions.
+	Report *eval.Report
+	// Predictions retains the raw mentions (used by fine-grained tables).
+	Predictions []eval.Mention
+}
+
+// ThorOnly reports whether the row belongs to the THOR sweep.
+func (r SystemResult) ThorOnly() bool { return r.Tau > 0 }
+
+// Comparison holds every system's result on one dataset, THOR sweep first.
+type Comparison struct {
+	Dataset *datagen.Dataset
+	Thor    []SystemResult // one per τ in Taus
+	Others  []SystemResult // Baseline, LM-SD, GPT-4, UniNER, LM-Human
+}
+
+// ThorAt returns the THOR row for a threshold.
+func (c *Comparison) ThorAt(tau float64) *SystemResult {
+	for i := range c.Thor {
+		if c.Thor[i].Tau == tau {
+			return &c.Thor[i]
+		}
+	}
+	return nil
+}
+
+// Other returns a named non-THOR row.
+func (c *Comparison) Other(name string) *SystemResult {
+	for i := range c.Others {
+		if c.Others[i].Name == name {
+			return &c.Others[i]
+		}
+	}
+	return nil
+}
+
+// All returns every row, THOR sweep first.
+func (c *Comparison) All() []SystemResult {
+	out := make([]SystemResult, 0, len(c.Thor)+len(c.Others))
+	out = append(out, c.Thor...)
+	return append(out, c.Others...)
+}
+
+// runThor executes the pipeline at one threshold and evaluates it.
+func runThor(ds *datagen.Dataset, tau float64) SystemResult {
+	start := time.Now()
+	res, err := thor.Run(ds.TestTable(), ds.Space, ds.Test.Docs, thor.Config{
+		Tau:       tau,
+		Knowledge: ds.Table,
+		Lexicon:   ds.Lexicon,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: THOR run failed: %v", err)) // datasets are well-formed by construction
+	}
+	elapsed := time.Since(start)
+	preds := make([]eval.Mention, 0, len(res.AllEntities()))
+	for _, e := range res.AllEntities() {
+		preds = append(preds, eval.Mention{Subject: e.Subject, Concept: e.Concept, Phrase: e.Phrase})
+	}
+	return SystemResult{
+		Name:        fmt.Sprintf("THOR (τ=%.1f)", tau),
+		Tau:         tau,
+		Measured:    elapsed,
+		Report:      eval.Evaluate(preds, ds.Test.Gold),
+		Predictions: preds,
+	}
+}
+
+// runModel executes a comparator model and evaluates it.
+func runModel(ds *datagen.Dataset, m models.Model, sim time.Duration) SystemResult {
+	start := time.Now()
+	preds := m.Extract(ds.Test.Docs)
+	elapsed := time.Since(start)
+	return SystemResult{
+		Name:        m.Name(),
+		Measured:    elapsed,
+		Simulated:   sim,
+		Report:      eval.Evaluate(preds, ds.Test.Gold),
+		Predictions: preds,
+	}
+}
+
+// buildModels constructs the five comparators for a dataset.
+func buildModels(ds *datagen.Dataset) []models.Model {
+	subjects := ds.TestTable().Subjects()
+	return []models.Model{
+		models.NewBaseline(ds.Table, subjects, ds.Lexicon),
+		models.NewLMSD(ds.Table, ds.Space, subjects, ds.Lexicon),
+		models.NewGPT4(ds.Table.Schema, ds.Space, ds.GenericConcept, ds.Vocab, subjects, ds.Lexicon, GPT4Seed),
+		models.NewUniNER(ds.Vocab, ds.PretrainCoverage, subjects, ds.Lexicon),
+		models.NewLMHuman(ds.Train.Gold, ds.Train.Docs, ds.Space, subjects, ds.Lexicon),
+	}
+}
+
+// Compare runs the full system comparison on a dataset: the THOR τ sweep
+// plus all five comparators. It implements Experiment 1 (Disease A-Z) and
+// the system runs of Experiment 3 (Résumé).
+func Compare(ds *datagen.Dataset) *Comparison {
+	c := &Comparison{Dataset: ds}
+	for _, tau := range Taus {
+		c.Thor = append(c.Thor, runThor(ds, tau))
+	}
+	tblWords := tableWords(ds)
+	trainWords := datagen.SplitStats(&ds.Train).Words
+	testWords := datagen.SplitStats(&ds.Test).Words
+	for _, m := range buildModels(ds) {
+		c.Others = append(c.Others, runModel(ds, m, SimulatedCost(m.Name(), tblWords, trainWords, testWords)))
+	}
+	return c
+}
+
+// AnnotationPoint is one row of Table X: an LM-Human model fine-tuned on an
+// annotated subset.
+type AnnotationPoint struct {
+	// Name is "LM-Human-N" with N the number of annotated subjects.
+	Name string
+	// Subjects, Docs, Entities and Words describe the annotated subset.
+	Subjects, Docs, Entities, Words int
+	// F1 is the subset model's score on the test split.
+	F1 float64
+	// AnnotationSeconds is the conservative manual effort (Table X's
+	// 'Annotation Time(s)' column).
+	AnnotationSeconds float64
+}
+
+// AnnotationStudy is Experiment 2's output.
+type AnnotationStudy struct {
+	Dataset *datagen.Dataset
+	// ThorF1 is THOR's reference score at BestTau (zero annotation time).
+	ThorF1 float64
+	// ThorEntities and ThorWords describe THOR's "training data": the
+	// structured table.
+	ThorEntities, ThorWords int
+	// Points are the LM-Human subset models, smallest first.
+	Points []AnnotationPoint
+	// Cost is the annotation-effort model behind the time columns.
+	Cost datagen.AnnotationCost
+	// CrossoverSubjects is the smallest subset whose LM-Human beats THOR
+	// (-1 when none does).
+	CrossoverSubjects int
+}
+
+// AnnotationSubsets is the Table X sweep: annotated-subject counts.
+var AnnotationSubsets = []int{1, 10, 15, 20, 240}
+
+// StudyAnnotation runs Experiment 2 on the Disease A-Z dataset: it
+// fine-tunes LM-Human on increasing annotated subsets and finds the point
+// where it overtakes THOR.
+func StudyAnnotation(ds *datagen.Dataset) *AnnotationStudy {
+	study := &AnnotationStudy{
+		Dataset:           ds,
+		Cost:              datagen.DefaultAnnotationCost(),
+		CrossoverSubjects: -1,
+	}
+	thorRes := runThor(ds, BestTau)
+	study.ThorF1 = thorRes.Report.Overall.F1()
+	study.ThorEntities = ds.Table.InstanceCount()
+	study.ThorWords = tableWords(ds)
+
+	subjects := ds.TestTable().Subjects()
+	for _, n := range AnnotationSubsets {
+		subset := trainSubset(ds, n)
+		m := models.NewLMHuman(subset.Gold, subset.Docs, ds.Space, subjects, ds.Lexicon)
+		preds := m.Extract(ds.Test.Docs)
+		f1 := eval.Evaluate(preds, ds.Test.Gold).Overall.F1()
+		point := AnnotationPoint{
+			Name:              fmt.Sprintf("LM-Human-%d", n),
+			Subjects:          n,
+			Docs:              len(subset.Docs),
+			Entities:          len(subset.Gold),
+			Words:             subset.Words,
+			F1:                f1,
+			AnnotationSeconds: study.Cost.SecondsForWords(subset.Words),
+		}
+		study.Points = append(study.Points, point)
+		if study.CrossoverSubjects == -1 && f1 > study.ThorF1 {
+			study.CrossoverSubjects = n
+		}
+	}
+	return study
+}
+
+// trainSubset restricts the training split to its first n subjects.
+func trainSubset(ds *datagen.Dataset, n int) datagen.Split {
+	if n >= len(ds.Train.Subjects) {
+		return ds.Train
+	}
+	keep := make(map[string]bool, n)
+	for _, s := range ds.Train.Subjects[:n] {
+		keep[strings.ToLower(s)] = true
+	}
+	var out datagen.Split
+	out.Subjects = append(out.Subjects, ds.Train.Subjects[:n]...)
+	for _, d := range ds.Train.Docs {
+		if keep[strings.ToLower(d.DefaultSubject)] {
+			out.Docs = append(out.Docs, d)
+			out.Words += countWords(d.Text)
+		}
+	}
+	out.Gold = ds.Train.GoldFor(keep)
+	return out
+}
+
+func countWords(s string) int { return len(strings.Fields(s)) }
+
+// tableWords counts the words in the structured table's instances — THOR's
+// entire "training data" (Table X lists 14,010 words for the paper's table).
+func tableWords(ds *datagen.Dataset) int {
+	n := 0
+	for _, c := range ds.Table.Schema.Concepts {
+		for _, v := range ds.Table.ColumnValues(c) {
+			n += countWords(v)
+		}
+	}
+	return n
+}
+
+// SubjectsOf lists the distinct subjects in a document set (diagnostics).
+func SubjectsOf(docs []segment.Document) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, d := range docs {
+		if d.DefaultSubject != "" && !seen[d.DefaultSubject] {
+			seen[d.DefaultSubject] = true
+			out = append(out, d.DefaultSubject)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"thor/internal/schema"
+)
+
+// fmtDur renders a duration as whole seconds, matching the paper's tables.
+func fmtDur(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	if d < time.Second {
+		return fmt.Sprintf("%.2f", d.Seconds())
+	}
+	return fmt.Sprintf("%.0f", d.Seconds())
+}
+
+// RenderTableV writes the Table V comparison: time, precision, recall and F1
+// for the THOR τ sweep and the comparators. Two time columns are shown: the
+// measured CPU seconds of this implementation and, where applicable, the
+// cost-model estimate of the original GPU runtime.
+func RenderTableV(w io.Writer, c *Comparison) {
+	fmt.Fprintf(w, "Table V — comparative results for slot-filling on %s\n", c.Dataset.Name)
+	fmt.Fprintf(w, "%-14s %10s %10s %6s %6s %6s\n", "Model", "Time(s)", "SimGPU(s)", "P", "R", "F1")
+	for _, r := range c.All() {
+		o := r.Report.Overall
+		fmt.Fprintf(w, "%-14s %10s %10s %6.2f %6.2f %6.2f\n",
+			r.Name, fmtDur(r.Measured), fmtDur(r.Simulated), o.Precision(), o.Recall(), o.F1())
+	}
+}
+
+// RenderFig5 writes the precision–recall series of Fig. 5: one (R, P) point
+// per THOR threshold plus one per comparator.
+func RenderFig5(w io.Writer, c *Comparison) {
+	fmt.Fprintf(w, "Fig 5 — precision-recall curve on %s (series: recall precision label)\n", c.Dataset.Name)
+	for _, r := range c.Thor {
+		o := r.Report.Overall
+		fmt.Fprintf(w, "%.3f %.3f THOR(τ=%.1f)\n", o.Recall(), o.Precision(), r.Tau)
+	}
+	for _, r := range c.Others {
+		o := r.Report.Overall
+		fmt.Fprintf(w, "%.3f %.3f %s\n", o.Recall(), o.Precision(), r.Name)
+	}
+}
+
+// RenderFig6 writes the inference-time-vs-threshold series of Fig. 6.
+func RenderFig6(w io.Writer, c *Comparison) {
+	fmt.Fprintf(w, "Fig 6 — THOR inference time for increasing threshold on %s (series: tau seconds)\n", c.Dataset.Name)
+	for _, r := range c.Thor {
+		fmt.Fprintf(w, "%.1f %.3f\n", r.Tau, r.Measured.Seconds())
+	}
+}
+
+// topPrecisionThor returns the three most precision-oriented THOR rows
+// (highest τ), strongest precision first — the "top-3 precision" selection
+// of Tables VI and XI.
+func topPrecisionThor(c *Comparison) []SystemResult {
+	n := len(c.Thor)
+	if n > 3 {
+		return []SystemResult{c.Thor[n-3], c.Thor[n-2], c.Thor[n-1]}
+	}
+	return c.Thor
+}
+
+// RenderTableVI writes the raw prediction counts of Table VI.
+func RenderTableVI(w io.Writer, c *Comparison) {
+	fmt.Fprintf(w, "Table VI — raw prediction counts on %s\n", c.Dataset.Name)
+	fmt.Fprintf(w, "%-14s %8s %10s %8s %8s\n", "Model", "Gold", "Predicted", "TP", "FP")
+	rows := append(topPrecisionThor(c), c.Others...)
+	for _, r := range rows {
+		o := r.Report.Overall
+		fmt.Fprintf(w, "%-14s %8d %10d %8d %8d\n",
+			r.Name, r.Report.GoldTotal, o.Predicted(), o.TP(), o.FP())
+	}
+}
+
+// RenderFig7 writes the TP/FP/FN bars of Fig. 7 (and Fig. 9 for Résumé).
+func RenderFig7(w io.Writer, c *Comparison) {
+	fmt.Fprintf(w, "Fig 7/9 — prediction counts vs ground truth on %s (series: model TP FP FN)\n", c.Dataset.Name)
+	rows := append(topPrecisionThor(c), c.Others...)
+	for _, r := range rows {
+		o := r.Report.Overall
+		fmt.Fprintf(w, "%-14s %6d %6d %6d\n", r.Name, o.TP(), o.FP(), o.FN())
+	}
+}
+
+// exp1Systems returns the six systems of the fine-grained tables: the five
+// comparators plus THOR at the τ the paper uses there (0.8).
+func exp1Systems(c *Comparison) []SystemResult {
+	rows := make([]SystemResult, 0, 6)
+	rows = append(rows, c.Others...)
+	if t := c.ThorAt(0.8); t != nil {
+		rows = append(rows, *t)
+	}
+	return rows
+}
+
+// RenderTableVII writes the concept-wise Pred/TP/FN breakdown of Table VII.
+func RenderTableVII(w io.Writer, c *Comparison) {
+	rows := exp1Systems(c)
+	fmt.Fprintf(w, "Table VII — concept-wise fine-grained results on %s\n", c.Dataset.Name)
+	fmt.Fprintf(w, "%-22s %8s", "Concept", "Gold")
+	for _, r := range rows {
+		fmt.Fprintf(w, " | %-24s", r.Name+" (Pred/TP/FN)")
+	}
+	fmt.Fprintln(w)
+	for _, concept := range conceptsOf(c) {
+		gold := goldCount(c, concept)
+		fmt.Fprintf(w, "%-22s %8d", concept, gold)
+		for _, r := range rows {
+			o := r.Report.PerConcept[concept]
+			fmt.Fprintf(w, " | %7d %7d %8d", o.Predicted(), o.TP(), o.FN())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderTableVIII writes the concept-wise sensitivity of Table VIII.
+func RenderTableVIII(w io.Writer, c *Comparison) {
+	rows := exp1Systems(c)
+	fmt.Fprintf(w, "Table VIII — sensitivity per concept on %s\n", c.Dataset.Name)
+	fmt.Fprintf(w, "%-22s", "Concept")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %10s", shortName(r.Name))
+	}
+	fmt.Fprintln(w)
+	for _, concept := range conceptsOf(c) {
+		fmt.Fprintf(w, "%-22s", concept)
+		for _, r := range rows {
+			fmt.Fprintf(w, " %9.2f%%", 100*r.Report.PerConcept[concept].Sensitivity())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-22s", "Overall")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %9.2f%%", 100*r.Report.Overall.Sensitivity())
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderTableIX writes the annotation-effort figures of Table IX.
+func RenderTableIX(w io.Writer, s *AnnotationStudy) {
+	stats := avgDocWords(s)
+	subjLo, subjHi := s.Cost.SubjectRange(stats.subjectDocWords)
+	docLo, docHi := s.Cost.DocRange(stats.avgDocWords)
+	fmt.Fprintf(w, "Table IX — annotation effort (min–max)\n")
+	fmt.Fprintf(w, "Single subject : %4.0fm – %4.0fm\n", subjLo.Minutes(), subjHi.Minutes())
+	fmt.Fprintf(w, "Single document: %4.0fm – %4.0fm\n", docLo.Minutes(), docHi.Minutes())
+	fmt.Fprintf(w, "Single token   : %4.0fs – %4.0fs\n", s.Cost.MinTokenSeconds, s.Cost.MaxTokenSeconds)
+	fmt.Fprintf(w, "Total duration : %.0f+ hours\n", s.Cost.TotalHours(statsTrainWords(s)))
+}
+
+type docStats struct {
+	avgDocWords     int
+	subjectDocWords []int
+}
+
+func avgDocWords(s *AnnotationStudy) docStats {
+	ds := s.Dataset
+	total, n := 0, 0
+	var firstSubjectDocs []int
+	first := ""
+	for _, d := range ds.Train.Docs {
+		w := countWords(d.Text)
+		total += w
+		n++
+		if first == "" {
+			first = d.DefaultSubject
+		}
+		if d.DefaultSubject == first {
+			firstSubjectDocs = append(firstSubjectDocs, w)
+		}
+	}
+	if n == 0 {
+		return docStats{}
+	}
+	return docStats{avgDocWords: total / n, subjectDocWords: firstSubjectDocs}
+}
+
+func statsTrainWords(s *AnnotationStudy) int {
+	total := 0
+	for _, d := range s.Dataset.Train.Docs {
+		total += countWords(d.Text)
+	}
+	return total
+}
+
+// RenderTableX writes the annotation-volume sweep of Table X.
+func RenderTableX(w io.Writer, s *AnnotationStudy) {
+	fmt.Fprintf(w, "Table X — performance vs annotation effort (LM-Human subsets vs THOR τ=%.1f)\n", BestTau)
+	fmt.Fprintf(w, "%-14s %9s %6s %9s %8s %6s %14s\n",
+		"Model", "Subjects", "Docs", "Entities", "Words", "F1", "AnnotTime(s)")
+	fmt.Fprintf(w, "%-14s %9s %6s %9d %8d %6.2f %14d\n",
+		fmt.Sprintf("THOR (τ=%.1f)", BestTau), "-", "-", s.ThorEntities, s.ThorWords, s.ThorF1, 0)
+	for _, p := range s.Points {
+		fmt.Fprintf(w, "%-14s %9d %6d %9d %8d %6.2f %14.0f\n",
+			p.Name, p.Subjects, p.Docs, p.Entities, p.Words, p.F1, p.AnnotationSeconds)
+	}
+	if s.CrossoverSubjects >= 0 {
+		fmt.Fprintf(w, "crossover: LM-Human needs %d annotated subjects to beat THOR\n", s.CrossoverSubjects)
+	} else {
+		fmt.Fprintf(w, "crossover: never reached within the sweep\n")
+	}
+}
+
+// RenderFig8 writes the annotation-time-vs-F1 series of Fig. 8.
+func RenderFig8(w io.Writer, s *AnnotationStudy) {
+	fmt.Fprintf(w, "Fig 8 — annotation effort vs performance (series: hours F1 docs label)\n")
+	fmt.Fprintf(w, "%.2f %.3f %d %s\n", 0.0, s.ThorF1, 0, "THOR")
+	for _, p := range s.Points {
+		fmt.Fprintf(w, "%.2f %.3f %d %s\n", p.AnnotationSeconds/3600, p.F1, p.Docs, p.Name)
+	}
+}
+
+// RenderTableXI writes the Résumé comparison of Table XI.
+func RenderTableXI(w io.Writer, c *Comparison) {
+	fmt.Fprintf(w, "Table XI — comparative overall results on %s (generalizability)\n", c.Dataset.Name)
+	fmt.Fprintf(w, "%-14s %8s %10s %6s %6s %6s %6s %6s\n",
+		"Model", "Gold", "Predicted", "TP", "FP", "P", "R", "F1")
+	rows := append(topPrecisionThor(c), c.Others...)
+	for _, r := range rows {
+		o := r.Report.Overall
+		fmt.Fprintf(w, "%-14s %8d %10d %6d %6d %6.2f %6.2f %6.2f\n",
+			r.Name, r.Report.GoldTotal, o.Predicted(), o.TP(), o.FP(),
+			o.Precision(), o.Recall(), o.F1())
+	}
+}
+
+// RenderFig10 writes the per-concept F1 spider series of Fig. 10.
+func RenderFig10(w io.Writer, c *Comparison) {
+	rows := exp1Systems(c)
+	fmt.Fprintf(w, "Fig 10 — per-concept F1 on %s (series: concept then one F1 per model)\n", c.Dataset.Name)
+	fmt.Fprintf(w, "%-22s", "Concept")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %10s", shortName(r.Name))
+	}
+	fmt.Fprintln(w)
+	for _, concept := range conceptsOf(c) {
+		fmt.Fprintf(w, "%-22s", concept)
+		for _, r := range rows {
+			fmt.Fprintf(w, " %10.2f", r.Report.PerConcept[concept].F1())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// conceptsOf returns the dataset's schema concepts in column order.
+func conceptsOf(c *Comparison) []schema.Concept {
+	return c.Dataset.Table.Schema.Concepts
+}
+
+// goldCount counts the gold mentions of a concept in the test split.
+func goldCount(c *Comparison, concept schema.Concept) int {
+	n := 0
+	for _, g := range c.Dataset.Test.Gold {
+		if g.Concept == concept {
+			n++
+		}
+	}
+	return n
+}
+
+func shortName(name string) string {
+	r := []rune(name)
+	if len(r) > 10 {
+		return string(r[:10])
+	}
+	return name
+}

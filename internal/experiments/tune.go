@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"thor/internal/datagen"
+	"thor/internal/eval"
+	"thor/internal/schema"
+	"thor/internal/thor"
+)
+
+// TuneObjective selects what the τ search optimizes — the paper's
+// "precision-oriented or recall-oriented, based on user preferences".
+type TuneObjective int
+
+const (
+	// TuneF1 balances precision and recall (the paper's default reporting).
+	TuneF1 TuneObjective = iota
+	// TunePrecision prefers fewer, surer slot fills.
+	TunePrecision
+	// TuneRecall prefers coverage.
+	TuneRecall
+)
+
+// TuneResult is the outcome of a validation-split threshold search.
+type TuneResult struct {
+	// Tau is the selected threshold.
+	Tau float64
+	// ValidScore is the objective value on the validation split.
+	ValidScore float64
+	// Scores lists the objective value per candidate τ, parallel to Taus.
+	Scores []float64
+}
+
+// TuneTau selects τ on the dataset's validation split: it runs the pipeline
+// at every candidate threshold against the validation documents and picks
+// the objective-maximizing value. This is the standard use of the held-out
+// split (Table III) and exercises the paper's claim that THOR "offers the
+// flexibility to be tuned for either precision or recall".
+func TuneTau(ds *datagen.Dataset, objective TuneObjective) (*TuneResult, error) {
+	// The validation target table: one row per validation subject, cleared.
+	target := validTable(ds)
+	res := &TuneResult{Tau: Taus[0], ValidScore: -1}
+	for _, tau := range Taus {
+		run, err := thor.Run(target, ds.Space, ds.Valid.Docs, thor.Config{
+			Tau:       tau,
+			Knowledge: ds.Table,
+			Lexicon:   ds.Lexicon,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var preds []eval.Mention
+		for _, e := range run.AllEntities() {
+			preds = append(preds, eval.Mention{Subject: e.Subject, Concept: e.Concept, Phrase: e.Phrase})
+		}
+		o := eval.Evaluate(preds, ds.Valid.Gold).Overall
+		var score float64
+		switch objective {
+		case TunePrecision:
+			score = o.Precision()
+		case TuneRecall:
+			score = o.Recall()
+		default:
+			score = o.F1()
+		}
+		res.Scores = append(res.Scores, score)
+		if score > res.ValidScore {
+			res.Tau, res.ValidScore = tau, score
+		}
+	}
+	return res, nil
+}
+
+func validTable(ds *datagen.Dataset) *schema.Table {
+	t := schema.NewTable(ds.Table.Schema)
+	for _, s := range ds.Valid.Subjects {
+		t.AddRow(s)
+	}
+	return t
+}

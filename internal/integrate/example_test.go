@@ -1,0 +1,33 @@
+package integrate_test
+
+import (
+	"fmt"
+
+	"thor/internal/integrate"
+	"thor/internal/schema"
+)
+
+// ExampleFullDisjunction shows the paper's Fig. 1 integration step: two
+// sources over different concept sets produce a sparse integrated table.
+func ExampleFullDisjunction() {
+	d1 := schema.NewTable(schema.NewSchema("Disease", "Anatomy"))
+	d1.AddRow("Acoustic Neuroma").Add("Anatomy", "nervous system")
+
+	d2 := schema.NewTable(schema.NewSchema("Disease", "Complication"))
+	d2.AddRow("Tuberculosis").Add("Complication", "empyema")
+
+	out, err := integrate.FullDisjunction("Disease",
+		integrate.Source{Name: "D1", Table: d1},
+		integrate.Source{Name: "D2", Table: d2},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(out)
+	fmt.Println("Acoustic Neuroma complication missing:",
+		out.Row("Acoustic Neuroma").Missing("Complication"))
+	// Output:
+	// Table[Disease: 3 concepts, 2 rows, 4 instances, 50.0% sparse]
+	// Acoustic Neuroma complication missing: true
+}

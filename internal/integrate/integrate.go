@@ -1,0 +1,185 @@
+// Package integrate combines concept-oriented data sources into a single
+// integrated table, reproducing the data-integration setting of the paper's
+// introduction: sources capture different instance sets and partial views,
+// so combining them with partial-match operators (outer join / full
+// disjunction over the subject concept) yields a table riddled with labeled
+// nulls — the data sparsity THOR then mitigates.
+package integrate
+
+import (
+	"fmt"
+	"strings"
+
+	"thor/internal/schema"
+)
+
+// Source is one input dataset: a table over a (possibly partial) schema that
+// shares the subject concept with the integration target.
+type Source struct {
+	Name  string
+	Table *schema.Table
+}
+
+// FullDisjunction integrates the sources over the union of their schemas,
+// keyed by the subject concept. Every subject instance appearing in any
+// source yields a row; cells absent from every source remain labeled nulls.
+// It is the maximal partial-match combination of the sources (Rajaraman &
+// Ullman's full disjunction restricted to a star schema around C*).
+func FullDisjunction(subject schema.Concept, sources ...Source) (*schema.Table, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("integrate: no sources")
+	}
+	// Union schema, preserving first-seen concept order.
+	union := schema.NewSchema(subject)
+	for _, src := range sources {
+		if src.Table == nil {
+			return nil, fmt.Errorf("integrate: source %q has no table", src.Name)
+		}
+		if src.Table.Schema.Subject != subject {
+			return nil, fmt.Errorf("integrate: source %q has subject %q, want %q",
+				src.Name, src.Table.Schema.Subject, subject)
+		}
+		for _, c := range src.Table.Schema.Concepts {
+			union = union.WithConcept(c)
+		}
+	}
+	out := schema.NewTable(union)
+	for _, src := range sources {
+		for _, row := range src.Table.Rows {
+			dst := out.AddRow(row.Subject)
+			for c, vs := range row.Cells {
+				for _, v := range vs {
+					dst.Add(c, v)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// LeftOuterJoin integrates right into left keyed by the subject concept:
+// every left row is kept and enriched with right's cells where subjects
+// match; right-only subjects are dropped. Schemas are unioned.
+func LeftOuterJoin(left, right *schema.Table) (*schema.Table, error) {
+	if left.Schema.Subject != right.Schema.Subject {
+		return nil, fmt.Errorf("integrate: subject mismatch %q vs %q",
+			left.Schema.Subject, right.Schema.Subject)
+	}
+	union := left.Schema
+	for _, c := range right.Schema.Concepts {
+		union = union.WithConcept(c)
+	}
+	out := schema.NewTable(union)
+	for _, row := range left.Rows {
+		dst := out.AddRow(row.Subject)
+		for c, vs := range row.Cells {
+			for _, v := range vs {
+				dst.Add(c, v)
+			}
+		}
+		if match := right.Row(row.Subject); match != nil {
+			for c, vs := range match.Cells {
+				for _, v := range vs {
+					dst.Add(c, v)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Report summarizes an integration result for diagnostics.
+type Report struct {
+	Sources   int
+	Rows      int
+	Concepts  int
+	Instances int
+	Sparsity  schema.Sparsity
+}
+
+// Describe computes a Report for an integrated table.
+func Describe(t *schema.Table, sources int) Report {
+	return Report{
+		Sources:   sources,
+		Rows:      len(t.Rows),
+		Concepts:  len(t.Schema.Concepts),
+		Instances: t.InstanceCount(),
+		Sparsity:  t.Sparsity(),
+	}
+}
+
+// String renders the report in one line.
+func (r Report) String() string {
+	return fmt.Sprintf("%d sources -> %d rows x %d concepts, %d instances, %.1f%% missing",
+		r.Sources, r.Rows, r.Concepts, r.Instances, 100*r.Sparsity.Ratio())
+}
+
+// FullOuterJoin integrates left and right keeping every subject from both
+// sides (unlike LeftOuterJoin, which drops right-only subjects). Schemas are
+// unioned; matching rows merge their cells.
+func FullOuterJoin(left, right *schema.Table) (*schema.Table, error) {
+	if left.Schema.Subject != right.Schema.Subject {
+		return nil, fmt.Errorf("integrate: subject mismatch %q vs %q",
+			left.Schema.Subject, right.Schema.Subject)
+	}
+	return FullDisjunction(left.Schema.Subject,
+		Source{Name: "left", Table: left},
+		Source{Name: "right", Table: right},
+	)
+}
+
+// Provenance records which sources contributed each cell value of an
+// integrated table, keyed by (subject, concept, normalized value).
+type Provenance struct {
+	sources map[provKey][]string
+}
+
+type provKey struct {
+	subject string
+	concept schema.Concept
+	value   string
+}
+
+// Sources returns the names of the sources that contributed value v for
+// (subject, concept), in contribution order.
+func (p *Provenance) Sources(subject string, c schema.Concept, v string) []string {
+	if p == nil {
+		return nil
+	}
+	return p.sources[provKey{normTerm(subject), c, normTerm(v)}]
+}
+
+func normTerm(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// FullDisjunctionTracked is FullDisjunction plus value provenance: the
+// returned Provenance answers "which source said this?" for every cell
+// value — the lineage a data integration pipeline needs when a downstream
+// consumer questions a filled slot.
+func FullDisjunctionTracked(subject schema.Concept, sources ...Source) (*schema.Table, *Provenance, error) {
+	out, err := FullDisjunction(subject, sources...)
+	if err != nil {
+		return nil, nil, err
+	}
+	prov := &Provenance{sources: make(map[provKey][]string)}
+	for _, src := range sources {
+		for _, row := range src.Table.Rows {
+			for c, vs := range row.Cells {
+				for _, v := range vs {
+					key := provKey{normTerm(row.Subject), c, normTerm(v)}
+					names := prov.sources[key]
+					dup := false
+					for _, n := range names {
+						if n == src.Name {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						prov.sources[key] = append(names, src.Name)
+					}
+				}
+			}
+		}
+	}
+	return out, prov, nil
+}

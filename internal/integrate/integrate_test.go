@@ -1,0 +1,196 @@
+package integrate
+
+import (
+	"strings"
+	"testing"
+
+	"thor/internal/schema"
+)
+
+func source(name string, subject schema.Concept, concepts []schema.Concept, rows map[string]map[schema.Concept][]string) Source {
+	t := schema.NewTable(schema.Schema{Subject: subject, Concepts: append([]schema.Concept{subject}, concepts...)})
+	for subj, cells := range rows {
+		r := t.AddRow(subj)
+		for c, vs := range cells {
+			for _, v := range vs {
+				r.Add(c, v)
+			}
+		}
+	}
+	return Source{Name: name, Table: t}
+}
+
+// The Fig. 1 scenario: D1 and D2 both hold 'Disease' but different instances
+// and different concepts; combining them produces labeled nulls.
+func TestFullDisjunctionFig1(t *testing.T) {
+	d1 := source("D1", "Disease", []schema.Concept{"Anatomy"}, map[string]map[schema.Concept][]string{
+		"Acoustic Neuroma": {"Anatomy": {"nervous system"}},
+	})
+	d2 := source("D2", "Disease", []schema.Concept{"Complication"}, map[string]map[schema.Concept][]string{
+		"Tuberculosis": {"Complication": {"empyema"}},
+	})
+	out, err := FullDisjunction("Disease", d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 || len(out.Schema.Concepts) != 3 {
+		t.Fatalf("integrated shape: %v", out)
+	}
+	an := out.Row("Acoustic Neuroma")
+	if !an.Has("Anatomy", "nervous system") {
+		t.Error("lost D1 value")
+	}
+	if !an.Missing("Complication") {
+		t.Error("Acoustic Neuroma should have a labeled null for Complication")
+	}
+	tb := out.Row("Tuberculosis")
+	if !tb.Missing("Anatomy") || !tb.Has("Complication", "empyema") {
+		t.Error("Tuberculosis cells wrong")
+	}
+	sp := out.Sparsity()
+	if sp.Missing != 2 {
+		t.Errorf("expected 2 labeled nulls, got %d", sp.Missing)
+	}
+}
+
+func TestFullDisjunctionMergesSameSubject(t *testing.T) {
+	d1 := source("D1", "Disease", []schema.Concept{"Anatomy"}, map[string]map[schema.Concept][]string{
+		"Flu": {"Anatomy": {"lungs"}},
+	})
+	d2 := source("D2", "Disease", []schema.Concept{"Anatomy", "Cause"}, map[string]map[schema.Concept][]string{
+		"flu": {"Anatomy": {"throat"}, "Cause": {"influenza virus"}},
+	})
+	out, err := FullDisjunction("Disease", d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 {
+		t.Fatalf("case-insensitive subject merge failed: %d rows", len(out.Rows))
+	}
+	r := out.Row("Flu")
+	if !r.Has("Anatomy", "lungs") || !r.Has("Anatomy", "throat") || !r.Has("Cause", "influenza virus") {
+		t.Errorf("multi-source values not unioned: %+v", r)
+	}
+}
+
+func TestFullDisjunctionErrors(t *testing.T) {
+	if _, err := FullDisjunction("Disease"); err == nil {
+		t.Error("no sources should error")
+	}
+	bad := source("bad", "Name", nil, nil)
+	if _, err := FullDisjunction("Disease", bad); err == nil {
+		t.Error("subject mismatch should error")
+	}
+	if _, err := FullDisjunction("Disease", Source{Name: "nil"}); err == nil {
+		t.Error("nil table should error")
+	}
+}
+
+func TestLeftOuterJoin(t *testing.T) {
+	left := source("L", "Disease", []schema.Concept{"Anatomy"}, map[string]map[schema.Concept][]string{
+		"Acne": {"Anatomy": {"skin"}},
+		"Flu":  {},
+	}).Table
+	right := source("R", "Disease", []schema.Concept{"Cause"}, map[string]map[schema.Concept][]string{
+		"Flu":     {"Cause": {"virus"}},
+		"Malaria": {"Cause": {"parasite"}},
+	}).Table
+	out, err := LeftOuterJoin(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("outer join row count = %d, want 2 (left preserved, right-only dropped)", len(out.Rows))
+	}
+	if out.Row("Malaria") != nil {
+		t.Error("right-only subject should be dropped")
+	}
+	if !out.Row("Flu").Has("Cause", "virus") {
+		t.Error("matching right cells not merged")
+	}
+	if !out.Row("Acne").Missing("Cause") {
+		t.Error("Acne should hold a labeled null for Cause")
+	}
+}
+
+func TestLeftOuterJoinSubjectMismatch(t *testing.T) {
+	l := schema.NewTable(schema.NewSchema("Disease"))
+	r := schema.NewTable(schema.NewSchema("Name"))
+	if _, err := LeftOuterJoin(l, r); err == nil {
+		t.Error("subject mismatch should error")
+	}
+}
+
+func TestDescribeReport(t *testing.T) {
+	d1 := source("D1", "Disease", []schema.Concept{"Anatomy"}, map[string]map[schema.Concept][]string{
+		"Acne": {"Anatomy": {"skin"}},
+		"Flu":  {},
+	})
+	out, err := FullDisjunction("Disease", d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Describe(out, 1)
+	if rep.Rows != 2 || rep.Concepts != 2 || rep.Instances != 3 {
+		t.Errorf("report = %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "1 sources") {
+		t.Errorf("String = %q", rep.String())
+	}
+}
+
+func TestFullOuterJoinKeepsBothSides(t *testing.T) {
+	left := source("L", "Disease", []schema.Concept{"Anatomy"}, map[string]map[schema.Concept][]string{
+		"Acne": {"Anatomy": {"skin"}},
+	}).Table
+	right := source("R", "Disease", []schema.Concept{"Cause"}, map[string]map[schema.Concept][]string{
+		"Malaria": {"Cause": {"parasite"}},
+	}).Table
+	out, err := FullOuterJoin(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("rows = %d, want both sides kept", len(out.Rows))
+	}
+	if out.Row("Malaria") == nil || !out.Row("Malaria").Has("Cause", "parasite") {
+		t.Error("right-only row lost")
+	}
+	if !out.Row("Acne").Missing("Cause") {
+		t.Error("Acne should have labeled null for Cause")
+	}
+	if _, err := FullOuterJoin(left, schema.NewTable(schema.NewSchema("Name"))); err == nil {
+		t.Error("subject mismatch should error")
+	}
+}
+
+func TestFullDisjunctionTracked(t *testing.T) {
+	d1 := source("who", "Disease", []schema.Concept{"Anatomy"}, map[string]map[schema.Concept][]string{
+		"Flu": {"Anatomy": {"lungs"}},
+	})
+	d2 := source("nhs", "Disease", []schema.Concept{"Anatomy", "Cause"}, map[string]map[schema.Concept][]string{
+		"flu": {"Anatomy": {"Lungs"}, "Cause": {"virus"}},
+	})
+	out, prov, err := FullDisjunctionTracked("Disease", d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Row("Flu").Has("Anatomy", "lungs") {
+		t.Fatal("integration lost values")
+	}
+	// Both sources contributed 'lungs' (case-insensitively).
+	got := prov.Sources("flu", "Anatomy", "LUNGS")
+	if len(got) != 2 || got[0] != "who" || got[1] != "nhs" {
+		t.Errorf("Sources(lungs) = %v", got)
+	}
+	if got := prov.Sources("Flu", "Cause", "virus"); len(got) != 1 || got[0] != "nhs" {
+		t.Errorf("Sources(virus) = %v", got)
+	}
+	if got := prov.Sources("Flu", "Cause", "unknown"); got != nil {
+		t.Errorf("unknown value should have no provenance: %v", got)
+	}
+	var nilProv *Provenance
+	if nilProv.Sources("x", "y", "z") != nil {
+		t.Error("nil provenance should be safe")
+	}
+}

@@ -1,0 +1,170 @@
+// Package kg implements a lightweight knowledge graph over the integrated
+// data and a THOR extension built on it: the paper's future-work proposal of
+// "reducing the number of false positives ... by further exploring the data
+// integration context" (Section VII).
+//
+// The graph is a triple store whose nodes are subject instances, concepts
+// and instance phrases; FromTable derives it from a concept-oriented table
+// ((subject, concept, instance) triples plus same-row co-occurrence edges).
+// Validator uses the graph's type assertions to reject extracted entities
+// whose head word is known under different concepts only — the cross-concept
+// confusions that dominate THOR's false positives at permissive τ.
+package kg
+
+import (
+	"sort"
+	"strings"
+
+	"thor/internal/schema"
+	"thor/internal/text"
+)
+
+// Triple is one edge of the graph.
+type Triple struct {
+	Subject, Predicate, Object string
+}
+
+// Predicates used by FromTable.
+const (
+	// PredInstanceOf links an instance phrase to its concept.
+	PredInstanceOf = "instanceOf"
+	// PredHasValue links a subject instance to an instance phrase.
+	PredHasValue = "hasValue"
+	// PredCooccurs links two instance phrases appearing in the same row.
+	PredCooccurs = "cooccursWith"
+)
+
+// Graph is an in-memory triple store with subject and object indexes. Build
+// it with New/Add or FromTable; it is then safe for concurrent readers.
+type Graph struct {
+	triples map[Triple]bool
+	bySP    map[[2]string][]string // (subject, predicate) -> objects
+	byOP    map[[2]string][]string // (object, predicate) -> subjects
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		triples: make(map[Triple]bool),
+		bySP:    make(map[[2]string][]string),
+		byOP:    make(map[[2]string][]string),
+	}
+}
+
+// Add inserts a triple (idempotent). Terms are stored lower-cased.
+func (g *Graph) Add(subject, predicate, object string) {
+	t := Triple{
+		Subject:   strings.ToLower(subject),
+		Predicate: predicate,
+		Object:    strings.ToLower(object),
+	}
+	if t.Subject == "" || t.Object == "" || g.triples[t] {
+		return
+	}
+	g.triples[t] = true
+	sp := [2]string{t.Subject, t.Predicate}
+	g.bySP[sp] = append(g.bySP[sp], t.Object)
+	op := [2]string{t.Object, t.Predicate}
+	g.byOP[op] = append(g.byOP[op], t.Subject)
+}
+
+// Len returns the number of distinct triples.
+func (g *Graph) Len() int { return len(g.triples) }
+
+// Has reports whether the triple exists.
+func (g *Graph) Has(subject, predicate, object string) bool {
+	return g.triples[Triple{
+		Subject:   strings.ToLower(subject),
+		Predicate: predicate,
+		Object:    strings.ToLower(object),
+	}]
+}
+
+// Objects returns the objects of (subject, predicate), sorted.
+func (g *Graph) Objects(subject, predicate string) []string {
+	out := append([]string(nil), g.bySP[[2]string{strings.ToLower(subject), predicate}]...)
+	sort.Strings(out)
+	return out
+}
+
+// Subjects returns the subjects of (predicate, object), sorted.
+func (g *Graph) Subjects(predicate, object string) []string {
+	out := append([]string(nil), g.byOP[[2]string{strings.ToLower(object), predicate}]...)
+	sort.Strings(out)
+	return out
+}
+
+// FromTable derives the integration-context graph of a concept-oriented
+// table: every cell value yields (value, instanceOf, concept) and (subject,
+// hasValue, value); values sharing a row are linked with cooccursWith. Head
+// words additionally assert their instances' concepts, so partial mentions
+// stay typable.
+func FromTable(t *schema.Table) *Graph {
+	g := New()
+	for _, row := range t.Rows {
+		var rowValues []string
+		for _, c := range t.Schema.NonSubject() {
+			for _, v := range row.Values(c) {
+				norm := text.NormalizePhrase(v)
+				if norm == "" {
+					continue
+				}
+				g.Add(norm, PredInstanceOf, string(c))
+				g.Add(row.Subject, PredHasValue, norm)
+				if h := headOf(norm); h != norm {
+					g.Add(h, PredInstanceOf, string(c))
+				}
+				rowValues = append(rowValues, norm)
+			}
+		}
+		for i := 0; i < len(rowValues); i++ {
+			for j := i + 1; j < len(rowValues); j++ {
+				g.Add(rowValues[i], PredCooccurs, rowValues[j])
+				g.Add(rowValues[j], PredCooccurs, rowValues[i])
+			}
+		}
+	}
+	return g
+}
+
+func headOf(phrase string) string {
+	fields := strings.Fields(phrase)
+	for i := len(fields) - 1; i >= 0; i-- {
+		if !text.IsStopword(fields[i]) {
+			return fields[i]
+		}
+	}
+	return phrase
+}
+
+// Validator filters extracted entities against the graph's type assertions.
+type Validator struct {
+	g *Graph
+}
+
+// NewValidator wraps a graph.
+func NewValidator(g *Graph) *Validator { return &Validator{g: g} }
+
+// Validate reports whether assigning concept to phrase is consistent with
+// the graph: if the phrase (or its head word) is a known instance, the
+// assigned concept must be among its known concepts. Unknown phrases pass —
+// the graph can only veto what it has evidence about.
+func (v *Validator) Validate(phrase string, concept schema.Concept) bool {
+	norm := text.NormalizePhrase(phrase)
+	if norm == "" {
+		return false
+	}
+	for _, term := range []string{norm, headOf(norm)} {
+		known := v.g.Objects(term, PredInstanceOf)
+		if len(known) == 0 {
+			continue
+		}
+		for _, c := range known {
+			if strings.EqualFold(c, string(concept)) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,111 @@
+package kg
+
+import (
+	"reflect"
+	"testing"
+
+	"thor/internal/schema"
+)
+
+func sampleTable() *schema.Table {
+	t := schema.NewTable(schema.NewSchema("Disease", "Anatomy", "Complication"))
+	r := t.AddRow("Acoustic Neuroma")
+	r.Add("Anatomy", "nervous system")
+	r.Add("Complication", "hearing loss")
+	r2 := t.AddRow("Tuberculosis")
+	r2.Add("Complication", "empyema")
+	return t
+}
+
+func TestGraphAddAndQuery(t *testing.T) {
+	g := New()
+	g.Add("Empyema", PredInstanceOf, "Complication")
+	g.Add("empyema", PredInstanceOf, "complication") // duplicate (case)
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (idempotent, case-insensitive)", g.Len())
+	}
+	if !g.Has("EMPYEMA", PredInstanceOf, "Complication") {
+		t.Error("Has should be case-insensitive")
+	}
+	if got := g.Objects("empyema", PredInstanceOf); !reflect.DeepEqual(got, []string{"complication"}) {
+		t.Errorf("Objects = %v", got)
+	}
+	if got := g.Subjects(PredInstanceOf, "complication"); !reflect.DeepEqual(got, []string{"empyema"}) {
+		t.Errorf("Subjects = %v", got)
+	}
+}
+
+func TestGraphIgnoresEmptyTerms(t *testing.T) {
+	g := New()
+	g.Add("", PredInstanceOf, "x")
+	g.Add("x", PredInstanceOf, "")
+	if g.Len() != 0 {
+		t.Errorf("empty terms stored: %d triples", g.Len())
+	}
+}
+
+func TestFromTableTriples(t *testing.T) {
+	g := FromTable(sampleTable())
+	// Instance typing.
+	if !g.Has("nervous system", PredInstanceOf, "Anatomy") {
+		t.Error("missing instanceOf for full phrase")
+	}
+	// Head-word typing.
+	if !g.Has("system", PredInstanceOf, "Anatomy") {
+		t.Error("missing instanceOf for head word")
+	}
+	// Subject values.
+	if !g.Has("Acoustic Neuroma", PredHasValue, "hearing loss") {
+		t.Error("missing hasValue edge")
+	}
+	// Same-row co-occurrence, symmetric.
+	if !g.Has("nervous system", PredCooccurs, "hearing loss") ||
+		!g.Has("hearing loss", PredCooccurs, "nervous system") {
+		t.Error("missing co-occurrence edges")
+	}
+	// No cross-row co-occurrence.
+	if g.Has("empyema", PredCooccurs, "nervous system") {
+		t.Error("cross-row co-occurrence leaked")
+	}
+}
+
+func TestValidatorConsistency(t *testing.T) {
+	v := NewValidator(FromTable(sampleTable()))
+	// Known instance under its own concept: pass.
+	if !v.Validate("empyema", "Complication") {
+		t.Error("known instance vetoed under its own concept")
+	}
+	// Known instance under a different concept: veto.
+	if v.Validate("empyema", "Anatomy") {
+		t.Error("cross-concept assignment not vetoed")
+	}
+	// Head-word evidence: 'severe hearing loss' heads 'loss', known under
+	// Complication.
+	if !v.Validate("severe hearing loss", "Complication") {
+		t.Error("variant with known head vetoed")
+	}
+	if v.Validate("severe hearing loss", "Anatomy") {
+		t.Error("variant with known head accepted under wrong concept")
+	}
+	// Unknown phrases pass — the graph only vetoes what it knows.
+	if !v.Validate("completely unknown thing", "Anatomy") {
+		t.Error("unknown phrase vetoed")
+	}
+	// Empty phrase: reject.
+	if v.Validate("", "Anatomy") {
+		t.Error("empty phrase accepted")
+	}
+}
+
+func TestValidatorMultiConceptInstances(t *testing.T) {
+	g := New()
+	g.Add("smoking", PredInstanceOf, "Cause")
+	g.Add("smoking", PredInstanceOf, "Riskfactor")
+	v := NewValidator(g)
+	if !v.Validate("smoking", "Cause") || !v.Validate("smoking", "Riskfactor") {
+		t.Error("multi-concept instance should validate under each")
+	}
+	if v.Validate("smoking", "Symptom") {
+		t.Error("multi-concept instance accepted under a third concept")
+	}
+}

@@ -1,0 +1,378 @@
+// Package matcher implements THOR's semantic similarity matcher (Section
+// IV-A/IV-B of the paper): a weakly supervised entity matcher fine-tuned from
+// the integrated table's own instances, with no annotated text.
+//
+// Fine-tuning associates each concept with a set of representative vectors:
+// the embeddings of the concept's known instances (seeds, from R.C) and of
+// their content words, plus every vocabulary word whose similarity to a seed
+// word reaches the user threshold τ. Matching scores a candidate subphrase by
+// its lexical head — the rightmost content word, which determines the
+// phrase's category — against the representative cluster, and reports the
+// best-matching seed instance c_m for syntactic refinement.
+//
+// τ therefore controls both how far the cluster expands beyond the known
+// instances and how close a head must be to count as a match: τ=1.0 accepts
+// only heads that coincide with known-instance words (precision-oriented),
+// while τ=0.5 reaches deep into the embedding neighborhood
+// (recall-oriented), reproducing the trade-off of Table V.
+package matcher
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"thor/internal/embed"
+	"thor/internal/phrase"
+	"thor/internal/schema"
+	"thor/internal/text"
+)
+
+// Representative is one entry in a concept's fine-tuned cluster.
+type Representative struct {
+	// Phrase is the normalized surface form (an instance or a single word).
+	Phrase string
+	// Vector is its embedding.
+	Vector embed.Vector
+	// Seed reports whether it is a known instance from the table (true) or
+	// a τ-expansion neighbor (false).
+	Seed bool
+	// Via names the seed word that admitted a τ-expansion neighbor (empty
+	// for seeds themselves).
+	Via string
+}
+
+// conceptCluster is the fine-tuned model for one concept.
+type conceptCluster struct {
+	concept schema.Concept
+	// seeds are the known instances (full phrases), used to pick c_m.
+	seeds []Representative
+	// words are the matchable word vectors: content words of the seeds
+	// plus τ-expansion neighbors.
+	words []Representative
+	// fitMemo caches head-word fit scores; guarded by memoMu so Match is
+	// safe under the pipeline's parallel document workers.
+	memoMu  sync.RWMutex
+	fitMemo map[string]float64
+}
+
+// Candidate is one match the matcher proposes for a subphrase.
+type Candidate struct {
+	// Phrase is the matched subphrase (e.p), normalized.
+	Phrase string
+	// Concept is the assigned concept (e.C).
+	Concept schema.Concept
+	// Matched is the concept instance c_m most similar to the subphrase.
+	Matched string
+	// Sim is the head-word cluster-fit score that selected the concept.
+	Sim float64
+}
+
+// Config controls fine-tuning and matching.
+type Config struct {
+	// Tau is the user threshold τ: vocabulary words with similarity ≥ Tau
+	// to a seed word become representatives, and a candidate head must fit
+	// the cluster with at least (approximately) Tau similarity.
+	Tau float64
+	// MaxPerPhrase caps the candidates returned per (phrase, concept) pair
+	// — syntactic refinement judges between concepts, so every concept
+	// keeps its strongest subphrases. Zero means 2.
+	MaxPerPhrase int
+	// IncludeSubject, when set, also builds a cluster for the subject
+	// concept so mentions of other subject instances are conceptualized
+	// (the evaluation counts them; slot filling skips them).
+	IncludeSubject bool
+	// DisableExpansion turns off τ-expansion, keeping only seed words as
+	// representatives (ablation: seeds-only matcher).
+	DisableExpansion bool
+}
+
+func (c Config) maxPerPhrase() int {
+	if c.MaxPerPhrase <= 0 {
+		return 2
+	}
+	return c.MaxPerPhrase
+}
+
+// acceptFloor is the minimum head-word cluster fit for a candidate. It is a
+// high fixed bar: a candidate's head must effectively *be* one of the
+// representative vectors. The user threshold τ therefore acts purely through
+// fine-tuning — it decides how far the representative set expands beyond the
+// known instances — which is exactly the paper's design: the matcher
+// recognizes members of the fine-tuned clusters, and τ trades how inclusive
+// those clusters are.
+func (c Config) acceptFloor() float64 { return 0.95 }
+
+// Matcher is a fine-tuned semantic similarity matcher. Construct with
+// FineTune; it is then safe for concurrent use.
+type Matcher struct {
+	space    *embed.Space
+	cfg      Config
+	clusters []*conceptCluster
+}
+
+// FineTune builds the matcher for the table's schema and instances
+// (MATCHER.FINETUNE in Algorithm 1). The embedding space supplies vectors
+// for both seeds and expansion candidates.
+func FineTune(space *embed.Space, table *schema.Table, cfg Config) (*Matcher, error) {
+	if space == nil || table == nil {
+		return nil, fmt.Errorf("matcher: nil space or table")
+	}
+	if cfg.Tau < 0 || cfg.Tau > 1 {
+		return nil, fmt.Errorf("matcher: tau %v outside [0,1]", cfg.Tau)
+	}
+	m := &Matcher{space: space, cfg: cfg}
+	for _, c := range table.Schema.Concepts {
+		if c == table.Schema.Subject && !cfg.IncludeSubject {
+			continue
+		}
+		cluster := &conceptCluster{concept: c, fitMemo: make(map[string]float64)}
+		seenWord := make(map[string]bool)
+		seenSeed := make(map[string]bool)
+		for _, inst := range table.ColumnValues(c) {
+			norm := text.NormalizePhrase(inst)
+			if norm == "" || seenSeed[norm] {
+				continue
+			}
+			seenSeed[norm] = true
+			vec := space.PhraseVector(strings.Fields(norm))
+			if vec.Zero() {
+				continue
+			}
+			cluster.seeds = append(cluster.seeds, Representative{Phrase: norm, Vector: vec, Seed: true})
+			// Only the instance's lexical head joins the matchable word
+			// set: matching is head-to-head, and admitting modifier words
+			// ("follow-up", "severe") as representatives would let
+			// modifier fragments of unrelated phrases match the concept.
+			if w := headWord(strings.Fields(norm)); w != "" && !seenWord[w] {
+				seenWord[w] = true
+				cluster.words = append(cluster.words, Representative{Phrase: w, Vector: space.Lookup(w), Seed: true})
+			}
+		}
+		if len(cluster.seeds) == 0 {
+			continue // no usable seeds: the concept cannot be matched
+		}
+		if !cfg.DisableExpansion {
+			expandCluster(space, cluster, cfg.Tau, seenWord)
+		}
+		m.clusters = append(m.clusters, cluster)
+	}
+	if len(m.clusters) == 0 {
+		return nil, fmt.Errorf("matcher: no concept has usable seed instances")
+	}
+	return m, nil
+}
+
+// expandCluster adds vocabulary words similar to any seed word (cosine ≥
+// tau) as non-seed representatives — the weak-supervision "fine-tuning"
+// step. Lower τ expands further into the embedding neighborhood.
+func expandCluster(space *embed.Space, cluster *conceptCluster, tau float64, seen map[string]bool) {
+	sources := make([]Representative, len(cluster.words))
+	copy(sources, cluster.words)
+	for _, src := range sources {
+		for _, nb := range space.Neighbors(src.Vector, tau) {
+			if seen[nb.Word] {
+				continue
+			}
+			seen[nb.Word] = true
+			cluster.words = append(cluster.words, Representative{
+				Phrase: nb.Word,
+				Vector: space.Lookup(nb.Word),
+				Via:    src.Phrase,
+			})
+		}
+	}
+}
+
+// Concepts returns the concepts the matcher was fine-tuned for, in schema
+// order.
+func (m *Matcher) Concepts() []schema.Concept {
+	out := make([]schema.Concept, len(m.clusters))
+	for i, c := range m.clusters {
+		out[i] = c.concept
+	}
+	return out
+}
+
+// Representatives returns the fine-tuned word cluster for a concept (nil if
+// the concept is unknown). The slice must not be modified.
+func (m *Matcher) Representatives(c schema.Concept) []Representative {
+	for _, cl := range m.clusters {
+		if cl.concept == c {
+			return cl.words
+		}
+	}
+	return nil
+}
+
+// Seeds returns the seed instances for a concept.
+func (m *Matcher) Seeds(c schema.Concept) []Representative {
+	for _, cl := range m.clusters {
+		if cl.concept == c {
+			return cl.seeds
+		}
+	}
+	return nil
+}
+
+// Match proposes candidate entities for a phrase (MATCHER.MATCH in Algorithm
+// 1): every subphrase is scored by its lexical head against every concept
+// cluster; (subphrase, concept) pairs whose fit reaches the acceptance floor
+// become candidates, capped at MaxPerPhrase, strongest first.
+func (m *Matcher) Match(p phrase.Phrase) []Candidate {
+	floor := m.cfg.acceptFloor()
+	var cands []Candidate
+	for _, sub := range phrase.Subphrases(p) {
+		head := headWord(sub)
+		if head == "" {
+			continue
+		}
+		subText := strings.Join(sub, " ")
+		for _, cl := range m.clusters {
+			fit := m.headFit(cl, head)
+			if fit < floor {
+				continue
+			}
+			cands = append(cands, Candidate{
+				Phrase:  subText,
+				Concept: cl.concept,
+				Matched: m.bestSeed(cl, sub),
+				Sim:     fit,
+			})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Sim > cands[j].Sim })
+	cands = dedupeCandidates(cands)
+	// Keep the strongest maxPerPhrase candidates per concept.
+	perConcept := make(map[schema.Concept]int)
+	kept := cands[:0]
+	for _, c := range cands {
+		if perConcept[c.Concept] >= m.cfg.maxPerPhrase() {
+			continue
+		}
+		perConcept[c.Concept]++
+		kept = append(kept, c)
+	}
+	return kept
+}
+
+// headWord returns the rightmost content word of a subphrase — the lexical
+// head that determines the phrase's category.
+func headWord(words []string) string {
+	for i := len(words) - 1; i >= 0; i-- {
+		if !text.IsStopword(words[i]) {
+			return words[i]
+		}
+	}
+	return ""
+}
+
+// headFit returns the maximum similarity between the head word and the
+// cluster's representative words, memoized per cluster.
+func (m *Matcher) headFit(cl *conceptCluster, head string) float64 {
+	cl.memoMu.RLock()
+	fit, ok := cl.fitMemo[head]
+	cl.memoMu.RUnlock()
+	if ok {
+		return fit
+	}
+	q := m.space.Lookup(head)
+	best := 0.0
+	if !q.Zero() {
+		for i := range cl.words {
+			if sim := embed.CosineAt(&q, &cl.words[i].Vector); sim > best {
+				best = sim
+			}
+		}
+	}
+	cl.memoMu.Lock()
+	cl.fitMemo[head] = best
+	cl.memoMu.Unlock()
+	return best
+}
+
+// bestSeed returns the seed instance c_m whose embedding is most similar to
+// the whole subphrase.
+func (m *Matcher) bestSeed(cl *conceptCluster, sub []string) string {
+	q := m.space.PhraseVector(sub)
+	bestSeed, bestSim := "", -2.0
+	for i := range cl.seeds {
+		if sim := embed.CosineAt(&q, &cl.seeds[i].Vector); sim > bestSim {
+			bestSim, bestSeed = sim, cl.seeds[i].Phrase
+		}
+	}
+	return bestSeed
+}
+
+// dedupeCandidates keeps the strongest candidate per (phrase, concept).
+func dedupeCandidates(cands []Candidate) []Candidate {
+	seen := make(map[string]bool, len(cands))
+	out := cands[:0]
+	for _, c := range cands {
+		key := c.Phrase + "\x00" + string(c.Concept)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// Similarity returns the semantic similarity (cosine over phrase embeddings)
+// between two phrases — MATCHER.SIMILARITY in Algorithm 1, the e.score_s
+// component.
+func (m *Matcher) Similarity(a, b string) float64 {
+	sim := m.space.Similarity(text.NormalizePhrase(a), text.NormalizePhrase(b))
+	if sim < 0 {
+		return 0
+	}
+	return sim
+}
+
+// Explanation describes why (or how well) a phrase head fits one concept
+// cluster: the best representative, how it entered the cluster, and the
+// similarity. Explanations make slot fills auditable.
+type Explanation struct {
+	Concept schema.Concept
+	// Fit is the head-word cluster fit used for acceptance.
+	Fit float64
+	// BestRep is the representative word closest to the head.
+	BestRep Representative
+	// Accepted reports whether the fit clears the acceptance floor.
+	Accepted bool
+}
+
+// Explain scores the phrase's head against every cluster and reports the
+// per-concept evidence, strongest first.
+func (m *Matcher) Explain(p phrase.Phrase) []Explanation {
+	head := headWord(p.Words)
+	if head == "" {
+		return nil
+	}
+	q := m.space.Lookup(head)
+	floor := m.cfg.acceptFloor()
+	var out []Explanation
+	for _, cl := range m.clusters {
+		best, bestSim := Representative{}, -2.0
+		if !q.Zero() {
+			for i := range cl.words {
+				if sim := embed.CosineAt(&q, &cl.words[i].Vector); sim > bestSim {
+					bestSim, best = sim, cl.words[i]
+				}
+			}
+		}
+		if bestSim < 0 {
+			bestSim = 0
+		}
+		out = append(out, Explanation{
+			Concept:  cl.concept,
+			Fit:      bestSim,
+			BestRep:  best,
+			Accepted: bestSim >= floor,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Fit > out[j].Fit })
+	return out
+}

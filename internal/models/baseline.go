@@ -1,0 +1,70 @@
+package models
+
+import (
+	"strings"
+
+	"thor/internal/ahocorasick"
+	"thor/internal/eval"
+	"thor/internal/pos"
+	"thor/internal/schema"
+	"thor/internal/segment"
+	"thor/internal/text"
+)
+
+// Baseline is the traditional entity-recognition comparator of Table IV: an
+// Aho–Corasick dictionary matcher whose patterns are the structured-data
+// instances. It requires no training and finds every verbatim occurrence of
+// a known instance — and nothing else, which is why its recall collapses on
+// corpora dominated by out-of-vocabulary entities.
+type Baseline struct {
+	ext      *extractor
+	auto     *ahocorasick.Automaton
+	concepts []schema.Concept // parallel to the automaton's patterns
+}
+
+// NewBaseline builds the dictionary from every instance in the table
+// (including the subject column) and prepares segmentation over the given
+// evaluation subjects.
+func NewBaseline(table *schema.Table, subjects []string, lexicon map[string]pos.Tag) *Baseline {
+	var patterns []string
+	var concepts []schema.Concept
+	for _, c := range table.Schema.Concepts {
+		for _, v := range table.ColumnValues(c) {
+			norm := text.NormalizePhrase(v)
+			if norm == "" {
+				continue
+			}
+			patterns = append(patterns, norm)
+			concepts = append(concepts, c)
+		}
+	}
+	return &Baseline{
+		ext:      newExtractor(subjects, lexicon),
+		auto:     ahocorasick.NewAutomaton(patterns),
+		concepts: concepts,
+	}
+}
+
+// Name implements Model.
+func (b *Baseline) Name() string { return "Baseline" }
+
+// Extract reports every whole-word dictionary occurrence, labeled with the
+// pattern's column and attributed to the sentence's subject instance.
+func (b *Baseline) Extract(docs []segment.Document) []eval.Mention {
+	out := newMentionSet()
+	for _, doc := range docs {
+		for _, sp := range b.ext.scan(doc) {
+			// Dictionary matching runs over the normalized sentence so that
+			// case and punctuation differences do not break patterns.
+			norm := strings.ToLower(sp.Text)
+			for _, m := range b.auto.FindWholeWords(norm) {
+				out.add(eval.Mention{
+					Subject: sp.Subject,
+					Concept: b.concepts[m.Pattern],
+					Phrase:  b.auto.Pattern(m.Pattern),
+				})
+			}
+		}
+	}
+	return out.mentions()
+}

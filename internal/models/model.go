@@ -1,0 +1,119 @@
+// Package models implements the comparator systems of the paper's
+// evaluation (Table IV): the exact-matching Baseline and behavioral
+// simulators of the four neural systems (LM-SD, LM-Human, GPT-4,
+// UniversalNER).
+//
+// The neural models cannot be reproduced bit-for-bit offline, so each
+// simulator is a genuine algorithm over the same substrates (embedding
+// space, parser, segmenter) engineered to exhibit the system's *documented*
+// behavior: LM-SD's majority-class bias from sparse structured training
+// data, LM-Human's high precision that scales with annotated volume, GPT-4's
+// hallucination/instability and generic-class strength, and UniNER's
+// pre-training coverage gaps plus hard context window. See DESIGN.md,
+// "Substitutions".
+package models
+
+import (
+	"sort"
+	"strings"
+
+	"thor/internal/dep"
+	"thor/internal/eval"
+	"thor/internal/phrase"
+	"thor/internal/pos"
+	"thor/internal/segment"
+)
+
+// Model is a slot-filling system under evaluation: it reads documents and
+// returns conceptualized entity mentions.
+type Model interface {
+	// Name returns the display name used in the paper's tables.
+	Name() string
+	// Extract conceptualizes the documents into entity mentions, attributed
+	// to subject instances.
+	Extract(docs []segment.Document) []eval.Mention
+}
+
+// extractor bundles the text substrate every model shares: document
+// segmentation by subject instance, POS tagging and noun-phrase extraction.
+type extractor struct {
+	seg    *segment.Segmenter
+	tagger *pos.Tagger
+}
+
+func newExtractor(subjects []string, lexicon map[string]pos.Tag) *extractor {
+	tg := pos.New()
+	if lexicon != nil {
+		tg.AddLexicon(lexicon)
+	}
+	return &extractor{seg: segment.New(subjects), tagger: tg}
+}
+
+// sentencePhrases yields each sentence's subject attribution and noun
+// phrases.
+type sentencePhrases struct {
+	Subject string
+	Phrases []phrase.Phrase
+	// Text is the raw sentence span.
+	Text string
+}
+
+func (e *extractor) scan(doc segment.Document) []sentencePhrases {
+	var out []sentencePhrases
+	for _, asg := range e.seg.Segment(doc) {
+		if asg.Subject == "" {
+			continue
+		}
+		tree := dep.Parse(e.tagger.Tag(asg.Sentence))
+		out = append(out, sentencePhrases{
+			Subject: asg.Subject,
+			Phrases: phrase.Extract(tree),
+			Text:    doc.Text[asg.Sentence.Start:asg.Sentence.End],
+		})
+	}
+	return out
+}
+
+// mentionSet deduplicates mentions while preserving first-seen order.
+type mentionSet struct {
+	seen map[string]bool
+	list []eval.Mention
+}
+
+func newMentionSet() *mentionSet { return &mentionSet{seen: make(map[string]bool)} }
+
+func (s *mentionSet) add(m eval.Mention) {
+	n := m.Normalize()
+	if n.Phrase == "" {
+		return
+	}
+	key := n.Subject + "\x00" + string(n.Concept) + "\x00" + n.Phrase
+	if s.seen[key] {
+		return
+	}
+	s.seen[key] = true
+	s.list = append(s.list, n)
+}
+
+func (s *mentionSet) mentions() []eval.Mention {
+	sort.SliceStable(s.list, func(i, j int) bool {
+		a, b := s.list[i], s.list[j]
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Concept != b.Concept {
+			return a.Concept < b.Concept
+		}
+		return a.Phrase < b.Phrase
+	})
+	return s.list
+}
+
+// headOf returns the rightmost content word of a normalized phrase.
+func headOf(phrase string) string {
+	fields := strings.Fields(phrase)
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[len(fields)-1]
+}

@@ -1,0 +1,201 @@
+// Package phrase extracts noun phrases from dependency-parsed sentences and
+// enumerates candidate subphrases, implementing PARSER.EXTRACTNOUNPHRASES of
+// Algorithm 1 in the THOR paper.
+//
+// A noun phrase is a dependency subtree whose root is a NOUN, PROPN or PRON,
+// restricted to the contiguous pre-nominal modifier span (determiners,
+// adjectives, numerals and compound nouns). Leading and trailing stop-words
+// are stripped, so "the lungs" yields the phrase "lungs".
+package phrase
+
+import (
+	"strings"
+
+	"thor/internal/dep"
+	"thor/internal/pos"
+	"thor/internal/text"
+)
+
+// Phrase is a candidate noun phrase extracted from a sentence.
+type Phrase struct {
+	// Words are the lower-cased words of the phrase after stop-word
+	// stripping, in surface order.
+	Words []string
+	// Tags are the part-of-speech tags parallel to Words. May be nil when
+	// the producer has no tagging (all words are then treated as nominal).
+	Tags []pos.Tag
+	// HeadWord is the lower-cased lexical head (the rightmost nominal).
+	HeadWord string
+	// Start and End are byte offsets of the phrase span in the original
+	// document (before stop-word stripping the span may be wider; offsets
+	// cover the stripped phrase).
+	Start, End int
+}
+
+// Nominal reports whether the i-th word can head a candidate subphrase: a
+// noun/proper-noun/number, or any word when tags are absent.
+func (p Phrase) Nominal(i int) bool {
+	if p.Tags == nil || i >= len(p.Tags) {
+		return true
+	}
+	t := p.Tags[i]
+	return t.IsNominal() || t == pos.NUM
+}
+
+// Text returns the normalized phrase string.
+func (p Phrase) Text() string { return strings.Join(p.Words, " ") }
+
+// Extract returns the noun phrases of a parsed sentence, in surface order.
+// Pronoun-headed phrases are skipped: they carry no conceptual content for
+// slot filling.
+func Extract(t *dep.Tree) []Phrase {
+	var out []Phrase
+	seen := make(map[int]bool) // words already consumed by an emitted phrase
+	for i := 0; i < len(t.Nodes); i++ {
+		n := t.Nodes[i]
+		if !isPhraseHead(t, i) || seen[i] {
+			continue
+		}
+		span := modifierSpan(t, i)
+		var words []string
+		var tags []pos.Tag
+		var toks []text.Token
+		for _, j := range span {
+			seen[j] = true
+			nd := t.Nodes[j]
+			if nd.IsWordLike() {
+				words = append(words, nd.Lower)
+				tags = append(tags, nd.Tag)
+				toks = append(toks, nd.Token)
+			}
+		}
+		stripped := text.StripStopwords(words)
+		// Align the tag slice with the stripped word window.
+		lo := 0
+		for lo < len(words) && (len(stripped) == 0 || words[lo] != stripped[0]) {
+			lo++
+		}
+		if len(stripped) == 0 {
+			continue
+		}
+		tags = tags[lo : lo+len(stripped)]
+		// Recompute the byte span over the stripped words.
+		start, end := spanOf(toks, stripped)
+		out = append(out, Phrase{Words: stripped, Tags: tags, HeadWord: n.Lower, Start: start, End: end})
+	}
+	return out
+}
+
+// isPhraseHead reports whether node i heads a noun phrase: a non-pronoun
+// nominal that is not itself a compound modifier of a later nominal.
+func isPhraseHead(t *dep.Tree, i int) bool {
+	n := t.Nodes[i]
+	if n.Tag != pos.NOUN && n.Tag != pos.PROPN {
+		return false
+	}
+	return n.Rel != dep.RelCompound
+}
+
+// modifierSpan returns the contiguous span of node i together with its
+// pre-nominal dependents (det, amod, nummod, compound), in surface order.
+// Post-nominal dependents (prepositional phrases, conjuncts) are excluded so
+// that "tumor on the nerve" yields two phrases, matching the paper.
+func modifierSpan(t *dep.Tree, head int) []int {
+	include := map[int]bool{head: true}
+	var collect func(int)
+	collect = func(j int) {
+		for _, c := range t.Children(j) {
+			nd := t.Nodes[c]
+			if c > head {
+				continue
+			}
+			switch nd.Rel {
+			case dep.RelDet, dep.RelAmod, dep.RelNummod, dep.RelCompound:
+				include[c] = true
+				collect(c)
+			}
+		}
+	}
+	collect(head)
+	// Take the contiguous run ending at head (gaps mean intervening
+	// structure we must not glue together).
+	lo := head
+	for lo-1 >= 0 && include[lo-1] {
+		lo--
+	}
+	span := make([]int, 0, head-lo+1)
+	for j := lo; j <= head; j++ {
+		span = append(span, j)
+	}
+	return span
+}
+
+// spanOf maps stripped words back onto token offsets. words is a suffix-free
+// contiguous subsequence of the token text, so we locate the first and last
+// kept word.
+func spanOf(toks []text.Token, words []string) (int, int) {
+	if len(words) == 0 || len(toks) == 0 {
+		return 0, 0
+	}
+	first, last := -1, -1
+	w := 0
+	for _, tk := range toks {
+		if w < len(words) && tk.Lower == words[w] {
+			if first == -1 {
+				first = tk.Start
+			}
+			last = tk.End
+			w++
+		} else if first == -1 {
+			continue
+		}
+	}
+	if first == -1 {
+		return toks[0].Start, toks[len(toks)-1].End
+	}
+	return first, last
+}
+
+// MaxSubphraseLen caps the candidate subphrase length. Real entities rarely
+// exceed a handful of words; the cap also keeps enumeration linear in the
+// phrase length, so a degenerate parse that glues a whole run-on sentence
+// into one "noun phrase" cannot blow up the matcher.
+const MaxSubphraseLen = 8
+
+// Subphrases enumerates the candidate word subsequences of a phrase, the
+// candidate entities the semantic matcher scores (Section IV-B). Order:
+// longer subphrases first (capped at MaxSubphraseLen), then by start
+// position, so exact-phrase matches are considered before fragments.
+// Subphrases consisting only of stop-words are omitted, and — when tags are
+// available — so are subphrases that do not end in a nominal word: an
+// adjective fragment like "severe" cannot be an entity on its own.
+func Subphrases(p Phrase) [][]string {
+	var out [][]string
+	n := len(p.Words)
+	longest := n
+	if longest > MaxSubphraseLen {
+		longest = MaxSubphraseLen
+	}
+	for length := longest; length >= 1; length-- {
+		for start := 0; start+length <= n; start++ {
+			if !p.Nominal(start + length - 1) {
+				continue
+			}
+			sub := p.Words[start : start+length]
+			if allStopwords(sub) {
+				continue
+			}
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+func allStopwords(words []string) bool {
+	for _, w := range words {
+		if !text.IsStopword(w) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,178 @@
+package phrase
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"thor/internal/dep"
+	"thor/internal/pos"
+	"thor/internal/text"
+)
+
+func extract(t *testing.T, s string) []Phrase {
+	t.Helper()
+	sents := text.SplitSentences(s)
+	if len(sents) != 1 {
+		t.Fatalf("want 1 sentence from %q", s)
+	}
+	return Extract(dep.Parse(pos.New().Tag(sents[0])))
+}
+
+func phraseTexts(ps []Phrase) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Text()
+	}
+	return out
+}
+
+func TestExtractRunningExample(t *testing.T) {
+	// Paper Section IV-B: from 'Tuberculosis generally damages the lungs'
+	// THOR generates {'Tuberculosis', 'lungs'}.
+	got := phraseTexts(extract(t, "Tuberculosis generally damages the lungs."))
+	want := []string{"tuberculosis", "lungs"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("phrases = %v, want %v", got, want)
+	}
+}
+
+func TestExtractModifiedPhrase(t *testing.T) {
+	got := phraseTexts(extract(t, "An acoustic neuroma is a slow-growing non-cancerous brain tumor."))
+	want := []string{"acoustic neuroma", "slow-growing non-cancerous brain tumor"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("phrases = %v, want %v", got, want)
+	}
+}
+
+func TestExtractPrepositionalSplit(t *testing.T) {
+	got := phraseTexts(extract(t, "It develops on the main nerve leading from the inner ear to the brain."))
+	// Pronoun subject is skipped; each prepositional object is its own phrase.
+	want := []string{"main nerve", "inner ear", "brain"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("phrases = %v, want %v", got, want)
+	}
+}
+
+func TestExtractCoordination(t *testing.T) {
+	got := phraseTexts(extract(t, "Complications may include hearing loss and unsteadiness."))
+	want := []string{"complications", "hearing loss", "unsteadiness"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("phrases = %v, want %v", got, want)
+	}
+}
+
+func TestExtractSkipsPronouns(t *testing.T) {
+	got := extract(t, "They recovered.")
+	if len(got) != 0 {
+		t.Errorf("pronoun-only sentence produced phrases: %v", phraseTexts(got))
+	}
+}
+
+func TestExtractOffsets(t *testing.T) {
+	in := "Tuberculosis generally damages the lungs."
+	ps := extract(t, in)
+	for _, p := range ps {
+		span := in[p.Start:p.End]
+		if text.NormalizePhrase(span) != p.Text() {
+			t.Errorf("span %q does not normalize to phrase %q", span, p.Text())
+		}
+	}
+	// "the lungs" strips "the": span must start at "lungs".
+	if ps[1].Start != len("Tuberculosis generally damages the ") {
+		t.Errorf("lungs span start = %d", ps[1].Start)
+	}
+}
+
+func TestExtractHeadWord(t *testing.T) {
+	ps := extract(t, "A severe lung infection appeared.")
+	if len(ps) != 1 || ps[0].HeadWord != "infection" {
+		t.Fatalf("phrases = %+v", ps)
+	}
+	if ps[0].Text() != "severe lung infection" {
+		t.Errorf("text = %q", ps[0].Text())
+	}
+}
+
+func TestSubphrasesOrderAndCompleteness(t *testing.T) {
+	got := Subphrases(Phrase{Words: []string{"non-cancerous", "brain", "tumor"}})
+	want := [][]string{
+		{"non-cancerous", "brain", "tumor"},
+		{"non-cancerous", "brain"},
+		{"brain", "tumor"},
+		{"non-cancerous"},
+		{"brain"},
+		{"tumor"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Subphrases = %v, want %v", got, want)
+	}
+}
+
+func TestSubphrasesSkipStopwordOnly(t *testing.T) {
+	got := Subphrases(Phrase{Words: []string{"shortness", "of", "breath"}})
+	for _, sub := range got {
+		if len(sub) == 1 && sub[0] == "of" {
+			t.Error("stop-word-only subphrase not filtered")
+		}
+	}
+	// Full phrase still present.
+	if len(got) == 0 || len(got[0]) != 3 {
+		t.Errorf("full phrase missing: %v", got)
+	}
+}
+
+func TestSubphrasesEmpty(t *testing.T) {
+	if got := Subphrases(Phrase{}); len(got) != 0 {
+		t.Errorf("Subphrases(nil) = %v", got)
+	}
+}
+
+// Property: subphrase count for k non-stopword words is k*(k+1)/2.
+func TestSubphrasesCount(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for k := 1; k <= len(words); k++ {
+		got := len(Subphrases(Phrase{Words: words[:k]}))
+		want := k * (k + 1) / 2
+		if got != want {
+			t.Errorf("k=%d: %d subphrases, want %d", k, got, want)
+		}
+	}
+}
+
+// Property: every extracted phrase contains at least one non-stop word and
+// no leading/trailing stop-words.
+func TestExtractNoEdgeStopwords(t *testing.T) {
+	docs := []string{
+		"The main nerve of the inner ear may swell.",
+		"A doctor may recommend the surgical removal of the tumor.",
+		"Symptoms include a persistent cough and severe chest pain.",
+	}
+	for _, d := range docs {
+		for _, p := range extract(t, d) {
+			if len(p.Words) == 0 {
+				t.Fatalf("%q: empty phrase", d)
+			}
+			if text.IsStopword(p.Words[0]) || text.IsStopword(p.Words[len(p.Words)-1]) {
+				t.Errorf("%q: phrase %q has edge stop-word", d, p.Text())
+			}
+		}
+	}
+}
+
+func TestSubphrasesLengthCap(t *testing.T) {
+	words := make([]string, 50)
+	for i := range words {
+		words[i] = fmt.Sprintf("w%d", i)
+	}
+	got := Subphrases(Phrase{Words: words})
+	for _, sub := range got {
+		if len(sub) > MaxSubphraseLen {
+			t.Fatalf("subphrase of length %d exceeds cap", len(sub))
+		}
+	}
+	// Linear growth: at most MaxSubphraseLen windows per start position.
+	if len(got) > MaxSubphraseLen*len(words) {
+		t.Errorf("subphrase count %d not linear in phrase length", len(got))
+	}
+}

@@ -1,0 +1,208 @@
+package pos
+
+import (
+	"testing"
+
+	"thor/internal/text"
+)
+
+func tagSentence(t *testing.T, tg *Tagger, s string) []TaggedToken {
+	t.Helper()
+	sents := text.SplitSentences(s)
+	if len(sents) != 1 {
+		t.Fatalf("expected 1 sentence from %q, got %d", s, len(sents))
+	}
+	return tg.Tag(sents[0])
+}
+
+func tagsOf(tt []TaggedToken) []Tag {
+	out := make([]Tag, len(tt))
+	for i, x := range tt {
+		out[i] = x.Tag
+	}
+	return out
+}
+
+func TestTagRunningExample(t *testing.T) {
+	// The paper's Fig. 3 sentence.
+	tt := tagSentence(t, New(), "Tuberculosis generally damages the lungs.")
+	want := []Tag{PROPN, ADV, VERB, DET, NOUN, PUNCT}
+	got := tagsOf(tt)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %q: tag = %v, want %v", tt[i].Text, got[i], want[i])
+		}
+	}
+}
+
+func TestTagDeterminerNounRepair(t *testing.T) {
+	tt := tagSentence(t, New(), "The swelling increased.")
+	if tt[1].Tag != NOUN {
+		t.Errorf("swelling after determiner = %v, want NOUN", tt[1].Tag)
+	}
+}
+
+func TestTagParticipleAdjective(t *testing.T) {
+	tt := tagSentence(t, New(), "a slow-growing tumor")
+	if tt[1].Tag != ADJ {
+		t.Errorf("slow-growing = %v, want ADJ", tt[1].Tag)
+	}
+	if tt[2].Tag != NOUN {
+		t.Errorf("tumor = %v, want NOUN", tt[2].Tag)
+	}
+}
+
+func TestTagClosedClass(t *testing.T) {
+	tt := tagSentence(t, New(), "It is in the brain and the nerve.")
+	want := []Tag{PRON, AUX, ADP, DET, NOUN, CCONJ, DET, NOUN, PUNCT}
+	got := tagsOf(tt)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %q: tag = %v, want %v", tt[i].Text, got[i], want[i])
+		}
+	}
+}
+
+func TestTagNumbers(t *testing.T) {
+	tt := tagSentence(t, New(), "She has 5 years of experience.")
+	if tt[2].Tag != NUM {
+		t.Errorf("5 = %v, want NUM", tt[2].Tag)
+	}
+	// "has" with no following verb is a main verb.
+	if tt[1].Tag != VERB {
+		t.Errorf("has = %v, want VERB", tt[1].Tag)
+	}
+}
+
+func TestTagHasAuxiliary(t *testing.T) {
+	tt := tagSentence(t, New(), "The patient has developed symptoms.")
+	if tt[2].Tag != AUX {
+		t.Errorf("has before participle = %v, want AUX", tt[2].Tag)
+	}
+}
+
+func TestTagProperNounMidSentence(t *testing.T) {
+	tt := tagSentence(t, New(), "She studied at Stanford University.")
+	if tt[3].Tag != PROPN || tt[4].Tag != PROPN {
+		t.Errorf("Stanford University = %v %v, want PROPN PROPN", tt[3].Tag, tt[4].Tag)
+	}
+}
+
+func TestTagSuffixHeuristics(t *testing.T) {
+	tg := New()
+	cases := map[string]Tag{
+		"cancerous":  ADJ,
+		"surgical":   ADJ,
+		"rapidly":    ADV,
+		"infection":  NOUN,
+		"stabilize":  VERB,
+		"vestibular": ADJ,
+	}
+	for w, want := range cases {
+		tt := tagSentence(t, tg, "xxx "+w+" yyy")
+		if tt[1].Tag != want {
+			t.Errorf("suffix tag(%q) = %v, want %v", w, tt[1].Tag, want)
+		}
+	}
+}
+
+func TestTagCustomLexicon(t *testing.T) {
+	tg := New()
+	tg.AddLexicon(map[string]Tag{"empyema": NOUN, "metformin": NOUN})
+	tt := tagSentence(t, tg, "empyema may follow")
+	if tt[0].Tag != NOUN {
+		t.Errorf("custom lexicon ignored: empyema = %v", tt[0].Tag)
+	}
+}
+
+func TestTagToPreposition(t *testing.T) {
+	tt := tagSentence(t, New(), "She went to the hospital to recover.")
+	if tt[2].Tag != ADP {
+		t.Errorf("to-the-hospital: to = %v, want ADP", tt[2].Tag)
+	}
+	if tt[5].Tag != PART {
+		t.Errorf("to-recover: to = %v, want PART", tt[5].Tag)
+	}
+}
+
+func TestTagNominalHelpers(t *testing.T) {
+	if !NOUN.IsNominal() || !PROPN.IsNominal() || !PRON.IsNominal() {
+		t.Error("nominal tags misreported")
+	}
+	if VERB.IsNominal() || ADJ.IsNominal() {
+		t.Error("non-nominal tags misreported")
+	}
+	if !ADJ.IsModifier() || !DET.IsModifier() || !NUM.IsModifier() {
+		t.Error("modifier tags misreported")
+	}
+}
+
+func TestTagStringNames(t *testing.T) {
+	if NOUN.String() != "NOUN" || PUNCT.String() != "PUNCT" || Tag(99).String() != "X" {
+		t.Error("Tag.String misbehaves")
+	}
+}
+
+func TestTagEmptySentence(t *testing.T) {
+	tg := New()
+	out := tg.Tag(text.Sentence{})
+	if len(out) != 0 {
+		t.Errorf("tagging empty sentence = %v", out)
+	}
+}
+
+func TestTagCopulaSentence(t *testing.T) {
+	tt := tagSentence(t, New(), "The condition is caused by bacteria.")
+	if tt[2].Tag != AUX {
+		t.Errorf("is = %v, want AUX", tt[2].Tag)
+	}
+	if tt[3].Tag != VERB {
+		t.Errorf("caused = %v, want VERB (after auxiliary)", tt[3].Tag)
+	}
+}
+
+func TestTagCoordinatedAdjectives(t *testing.T) {
+	tt := tagSentence(t, New(), "a chronic and severe infection")
+	if tt[1].Tag != ADJ || tt[3].Tag != ADJ {
+		t.Errorf("chronic/severe = %v/%v, want ADJ/ADJ", tt[1].Tag, tt[3].Tag)
+	}
+	if tt[2].Tag != CCONJ {
+		t.Errorf("and = %v, want CCONJ", tt[2].Tag)
+	}
+}
+
+func TestTagAllPunctuationKinds(t *testing.T) {
+	tg := New()
+	sents := text.SplitSentences("Wait - really, (yes) \"ok\"!")
+	if len(sents) == 0 {
+		t.Fatal("no sentences")
+	}
+	for _, tok := range tg.Tag(sents[0]) {
+		if tok.Kind == text.Punct && tok.Tag != PUNCT {
+			t.Errorf("punct token %q tagged %v", tok.Text, tok.Tag)
+		}
+	}
+}
+
+func TestTagDomainDrugNames(t *testing.T) {
+	tg := New()
+	tg.AddLexicon(map[string]Tag{"amoxicillin": NOUN})
+	tt := tagSentence(t, tg, "Doctors prescribe amoxicillin daily.")
+	if tt[2].Tag != NOUN {
+		t.Errorf("amoxicillin = %v, want NOUN via lexicon", tt[2].Tag)
+	}
+	if tt[1].Tag != VERB {
+		t.Errorf("prescribe = %v, want VERB", tt[1].Tag)
+	}
+}
+
+func TestTagConsistencyAcrossCalls(t *testing.T) {
+	tg := New()
+	a := tagsOf(tagSentence(t, tg, "Tuberculosis generally damages the lungs."))
+	b := tagsOf(tagSentence(t, tg, "Tuberculosis generally damages the lungs."))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tagger not deterministic at token %d", i)
+		}
+	}
+}

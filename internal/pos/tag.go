@@ -1,0 +1,54 @@
+// Package pos implements a deterministic rule-based part-of-speech tagger
+// over the Universal Dependencies tag set.
+//
+// The tagger plays the role of spaCy's statistical tagger in the original
+// THOR system. It combines (1) a closed-class lexicon, (2) an open-class
+// lexicon of frequent words, (3) suffix and shape heuristics, and (4) a small
+// set of contextual patch rules in the spirit of a Brill tagger. THOR only
+// consumes the tags NOUN/PROPN/PRON (noun-phrase heads), ADJ/DET/NUM
+// (modifiers) and VERB/ADP (phrase boundaries), so the rules are tuned for
+// exactly those distinctions.
+package pos
+
+// Tag is a Universal Dependencies part-of-speech tag.
+type Tag int
+
+const (
+	X     Tag = iota // other / unknown
+	NOUN             // common noun
+	PROPN            // proper noun
+	PRON             // pronoun
+	VERB             // lexical verb
+	AUX              // auxiliary verb
+	ADJ              // adjective
+	ADV              // adverb
+	DET              // determiner
+	ADP              // adposition (preposition)
+	CCONJ            // coordinating conjunction
+	SCONJ            // subordinating conjunction
+	NUM              // numeral
+	PART             // particle ("to", "not", possessive 's)
+	PUNCT            // punctuation
+	SYM              // symbol
+)
+
+var tagNames = [...]string{
+	X: "X", NOUN: "NOUN", PROPN: "PROPN", PRON: "PRON", VERB: "VERB",
+	AUX: "AUX", ADJ: "ADJ", ADV: "ADV", DET: "DET", ADP: "ADP",
+	CCONJ: "CCONJ", SCONJ: "SCONJ", NUM: "NUM", PART: "PART",
+	PUNCT: "PUNCT", SYM: "SYM",
+}
+
+// String returns the UD tag name.
+func (t Tag) String() string {
+	if int(t) < len(tagNames) {
+		return tagNames[t]
+	}
+	return "X"
+}
+
+// IsNominal reports whether the tag can head a noun phrase.
+func (t Tag) IsNominal() bool { return t == NOUN || t == PROPN || t == PRON }
+
+// IsModifier reports whether the tag can modify a noun inside a noun phrase.
+func (t Tag) IsModifier() bool { return t == ADJ || t == DET || t == NUM }

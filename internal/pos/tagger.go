@@ -1,0 +1,198 @@
+package pos
+
+import (
+	"strings"
+	"unicode"
+
+	"thor/internal/text"
+)
+
+// TaggedToken pairs a token with its part-of-speech tag.
+type TaggedToken struct {
+	text.Token
+	Tag Tag
+}
+
+// Tagger assigns Universal Dependencies tags to token sequences. The zero
+// value is not usable; construct with New. A Tagger is safe for concurrent
+// use.
+type Tagger struct {
+	// extra holds caller-supplied lexicon entries that take precedence over
+	// the built-in open-class lexicon (but not over closed-class words).
+	extra map[string]Tag
+}
+
+// New returns a Tagger with the built-in lexicons.
+func New() *Tagger { return &Tagger{extra: map[string]Tag{}} }
+
+// AddLexicon registers extra word→tag entries, e.g. domain nouns emitted by
+// a dataset generator. Entries are matched lower-cased.
+func (tg *Tagger) AddLexicon(entries map[string]Tag) {
+	for w, t := range entries {
+		tg.extra[strings.ToLower(w)] = t
+	}
+}
+
+// Tag tags a sentence. The returned slice is parallel to sent.Tokens.
+func (tg *Tagger) Tag(sent text.Sentence) []TaggedToken {
+	out := make([]TaggedToken, len(sent.Tokens))
+	for i, tok := range sent.Tokens {
+		out[i] = TaggedToken{Token: tok, Tag: tg.lexical(tok, i == 0)}
+	}
+	tg.patch(out)
+	return out
+}
+
+// lexical assigns a context-free tag from lexicons, shape and suffixes.
+func (tg *Tagger) lexical(tok text.Token, sentenceInitial bool) Tag {
+	switch tok.Kind {
+	case text.Punct:
+		return PUNCT
+	case text.Number:
+		return NUM
+	case text.Symbol:
+		return SYM
+	}
+	w := tok.Lower
+	if t, ok := closedClass[w]; ok {
+		return t
+	}
+	if t, ok := tg.extra[w]; ok {
+		return t
+	}
+	if t, ok := openClass[w]; ok {
+		return t
+	}
+	// Capitalized non-initial word → proper noun. Sentence-initial
+	// capitalization is ambiguous; fall through to suffix rules, and let a
+	// patch rule promote if needed.
+	if !sentenceInitial && isCapitalized(tok.Text) {
+		return PROPN
+	}
+	return suffixTag(w)
+}
+
+// suffixTag guesses an open-class tag from derivational suffixes. Nouns are
+// the default, which matches both English type frequency and THOR's bias
+// (false NOUN readings merely produce extra candidate phrases; the matcher
+// filters them).
+func suffixTag(w string) Tag {
+	switch {
+	case hasAnySuffix(w, "ly"):
+		return ADV
+	case hasAnySuffix(w, "ous", "ful", "ive", "ic", "al", "able", "ible", "ant", "ent", "ar", "ary", "less", "ish"):
+		return ADJ
+	case hasAnySuffix(w, "ize", "ise", "ify", "ated", "ates"):
+		return VERB
+	case hasAnySuffix(w, "ing", "ed"):
+		// Ambiguous between VERB (participles) and NOUN/ADJ (gerunds,
+		// deverbal adjectives). Default to VERB; patch rules repair the
+		// common "DET _ NOUN" and phrase-final gerund cases.
+		return VERB
+	default:
+		return NOUN
+	}
+}
+
+func hasAnySuffix(w string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if len(w) > len(s)+2 && strings.HasSuffix(w, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func isCapitalized(s string) bool {
+	for _, r := range s {
+		return unicode.IsUpper(r)
+	}
+	return false
+}
+
+// patch applies contextual repair rules over the context-free tags, in the
+// spirit of Brill's transformation-based tagging.
+func (tg *Tagger) patch(toks []TaggedToken) {
+	for i := range toks {
+		t := &toks[i]
+		prev, next := prevTag(toks, i), nextTag(toks, i)
+
+		// Rule 1: an -ing/-ed word before a nominal or adjective is an
+		// adjective ("slow-growing tumor", "qualified engineer") — but only
+		// in positions where a finite verb cannot occur (after a
+		// determiner, adjective, conjunction or at phrase start), so
+		// perfect tenses ("has developed symptoms") keep their verb.
+		adjContext := prev == DET || prev == ADJ || prev == NUM || prev == ADP || prev == CCONJ || prev == PUNCT || prev == X
+		if t.Tag == VERB && adjContext && (strings.HasSuffix(t.Lower, "ing") || strings.HasSuffix(t.Lower, "ed")) && (next.IsNominal() || next == ADJ) {
+			t.Tag = ADJ
+		}
+
+		// Rule 2: a verb-shaped word directly after a determiner or
+		// adjective is a noun ("the swelling", "severe itching").
+		if t.Tag == VERB && (prev == DET || prev == ADJ || prev == NUM) {
+			t.Tag = NOUN
+		}
+
+		// Rule 3: sentence-initial capitalized unknown word followed by a
+		// verb or auxiliary (possibly across adverbs: "Tuberculosis
+		// generally damages ...") is likely a proper noun.
+		if i == 0 && t.Tag == NOUN && isCapitalized(t.Text) && followedByVerb(toks, i) {
+			if _, known := openClass[t.Lower]; !known {
+				if _, known := tg.extra[t.Lower]; !known {
+					t.Tag = PROPN
+				}
+			}
+		}
+
+		// Rule 4: "to" before a verb stays PART; before a nominal it is a
+		// preposition ("to the hospital").
+		if t.Lower == "to" && (next.IsNominal() || next == DET) {
+			t.Tag = ADP
+		}
+
+		// Rule 5: an auxiliary with no following verb is a main verb
+		// ("she has two degrees").
+		if t.Tag == AUX && (t.Lower == "has" || t.Lower == "have" || t.Lower == "had" || t.Lower == "do" || t.Lower == "does" || t.Lower == "did") {
+			if !followedByVerb(toks, i) {
+				t.Tag = VERB
+			}
+		}
+
+		// Rule 6: "that"/"which" after a nominal introduces a relative
+		// clause → SCONJ-like behavior; tag as PRON is kept, but "that"
+		// before a clause verb becomes SCONJ.
+		if t.Lower == "that" && prev == VERB {
+			t.Tag = SCONJ
+		}
+	}
+}
+
+func prevTag(toks []TaggedToken, i int) Tag {
+	if i == 0 {
+		return X
+	}
+	return toks[i-1].Tag
+}
+
+func nextTag(toks []TaggedToken, i int) Tag {
+	if i+1 >= len(toks) {
+		return X
+	}
+	return toks[i+1].Tag
+}
+
+// followedByVerb reports whether a VERB/AUX appears within the next three
+// tokens, skipping adverbs and particles.
+func followedByVerb(toks []TaggedToken, i int) bool {
+	for j := i + 1; j < len(toks) && j <= i+3; j++ {
+		switch toks[j].Tag {
+		case ADV, PART:
+			continue
+		case VERB, AUX:
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,148 @@
+package schema
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// jsonTable is the serialized form of a Table.
+type jsonTable struct {
+	Subject  Concept          `json:"subject"`
+	Concepts []Concept        `json:"concepts"`
+	Rows     []map[string]any `json:"rows"`
+}
+
+// WriteJSON serializes the table. Multi-valued cells become JSON arrays;
+// missing cells are omitted.
+func (t *Table) WriteJSON(w io.Writer) error {
+	jt := jsonTable{Subject: t.Schema.Subject, Concepts: t.Schema.Concepts}
+	for _, r := range t.Rows {
+		m := map[string]any{string(t.Schema.Subject): r.Subject}
+		cs := make([]string, 0, len(r.Cells))
+		for c := range r.Cells {
+			cs = append(cs, string(c))
+		}
+		sort.Strings(cs)
+		for _, c := range cs {
+			if vs := r.Cells[Concept(c)]; len(vs) > 0 {
+				m[c] = vs
+			}
+		}
+		jt.Rows = append(jt.Rows, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jt)
+}
+
+// ReadJSON parses a table previously produced by WriteJSON.
+func ReadJSON(r io.Reader) (*Table, error) {
+	var jt jsonTable
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("schema: decode table: %w", err)
+	}
+	if jt.Subject == "" || len(jt.Concepts) == 0 {
+		return nil, fmt.Errorf("schema: table missing subject or concepts")
+	}
+	t := NewTable(Schema{Subject: jt.Subject, Concepts: jt.Concepts})
+	for i, m := range jt.Rows {
+		subjRaw, ok := m[string(jt.Subject)]
+		if !ok {
+			return nil, fmt.Errorf("schema: row %d has no subject value", i)
+		}
+		subj, ok := subjRaw.(string)
+		if !ok {
+			return nil, fmt.Errorf("schema: row %d subject is not a string", i)
+		}
+		row := t.AddRow(subj)
+		for k, v := range m {
+			c := Concept(k)
+			if c == jt.Subject || !t.Schema.Has(c) {
+				continue
+			}
+			switch vv := v.(type) {
+			case string:
+				row.Add(c, vv)
+			case []any:
+				for _, x := range vv {
+					if s, ok := x.(string); ok {
+						row.Add(c, s)
+					}
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// WriteCSV serializes the table with one column per concept; multi-valued
+// cells are joined with "; ". Missing cells are empty fields.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Schema.Concepts))
+	for i, c := range t.Schema.Concepts {
+		header[i] = string(c)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		rec := make([]string, len(t.Schema.Concepts))
+		for i, c := range t.Schema.Concepts {
+			if c == t.Schema.Subject {
+				rec[i] = r.Subject
+			} else {
+				rec[i] = strings.Join(r.Cells[c], "; ")
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table from CSV. The subject column is identified by name.
+func ReadCSV(r io.Reader, subject Concept) (*Table, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("schema: read csv: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("schema: empty csv")
+	}
+	header := recs[0]
+	subjectCol := -1
+	concepts := make([]Concept, len(header))
+	for i, h := range header {
+		concepts[i] = Concept(h)
+		if Concept(h) == subject {
+			subjectCol = i
+		}
+	}
+	if subjectCol == -1 {
+		return nil, fmt.Errorf("schema: subject column %q not in header %v", subject, header)
+	}
+	t := NewTable(Schema{Subject: subject, Concepts: concepts})
+	for _, rec := range recs[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("schema: row has %d fields, want %d", len(rec), len(header))
+		}
+		row := t.AddRow(rec[subjectCol])
+		for i, field := range rec {
+			if i == subjectCol || field == "" {
+				continue
+			}
+			for _, v := range strings.Split(field, ";") {
+				row.Add(concepts[i], strings.TrimSpace(v))
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,259 @@
+package schema
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func diseaseSchema() Schema {
+	return NewSchema("Disease", "Anatomy", "Complication")
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := diseaseSchema()
+	if !s.Has("Disease") || !s.Has("Anatomy") || s.Has("Nope") {
+		t.Error("Has misbehaves")
+	}
+	if got := s.NonSubject(); !reflect.DeepEqual(got, []Concept{"Anatomy", "Complication"}) {
+		t.Errorf("NonSubject = %v", got)
+	}
+}
+
+func TestSchemaWithConcept(t *testing.T) {
+	s := diseaseSchema()
+	s2 := s.WithConcept("Medicine")
+	if !s2.Has("Medicine") || len(s2.Concepts) != 4 {
+		t.Errorf("WithConcept failed: %v", s2)
+	}
+	if s.Has("Medicine") {
+		t.Error("WithConcept mutated the original")
+	}
+	if s3 := s2.WithConcept("Medicine"); len(s3.Concepts) != 4 {
+		t.Error("adding existing concept should be a no-op")
+	}
+}
+
+func TestRowAddAndHas(t *testing.T) {
+	tab := NewTable(diseaseSchema())
+	r := tab.AddRow("Acoustic Neuroma")
+	if !r.Add("Anatomy", "nervous system") {
+		t.Error("first Add should report change")
+	}
+	if r.Add("Anatomy", "Nervous System") {
+		t.Error("case-insensitive duplicate should not be added")
+	}
+	if r.Add("Anatomy", "") {
+		t.Error("empty value should be rejected")
+	}
+	if !r.Has("Anatomy", "NERVOUS SYSTEM") {
+		t.Error("Has should be case-insensitive")
+	}
+	if !r.Missing("Complication") {
+		t.Error("unset concept should be missing (labeled null)")
+	}
+}
+
+func TestTableRowDeduplication(t *testing.T) {
+	tab := NewTable(diseaseSchema())
+	r1 := tab.AddRow("Acne")
+	r2 := tab.AddRow("acne")
+	if r1 != r2 {
+		t.Error("same subject (case-insensitive) should return same row")
+	}
+	if len(tab.Rows) != 1 {
+		t.Errorf("rows = %d, want 1", len(tab.Rows))
+	}
+	if tab.Row("ACNE") != r1 {
+		t.Error("Row lookup should be case-insensitive")
+	}
+	if tab.Row("missing") != nil {
+		t.Error("unknown subject should return nil")
+	}
+}
+
+func TestColumnValues(t *testing.T) {
+	tab := NewTable(diseaseSchema())
+	tab.AddRow("Acne").Add("Complication", "scarring")
+	r := tab.AddRow("Tuberculosis")
+	r.Add("Complication", "empyema")
+	r.Add("Complication", "Scarring") // duplicate across rows, different case
+	got := tab.ColumnValues("Complication")
+	if len(got) != 2 {
+		t.Fatalf("ColumnValues = %v", got)
+	}
+	subj := tab.ColumnValues("Disease")
+	if !reflect.DeepEqual(subj, []string{"Acne", "Tuberculosis"}) {
+		t.Errorf("subject column = %v", subj)
+	}
+}
+
+func TestInstanceCountAndSparsity(t *testing.T) {
+	tab := NewTable(diseaseSchema())
+	r := tab.AddRow("Acne")
+	r.Add("Anatomy", "skin")
+	tab.AddRow("Flu") // fully sparse row
+	if n := tab.InstanceCount(); n != 3 {
+		t.Errorf("InstanceCount = %d, want 3 (2 subjects + 1 value)", n)
+	}
+	sp := tab.Sparsity()
+	if sp.Cells != 4 || sp.Missing != 3 {
+		t.Errorf("Sparsity = %+v, want 4 cells / 3 missing", sp)
+	}
+	if r := sp.Ratio(); r != 0.75 {
+		t.Errorf("Ratio = %v", r)
+	}
+	if (Sparsity{}).Ratio() != 0 {
+		t.Error("empty sparsity ratio should be 0")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tab := NewTable(diseaseSchema())
+	tab.AddRow("Acne").Add("Anatomy", "skin")
+	cp := tab.Clone()
+	cp.Row("Acne").Add("Anatomy", "face")
+	if tab.Row("Acne").Has("Anatomy", "face") {
+		t.Error("Clone shares cell storage with original")
+	}
+}
+
+func TestClearNonSubject(t *testing.T) {
+	tab := NewTable(diseaseSchema())
+	tab.AddRow("Acne").Add("Anatomy", "skin")
+	tab.ClearNonSubject()
+	if !tab.Row("Acne").Missing("Anatomy") {
+		t.Error("ClearNonSubject left values behind")
+	}
+	if len(tab.Rows) != 1 {
+		t.Error("ClearNonSubject dropped rows")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tab := NewTable(diseaseSchema())
+	r := tab.AddRow("Acoustic Neuroma")
+	r.Add("Anatomy", "nervous system")
+	r.Add("Complication", "unsteadiness")
+	tab.AddRow("Tuberculosis")
+
+	var buf bytes.Buffer
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema.Subject != "Disease" || len(got.Rows) != 2 {
+		t.Fatalf("round trip lost structure: %v", got)
+	}
+	if !got.Row("Acoustic Neuroma").Has("Anatomy", "nervous system") {
+		t.Error("round trip lost values")
+	}
+	if !got.Row("Tuberculosis").Missing("Anatomy") {
+		t.Error("round trip invented values")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("malformed JSON should error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"subject":"","concepts":[]}`)); err == nil {
+		t.Error("missing subject should error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"subject":"D","concepts":["D"],"rows":[{}]}`)); err == nil {
+		t.Error("row without subject should error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := NewTable(diseaseSchema())
+	r := tab.AddRow("Acne")
+	r.Add("Complication", "scarring")
+	r.Add("Complication", "dark spots")
+
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "Disease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := got.Row("Acne")
+	if row == nil || !row.Has("Complication", "scarring") || !row.Has("Complication", "dark spots") {
+		t.Errorf("CSV round trip lost multi-values: %+v", row)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "Disease"); err == nil {
+		t.Error("empty CSV should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("A,B\nx,y\n"), "Disease"); err == nil {
+		t.Error("missing subject column should error")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := NewTable(diseaseSchema())
+	tab.AddRow("Acne")
+	s := tab.String()
+	if !strings.Contains(s, "Disease") || !strings.Contains(s, "1 rows") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSparsityByConcept(t *testing.T) {
+	tab := NewTable(diseaseSchema())
+	tab.AddRow("Acne").Add("Anatomy", "skin")
+	tab.AddRow("Flu")
+	by := tab.SparsityByConcept()
+	if by["Anatomy"].Missing != 1 || by["Anatomy"].Cells != 2 {
+		t.Errorf("Anatomy sparsity = %+v", by["Anatomy"])
+	}
+	if by["Complication"].Missing != 2 {
+		t.Errorf("Complication sparsity = %+v", by["Complication"])
+	}
+	// Per-concept cells must sum to the overall figure.
+	total := tab.Sparsity()
+	sum := Sparsity{}
+	for _, sp := range by {
+		sum.Cells += sp.Cells
+		sum.Missing += sp.Missing
+	}
+	if sum != total {
+		t.Errorf("per-concept sum %+v != overall %+v", sum, total)
+	}
+}
+
+// Property: Add/Has agree and ColumnValues never contains duplicates
+// (case-insensitively).
+func TestTableProperty(t *testing.T) {
+	f := func(values []string) bool {
+		tab := NewTable(diseaseSchema())
+		r := tab.AddRow("X")
+		for _, v := range values {
+			r.Add("Anatomy", v)
+		}
+		seen := map[string]bool{}
+		for _, v := range tab.ColumnValues("Anatomy") {
+			lv := strings.ToLower(v)
+			if seen[lv] {
+				return false
+			}
+			seen[lv] = true
+			if !r.Has("Anatomy", v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

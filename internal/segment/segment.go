@@ -1,0 +1,165 @@
+// Package segment implements Phase ① (a) of the THOR pipeline: splitting a
+// document into sentences and associating each sentence with an instance of
+// the subject concept (Algorithm 1, line 1).
+//
+// The strategy mirrors the paper: documents (or paragraphs) typically talk
+// about one subject instance at a time, so a direct mention switches the
+// active subject and subsequent sentences inherit it; sentences before any
+// mention fall back to the document's default subject (e.g. the disease a
+// Disease A-Z page is about) or, failing that, a fuzzy match.
+package segment
+
+import (
+	"strings"
+
+	"thor/internal/ahocorasick"
+	"thor/internal/strsim"
+	"thor/internal/text"
+)
+
+// Document is a named text to conceptualize.
+type Document struct {
+	// Name identifies the document (file name, page title, ...).
+	Name string
+	// DefaultSubject, when non-empty, is the subject instance the document
+	// is about when no explicit mention has been seen yet.
+	DefaultSubject string
+	// Text is the raw document body.
+	Text string
+}
+
+// Assignment pairs a sentence with the subject instance it talks about.
+// Subject is empty when no instance could be determined.
+type Assignment struct {
+	Subject  string
+	Sentence text.Sentence
+}
+
+// Segmenter assigns sentences to subject instances.
+type Segmenter struct {
+	subjects []string
+	auto     *ahocorasick.Automaton
+	// fuzzyThreshold is the minimum Levenshtein ratio for the fuzzy
+	// fallback; 0 disables fuzzy matching.
+	fuzzyThreshold float64
+}
+
+// New builds a Segmenter for the given subject instances (R.C* in the
+// paper's notation).
+func New(subjects []string) *Segmenter {
+	return &Segmenter{
+		subjects:       subjects,
+		auto:           ahocorasick.NewAutomaton(subjects),
+		fuzzyThreshold: 0.82,
+	}
+}
+
+// SetFuzzyThreshold adjusts the fuzzy-fallback threshold (0 disables).
+func (sg *Segmenter) SetFuzzyThreshold(t float64) { sg.fuzzyThreshold = t }
+
+// Segment splits the document into sentences and assigns each to a subject
+// instance using, in order: direct whole-word mention, carry-forward of the
+// active subject, the document default, and fuzzy matching. A paragraph
+// break (blank line) resets the carried subject to the document default:
+// paragraphs usually open their own topic, as the paper observes.
+func (sg *Segmenter) Segment(doc Document) []Assignment {
+	sents := text.SplitSentences(doc.Text)
+	out := make([]Assignment, 0, len(sents))
+	active := doc.DefaultSubject
+	prevEnd := 0
+	for _, s := range sents {
+		if paragraphBreak(doc.Text, prevEnd, s.Start) {
+			active = doc.DefaultSubject
+		}
+		prevEnd = s.End
+		if subj := sg.mention(doc.Text, s); subj != "" {
+			active = subj
+		} else if active == "" && sg.fuzzyThreshold > 0 {
+			active = sg.fuzzy(s)
+		}
+		out = append(out, Assignment{Subject: active, Sentence: s})
+	}
+	return out
+}
+
+// paragraphBreak reports whether the gap text[from:to] contains a blank line
+// (two newlines with only whitespace between them).
+func paragraphBreak(text string, from, to int) bool {
+	if from >= to || from < 0 || to > len(text) {
+		return false
+	}
+	newlines := 0
+	for i := from; i < to; i++ {
+		switch text[i] {
+		case '\n':
+			newlines++
+			if newlines >= 2 {
+				return true
+			}
+		case ' ', '\t', '\r':
+		default:
+			newlines = 0
+		}
+	}
+	return false
+}
+
+// mention returns the subject instance that opens the sentence, preferring
+// the longest mention (so "acoustic neuroma" beats "neuroma"). Only
+// sentence-initial mentions (starting within the first few words) switch the
+// active subject: "Tuberculosis damages the lungs" switches, while "it is
+// often confused with Tuberculosis" stays with the current subject.
+func (sg *Segmenter) mention(docText string, s text.Sentence) string {
+	limit := initialSpan(s)
+	best := ""
+	for _, m := range sg.auto.FindWholeWords(docText[s.Start:s.End]) {
+		if m.Start > limit {
+			continue
+		}
+		p := sg.auto.Pattern(m.Pattern)
+		if len(p) > len(best) {
+			best = p
+		}
+	}
+	return best
+}
+
+// initialSpan returns the byte offset (relative to the sentence) where the
+// fourth word-like token starts — the window in which a mention counts as
+// sentence-initial.
+func initialSpan(s text.Sentence) int {
+	words := 0
+	for _, t := range s.Tokens {
+		if t.IsWordLike() {
+			words++
+			if words == 4 {
+				return t.Start - s.Start
+			}
+		}
+	}
+	if len(s.Tokens) == 0 {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// fuzzy finds the subject whose normalized form is closest to any word
+// window of the sentence by Levenshtein ratio, if above the threshold.
+func (sg *Segmenter) fuzzy(s text.Sentence) string {
+	words := s.Words()
+	best, bestScore := "", sg.fuzzyThreshold
+	for _, subj := range sg.subjects {
+		ns := text.NormalizePhrase(subj)
+		k := len(strings.Fields(ns))
+		if k == 0 || k > len(words) {
+			continue
+		}
+		for i := 0; i+k <= len(words); i++ {
+			window := strings.Join(words[i:i+k], " ")
+			if score := strsim.LevenshteinRatio(window, ns); score >= bestScore {
+				best, bestScore = subj, score
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,132 @@
+package segment
+
+import (
+	"testing"
+)
+
+var subjects = []string{"Acoustic Neuroma", "Tuberculosis", "Acne"}
+
+// The Fig. 1 document: first two sentences about Acoustic Neuroma, the last
+// about Tuberculosis.
+func TestSegmentRunningExample(t *testing.T) {
+	doc := Document{
+		Name: "sample",
+		Text: "An Acoustic Neuroma is a slow-growing non-cancerous brain tumor. " +
+			"It develops on the main nerve leading from the inner ear to the brain. " +
+			"Tuberculosis generally damages the lungs.",
+	}
+	got := New(subjects).Segment(doc)
+	if len(got) != 3 {
+		t.Fatalf("got %d assignments, want 3", len(got))
+	}
+	want := []string{"Acoustic Neuroma", "Acoustic Neuroma", "Tuberculosis"}
+	for i, w := range want {
+		if got[i].Subject != w {
+			t.Errorf("sentence %d: subject = %q, want %q", i, got[i].Subject, w)
+		}
+	}
+}
+
+func TestSegmentCarryForward(t *testing.T) {
+	doc := Document{Text: "Acne is common. It affects the skin. Scarring may follow."}
+	got := New(subjects).Segment(doc)
+	for i, a := range got {
+		if a.Subject != "Acne" {
+			t.Errorf("sentence %d: subject = %q, want carry-forward Acne", i, a.Subject)
+		}
+	}
+}
+
+func TestSegmentDefaultSubject(t *testing.T) {
+	doc := Document{
+		DefaultSubject: "Tuberculosis",
+		Text:           "The condition damages the lungs. Complications may include empyema.",
+	}
+	got := New(subjects).Segment(doc)
+	for i, a := range got {
+		if a.Subject != "Tuberculosis" {
+			t.Errorf("sentence %d: subject = %q, want document default", i, a.Subject)
+		}
+	}
+}
+
+func TestSegmentFuzzyFallback(t *testing.T) {
+	// Misspelled mention, no default: the fuzzy matcher should recover it.
+	doc := Document{Text: "Tubercolosis damages the lungs."}
+	got := New(subjects).Segment(doc)
+	if len(got) != 1 || got[0].Subject != "Tuberculosis" {
+		t.Errorf("fuzzy fallback: got %+v", got)
+	}
+}
+
+func TestSegmentFuzzyDisabled(t *testing.T) {
+	sg := New(subjects)
+	sg.SetFuzzyThreshold(0)
+	got := sg.Segment(Document{Text: "Tubercolosis damages the lungs."})
+	if len(got) != 1 || got[0].Subject != "" {
+		t.Errorf("fuzzy disabled: got %+v", got)
+	}
+}
+
+func TestSegmentLongestMentionWins(t *testing.T) {
+	sg := New([]string{"Neuroma", "Acoustic Neuroma"})
+	got := sg.Segment(Document{Text: "An acoustic neuroma was found."})
+	if got[0].Subject != "Acoustic Neuroma" {
+		t.Errorf("subject = %q, want the longer mention", got[0].Subject)
+	}
+}
+
+func TestSegmentSwitchBack(t *testing.T) {
+	doc := Document{Text: "Acne affects the skin. Tuberculosis damages the lungs. Acne may return."}
+	got := New(subjects).Segment(doc)
+	want := []string{"Acne", "Tuberculosis", "Acne"}
+	for i, w := range want {
+		if got[i].Subject != w {
+			t.Errorf("sentence %d: %q, want %q", i, got[i].Subject, w)
+		}
+	}
+}
+
+func TestSegmentEmptyDocument(t *testing.T) {
+	if got := New(subjects).Segment(Document{Text: ""}); len(got) != 0 {
+		t.Errorf("empty document: %v", got)
+	}
+}
+
+func TestSegmentNoSubjects(t *testing.T) {
+	sg := New(nil)
+	got := sg.Segment(Document{Text: "Something entirely different."})
+	if len(got) != 1 || got[0].Subject != "" {
+		t.Errorf("no-subject segmentation: %+v", got)
+	}
+}
+
+func TestSegmentParagraphReset(t *testing.T) {
+	doc := Document{
+		DefaultSubject: "Acne",
+		Text: "Acne affects the skin. Tuberculosis is different and damages the lungs.\n\n" +
+			"The condition usually clears up on its own.",
+	}
+	got := New(subjects).Segment(doc)
+	if len(got) != 3 {
+		t.Fatalf("assignments = %d", len(got))
+	}
+	if got[1].Subject != "Tuberculosis" {
+		t.Errorf("sentence 2 subject = %q, want mention switch", got[1].Subject)
+	}
+	// After the blank line the document's own subject resumes.
+	if got[2].Subject != "Acne" {
+		t.Errorf("sentence 3 subject = %q, want paragraph reset to default", got[2].Subject)
+	}
+}
+
+func TestSegmentNoParagraphResetWithinParagraph(t *testing.T) {
+	doc := Document{
+		DefaultSubject: "Acne",
+		Text:           "Tuberculosis damages the lungs. It spreads through the air.",
+	}
+	got := New(subjects).Segment(doc)
+	if got[1].Subject != "Tuberculosis" {
+		t.Errorf("carry-forward broken within a paragraph: %q", got[1].Subject)
+	}
+}

@@ -1,0 +1,143 @@
+package strsim
+
+import "strings"
+
+// Jaro returns the Jaro similarity of two strings in [0, 1]: the weighted
+// share of matching characters within the standard window, penalized by
+// transpositions. Two empty strings score 1.
+func Jaro(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := maxInt(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := maxInt(0, i-window)
+		hi := minInt(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if matchB[j] || a[i] != b[j] {
+				continue
+			}
+			matchA[i], matchB[j] = true, true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among the matched characters.
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(transpositions)/2)/m) / 3
+}
+
+// JaroWinkler boosts the Jaro similarity for strings sharing a common prefix
+// (up to 4 characters), with the standard scaling factor 0.1.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && prefix < 4 && a[prefix] == b[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// TokenSetRatio compares two phrases as word sets, scoring the Gestalt
+// similarity of their sorted intersection-plus-remainder renderings — robust
+// to word order and duplication (fuzzywuzzy's token_set_ratio).
+func TokenSetRatio(a, b string) float64 {
+	sa, sb := wordSet(a), wordSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	var inter, onlyA, onlyB []string
+	for w := range sa {
+		if sb[w] {
+			inter = append(inter, w)
+		} else {
+			onlyA = append(onlyA, w)
+		}
+	}
+	for w := range sb {
+		if !sa[w] {
+			onlyB = append(onlyB, w)
+		}
+	}
+	sortStrings(inter)
+	sortStrings(onlyA)
+	sortStrings(onlyB)
+	base := strings.Join(inter, " ")
+	ra := strings.TrimSpace(base + " " + strings.Join(onlyA, " "))
+	rb := strings.TrimSpace(base + " " + strings.Join(onlyB, " "))
+	best := symGestalt(base, ra)
+	if g := symGestalt(base, rb); g > best {
+		best = g
+	}
+	if g := symGestalt(ra, rb); g > best {
+		best = g
+	}
+	return best
+}
+
+// symGestalt symmetrizes Gestalt, whose recursive tie-breaking can depend on
+// argument order.
+func symGestalt(a, b string) float64 {
+	g1, g2 := Gestalt(a, b), Gestalt(b, a)
+	if g2 > g1 {
+		return g2
+	}
+	return g1
+}
+
+func wordSet(s string) map[string]bool {
+	out := make(map[string]bool)
+	for _, w := range strings.Fields(s) {
+		out[w] = true
+	}
+	return out
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package strsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJaroKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"martha", "marhta", 0.944444},
+		{"dixon", "dicksonx", 0.766667},
+		{"jellyfish", "smellyfish", 0.896296},
+		{"", "", 1},
+		{"a", "", 0},
+		{"same", "same", 1},
+		{"abc", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := Jaro(c.a, c.b); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("Jaro(%q,%q) = %.6f, want %.6f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerPrefixBoost(t *testing.T) {
+	// The classic reference value.
+	if got := JaroWinkler("martha", "marhta"); math.Abs(got-0.961111) > 1e-5 {
+		t.Errorf("JaroWinkler(martha,marhta) = %.6f, want 0.961111", got)
+	}
+	// A shared prefix must never hurt.
+	if JaroWinkler("prefixfoo", "prefixbar") < Jaro("prefixfoo", "prefixbar") {
+		t.Error("prefix boost decreased similarity")
+	}
+	// No prefix: identical to Jaro.
+	if JaroWinkler("abc", "xbc") != Jaro("abc", "xbc") {
+		t.Error("boost applied without a shared prefix")
+	}
+}
+
+func TestJaroSymmetryAndBounds(t *testing.T) {
+	trim := func(s string) string {
+		if len(s) > 16 {
+			return s[:16]
+		}
+		return s
+	}
+	f := func(a, b string) bool {
+		a, b = trim(a), trim(b)
+		j1, j2 := Jaro(a, b), Jaro(b, a)
+		if math.Abs(j1-j2) > 1e-12 {
+			return false
+		}
+		jw := JaroWinkler(a, b)
+		return j1 >= 0 && j1 <= 1 && jw >= j1-1e-12 && jw <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenSetRatio(t *testing.T) {
+	// Word order must not matter.
+	if got := TokenSetRatio("brain tumor severe", "severe brain tumor"); got != 1 {
+		t.Errorf("reordered phrases = %v, want 1", got)
+	}
+	// Duplicates collapse.
+	if got := TokenSetRatio("pain pain pain", "pain"); got != 1 {
+		t.Errorf("duplicates = %v, want 1", got)
+	}
+	// Subset phrases score high.
+	if got := TokenSetRatio("severe hearing loss", "hearing loss"); got < 0.6 {
+		t.Errorf("subset = %v, want high", got)
+	}
+	// Disjoint phrases score low.
+	if got := TokenSetRatio("alpha beta", "gamma delta"); got > 0.5 {
+		t.Errorf("disjoint = %v, want low", got)
+	}
+	if got := TokenSetRatio("", ""); got != 1 {
+		t.Errorf("empty = %v, want 1", got)
+	}
+}
+
+func TestTokenSetRatioSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		r1, r2 := TokenSetRatio(a, b), TokenSetRatio(b, a)
+		return math.Abs(r1-r2) < 1e-12 && r1 >= 0 && r1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

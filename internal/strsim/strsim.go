@@ -1,0 +1,148 @@
+// Package strsim provides the syntactic string-similarity measures THOR's
+// refinement stage uses: Gestalt pattern matching (Ratcliff–Obershelp) at the
+// character level and Jaccard overlap at the word level, plus Levenshtein
+// distance used by the segmentation fallback.
+package strsim
+
+import "strings"
+
+// Gestalt computes the Ratcliff–Obershelp similarity between two strings:
+// 2*M / (len(a)+len(b)), where M is the total length of recursively matched
+// common substrings. This is the algorithm behind Python difflib's
+// SequenceMatcher.ratio, cited by the paper [96]. The result is in [0, 1];
+// two empty strings are defined to match with 1.
+func Gestalt(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	m := matchingChars([]byte(a), []byte(b))
+	return 2 * float64(m) / float64(len(a)+len(b))
+}
+
+// matchingChars returns the total length of matched characters using the
+// Ratcliff–Obershelp recursion: find the longest common substring, then
+// recurse on the unmatched left and right fragments.
+func matchingChars(a, b []byte) int {
+	ai, bi, size := longestCommonSubstring(a, b)
+	if size == 0 {
+		return 0
+	}
+	total := size
+	total += matchingChars(a[:ai], b[:bi])
+	total += matchingChars(a[ai+size:], b[bi+size:])
+	return total
+}
+
+// longestCommonSubstring returns the start offsets and length of the longest
+// common substring of a and b, preferring the earliest occurrence in a, then
+// in b (difflib's tie-breaking).
+func longestCommonSubstring(a, b []byte) (ai, bi, size int) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 0, 0
+	}
+	// lengths[j] = length of common suffix ending at a[i], b[j].
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 0; i < len(a); i++ {
+		for j := 0; j < len(b); j++ {
+			if a[i] == b[j] {
+				cur[j+1] = prev[j] + 1
+				if cur[j+1] > size {
+					size = cur[j+1]
+					ai = i - size + 1
+					bi = j - size + 1
+				}
+			} else {
+				cur[j+1] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return ai, bi, size
+}
+
+// Jaccard computes the intersection-over-union similarity of the word sets
+// of two phrases (e.score_w in Algorithm 1). Phrases are split on spaces;
+// comparison is exact per word. Two empty phrases score 1.
+func Jaccard(a, b string) float64 {
+	wa, wb := strings.Fields(a), strings.Fields(b)
+	if len(wa) == 0 && len(wb) == 0 {
+		return 1
+	}
+	if len(wa) == 0 || len(wb) == 0 {
+		return 0
+	}
+	setA := make(map[string]bool, len(wa))
+	for _, w := range wa {
+		setA[w] = true
+	}
+	setB := make(map[string]bool, len(wb))
+	for _, w := range wb {
+		setB[w] = true
+	}
+	inter := 0
+	for w := range setA {
+		if setB[w] {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	return float64(inter) / float64(union)
+}
+
+// Levenshtein returns the edit distance (insert/delete/substitute, unit
+// costs) between two strings, operating on bytes.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// LevenshteinRatio maps edit distance into a [0, 1] similarity:
+// 1 - d/max(len(a), len(b)). Two empty strings score 1.
+func LevenshteinRatio(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	m := len(a)
+	if len(b) > m {
+		m = len(b)
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

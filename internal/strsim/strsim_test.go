@@ -1,0 +1,154 @@
+package strsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGestaltIdentity(t *testing.T) {
+	for _, s := range []string{"", "a", "tumor", "skin cancer"} {
+		if g := Gestalt(s, s); math.Abs(g-1) > 1e-12 {
+			t.Errorf("Gestalt(%q,%q) = %v, want 1", s, s, g)
+		}
+	}
+}
+
+func TestGestaltDisjoint(t *testing.T) {
+	if g := Gestalt("abc", "xyz"); g != 0 {
+		t.Errorf("Gestalt disjoint = %v, want 0", g)
+	}
+	if g := Gestalt("", "abc"); g != 0 {
+		t.Errorf("Gestalt with empty = %v, want 0", g)
+	}
+}
+
+func TestGestaltKnownValues(t *testing.T) {
+	// Classic difflib example: ratio("abcd", "bcde") = 2*3/8 = 0.75.
+	if g := Gestalt("abcd", "bcde"); math.Abs(g-0.75) > 1e-12 {
+		t.Errorf("Gestalt(abcd,bcde) = %v, want 0.75", g)
+	}
+	// The paper's running example pairs should order sensibly:
+	// 'non-cancerous brain tumor' vs 'skin cancer' share 'canc...' material.
+	g1 := Gestalt("brain", "nervous system")
+	g2 := Gestalt("non-cancerous brain tumor", "skin cancer")
+	if g1 <= 0 || g2 <= 0 {
+		t.Errorf("expected partial overlap: g1=%v g2=%v", g1, g2)
+	}
+}
+
+func TestGestaltSymmetricRange(t *testing.T) {
+	f := func(a, b string) bool {
+		g1, g2 := Gestalt(a, b), Gestalt(b, a)
+		// Ratcliff–Obershelp can differ slightly under argument order for
+		// pathological tie-breaks, but must stay within bounds; we assert
+		// bounds and near-symmetry.
+		return g1 >= 0 && g1 <= 1 && math.Abs(g1-g2) < 0.35
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"brain", "brain", 1},
+		{"brain", "nervous system", 0},
+		{"non-cancerous brain tumor", "brain tumor", 2.0 / 3.0},
+		{"skin cancer", "cancer", 0.5},
+		{"", "", 1},
+		{"", "brain", 0},
+		{"a a a", "a", 1}, // set semantics
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jaccard(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardSymmetry(t *testing.T) {
+	f := func(a, b string) bool {
+		j1, j2 := Jaccard(a, b), Jaccard(b, a)
+		return j1 == j2 && j1 >= 0 && j1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"tumor", "tumour", 1},
+		{"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinRatio(t *testing.T) {
+	if r := LevenshteinRatio("", ""); r != 1 {
+		t.Errorf("ratio empty = %v", r)
+	}
+	if r := LevenshteinRatio("abc", "abc"); r != 1 {
+		t.Errorf("ratio identical = %v", r)
+	}
+	if r := LevenshteinRatio("abc", "xyz"); r != 0 {
+		t.Errorf("ratio disjoint = %v", r)
+	}
+}
+
+// Property: Levenshtein is a metric — symmetry, identity, triangle
+// inequality.
+func TestLevenshteinMetric(t *testing.T) {
+	trim := func(s string) string {
+		if len(s) > 12 {
+			return s[:12]
+		}
+		return s
+	}
+	f := func(a, b, c string) bool {
+		a, b, c = trim(a), trim(b), trim(c)
+		dab, dba := Levenshtein(a, b), Levenshtein(b, a)
+		if dab != dba {
+			return false
+		}
+		if (dab == 0) != (a == b) {
+			return false
+		}
+		return Levenshtein(a, c) <= dab+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Gestalt of a string against itself plus noise decreases with
+// noise length.
+func TestGestaltMonotoneDilution(t *testing.T) {
+	base := "acoustic neuroma"
+	prev := 1.0
+	for i := 1; i <= 5; i++ {
+		s := base + strings.Repeat(" zzz", i)
+		g := Gestalt(base, s)
+		if g >= prev {
+			t.Errorf("dilution %d: Gestalt=%v not < %v", i, g, prev)
+		}
+		prev = g
+	}
+}

@@ -1,0 +1,238 @@
+package text
+
+import "strings"
+
+// Stem reduces an English word to its stem using the Porter stemming
+// algorithm (Porter 1980). THOR uses stems as a last-resort bridge between
+// surface variants ("cancerous" → "cancer" territory) when a word has no
+// vector of its own; the comparator simulators use it the same way.
+//
+// The implementation follows the original five-step definition. Input is
+// expected lower-case; words of length ≤ 2 are returned unchanged.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	w := []byte(strings.ToLower(word))
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isCons reports whether w[i] acts as a consonant in Porter's definition:
+// 'y' is a consonant when at the start or preceded by a vowel.
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		return i == 0 || !isCons(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes Porter's m: the number of vowel-consonant sequences in
+// w[:k].
+func measure(w []byte, k int) int {
+	m := 0
+	i := 0
+	// Skip initial consonants.
+	for i < k && isCons(w, i) {
+		i++
+	}
+	for i < k {
+		// Vowel run.
+		for i < k && !isCons(w, i) {
+			i++
+		}
+		if i >= k {
+			break
+		}
+		m++
+		// Consonant run.
+		for i < k && isCons(w, i) {
+			i++
+		}
+	}
+	return m
+}
+
+func hasVowel(w []byte, k int) bool {
+	for i := 0; i < k; i++ {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleCons reports whether w ends in a double consonant.
+func endsDoubleCons(w []byte) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isCons(w, n-1)
+}
+
+// endsCVC reports whether w[:k] ends consonant-vowel-consonant where the
+// final consonant is not w, x or y.
+func endsCVC(w []byte, k int) bool {
+	if k < 3 {
+		return false
+	}
+	if !isCons(w, k-3) || isCons(w, k-2) || !isCons(w, k-1) {
+		return false
+	}
+	switch w[k-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(w []byte, s string) bool {
+	return len(w) >= len(s) && string(w[len(w)-len(s):]) == s
+}
+
+// replaceSuffix replaces suffix s with r if the stem before s has measure
+// at least minM. Reports whether a replacement happened.
+func replaceSuffix(w []byte, s, r string, minM int) ([]byte, bool) {
+	if !hasSuffix(w, s) {
+		return w, false
+	}
+	k := len(w) - len(s)
+	if measure(w, k) < minM {
+		return w, true // suffix matched: stop the rule group without change
+	}
+	return append(w[:k], r...), true
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w, len(w)-3) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	var stem []byte
+	switch {
+	case hasSuffix(w, "ed") && hasVowel(w, len(w)-2):
+		stem = w[:len(w)-2]
+	case hasSuffix(w, "ing") && hasVowel(w, len(w)-3):
+		stem = w[:len(w)-3]
+	default:
+		return w
+	}
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem, 'e')
+	case endsDoubleCons(stem) && !hasSuffix(stem, "l") && !hasSuffix(stem, "s") && !hasSuffix(stem, "z"):
+		return stem[:len(stem)-1]
+	case measure(stem, len(stem)) == 1 && endsCVC(stem, len(stem)):
+		return append(stem, 'e')
+	}
+	return stem
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowel(w, len(w)-1) {
+		w[len(w)-1] = 'i'
+	}
+	return w
+}
+
+var step2Rules = []struct{ from, to string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(w []byte) []byte {
+	for _, r := range step2Rules {
+		if out, done := replaceSuffix(w, r.from, r.to, 1); done {
+			return out
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ from, to string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w []byte) []byte {
+	for _, r := range step3Rules {
+		if out, done := replaceSuffix(w, r.from, r.to, 1); done {
+			return out
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	// "ion" requires a preceding s or t.
+	if hasSuffix(w, "ion") {
+		k := len(w) - 3
+		if k > 0 && (w[k-1] == 's' || w[k-1] == 't') && measure(w, k) > 1 {
+			return w[:k]
+		}
+		if k > 0 && (w[k-1] == 's' || w[k-1] == 't') {
+			return w
+		}
+	}
+	for _, s := range step4Suffixes {
+		if hasSuffix(w, s) {
+			k := len(w) - len(s)
+			if measure(w, k) > 1 {
+				return w[:k]
+			}
+			return w
+		}
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if hasSuffix(w, "e") {
+		k := len(w) - 1
+		m := measure(w, k)
+		if m > 1 || (m == 1 && !endsCVC(w, k)) {
+			return w[:k]
+		}
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if hasSuffix(w, "ll") && measure(w, len(w)) > 1 {
+		return w[:len(w)-1]
+	}
+	return w
+}

@@ -1,0 +1,103 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Reference pairs from Porter's original paper and test vocabulary.
+func TestStemKnownPairs(t *testing.T) {
+	cases := map[string]string{
+		// Step 1a.
+		"caresses": "caress", "ponies": "poni", "ties": "ti",
+		"caress": "caress", "cats": "cat",
+		// Step 1b.
+		"feed": "feed", "agreed": "agre", "plastered": "plaster",
+		"bled": "bled", "motoring": "motor", "sing": "sing",
+		"conflated": "conflat", "troubled": "troubl", "sized": "size",
+		"hopping": "hop", "tanned": "tan", "falling": "fall",
+		"hissing": "hiss", "fizzed": "fizz", "failing": "fail",
+		"filing": "file",
+		// Step 1c.
+		"happy": "happi", "sky": "sky",
+		// Step 2.
+		"relational": "relat", "conditional": "condit", "rational": "ration",
+		"valenci": "valenc", "digitizer": "digit", "operator": "oper",
+		"feudalism": "feudal", "decisiveness": "decis", "hopefulness": "hope",
+		"callousness": "callous", "formaliti": "formal", "sensitiviti": "sensit",
+		// Step 3.
+		"triplicate": "triplic", "formative": "form", "formalize": "formal",
+		"electriciti": "electr", "electrical": "electr", "hopeful": "hope",
+		"goodness": "good",
+		// Step 4.
+		"revival": "reviv", "allowance": "allow", "inference": "infer",
+		"airliner": "airlin", "adoption": "adopt", "defensible": "defens",
+		"irritant": "irrit", "replacement": "replac", "adjustment": "adjust",
+		"communism": "commun", "activate": "activ", "effective": "effect",
+		"bowdlerize": "bowdler",
+		// Step 5.
+		"probate": "probat", "rate": "rate", "cease": "ceas",
+		"controll": "control", "roll": "roll",
+		// Domain words the matcher cares about.
+		"cancerous": "cancer", "scarring": "scar", "infections": "infect",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWordsUnchanged(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "by"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemCaseInsensitive(t *testing.T) {
+	if Stem("Motoring") != Stem("motoring") {
+		t.Error("Stem should lower-case its input")
+	}
+}
+
+func TestStemSharedVariants(t *testing.T) {
+	// Morphological families must collapse to one stem.
+	families := [][]string{
+		{"connect", "connected", "connecting", "connection", "connections"},
+		{"relate", "related", "relating"},
+	}
+	for _, fam := range families {
+		want := Stem(fam[0])
+		for _, w := range fam[1:] {
+			if got := Stem(w); got != want {
+				t.Errorf("Stem(%q) = %q, want family stem %q", w, got, want)
+			}
+		}
+	}
+}
+
+// Property: stemming is idempotent on its own output for plain ASCII words,
+// never panics, and never grows the word.
+func TestStemProperties(t *testing.T) {
+	f := func(raw string) bool {
+		// Restrict to lowercase ASCII letters (the algorithm's domain).
+		var b []byte
+		for _, r := range raw {
+			b = append(b, byte('a'+(int(r)%26+26)%26))
+			if len(b) > 20 {
+				break
+			}
+		}
+		w := string(b)
+		s := Stem(w)
+		if len(s) > len(w) {
+			return false
+		}
+		return len(Stem(s)) <= len(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

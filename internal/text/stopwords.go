@@ -1,0 +1,70 @@
+package text
+
+import "strings"
+
+// stopwords is the default English stop-word list. It covers determiners,
+// prepositions, conjunctions, pronouns, auxiliaries and high-frequency
+// adverbs — the classes THOR strips from the edges of noun phrases.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "this": true, "that": true,
+	"these": true, "those": true, "some": true, "any": true, "each": true,
+	"every": true, "no": true, "such": true, "both": true, "all": true,
+	"of": true, "in": true, "on": true, "at": true, "by": true, "for": true,
+	"with": true, "without": true, "to": true, "from": true, "into": true,
+	"onto": true, "over": true, "under": true, "about": true, "after": true,
+	"before": true, "between": true, "during": true, "through": true,
+	"and": true, "or": true, "but": true, "nor": true, "so": true,
+	"as": true, "if": true, "than": true, "because": true, "while": true,
+	"i": true, "you": true, "he": true, "she": true, "it": true, "we": true,
+	"they": true, "them": true, "his": true, "her": true, "its": true,
+	"their": true, "our": true, "your": true, "my": true, "me": true,
+	"him": true, "us": true, "who": true, "whom": true, "which": true,
+	"is": true, "am": true, "are": true, "was": true, "were": true,
+	"be": true, "been": true, "being": true, "have": true, "has": true,
+	"had": true, "do": true, "does": true, "did": true, "will": true,
+	"would": true, "shall": true, "should": true, "can": true, "could": true,
+	"may": true, "might": true, "must": true, "not": true, "also": true,
+	"very": true, "too": true, "just": true, "only": true, "then": true,
+	"there": true, "here": true, "when": true, "where": true, "how": true,
+	"what": true, "why": true, "more": true, "most": true, "other": true,
+	"often": true, "usually": true, "commonly": true, "generally": true,
+	"typically": true, "sometimes": true, "many": true, "much": true,
+	"several": true, "various": true, "including": true, "include": true,
+	"includes": true, "etc": true,
+}
+
+// IsStopword reports whether the lower-cased word is in the default English
+// stop-word list.
+func IsStopword(w string) bool { return stopwords[strings.ToLower(w)] }
+
+// StripStopwords removes leading and trailing stop-words from a word
+// sequence, as THOR does when cleaning noun phrases ("the lungs" → "lungs").
+// Interior stop-words are preserved ("shortness of breath" keeps "of").
+func StripStopwords(words []string) []string {
+	lo, hi := 0, len(words)
+	for lo < hi && IsStopword(words[lo]) {
+		lo++
+	}
+	for hi > lo && IsStopword(words[hi-1]) {
+		hi--
+	}
+	return words[lo:hi]
+}
+
+// NormalizePhrase lower-cases a phrase, tokenizes it, and rejoins the
+// word-like tokens with single spaces. It is the canonical form used for
+// comparing extracted entities against ground truth and table instances.
+func NormalizePhrase(p string) string {
+	toks := Tokenize(p)
+	words := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.IsWordLike() {
+			words = append(words, t.Lower)
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// Fields splits a normalized phrase back into its words. It is a convenience
+// that mirrors strings.Fields but documents the expected input form.
+func Fields(phrase string) []string { return strings.Fields(phrase) }

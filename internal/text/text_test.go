@@ -1,0 +1,224 @@
+package text
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeWords(t *testing.T) {
+	toks := Tokenize("Tuberculosis generally damages the lungs.")
+	want := []string{"Tuberculosis", "generally", "damages", "the", "lungs", "."}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+	if toks[5].Kind != Punct {
+		t.Errorf("final token kind = %v, want Punct", toks[5].Kind)
+	}
+}
+
+func TestTokenizeHyphenAndApostrophe(t *testing.T) {
+	toks := Tokenize("A slow-growing non-cancerous tumor in the patient's brain")
+	var words []string
+	for _, tok := range toks {
+		if tok.Kind == Word {
+			words = append(words, tok.Text)
+		}
+	}
+	want := []string{"A", "slow-growing", "non-cancerous", "tumor", "in", "the", "patient's", "brain"}
+	if !reflect.DeepEqual(words, want) {
+		t.Errorf("words = %v, want %v", words, want)
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	toks := Tokenize("around 1,200 cases (2.5 percent)")
+	var nums []string
+	for _, tok := range toks {
+		if tok.Kind == Number {
+			nums = append(nums, tok.Text)
+		}
+	}
+	if !reflect.DeepEqual(nums, []string{"1,200", "2.5"}) {
+		t.Errorf("numbers = %v", nums)
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	in := "Acne causes spots."
+	for _, tok := range Tokenize(in) {
+		if in[tok.Start:tok.End] != tok.Text {
+			t.Errorf("offset mismatch: %q vs %q", in[tok.Start:tok.End], tok.Text)
+		}
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("Tokenize(\"\") = %v, want empty", got)
+	}
+	if got := Tokenize("   \n\t "); len(got) != 0 {
+		t.Errorf("Tokenize(whitespace) = %v, want empty", got)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	toks := Tokenize("café résumé")
+	if len(toks) != 2 || toks[0].Text != "café" || toks[1].Text != "résumé" {
+		t.Fatalf("unicode tokens = %v", toks)
+	}
+	if toks[1].Lower != "résumé" {
+		t.Errorf("Lower = %q", toks[1].Lower)
+	}
+}
+
+func TestSplitSentencesBasic(t *testing.T) {
+	doc := "Acoustic neuroma is a slow-growing tumor. It develops on the main nerve! Does it cause hearing loss?"
+	sents := SplitSentences(doc)
+	if len(sents) != 3 {
+		t.Fatalf("got %d sentences, want 3: %v", len(sents), sents)
+	}
+	if first := sents[0].Words()[0]; first != "acoustic" {
+		t.Errorf("first word = %q", first)
+	}
+}
+
+func TestSplitSentencesAbbreviation(t *testing.T) {
+	doc := "Dr. Smith treated the patient. The patient recovered."
+	sents := SplitSentences(doc)
+	if len(sents) != 2 {
+		t.Fatalf("got %d sentences, want 2", len(sents))
+	}
+	if !strings.Contains(sents[0].Text(), "Smith") {
+		t.Errorf("abbreviation split too early: %q", sents[0].Text())
+	}
+}
+
+func TestSplitSentencesInitial(t *testing.T) {
+	doc := "J. Doe worked at Acme. He left in 2019."
+	sents := SplitSentences(doc)
+	if len(sents) != 2 {
+		t.Fatalf("got %d sentences, want 2: %v", len(sents), sents)
+	}
+}
+
+func TestSplitSentencesNoTerminator(t *testing.T) {
+	sents := SplitSentences("no final period here")
+	if len(sents) != 1 {
+		t.Fatalf("got %d sentences, want 1", len(sents))
+	}
+}
+
+func TestSplitSentencesDropsEmpty(t *testing.T) {
+	sents := SplitSentences("... !!! ??")
+	if len(sents) != 0 {
+		t.Fatalf("got %d sentences, want 0", len(sents))
+	}
+}
+
+func TestStripStopwords(t *testing.T) {
+	cases := []struct {
+		in, want []string
+	}{
+		{[]string{"the", "lungs"}, []string{"lungs"}},
+		{[]string{"a", "slow-growing", "tumor", "of"}, []string{"slow-growing", "tumor"}},
+		{[]string{"shortness", "of", "breath"}, []string{"shortness", "of", "breath"}},
+		{[]string{"the", "a", "of"}, []string{}},
+		{[]string{}, []string{}},
+	}
+	for _, c := range cases {
+		got := StripStopwords(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("StripStopwords(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizePhrase(t *testing.T) {
+	cases := map[string]string{
+		"The Lungs":                    "the lungs",
+		"  Non-Cancerous  Brain tumor": "non-cancerous brain tumor",
+		"skin cancer.":                 "skin cancer",
+		"":                             "",
+	}
+	for in, want := range cases {
+		if got := NormalizePhrase(in); got != want {
+			t.Errorf("NormalizePhrase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("The") {
+		t.Error("The should be a stopword (case-insensitive)")
+	}
+	if IsStopword("tumor") {
+		t.Error("tumor should not be a stopword")
+	}
+}
+
+// Property: every token's span reproduces its text, tokens are ordered and
+// non-overlapping.
+func TestTokenizeSpansProperty(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		prevEnd := 0
+		for _, tok := range toks {
+			if tok.Start < prevEnd || tok.End <= tok.Start || tok.End > len(s) {
+				return false
+			}
+			if s[tok.Start:tok.End] != tok.Text {
+				return false
+			}
+			prevEnd = tok.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sentence splitting never loses word-like tokens.
+func TestSplitSentencesConservesWords(t *testing.T) {
+	f := func(s string) bool {
+		all := 0
+		for _, tok := range Tokenize(s) {
+			if tok.IsWordLike() {
+				all++
+			}
+		}
+		got := 0
+		for _, sent := range SplitSentences(s) {
+			for _, tok := range sent.Tokens {
+				if tok.IsWordLike() {
+					got++
+				}
+			}
+		}
+		return got == all
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NormalizePhrase is idempotent.
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := NormalizePhrase(s)
+		return NormalizePhrase(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

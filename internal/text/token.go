@@ -1,0 +1,90 @@
+// Package text provides the low-level text-processing substrate used by the
+// THOR pipeline: tokens, sentences, a tokenizer, a sentence splitter,
+// stop-word handling and string normalization.
+//
+// The design follows the paper's document model: a document is a collection
+// of sentences, a sentence a sequence of words, and a phrase a subsequence of
+// a sentence.
+package text
+
+import "strings"
+
+// Kind classifies a token at the lexical level, before part-of-speech
+// tagging. The tokenizer assigns kinds; the POS tagger refines them.
+type Kind int
+
+const (
+	// Word is an alphabetic token, possibly with internal hyphens or
+	// apostrophes ("slow-growing", "patient's").
+	Word Kind = iota
+	// Number is a numeric token, possibly with separators ("3", "1,200", "2.5").
+	Number
+	// Punct is a punctuation token.
+	Punct
+	// Symbol is any other non-space token (currency signs, math, ...).
+	Symbol
+)
+
+// String returns the lexical kind name.
+func (k Kind) String() string {
+	switch k {
+	case Word:
+		return "Word"
+	case Number:
+		return "Number"
+	case Punct:
+		return "Punct"
+	default:
+		return "Symbol"
+	}
+}
+
+// Token is a single lexical unit with its position in the original input.
+type Token struct {
+	// Text is the token exactly as it appeared in the input.
+	Text string
+	// Lower is the lower-cased form, precomputed because nearly every
+	// downstream consumer needs it.
+	Lower string
+	// Kind is the lexical class assigned by the tokenizer.
+	Kind Kind
+	// Start and End delimit the token as byte offsets into the original
+	// string, with End exclusive.
+	Start, End int
+}
+
+// IsWordLike reports whether the token carries lexical content (a word or a
+// number), as opposed to punctuation or symbols.
+func (t Token) IsWordLike() bool { return t.Kind == Word || t.Kind == Number }
+
+// Sentence is a contiguous run of tokens plus its span in the document.
+type Sentence struct {
+	Tokens []Token
+	// Start and End delimit the sentence as byte offsets into the document.
+	Start, End int
+}
+
+// Text reconstructs the sentence surface form by joining word-like tokens
+// with single spaces and attaching punctuation to the preceding token. It is
+// a display form, not a byte-exact reconstruction.
+func (s Sentence) Text() string {
+	var b strings.Builder
+	for i, t := range s.Tokens {
+		if i > 0 && t.Kind != Punct {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.Text)
+	}
+	return b.String()
+}
+
+// Words returns the lower-cased word-like tokens of the sentence, in order.
+func (s Sentence) Words() []string {
+	out := make([]string, 0, len(s.Tokens))
+	for _, t := range s.Tokens {
+		if t.IsWordLike() {
+			out = append(out, t.Lower)
+		}
+	}
+	return out
+}

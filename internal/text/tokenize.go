@@ -1,0 +1,173 @@
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into tokens. Words keep internal hyphens and apostrophes
+// ("slow-growing", "o'clock"); numbers keep internal commas and periods
+// ("1,200", "2.5"); everything else becomes single-rune Punct/Symbol tokens.
+func Tokenize(s string) []Token {
+	var toks []Token
+	i := 0
+	n := len(s)
+	for i < n {
+		r, size := decodeRune(s[i:])
+		switch {
+		case unicode.IsSpace(r):
+			i += size
+		case unicode.IsLetter(r):
+			j := i + size
+			for j < n {
+				r2, sz := decodeRune(s[j:])
+				if unicode.IsLetter(r2) || unicode.IsDigit(r2) {
+					j += sz
+					continue
+				}
+				// Keep an internal hyphen or apostrophe only when a letter
+				// or digit follows immediately.
+				if (r2 == '-' || r2 == '\'' || r2 == '’') && j+sz < n {
+					r3, _ := decodeRune(s[j+sz:])
+					if unicode.IsLetter(r3) || unicode.IsDigit(r3) {
+						j += sz
+						continue
+					}
+				}
+				break
+			}
+			toks = append(toks, makeToken(s, i, j, Word))
+			i = j
+		case unicode.IsDigit(r):
+			j := i + size
+			for j < n {
+				r2, sz := decodeRune(s[j:])
+				if unicode.IsDigit(r2) {
+					j += sz
+					continue
+				}
+				if (r2 == ',' || r2 == '.') && j+sz < n {
+					r3, _ := decodeRune(s[j+sz:])
+					if unicode.IsDigit(r3) {
+						j += sz
+						continue
+					}
+				}
+				break
+			}
+			toks = append(toks, makeToken(s, i, j, Number))
+			i = j
+		case unicode.IsPunct(r):
+			toks = append(toks, makeToken(s, i, i+size, Punct))
+			i += size
+		default:
+			toks = append(toks, makeToken(s, i, i+size, Symbol))
+			i += size
+		}
+	}
+	return toks
+}
+
+func makeToken(s string, start, end int, k Kind) Token {
+	raw := s[start:end]
+	return Token{Text: raw, Lower: strings.ToLower(raw), Kind: k, Start: start, End: end}
+}
+
+// decodeRune is a tiny wrapper so the tokenizer reads naturally; it decodes
+// the first rune of s.
+func decodeRune(s string) (rune, int) {
+	for _, r := range s {
+		return r, runeLen(r)
+	}
+	return 0, 0
+}
+
+func runeLen(r rune) int {
+	switch {
+	case r < 0x80:
+		return 1
+	case r < 0x800:
+		return 2
+	case r < 0x10000:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// sentence-final punctuation and common abbreviations the splitter must not
+// break after.
+var abbreviations = map[string]bool{
+	"dr": true, "mr": true, "mrs": true, "ms": true, "prof": true,
+	"st": true, "vs": true, "etc": true, "e.g": true, "i.e": true,
+	"eg": true, "ie": true, "fig": true, "al": true, "no": true,
+	"inc": true, "ltd": true, "jr": true, "sr": true, "dept": true,
+}
+
+// SplitSentences tokenizes s and groups the tokens into sentences. A sentence
+// ends at '.', '!' or '?' unless the period terminates a known abbreviation
+// or a single capital initial ("J."), or is followed by a lower-case
+// continuation.
+func SplitSentences(s string) []Sentence {
+	toks := Tokenize(s)
+	var sents []Sentence
+	begin := 0
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind != Punct || (t.Text != "." && t.Text != "!" && t.Text != "?") {
+			continue
+		}
+		if t.Text == "." && i > 0 {
+			prev := toks[i-1]
+			if prev.Kind == Word && (abbreviations[prev.Lower] || len(prev.Text) == 1 && prev.Text == strings.ToUpper(prev.Text)) {
+				continue
+			}
+		}
+		// A period followed by a lower-case word is treated as internal
+		// (e.g. bad spacing in scraped text), unless it ends the input.
+		if t.Text == "." && i+1 < len(toks) {
+			next := toks[i+1]
+			if next.Kind == Word && next.Text == next.Lower && !startsNewClause(next.Lower) {
+				// Only continue if the period directly abuts the next token
+				// (no whitespace); normal prose with a space still splits.
+				if next.Start == t.End {
+					continue
+				}
+			}
+		}
+		sents = appendSentence(sents, toks[begin:i+1])
+		begin = i + 1
+	}
+	if begin < len(toks) {
+		sents = appendSentence(sents, toks[begin:])
+	}
+	return sents
+}
+
+// startsNewClause lists lower-case words that commonly begin a new sentence
+// in informal text ("however", "it", ...). Kept small on purpose: it only
+// influences the no-whitespace heuristic above.
+func startsNewClause(w string) bool {
+	switch w {
+	case "however", "it", "this", "these", "the", "in", "a", "an":
+		return true
+	}
+	return false
+}
+
+func appendSentence(sents []Sentence, toks []Token) []Sentence {
+	// Drop sentences that carry no lexical content.
+	hasWord := false
+	for _, t := range toks {
+		if t.IsWordLike() {
+			hasWord = true
+			break
+		}
+	}
+	if !hasWord {
+		return sents
+	}
+	cp := make([]Token, len(toks))
+	copy(cp, toks)
+	return append(sents, Sentence{Tokens: cp, Start: cp[0].Start, End: cp[len(cp)-1].End})
+}

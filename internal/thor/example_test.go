@@ -1,0 +1,58 @@
+package thor_test
+
+import (
+	"fmt"
+	"strings"
+
+	"thor/internal/embed"
+	"thor/internal/schema"
+	"thor/internal/segment"
+	"thor/internal/thor"
+)
+
+// ExampleRun reproduces the paper's Fig. 1 in miniature: an integrated table
+// with a labeled null is enriched from external text.
+func ExampleRun() {
+	// The integrated table: Acoustic Neuroma has no known Complication (⊥).
+	table := schema.NewTable(schema.NewSchema("Disease", "Anatomy", "Complication"))
+	row := table.AddRow("Acoustic Neuroma")
+	row.Add("Anatomy", "nervous system")
+	table.AddRow("Tuberculosis").Add("Complication", "skin cancer")
+
+	// A miniature embedding space; real deployments load one with
+	// embed.ReadSpace or build it from their corpus.
+	space := embed.NewSpace()
+	anatomy := embed.HashVector("ex:anatomy")
+	complication := embed.HashVector("ex:complication")
+	add := func(c embed.Vector, alpha float64, noise string, words ...string) {
+		for _, w := range words {
+			for _, part := range strings.Fields(w) {
+				key := noise
+				if key == "" {
+					key = "ex-noise:" + part
+				}
+				space.Add(part, embed.Blend(c, embed.HashVector(key), alpha))
+			}
+		}
+	}
+	add(anatomy, 0.58, "", "nervous system", "brain", "nerve", "ear", "lungs")
+	add(complication, 0.85, "ex:cancer-family", "cancer", "cancerous", "non-cancerous", "tumor")
+
+	doc := segment.Document{
+		Name: "health-portal",
+		Text: "An Acoustic Neuroma is a slow-growing non-cancerous brain tumor. " +
+			"Tuberculosis generally damages the lungs.",
+	}
+	res, err := thor.Run(table, space, []segment.Document{doc}, thor.Config{Tau: 0.6})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("Acoustic Neuroma complication:",
+		res.Table.Row("Acoustic Neuroma").Values("Complication")[0])
+	fmt.Println("Tuberculosis anatomy:",
+		res.Table.Row("Tuberculosis").Values("Anatomy")[0])
+	// Output:
+	// Acoustic Neuroma complication: non-cancerous brain tumor
+	// Tuberculosis anatomy: lungs
+}

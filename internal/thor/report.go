@@ -1,0 +1,83 @@
+package thor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report is the JSON-serializable summary of a pipeline run: the extracted
+// entities with their provenance and refinement scores, plus the run
+// statistics. The enriched table itself is serialized separately via
+// schema.Table's writers.
+type Report struct {
+	// Entities in deterministic order (see Result.AllEntities).
+	Entities []ReportEntity `json:"entities"`
+	// Stats summarizes the run.
+	Stats ReportStats `json:"stats"`
+}
+
+// ReportEntity is the exported form of an Entity.
+type ReportEntity struct {
+	Subject string  `json:"subject"`
+	Concept string  `json:"concept"`
+	Phrase  string  `json:"phrase"`
+	Matched string  `json:"matchedInstance"`
+	Doc     string  `json:"doc,omitempty"`
+	ScoreS  float64 `json:"scoreSemantic"`
+	ScoreW  float64 `json:"scoreWord"`
+	ScoreC  float64 `json:"scoreChar"`
+	Score   float64 `json:"score"`
+}
+
+// ReportStats is the exported form of Stats (durations in seconds).
+type ReportStats struct {
+	Documents   int     `json:"documents"`
+	Sentences   int     `json:"sentences"`
+	Phrases     int     `json:"phrases"`
+	Candidates  int     `json:"candidates"`
+	Entities    int     `json:"entities"`
+	Filled      int     `json:"slotsFilled"`
+	PrepSecs    float64 `json:"prepSeconds"`
+	ExtractSecs float64 `json:"extractSeconds"`
+}
+
+// Report builds the exportable summary of the result.
+func (r *Result) Report() *Report {
+	rep := &Report{
+		Stats: ReportStats{
+			Documents:   r.Stats.Documents,
+			Sentences:   r.Stats.Sentences,
+			Phrases:     r.Stats.Phrases,
+			Candidates:  r.Stats.Candidates,
+			Entities:    r.Stats.Entities,
+			Filled:      r.Stats.Filled,
+			PrepSecs:    r.Stats.PrepTime.Seconds(),
+			ExtractSecs: r.Stats.ExtractTime.Seconds(),
+		},
+	}
+	for _, e := range r.AllEntities() {
+		rep.Entities = append(rep.Entities, ReportEntity{
+			Subject: e.Subject,
+			Concept: string(e.Concept),
+			Phrase:  e.Phrase,
+			Matched: e.Matched,
+			Doc:     e.Doc,
+			ScoreS:  e.ScoreS,
+			ScoreW:  e.ScoreW,
+			ScoreC:  e.ScoreC,
+			Score:   e.Score,
+		})
+	}
+	return rep
+}
+
+// WriteReport serializes the run report as indented JSON.
+func (r *Result) WriteReport(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Report()); err != nil {
+		return fmt.Errorf("thor: write report: %w", err)
+	}
+	return nil
+}

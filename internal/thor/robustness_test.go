@@ -1,0 +1,103 @@
+package thor
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"thor/internal/segment"
+)
+
+// The pipeline must never panic or error on arbitrary text: malformed prose,
+// unicode soup, enormous sentences, punctuation runs, or empty documents
+// (the only rejected input is an empty document *list*).
+
+func TestPipelineArbitraryTextNeverPanics(t *testing.T) {
+	p, err := New(fig1Table(), fig1Space(), Config{Tau: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(body string) bool {
+		docs := []segment.Document{{Name: "fuzz", Text: body}}
+		res, err := p.Run(docs)
+		if err != nil {
+			return false
+		}
+		// Entities, if any, must be well-formed.
+		for _, e := range res.AllEntities() {
+			if e.Subject == "" || e.Phrase == "" || e.Concept == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipelineAdversarialDocuments(t *testing.T) {
+	p, err := New(fig1Table(), fig1Space(), Config{Tau: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	words := []string{"Acoustic", "Neuroma", "the", "brain", "and", "...", "!!", "—", "桜", "mixedCASE", "x"}
+	var giant strings.Builder
+	for i := 0; i < 20000; i++ {
+		giant.WriteString(words[rng.Intn(len(words))])
+		giant.WriteByte(' ')
+	}
+	cases := []string{
+		"",                                 // empty body
+		"....!!!???",                       // punctuation only
+		strings.Repeat("a", 100000),        // one enormous token
+		strings.Repeat("word ", 50000),     // one enormous sentence (no terminator)
+		giant.String(),                     // long mixed junk
+		"Acoustic Neuroma\x00damages\x7f.", // control characters
+		"τ=0.7 résumé naïve — “quoted”. 𝛼.", // unicode punctuation and symbols
+	}
+	for i, body := range cases {
+		res, err := p.Run([]segment.Document{{Name: "adv", Text: body, DefaultSubject: "Acoustic Neuroma"}})
+		if err != nil {
+			t.Errorf("case %d: unexpected error: %v", i, err)
+			continue
+		}
+		if res.Stats.Documents != 1 {
+			t.Errorf("case %d: stats wrong: %+v", i, res.Stats)
+		}
+	}
+}
+
+func TestPipelineManyEmptyDocuments(t *testing.T) {
+	p, err := New(fig1Table(), fig1Space(), Config{Tau: 0.6, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]segment.Document, 50)
+	for i := range docs {
+		docs[i] = segment.Document{Name: "empty"}
+	}
+	res, err := p.Run(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Entities != 0 || res.Stats.Sentences != 0 {
+		t.Errorf("empty documents produced content: %+v", res.Stats)
+	}
+}
+
+func TestPipelineTableWithOddSubjects(t *testing.T) {
+	// Subjects containing regex-ish and punctuation characters must not
+	// break segmentation or slot filling.
+	tab := fig1Table()
+	tab.AddRow("Weird (Sub)ject+*")
+	p, err := New(tab, fig1Space(), Config{Tau: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run([]segment.Document{{Name: "odd", Text: "Weird (Sub)ject+* damages the brain."}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,405 @@
+// Package thor implements the THOR pipeline of the paper "Mitigating Data
+// Sparsity in Integrated Data through Text Conceptualization" (ICDE 2024):
+// entity-centric slot filling that enriches an integrated table with
+// conceptualized entities extracted from external documents.
+//
+// The pipeline follows Algorithm 1 exactly:
+//
+//	① Preparation      — segment documents by subject instance and fine-tune
+//	                      a semantic matcher from the table's own instances.
+//	② Entity Extraction — parse each sentence, extract noun phrases, match
+//	                      subphrases semantically, refine syntactically, and
+//	                      keep the best entity per phrase.
+//	③ Slot Filling      — write the extracted entities into the table's
+//	                      labeled nulls.
+package thor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"thor/internal/dep"
+	"thor/internal/embed"
+	"thor/internal/matcher"
+	"thor/internal/phrase"
+	"thor/internal/pos"
+	"thor/internal/schema"
+	"thor/internal/segment"
+	"thor/internal/strsim"
+)
+
+// Entity is a conceptualized entity extracted from text: a phrase paired
+// with a concept, attributed to a subject instance, with the refinement
+// scores of Algorithm 1 lines 10–13.
+type Entity struct {
+	// Subject is the subject instance c* the entity relates to.
+	Subject string
+	// Doc names the document the entity was extracted from (provenance).
+	Doc string
+	// Phrase is e.p, the extracted (normalized) phrase.
+	Phrase string
+	// Concept is e.C, the assigned schema concept.
+	Concept schema.Concept
+	// Matched is c_m, the seed instance the matcher aligned the phrase to.
+	Matched string
+	// ScoreS, ScoreW and ScoreC are the semantic, word-level (Jaccard) and
+	// character-level (Gestalt) similarities to Matched.
+	ScoreS, ScoreW, ScoreC float64
+	// Score is their combination (the average, by default).
+	Score float64
+}
+
+// Config controls a pipeline run.
+type Config struct {
+	// Tau is the user threshold τ ∈ [0,1]; see Table V of the paper.
+	Tau float64
+	// Knowledge optionally supplies a different table for matcher
+	// fine-tuning than the slot-filling target. This is the paper's
+	// evaluation setting: the matcher learns from the full structured table
+	// R while the cleared test table R_test' receives the slots. Nil means
+	// fine-tune on the target table itself.
+	Knowledge *schema.Table
+	// MinScore discards refined entities whose combined score falls below
+	// it. Zero means 0.30.
+	MinScore float64
+	// Matcher carries advanced matcher options; Tau is copied into it.
+	Matcher matcher.Config
+	// UseSemantic/UseJaccard/UseGestalt select the refinement scores that
+	// participate in the combined score. All false means all three (the
+	// paper's configuration). Used by the ablation benchmarks.
+	UseSemantic, UseJaccard, UseGestalt bool
+	// NaiveChunking replaces dependency-parse noun-phrase extraction with
+	// sliding word n-grams (ablation).
+	NaiveChunking bool
+	// Lexicon optionally extends the POS tagger with domain words.
+	Lexicon map[string]pos.Tag
+	// Workers sets the number of documents processed concurrently. Zero or
+	// one means sequential. Results are identical regardless of the worker
+	// count: documents are merged back in input order.
+	Workers int
+	// Validator, when set, vetoes extracted entities before slot filling —
+	// the knowledge-graph context filter of the paper's future work (see
+	// the kg package). Must be safe for concurrent use when Workers > 1.
+	Validator EntityValidator
+}
+
+// EntityValidator vetoes (phrase, concept) assignments; kg.Validator is the
+// canonical implementation.
+type EntityValidator interface {
+	Validate(phrase string, concept schema.Concept) bool
+}
+
+func (c Config) minScore() float64 {
+	if c.MinScore == 0 {
+		return 0.30
+	}
+	return c.MinScore
+}
+
+// scoreWeights resolves the ablation flags: which of the three scores are
+// averaged.
+func (c Config) scoreWeights() (sem, jac, ges bool) {
+	if !c.UseSemantic && !c.UseJaccard && !c.UseGestalt {
+		return true, true, true
+	}
+	return c.UseSemantic, c.UseJaccard, c.UseGestalt
+}
+
+// Stats reports what a run did.
+type Stats struct {
+	Documents  int
+	Sentences  int
+	Phrases    int
+	Candidates int
+	Entities   int
+	Filled     int
+	// PrepTime and ExtractTime split the wall clock between phase ① and
+	// phases ②–③.
+	PrepTime    time.Duration
+	ExtractTime time.Duration
+}
+
+// Total returns the combined wall-clock duration.
+func (s Stats) Total() time.Duration { return s.PrepTime + s.ExtractTime }
+
+// Result is the output of a pipeline run.
+type Result struct {
+	// Table is the enriched copy of the input table (the input is not
+	// modified).
+	Table *schema.Table
+	// Entities holds every refined entity, grouped by subject instance
+	// (the map E[c*] of Algorithm 1).
+	Entities map[string][]Entity
+	// Stats summarizes the run.
+	Stats Stats
+}
+
+// AllEntities flattens the per-subject entity map in deterministic order
+// (subjects sorted, entities in extraction order).
+func (r *Result) AllEntities() []Entity {
+	subjects := make([]string, 0, len(r.Entities))
+	for s := range r.Entities {
+		subjects = append(subjects, s)
+	}
+	sort.Strings(subjects)
+	var out []Entity
+	for _, s := range subjects {
+		out = append(out, r.Entities[s]...)
+	}
+	return out
+}
+
+// Pipeline is a reusable THOR instance: fine-tuned once (phase ①b), then run
+// over any number of documents.
+type Pipeline struct {
+	cfg     Config
+	table   *schema.Table
+	space   *embed.Space
+	match   *matcher.Matcher
+	tagger  *pos.Tagger
+	seg     *segment.Segmenter
+	prepDur time.Duration
+}
+
+// New prepares a pipeline for the given integrated table: it fine-tunes the
+// semantic matcher from the table's schema and instances (Algorithm 1 line
+// 2) and builds the document segmenter over the subject instances.
+func New(table *schema.Table, space *embed.Space, cfg Config) (*Pipeline, error) {
+	if table == nil {
+		return nil, fmt.Errorf("thor: nil table")
+	}
+	if space == nil {
+		return nil, fmt.Errorf("thor: nil embedding space")
+	}
+	if cfg.Tau < 0 || cfg.Tau > 1 {
+		return nil, fmt.Errorf("thor: tau %v outside [0,1]", cfg.Tau)
+	}
+	start := time.Now()
+	knowledge := cfg.Knowledge
+	if knowledge == nil {
+		knowledge = table
+	}
+	mcfg := cfg.Matcher
+	mcfg.Tau = cfg.Tau
+	mcfg.IncludeSubject = true
+	m, err := matcher.FineTune(space, knowledge, mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("thor: fine-tune: %w", err)
+	}
+	tagger := pos.New()
+	if cfg.Lexicon != nil {
+		tagger.AddLexicon(cfg.Lexicon)
+	}
+	p := &Pipeline{
+		cfg:     cfg,
+		table:   table,
+		space:   space,
+		match:   m,
+		tagger:  tagger,
+		seg:     segment.New(table.Subjects()),
+		prepDur: time.Since(start),
+	}
+	return p, nil
+}
+
+// docOutcome is one document's extraction output, merged in input order so
+// parallel runs stay deterministic.
+type docOutcome struct {
+	sentences, phrases, candidates int
+	entities                       []Entity
+}
+
+// Run executes phases ①a, ② and ③ over the documents and returns the
+// enriched table and extracted entities. With Config.Workers > 1, documents
+// are processed concurrently and merged back in input order, so the result
+// is identical to a sequential run.
+func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("thor: no documents")
+	}
+	start := time.Now()
+	res := &Result{
+		Table:    p.table.Clone(),
+		Entities: make(map[string][]Entity),
+	}
+	res.Stats.Documents = len(docs)
+	res.Stats.PrepTime = p.prepDur
+
+	// ①a + ②: segmentation and entity extraction.
+	outcomes := make([]*docOutcome, len(docs))
+	if w := p.cfg.Workers; w > 1 {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					outcomes[i] = p.extractDoc(docs[i])
+				}
+			}()
+		}
+		for i := range docs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for i := range docs {
+			outcomes[i] = p.extractDoc(docs[i])
+		}
+	}
+
+	// Merge per-document outcomes in input order, deduplicating entities
+	// per subject (the set semantics of E[c*] in Algorithm 1).
+	for _, o := range outcomes {
+		res.Stats.Sentences += o.sentences
+		res.Stats.Phrases += o.phrases
+		res.Stats.Candidates += o.candidates
+		for _, e := range o.entities {
+			if hasEntity(res.Entities[e.Subject], e) {
+				continue
+			}
+			res.Entities[e.Subject] = append(res.Entities[e.Subject], e)
+			res.Stats.Entities++
+		}
+	}
+
+	// ③ Slot filling (Algorithm 1 lines 16–20).
+	subjectConcept := p.table.Schema.Subject
+	for subj, ents := range res.Entities {
+		row := res.Table.Row(subj)
+		if row == nil {
+			continue
+		}
+		for _, e := range ents {
+			// Mentions conceptualized as the subject concept are reported
+			// as entities (the evaluation counts them) but do not fill
+			// slots: the subject column is the key.
+			if e.Concept == subjectConcept {
+				continue
+			}
+			if row.Add(e.Concept, e.Phrase) {
+				res.Stats.Filled++
+			}
+		}
+	}
+	res.Stats.ExtractTime = time.Since(start)
+	return res, nil
+}
+
+// extractDoc runs segmentation plus lines 6–15 of Algorithm 1 over one
+// document.
+func (p *Pipeline) extractDoc(doc segment.Document) *docOutcome {
+	out := &docOutcome{}
+	semW, jacW, gesW := p.cfg.scoreWeights()
+	for _, asg := range p.seg.Segment(doc) {
+		out.sentences++
+		if asg.Subject == "" {
+			continue
+		}
+		phrases := p.phrases(asg)
+		out.phrases += len(phrases)
+		for _, ph := range phrases {
+			cands := p.match.Match(ph)
+			out.candidates += len(cands)
+			var best Entity
+			found := false
+			for _, c := range cands {
+				e := Entity{
+					Subject: asg.Subject,
+					Doc:     doc.Name,
+					Phrase:  c.Phrase,
+					Concept: c.Concept,
+					Matched: c.Matched,
+				}
+				e.ScoreS = p.match.Similarity(c.Phrase, c.Matched)
+				e.ScoreW = strsim.Jaccard(c.Phrase, c.Matched)
+				e.ScoreC = strsim.Gestalt(c.Phrase, c.Matched)
+				e.Score = combine(e, semW, jacW, gesW)
+				if !found || e.Score > best.Score {
+					best, found = e, true
+				}
+			}
+			if !found || best.Score < p.cfg.minScore() {
+				continue
+			}
+			if p.cfg.Validator != nil && !p.cfg.Validator.Validate(best.Phrase, best.Concept) {
+				continue
+			}
+			out.entities = append(out.entities, best)
+		}
+	}
+	return out
+}
+
+// phrases produces the candidate noun phrases of a sentence, via the
+// dependency parse (default) or naive n-gram chunking (ablation).
+func (p *Pipeline) phrases(asg segment.Assignment) []phrase.Phrase {
+	if p.cfg.NaiveChunking {
+		return naiveChunks(asg)
+	}
+	tree := dep.Parse(p.tagger.Tag(asg.Sentence))
+	return phrase.Extract(tree)
+}
+
+// naiveChunks emits every 1..3-word window of content words as a phrase,
+// the strawman chunker for BenchmarkAblationChunking.
+func naiveChunks(asg segment.Assignment) []phrase.Phrase {
+	words := asg.Sentence.Words()
+	var kept []string
+	for _, w := range words {
+		kept = append(kept, w)
+	}
+	var out []phrase.Phrase
+	for n := 1; n <= 3; n++ {
+		for i := 0; i+n <= len(kept); i++ {
+			window := kept[i : i+n]
+			stripped := make([]string, len(window))
+			copy(stripped, window)
+			out = append(out, phrase.Phrase{Words: stripped, HeadWord: stripped[len(stripped)-1]})
+		}
+	}
+	return out
+}
+
+func combine(e Entity, sem, jac, ges bool) float64 {
+	sum, n := 0.0, 0
+	if sem {
+		sum += e.ScoreS
+		n++
+	}
+	if jac {
+		sum += e.ScoreW
+		n++
+	}
+	if ges {
+		sum += e.ScoreC
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func hasEntity(es []Entity, e Entity) bool {
+	for _, x := range es {
+		if x.Phrase == e.Phrase && x.Concept == e.Concept {
+			return true
+		}
+	}
+	return false
+}
+
+// Run is the one-shot convenience: prepare a pipeline and run it over the
+// documents.
+func Run(table *schema.Table, space *embed.Space, docs []segment.Document, cfg Config) (*Result, error) {
+	p, err := New(table, space, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(docs)
+}
