@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/trace"
 	"strings"
 
 	"thor/internal/embed"
+	"thor/internal/obs"
 	"thor/internal/schema"
 	"thor/internal/segment"
 	"thor/internal/text"
@@ -40,11 +42,39 @@ func main() {
 		report    = flag.String("report", "", "optional path for the JSON run report (entities + stats)")
 		workers   = flag.Int("workers", 1, "documents processed concurrently")
 		verbose   = flag.Bool("v", false, "print extracted entities")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /debug/vars, /debug/pprof/* and /debug/thor/* on this address")
+		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot (counters + stage histograms) to this file")
+		traceOut    = flag.String("trace-out", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 	if *tablePath == "" || *docsDir == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, reg, tracer)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "thor: debug server on http://%s/debug/vars\n", srv.Addr)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Start(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
 	}
 
 	table, err := loadTable(*tablePath, schema.Concept(*subject))
@@ -71,9 +101,27 @@ func main() {
 			fatal(err)
 		}
 	}
-	res, err := thor.Run(table, space, docs, thor.Config{Tau: *tau, Workers: *workers})
+	res, err := thor.Run(table, space, docs, thor.Config{
+		Tau:     *tau,
+		Workers: *workers,
+		Metrics: reg,
+		Tracer:  tracer,
+	})
 	if err != nil {
 		fatal(err)
+	}
+	if *metricsJSON != "" {
+		f, err := os.Create(*metricsJSON)
+		if err != nil {
+			fatal(err)
+		}
+		err = reg.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *report != "" {
 		rf, err := os.Create(*report)

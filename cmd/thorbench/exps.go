@@ -36,6 +36,8 @@ func runExp1() {
 	experiments.RenderTableVII(os.Stdout, c)
 	fmt.Println()
 	experiments.RenderTableVIII(os.Stdout, c)
+	fmt.Println()
+	experiments.RenderStageCosts(os.Stdout, c)
 
 	// The held-out validation split selects τ without touching the test set.
 	if tuned, err := experiments.TuneTau(ds, experiments.TuneF1); err == nil {
@@ -62,6 +64,8 @@ func runExp2() {
 	experiments.RenderTableX(os.Stdout, s)
 	fmt.Println()
 	experiments.RenderFig8(os.Stdout, s)
+	fmt.Println()
+	experiments.RenderStageTable(os.Stdout, "annotation-study THOR reference", s.ThorStats)
 }
 
 func runExp3() {
@@ -76,4 +80,6 @@ func runExp3() {
 	experiments.RenderFig7(os.Stdout, c) // Fig 9 is the Résumé instance of the bar chart
 	fmt.Println()
 	experiments.RenderFig10(os.Stdout, c)
+	fmt.Println()
+	experiments.RenderStageCosts(os.Stdout, c)
 }

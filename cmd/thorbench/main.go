@@ -7,20 +7,60 @@
 //	thorbench -exp 1        # Experiment 1 only (Tables V–VIII, Figs 5–7)
 //	thorbench -exp 2        # Experiment 2 only (Tables IX–X, Fig 8)
 //	thorbench -exp 3        # Experiment 3 only (Table XI, Figs 9–10)
+//
+// Observability (see the Observability section of README.md):
+//
+//	thorbench -metrics-addr :6060        # /debug/vars, /debug/pprof/*, /debug/thor/spans
+//	thorbench -exp 1 -metrics-json m.json# write the per-stage metrics snapshot
+//	thorbench -trace-out run.trace       # runtime execution trace (go tool trace)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/trace"
 
 	"thor/internal/experiments"
+	"thor/internal/obs"
 )
 
 func main() {
 	exp := flag.Int("exp", 0, "experiment to run (1, 2 or 3; 0 = all)")
 	csvDir := flag.String("csv", "", "optional directory for CSV series of every table/figure")
+	metricsAddr := flag.String("metrics-addr", "", "serve /debug/vars, /debug/pprof/* and /debug/thor/* on this address")
+	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot (counters + stage histograms) to this file")
+	traceOut := flag.String("trace-out", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	// The registry and tracer are threaded through every pipeline run the
+	// experiments perform; the span capacity covers a full 3-experiment
+	// regeneration.
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(16384)
+	experiments.SetInstruments(reg, tr)
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, reg, tr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "thorbench: debug server on http://%s/debug/vars\n", srv.Addr)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Start(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
+	}
 
 	if *csvDir != "" {
 		if err := experiments.WriteCSVSeries(*csvDir,
@@ -28,8 +68,7 @@ func main() {
 			experiments.ResumeComparison(),
 			experiments.Annotation(),
 		); err != nil {
-			fmt.Fprintln(os.Stderr, "thorbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("CSV series written to %s\n", *csvDir)
 	}
@@ -49,4 +88,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "thorbench: unknown experiment %d\n", *exp)
 		os.Exit(2)
 	}
+
+	if *metricsJSON != "" {
+		f, err := os.Create(*metricsJSON)
+		if err != nil {
+			fatal(err)
+		}
+		err = reg.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "thorbench: metrics snapshot written to %s\n", *metricsJSON)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thorbench:", err)
+	os.Exit(1)
 }

@@ -43,6 +43,9 @@ type SystemResult struct {
 	Report *eval.Report
 	// Predictions retains the raw mentions (used by fine-grained tables).
 	Predictions []eval.Mention
+	// Stats carries the pipeline run statistics, including the per-stage
+	// latency breakdown (THOR rows only; zero for comparator models).
+	Stats thor.Stats
 }
 
 // ThorOnly reports whether the row belongs to the THOR sweep.
@@ -84,11 +87,14 @@ func (c *Comparison) All() []SystemResult {
 
 // runThor executes the pipeline at one threshold and evaluates it.
 func runThor(ds *datagen.Dataset, tau float64) SystemResult {
+	reg, tr := Instruments()
 	start := time.Now()
 	res, err := thor.Run(ds.TestTable(), ds.Space, ds.Test.Docs, thor.Config{
 		Tau:       tau,
 		Knowledge: ds.Table,
 		Lexicon:   ds.Lexicon,
+		Metrics:   reg,
+		Tracer:    tr,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: THOR run failed: %v", err)) // datasets are well-formed by construction
@@ -104,6 +110,7 @@ func runThor(ds *datagen.Dataset, tau float64) SystemResult {
 		Measured:    elapsed,
 		Report:      eval.Evaluate(preds, ds.Test.Gold),
 		Predictions: preds,
+		Stats:       res.Stats,
 	}
 }
 
@@ -172,6 +179,9 @@ type AnnotationStudy struct {
 	// ThorEntities and ThorWords describe THOR's "training data": the
 	// structured table.
 	ThorEntities, ThorWords int
+	// ThorStats carries the reference run's statistics, including the
+	// per-stage latency breakdown.
+	ThorStats thor.Stats
 	// Points are the LM-Human subset models, smallest first.
 	Points []AnnotationPoint
 	// Cost is the annotation-effort model behind the time columns.
@@ -195,6 +205,7 @@ func StudyAnnotation(ds *datagen.Dataset) *AnnotationStudy {
 	}
 	thorRes := runThor(ds, BestTau)
 	study.ThorF1 = thorRes.Report.Overall.F1()
+	study.ThorStats = thorRes.Stats
 	study.ThorEntities = ds.Table.InstanceCount()
 	study.ThorWords = tableWords(ds)
 

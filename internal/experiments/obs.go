@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"sync"
+
+	"thor/internal/obs"
+)
+
+// The experiment harness optionally threads one observability sink through
+// every THOR run it performs (thorbench sets it from -metrics-addr /
+// -metrics-json). Nil values disable instrumentation, which is the default
+// and costs nothing.
+var (
+	obsMu      sync.RWMutex
+	obsReg     *obs.Registry
+	obsTracer  *obs.Tracer
+)
+
+// SetInstruments installs the registry and tracer every subsequent
+// experiment pipeline run reports into. Pass nils to disable. Call before
+// the first experiment runs: comparisons are memoized, so instruments
+// installed later see only uncached runs.
+func SetInstruments(reg *obs.Registry, tr *obs.Tracer) {
+	obsMu.Lock()
+	obsReg, obsTracer = reg, tr
+	obsMu.Unlock()
+}
+
+// Instruments returns the currently installed registry and tracer (nil,
+// nil when disabled).
+func Instruments() (*obs.Registry, *obs.Tracer) {
+	obsMu.RLock()
+	defer obsMu.RUnlock()
+	return obsReg, obsTracer
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"thor/internal/schema"
+	"thor/internal/thor"
 )
 
 // fmtDur renders a duration as whole seconds, matching the paper's tables.
@@ -30,6 +31,45 @@ func RenderTableV(w io.Writer, c *Comparison) {
 		o := r.Report.Overall
 		fmt.Fprintf(w, "%-14s %10s %10s %6.2f %6.2f %6.2f\n",
 			r.Name, fmtDur(r.Measured), fmtDur(r.Simulated), o.Precision(), o.Recall(), o.F1())
+	}
+}
+
+// RenderStageCosts writes the per-stage latency breakdown of the THOR run
+// at the best threshold: where the wall clock goes inside preparation →
+// segmentation → parsing → matching → refinement → slot filling. This is
+// the baseline future caching/sharding/batching PRs are measured against.
+func RenderStageCosts(w io.Writer, c *Comparison) {
+	r := c.ThorAt(BestTau)
+	if r == nil {
+		return
+	}
+	RenderStageTable(w, fmt.Sprintf("%s at τ=%.1f", c.Dataset.Name, BestTau), r.Stats)
+}
+
+// RenderStageTable writes the per-stage breakdown of one labeled pipeline
+// run: calls, total and mean latency, and each stage's share of the summed
+// stage time.
+func RenderStageTable(w io.Writer, label string, s thor.Stats) {
+	if len(s.Stages) == 0 {
+		return
+	}
+	var total time.Duration
+	for _, st := range s.Stages {
+		total += st.Total
+	}
+	fmt.Fprintf(w, "Stage costs — %s (%d docs, %d sentences, %d phrases)\n",
+		label, s.Documents, s.Sentences, s.Phrases)
+	fmt.Fprintf(w, "%-16s %10s %12s %12s %7s\n", "Stage", "Calls", "Total(ms)", "Mean(µs)", "Share")
+	for _, st := range s.Stages {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(st.Total) / float64(total)
+		}
+		fmt.Fprintf(w, "%-16s %10d %12.2f %12.1f %6.1f%%\n",
+			st.Stage, st.Calls,
+			float64(st.Total)/float64(time.Millisecond),
+			float64(st.Mean())/float64(time.Microsecond),
+			share)
 	}
 }
 

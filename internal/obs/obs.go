@@ -1,0 +1,329 @@
+// Package obs is THOR's stdlib-only observability layer: named counters,
+// log-scaled latency histograms, lightweight span tracing, and a debug HTTP
+// server exposing expvar, pprof and the span ring buffer.
+//
+// The package is built for the pipeline's hot path: every type is safe for
+// concurrent use, and every method is a guarded no-op on a nil receiver, so
+// instrumented code can thread a nil *Registry or *Tracer through without
+// branching and without paying any allocation (guarded by
+// TestNilRegistryZeroAlloc and BenchmarkNilRegistryHotPath).
+//
+// Only the standard library is used: sync/atomic for the counters and
+// histogram buckets, expvar for /debug/vars, net/http/pprof for live
+// profiling, and runtime/trace for optional execution-trace regions.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing (or freely adjusted) int64 metric.
+// The zero value is ready to use; all methods are nil-safe.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by delta. No-op on a nil counter.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(delta)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// NumBuckets is the fixed number of histogram buckets: 27 log-scaled
+// finite buckets (1µs, 2µs, 4µs, … ~67s) plus one overflow bucket.
+const NumBuckets = 28
+
+// BucketBound returns the inclusive upper bound of bucket i: 1µs << i.
+// The last bucket (i = NumBuckets-1) is unbounded and reported as "+Inf".
+func BucketBound(i int) time.Duration {
+	return time.Microsecond << i
+}
+
+// bucketIndex maps a duration to its bucket: the smallest i such that the
+// duration, truncated to whole microseconds, is < 2^i µs. Sub-microsecond
+// observations land in bucket 0; anything beyond the last finite bound lands
+// in the overflow bucket.
+func bucketIndex(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	us := uint64(d / time.Microsecond)
+	i := 0
+	for us >= 1<<uint(i) && i < NumBuckets-1 {
+		i++
+	}
+	return i
+}
+
+// Histogram is a fixed-bucket, log-scaled latency histogram. All updates are
+// lock-free atomic operations; the zero value is ready to use and all methods
+// are nil-safe.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	min     atomic.Int64 // nanoseconds+1; 0 until the first observation
+	max     atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration. Negative durations clamp to zero. No-op on a
+// nil histogram.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	ns := int64(d)
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	// min is stored as ns+1 so the zero value means "no observations yet".
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur-1 <= ns {
+			break
+		}
+		if h.min.CompareAndSwap(cur, ns+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= ns || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// snapshot captures a consistent-enough view of the histogram (individual
+// loads are atomic; the histogram keeps updating concurrently).
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{}
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	sum := time.Duration(h.sum.Load())
+	s.SumSeconds = sum.Seconds()
+	if s.Count > 0 {
+		s.MeanSeconds = sum.Seconds() / float64(s.Count)
+		if min := h.min.Load(); min > 0 {
+			s.MinSeconds = time.Duration(min - 1).Seconds()
+		}
+		s.MaxSeconds = time.Duration(h.max.Load()).Seconds()
+	}
+	counts := make([]int64, NumBuckets)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		le := "+Inf"
+		if i < NumBuckets-1 {
+			le = BucketBound(i).String()
+		}
+		s.Buckets = append(s.Buckets, BucketCount{LE: le, Count: n})
+	}
+	s.P50Seconds = quantile(counts, s.Count, 0.50)
+	s.P95Seconds = quantile(counts, s.Count, 0.95)
+	s.P99Seconds = quantile(counts, s.Count, 0.99)
+	return s
+}
+
+// quantile estimates the q-quantile from bucket counts: the upper bound of
+// the bucket where the cumulative count reaches q·total. The overflow bucket
+// reports the largest finite bound.
+func quantile(counts []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	target := int64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range counts {
+		cum += n
+		if cum >= target {
+			if i >= NumBuckets-1 {
+				i = NumBuckets - 2
+			}
+			return BucketBound(i).Seconds()
+		}
+	}
+	return BucketBound(NumBuckets - 2).Seconds()
+}
+
+// BucketCount is one non-empty histogram bucket in a snapshot.
+type BucketCount struct {
+	// LE is the bucket's inclusive upper bound ("1µs", "2ms", …, "+Inf").
+	LE string `json:"le"`
+	// Count is the number of observations in the bucket.
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the JSON-serializable state of one histogram.
+type HistogramSnapshot struct {
+	Count       int64         `json:"count"`
+	SumSeconds  float64       `json:"sumSeconds"`
+	MeanSeconds float64       `json:"meanSeconds"`
+	MinSeconds  float64       `json:"minSeconds"`
+	MaxSeconds  float64       `json:"maxSeconds"`
+	P50Seconds  float64       `json:"p50Seconds"`
+	P95Seconds  float64       `json:"p95Seconds"`
+	P99Seconds  float64       `json:"p99Seconds"`
+	Buckets     []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time JSON-serializable view of a Registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Registry holds named counters and histograms. A nil *Registry is a valid
+// disabled registry: Counter and Histogram return nil instruments whose
+// methods no-op without allocating.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a valid no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use. Returns
+// nil (a valid no-op histogram) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Names returns the sorted names of all registered instruments.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot captures the current state of every instrument. Safe to call
+// while the registry is being updated; returns an empty snapshot on nil.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.RUnlock()
+	for n, c := range counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, h := range hists {
+		s.Histograms[n] = h.snapshot()
+	}
+	return s
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishMu serializes expvar.Publish calls, which panic on duplicates.
+var publishMu sync.Mutex
+
+// PublishExpvar registers the registry's live snapshot under the given name
+// in the process-wide expvar namespace, so it appears in /debug/vars.
+// Idempotent: a name that is already published is left alone.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || name == "" {
+		return
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Snapshot()); err != nil {
+		return fmt.Errorf("obs: write metrics: %w", err)
+	}
+	return nil
+}
+
+// Handler returns the debug mux:
+//
+//	/debug/vars          — expvar (includes the registry once published)
+//	/debug/pprof/*       — live profiling (profile, heap, goroutine, trace, …)
+//	/debug/thor/metrics  — the registry snapshot as JSON
+//	/debug/thor/spans    — the tracer's span ring buffer as JSON
+//
+// reg and tr may be nil; the corresponding endpoints then serve empty
+// payloads.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/thor/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/thor/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tr.Dump())
+	})
+	return mux
+}
+
+// Serve starts the debug HTTP server on addr (e.g. ":6060" or
+// "127.0.0.1:0") in a background goroutine and returns the running server;
+// its Addr field carries the bound address, so addr may use port 0. The
+// registry is published under the expvar name "thor". Shut the server down
+// with (*http.Server).Close or Shutdown.
+func Serve(addr string, reg *Registry, tr *Tracer) (*http.Server, error) {
+	reg.PublishExpvar("thor")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: Handler(reg, tr)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

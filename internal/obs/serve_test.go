@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return body
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("thor.docs").Add(3)
+	reg.Histogram("thor.stage.match").Observe(5 * time.Millisecond)
+	tr := NewTracer(8)
+	tr.StartSpan("doc", String("doc", "d1")).End()
+
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	var snap Snapshot
+	if err := json.Unmarshal(get(t, srv, "/debug/thor/metrics"), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if snap.Counters["thor.docs"] != 3 {
+		t.Fatalf("metrics counter = %d, want 3", snap.Counters["thor.docs"])
+	}
+	if snap.Histograms["thor.stage.match"].Count != 1 {
+		t.Fatalf("metrics histogram count = %d, want 1", snap.Histograms["thor.stage.match"].Count)
+	}
+
+	var dump SpanDump
+	if err := json.Unmarshal(get(t, srv, "/debug/thor/spans"), &dump); err != nil {
+		t.Fatalf("spans not JSON: %v", err)
+	}
+	if dump.Total != 1 || len(dump.Spans) != 1 || dump.Spans[0].Name != "doc" {
+		t.Fatalf("unexpected span dump: %+v", dump)
+	}
+
+	if body := string(get(t, srv, "/debug/vars")); !strings.Contains(body, "cmdline") {
+		t.Fatalf("/debug/vars does not look like expvar output: %.80s", body)
+	}
+	if body := string(get(t, srv, "/debug/pprof/")); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index unexpected: %.80s", body)
+	}
+}
+
+func TestHandlerNilRegistryAndTracer(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	var snap Snapshot
+	if err := json.Unmarshal(get(t, srv, "/debug/thor/metrics"), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	var dump SpanDump
+	if err := json.Unmarshal(get(t, srv, "/debug/thor/spans"), &dump); err != nil {
+		t.Fatalf("spans not JSON: %v", err)
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("thor.docs").Add(1)
+	srv, err := Serve("127.0.0.1:0", reg, NewTracer(4))
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// The registry is published under the expvar name "thor".
+	if !strings.Contains(string(body), `"thor"`) {
+		t.Fatalf("/debug/vars missing published registry: %.120s", body)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Add(7)
+	var sb strings.Builder
+	if err := reg.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &snap); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if snap.Counters["c"] != 7 {
+		t.Fatalf("counter = %d, want 7", snap.Counters["c"])
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	reg.PublishExpvar("thor-test-idem")
+	reg.PublishExpvar("thor-test-idem") // second call must not panic
+	var nilReg *Registry
+	nilReg.PublishExpvar("ignored") // nil-safe
+}

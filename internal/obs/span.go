@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"context"
+	"runtime/trace"
+	"sync"
+	"time"
+)
+
+// DefaultSpanCapacity is the ring-buffer size NewTracer uses for
+// capacity <= 0.
+const DefaultSpanCapacity = 4096
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one completed timed operation.
+type Span struct {
+	// Name identifies the operation ("run", "doc", "finetune", …).
+	Name string `json:"name"`
+	// Start is the wall-clock start time.
+	Start time.Time `json:"start"`
+	// Duration is the span's elapsed time.
+	Duration time.Duration `json:"durationNanos"`
+	// Attrs are the annotations passed to StartSpan.
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Tracer records completed spans into a fixed-capacity ring buffer: the
+// newest spans overwrite the oldest once the buffer is full. A nil *Tracer
+// is a valid disabled tracer (StartSpan returns a nil span whose End is a
+// no-op). Safe for concurrent use by the pipeline's document workers.
+//
+// When a runtime execution trace is active (runtime/trace.IsEnabled), every
+// span additionally opens a trace region, so spans show up in
+// `go tool trace` output.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Span
+	total uint64 // spans ever recorded
+}
+
+// NewTracer returns a tracer keeping the last capacity spans
+// (DefaultSpanCapacity if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// ActiveSpan is an in-flight span; call End to record it.
+type ActiveSpan struct {
+	tr     *Tracer
+	span   Span
+	region *trace.Region
+}
+
+// StartSpan opens a span. On a nil tracer it returns nil, and End on a nil
+// *ActiveSpan is a no-op, so call sites need no guards.
+func (t *Tracer) StartSpan(name string, attrs ...Attr) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	s := &ActiveSpan{tr: t, span: Span{Name: name, Start: time.Now(), Attrs: attrs}}
+	if trace.IsEnabled() {
+		s.region = trace.StartRegion(context.Background(), name)
+	}
+	return s
+}
+
+// End closes the span and records it in the tracer's ring buffer.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	if s.region != nil {
+		s.region.End()
+	}
+	s.span.Duration = time.Since(s.span.Start)
+	s.tr.record(s.span)
+}
+
+func (t *Tracer) record(sp Span) {
+	t.mu.Lock()
+	t.ring[t.total%uint64(len(t.ring))] = sp
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns the number of spans ever recorded (including overwritten
+// ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.total
+	cap := uint64(len(t.ring))
+	if n > cap {
+		out := make([]Span, 0, cap)
+		start := n % cap // oldest retained slot
+		out = append(out, t.ring[start:]...)
+		out = append(out, t.ring[:start]...)
+		return out
+	}
+	out := make([]Span, n)
+	copy(out, t.ring[:n])
+	return out
+}
+
+// SpanDump is the JSON payload of /debug/thor/spans.
+type SpanDump struct {
+	// Total counts every span ever recorded; Dropped = Total - len(Spans).
+	Total   uint64 `json:"total"`
+	Dropped uint64 `json:"dropped"`
+	Spans   []Span `json:"spans"`
+}
+
+// Dump captures the tracer state for serialization.
+func (t *Tracer) Dump() SpanDump {
+	spans := t.Spans()
+	total := t.Total()
+	return SpanDump{Total: total, Dropped: total - uint64(len(spans)), Spans: spans}
+}

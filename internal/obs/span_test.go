@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTracerRecordsSpans(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.StartSpan("work", String("doc", "d1"))
+	sp.End()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "work" || len(s.Attrs) != 1 || s.Attrs[0] != (Attr{Key: "doc", Value: "d1"}) {
+		t.Fatalf("unexpected span: %+v", s)
+	}
+	if s.Duration < 0 || s.Start.IsZero() {
+		t.Fatalf("span not timed: %+v", s)
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.StartSpan(fmt.Sprintf("s%d", i)).End()
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	// Oldest first: s6, s7, s8, s9.
+	for i, s := range spans {
+		if want := fmt.Sprintf("s%d", 6+i); s.Name != want {
+			t.Fatalf("span %d = %q, want %q", i, s.Name, want)
+		}
+	}
+	d := tr.Dump()
+	if d.Total != 10 || d.Dropped != 6 || len(d.Spans) != 4 {
+		t.Fatalf("dump = total %d dropped %d len %d", d.Total, d.Dropped, len(d.Spans))
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	tr := NewTracer(0)
+	if len(tr.ring) != DefaultSpanCapacity {
+		t.Fatalf("capacity = %d, want %d", len(tr.ring), DefaultSpanCapacity)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.StartSpan("w").End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != 4000 {
+		t.Fatalf("Total = %d, want 4000", tr.Total())
+	}
+	if got := len(tr.Spans()); got != 64 {
+		t.Fatalf("retained %d, want 64", got)
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("x", String("k", "v"))
+	sp.End() // must not panic
+	if tr.Total() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer must be empty")
+	}
+	d := tr.Dump()
+	if d.Total != 0 || len(d.Spans) != 0 {
+		t.Fatal("nil tracer dump must be empty")
+	}
+}

@@ -1,0 +1,169 @@
+package thor
+
+import (
+	"strings"
+	"testing"
+
+	"thor/internal/datagen"
+	"thor/internal/obs"
+	"thor/internal/schema"
+)
+
+// panicValidator panics on a chosen phrase — the regression harness for the
+// worker-pool panic recovery.
+type panicValidator struct{ on string }
+
+func (v panicValidator) Validate(phrase string, _ schema.Concept) bool {
+	if v.on == "" || strings.Contains(phrase, v.on) {
+		panic("validator exploded on " + phrase)
+	}
+	return true
+}
+
+func TestRunRecoversValidatorPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		cfg := Config{Tau: 0.6, Workers: workers, Validator: panicValidator{}}
+		res, err := Run(fig1Table(), fig1Space(), fig1Docs(), cfg)
+		if err == nil {
+			t.Fatalf("Workers=%d: Run returned no error for a panicking validator (res=%+v)", workers, res)
+		}
+		if res != nil {
+			t.Fatalf("Workers=%d: Run returned a result alongside the error", workers)
+		}
+		if !strings.Contains(err.Error(), "extraction panicked") ||
+			!strings.Contains(err.Error(), "validator exploded") {
+			t.Fatalf("Workers=%d: error does not describe the panic: %v", workers, err)
+		}
+	}
+}
+
+func TestStageStatsPopulated(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(128)
+	res, err := Run(fig1Table(), fig1Space(), fig1Docs(), Config{Tau: 0.6, Metrics: reg, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Stages) != len(PipelineStages) {
+		t.Fatalf("got %d stage rows, want %d", len(res.Stats.Stages), len(PipelineStages))
+	}
+	byStage := map[Stage]StageStat{}
+	for i, st := range res.Stats.Stages {
+		if st.Stage != PipelineStages[i] {
+			t.Fatalf("stage row %d = %q, want %q (pipeline order)", i, st.Stage, PipelineStages[i])
+		}
+		byStage[st.Stage] = st
+	}
+	for _, s := range []Stage{StageFineTune, StageSegment, StagePOSTag, StageDepParse, StagePhraseExtract, StageMatch, StageFill} {
+		if byStage[s].Calls == 0 {
+			t.Errorf("stage %q: 0 calls", s)
+		}
+	}
+	if got := byStage[StageSegment].Calls; got != int64(res.Stats.Documents) {
+		t.Errorf("segment calls = %d, want one per document (%d)", got, res.Stats.Documents)
+	}
+	if got := byStage[StageMatch].Calls; got != int64(res.Stats.Phrases) {
+		t.Errorf("match calls = %d, want one per phrase (%d)", got, res.Stats.Phrases)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["thor.docs"] != int64(res.Stats.Documents) {
+		t.Errorf("thor.docs = %d, want %d", snap.Counters["thor.docs"], res.Stats.Documents)
+	}
+	if snap.Counters["thor.entities"] != int64(res.Stats.Entities) {
+		t.Errorf("thor.entities = %d, want %d", snap.Counters["thor.entities"], res.Stats.Entities)
+	}
+	if h := snap.Histograms["thor.stage.match"]; h.Count != int64(res.Stats.Phrases) {
+		t.Errorf("thor.stage.match histogram count = %d, want %d", h.Count, res.Stats.Phrases)
+	}
+	if h := snap.Histograms["thor.stage.finetune"]; h.Count != 1 {
+		t.Errorf("thor.stage.finetune histogram count = %d, want 1", h.Count)
+	}
+
+	var runs, docs, tunes int
+	for _, sp := range tr.Spans() {
+		switch sp.Name {
+		case "run":
+			runs++
+		case "doc":
+			docs++
+		case "finetune":
+			tunes++
+		}
+	}
+	if runs != 1 || tunes != 1 || docs != res.Stats.Documents {
+		t.Errorf("spans: run=%d finetune=%d doc=%d, want 1/1/%d", runs, tunes, docs, res.Stats.Documents)
+	}
+}
+
+// countersOf projects Stats onto its deterministic fields: everything except
+// wall-clock durations.
+func countersOf(s Stats) map[string]int64 {
+	m := map[string]int64{
+		"documents":  int64(s.Documents),
+		"sentences":  int64(s.Sentences),
+		"phrases":    int64(s.Phrases),
+		"candidates": int64(s.Candidates),
+		"entities":   int64(s.Entities),
+		"filled":     int64(s.Filled),
+	}
+	for _, st := range s.Stages {
+		m["stage."+string(st.Stage)+".calls"] = st.Calls
+	}
+	return m
+}
+
+func TestStatsDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates the full Disease dataset")
+	}
+	ds := datagen.Disease(datagen.DiseaseSeed)
+	run := func(workers int) *Result {
+		res, err := Run(ds.TestTable(), ds.Space, ds.Test.Docs, Config{
+			Tau:       0.7,
+			Knowledge: ds.Table,
+			Lexicon:   ds.Lexicon,
+			Workers:   workers,
+			Metrics:   obs.NewRegistry(),
+			Tracer:    obs.NewTracer(0),
+		})
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(8)
+
+	cseq, cpar := countersOf(seq.Stats), countersOf(par.Stats)
+	for k, v := range cseq {
+		if cpar[k] != v {
+			t.Errorf("stat %q differs: sequential %d, parallel %d", k, v, cpar[k])
+		}
+	}
+	if len(cseq) != len(cpar) {
+		t.Errorf("stat key sets differ: %d vs %d", len(cseq), len(cpar))
+	}
+
+	a, b := seq.AllEntities(), par.AllEntities()
+	if len(a) != len(b) {
+		t.Fatalf("entity counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entity %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if csvOf(t, seq.Table) != csvOf(t, par.Table) {
+		t.Error("enriched tables differ between sequential and parallel runs")
+	}
+}
+
+func csvOf(t *testing.T, tbl *schema.Table) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}

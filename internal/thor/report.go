@@ -32,14 +32,23 @@ type ReportEntity struct {
 
 // ReportStats is the exported form of Stats (durations in seconds).
 type ReportStats struct {
-	Documents   int     `json:"documents"`
-	Sentences   int     `json:"sentences"`
-	Phrases     int     `json:"phrases"`
-	Candidates  int     `json:"candidates"`
-	Entities    int     `json:"entities"`
-	Filled      int     `json:"slotsFilled"`
-	PrepSecs    float64 `json:"prepSeconds"`
-	ExtractSecs float64 `json:"extractSeconds"`
+	Documents   int           `json:"documents"`
+	Sentences   int           `json:"sentences"`
+	Phrases     int           `json:"phrases"`
+	Candidates  int           `json:"candidates"`
+	Entities    int           `json:"entities"`
+	Filled      int           `json:"slotsFilled"`
+	PrepSecs    float64       `json:"prepSeconds"`
+	ExtractSecs float64       `json:"extractSeconds"`
+	Stages      []ReportStage `json:"stages,omitempty"`
+}
+
+// ReportStage is the exported form of one StageStat row.
+type ReportStage struct {
+	Stage     string  `json:"stage"`
+	Calls     int64   `json:"calls"`
+	TotalSecs float64 `json:"totalSeconds"`
+	MeanSecs  float64 `json:"meanSeconds"`
 }
 
 // Report builds the exportable summary of the result.
@@ -55,6 +64,14 @@ func (r *Result) Report() *Report {
 			PrepSecs:    r.Stats.PrepTime.Seconds(),
 			ExtractSecs: r.Stats.ExtractTime.Seconds(),
 		},
+	}
+	for _, st := range r.Stats.Stages {
+		rep.Stats.Stages = append(rep.Stats.Stages, ReportStage{
+			Stage:     string(st.Stage),
+			Calls:     st.Calls,
+			TotalSecs: st.Total.Seconds(),
+			MeanSecs:  st.Mean().Seconds(),
+		})
 	}
 	for _, e := range r.AllEntities() {
 		rep.Entities = append(rep.Entities, ReportEntity{

@@ -16,6 +16,7 @@ package thor
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"thor/internal/dep"
 	"thor/internal/embed"
 	"thor/internal/matcher"
+	"thor/internal/obs"
 	"thor/internal/phrase"
 	"thor/internal/pos"
 	"thor/internal/schema"
@@ -83,6 +85,20 @@ type Config struct {
 	// the knowledge-graph context filter of the paper's future work (see
 	// the kg package). Must be safe for concurrent use when Workers > 1.
 	Validator EntityValidator
+	// Metrics, when set, receives per-stage latency histograms
+	// ("thor.stage.<name>", see PipelineStages) and run counters
+	// ("thor.docs", "thor.sentences", "thor.phrases", "thor.candidates",
+	// "thor.entities", "thor.filled"). Nil disables metric reporting at
+	// zero cost on the hot path (no allocations; guarded by
+	// BenchmarkNilRegistryHotPath in the obs package). Instrumentation
+	// never affects results: parallel runs stay identical to sequential
+	// ones with or without a registry.
+	Metrics *obs.Registry
+	// Tracer, when set, records one span per Run ("run"), per document
+	// ("doc", with a "doc" attribute) and per matcher fine-tune
+	// ("finetune") into its ring buffer, plus runtime/trace regions when
+	// an execution trace is active. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // EntityValidator vetoes (phrase, concept) assignments; kg.Validator is the
@@ -119,6 +135,11 @@ type Stats struct {
 	// phases ②–③.
 	PrepTime    time.Duration
 	ExtractTime time.Duration
+	// Stages breaks the run down per pipeline stage, in PipelineStages
+	// order (every stage is present, even with zero calls). Calls counts
+	// are deterministic across worker counts; Total durations are wall
+	// clock.
+	Stages []StageStat
 }
 
 // Total returns the combined wall-clock duration.
@@ -161,6 +182,8 @@ type Pipeline struct {
 	tagger  *pos.Tagger
 	seg     *segment.Segmenter
 	prepDur time.Duration
+	tuneDur time.Duration
+	ins     instruments
 }
 
 // New prepares a pipeline for the given integrated table: it fine-tunes the
@@ -184,7 +207,11 @@ func New(table *schema.Table, space *embed.Space, cfg Config) (*Pipeline, error)
 	mcfg := cfg.Matcher
 	mcfg.Tau = cfg.Tau
 	mcfg.IncludeSubject = true
+	sp := cfg.Tracer.StartSpan("finetune")
+	tuneStart := time.Now()
 	m, err := matcher.FineTune(space, knowledge, mcfg)
+	tuneDur := time.Since(tuneStart)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("thor: fine-tune: %w", err)
 	}
@@ -200,7 +227,12 @@ func New(table *schema.Table, space *embed.Space, cfg Config) (*Pipeline, error)
 		tagger:  tagger,
 		seg:     segment.New(table.Subjects()),
 		prepDur: time.Since(start),
+		tuneDur: tuneDur,
+		ins:     newInstruments(cfg.Metrics),
 	}
+	// The fine-tune histogram observes once per pipeline; Run seeds its
+	// Stats.Stages row from tuneDur instead of re-observing.
+	p.ins.stageHist[idxFineTune].Observe(tuneDur)
 	return p, nil
 }
 
@@ -209,16 +241,21 @@ func New(table *schema.Table, space *embed.Space, cfg Config) (*Pipeline, error)
 type docOutcome struct {
 	sentences, phrases, candidates int
 	entities                       []Entity
+	stages                         stageAcc
 }
 
 // Run executes phases ①a, ② and ③ over the documents and returns the
 // enriched table and extracted entities. With Config.Workers > 1, documents
 // are processed concurrently and merged back in input order, so the result
-// is identical to a sequential run.
+// is identical to a sequential run. A panic while extracting a document
+// (e.g. in a user-supplied Validator) is recovered and returned as an
+// error rather than crashing the process.
 func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
 	if len(docs) == 0 {
 		return nil, fmt.Errorf("thor: no documents")
 	}
+	runSpan := p.cfg.Tracer.StartSpan("run")
+	defer runSpan.End()
 	start := time.Now()
 	res := &Result{
 		Table:    p.table.Clone(),
@@ -229,6 +266,7 @@ func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
 
 	// ①a + ②: segmentation and entity extraction.
 	outcomes := make([]*docOutcome, len(docs))
+	errs := make([]error, len(docs))
 	if w := p.cfg.Workers; w > 1 {
 		var wg sync.WaitGroup
 		jobs := make(chan int)
@@ -237,7 +275,7 @@ func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					outcomes[i] = p.extractDoc(docs[i])
+					outcomes[i], errs[i] = p.extractDocSafe(docs[i])
 				}
 			}()
 		}
@@ -248,16 +286,26 @@ func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
 		wg.Wait()
 	} else {
 		for i := range docs {
-			outcomes[i] = p.extractDoc(docs[i])
+			outcomes[i], errs[i] = p.extractDocSafe(docs[i])
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 
 	// Merge per-document outcomes in input order, deduplicating entities
-	// per subject (the set semantics of E[c*] in Algorithm 1).
+	// per subject (the set semantics of E[c*] in Algorithm 1). The stage
+	// breakdown starts from the one-off fine-tune cost (already observed
+	// into the histogram by New).
+	acc := stageAcc{}
+	acc.observe(idxFineTune, p.tuneDur)
 	for _, o := range outcomes {
 		res.Stats.Sentences += o.sentences
 		res.Stats.Phrases += o.phrases
 		res.Stats.Candidates += o.candidates
+		acc.merge(&o.stages)
 		for _, e := range o.entities {
 			if hasEntity(res.Entities[e.Subject], e) {
 				continue
@@ -268,6 +316,7 @@ func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
 	}
 
 	// ③ Slot filling (Algorithm 1 lines 16–20).
+	fillStart := time.Now()
 	subjectConcept := p.table.Schema.Subject
 	for subj, ents := range res.Entities {
 		row := res.Table.Row(subj)
@@ -286,8 +335,31 @@ func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
 			}
 		}
 	}
+	acc.observe(idxFill, time.Since(fillStart))
+	p.ins.stageHist[idxFill].Observe(time.Since(fillStart))
+
 	res.Stats.ExtractTime = time.Since(start)
+	res.Stats.Stages = acc.stats()
+	// docs/sentences/phrases/candidates tick live in extractDoc; entities
+	// and filled only exist after the merge and fill phases.
+	p.ins.entities.Add(int64(res.Stats.Entities))
+	p.ins.filled.Add(int64(res.Stats.Filled))
 	return res, nil
+}
+
+// extractDocSafe runs extractDoc with panic recovery: a panicking stage or
+// Validator surfaces as an error from Run instead of crashing the worker
+// pool with a confusing goroutine stack.
+func (p *Pipeline) extractDocSafe(doc segment.Document) (out *docOutcome, err error) {
+	sp := p.cfg.Tracer.StartSpan("doc", obs.String("doc", doc.Name))
+	defer sp.End()
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = fmt.Errorf("thor: document %q: extraction panicked: %v\n%s", doc.Name, r, debug.Stack())
+		}
+	}()
+	return p.extractDoc(doc), nil
 }
 
 // extractDoc runs segmentation plus lines 6–15 of Algorithm 1 over one
@@ -295,16 +367,26 @@ func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
 func (p *Pipeline) extractDoc(doc segment.Document) *docOutcome {
 	out := &docOutcome{}
 	semW, jacW, gesW := p.cfg.scoreWeights()
-	for _, asg := range p.seg.Segment(doc) {
+	t0 := time.Now()
+	assignments := p.seg.Segment(doc)
+	p.observe(&out.stages, idxSegment, time.Since(t0))
+	p.ins.docs.Add(1)
+	p.ins.sentences.Add(int64(len(assignments)))
+	for _, asg := range assignments {
 		out.sentences++
 		if asg.Subject == "" {
 			continue
 		}
-		phrases := p.phrases(asg)
+		phrases := p.phrases(asg, &out.stages)
 		out.phrases += len(phrases)
+		p.ins.phrases.Add(int64(len(phrases)))
 		for _, ph := range phrases {
+			t0 = time.Now()
 			cands := p.match.Match(ph)
+			p.observe(&out.stages, idxMatch, time.Since(t0))
 			out.candidates += len(cands)
+			p.ins.candidates.Add(int64(len(cands)))
+			t0 = time.Now()
 			var best Entity
 			found := false
 			for _, c := range cands {
@@ -323,43 +405,60 @@ func (p *Pipeline) extractDoc(doc segment.Document) *docOutcome {
 					best, found = e, true
 				}
 			}
-			if !found || best.Score < p.cfg.minScore() {
-				continue
+			refined := found && best.Score >= p.cfg.minScore() &&
+				(p.cfg.Validator == nil || p.cfg.Validator.Validate(best.Phrase, best.Concept))
+			p.observe(&out.stages, idxRefine, time.Since(t0))
+			if refined {
+				out.entities = append(out.entities, best)
 			}
-			if p.cfg.Validator != nil && !p.cfg.Validator.Validate(best.Phrase, best.Concept) {
-				continue
-			}
-			out.entities = append(out.entities, best)
 		}
 	}
 	return out
 }
 
-// phrases produces the candidate noun phrases of a sentence, via the
-// dependency parse (default) or naive n-gram chunking (ablation).
-func (p *Pipeline) phrases(asg segment.Assignment) []phrase.Phrase {
-	if p.cfg.NaiveChunking {
-		return naiveChunks(asg)
-	}
-	tree := dep.Parse(p.tagger.Tag(asg.Sentence))
-	return phrase.Extract(tree)
+// observe records one stage call into the per-document accumulator and,
+// when a registry is configured, into its latency histogram. With no
+// registry the histogram pointer is nil and Observe is a guarded no-op, so
+// the hot path pays nothing beyond the two time.Now calls that feed
+// Stats.Stages.
+func (p *Pipeline) observe(acc *stageAcc, i int, d time.Duration) {
+	acc.observe(i, d)
+	p.ins.stageHist[i].Observe(d)
 }
 
-// naiveChunks emits every 1..3-word window of content words as a phrase,
-// the strawman chunker for BenchmarkAblationChunking.
+// phrases produces the candidate noun phrases of a sentence, via the
+// dependency parse (default) or naive n-gram chunking (ablation), recording
+// the POS-tag, parse and extraction stage costs.
+func (p *Pipeline) phrases(asg segment.Assignment, acc *stageAcc) []phrase.Phrase {
+	if p.cfg.NaiveChunking {
+		t0 := time.Now()
+		out := naiveChunks(asg)
+		p.observe(acc, idxPhraseExtract, time.Since(t0))
+		return out
+	}
+	t0 := time.Now()
+	tagged := p.tagger.Tag(asg.Sentence)
+	p.observe(acc, idxPOSTag, time.Since(t0))
+	t0 = time.Now()
+	tree := dep.Parse(tagged)
+	p.observe(acc, idxDepParse, time.Since(t0))
+	t0 = time.Now()
+	out := phrase.Extract(tree)
+	p.observe(acc, idxPhraseExtract, time.Since(t0))
+	return out
+}
+
+// naiveChunks emits every 1..3-word window of the sentence's words as a
+// phrase, the strawman chunker for BenchmarkAblationChunking. Each window
+// is copied so phrases never alias the sentence's backing array.
 func naiveChunks(asg segment.Assignment) []phrase.Phrase {
 	words := asg.Sentence.Words()
-	var kept []string
-	for _, w := range words {
-		kept = append(kept, w)
-	}
 	var out []phrase.Phrase
 	for n := 1; n <= 3; n++ {
-		for i := 0; i+n <= len(kept); i++ {
-			window := kept[i : i+n]
-			stripped := make([]string, len(window))
-			copy(stripped, window)
-			out = append(out, phrase.Phrase{Words: stripped, HeadWord: stripped[len(stripped)-1]})
+		for i := 0; i+n <= len(words); i++ {
+			w := make([]string, n)
+			copy(w, words[i:i+n])
+			out = append(out, phrase.Phrase{Words: w, HeadWord: w[n-1]})
 		}
 	}
 	return out
