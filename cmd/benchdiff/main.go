@@ -1,0 +1,210 @@
+// Command benchdiff compares two benchmark recordings and fails when the
+// guarded benchmarks regress. It exists so CI can hold the line on the
+// big-table pipeline benchmarks (Tables V, IX and XI — the end-to-end
+// experiment runs) after the matcher hot-path optimization work.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.20] [-guard name,name,...] OLD NEW
+//
+// OLD and NEW are either BENCH_*.json recordings (the repository's schema:
+// a top-level "benchmarks" array of {package,name,nsPerOp,...}) or, when a
+// file does not parse as JSON, raw `go test -bench` text output — so CI can
+// diff a fresh run against the committed recording without an intermediate
+// conversion step:
+//
+//	go test -run '^$' -bench 'BenchmarkTable(V|IX|XI)$' -benchtime 1x . | tee bench.txt
+//	benchdiff BENCH_MATCH_OPT.json bench.txt
+//
+// Every benchmark present in both inputs is reported with its ns/op delta.
+// The exit status is non-zero iff a guarded benchmark is missing from NEW
+// or its ns/op exceeds OLD by more than the threshold (default 20%).
+// Guarded names match with or without a -N GOMAXPROCS suffix.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one recorded benchmark result.
+type Bench struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+}
+
+// File is the subset of the BENCH_*.json schema benchdiff reads.
+type File struct {
+	RecordedAt string  `json:"recordedAt"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// DefaultGuards are the big-table end-to-end benchmarks CI protects.
+var DefaultGuards = []string{"BenchmarkTableV", "BenchmarkTableIX", "BenchmarkTableXI"}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20, "max tolerated ns/op regression on guarded benchmarks (fraction)")
+	guard := flag.String("guard", strings.Join(DefaultGuards, ","), "comma-separated guarded benchmark names")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.20] [-guard names] OLD NEW")
+		os.Exit(2)
+	}
+	oldF, err := Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newF, err := Load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	report, regressions := Compare(oldF, newF, splitGuards(*guard), *threshold)
+	fmt.Print(report)
+	if len(regressions) > 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: FAIL:", strings.Join(regressions, "; "))
+		os.Exit(1)
+	}
+}
+
+func splitGuards(s string) []string {
+	var out []string
+	for _, g := range strings.Split(s, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Load reads a recording: the repository's BENCH_*.json schema, or — when
+// the file is not JSON — raw `go test -bench` output.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err == nil && len(f.Benchmarks) > 0 {
+		return &f, nil
+	}
+	f = File{Benchmarks: ParseBenchText(string(data))}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: neither a BENCH_*.json recording nor go test -bench output", path)
+	}
+	return &f, nil
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// ParseBenchText extracts benchmark results from `go test -bench` text
+// output. Lines look like
+//
+//	BenchmarkTableV  	       1	2088516682 ns/op	460581240 B/op	 2236765 allocs/op
+//
+// possibly with extra custom metrics (skipped) and a -N GOMAXPROCS suffix
+// on the name (stripped, matching the JSON recordings).
+func ParseBenchText(s string) []Bench {
+	var out []Bench
+	for _, line := range strings.Split(s, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		b := Bench{Name: gomaxprocsSuffix.ReplaceAllString(fields[0], ""), Iterations: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp, ok = v, true
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Compare renders a delta report for every benchmark present in both files
+// and returns the guarded-benchmark regressions (empty means pass). A
+// guarded benchmark missing from the new recording is a regression; one
+// missing from the old recording only warns, so new benchmarks can be
+// guarded before their first baseline is committed.
+func Compare(oldF, newF *File, guards []string, threshold float64) (string, []string) {
+	oldBy := byName(oldF.Benchmarks)
+	newBy := byName(newF.Benchmarks)
+	guarded := make(map[string]bool, len(guards))
+	for _, g := range guards {
+		guarded[g] = true
+	}
+	names := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		if _, ok := newBy[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	var regressions []string
+	fmt.Fprintf(&b, "%-34s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		o, n := oldBy[name], newBy[name]
+		delta := 0.0
+		if o.NsPerOp != 0 {
+			delta = n.NsPerOp/o.NsPerOp - 1
+		}
+		mark := ""
+		if guarded[name] {
+			mark = " [guarded]"
+			if delta > threshold {
+				mark = " [guarded: REGRESSION]"
+				regressions = append(regressions,
+					fmt.Sprintf("%s ns/op +%.1f%% exceeds +%.0f%%", name, delta*100, threshold*100))
+			}
+		}
+		fmt.Fprintf(&b, "%-34s %14.0f %14.0f %+7.1f%%%s\n", name, o.NsPerOp, n.NsPerOp, delta*100, mark)
+	}
+	for _, g := range guards {
+		if _, ok := oldBy[g]; !ok {
+			fmt.Fprintf(&b, "warning: guarded %s missing from old recording\n", g)
+			continue
+		}
+		if _, ok := newBy[g]; !ok {
+			regressions = append(regressions, fmt.Sprintf("%s missing from new recording", g))
+		}
+	}
+	return b.String(), regressions
+}
+
+func byName(bs []Bench) map[string]Bench {
+	out := make(map[string]Bench, len(bs))
+	for _, b := range bs {
+		out[b.Name] = b
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func bench(name string, ns float64) Bench { return Bench{Name: name, Iterations: 1, NsPerOp: ns} }
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	oldF := &File{Benchmarks: []Bench{bench("BenchmarkTableV", 1000), bench("BenchmarkTableIX", 2000), bench("BenchmarkTableXI", 3000)}}
+	newF := &File{Benchmarks: []Bench{bench("BenchmarkTableV", 1150), bench("BenchmarkTableIX", 1900), bench("BenchmarkTableXI", 3600)}}
+	report, regressions := Compare(oldF, newF, DefaultGuards, 0.20)
+	if len(regressions) != 0 {
+		t.Fatalf("unexpected regressions: %v\n%s", regressions, report)
+	}
+	if !strings.Contains(report, "[guarded]") {
+		t.Errorf("report does not mark guarded benchmarks:\n%s", report)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	oldF := &File{Benchmarks: []Bench{bench("BenchmarkTableV", 1000), bench("BenchmarkTableIX", 2000), bench("BenchmarkTableXI", 3000)}}
+	newF := &File{Benchmarks: []Bench{bench("BenchmarkTableV", 1500), bench("BenchmarkTableIX", 2000), bench("BenchmarkTableXI", 3000)}}
+	_, regressions := Compare(oldF, newF, DefaultGuards, 0.20)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "BenchmarkTableV") {
+		t.Fatalf("regressions = %v, want exactly BenchmarkTableV", regressions)
+	}
+}
+
+func TestCompareUnguardedRegressionTolerated(t *testing.T) {
+	oldF := &File{Benchmarks: []Bench{bench("BenchmarkTableV", 1000), bench("BenchmarkFig5", 100)}}
+	newF := &File{Benchmarks: []Bench{bench("BenchmarkTableV", 1000), bench("BenchmarkFig5", 900)}}
+	_, regressions := Compare(oldF, newF, []string{"BenchmarkTableV"}, 0.20)
+	if len(regressions) != 0 {
+		t.Fatalf("unguarded benchmark flagged: %v", regressions)
+	}
+}
+
+func TestCompareMissingGuardFails(t *testing.T) {
+	oldF := &File{Benchmarks: []Bench{bench("BenchmarkTableV", 1000)}}
+	newF := &File{Benchmarks: []Bench{bench("BenchmarkFig5", 100)}}
+	_, regressions := Compare(oldF, newF, []string{"BenchmarkTableV"}, 0.20)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "missing") {
+		t.Fatalf("regressions = %v, want missing-benchmark failure", regressions)
+	}
+}
+
+func TestCompareGuardNewOnlyWarns(t *testing.T) {
+	oldF := &File{Benchmarks: []Bench{bench("BenchmarkTableV", 1000)}}
+	newF := &File{Benchmarks: []Bench{bench("BenchmarkTableV", 1000), bench("BenchmarkNew", 5)}}
+	report, regressions := Compare(oldF, newF, []string{"BenchmarkTableV", "BenchmarkNew"}, 0.20)
+	if len(regressions) != 0 {
+		t.Fatalf("guard without a baseline failed the diff: %v", regressions)
+	}
+	if !strings.Contains(report, "missing from old recording") {
+		t.Errorf("no warning for baseline-less guard:\n%s", report)
+	}
+}
+
+func TestParseBenchText(t *testing.T) {
+	out := ParseBenchText(`goos: linux
+goarch: amd64
+pkg: thor
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTableV-4  	       1	2088516682 ns/op	         0.5743 F1	460581240 B/op	 2236765 allocs/op
+BenchmarkTableIX 	       1	 689543162 ns/op	237514392 B/op	 1022116 allocs/op
+PASS
+ok  	thor	4.400s`)
+	if len(out) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(out), out)
+	}
+	v := out[0]
+	if v.Name != "BenchmarkTableV" || v.NsPerOp != 2088516682 || v.BytesPerOp != 460581240 || v.AllocsPerOp != 2236765 {
+		t.Errorf("TableV parsed as %+v", v)
+	}
+	if out[1].Name != "BenchmarkTableIX" || out[1].NsPerOp != 689543162 {
+		t.Errorf("TableIX parsed as %+v", out[1])
+	}
+}
+
+func TestLoadJSONAndText(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(jsonPath, []byte(`{"recordedAt":"2026-08-06","benchmarks":[{"package":"thor","name":"BenchmarkTableV","iterations":1,"nsPerOp":1000,"bytesPerOp":2,"allocsPerOp":3}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 || f.Benchmarks[0].NsPerOp != 1000 {
+		t.Fatalf("JSON load: %+v", f)
+	}
+	textPath := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(textPath, []byte("BenchmarkTableV \t 1\t1100 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err = Load(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 || f.Benchmarks[0].NsPerOp != 1100 {
+		t.Fatalf("text load: %+v", f)
+	}
+	if _, err := Load(filepath.Join(dir, "empty.txt")); err == nil {
+		t.Error("loading a missing file did not fail")
+	}
+}

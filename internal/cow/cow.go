@@ -1,0 +1,124 @@
+// Package cow provides a read-mostly concurrent map for memoizing
+// deterministic computations on the THOR hot path.
+//
+// The previous design guarded memo maps with a sync.RWMutex, which puts two
+// atomic RMW operations (RLock/RUnlock) on every cache hit and serializes
+// writers against all readers. Map replaces that with a copy-on-write
+// scheme: hits are a single atomic pointer load plus one lookup in an
+// immutable snapshot — no locks, no write barriers, perfectly scalable
+// across the pipeline's document workers. Misses insert into a small
+// mutex-guarded overflow map that is merged into a fresh snapshot once it
+// outgrows a fraction of the snapshot, so the total copying work stays
+// linear (amortized) in the number of distinct keys: the first merge
+// effectively sizes the snapshot after a warmup pass over the workload.
+//
+// Values must be immutable after insertion (they are returned to concurrent
+// readers), and the computation memoized must be deterministic: when two
+// workers race on the same missing key, either result may win, so both must
+// be equal.
+package cow
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// mergeFloor is the minimum overflow size that triggers a merge. Below it,
+// merging would churn snapshots for little benefit.
+const mergeFloor = 64
+
+// Map is a copy-on-write concurrent map. The zero value is not usable;
+// construct with New.
+type Map[K comparable, V any] struct {
+	read atomic.Pointer[map[K]V]
+	mu   sync.Mutex
+	// dirty holds keys not yet merged into the read snapshot.
+	dirty map[K]V
+}
+
+// New returns an empty Map.
+func New[K comparable, V any]() *Map[K, V] {
+	m := &Map[K, V]{}
+	empty := make(map[K]V)
+	m.read.Store(&empty)
+	return m
+}
+
+// Seed publishes init as the read snapshot, replacing all current content.
+// It is intended for pre-sizing the map with a warmup pass before concurrent
+// use; the caller must not retain or mutate init afterwards.
+func (m *Map[K, V]) Seed(init map[K]V) {
+	if init == nil {
+		init = make(map[K]V)
+	}
+	m.mu.Lock()
+	m.dirty = nil
+	m.read.Store(&init)
+	m.mu.Unlock()
+}
+
+// Get returns the value memoized for k.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	if v, ok := (*m.read.Load())[k]; ok {
+		return v, true
+	}
+	m.mu.Lock()
+	v, ok := m.dirty[k]
+	m.mu.Unlock()
+	return v, ok
+}
+
+// Put memoizes v for k. The first value stored for a key wins; later Puts
+// for the same key are ignored, which keeps concurrent racing inserts of a
+// deterministic computation coherent.
+func (m *Map[K, V]) Put(k K, v V) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	read := *m.read.Load()
+	if _, ok := read[k]; ok {
+		return
+	}
+	if m.dirty == nil {
+		m.dirty = make(map[K]V)
+	}
+	if _, ok := m.dirty[k]; ok {
+		return
+	}
+	m.dirty[k] = v
+	// Merge once the overflow outgrows a quarter of the snapshot: copying is
+	// then amortized O(1) per distinct key over the map's lifetime.
+	if len(m.dirty) >= mergeFloor && len(m.dirty)*4 >= len(read) {
+		merged := make(map[K]V, len(read)+len(m.dirty))
+		for key, val := range read {
+			merged[key] = val
+		}
+		for key, val := range m.dirty {
+			merged[key] = val
+		}
+		m.dirty = nil
+		m.read.Store(&merged)
+	}
+}
+
+// GetOrCompute returns the memoized value for k, computing and storing it on
+// a miss. f may run concurrently for the same key on racing misses; it must
+// be deterministic.
+func (m *Map[K, V]) GetOrCompute(k K, f func(K) V) V {
+	if v, ok := m.Get(k); ok {
+		return v
+	}
+	v := f(k)
+	m.Put(k, v)
+	// Return the canonical stored value so racing callers agree.
+	if stored, ok := m.Get(k); ok {
+		return stored
+	}
+	return v
+}
+
+// Len returns the number of distinct keys stored.
+func (m *Map[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(*m.read.Load()) + len(m.dirty)
+}

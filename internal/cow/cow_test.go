@@ -1,0 +1,95 @@
+package cow
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMapBasic(t *testing.T) {
+	m := New[string, int]()
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("empty map reported a hit")
+	}
+	m.Put("a", 1)
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// First write wins.
+	m.Put("a", 2)
+	if v, _ := m.Get("a"); v != 1 {
+		t.Fatalf("second Put overwrote: %d", v)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestMapMergesPastThreshold(t *testing.T) {
+	m := New[int, int]()
+	const n = 10 * mergeFloor
+	for i := 0; i < n; i++ {
+		m.Put(i, i*i)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m.Get(i); !ok || v != i*i {
+			t.Fatalf("Get(%d) = %v, %v", i, v, ok)
+		}
+	}
+	// After many inserts most keys must live in the read snapshot, not the
+	// overflow: the snapshot should hold at least 4/5 of the keys.
+	if read := len(*m.read.Load()); read*5 < n*4 {
+		t.Errorf("read snapshot holds %d of %d keys; merge policy broken", read, n)
+	}
+}
+
+func TestMapSeed(t *testing.T) {
+	m := New[string, int]()
+	m.Put("old", 1)
+	m.Seed(map[string]int{"a": 10, "b": 20})
+	if _, ok := m.Get("old"); ok {
+		t.Error("Seed kept stale key")
+	}
+	if v, _ := m.Get("b"); v != 20 {
+		t.Errorf("seeded value lost: %d", v)
+	}
+}
+
+func TestMapGetOrCompute(t *testing.T) {
+	m := New[int, string]()
+	calls := 0
+	f := func(k int) string { calls++; return fmt.Sprint(k) }
+	if got := m.GetOrCompute(7, f); got != "7" {
+		t.Fatalf("GetOrCompute = %q", got)
+	}
+	if got := m.GetOrCompute(7, f); got != "7" || calls != 1 {
+		t.Fatalf("memoization failed: %q after %d calls", got, calls)
+	}
+}
+
+// TestMapConcurrent exercises racing readers and writers; run under -race.
+func TestMapConcurrent(t *testing.T) {
+	m := New[int, int]()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (i + w) % 500
+				v := m.GetOrCompute(k, func(k int) int { return k * 3 })
+				if v != k*3 {
+					t.Errorf("GetOrCompute(%d) = %d", k, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != 500 {
+		t.Errorf("Len = %d, want 500", m.Len())
+	}
+}

@@ -20,6 +20,10 @@ type LSHIndex struct {
 	planes  [][]Vector         // [table][bit]
 	buckets []map[uint32][]int // per-table buckets of entry indices
 	entries []lshEntry
+	// sigs retains each entry's per-table signature (entry-major:
+	// sigs[i*l+t]), so queries that are themselves indexed entries can reach
+	// their buckets without recomputing hyperplane signs.
+	sigs []uint32
 }
 
 type lshEntry struct {
@@ -62,6 +66,7 @@ func NewLSHIndex(s *Space, k, l int) *LSHIndex {
 		idx.entries = append(idx.entries, lshEntry{word: w, vec: v})
 		for t := 0; t < l; t++ {
 			sig := idx.signature(t, &v)
+			idx.sigs = append(idx.sigs, sig)
 			idx.buckets[t][sig] = append(idx.buckets[t][sig], i)
 		}
 	}

@@ -1,0 +1,160 @@
+package embed
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestMatrixCosineBitIdentical pins the SoA contract: Matrix.Cosine must
+// reproduce CosineAt bit for bit, including zero-vector conventions.
+func TestMatrixCosineBitIdentical(t *testing.T) {
+	s := clusteredSpace(4, 12, 8)
+	words := s.Words()
+	vecs := make([]Vector, 0, len(words)+1)
+	for _, w := range words {
+		vecs = append(vecs, s.Lookup(w))
+	}
+	vecs = append(vecs, Vector{}) // zero row
+	b := NewBasis(vecs)
+	m := NewMatrix(b, vecs)
+	queries := []Vector{
+		s.Lookup(words[0]),
+		s.Lookup(words[len(words)/2]),
+		HashVector("out-of-vocab-query"),
+		{}, // zero query
+	}
+	for qi, qv := range queries {
+		q := b.Query(qv)
+		for i := range vecs {
+			want := CosineAt(&qv, &vecs[i])
+			if got := m.Cosine(&q, i); got != want {
+				t.Fatalf("query %d row %d: Matrix.Cosine=%v CosineAt=%v (must be bit-identical)", qi, i, got, want)
+			}
+		}
+	}
+}
+
+// TestMatrixSweepsMatchBrute checks that the bound-pruned ArgMax/Max/
+// EachAtLeast sweeps return exactly what unpruned sequential sweeps return,
+// including earliest-index tie-breaking.
+func TestMatrixSweepsMatchBrute(t *testing.T) {
+	s := clusteredSpace(5, 15, 10)
+	words := s.Words()
+	vecs := make([]Vector, len(words))
+	for i, w := range words {
+		vecs[i] = s.Lookup(w)
+	}
+	b := NewBasis(vecs)
+	m := NewMatrix(b, vecs)
+	inits := []float64{-2, 0, 0.85}
+	taus := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	for _, qv := range vecs {
+		q := b.Query(qv)
+		for _, init := range inits {
+			wantI, want := -1, init
+			for i := range vecs {
+				if sim := CosineAt(&qv, &vecs[i]); sim > want {
+					want, wantI = sim, i
+				}
+			}
+			gotI, got := m.ArgMax(&q, init)
+			if gotI != wantI || got != want {
+				t.Fatalf("ArgMax(init=%v): got (%d, %v), brute (%d, %v)", init, gotI, got, wantI, want)
+			}
+		}
+		for _, tau := range taus {
+			var want []int
+			for i := range vecs {
+				if CosineAt(&qv, &vecs[i]) >= tau {
+					want = append(want, i)
+				}
+			}
+			var got []int
+			m.EachAtLeast(&q, tau, func(i int, sim float64) {
+				if wantSim := CosineAt(&qv, &vecs[i]); sim != wantSim {
+					t.Fatalf("EachAtLeast sim mismatch at %d: %v != %v", i, sim, wantSim)
+				}
+				got = append(got, i)
+			})
+			if len(got) != len(want) {
+				t.Fatalf("EachAtLeast(tau=%v): %d rows, brute %d", tau, len(got), len(want))
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("EachAtLeast(tau=%v): row order diverged at %d: %v vs %v", tau, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestThresholdIndexMatchesSpaceNeighbors is the embed-level equivalence
+// property: the LSH-plus-bound index must return exactly Space.Neighbors —
+// same words, same (bitwise) similarities, same order — across thresholds,
+// for in-vocabulary, out-of-vocabulary, and zero queries.
+func TestThresholdIndexMatchesSpaceNeighbors(t *testing.T) {
+	s := clusteredSpace(6, 20, 15)
+	idx := s.Index()
+	queries := []Vector{{}}
+	for _, w := range s.Words() {
+		queries = append(queries, s.Lookup(w))
+	}
+	for i := 0; i < 10; i++ {
+		queries = append(queries, HashVector(fmt.Sprintf("oov-query-%d", i)))
+	}
+	for _, tau := range []float64{-1, 0, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0} {
+		for qi, qv := range queries {
+			want := s.Neighbors(qv, tau)
+			got := idx.Neighbors(qv, tau)
+			if len(got) != len(want) {
+				t.Fatalf("tau=%v query=%d: index returned %d neighbors, brute %d", tau, qi, len(got), len(want))
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("tau=%v query=%d pos=%d: index %+v, brute %+v", tau, qi, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestSpaceIndexInvalidatedByAdd ensures the shared index and phrase memo
+// track vocabulary mutations.
+func TestSpaceIndexInvalidatedByAdd(t *testing.T) {
+	s := NewSpace()
+	s.Add("alpha", HashVector("alpha"))
+	if got := s.Index().Len(); got != 1 {
+		t.Fatalf("index over 1-word space has Len %d", got)
+	}
+	pv1 := s.PhraseVectorCached("alpha beta")
+	s.Add("beta", HashVector("beta"))
+	if got := s.Index().Len(); got != 2 {
+		t.Fatalf("index not rebuilt after Add: Len %d", got)
+	}
+	pv2 := s.PhraseVectorCached("alpha beta")
+	if pv1 == pv2 {
+		t.Fatal("phrase memo not invalidated: cached vector survived vocabulary change")
+	}
+	if want := s.PhraseVector([]string{"alpha", "beta"}); pv2 != want {
+		t.Fatal("cached phrase vector diverges from PhraseVector")
+	}
+}
+
+func BenchmarkNeighborsBrute(b *testing.B) {
+	s := clusteredSpace(10, 80, 73)
+	q := s.Lookup("c3w7")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Neighbors(q, 0.5)
+	}
+}
+
+func BenchmarkNeighborsIndexed(b *testing.B) {
+	s := clusteredSpace(10, 80, 73)
+	idx := s.Index()
+	q := s.Lookup("c3w7")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Neighbors(q, 0.5)
+	}
+}

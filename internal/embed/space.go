@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"thor/internal/cow"
 	"thor/internal/text"
 )
 
@@ -23,11 +24,23 @@ type Space struct {
 	// subwordOOV controls whether Lookup falls back to stem resolution and
 	// subword hashing for unknown words (on by default).
 	subwordOOV bool
+	// phrases memoizes PhraseVectorCached results (read-mostly: the matcher
+	// and refinement stages embed the same normalized phrases millions of
+	// times per pipeline). Invalidated by Add alongside the stem index.
+	phrases *cow.Map[string, Vector]
+	// index is the lazily built exact threshold index over the vocabulary,
+	// shared by all queriers; invalidated by Add.
+	idxMu sync.Mutex
+	index *ThresholdIndex
 }
 
 // NewSpace returns an empty Space with subword fallback enabled.
 func NewSpace() *Space {
-	return &Space{vecs: make(map[string]Vector), subwordOOV: true}
+	return &Space{
+		vecs:       make(map[string]Vector),
+		subwordOOV: true,
+		phrases:    cow.New[string, Vector](),
+	}
 }
 
 // SetSubwordFallback toggles the OOV subword fallback. Disabling it makes
@@ -36,12 +49,17 @@ func NewSpace() *Space {
 func (s *Space) SetSubwordFallback(on bool) { s.subwordOOV = on }
 
 // Add inserts (or replaces) the vector for a word. Words are stored
-// lower-cased. Adding invalidates the lazy stem index.
+// lower-cased. Adding invalidates the lazy stem index, the phrase-vector
+// memo, and the threshold index.
 func (s *Space) Add(word string, v Vector) {
 	s.vecs[strings.ToLower(word)] = v
 	s.stemMu.Lock()
 	s.stems = nil
 	s.stemMu.Unlock()
+	s.phrases.Seed(nil)
+	s.idxMu.Lock()
+	s.index = nil
+	s.idxMu.Unlock()
 }
 
 // Len returns the vocabulary size.
@@ -114,10 +132,23 @@ func (s *Space) PhraseVector(words []string) Vector {
 	return sum.Normalize()
 }
 
+// PhraseVectorCached returns PhraseVector of the space-separated phrase,
+// memoizing the result. The memo is read-mostly (a single atomic load on
+// hits) and is invalidated whenever the vocabulary changes.
+func (s *Space) PhraseVectorCached(phrase string) Vector {
+	if v, ok := s.phrases.Get(phrase); ok {
+		return v
+	}
+	v := s.PhraseVector(strings.Fields(phrase))
+	s.phrases.Put(phrase, v)
+	return v
+}
+
 // Similarity returns the cosine similarity between the embeddings of two
 // phrases given as space-separated normalized strings.
 func (s *Space) Similarity(a, b string) float64 {
-	return Cosine(s.PhraseVector(strings.Fields(a)), s.PhraseVector(strings.Fields(b)))
+	va, vb := s.PhraseVectorCached(a), s.PhraseVectorCached(b)
+	return Cosine(va, vb)
 }
 
 // Neighbor is a vocabulary word with its similarity to a query.
@@ -144,6 +175,19 @@ func (s *Space) Neighbors(query Vector, tau float64) []Neighbor {
 		return out[i].Word < out[j].Word
 	})
 	return out
+}
+
+// Index returns the exact threshold index over the current vocabulary,
+// building it on first use and rebuilding after any Add. All callers share
+// one instance, so the (one-time) construction cost is amortized across the
+// matcher, the models, and τ-sweep experiments.
+func (s *Space) Index() *ThresholdIndex {
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if s.index == nil {
+		s.index = NewThresholdIndex(s)
+	}
+	return s.index
 }
 
 // Words returns the vocabulary in sorted order. Intended for tests and

@@ -31,53 +31,21 @@ const (
 // Confusion aligns predictions with gold mentions (same greedy strategy as
 // Evaluate) and tabulates the concept-level confusion matrix.
 func Confusion(predictions, gold []Mention) *ConfusionMatrix {
-	preds := normalizeAll(predictions)
-	golds := normalizeAll(gold)
+	preds := tokenizeAll(predictions)
+	golds := tokenizeAll(gold)
 	cm := &ConfusionMatrix{Cells: make(map[schema.Concept]map[schema.Concept]int)}
 
-	goldBySubject := make(map[string][]int)
-	for i, g := range golds {
-		goldBySubject[g.Subject] = append(goldBySubject[g.Subject], i)
-	}
-	usedGold := make([]bool, len(golds))
-	matchedPred := make([]bool, len(preds))
-	for pass := 0; pass < 3; pass++ {
-		for pi, p := range preds {
-			if matchedPred[pi] {
-				continue
-			}
-			for _, gi := range goldBySubject[p.Subject] {
-				if usedGold[gi] {
-					continue
-				}
-				g := golds[gi]
-				kind := phraseOverlap(p.Phrase, g.Phrase)
-				typeOK := p.Concept == g.Concept
-				ok := false
-				switch pass {
-				case 0:
-					ok = kind == overlapExact && typeOK
-				case 1:
-					ok = kind >= overlapPartial && typeOK
-				case 2:
-					ok = kind >= overlapPartial
-				}
-				if ok {
-					cm.bump(g.Concept, p.Concept)
-					matchedPred[pi] = true
-					usedGold[gi] = true
-					break
-				}
-			}
-		}
+	al := align(preds, golds)
+	for _, m := range al.assign {
+		cm.bump(golds[m.gold].Concept, preds[m.pred].Concept)
 	}
 	for pi, p := range preds {
-		if !matchedPred[pi] {
+		if !al.matchedPred[pi] {
 			cm.bump(PredictedNoise, p.Concept)
 		}
 	}
 	for gi, g := range golds {
-		if !usedGold[gi] {
+		if !al.usedGold[gi] {
 			cm.bump(g.Concept, MissedGold)
 		}
 	}

@@ -46,38 +46,64 @@ const (
 // phrase's content words (e.g. predicting 'vestibular' for 'main vestibular
 // nerve' is partially correct).
 func phraseOverlap(pred, gold string) overlapKind {
-	if pred == gold {
+	p, g := tokenize(Mention{Phrase: pred}), tokenize(Mention{Phrase: gold})
+	return tokOverlap(&p, &g)
+}
+
+// tokMention is a mention pre-tokenized for pairwise overlap scoring.
+// Evaluate compares every prediction against every same-subject gold mention
+// across up to three alignment passes, so splitting and stopword-filtering
+// the phrase once per mention (instead of once per comparison) is the
+// difference between thousands and millions of strings.Fields calls.
+type tokMention struct {
+	Mention
+	// words are the phrase's space-separated words.
+	words []string
+	// contentSet is the deduplicated non-stopword vocabulary (the
+	// prediction-side view of the shared-content criterion).
+	contentSet map[string]bool
+	// content lists the non-stopword words with duplicates kept (the
+	// gold-side view, which counts occurrences).
+	content []string
+}
+
+func tokenize(m Mention) tokMention {
+	t := tokMention{Mention: m, words: strings.Fields(m.Phrase)}
+	for _, w := range t.words {
+		if !text.IsStopword(w) {
+			if t.contentSet == nil {
+				t.contentSet = make(map[string]bool, len(t.words))
+			}
+			t.contentSet[w] = true
+			t.content = append(t.content, w)
+		}
+	}
+	return t
+}
+
+// tokOverlap is phraseOverlap over pre-tokenized mentions — the same
+// decision, term for term.
+func tokOverlap(pred, gold *tokMention) overlapKind {
+	if pred.Phrase == gold.Phrase {
 		return overlapExact
 	}
-	pw, gw := strings.Fields(pred), strings.Fields(gold)
-	if len(pw) == 0 || len(gw) == 0 {
+	if len(pred.words) == 0 || len(gold.words) == 0 {
 		return overlapNone
 	}
-	if containsSeq(pw, gw) || containsSeq(gw, pw) {
+	if containsSeq(pred.words, gold.words) || containsSeq(gold.words, pred.words) {
 		return overlapPartial
 	}
 	shared := 0
-	set := make(map[string]bool, len(pw))
-	for _, w := range pw {
-		if !text.IsStopword(w) {
-			set[w] = true
-		}
-	}
-	short := 0
-	for _, w := range gw {
-		if text.IsStopword(w) {
-			continue
-		}
-		short++
-		if set[w] {
+	for _, w := range gold.content {
+		if pred.contentSet[w] {
 			shared++
 		}
 	}
+	short := len(gold.content)
 	if short == 0 {
 		return overlapNone
 	}
-	predContent := len(set)
-	if predContent < short {
+	if predContent := len(pred.contentSet); predContent < short {
 		short = predContent
 	}
 	if short > 0 && 2*shared >= short {

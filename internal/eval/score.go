@@ -120,59 +120,15 @@ func (r *Report) Concepts() []schema.Concept {
 // predictions to the predicted concept and missing mentions to the gold
 // concept, following nervaluate.
 func Evaluate(predictions, gold []Mention) *Report {
-	preds := normalizeAll(predictions)
-	golds := normalizeAll(gold)
+	preds := tokenizeAll(predictions)
+	golds := tokenizeAll(gold)
 
 	rep := &Report{
 		GoldTotal:  len(golds),
 		PerConcept: make(map[schema.Concept]Outcome),
 	}
 
-	// Index gold by subject.
-	goldBySubject := make(map[string][]int)
-	for i, g := range golds {
-		goldBySubject[g.Subject] = append(goldBySubject[g.Subject], i)
-	}
-	usedGold := make([]bool, len(golds))
-	type match struct {
-		pred, gold int
-		kind       overlapKind
-		typeOK     bool
-	}
-
-	// Three alignment passes: exact+type, partial+type, overlap-only.
-	assign := make([]match, 0, len(preds))
-	matchedPred := make([]bool, len(preds))
-	for pass := 0; pass < 3; pass++ {
-		for pi, p := range preds {
-			if matchedPred[pi] {
-				continue
-			}
-			for _, gi := range goldBySubject[p.Subject] {
-				if usedGold[gi] {
-					continue
-				}
-				g := golds[gi]
-				kind := phraseOverlap(p.Phrase, g.Phrase)
-				typeOK := p.Concept == g.Concept
-				ok := false
-				switch pass {
-				case 0:
-					ok = kind == overlapExact && typeOK
-				case 1:
-					ok = kind >= overlapPartial && typeOK
-				case 2:
-					ok = kind >= overlapPartial
-				}
-				if ok {
-					assign = append(assign, match{pi, gi, kind, typeOK})
-					matchedPred[pi] = true
-					usedGold[gi] = true
-					break
-				}
-			}
-		}
-	}
+	al := align(preds, golds)
 
 	bump := func(c schema.Concept, f func(*Outcome)) {
 		o := rep.PerConcept[c]
@@ -181,7 +137,7 @@ func Evaluate(predictions, gold []Mention) *Report {
 		f(&rep.Overall)
 	}
 
-	for _, m := range assign {
+	for _, m := range al.assign {
 		p := preds[m.pred]
 		switch {
 		case m.typeOK && m.kind == overlapExact:
@@ -200,16 +156,95 @@ func Evaluate(predictions, gold []Mention) *Report {
 		}
 	}
 	for pi, p := range preds {
-		if !matchedPred[pi] {
+		if !al.matchedPred[pi] {
 			bump(p.Concept, func(o *Outcome) { o.Spurious++ })
 		}
 	}
 	for gi, g := range golds {
-		if !usedGold[gi] {
+		if !al.usedGold[gi] {
 			bump(g.Concept, func(o *Outcome) { o.Missing++ })
 		}
 	}
 	return rep
+}
+
+// alignMatch records one matched (prediction, gold) pair.
+type alignMatch struct {
+	pred, gold int
+	kind       overlapKind
+	typeOK     bool
+}
+
+// alignment is the outcome of the greedy three-pass matching.
+type alignment struct {
+	assign      []alignMatch
+	matchedPred []bool
+	usedGold    []bool
+}
+
+// align performs the greedy subject-scoped matching shared by Evaluate and
+// Confusion: three passes (exact+type, partial+type, overlap-only), each
+// prediction consuming at most one unused gold mention of its subject.
+// Overlap kinds are computed at most once per (prediction, gold) pair and
+// reused across passes.
+func align(preds, golds []tokMention) alignment {
+	goldBySubject := make(map[string][]int)
+	for i, g := range golds {
+		goldBySubject[g.Subject] = append(goldBySubject[g.Subject], i)
+	}
+	al := alignment{
+		assign:      make([]alignMatch, 0, len(preds)),
+		matchedPred: make([]bool, len(preds)),
+		usedGold:    make([]bool, len(golds)),
+	}
+	// kinds[pi] caches overlaps against goldBySubject[preds[pi].Subject],
+	// parallel to that index slice; entries are filled on first use.
+	const overlapUnset overlapKind = -1
+	kinds := make([][]overlapKind, len(preds))
+	for pass := 0; pass < 3; pass++ {
+		for pi := range preds {
+			if al.matchedPred[pi] {
+				continue
+			}
+			p := &preds[pi]
+			gis := goldBySubject[p.Subject]
+			ks := kinds[pi]
+			if ks == nil && len(gis) > 0 {
+				ks = make([]overlapKind, len(gis))
+				for j := range ks {
+					ks[j] = overlapUnset
+				}
+				kinds[pi] = ks
+			}
+			for j, gi := range gis {
+				if al.usedGold[gi] {
+					continue
+				}
+				kind := ks[j]
+				if kind == overlapUnset {
+					kind = tokOverlap(p, &golds[gi])
+					ks[j] = kind
+				}
+				typeOK := p.Concept == golds[gi].Concept
+				ok := false
+				switch pass {
+				case 0:
+					ok = kind == overlapExact && typeOK
+				case 1:
+					ok = kind >= overlapPartial && typeOK
+				case 2:
+					ok = kind >= overlapPartial
+				}
+				if ok {
+					al.assign = append(al.assign, alignMatch{pi, gi, kind, typeOK})
+					al.matchedPred[pi] = true
+					al.usedGold[gi] = true
+					break
+				}
+			}
+		}
+	}
+	return al
 }
 
 func normalizeAll(ms []Mention) []Mention {
@@ -220,6 +255,20 @@ func normalizeAll(ms []Mention) []Mention {
 			continue
 		}
 		out = append(out, n)
+	}
+	return out
+}
+
+// tokenizeAll normalizes mentions, drops empty phrases and pre-tokenizes the
+// survivors for pairwise overlap scoring.
+func tokenizeAll(ms []Mention) []tokMention {
+	out := make([]tokMention, 0, len(ms))
+	for _, m := range ms {
+		n := m.Normalize()
+		if n.Phrase == "" {
+			continue
+		}
+		out = append(out, tokenize(n))
 	}
 	return out
 }

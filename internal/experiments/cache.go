@@ -4,6 +4,8 @@ import (
 	"sync"
 
 	"thor/internal/datagen"
+	"thor/internal/matcher"
+	"thor/internal/thor"
 )
 
 // The datasets and full comparisons are deterministic and somewhat costly to
@@ -23,7 +25,30 @@ var (
 
 	annotationOnce  sync.Once
 	annotationStudy *AnnotationStudy
+
+	// tuneCache shares fine-tuned matchers across every experiment run,
+	// keyed by (space, table fingerprint, matcher config): the comparison
+	// sweep, τ tuning and the annotation study all fine-tune on the same
+	// knowledge tables, so only the first run per (dataset, τ) pays for
+	// cluster expansion. Results are identical with or without the cache
+	// (covered by the thor package's cached-fine-tune determinism test).
+	tuneCache = matcher.NewCache()
+
+	// parseCache shares sentence analyses (POS tags, dependency parses,
+	// noun phrases) across every THOR run: the τ sweep, tuning and the
+	// annotation study all read the same documents, and parses are
+	// τ-independent. The lexicon is part of the cache key, so both
+	// datasets safely share one cache. Results are identical with or
+	// without it.
+	parseCache = thor.NewParseCache()
 )
+
+// TuneCache returns the shared fine-tune cache the experiments run with.
+func TuneCache() *matcher.Cache { return tuneCache }
+
+// SharedParseCache returns the shared sentence-analysis cache the
+// experiments run with.
+func SharedParseCache() *thor.ParseCache { return parseCache }
 
 // DiseaseDataset returns the shared Disease A-Z dataset.
 func DiseaseDataset() *datagen.Dataset {

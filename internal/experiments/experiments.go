@@ -90,11 +90,13 @@ func runThor(ds *datagen.Dataset, tau float64) SystemResult {
 	reg, tr := Instruments()
 	start := time.Now()
 	res, err := thor.Run(ds.TestTable(), ds.Space, ds.Test.Docs, thor.Config{
-		Tau:       tau,
-		Knowledge: ds.Table,
-		Lexicon:   ds.Lexicon,
-		Metrics:   reg,
-		Tracer:    tr,
+		Tau:        tau,
+		Knowledge:  ds.Table,
+		Lexicon:    ds.Lexicon,
+		Metrics:    reg,
+		Tracer:     tr,
+		TuneCache:  tuneCache,
+		ParseCache: parseCache,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: THOR run failed: %v", err)) // datasets are well-formed by construction

@@ -11,9 +11,9 @@ import (
 // -metrics-json). Nil values disable instrumentation, which is the default
 // and costs nothing.
 var (
-	obsMu      sync.RWMutex
-	obsReg     *obs.Registry
-	obsTracer  *obs.Tracer
+	obsMu     sync.RWMutex
+	obsReg    *obs.Registry
+	obsTracer *obs.Tracer
 )
 
 // SetInstruments installs the registry and tracer every subsequent

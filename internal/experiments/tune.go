@@ -41,9 +41,11 @@ func TuneTau(ds *datagen.Dataset, objective TuneObjective) (*TuneResult, error) 
 	res := &TuneResult{Tau: Taus[0], ValidScore: -1}
 	for _, tau := range Taus {
 		run, err := thor.Run(target, ds.Space, ds.Valid.Docs, thor.Config{
-			Tau:       tau,
-			Knowledge: ds.Table,
-			Lexicon:   ds.Lexicon,
+			Tau:        tau,
+			Knowledge:  ds.Table,
+			Lexicon:    ds.Lexicon,
+			TuneCache:  tuneCache,
+			ParseCache: parseCache,
 		})
 		if err != nil {
 			return nil, err

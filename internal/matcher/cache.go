@@ -1,0 +1,110 @@
+package matcher
+
+import (
+	"sync"
+
+	"thor/internal/embed"
+	"thor/internal/schema"
+)
+
+// cacheKey identifies a fine-tune result: the space's vocabulary snapshot
+// (by index identity — vectors are not hashed, so distinct spaces never
+// share an entry, and adding words to a space invalidates its index and with
+// it every cached matcher), the knowledge table's content fingerprint, and
+// the full matcher configuration.
+type cacheKey struct {
+	index *embed.ThresholdIndex
+	table uint64
+	cfg   Config
+}
+
+// seedKey identifies a shared τ-independent seed cluster: like cacheKey, but
+// per concept and without the configuration — seeds do not depend on it.
+type seedKey struct {
+	index   *embed.ThresholdIndex
+	table   uint64
+	concept schema.Concept
+}
+
+// Cache memoizes fine-tuned matchers. Threshold-sweep experiments fine-tune
+// on the same knowledge table over and over — six τ values, repeated across
+// comparison, tuning, and annotation runs — and a Matcher is immutable and
+// safe for concurrent use after FineTune, so identical (space, table, config)
+// requests can share one instance along with all its warmed memos.
+//
+// The table is keyed by content (schema.Table.Fingerprint), not identity:
+// callers that rebuild an equal table still hit. Mutating a table after
+// fine-tuning through the cache gives a stale matcher on the old fingerprint
+// and a fresh one on the new — never a wrong hit.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*Matcher
+
+	seedMu sync.Mutex
+	seeds  map[seedKey]*sharedSeeds
+}
+
+// NewCache returns an empty fine-tune cache, safe for concurrent use.
+func NewCache() *Cache {
+	return &Cache{
+		entries: make(map[cacheKey]*Matcher),
+		seeds:   make(map[seedKey]*sharedSeeds),
+	}
+}
+
+// seedsFor returns the shared seed cluster for (vocabulary snapshot, table
+// content, concept), building and storing it on first request. A threshold
+// sweep fine-tunes once per τ, but the seed instances, their sweep matrix
+// and the best-seed memo are τ-independent, so every configuration shares
+// one instance — later τ runs start with the earlier runs' best-seed memo
+// already warm.
+func (c *Cache) seedsFor(index *embed.ThresholdIndex, table uint64, concept schema.Concept, build func() *sharedSeeds) *sharedSeeds {
+	key := seedKey{index: index, table: table, concept: concept}
+	c.seedMu.Lock()
+	defer c.seedMu.Unlock()
+	if sh, ok := c.seeds[key]; ok {
+		return sh
+	}
+	sh := build()
+	c.seeds[key] = sh
+	return sh
+}
+
+// FineTune returns the cached matcher for (space, table content, cfg),
+// fine-tuning and storing one on the first request. Errors are not cached.
+func (c *Cache) FineTune(space *embed.Space, table *schema.Table, cfg Config) (*Matcher, error) {
+	if c == nil {
+		return FineTune(space, table, cfg)
+	}
+	if space == nil || table == nil {
+		return FineTune(space, table, cfg) // let FineTune report the error
+	}
+	key := cacheKey{index: space.Index(), table: table.Fingerprint(), cfg: cfg}
+	c.mu.Lock()
+	m, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok {
+		return m, nil
+	}
+	m, err := fineTune(space, table, cfg, c)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	// Keep the first stored instance if another goroutine raced us, so every
+	// caller shares one matcher (and its memos).
+	if prev, ok := c.entries[key]; ok {
+		m = prev
+	} else {
+		c.entries[key] = m
+	}
+	c.mu.Unlock()
+	return m, nil
+}
+
+// Len returns the number of cached matchers.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -15,14 +15,30 @@
 // only heads that coincide with known-instance words (precision-oriented),
 // while τ=0.5 reaches deep into the embedding neighborhood
 // (recall-oriented), reproducing the trade-off of Table V.
+//
+// # Performance
+//
+// Matching is the pipeline's hot path, so the matcher is built around
+// precomputed structures whose results are bit-for-bit identical to the
+// brute-force definitions above. Each cluster's seed and word vectors are
+// flattened into contiguous embed.Matrix slabs at FineTune time, so head-fit
+// and best-seed sweeps are cache-friendly dot products with precomputed
+// norms and conservative-bound pruning. τ-expansion runs through the space's
+// shared ThresholdIndex (LSH propose, exact verify) instead of brute
+// vocabulary scans, and the index's LSH buckets also prime head-fit sweeps
+// with a strong initial best so the bound prunes harder. Head fits, subphrase
+// queries, and best seeds are memoized in read-mostly copy-on-write maps
+// (package cow) that cost one atomic load per hit under the pipeline's
+// parallel document workers.
 package matcher
 
 import (
 	"fmt"
-	"sort"
+	"math"
 	"strings"
 	"sync"
 
+	"thor/internal/cow"
 	"thor/internal/embed"
 	"thor/internal/phrase"
 	"thor/internal/schema"
@@ -51,10 +67,16 @@ type conceptCluster struct {
 	// words are the matchable word vectors: content words of the seeds
 	// plus τ-expansion neighbors.
 	words []Representative
-	// fitMemo caches head-word fit scores; guarded by memoMu so Match is
-	// safe under the pipeline's parallel document workers.
-	memoMu  sync.RWMutex
-	fitMemo map[string]float64
+	// seedMat and wordMat are the SoA forms of seeds and words (rows
+	// aligned), built once at FineTune time.
+	seedMat *embed.Matrix
+	wordMat *embed.Matrix
+	// byRow maps a ThresholdIndex row to the wordMat row holding the same
+	// vocabulary word, for LSH-primed head-fit sweeps. Out-of-vocabulary
+	// representative words are simply absent.
+	byRow map[int]int
+	// seedMemo caches bestSeed per subphrase text.
+	seedMemo *cow.Map[string, string]
 }
 
 // Candidate is one match the matcher proposes for a subphrase.
@@ -107,71 +129,147 @@ func (c Config) acceptFloor() float64 { return 0.95 }
 // Matcher is a fine-tuned semantic similarity matcher. Construct with
 // FineTune; it is then safe for concurrent use.
 type Matcher struct {
-	space    *embed.Space
-	cfg      Config
-	clusters []*conceptCluster
+	space     *embed.Space
+	cfg       Config
+	clusters  []*conceptCluster
+	byConcept map[schema.Concept]*conceptCluster
+	index     *embed.ThresholdIndex
+	basis     *embed.Basis
+	// fitMemo caches, per head word, the fit against every cluster (Match
+	// scores each head against all clusters anyway, so one miss fills the
+	// whole row). Seeded with the seed head words at FineTune time.
+	fitMemo *cow.Map[string, []float64]
+	// subQueries caches the precomputed sweep query per subphrase text.
+	subQueries *cow.Map[string, *embed.Query]
+	ctxPool    sync.Pool // *MatchContext, for the context-free Match API
+}
+
+// sharedSeeds is the τ-independent part of a concept's fine-tuned model:
+// the seed instances from the table, their lexical head words (the prefix of
+// the matchable word set), the seed sweep matrix, and the best-seed memo.
+// None of it depends on Config, so a Cache shares one instance across an
+// entire threshold sweep instead of rebuilding (and re-memoizing) it per τ.
+type sharedSeeds struct {
+	seeds []Representative
+	heads []Representative
+	mat   *embed.Matrix
+	memo  *cow.Map[string, string]
+}
+
+// buildSeedCluster constructs the shared seed model for one concept from its
+// table instances.
+func buildSeedCluster(space *embed.Space, basis *embed.Basis, instances []string) *sharedSeeds {
+	sh := &sharedSeeds{memo: cow.New[string, string]()}
+	seenWord := make(map[string]bool)
+	seenSeed := make(map[string]bool)
+	for _, inst := range instances {
+		norm := text.NormalizePhrase(inst)
+		if norm == "" || seenSeed[norm] {
+			continue
+		}
+		seenSeed[norm] = true
+		vec := space.PhraseVectorCached(norm)
+		if vec.Zero() {
+			continue
+		}
+		sh.seeds = append(sh.seeds, Representative{Phrase: norm, Vector: vec, Seed: true})
+		// Only the instance's lexical head joins the matchable word set:
+		// matching is head-to-head, and admitting modifier words
+		// ("follow-up", "severe") as representatives would let modifier
+		// fragments of unrelated phrases match the concept.
+		if w := headWord(strings.Fields(norm)); w != "" && !seenWord[w] {
+			seenWord[w] = true
+			sh.heads = append(sh.heads, Representative{Phrase: w, Vector: space.Lookup(w), Seed: true})
+		}
+	}
+	vecs := make([]embed.Vector, len(sh.seeds))
+	for i := range sh.seeds {
+		vecs[i] = sh.seeds[i].Vector
+	}
+	sh.mat = embed.NewMatrix(basis, vecs)
+	return sh
 }
 
 // FineTune builds the matcher for the table's schema and instances
 // (MATCHER.FINETUNE in Algorithm 1). The embedding space supplies vectors
 // for both seeds and expansion candidates.
 func FineTune(space *embed.Space, table *schema.Table, cfg Config) (*Matcher, error) {
+	return fineTune(space, table, cfg, nil)
+}
+
+// fineTune is FineTune with an optional cache supplying shared τ-independent
+// seed clusters.
+func fineTune(space *embed.Space, table *schema.Table, cfg Config, cache *Cache) (*Matcher, error) {
 	if space == nil || table == nil {
 		return nil, fmt.Errorf("matcher: nil space or table")
 	}
 	if cfg.Tau < 0 || cfg.Tau > 1 {
 		return nil, fmt.Errorf("matcher: tau %v outside [0,1]", cfg.Tau)
 	}
-	m := &Matcher{space: space, cfg: cfg}
+	idx := space.Index()
+	m := &Matcher{
+		space:      space,
+		cfg:        cfg,
+		byConcept:  make(map[schema.Concept]*conceptCluster),
+		index:      idx,
+		basis:      idx.Basis(),
+		fitMemo:    cow.New[string, []float64](),
+		subQueries: cow.New[string, *embed.Query](),
+	}
+	var fp uint64
+	if cache != nil {
+		fp = table.Fingerprint()
+	}
 	for _, c := range table.Schema.Concepts {
 		if c == table.Schema.Subject && !cfg.IncludeSubject {
 			continue
 		}
-		cluster := &conceptCluster{concept: c, fitMemo: make(map[string]float64)}
-		seenWord := make(map[string]bool)
-		seenSeed := make(map[string]bool)
-		for _, inst := range table.ColumnValues(c) {
-			norm := text.NormalizePhrase(inst)
-			if norm == "" || seenSeed[norm] {
-				continue
-			}
-			seenSeed[norm] = true
-			vec := space.PhraseVector(strings.Fields(norm))
-			if vec.Zero() {
-				continue
-			}
-			cluster.seeds = append(cluster.seeds, Representative{Phrase: norm, Vector: vec, Seed: true})
-			// Only the instance's lexical head joins the matchable word
-			// set: matching is head-to-head, and admitting modifier words
-			// ("follow-up", "severe") as representatives would let
-			// modifier fragments of unrelated phrases match the concept.
-			if w := headWord(strings.Fields(norm)); w != "" && !seenWord[w] {
-				seenWord[w] = true
-				cluster.words = append(cluster.words, Representative{Phrase: w, Vector: space.Lookup(w), Seed: true})
-			}
+		build := func() *sharedSeeds { return buildSeedCluster(space, m.basis, table.ColumnValues(c)) }
+		var sh *sharedSeeds
+		if cache != nil {
+			sh = cache.seedsFor(idx, fp, c, build)
+		} else {
+			sh = build()
 		}
-		if len(cluster.seeds) == 0 {
+		if len(sh.seeds) == 0 {
 			continue // no usable seeds: the concept cannot be matched
 		}
+		cluster := &conceptCluster{
+			concept:  c,
+			seeds:    sh.seeds,
+			words:    append([]Representative(nil), sh.heads...),
+			seedMat:  sh.mat,
+			seedMemo: sh.memo,
+		}
 		if !cfg.DisableExpansion {
-			expandCluster(space, cluster, cfg.Tau, seenWord)
+			seenWord := make(map[string]bool, len(sh.heads))
+			for i := range sh.heads {
+				seenWord[sh.heads[i].Phrase] = true
+			}
+			expandCluster(idx, space, cluster, cfg.Tau, seenWord)
 		}
 		m.clusters = append(m.clusters, cluster)
+		m.byConcept[c] = cluster
 	}
 	if len(m.clusters) == 0 {
 		return nil, fmt.Errorf("matcher: no concept has usable seed instances")
 	}
+	m.vectorize()
+	m.warmFits()
+	m.ctxPool.New = func() any { return m.NewContext() }
 	return m, nil
 }
 
 // expandCluster adds vocabulary words similar to any seed word (cosine ≥
 // tau) as non-seed representatives — the weak-supervision "fine-tuning"
-// step. Lower τ expands further into the embedding neighborhood.
-func expandCluster(space *embed.Space, cluster *conceptCluster, tau float64, seen map[string]bool) {
+// step. Lower τ expands further into the embedding neighborhood. Retrieval
+// goes through the space's threshold index, whose results are identical to
+// brute-force Space.Neighbors scans (LSH proposes, exact cosine verifies).
+func expandCluster(idx *embed.ThresholdIndex, space *embed.Space, cluster *conceptCluster, tau float64, seen map[string]bool) {
 	sources := make([]Representative, len(cluster.words))
 	copy(sources, cluster.words)
 	for _, src := range sources {
-		for _, nb := range space.Neighbors(src.Vector, tau) {
+		for _, nb := range idx.Neighbors(src.Vector, tau) {
 			if seen[nb.Word] {
 				continue
 			}
@@ -183,6 +281,122 @@ func expandCluster(space *embed.Space, cluster *conceptCluster, tau float64, see
 			})
 		}
 	}
+}
+
+// vectorize flattens every cluster's word vectors into SoA matrices sharing
+// the index's pruning basis, and builds the index-row → cluster-row maps used
+// for LSH priming. Seed matrices arrive prebuilt with the shared seed
+// cluster.
+func (m *Matcher) vectorize() {
+	for _, cl := range m.clusters {
+		wordVecs := make([]embed.Vector, len(cl.words))
+		cl.byRow = make(map[int]int, len(cl.words))
+		for i := range cl.words {
+			wordVecs[i] = cl.words[i].Vector
+			if r := m.index.RowOf(cl.words[i].Phrase); r >= 0 {
+				cl.byRow[r] = i
+			}
+		}
+		cl.wordMat = embed.NewMatrix(m.basis, wordVecs)
+	}
+}
+
+// warmFits sizes the fit memo with a warmup pass over the seed head words —
+// the heads every accepting document mention must resemble, and by far the
+// most frequently queried keys — so the copy-on-write map starts with a
+// right-sized read snapshot instead of merging its way up under load.
+func (m *Matcher) warmFits() {
+	init := make(map[string][]float64)
+	for _, cl := range m.clusters {
+		for i := range cl.words {
+			if !cl.words[i].Seed {
+				break // seed head words precede expansion words
+			}
+			w := cl.words[i].Phrase
+			if _, ok := init[w]; !ok {
+				init[w] = m.computeFits(w)
+			}
+		}
+	}
+	m.fitMemo.Seed(init)
+}
+
+// computeFits scores a head word against every cluster: the maximum cosine
+// between the head and the cluster's representative words. Match consumes a
+// fit only through the acceptance test `fit < acceptFloor` (rejected) and as
+// the exact Sim of accepted candidates, so the sweep starts at the largest
+// float64 below the floor and stores sub-floor maxima as 0: accepted fits
+// are bit-identical to the brute-force sweep while rejected heads skip
+// nearly every dot product. The sweep is primed with true cosines of the
+// head's LSH bucket candidates — in-vocabulary heads reach their buckets
+// through signatures stored at index build time, with no dot products — so
+// a head that *is* a representative (cosine 1) prunes the entire sweep.
+// Priming never changes the maximum.
+func (m *Matcher) computeFits(head string) []float64 {
+	fits := make([]float64, len(m.clusters))
+	v := m.space.Lookup(head)
+	if v.Zero() {
+		return fits
+	}
+	q := m.basis.Query(v)
+	var rows []int
+	if r := m.index.RowOf(head); r >= 0 {
+		rows = m.index.CandidateRowsOfRow(r, nil)
+	} else {
+		rows = m.index.CandidateRows(&q, nil)
+	}
+	floor := math.Nextafter(m.cfg.acceptFloor(), 0)
+	for ci, cl := range m.clusters {
+		init := floor
+		for _, r := range rows {
+			if li, ok := cl.byRow[r]; ok {
+				if c := cl.wordMat.Cosine(&q, li); c > init {
+					init = c
+				}
+			}
+		}
+		if f := cl.wordMat.Max(&q, init); f > floor {
+			fits[ci] = f
+		}
+	}
+	return fits
+}
+
+// headFits returns the per-cluster fit row for a head word, memoized.
+func (m *Matcher) headFits(head string) []float64 {
+	if fits, ok := m.fitMemo.Get(head); ok {
+		return fits
+	}
+	fits := m.computeFits(head)
+	m.fitMemo.Put(head, fits)
+	return fits
+}
+
+// subQuery returns the precomputed sweep query for a subphrase's normalized
+// text, memoized. The phrase embedding itself comes from the space's shared
+// phrase-vector memo.
+func (m *Matcher) subQuery(subText string) *embed.Query {
+	if q, ok := m.subQueries.Get(subText); ok {
+		return q
+	}
+	q := m.basis.Query(m.space.PhraseVectorCached(subText))
+	m.subQueries.Put(subText, &q)
+	return &q
+}
+
+// bestSeed returns the seed instance c_m whose embedding is most similar to
+// the subphrase (earliest seed wins ties, as in the sequential sweep).
+func (m *Matcher) bestSeed(cl *conceptCluster, subText string) string {
+	if s, ok := cl.seedMemo.Get(subText); ok {
+		return s
+	}
+	i, _ := cl.seedMat.ArgMax(m.subQuery(subText), -2.0)
+	s := ""
+	if i >= 0 {
+		s = cl.seeds[i].Phrase
+	}
+	cl.seedMemo.Put(subText, s)
+	return s
 }
 
 // Concepts returns the concepts the matcher was fine-tuned for, in schema
@@ -198,22 +412,48 @@ func (m *Matcher) Concepts() []schema.Concept {
 // Representatives returns the fine-tuned word cluster for a concept (nil if
 // the concept is unknown). The slice must not be modified.
 func (m *Matcher) Representatives(c schema.Concept) []Representative {
-	for _, cl := range m.clusters {
-		if cl.concept == c {
-			return cl.words
-		}
+	if cl, ok := m.byConcept[c]; ok {
+		return cl.words
 	}
 	return nil
 }
 
 // Seeds returns the seed instances for a concept.
 func (m *Matcher) Seeds(c schema.Concept) []Representative {
-	for _, cl := range m.clusters {
-		if cl.concept == c {
-			return cl.seeds
-		}
+	if cl, ok := m.byConcept[c]; ok {
+		return cl.seeds
 	}
 	return nil
+}
+
+// candKey identifies a (subphrase, concept) pair for deduplication without
+// building a composite string key.
+type candKey struct {
+	phrase  string
+	concept schema.Concept
+}
+
+// MatchContext carries the per-worker scratch space Match needs — subphrase
+// spans, word offsets, the candidate buffer, and the dedup / per-concept-cap
+// tables — so repeated Match calls stop allocating them. A context is NOT
+// safe for concurrent use: give each worker goroutine its own via
+// NewContext. The context-free Matcher.Match draws from an internal pool.
+type MatchContext struct {
+	m          *Matcher
+	spans      []phrase.Span
+	offs       []int
+	cands      []Candidate
+	dedup      map[candKey]bool
+	perConcept []int
+}
+
+// NewContext returns a fresh scratch context bound to the matcher.
+func (m *Matcher) NewContext() *MatchContext {
+	return &MatchContext{
+		m:          m,
+		dedup:      make(map[candKey]bool),
+		perConcept: make([]int, len(m.clusters)),
+	}
 }
 
 // Match proposes candidate entities for a phrase (MATCHER.MATCH in Algorithm
@@ -221,40 +461,106 @@ func (m *Matcher) Seeds(c schema.Concept) []Representative {
 // cluster; (subphrase, concept) pairs whose fit reaches the acceptance floor
 // become candidates, capped at MaxPerPhrase, strongest first.
 func (m *Matcher) Match(p phrase.Phrase) []Candidate {
+	ctx := m.ctxPool.Get().(*MatchContext)
+	out := ctx.Match(p)
+	m.ctxPool.Put(ctx)
+	return out
+}
+
+// Match is Matcher.Match running on this context's scratch space. The
+// returned slice is freshly allocated and owned by the caller.
+func (c *MatchContext) Match(p phrase.Phrase) []Candidate {
+	m := c.m
 	floor := m.cfg.acceptFloor()
-	var cands []Candidate
-	for _, sub := range phrase.Subphrases(p) {
-		head := headWord(sub)
+	c.spans = phrase.AppendSubphraseSpans(c.spans[:0], p)
+	if len(c.spans) == 0 {
+		return nil
+	}
+	// Join the phrase once; every subphrase is a substring of it, addressed
+	// by precomputed word offsets — no per-subphrase joins.
+	joined := strings.Join(p.Words, " ")
+	c.offs = c.offs[:0]
+	off := 0
+	for _, w := range p.Words {
+		c.offs = append(c.offs, off)
+		off += len(w) + 1
+	}
+	c.cands = c.cands[:0]
+	for _, sp := range c.spans {
+		head := headWord(p.Words[sp.Start:sp.End])
 		if head == "" {
 			continue
 		}
-		subText := strings.Join(sub, " ")
-		for _, cl := range m.clusters {
-			fit := m.headFit(cl, head)
+		fits := m.headFits(head)
+		subText := ""
+		for ci, cl := range m.clusters {
+			fit := fits[ci]
 			if fit < floor {
 				continue
 			}
-			cands = append(cands, Candidate{
+			if subText == "" {
+				subText = joined[c.offs[sp.Start] : c.offs[sp.End-1]+len(p.Words[sp.End-1])]
+			}
+			c.cands = append(c.cands, Candidate{
 				Phrase:  subText,
 				Concept: cl.concept,
-				Matched: m.bestSeed(cl, sub),
+				Matched: m.bestSeed(cl, subText),
 				Sim:     fit,
 			})
 		}
 	}
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Sim > cands[j].Sim })
-	cands = dedupeCandidates(cands)
-	// Keep the strongest maxPerPhrase candidates per concept.
-	perConcept := make(map[schema.Concept]int)
-	kept := cands[:0]
-	for _, c := range cands {
-		if perConcept[c.Concept] >= m.cfg.maxPerPhrase() {
+	if len(c.cands) == 0 {
+		return nil
+	}
+	stableSortBySim(c.cands)
+	// Dedupe (phrase, concept) pairs, keeping the strongest, and cap the
+	// candidates kept per concept — all on reused scratch tables.
+	clear(c.dedup)
+	for i := range c.perConcept {
+		c.perConcept[i] = 0
+	}
+	maxPer := m.cfg.maxPerPhrase()
+	kept := c.cands[:0]
+	for _, cand := range c.cands {
+		key := candKey{phrase: cand.Phrase, concept: cand.Concept}
+		if c.dedup[key] {
 			continue
 		}
-		perConcept[c.Concept]++
-		kept = append(kept, c)
+		c.dedup[key] = true
+		ci := m.clusterIndex(cand.Concept)
+		if c.perConcept[ci] >= maxPer {
+			continue
+		}
+		c.perConcept[ci]++
+		kept = append(kept, cand)
 	}
-	return kept
+	c.cands = kept
+	out := make([]Candidate, len(kept))
+	copy(out, kept)
+	return out
+}
+
+// clusterIndex returns the position of a concept's cluster in m.clusters.
+// Match only calls it for concepts the matcher itself emitted.
+func (m *Matcher) clusterIndex(concept schema.Concept) int {
+	for i, cl := range m.clusters {
+		if cl.concept == concept {
+			return i
+		}
+	}
+	return 0
+}
+
+// stableSortBySim sorts candidates by decreasing Sim, preserving the input
+// order of equals — the same order sort.SliceStable produced, without its
+// reflection overhead. Candidate lists are short (a handful per phrase), so
+// insertion sort is both stable and fast.
+func stableSortBySim(cands []Candidate) {
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].Sim > cands[j-1].Sim; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
 }
 
 // headWord returns the rightmost content word of a subphrase — the lexical
@@ -266,58 +572,6 @@ func headWord(words []string) string {
 		}
 	}
 	return ""
-}
-
-// headFit returns the maximum similarity between the head word and the
-// cluster's representative words, memoized per cluster.
-func (m *Matcher) headFit(cl *conceptCluster, head string) float64 {
-	cl.memoMu.RLock()
-	fit, ok := cl.fitMemo[head]
-	cl.memoMu.RUnlock()
-	if ok {
-		return fit
-	}
-	q := m.space.Lookup(head)
-	best := 0.0
-	if !q.Zero() {
-		for i := range cl.words {
-			if sim := embed.CosineAt(&q, &cl.words[i].Vector); sim > best {
-				best = sim
-			}
-		}
-	}
-	cl.memoMu.Lock()
-	cl.fitMemo[head] = best
-	cl.memoMu.Unlock()
-	return best
-}
-
-// bestSeed returns the seed instance c_m whose embedding is most similar to
-// the whole subphrase.
-func (m *Matcher) bestSeed(cl *conceptCluster, sub []string) string {
-	q := m.space.PhraseVector(sub)
-	bestSeed, bestSim := "", -2.0
-	for i := range cl.seeds {
-		if sim := embed.CosineAt(&q, &cl.seeds[i].Vector); sim > bestSim {
-			bestSim, bestSeed = sim, cl.seeds[i].Phrase
-		}
-	}
-	return bestSeed
-}
-
-// dedupeCandidates keeps the strongest candidate per (phrase, concept).
-func dedupeCandidates(cands []Candidate) []Candidate {
-	seen := make(map[string]bool, len(cands))
-	out := cands[:0]
-	for _, c := range cands {
-		key := c.Phrase + "\x00" + string(c.Concept)
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		out = append(out, c)
-	}
-	return out
 }
 
 // Similarity returns the semantic similarity (cosine over phrase embeddings)
@@ -351,16 +605,15 @@ func (m *Matcher) Explain(p phrase.Phrase) []Explanation {
 	if head == "" {
 		return nil
 	}
-	q := m.space.Lookup(head)
+	v := m.space.Lookup(head)
+	q := m.basis.Query(v)
 	floor := m.cfg.acceptFloor()
 	var out []Explanation
 	for _, cl := range m.clusters {
 		best, bestSim := Representative{}, -2.0
-		if !q.Zero() {
-			for i := range cl.words {
-				if sim := embed.CosineAt(&q, &cl.words[i].Vector); sim > bestSim {
-					bestSim, best = sim, cl.words[i]
-				}
+		if !v.Zero() {
+			if i, sim := cl.wordMat.ArgMax(&q, -2.0); i >= 0 {
+				bestSim, best = sim, cl.words[i]
 			}
 		}
 		if bestSim < 0 {
@@ -373,6 +626,14 @@ func (m *Matcher) Explain(p phrase.Phrase) []Explanation {
 			Accepted: bestSim >= floor,
 		})
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Fit > out[j].Fit })
+	stableSortByFit(out)
 	return out
+}
+
+func stableSortByFit(out []Explanation) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Fit > out[j-1].Fit; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
 }

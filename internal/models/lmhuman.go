@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"thor/internal/ahocorasick"
+	"thor/internal/cow"
 	"thor/internal/embed"
 	"thor/internal/eval"
 	"thor/internal/pos"
@@ -39,6 +40,21 @@ type LMHuman struct {
 	// recognition is the per-surface-form recognition probability realized
 	// deterministically by hash.
 	recognition float64
+	// exampleMat holds the example vectors as a pruned-sweep matrix (rows
+	// parallel to examples), replacing the brute-force nearest-neighbor scan
+	// of the similarity path with a bit-identical bounded sweep.
+	exampleMat *embed.Matrix
+	// decisions memoizes the per-surface-form outcome (recognition draw and
+	// classification), both deterministic functions of the phrase.
+	decisions *cow.Map[string, lmhDecision]
+}
+
+// lmhDecision is the memoized per-phrase outcome: whether the surface form
+// clears the recognition ceiling and, if so, how classify labels it.
+type lmhDecision struct {
+	recognized bool
+	concept    schema.Concept
+	ok         bool
 }
 
 type trainExample struct {
@@ -78,7 +94,7 @@ func NewLMHuman(train []eval.Mention, trainDocs []segment.Document, space *embed
 			continue
 		}
 		seen[key] = true
-		vec := space.PhraseVector(strings.Fields(g.Phrase))
+		vec := space.PhraseVectorCached(g.Phrase)
 		if vec.Zero() {
 			continue
 		}
@@ -102,6 +118,12 @@ func NewLMHuman(train []eval.Mention, trainDocs []segment.Document, space *embed
 		q = 0.72
 	}
 	m.recognition = q
+	vecs := make([]embed.Vector, len(m.examples))
+	for i := range m.examples {
+		vecs[i] = m.examples[i].vec
+	}
+	m.exampleMat = embed.NewMatrix(embed.NewBasis(vecs), vecs)
+	m.decisions = cow.New[string, lmhDecision]()
 	return m
 }
 
@@ -166,24 +188,27 @@ func (m *LMHuman) TrainingSize() int { return len(m.examples) }
 // Extract labels recognized phrases that occur in positive-looking contexts.
 func (m *LMHuman) Extract(docs []segment.Document) []eval.Mention {
 	out := newMentionSet()
+	var hits []string
 	for _, doc := range docs {
 		for _, sp := range m.ext.scan(doc) {
+			hits = m.positiveHits(sp.Text, hits[:0])
 			for _, ph := range sp.Phrases {
 				norm := text.NormalizePhrase(ph.Text())
 				if norm == "" {
 					continue
 				}
+				d := m.decide(norm)
 				// Recognition ceiling: a fixed fraction of surface forms is
 				// simply never recovered, as the paper observes even for
 				// the fully supervised model.
-				if hashFrac("lmh-recognize:"+norm) > m.recognition {
+				if !d.recognized {
 					continue
 				}
-				if !m.contextLooksPositive(sp.Text, norm) {
+				if !m.contextLooksPositiveHits(hits, norm) {
 					continue
 				}
-				if c, ok := m.classify(norm); ok {
-					out.add(eval.Mention{Subject: sp.Subject, Concept: c, Phrase: norm})
+				if d.ok {
+					out.add(eval.Mention{Subject: sp.Subject, Concept: d.concept, Phrase: norm})
 				}
 			}
 		}
@@ -191,26 +216,76 @@ func (m *LMHuman) Extract(docs []segment.Document) []eval.Mention {
 	return out.mentions()
 }
 
-// contextLooksPositive checks that the sentence shares at least one content
-// word (outside the candidate phrase itself) with the learned positive
-// contexts.
-func (m *LMHuman) contextLooksPositive(sentence, phrase string) bool {
+// decide returns the memoized phrase-level outcome: the deterministic
+// recognition draw plus the classification. Classification is computed even
+// for phrases whose contexts all turn out negative — classify is a pure
+// function, so this changes no result, and memoizing the combined outcome
+// keeps the per-occurrence cost to one map hit.
+func (m *LMHuman) decide(norm string) lmhDecision {
+	if d, ok := m.decisions.Get(norm); ok {
+		return d
+	}
+	d := lmhDecision{recognized: hashFrac("lmh-recognize:"+norm) <= m.recognition}
+	if d.recognized {
+		d.concept, d.ok = m.classify(norm)
+	}
+	m.decisions.Put(norm, d)
+	return d
+}
+
+// positiveHits collects the sentence's words that can satisfy the positive-
+// context test for some phrase: non-stopword words present in the learned
+// positive-context vocabulary. It is computed once per sentence instead of
+// once per candidate phrase.
+func (m *LMHuman) positiveHits(sentence string, buf []string) []string {
+	if len(m.posContext) == 0 {
+		return buf
+	}
+	for _, w := range strings.Fields(text.NormalizePhrase(sentence)) {
+		if !text.IsStopword(w) && m.posContext[w] {
+			buf = append(buf, w)
+		}
+	}
+	return buf
+}
+
+// contextLooksPositiveHits checks that the sentence shares at least one
+// content word outside the candidate phrase with the learned positive
+// contexts, given the sentence's precomputed positive words.
+func (m *LMHuman) contextLooksPositiveHits(hits []string, phrase string) bool {
 	if len(m.posContext) == 0 {
 		return true // degenerate training set: no context model
 	}
-	inPhrase := make(map[string]bool)
-	for _, w := range strings.Fields(phrase) {
-		inPhrase[w] = true
-	}
-	for _, w := range strings.Fields(text.NormalizePhrase(sentence)) {
-		if text.IsStopword(w) || inPhrase[w] {
-			continue
-		}
-		if m.posContext[w] {
+	for _, w := range hits {
+		if !phraseHasWord(phrase, w) {
 			return true
 		}
 	}
 	return false
+}
+
+// contextLooksPositive checks that the sentence shares at least one content
+// word (outside the candidate phrase itself) with the learned positive
+// contexts.
+func (m *LMHuman) contextLooksPositive(sentence, phrase string) bool {
+	return m.contextLooksPositiveHits(m.positiveHits(sentence, nil), phrase)
+}
+
+// phraseHasWord reports whether w occurs as a whole word of the normalized
+// phrase. Normalized phrases are single-space joined, so checking space
+// boundaries is exactly word-set membership — without allocating the set.
+func phraseHasWord(phrase, w string) bool {
+	for i := 0; ; {
+		j := strings.Index(phrase[i:], w)
+		if j < 0 {
+			return false
+		}
+		j += i
+		if (j == 0 || phrase[j-1] == ' ') && (j+len(w) == len(phrase) || phrase[j+len(w)] == ' ') {
+			return true
+		}
+		i = j + 1
+	}
 }
 
 func (m *LMHuman) classify(phrase string) (schema.Concept, bool) {
@@ -233,18 +308,20 @@ func (m *LMHuman) classify(phrase string) (schema.Concept, bool) {
 		}
 		return best, true
 	}
-	// Similarity path: conservative nearest neighbor.
-	vec := m.space.PhraseVector(strings.Fields(phrase))
+	// Similarity path: conservative nearest neighbor. The bounded ArgMax
+	// sweep reproduces the brute-force scan exactly: cosines are summed in
+	// the same order and only examples strictly above the threshold can win,
+	// earliest maximum first.
+	vec := m.space.PhraseVectorCached(phrase)
 	if vec.Zero() {
 		return "", false
 	}
-	best, bestSim := schema.Concept(""), m.threshold
-	for i := range m.examples {
-		if sim := embed.CosineAt(&vec, &m.examples[i].vec); sim > bestSim {
-			best, bestSim = m.examples[i].concept, sim
-		}
+	q := m.exampleMat.Basis().Query(vec)
+	if i, _ := m.exampleMat.ArgMax(&q, m.threshold); i >= 0 {
+		c := m.examples[i].concept
+		return c, c != ""
 	}
-	return best, best != ""
+	return "", false
 }
 
 // ContextKnown reports whether the word is in the learned positive-context
@@ -256,4 +333,7 @@ func (m *LMHuman) ContextSize() int { return len(m.posContext) }
 
 // SetRecognition overrides the per-surface-form recognition probability
 // (default 0.66). Exposed for experiments and tests.
-func (m *LMHuman) SetRecognition(q float64) { m.recognition = q }
+func (m *LMHuman) SetRecognition(q float64) {
+	m.recognition = q
+	m.decisions.Seed(nil) // memoized decisions depend on the old ceiling
+}

@@ -16,7 +16,9 @@ package models
 import (
 	"sort"
 	"strings"
+	"sync"
 
+	"thor/internal/cow"
 	"thor/internal/dep"
 	"thor/internal/eval"
 	"thor/internal/phrase"
@@ -36,17 +38,72 @@ type Model interface {
 
 // extractor bundles the text substrate every model shares: document
 // segmentation by subject instance, POS tagging and noun-phrase extraction.
+// Extractors are read-only after construction and scanning is deterministic,
+// so instances are pooled by configuration and scans memoized per document:
+// an experiment's comparator models all analyze the same test corpus, but
+// only the first pays for parsing it.
 type extractor struct {
 	seg    *segment.Segmenter
 	tagger *pos.Tagger
+	// scans memoizes scan results per document. Values are shared across
+	// models: callers must treat them as immutable.
+	scans *cow.Map[string, []sentencePhrases]
 }
 
+// The pool is keyed by a content fingerprint of the extractor's inputs; it
+// grows with the number of distinct (subjects, lexicon) configurations,
+// which is bounded by the number of datasets in play.
+var (
+	extMu   sync.Mutex
+	extPool = map[uint64]*extractor{}
+)
+
 func newExtractor(subjects []string, lexicon map[string]pos.Tag) *extractor {
+	fp := extractorFP(subjects, lexicon)
+	extMu.Lock()
+	defer extMu.Unlock()
+	if e, ok := extPool[fp]; ok {
+		return e
+	}
 	tg := pos.New()
 	if lexicon != nil {
 		tg.AddLexicon(lexicon)
 	}
-	return &extractor{seg: segment.New(subjects), tagger: tg}
+	e := &extractor{
+		seg:    segment.New(subjects),
+		tagger: tg,
+		scans:  cow.New[string, []sentencePhrases](),
+	}
+	extPool[fp] = e
+	return e
+}
+
+// extractorFP content-hashes an extractor configuration: FNV-1a over the
+// ordered subjects combined with an order-independent XOR over the lexicon
+// entries (map iteration order must not matter).
+func extractorFP(subjects []string, lexicon map[string]pos.Tag) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, s := range subjects {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	var lex uint64
+	for w, t := range lexicon {
+		eh := uint64(offset64)
+		for i := 0; i < len(w); i++ {
+			eh ^= uint64(w[i])
+			eh *= prime64
+		}
+		eh ^= uint64(t) + 1
+		eh *= prime64
+		lex ^= eh
+	}
+	return h ^ lex ^ uint64(len(lexicon))
 }
 
 // sentencePhrases yields each sentence's subject attribution and noun
@@ -59,6 +116,10 @@ type sentencePhrases struct {
 }
 
 func (e *extractor) scan(doc segment.Document) []sentencePhrases {
+	key := doc.Name + "\x00" + doc.DefaultSubject + "\x00" + doc.Text
+	if sps, ok := e.scans.Get(key); ok {
+		return sps
+	}
 	var out []sentencePhrases
 	for _, asg := range e.seg.Segment(doc) {
 		if asg.Subject == "" {
@@ -71,6 +132,7 @@ func (e *extractor) scan(doc segment.Document) []sentencePhrases {
 			Text:    doc.Text[asg.Sentence.Start:asg.Sentence.End],
 		})
 	}
+	e.scans.Put(key, out)
 	return out
 }
 

@@ -20,8 +20,8 @@ func TestBucketBounds(t *testing.T) {
 		{2 * time.Microsecond, 2},
 		{3 * time.Microsecond, 2},
 		{4 * time.Microsecond, 3},
-		{time.Millisecond, 10}, // 1000µs ≤ 1024µs = BucketBound(10)
-		{time.Second, 20},     // 1e6µs ≤ 2^20µs = BucketBound(20)
+		{time.Millisecond, 10},      // 1000µs ≤ 1024µs = BucketBound(10)
+		{time.Second, 20},           // 1e6µs ≤ 2^20µs = BucketBound(20)
 		{time.Hour, NumBuckets - 1}, // overflow
 	}
 	for _, c := range cases {

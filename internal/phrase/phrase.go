@@ -171,6 +171,21 @@ const MaxSubphraseLen = 8
 // adjective fragment like "severe" cannot be an entity on its own.
 func Subphrases(p Phrase) [][]string {
 	var out [][]string
+	for _, s := range AppendSubphraseSpans(nil, p) {
+		out = append(out, p.Words[s.Start:s.End])
+	}
+	return out
+}
+
+// Span is a half-open [Start, End) window into a phrase's Words. Every
+// subphrase is contiguous, so a span identifies it without copying.
+type Span struct{ Start, End int }
+
+// AppendSubphraseSpans appends the spans of p's candidate subphrases to dst
+// (reusing its capacity) in exactly Subphrases order. It exists for hot-path
+// callers that enumerate subphrases per document and want to carry one
+// reusable scratch buffer instead of allocating [][]string each call.
+func AppendSubphraseSpans(dst []Span, p Phrase) []Span {
 	n := len(p.Words)
 	longest := n
 	if longest > MaxSubphraseLen {
@@ -181,14 +196,13 @@ func Subphrases(p Phrase) [][]string {
 			if !p.Nominal(start + length - 1) {
 				continue
 			}
-			sub := p.Words[start : start+length]
-			if allStopwords(sub) {
+			if allStopwords(p.Words[start : start+length]) {
 				continue
 			}
-			out = append(out, sub)
+			dst = append(dst, Span{Start: start, End: start + length})
 		}
 	}
-	return out
+	return dst
 }
 
 func allStopwords(words []string) bool {

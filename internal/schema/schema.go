@@ -183,6 +183,43 @@ func (t *Table) InstanceCount() int {
 	return n
 }
 
+// Fingerprint returns an FNV-1a hash of the table's full content — schema
+// (subject and column order), rows in insertion order, and each row's cells
+// in schema column order. Equal-content tables hash equal regardless of cell
+// map iteration order, so the fingerprint is a stable cache key for work
+// derived from the table, such as fine-tuned matchers.
+func (t *Table) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	write := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		// Separator so ("ab","c") and ("a","bc") hash differently.
+		h ^= 0xff
+		h *= prime64
+	}
+	write(string(t.Schema.Subject))
+	for _, c := range t.Schema.Concepts {
+		write(string(c))
+	}
+	for _, r := range t.Rows {
+		write(r.Subject)
+		for _, c := range t.Schema.Concepts {
+			for _, v := range r.Cells[c] {
+				write(v)
+			}
+			h ^= 0xfe
+			h *= prime64
+		}
+	}
+	return h
+}
+
 // Clone returns a deep copy of the table.
 func (t *Table) Clone() *Table {
 	out := NewTable(t.Schema)

@@ -1,0 +1,78 @@
+package thor
+
+import (
+	"strings"
+
+	"thor/internal/cow"
+	"thor/internal/phrase"
+	"thor/internal/pos"
+	"thor/internal/text"
+)
+
+// parseKey identifies one sentence analysis: a fingerprint of the analysis
+// configuration (tagger lexicon, chunking mode) plus the sentence's token
+// stream. Tagging, parsing and extraction are pure functions of the two.
+type parseKey struct {
+	cfg  uint64
+	sent string
+}
+
+// ParseCache shares deterministic sentence-analysis results — POS tags,
+// dependency parses and the extracted noun phrases — across pipeline runs.
+// A threshold sweep re-reads the same documents once per τ, but the parses
+// do not depend on τ at all; with a shared cache only the first run pays
+// for them. Cached phrase slices are returned to every run: they are
+// immutable by contract. Safe for concurrent use.
+type ParseCache struct {
+	m *cow.Map[parseKey, []phrase.Phrase]
+}
+
+// NewParseCache returns an empty parse cache.
+func NewParseCache() *ParseCache {
+	return &ParseCache{m: cow.New[parseKey, []phrase.Phrase]()}
+}
+
+// Len returns the number of cached sentence analyses.
+func (c *ParseCache) Len() int { return c.m.Len() }
+
+// parseFingerprint content-hashes everything sentence analysis depends on
+// besides the sentence itself: the tagger lexicon (order-independent XOR —
+// map iteration order must not matter) and the chunking mode.
+func parseFingerprint(lexicon map[string]pos.Tag, naiveChunking bool) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	if naiveChunking {
+		h ^= 1
+		h *= prime64
+	}
+	var lex uint64
+	for w, t := range lexicon {
+		eh := uint64(offset64)
+		for i := 0; i < len(w); i++ {
+			eh ^= uint64(w[i])
+			eh *= prime64
+		}
+		eh ^= uint64(t) + 1
+		eh *= prime64
+		lex ^= eh
+	}
+	return h ^ lex ^ uint64(len(lexicon))
+}
+
+// sentenceKey serializes a sentence's token stream. Token texts determine
+// kinds, tags and parses, so the key captures the full analysis input.
+func sentenceKey(s text.Sentence) string {
+	n := 0
+	for i := range s.Tokens {
+		n += len(s.Tokens[i].Text) + 1
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for i := range s.Tokens {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(s.Tokens[i].Text)
+	}
+	return b.String()
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"thor/internal/cow"
 	"thor/internal/dep"
 	"thor/internal/embed"
 	"thor/internal/matcher"
@@ -68,6 +69,21 @@ type Config struct {
 	MinScore float64
 	// Matcher carries advanced matcher options; Tau is copied into it.
 	Matcher matcher.Config
+	// TuneCache, when set, memoizes matcher fine-tuning across pipelines
+	// keyed by (space, table content, matcher config) — see matcher.Cache.
+	// Threshold sweeps over the same knowledge table then share one
+	// fine-tuned matcher instead of re-expanding identical clusters. Results
+	// are identical with or without the cache.
+	TuneCache *matcher.Cache
+	// ParseCache, when set, shares sentence analysis — POS tagging,
+	// dependency parsing, noun-phrase extraction — across pipelines. The
+	// analysis is a pure function of the sentence tokens, the tagger lexicon
+	// and the chunking mode, all of which are part of the cache key, so one
+	// cache may serve differently configured runs. Results are identical
+	// with or without the cache; only the stage accounting shifts (a cache
+	// hit records the lookup under phrase_extract and skips the pos_tag /
+	// dep_parse observations).
+	ParseCache *ParseCache
 	// UseSemantic/UseJaccard/UseGestalt select the refinement scores that
 	// participate in the combined score. All false means all three (the
 	// paper's configuration). Used by the ablation benchmarks.
@@ -184,6 +200,15 @@ type Pipeline struct {
 	prepDur time.Duration
 	tuneDur time.Duration
 	ins     instruments
+	// refine memoizes the three syntactic-refinement similarities per
+	// (phrase, matched seed) pair. The same pairs recur across sentences and
+	// documents, and all three scores are pure functions of the pair, so the
+	// read-mostly map turns the refinement stage into a lookup.
+	refine *cow.Map[[2]string, [3]float64]
+	// parse is the optional shared sentence-analysis cache (cfg.ParseCache)
+	// and parseFP the pipeline's analysis-configuration fingerprint.
+	parse   *ParseCache
+	parseFP uint64
 }
 
 // New prepares a pipeline for the given integrated table: it fine-tunes the
@@ -209,7 +234,13 @@ func New(table *schema.Table, space *embed.Space, cfg Config) (*Pipeline, error)
 	mcfg.IncludeSubject = true
 	sp := cfg.Tracer.StartSpan("finetune")
 	tuneStart := time.Now()
-	m, err := matcher.FineTune(space, knowledge, mcfg)
+	var m *matcher.Matcher
+	var err error
+	if cfg.TuneCache != nil {
+		m, err = cfg.TuneCache.FineTune(space, knowledge, mcfg)
+	} else {
+		m, err = matcher.FineTune(space, knowledge, mcfg)
+	}
 	tuneDur := time.Since(tuneStart)
 	sp.End()
 	if err != nil {
@@ -229,6 +260,11 @@ func New(table *schema.Table, space *embed.Space, cfg Config) (*Pipeline, error)
 		prepDur: time.Since(start),
 		tuneDur: tuneDur,
 		ins:     newInstruments(cfg.Metrics),
+		refine:  cow.New[[2]string, [3]float64](),
+		parse:   cfg.ParseCache,
+	}
+	if p.parse != nil {
+		p.parseFP = parseFingerprint(cfg.Lexicon, cfg.NaiveChunking)
 	}
 	// The fine-tune histogram observes once per pipeline; Run seeds its
 	// Stats.Stages row from tuneDur instead of re-observing.
@@ -274,8 +310,11 @@ func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// Each worker carries its own match context so Match's
+				// scratch space is reused without contention.
+				mctx := p.match.NewContext()
 				for i := range jobs {
-					outcomes[i], errs[i] = p.extractDocSafe(docs[i])
+					outcomes[i], errs[i] = p.extractDocSafe(docs[i], mctx)
 				}
 			}()
 		}
@@ -285,8 +324,9 @@ func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
 		close(jobs)
 		wg.Wait()
 	} else {
+		mctx := p.match.NewContext()
 		for i := range docs {
-			outcomes[i], errs[i] = p.extractDocSafe(docs[i])
+			outcomes[i], errs[i] = p.extractDocSafe(docs[i], mctx)
 		}
 	}
 	for _, err := range errs {
@@ -350,7 +390,7 @@ func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
 // extractDocSafe runs extractDoc with panic recovery: a panicking stage or
 // Validator surfaces as an error from Run instead of crashing the worker
 // pool with a confusing goroutine stack.
-func (p *Pipeline) extractDocSafe(doc segment.Document) (out *docOutcome, err error) {
+func (p *Pipeline) extractDocSafe(doc segment.Document, mctx *matcher.MatchContext) (out *docOutcome, err error) {
 	sp := p.cfg.Tracer.StartSpan("doc", obs.String("doc", doc.Name))
 	defer sp.End()
 	defer func() {
@@ -359,12 +399,12 @@ func (p *Pipeline) extractDocSafe(doc segment.Document) (out *docOutcome, err er
 			err = fmt.Errorf("thor: document %q: extraction panicked: %v\n%s", doc.Name, r, debug.Stack())
 		}
 	}()
-	return p.extractDoc(doc), nil
+	return p.extractDoc(doc, mctx), nil
 }
 
 // extractDoc runs segmentation plus lines 6–15 of Algorithm 1 over one
 // document.
-func (p *Pipeline) extractDoc(doc segment.Document) *docOutcome {
+func (p *Pipeline) extractDoc(doc segment.Document, mctx *matcher.MatchContext) *docOutcome {
 	out := &docOutcome{}
 	semW, jacW, gesW := p.cfg.scoreWeights()
 	t0 := time.Now()
@@ -382,7 +422,7 @@ func (p *Pipeline) extractDoc(doc segment.Document) *docOutcome {
 		p.ins.phrases.Add(int64(len(phrases)))
 		for _, ph := range phrases {
 			t0 = time.Now()
-			cands := p.match.Match(ph)
+			cands := mctx.Match(ph)
 			p.observe(&out.stages, idxMatch, time.Since(t0))
 			out.candidates += len(cands)
 			p.ins.candidates.Add(int64(len(cands)))
@@ -397,9 +437,7 @@ func (p *Pipeline) extractDoc(doc segment.Document) *docOutcome {
 					Concept: c.Concept,
 					Matched: c.Matched,
 				}
-				e.ScoreS = p.match.Similarity(c.Phrase, c.Matched)
-				e.ScoreW = strsim.Jaccard(c.Phrase, c.Matched)
-				e.ScoreC = strsim.Gestalt(c.Phrase, c.Matched)
+				e.ScoreS, e.ScoreW, e.ScoreC = p.refineScores(c.Phrase, c.Matched)
 				e.Score = combine(e, semW, jacW, gesW)
 				if !found || e.Score > best.Score {
 					best, found = e, true
@@ -416,6 +454,23 @@ func (p *Pipeline) extractDoc(doc segment.Document) *docOutcome {
 	return out
 }
 
+// refineScores returns the semantic, Jaccard and Gestalt similarities of a
+// (phrase, matched seed) pair, memoized — all three are pure functions of
+// the pair.
+func (p *Pipeline) refineScores(phrase, matched string) (s, w, c float64) {
+	key := [2]string{phrase, matched}
+	if sc, ok := p.refine.Get(key); ok {
+		return sc[0], sc[1], sc[2]
+	}
+	sc := [3]float64{
+		p.match.Similarity(phrase, matched),
+		strsim.Jaccard(phrase, matched),
+		strsim.Gestalt(phrase, matched),
+	}
+	p.refine.Put(key, sc)
+	return sc[0], sc[1], sc[2]
+}
+
 // observe records one stage call into the per-document accumulator and,
 // when a registry is configured, into its latency histogram. With no
 // registry the histogram pointer is nil and Observe is a guarded no-op, so
@@ -426,10 +481,29 @@ func (p *Pipeline) observe(acc *stageAcc, i int, d time.Duration) {
 	p.ins.stageHist[i].Observe(d)
 }
 
-// phrases produces the candidate noun phrases of a sentence, via the
+// phrases produces the candidate noun phrases of a sentence, consulting the
+// shared parse cache when one is configured. A hit books the lookup under
+// the phrase-extract stage; a miss runs the full analysis (observing every
+// stage as usual) and publishes the result.
+func (p *Pipeline) phrases(asg segment.Assignment, acc *stageAcc) []phrase.Phrase {
+	if p.parse == nil {
+		return p.analyze(asg, acc)
+	}
+	t0 := time.Now()
+	key := parseKey{cfg: p.parseFP, sent: sentenceKey(asg.Sentence)}
+	if phs, ok := p.parse.m.Get(key); ok {
+		p.observe(acc, idxPhraseExtract, time.Since(t0))
+		return phs
+	}
+	phs := p.analyze(asg, acc)
+	p.parse.m.Put(key, phs)
+	return phs
+}
+
+// analyze produces the candidate noun phrases of a sentence, via the
 // dependency parse (default) or naive n-gram chunking (ablation), recording
 // the POS-tag, parse and extraction stage costs.
-func (p *Pipeline) phrases(asg segment.Assignment, acc *stageAcc) []phrase.Phrase {
+func (p *Pipeline) analyze(asg segment.Assignment, acc *stageAcc) []phrase.Phrase {
 	if p.cfg.NaiveChunking {
 		t0 := time.Now()
 		out := naiveChunks(asg)

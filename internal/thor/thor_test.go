@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"thor/internal/embed"
+	"thor/internal/matcher"
 	"thor/internal/schema"
 	"thor/internal/segment"
 )
@@ -278,6 +279,58 @@ func TestPipelineParallelMatchesSequential(t *testing.T) {
 	}
 	if seq.Stats.Entities != par.Stats.Entities || seq.Stats.Filled != par.Stats.Filled {
 		t.Errorf("stats differ: %+v vs %+v", seq.Stats, par.Stats)
+	}
+}
+
+// TestPipelineCachedPathsMatchUncached extends the parallel-determinism
+// property to the cached fine-tune and parse paths: a τ sweep sharing one
+// matcher cache and one parse cache — sequentially and under a parallel
+// worker pool, with the caches warm and cold — must produce exactly the
+// entities of an uncached sequential run at every threshold.
+func TestPipelineCachedPathsMatchUncached(t *testing.T) {
+	table, space := fig1Table(), fig1Space()
+	var docs []segment.Document
+	for i := 0; i < 8; i++ {
+		docs = append(docs, fig1Docs()[0])
+		docs[i].Name = fmt.Sprintf("doc-%d", i)
+	}
+	tune := matcher.NewCache()
+	parse := NewParseCache()
+	for _, tau := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		plain, err := Run(table, space, docs, Config{Tau: tau})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := plain.AllEntities()
+		for _, workers := range []int{0, 4} {
+			// Two rounds per configuration: the first may fill the shared
+			// caches, the second always hits them.
+			for round := 0; round < 2; round++ {
+				res, err := Run(table, space, docs, Config{
+					Tau:        tau,
+					Workers:    workers,
+					TuneCache:  tune,
+					ParseCache: parse,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := res.AllEntities()
+				if len(got) != len(want) {
+					t.Fatalf("τ=%.1f workers=%d round=%d: %d entities, uncached %d",
+						tau, workers, round, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("τ=%.1f workers=%d round=%d: entity %d differs: %+v vs %+v",
+							tau, workers, round, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+	if parse.Len() == 0 {
+		t.Error("parse cache never populated")
 	}
 }
 
