@@ -12,9 +12,17 @@
 // from the table's own instances plus subword hashing, so the command works
 // out of the box; programmatic users can supply richer spaces via the
 // library API.
+//
+// Robustness flags: -timeout bounds the whole run (a partial result is still
+// written), and -max-doc-failures sets the fraction of documents that may be
+// quarantined before the run aborts. Exit codes: 0 success, 1 fatal error or
+// aborted/cancelled run, 2 usage error, 3 run completed but quarantined at
+// least one document (outputs are written).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +39,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code, so deferred cleanup (trace.Stop, the debug
+// server, output files) still executes on the non-zero paths.
+func run() int {
 	var (
 		tablePath = flag.String("table", "", "path to the integrated table (.json or .csv)")
 		docsDir   = flag.String("docs", "", "directory of .txt documents")
@@ -43,14 +57,33 @@ func main() {
 		workers   = flag.Int("workers", 1, "documents processed concurrently")
 		verbose   = flag.Bool("v", false, "print extracted entities")
 
+		timeout     = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); a partial result is still written")
+		maxFailures = flag.Float64("max-doc-failures", 0, "fraction of documents in [0,1] that may fail before the run aborts (0 = abort on first failure)")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve /debug/vars, /debug/pprof/* and /debug/thor/* on this address")
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot (counters + stage histograms) to this file")
 		traceOut    = flag.String("trace-out", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+	// Validate everything up front: a bad flag should fail in milliseconds
+	// with a usage message, not after minutes of extraction.
 	if *tablePath == "" || *docsDir == "" {
-		flag.Usage()
-		os.Exit(2)
+		usageErr("-table and -docs are required")
+	}
+	if *tau < 0 || *tau > 1 {
+		usageErr(fmt.Sprintf("-tau %v is outside [0,1]", *tau))
+	}
+	if *workers < 0 {
+		usageErr(fmt.Sprintf("-workers %d is negative", *workers))
+	}
+	if *maxFailures < 0 || *maxFailures > 1 {
+		usageErr(fmt.Sprintf("-max-doc-failures %v is outside [0,1]", *maxFailures))
+	}
+	if *timeout < 0 {
+		usageErr(fmt.Sprintf("-timeout %v is negative", *timeout))
+	}
+	if strings.EqualFold(filepath.Ext(*tablePath), ".csv") && *subject == "" {
+		usageErr("CSV tables need -subject <concept> to name the subject column")
 	}
 
 	reg := obs.NewRegistry()
@@ -101,14 +134,39 @@ func main() {
 			fatal(err)
 		}
 	}
-	res, err := thor.Run(table, space, docs, thor.Config{
-		Tau:     *tau,
-		Workers: *workers,
-		Metrics: reg,
-		Tracer:  tracer,
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, runErr := thor.RunContext(ctx, table, space, docs, thor.Config{
+		Tau:                *tau,
+		Workers:            *workers,
+		MaxFailureFraction: *maxFailures,
+		Metrics:            reg,
+		Tracer:             tracer,
 	})
-	if err != nil {
-		fatal(err)
+	if runErr != nil && res == nil {
+		fatal(runErr)
+	}
+	// An aborted or cancelled run still carries a well-formed partial
+	// result; report what happened, write everything we have, exit 1.
+	for _, f := range res.Stats.Quarantined {
+		fmt.Fprintf(os.Stderr, "thor: quarantined %s\n", f.String())
+	}
+	if runErr != nil {
+		var aborted *thor.RunAbortedError
+		switch {
+		case errors.As(runErr, &aborted):
+			fmt.Fprintf(os.Stderr, "thor: %v\n", runErr)
+		case errors.Is(runErr, context.DeadlineExceeded):
+			fmt.Fprintf(os.Stderr, "thor: run hit the -timeout %v deadline: %v\n", *timeout, runErr)
+		default:
+			fmt.Fprintf(os.Stderr, "thor: %v\n", runErr)
+		}
+		fmt.Fprintf(os.Stderr, "thor: partial result: %d of %d documents completed\n",
+			len(res.Stats.CompletedDocs), res.Stats.Documents)
 	}
 	if *metricsJSON != "" {
 		f, err := os.Create(*metricsJSON)
@@ -163,6 +221,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	switch {
+	case runErr != nil:
+		return 1 // aborted or cancelled (partial outputs were written)
+	case len(res.Stats.Quarantined) > 0:
+		return 3 // completed, but some documents were quarantined
+	}
+	return 0
+}
+
+func usageErr(msg string) {
+	fmt.Fprintln(os.Stderr, "thor:", msg)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func loadTable(path string, subject schema.Concept) (*schema.Table, error) {

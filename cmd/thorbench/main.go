@@ -13,6 +13,12 @@
 //	thorbench -metrics-addr :6060        # /debug/vars, /debug/pprof/*, /debug/thor/spans
 //	thorbench -exp 1 -metrics-json m.json# write the per-stage metrics snapshot
 //	thorbench -trace-out run.trace       # runtime execution trace (go tool trace)
+//
+// Chaos mode runs both datasets under deterministic fault injection and
+// verifies the isolation invariant (healthy documents bit-identical to a
+// clean run); non-zero exit if it is violated:
+//
+//	thorbench -chaos -chaos-seed 42 -chaos-error-rate 0.03 -chaos-panic-rate 0.01
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 	"os"
 	"runtime/trace"
 
+	"thor/internal/chaos"
+	"thor/internal/datagen"
 	"thor/internal/experiments"
 	"thor/internal/obs"
 )
@@ -31,7 +39,17 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /debug/vars, /debug/pprof/* and /debug/thor/* on this address")
 	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot (counters + stage histograms) to this file")
 	traceOut := flag.String("trace-out", "", "write a runtime execution trace to this file")
+
+	chaosMode := flag.Bool("chaos", false, "run the chaos fault-injection suite instead of the experiments")
+	chaosSeed := flag.Uint64("chaos-seed", 42, "fault-injection seed (replays the exact schedule)")
+	chaosErrRate := flag.Float64("chaos-error-rate", 0.03, "per-site injected error probability")
+	chaosPanicRate := flag.Float64("chaos-panic-rate", 0.01, "per-site injected panic probability")
 	flag.Parse()
+
+	if *chaosMode {
+		runChaos(*chaosSeed, *chaosErrRate, *chaosPanicRate)
+		return
+	}
 
 	// The registry and tracer are threaded through every pipeline run the
 	// experiments perform; the span capacity covers a full 3-experiment
@@ -102,6 +120,37 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "thorbench: metrics snapshot written to %s\n", *metricsJSON)
+	}
+}
+
+// runChaos drives both synthetic datasets through the pipeline under fault
+// injection and exits non-zero if any quarantined document perturbed the
+// results of the healthy ones.
+func runChaos(seed uint64, errRate, panicRate float64) {
+	if errRate < 0 || errRate > 1 || panicRate < 0 || panicRate > 1 {
+		fmt.Fprintln(os.Stderr, "thorbench: chaos rates must be in [0,1]")
+		os.Exit(2)
+	}
+	cfg := chaos.Config{
+		Seed:              seed,
+		ErrorRate:         errRate,
+		TransientFraction: 0.5,
+		PanicRate:         panicRate,
+		LatencyRate:       0.02,
+		TruncateRate:      0.05,
+		CorruptRate:       0.05,
+	}
+	violated := false
+	for _, ds := range []*datagen.Dataset{experiments.DiseaseDataset(), experiments.ResumeDataset()} {
+		rep := experiments.RunChaos(ds, cfg)
+		fmt.Println(rep)
+		if !rep.HealthyIdentical {
+			violated = true
+		}
+	}
+	if violated {
+		fmt.Fprintln(os.Stderr, "thorbench: fault isolation violated; re-run with -chaos-seed", seed, "to replay")
+		os.Exit(1)
 	}
 }
 

@@ -4,8 +4,6 @@
 // patterns, and all their occurrences in a document are reported in one pass.
 package ahocorasick
 
-import "strings"
-
 // Match is a single pattern occurrence in the searched text.
 type Match struct {
 	// Pattern is the index of the matched pattern, in insertion order.
@@ -28,8 +26,9 @@ type Automaton struct {
 }
 
 // NewAutomaton builds the automaton for the given patterns. Matching is
-// case-insensitive (patterns and text are lowered). Empty patterns are
-// ignored but keep their index so Match.Pattern remains meaningful.
+// case-insensitive for ASCII letters (patterns and text are lowered with
+// lowerASCII). Empty patterns are ignored but keep their index so
+// Match.Pattern remains meaningful.
 func NewAutomaton(patterns []string) *Automaton {
 	a := &Automaton{
 		nodes:    []node{{next: map[byte]int32{}}},
@@ -37,7 +36,7 @@ func NewAutomaton(patterns []string) *Automaton {
 	}
 	for i, p := range patterns {
 		a.patterns[i] = p
-		lp := strings.ToLower(p)
+		lp := lowerASCII(p)
 		if lp == "" {
 			continue
 		}
@@ -45,6 +44,31 @@ func NewAutomaton(patterns []string) *Automaton {
 	}
 	a.buildFailureLinks()
 	return a
+}
+
+// lowerASCII lowercases ASCII letters only, byte for byte. Full Unicode
+// case folding can change byte lengths ('K' U+212A → 'k', 'İ' U+0130 →
+// "i̇"), which desynchronizes match offsets computed in the lowered text
+// from the original and yields spans that slice mid-rune or past the end
+// (found by FuzzAutomaton). Byte-preserving folding keeps every offset
+// valid in both; non-ASCII letters simply match case-sensitively.
+func lowerASCII(s string) string {
+	i := 0
+	for ; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			break
+		}
+	}
+	if i == len(s) {
+		return s
+	}
+	b := []byte(s)
+	for ; i < len(b); i++ {
+		if c := b[i]; c >= 'A' && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+	}
+	return string(b)
 }
 
 func (a *Automaton) insert(pattern string, id int32) {
@@ -96,9 +120,9 @@ func (a *Automaton) buildFailureLinks() {
 }
 
 // FindAll returns every occurrence of every pattern in text, in order of
-// match end position. Matching is case-insensitive.
+// match end position. Matching is ASCII-case-insensitive.
 func (a *Automaton) FindAll(text string) []Match {
-	lower := strings.ToLower(text)
+	lower := lowerASCII(text)
 	var out []Match
 	cur := int32(0)
 	for i := 0; i < len(lower); i++ {
@@ -114,10 +138,10 @@ func (a *Automaton) FindAll(text string) []Match {
 			cur = a.nodes[cur].fail
 		}
 		for _, pid := range a.nodes[cur].outputs {
+			// lowerASCII preserves byte length, so the lowered pattern's
+			// length is the matched span length and every offset computed
+			// in lower is valid in text.
 			plen := len(a.patterns[pid])
-			// Patterns were lowered for insertion; ToLower of ASCII keeps
-			// byte length, and the datasets are ASCII, so plen is the
-			// matched span length.
 			out = append(out, Match{Pattern: int(pid), Start: i + 1 - plen, End: i + 1})
 		}
 	}

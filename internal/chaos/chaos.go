@@ -1,0 +1,240 @@
+// Package chaos is THOR's deterministic fault-injection harness: a
+// seed-driven injector that perturbs document sources (truncation, byte
+// corruption) and pipeline stage boundaries (errors, panics, latency) on a
+// reproducible schedule, plus a context-aware retry helper with capped
+// exponential backoff (see retry.go).
+//
+// Every decision the injector makes is a pure function of (seed, site,
+// call sequence number), where a site is a (document, stage) pair. Two runs
+// with the same seed over the same document set therefore inject exactly the
+// same faults, which is what makes chaos test failures reproducible: re-run
+// with the printed seed and the schedule replays bit-for-bit.
+//
+// The injector plugs into the pipeline through thor.Config.FaultHook:
+//
+//	inj := chaos.New(chaos.Config{Seed: 42, ErrorRate: 0.05})
+//	cfg.FaultHook = func(doc string, stage thor.Stage) error {
+//		return inj.Fault(doc, string(stage))
+//	}
+//	docs = inj.WrapDocs(docs)
+//
+// The package deliberately has no dependency on the pipeline: stages are
+// plain strings, so it can wrap any staged computation.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"thor/internal/segment"
+)
+
+// Config selects the fault classes and their rates. All rates are
+// probabilities in [0,1]; zero disables the class. The zero Config injects
+// nothing.
+type Config struct {
+	// Seed drives every injection decision. Equal seeds over equal call
+	// sequences replay identical fault schedules.
+	Seed uint64
+	// ErrorRate is the per-site probability of returning an injected error
+	// from Fault.
+	ErrorRate float64
+	// TransientFraction is the fraction of injected errors wrapped in
+	// TransientError (retryable); the rest are permanent.
+	TransientFraction float64
+	// PanicRate is the per-site probability that Fault panics.
+	PanicRate float64
+	// LatencyRate is the per-site probability that Fault sleeps before
+	// returning; the sleep is uniform in [0, MaxLatency).
+	LatencyRate float64
+	// MaxLatency bounds an injected sleep (default 2ms).
+	MaxLatency time.Duration
+	// TruncateRate is the per-document probability that WrapDocs cuts the
+	// text at a seed-chosen byte offset — possibly mid-rune, which is the
+	// point: downstream parsers must survive invalid UTF-8.
+	TruncateRate float64
+	// CorruptRate is the per-document probability that WrapDocs overwrites
+	// CorruptBytes seed-chosen bytes with seed-chosen values.
+	CorruptRate float64
+	// CorruptBytes is how many bytes a corrupted document has overwritten
+	// (default 8).
+	CorruptBytes int
+}
+
+func (c Config) maxLatency() time.Duration {
+	if c.MaxLatency <= 0 {
+		return 2 * time.Millisecond
+	}
+	return c.MaxLatency
+}
+
+func (c Config) corruptBytes() int {
+	if c.CorruptBytes <= 0 {
+		return 8
+	}
+	return c.CorruptBytes
+}
+
+// Stats counts the faults an injector has delivered.
+type Stats struct {
+	Errors    int // injected errors (Transient included)
+	Transient int // injected errors that were marked transient
+	Panics    int // injected panics
+	Sleeps    int // injected latency events
+	Truncated int // documents truncated by WrapDocs
+	Corrupted int // documents byte-corrupted by WrapDocs
+}
+
+// Injector delivers faults on a deterministic schedule. Safe for concurrent
+// use; a nil *Injector injects nothing.
+type Injector struct {
+	cfg   Config
+	mu    sync.Mutex
+	calls map[string]uint64
+	stats Stats
+}
+
+// New builds an injector for the given configuration.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, calls: make(map[string]uint64)}
+}
+
+// Stats returns a snapshot of the delivered-fault counts.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Fault is the stage-boundary hook: called with a document identifier and a
+// stage name, it may sleep, panic, or return an error according to the
+// schedule. Each (doc, stage) site keeps its own call counter, so retried
+// documents draw fresh decisions on every attempt while identical runs
+// replay identically.
+func (in *Injector) Fault(doc, stage string) error {
+	if in == nil {
+		return nil
+	}
+	site := doc + "\x00" + stage
+	in.mu.Lock()
+	seq := in.calls[site]
+	in.calls[site] = seq + 1
+	in.mu.Unlock()
+
+	if in.cfg.LatencyRate > 0 && in.roll(site, seq, saltLatency) < in.cfg.LatencyRate {
+		in.count(func(s *Stats) { s.Sleeps++ })
+		time.Sleep(time.Duration(in.roll(site, seq, saltLatencyAmt) * float64(in.cfg.maxLatency())))
+	}
+	if in.cfg.PanicRate > 0 && in.roll(site, seq, saltPanic) < in.cfg.PanicRate {
+		in.count(func(s *Stats) { s.Panics++ })
+		panic(fmt.Sprintf("chaos: injected panic at %s/%s (call %d, seed %d)", doc, stage, seq, in.cfg.Seed))
+	}
+	if in.cfg.ErrorRate > 0 && in.roll(site, seq, saltError) < in.cfg.ErrorRate {
+		err := fmt.Errorf("chaos: injected fault at %s/%s (call %d, seed %d)", doc, stage, seq, in.cfg.Seed)
+		if in.roll(site, seq, saltTransient) < in.cfg.TransientFraction {
+			in.count(func(s *Stats) { s.Errors++; s.Transient++ })
+			return &TransientError{Err: err}
+		}
+		in.count(func(s *Stats) { s.Errors++ })
+		return err
+	}
+	return nil
+}
+
+// WrapDocs returns a copy of docs with the schedule's truncation and byte
+// corruption applied. The input slice and its documents are not modified.
+func (in *Injector) WrapDocs(docs []segment.Document) []segment.Document {
+	out := make([]segment.Document, len(docs))
+	copy(out, docs)
+	if in == nil {
+		return out
+	}
+	for i := range out {
+		d := &out[i]
+		site := "source\x00" + d.Name
+		if n := len(d.Text); n > 0 && in.cfg.TruncateRate > 0 &&
+			in.roll(site, 0, saltTruncate) < in.cfg.TruncateRate {
+			cut := int(in.roll(site, 0, saltTruncateAt) * float64(n))
+			d.Text = d.Text[:cut]
+			in.count(func(s *Stats) { s.Truncated++ })
+		}
+		if n := len(d.Text); n > 0 && in.cfg.CorruptRate > 0 &&
+			in.roll(site, 0, saltCorrupt) < in.cfg.CorruptRate {
+			b := []byte(d.Text)
+			for k := 0; k < in.cfg.corruptBytes(); k++ {
+				pos := int(in.roll(site, uint64(k), saltCorruptAt) * float64(len(b)))
+				b[pos] = byte(in.roll(site, uint64(k), saltCorruptVal) * 256)
+			}
+			d.Text = string(b)
+			in.count(func(s *Stats) { s.Corrupted++ })
+		}
+	}
+	return out
+}
+
+func (in *Injector) count(f func(*Stats)) {
+	in.mu.Lock()
+	f(&in.stats)
+	in.mu.Unlock()
+}
+
+// Salt constants separate the decision streams so, e.g., the panic draw for
+// a site is independent of its error draw.
+const (
+	saltLatency = iota + 1
+	saltLatencyAmt
+	saltPanic
+	saltError
+	saltTransient
+	saltTruncate
+	saltTruncateAt
+	saltCorrupt
+	saltCorruptAt
+	saltCorruptVal
+)
+
+// roll draws a deterministic uniform float64 in [0,1) for a (site, seq,
+// salt) triple.
+func (in *Injector) roll(site string, seq, salt uint64) float64 {
+	h := in.cfg.Seed ^ 0x9e3779b97f4a7c15
+	for i := 0; i < len(site); i++ {
+		h = (h ^ uint64(site[i])) * 1099511628211
+	}
+	h ^= seq * 0xbf58476d1ce4e5b9
+	h ^= salt * 0x94d049bb133111eb
+	return float64(splitmix64(h)>>11) / (1 << 53)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// TransientError marks an injected (or real) fault as retryable. Retry and
+// IsTransient recognize it, including through fmt.Errorf("%w") wrapping.
+type TransientError struct{ Err error }
+
+// Error implements error.
+func (e *TransientError) Error() string { return e.Err.Error() + " (transient)" }
+
+// Unwrap exposes the underlying fault.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient reports that the fault is retryable.
+func (e *TransientError) Transient() bool { return true }
+
+// IsTransient reports whether any error in err's chain declares itself
+// transient via a `Transient() bool` method. Callers outside this package
+// can mark their own error types transient the same way without importing
+// chaos.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}

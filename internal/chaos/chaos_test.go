@@ -1,0 +1,286 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"thor/internal/segment"
+)
+
+// schedule replays an injector over a fixed call sequence and records what
+// happened at each step.
+func schedule(in *Injector, docs, stages, calls int) []string {
+	var out []string
+	for c := 0; c < calls; c++ {
+		for d := 0; d < docs; d++ {
+			for s := 0; s < stages; s++ {
+				ev := func() (ev string) {
+					defer func() {
+						if r := recover(); r != nil {
+							ev = "panic"
+						}
+					}()
+					err := in.Fault(fmt.Sprintf("doc-%d", d), fmt.Sprintf("stage-%d", s))
+					switch {
+					case err == nil:
+						return "ok"
+					case IsTransient(err):
+						return "transient"
+					default:
+						return "error"
+					}
+				}()
+				out = append(out, ev)
+			}
+		}
+	}
+	return out
+}
+
+func TestInjectorDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 99, ErrorRate: 0.2, TransientFraction: 0.5, PanicRate: 0.1}
+	a := schedule(New(cfg), 10, 6, 3)
+	b := schedule(New(cfg), 10, 6, 3)
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	faults := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at call %d: %q vs %q", i, a[i], b[i])
+		}
+		if a[i] != "ok" {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("rates 0.2/0.1 over 180 calls injected nothing — schedule generator broken")
+	}
+	// A different seed must produce a different schedule (astronomically
+	// unlikely to collide over 180 draws at these rates).
+	c := schedule(New(Config{Seed: 100, ErrorRate: 0.2, TransientFraction: 0.5, PanicRate: 0.1}), 10, 6, 3)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 99 and 100 produced identical fault schedules")
+	}
+}
+
+func TestFaultPerSiteCallCounter(t *testing.T) {
+	// Retried attempts must draw fresh decisions: with ErrorRate 0.5 the
+	// same site cannot return the same outcome 64 times in a row unless the
+	// sequence number were ignored.
+	in := New(Config{Seed: 7, ErrorRate: 0.5})
+	first := in.Fault("d", "s") != nil
+	varied := false
+	for i := 0; i < 63; i++ {
+		if (in.Fault("d", "s") != nil) != first {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Error("64 calls at the same site all rolled the same outcome; per-site sequence counter not advancing")
+	}
+}
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if err := in.Fault("d", "s"); err != nil {
+		t.Errorf("nil injector returned %v", err)
+	}
+	docs := in.WrapDocs([]segment.Document{{Name: "a", Text: "hello"}})
+	if len(docs) != 1 || docs[0].Text != "hello" {
+		t.Errorf("nil injector perturbed documents: %+v", docs)
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Errorf("nil injector has stats %+v", s)
+	}
+}
+
+func TestWrapDocsDeterministicAndBounded(t *testing.T) {
+	orig := make([]segment.Document, 40)
+	for i := range orig {
+		orig[i] = segment.Document{
+			Name: fmt.Sprintf("doc-%d", i),
+			Text: strings.Repeat("Tuberculosis damages the lungs. ", 4),
+		}
+	}
+	cfg := Config{Seed: 5, TruncateRate: 0.5, CorruptRate: 0.5, CorruptBytes: 4}
+	a := New(cfg).WrapDocs(orig)
+	b := New(cfg).WrapDocs(orig)
+	if len(a) != len(orig) {
+		t.Fatalf("WrapDocs changed document count: %d", len(a))
+	}
+	changed := 0
+	for i := range a {
+		if a[i].Text != b[i].Text {
+			t.Fatalf("doc %d: WrapDocs not deterministic", i)
+		}
+		if len(a[i].Text) > len(orig[i].Text) {
+			t.Errorf("doc %d grew from %d to %d bytes", i, len(orig[i].Text), len(a[i].Text))
+		}
+		if a[i].Text != orig[i].Text {
+			changed++
+		}
+		// Copy semantics: the input slice must be untouched.
+		if orig[i].Text != strings.Repeat("Tuberculosis damages the lungs. ", 4) {
+			t.Fatalf("doc %d: WrapDocs mutated its input", i)
+		}
+	}
+	if changed == 0 {
+		t.Error("rates 0.5/0.5 over 40 docs perturbed nothing")
+	}
+	st := New(cfg)
+	st.WrapDocs(orig)
+	stats := st.Stats()
+	if stats.Truncated+stats.Corrupted == 0 {
+		t.Errorf("stats did not record perturbations: %+v", stats)
+	}
+}
+
+func TestIsTransientThroughWrapping(t *testing.T) {
+	base := &TransientError{Err: errors.New("flaky")}
+	if !IsTransient(base) {
+		t.Error("TransientError not classified transient")
+	}
+	wrapped := fmt.Errorf("stage segment: %w", base)
+	if !IsTransient(wrapped) {
+		t.Error("transient classification lost through fmt.Errorf wrapping")
+	}
+	if IsTransient(errors.New("permanent")) {
+		t.Error("plain error classified transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil error classified transient")
+	}
+	if !errors.Is(wrapped, base.Err) {
+		t.Error("TransientError.Unwrap does not expose the underlying fault")
+	}
+}
+
+func TestRetryTransientUntilSuccess(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), Backoff{Attempts: 5, Base: time.Microsecond, Cap: 10 * time.Microsecond}, "k",
+		func(attempt int) error {
+			if attempt != calls {
+				t.Errorf("op attempt %d on call %d", attempt, calls)
+			}
+			calls++
+			if calls < 3 {
+				return &TransientError{Err: errors.New("try again")}
+			}
+			return nil
+		})
+	if err != nil || calls != 3 {
+		t.Errorf("err=%v calls=%d, want success on 3rd attempt", err, calls)
+	}
+}
+
+func TestRetryPermanentImmediate(t *testing.T) {
+	calls := 0
+	want := errors.New("permanent")
+	err := Retry(context.Background(), Backoff{Attempts: 5, Base: time.Microsecond}, "k",
+		func(int) error { calls++; return want })
+	if !errors.Is(err, want) || calls != 1 {
+		t.Errorf("err=%v calls=%d, want the permanent error after 1 call", err, calls)
+	}
+}
+
+func TestRetryAttemptsExhausted(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), Backoff{Attempts: 3, Base: time.Microsecond, Cap: 10 * time.Microsecond}, "k",
+		func(int) error { calls++; return &TransientError{Err: fmt.Errorf("fail %d", calls)} })
+	if calls != 3 {
+		t.Errorf("calls = %d, want exactly Attempts=3", calls)
+	}
+	if err == nil || !strings.Contains(err.Error(), "fail 3") {
+		t.Errorf("err = %v, want the last attempt's error", err)
+	}
+}
+
+func TestRetryZeroBackoffSingleAttempt(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), Backoff{}, "k",
+		func(int) error { calls++; return &TransientError{Err: errors.New("x")} })
+	if calls != 1 || err == nil {
+		t.Errorf("zero Backoff: calls=%d err=%v, want one attempt returning its error", calls, err)
+	}
+}
+
+func TestRetryCancelledDuringBackoffIsPrompt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	start := time.Now()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Retry(ctx, Backoff{Attempts: 10, Base: time.Hour, Cap: time.Hour}, "k",
+			func(int) error { calls++; return &TransientError{Err: errors.New("x")} })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Retry did not return promptly after cancel during an hour-long backoff")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled retry took %v", elapsed)
+	}
+	if calls != 1 {
+		t.Errorf("op called %d times, want 1 (cancel landed during the first backoff)", calls)
+	}
+}
+
+func TestDelayWithinEnvelope(t *testing.T) {
+	b := Backoff{Attempts: 8, Base: time.Millisecond, Cap: 20 * time.Millisecond, Seed: 3}
+	for attempt := 0; attempt < 70; attempt++ {
+		d := b.Delay("key", attempt)
+		if d < 0 || d >= 20*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v outside [0, Cap)", attempt, d)
+		}
+		if d != b.Delay("key", attempt) {
+			t.Fatalf("attempt %d: Delay not deterministic", attempt)
+		}
+	}
+	// Early attempts are bounded by the exponential envelope, not just Cap.
+	if d := b.Delay("key", 0); d >= time.Millisecond {
+		t.Errorf("attempt 0 delay %v exceeds Base envelope", d)
+	}
+}
+
+func TestFaultStatsAccounting(t *testing.T) {
+	in := New(Config{Seed: 11, ErrorRate: 0.5, TransientFraction: 0.5, PanicRate: 0.2, LatencyRate: 0.3, MaxLatency: time.Microsecond})
+	events := schedule(in, 8, 6, 2)
+	var errs, panics int
+	for _, ev := range events {
+		switch ev {
+		case "error", "transient":
+			errs++
+		case "panic":
+			panics++
+		}
+	}
+	st := in.Stats()
+	if st.Errors != errs || st.Panics != panics {
+		t.Errorf("stats %+v disagree with observed events (errors=%d panics=%d)", st, errs, panics)
+	}
+	if st.Transient == 0 || st.Transient > st.Errors {
+		t.Errorf("transient count %d implausible against %d errors", st.Transient, st.Errors)
+	}
+	if st.Sleeps == 0 {
+		t.Errorf("latency rate 0.3 over %d calls slept zero times", len(events))
+	}
+}

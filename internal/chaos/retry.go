@@ -1,0 +1,99 @@
+package chaos
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff configures Retry: capped exponential backoff with full jitter
+// (AWS-style: each delay is uniform in [0, min(Cap, Base<<attempt))). The
+// jitter stream is deterministic in (Seed, key, attempt), so retry timing —
+// like every other chaos decision — replays exactly under a fixed seed.
+//
+// The zero value performs a single attempt and never sleeps, which makes it
+// safe to embed in configuration structs: leaving it unset means "no
+// retries".
+type Backoff struct {
+	// Attempts is the maximum number of attempts, including the first
+	// (<= 1 means no retries).
+	Attempts int
+	// Base is the pre-jitter delay before the second attempt (default 1ms);
+	// it doubles each further attempt.
+	Base time.Duration
+	// Cap bounds the pre-jitter delay (default 100ms).
+	Cap time.Duration
+	// Seed selects the jitter stream.
+	Seed uint64
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base <= 0 {
+		return time.Millisecond
+	}
+	return b.Base
+}
+
+func (b Backoff) cap() time.Duration {
+	if b.Cap <= 0 {
+		return 100 * time.Millisecond
+	}
+	return b.Cap
+}
+
+// Delay returns the backoff before attempt+2 for the given key: full jitter
+// over the capped exponential envelope.
+func (b Backoff) Delay(key string, attempt int) time.Duration {
+	env := b.cap()
+	if attempt < 63 {
+		if d := b.base() << uint(attempt); d > 0 && d < env {
+			env = d
+		}
+	}
+	in := Injector{cfg: Config{Seed: b.Seed}}
+	return time.Duration(in.roll("retry\x00"+key, uint64(attempt), saltLatencyAmt) * float64(env))
+}
+
+// Retry runs op until it succeeds, fails permanently, exhausts b.Attempts,
+// or ctx ends. Only errors classified transient (IsTransient) are retried;
+// anything else — including a nil result — returns immediately. Between
+// attempts Retry sleeps the jittered backoff, waking early with ctx.Err()
+// when the context is done, so a cancelled caller never waits out a backoff.
+//
+// op receives the zero-based attempt number. The error of the last attempt
+// is returned when attempts are exhausted.
+func Retry(ctx context.Context, b Backoff, key string, op func(attempt int) error) error {
+	attempts := b.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if serr := sleepCtx(ctx, b.Delay(key, attempt-1)); serr != nil {
+				return serr
+			}
+		}
+		if err = op(attempt); err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,62 @@
+package embed_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"thor/internal/embed"
+)
+
+// vec1File builds a syntactically valid THORVEC1 file for the given words so
+// the fuzzer starts from the happy path and mutates toward the edges.
+func vec1File(words ...string) []byte {
+	s := embed.NewSpace()
+	for _, w := range words {
+		s.Add(w, embed.HashVector(w))
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadSpace throws arbitrary bytes at the THORVEC1 parser: it must
+// either return an error or a space that re-serializes and re-parses to the
+// same contents — and never panic, hang, or allocate unboundedly on a
+// hostile header.
+func FuzzReadSpace(f *testing.F) {
+	f.Add(vec1File())
+	f.Add(vec1File("tumor", "tuberculosis", "acoustic"))
+	f.Add([]byte("THORVEC1"))         // magic only, truncated header
+	f.Add([]byte("THORVEC2\x00\x00")) // wrong version
+	hostile := []byte("THORVEC1")
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(embed.Dim))
+	binary.LittleEndian.PutUint32(hdr[4:8], 1<<31) // implausible word count
+	f.Add(append(hostile, hdr[:]...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := embed.ReadSpace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, werr := s.WriteTo(&out); werr != nil {
+			t.Fatalf("parsed space failed to serialize: %v", werr)
+		}
+		s2, err := embed.ReadSpace(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("roundtrip re-parse failed: %v", err)
+		}
+		if s.Len() != s2.Len() {
+			t.Fatalf("roundtrip changed word count: %d vs %d", s.Len(), s2.Len())
+		}
+		wa, wb := s.Words(), s2.Words()
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("roundtrip changed word %d: %q vs %q", i, wa[i], wb[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"thor/internal/chaos"
+	"thor/internal/datagen"
+	"thor/internal/obs"
+	"thor/internal/segment"
+	"thor/internal/thor"
+)
+
+// ChaosReport summarizes one chaos run of the pipeline over a dataset,
+// including the central fault-isolation verdict: whether the documents that
+// survived injection produced results bit-identical to a clean run over
+// exactly that subset.
+type ChaosReport struct {
+	// Dataset names the workload.
+	Dataset string
+	// Seed is the injection seed; re-running with it replays the schedule.
+	Seed uint64
+	// Documents is the total document count, Completed + Quarantined +
+	// Skipped.
+	Documents   int
+	Completed   int
+	Quarantined int
+	Skipped     int
+	// Retried counts transient faults absorbed by the retry policy.
+	Retried int
+	// Failures lists the quarantined documents with stage and cause.
+	Failures []thor.DocumentFailure
+	// Injected is what the injector actually delivered.
+	Injected chaos.Stats
+	// QuarantineMetric is the thor.quarantined counter, proving the faults
+	// surface through the observability layer too.
+	QuarantineMetric int64
+	// HealthyIdentical is the invariant: entities, enriched table and
+	// deterministic counters of the faulted run match a clean run over the
+	// surviving subset exactly.
+	HealthyIdentical bool
+	// Mismatch describes the first divergence when HealthyIdentical is
+	// false.
+	Mismatch string
+	// Elapsed is the faulted run's wall-clock time.
+	Elapsed time.Duration
+}
+
+func (r *ChaosReport) String() string {
+	verdict := "healthy docs bit-identical to clean run"
+	if !r.HealthyIdentical {
+		verdict = "ISOLATION VIOLATED: " + r.Mismatch
+	}
+	return fmt.Sprintf(
+		"chaos[%s seed=%d]: %d docs → %d completed, %d quarantined, %d skipped, %d retries; injected %d errors (%d transient), %d panics, %d sleeps, %d truncated, %d corrupted; %s",
+		r.Dataset, r.Seed, r.Documents, r.Completed, r.Quarantined, r.Skipped, r.Retried,
+		r.Injected.Errors, r.Injected.Transient, r.Injected.Panics, r.Injected.Sleeps,
+		r.Injected.Truncated, r.Injected.Corrupted, verdict)
+}
+
+// RunChaos drives the full pipeline over ds.Test under fault injection and
+// checks the isolation invariant. The injector perturbs both the document
+// source (WrapDocs: truncation, byte corruption) and every stage boundary
+// (FaultHook: errors, panics, latency); transient faults get a short retry
+// budget; everything that still fails is quarantined (MaxFailureFraction=1,
+// so the run itself always completes). The reference run sees the same
+// wrapped documents — source perturbation is part of the input, not a fault
+// to isolate — but no stage faults.
+//
+// Fresh matcher and parse caches are used on both sides: corrupted text must
+// not seed the shared experiment caches.
+func RunChaos(ds *datagen.Dataset, ccfg chaos.Config) *ChaosReport {
+	inj := chaos.New(ccfg)
+	docs := inj.WrapDocs(ds.Test.Docs)
+	reg := obs.NewRegistry()
+
+	cfg := thor.Config{
+		Tau:                BestTau,
+		Knowledge:          ds.Table,
+		Lexicon:            ds.Lexicon,
+		Workers:            4,
+		MaxFailureFraction: 1,
+		Retry:              chaos.Backoff{Attempts: 3, Base: 100 * time.Microsecond, Cap: 5 * time.Millisecond, Seed: ccfg.Seed},
+		FaultHook: func(doc string, stage thor.Stage) error {
+			return inj.Fault(doc, string(stage))
+		},
+		Metrics: reg,
+	}
+	start := time.Now()
+	res, err := thor.Run(ds.TestTable(), ds.Space, docs, cfg)
+	elapsed := time.Since(start)
+
+	rep := &ChaosReport{
+		Dataset:   ds.Name,
+		Seed:      ccfg.Seed,
+		Documents: len(docs),
+		Injected:  inj.Stats(),
+		Elapsed:   elapsed,
+	}
+	if err != nil {
+		// MaxFailureFraction=1 means any error here is a harness bug, not
+		// an injected fault; report it as an isolation failure.
+		rep.Mismatch = fmt.Sprintf("run failed outright: %v", err)
+		return rep
+	}
+	rep.Completed = len(res.Stats.CompletedDocs)
+	rep.Quarantined = len(res.Stats.Quarantined)
+	rep.Skipped = res.Stats.Skipped
+	rep.Retried = res.Stats.Retried
+	rep.Failures = res.Stats.Quarantined
+	rep.QuarantineMetric = reg.Snapshot().Counters["thor.quarantined"]
+
+	subset := make([]segment.Document, 0, rep.Completed)
+	for _, i := range res.Stats.CompletedDocs {
+		subset = append(subset, docs[i])
+	}
+	clean, err := thor.Run(ds.TestTable(), ds.Space, subset, thor.Config{
+		Tau:       BestTau,
+		Knowledge: ds.Table,
+		Lexicon:   ds.Lexicon,
+	})
+	if err != nil {
+		rep.Mismatch = fmt.Sprintf("clean reference run failed: %v", err)
+		return rep
+	}
+	rep.HealthyIdentical, rep.Mismatch = sameResults(res, clean)
+	return rep
+}
+
+// sameResults compares the deterministic outputs of two runs: the extracted
+// entities, the enriched table and the count statistics.
+func sameResults(a, b *thor.Result) (bool, string) {
+	ea, eb := a.AllEntities(), b.AllEntities()
+	if len(ea) != len(eb) {
+		return false, fmt.Sprintf("entity counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false, fmt.Sprintf("entity %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	if a.Stats.Sentences != b.Stats.Sentences || a.Stats.Phrases != b.Stats.Phrases ||
+		a.Stats.Candidates != b.Stats.Candidates || a.Stats.Filled != b.Stats.Filled {
+		return false, fmt.Sprintf("counters differ: %d/%d/%d/%d vs %d/%d/%d/%d",
+			a.Stats.Sentences, a.Stats.Phrases, a.Stats.Candidates, a.Stats.Filled,
+			b.Stats.Sentences, b.Stats.Phrases, b.Stats.Candidates, b.Stats.Filled)
+	}
+	var ca, cb strings.Builder
+	if err := a.Table.WriteCSV(&ca); err != nil {
+		return false, fmt.Sprintf("serializing faulted table: %v", err)
+	}
+	if err := b.Table.WriteCSV(&cb); err != nil {
+		return false, fmt.Sprintf("serializing clean table: %v", err)
+	}
+	if ca.String() != cb.String() {
+		return false, "enriched tables differ"
+	}
+	return true, ""
+}

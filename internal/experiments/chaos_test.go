@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"testing"
+
+	"thor/internal/chaos"
+	"thor/internal/datagen"
+)
+
+// TestChaosIsolationBothDatasets is the end-to-end chaos suite: both
+// synthetic corpora run under source corruption and stage-boundary fault
+// injection, and the documents that survive must be bit-identical to a clean
+// run over exactly that subset. Rates are tuned so well under 30% of the
+// corpus gets quarantined — the invariant must hold with plenty of healthy
+// documents left to compare.
+func TestChaosIsolationBothDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates the full synthetic datasets")
+	}
+	for _, ds := range []*datagen.Dataset{DiseaseDataset(), ResumeDataset()} {
+		for _, seed := range []uint64{1, 2024} {
+			rep := RunChaos(ds, chaos.Config{
+				Seed:              seed,
+				ErrorRate:         0.02,
+				TransientFraction: 0.5,
+				PanicRate:         0.01,
+				LatencyRate:       0.02,
+				MaxLatency:        100000, // 100µs: exercise the sleep path cheaply
+				TruncateRate:      0.05,
+				CorruptRate:       0.05,
+			})
+			t.Logf("%s", rep)
+			if rep.Completed+rep.Quarantined+rep.Skipped != rep.Documents {
+				t.Errorf("%s/%d: documents unaccounted: %+v", ds.Name, seed, rep)
+			}
+			if rep.Skipped != 0 {
+				t.Errorf("%s/%d: %d docs skipped in an uncancelled run", ds.Name, seed, rep.Skipped)
+			}
+			if 10*rep.Quarantined > 3*rep.Documents {
+				t.Errorf("%s/%d: %d of %d docs quarantined (>30%%); rates too hot or retries broken",
+					ds.Name, seed, rep.Quarantined, rep.Documents)
+			}
+			if rep.Quarantined > 0 && rep.QuarantineMetric != int64(rep.Quarantined) {
+				t.Errorf("%s/%d: thor.quarantined metric %d != %d quarantined docs",
+					ds.Name, seed, rep.QuarantineMetric, rep.Quarantined)
+			}
+			for _, f := range rep.Failures {
+				if f.Doc == "" || f.Stage == "" || f.Err == "" {
+					t.Errorf("%s/%d: incomplete failure record %+v", ds.Name, seed, f)
+				}
+			}
+			if !rep.HealthyIdentical {
+				t.Errorf("%s/%d: fault isolation violated: %s", ds.Name, seed, rep.Mismatch)
+			}
+		}
+	}
+}
+
+// TestChaosReportReproducible: the same seed replays the same schedule, so
+// the whole report — quarantine set included — is identical across runs.
+func TestChaosReportReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates the full Disease dataset")
+	}
+	ds := DiseaseDataset()
+	cfg := chaos.Config{Seed: 77, ErrorRate: 0.03, PanicRate: 0.01, TruncateRate: 0.05}
+	a, b := RunChaos(ds, cfg), RunChaos(ds, cfg)
+	if a.Quarantined != b.Quarantined || a.Completed != b.Completed || a.Injected != b.Injected {
+		t.Fatalf("same seed produced different chaos runs:\n%s\n%s", a, b)
+	}
+	for i := range a.Failures {
+		if a.Failures[i].Doc != b.Failures[i].Doc || a.Failures[i].Stage != b.Failures[i].Stage {
+			t.Errorf("failure %d differs: %+v vs %+v", i, a.Failures[i], b.Failures[i])
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package segment_test
+
+import (
+	"testing"
+
+	"thor/internal/segment"
+	"thor/internal/text"
+)
+
+// FuzzSegment checks the segmenter's structural contract on arbitrary
+// document text: one assignment per sentence, in order, and every assigned
+// subject is either empty, the document default, or one of the segmenter's
+// subject instances — never text invented from the input.
+func FuzzSegment(f *testing.F) {
+	f.Add("An Acoustic Neuroma is a brain tumor. Tuberculosis damages the lungs.", "Acoustic Neuroma")
+	f.Add("First paragraph about tuberculosis.\n\nA new paragraph starts here.", "")
+	f.Add("J. Alvarez worked at Innotech Inc. since 2015.", "J. Alvarez")
+	f.Add("\xff\xfe truncated \xe2\x84", "")
+	f.Add("acoustic neuroma acoustic neuroma acoustic neuroma", "other")
+	f.Fuzz(func(t *testing.T, doc, defaultSubject string) {
+		if len(doc) > 1<<13 {
+			t.Skip()
+		}
+		subjects := []string{"Acoustic Neuroma", "Tuberculosis", "J. Alvarez"}
+		sg := segment.New(subjects)
+		asg := sg.Segment(segment.Document{Name: "fuzz", DefaultSubject: defaultSubject, Text: doc})
+		sents := text.SplitSentences(doc)
+		if len(asg) != len(sents) {
+			t.Fatalf("%d assignments for %d sentences", len(asg), len(sents))
+		}
+		allowed := map[string]bool{"": true, defaultSubject: true}
+		for _, s := range subjects {
+			allowed[s] = true
+		}
+		for i, a := range asg {
+			if a.Sentence.Start != sents[i].Start || a.Sentence.End != sents[i].End {
+				t.Fatalf("assignment %d sentence span [%d,%d) != splitter's [%d,%d)",
+					i, a.Sentence.Start, a.Sentence.End, sents[i].Start, sents[i].End)
+			}
+			if !allowed[a.Subject] {
+				t.Fatalf("assignment %d subject %q is neither empty, the default, nor a known instance", i, a.Subject)
+			}
+		}
+		// Disabling fuzzy fallback must never widen the subject set.
+		sg2 := segment.New(subjects)
+		sg2.SetFuzzyThreshold(0)
+		for i, a := range sg2.Segment(segment.Document{Name: "fuzz", DefaultSubject: defaultSubject, Text: doc}) {
+			if !allowed[a.Subject] {
+				t.Fatalf("no-fuzzy assignment %d subject %q out of range", i, a.Subject)
+			}
+		}
+	})
+}

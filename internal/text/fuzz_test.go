@@ -1,0 +1,108 @@
+package text_test
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+	"unicode/utf8"
+
+	"thor/internal/text"
+)
+
+// Seed inputs mirror the two synthetic corpora: Disease A-Z prose with
+// abbreviations, hyphenated medical terms and numbers, and Résumé prose with
+// initials and inline punctuation — plus the pathological shapes fuzzing is
+// really after.
+var tokenizeSeeds = []string{
+	"An Acoustic Neuroma is a slow-growing non-cancerous brain tumor.",
+	"Dr. Smith prescribed 1,200 mg of Amoxicillin (twice daily) for T.B. symptoms.",
+	"Symptoms include fever, night sweats, and a 2.5 cm swelling, e.g. near the ear.",
+	"J. Alvarez worked at Innotech Inc. from 2015 to 2019.She studied at MIT.",
+	"Skills: Go, C++, SQL — and 10+ years' experience.",
+	"naïve café résumé 久保田 Straße",
+	"",
+	"\xff",                 // invalid UTF-8: the historic decodeRune overrun
+	"a\xff\xfe\xfdb",       // invalid bytes between letters
+	"\xe2\x84",             // truncated rune (chaos-style mid-rune cut)
+	strings.Repeat("-", 8), // punctuation-only runs
+	"1,2,3... 4.5.6 don't o'clock-",
+}
+
+func FuzzTokenize(f *testing.F) {
+	for _, s := range tokenizeSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := text.Tokenize(s)
+		prevEnd := 0
+		for i, tok := range toks {
+			if tok.Start < 0 || tok.End > len(s) || tok.Start >= tok.End {
+				t.Fatalf("token %d has invalid span [%d,%d) in %d-byte input", i, tok.Start, tok.End, len(s))
+			}
+			if tok.Start < prevEnd {
+				t.Fatalf("token %d [%d,%d) overlaps or precedes previous end %d", i, tok.Start, tok.End, prevEnd)
+			}
+			prevEnd = tok.End
+			if tok.Text != s[tok.Start:tok.End] {
+				t.Fatalf("token %d Text %q != input slice %q", i, tok.Text, s[tok.Start:tok.End])
+			}
+			if tok.Lower != strings.ToLower(tok.Text) {
+				t.Fatalf("token %d Lower %q != ToLower(%q)", i, tok.Lower, tok.Text)
+			}
+		}
+		// Every non-space byte of valid input must land in some token; for
+		// invalid UTF-8 we only require termination and the span invariants
+		// above. This catches scanners that silently skip content.
+		if utf8.ValidString(s) {
+			covered := 0
+			for _, tok := range toks {
+				covered += tok.End - tok.Start
+			}
+			nonSpace := 0
+			for _, r := range s {
+				if !unicode.IsSpace(r) {
+					nonSpace += utf8.RuneLen(r)
+				}
+			}
+			if covered != nonSpace {
+				t.Fatalf("tokens cover %d bytes, input has %d non-space bytes", covered, nonSpace)
+			}
+		}
+	})
+}
+
+func FuzzSplitSentences(f *testing.F) {
+	for _, s := range tokenizeSeeds {
+		f.Add(s)
+	}
+	f.Add("First sentence. Second one! Third? The end.")
+	f.Add("See Fig. 3 and Dr. Who vs. the Daleks, etc. for details.")
+	f.Fuzz(func(t *testing.T, s string) {
+		sents := text.SplitSentences(s)
+		prevEnd := 0
+		for i, sent := range sents {
+			if len(sent.Tokens) == 0 {
+				t.Fatalf("sentence %d has no tokens", i)
+			}
+			if sent.Start != sent.Tokens[0].Start || sent.End != sent.Tokens[len(sent.Tokens)-1].End {
+				t.Fatalf("sentence %d span [%d,%d) disagrees with its tokens", i, sent.Start, sent.End)
+			}
+			if sent.Start < prevEnd || sent.End > len(s) {
+				t.Fatalf("sentence %d span [%d,%d) out of order or out of bounds", i, sent.Start, sent.End)
+			}
+			prevEnd = sent.End
+			hasWord := false
+			for _, tok := range sent.Tokens {
+				if tok.IsWordLike() {
+					hasWord = true
+				}
+				if tok.Text != s[tok.Start:tok.End] {
+					t.Fatalf("sentence %d token %q detached from input", i, tok.Text)
+				}
+			}
+			if !hasWord {
+				t.Fatalf("sentence %d carries no lexical content", i)
+			}
+		}
+	})
+}

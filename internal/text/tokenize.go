@@ -3,6 +3,7 @@ package text
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Tokenize splits s into tokens. Words keep internal hyphens and apostrophes
@@ -74,25 +75,12 @@ func makeToken(s string, start, end int, k Kind) Token {
 }
 
 // decodeRune is a tiny wrapper so the tokenizer reads naturally; it decodes
-// the first rune of s.
+// the first rune of s. It must report the number of bytes actually consumed:
+// an invalid UTF-8 byte decodes to utf8.RuneError but advances exactly one
+// byte, where re-encoding the replacement rune would claim three and walk
+// the scanner past the end of the string (found by FuzzTokenize).
 func decodeRune(s string) (rune, int) {
-	for _, r := range s {
-		return r, runeLen(r)
-	}
-	return 0, 0
-}
-
-func runeLen(r rune) int {
-	switch {
-	case r < 0x80:
-		return 1
-	case r < 0x800:
-		return 2
-	case r < 0x10000:
-		return 3
-	default:
-		return 4
-	}
+	return utf8.DecodeRuneInString(s)
 }
 
 // sentence-final punctuation and common abbreviations the splitter must not

@@ -1,0 +1,249 @@
+package thor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"thor/internal/segment"
+)
+
+// cancelDocs builds a workload big enough that a run takes measurable time:
+// n copies of a multi-sentence document over the fig1 vocabulary.
+func cancelDocs(n, repeat int) []segment.Document {
+	var sb strings.Builder
+	for i := 0; i < repeat; i++ {
+		sb.WriteString("An Acoustic Neuroma is a slow-growing non-cancerous brain tumor. ")
+		sb.WriteString("It develops on the main nerve leading from the inner ear to the brain. ")
+		sb.WriteString("Tuberculosis generally damages the lungs and the nervous system. ")
+	}
+	docs := make([]segment.Document, n)
+	for i := range docs {
+		docs[i] = segment.Document{Name: fmt.Sprintf("doc-%d", i), Text: sb.String()}
+	}
+	return docs
+}
+
+// assertWellFormedPartial checks the partial-result invariants: every
+// document is accounted for exactly once, and the result structures exist.
+func assertWellFormedPartial(t *testing.T, res *Result, docs int) {
+	t.Helper()
+	if res == nil {
+		t.Fatal("nil result")
+	}
+	if res.Table == nil || res.Entities == nil {
+		t.Fatal("partial result missing table or entity map")
+	}
+	if res.Stats.Documents != docs {
+		t.Errorf("Documents = %d, want %d", res.Stats.Documents, docs)
+	}
+	if got := len(res.Stats.CompletedDocs) + len(res.Stats.Quarantined) + res.Stats.Skipped; got != docs {
+		t.Errorf("completed(%d) + quarantined(%d) + skipped(%d) = %d, want %d",
+			len(res.Stats.CompletedDocs), len(res.Stats.Quarantined), res.Stats.Skipped, got, docs)
+	}
+	if len(res.Stats.Stages) != len(PipelineStages) {
+		t.Errorf("stage breakdown has %d rows, want %d", len(res.Stats.Stages), len(PipelineStages))
+	}
+}
+
+func TestRunContextDeadlineAnyDuration(t *testing.T) {
+	p, err := New(fig1Table(), fig1Space(), Config{Tau: 0.6, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := cancelDocs(16, 20)
+	for _, d := range []time.Duration{time.Nanosecond, time.Microsecond, time.Millisecond, 20 * time.Millisecond, time.Minute} {
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		start := time.Now()
+		res, err := p.RunContext(ctx, docs)
+		elapsed := time.Since(start)
+		cancel()
+		if elapsed > 10*time.Second {
+			t.Fatalf("deadline %v: run took %v, not prompt", d, elapsed)
+		}
+		assertWellFormedPartial(t, res, len(docs))
+		if err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("deadline %v: error %v, want DeadlineExceeded in chain", d, err)
+			}
+			if !res.Stats.Cancelled {
+				t.Errorf("deadline %v: Stats.Cancelled not set on %+v", d, res.Stats)
+			}
+		} else if len(res.Stats.CompletedDocs) != len(docs) {
+			t.Errorf("deadline %v: no error but only %d/%d docs completed", d, len(res.Stats.CompletedDocs), len(docs))
+		}
+	}
+}
+
+func TestRunContextCancelMidRunIsPrompt(t *testing.T) {
+	p, err := New(fig1Table(), fig1Space(), Config{Tau: 0.6, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := cancelDocs(64, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := p.RunContext(ctx, docs)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+	assertWellFormedPartial(t, res, len(docs))
+	if err == nil {
+		t.Skip("run finished before the cancel landed") // machine too fast; nothing to assert
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled in chain", err)
+	}
+}
+
+func TestRunContextNoGoroutineLeak(t *testing.T) {
+	p, err := New(fig1Table(), fig1Space(), Config{Tau: 0.6, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := cancelDocs(32, 10)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i)*time.Millisecond)
+		_, _ = p.RunContext(ctx, docs)
+		cancel()
+	}
+	// Workers exit once the job channel closes; give the scheduler a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines: before=%d after=%d\n%s", before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCancelledPartialResultDeterministic: whatever subset of documents a
+// cancelled run completed, its merged result is bit-identical to a clean run
+// over exactly that subset.
+func TestCancelledPartialResultDeterministic(t *testing.T) {
+	table, space := fig1Table(), fig1Space()
+	p, err := New(table, space, Config{Tau: 0.6, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := cancelDocs(48, 30)
+	var partial *Result
+	// Find a deadline that completes a proper subset; skip if the machine
+	// races past every deadline or completes nothing.
+	for _, d := range []time.Duration{2 * time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond, 100 * time.Millisecond} {
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		res, rerr := p.RunContext(ctx, docs)
+		cancel()
+		assertWellFormedPartial(t, res, len(docs))
+		if rerr != nil && len(res.Stats.CompletedDocs) > 0 {
+			partial = res
+			break
+		}
+	}
+	if partial == nil {
+		t.Skip("no deadline produced a non-empty partial subset on this machine")
+	}
+	subset := make([]segment.Document, 0, len(partial.Stats.CompletedDocs))
+	for _, i := range partial.Stats.CompletedDocs {
+		subset = append(subset, docs[i])
+	}
+	clean, err := Run(table, space, subset, Config{Tau: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := partial.AllEntities(), clean.AllEntities()
+	if len(a) != len(b) {
+		t.Fatalf("partial has %d entities, clean subset run has %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("entity %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if partial.Stats.Sentences != clean.Stats.Sentences || partial.Stats.Phrases != clean.Stats.Phrases ||
+		partial.Stats.Candidates != clean.Stats.Candidates || partial.Stats.Filled != clean.Stats.Filled {
+		t.Errorf("deterministic counters differ: partial %+v vs clean %+v", partial.Stats, clean.Stats)
+	}
+	if csvOf(t, partial.Table) != csvOf(t, clean.Table) {
+		t.Error("enriched tables differ between partial run and clean subset run")
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	p, err := New(fig1Table(), fig1Space(), Config{Tau: 0.6, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	docs := cancelDocs(5, 2)
+	res, err := p.RunContext(ctx, docs)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	assertWellFormedPartial(t, res, len(docs))
+	if res.Stats.Skipped != len(docs) || len(res.Stats.CompletedDocs) != 0 {
+		t.Errorf("pre-cancelled run extracted documents: %+v", res.Stats)
+	}
+}
+
+func TestDocTimeoutQuarantines(t *testing.T) {
+	p, err := New(fig1Table(), fig1Space(), Config{
+		Tau: 0.6, DocTimeout: time.Nanosecond, MaxFailureFraction: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := cancelDocs(3, 2)
+	res, err := p.Run(docs)
+	if err != nil {
+		t.Fatalf("run with MaxFailureFraction=1 must complete: %v", err)
+	}
+	assertWellFormedPartial(t, res, len(docs))
+	if len(res.Stats.Quarantined) != len(docs) {
+		t.Fatalf("quarantined %d docs, want all %d: %+v", len(res.Stats.Quarantined), len(docs), res.Stats)
+	}
+	for _, f := range res.Stats.Quarantined {
+		if !strings.Contains(f.Err, "timeout") {
+			t.Errorf("failure does not name the timeout: %+v", f)
+		}
+		if f.Stage == "" {
+			t.Errorf("failure carries no stage: %+v", f)
+		}
+	}
+}
+
+func TestStageTimeoutQuarantinesWithStage(t *testing.T) {
+	p, err := New(fig1Table(), fig1Space(), Config{
+		Tau: 0.6, StageTimeout: time.Nanosecond, MaxFailureFraction: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := cancelDocs(2, 2)
+	res, err := p.Run(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Quarantined) != len(docs) {
+		t.Fatalf("quarantined %d docs, want all %d", len(res.Stats.Quarantined), len(docs))
+	}
+	for _, f := range res.Stats.Quarantined {
+		if !strings.Contains(f.Err, "stage budget") || f.Stage != StageSegment {
+			t.Errorf("stage budget failure not attributed to segment: %+v", f)
+		}
+	}
+}

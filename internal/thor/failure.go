@@ -1,0 +1,100 @@
+package thor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// DocumentFailure records one quarantined document: its identity, the
+// pipeline stage that failed, the error, and — for recovered panics — the
+// goroutine stack at the point of the panic. Quarantined documents
+// contribute nothing to the result (no entities, no sentence/phrase counts),
+// so healthy documents are unaffected by their neighbors' failures.
+type DocumentFailure struct {
+	// Doc is the document's name.
+	Doc string `json:"doc"`
+	// Index is the document's position in the input slice.
+	Index int `json:"index"`
+	// Stage names the pipeline stage active when the failure occurred
+	// (empty when the failure could not be attributed to a stage).
+	Stage Stage `json:"stage,omitempty"`
+	// Err is the failure message.
+	Err string `json:"error"`
+	// Stack is the goroutine stack for recovered panics, empty otherwise.
+	Stack string `json:"stack,omitempty"`
+}
+
+// String renders the failure on one line (the stack is omitted).
+func (f DocumentFailure) String() string {
+	stage := string(f.Stage)
+	if stage == "" {
+		stage = "?"
+	}
+	return fmt.Sprintf("doc %q (#%d) stage %s: %s", f.Doc, f.Index, stage, f.Err)
+}
+
+// RunAbortedError is returned by Run when quarantined documents exceed
+// Config.MaxFailureFraction: the composite of every failure recorded before
+// the abort. The accompanying *Result is still valid and partial — it merges
+// every document that completed before the threshold tripped.
+type RunAbortedError struct {
+	// Failures are the quarantined documents, in input order.
+	Failures []DocumentFailure
+	// Documents is the size of the input document set.
+	Documents int
+	// MaxFailureFraction echoes the threshold that tripped.
+	MaxFailureFraction float64
+}
+
+// Error summarizes the abort and the first few failures.
+func (e *RunAbortedError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "thor: run aborted: %d of %d documents failed (max failure fraction %.2f)",
+		len(e.Failures), e.Documents, e.MaxFailureFraction)
+	const show = 3
+	for i, f := range e.Failures {
+		if i == show {
+			fmt.Fprintf(&b, "; and %d more", len(e.Failures)-show)
+			break
+		}
+		fmt.Fprintf(&b, "; %s", f)
+	}
+	return b.String()
+}
+
+// docError tags a per-document failure with the stage it occurred in. The
+// stack is non-empty only for recovered panics. It deliberately does not
+// match the context sentinel errors: a document that blows its own deadline
+// is quarantined, while a document interrupted by run-level cancellation is
+// merely skipped.
+type docError struct {
+	stage Stage
+	cause error
+	stack []byte
+}
+
+func (e *docError) Error() string { return fmt.Sprintf("stage %s: %v", e.stage, e.cause) }
+
+// Unwrap exposes the cause so errors.Is/As (and chaos.IsTransient) see
+// through the stage attribution.
+func (e *docError) Unwrap() error { return e.cause }
+
+// failureOf converts an extraction error into its quarantine record.
+func failureOf(doc string, index int, err error) DocumentFailure {
+	f := DocumentFailure{Doc: doc, Index: index, Err: err.Error()}
+	var de *docError
+	if errors.As(err, &de) {
+		f.Stage = de.stage
+		f.Err = de.cause.Error()
+		f.Stack = string(de.stack)
+	}
+	return f
+}
+
+// isContextErr reports whether err is run-level cancellation (the caller's
+// context or the internal abort cancel), as opposed to a per-document fault.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

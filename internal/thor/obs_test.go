@@ -1,6 +1,7 @@
 package thor
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -22,17 +23,35 @@ func (v panicValidator) Validate(phrase string, _ schema.Concept) bool {
 
 func TestRunRecoversValidatorPanic(t *testing.T) {
 	for _, workers := range []int{1, 4} {
+		// MaxFailureFraction defaults to 0, so the single panicking document
+		// trips the threshold and the run aborts — but unlike the historic
+		// all-or-nothing contract, the panic is quarantined with its stage
+		// and stack, and the partial result is still returned.
 		cfg := Config{Tau: 0.6, Workers: workers, Validator: panicValidator{}}
 		res, err := Run(fig1Table(), fig1Space(), fig1Docs(), cfg)
 		if err == nil {
 			t.Fatalf("Workers=%d: Run returned no error for a panicking validator (res=%+v)", workers, res)
 		}
-		if res != nil {
-			t.Fatalf("Workers=%d: Run returned a result alongside the error", workers)
-		}
 		if !strings.Contains(err.Error(), "extraction panicked") ||
 			!strings.Contains(err.Error(), "validator exploded") {
 			t.Fatalf("Workers=%d: error does not describe the panic: %v", workers, err)
+		}
+		var aborted *RunAbortedError
+		if !errors.As(err, &aborted) {
+			t.Fatalf("Workers=%d: error is %T, want *RunAbortedError", workers, err)
+		}
+		if res == nil {
+			t.Fatalf("Workers=%d: aborted run returned no partial result", workers)
+		}
+		if len(res.Stats.Quarantined) != 1 {
+			t.Fatalf("Workers=%d: quarantined = %+v, want exactly the panicking doc", workers, res.Stats.Quarantined)
+		}
+		f := res.Stats.Quarantined[0]
+		if f.Doc != "sample" || f.Stage != StageRefine {
+			t.Errorf("Workers=%d: failure attribution wrong: %+v", workers, f)
+		}
+		if !strings.Contains(f.Stack, "goroutine") {
+			t.Errorf("Workers=%d: failure carries no panic stack", workers)
 		}
 	}
 }

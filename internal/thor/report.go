@@ -41,6 +41,13 @@ type ReportStats struct {
 	PrepSecs    float64       `json:"prepSeconds"`
 	ExtractSecs float64       `json:"extractSeconds"`
 	Stages      []ReportStage `json:"stages,omitempty"`
+	// Fault-isolation outcome: quarantined documents (with stage and
+	// error), documents skipped by cancellation/abort, retry attempts
+	// consumed, and whether the run was cancelled.
+	Quarantined []DocumentFailure `json:"quarantined,omitempty"`
+	Skipped     int               `json:"skipped,omitempty"`
+	Retried     int               `json:"retried,omitempty"`
+	Cancelled   bool              `json:"cancelled,omitempty"`
 }
 
 // ReportStage is the exported form of one StageStat row.
@@ -63,6 +70,10 @@ func (r *Result) Report() *Report {
 			Filled:      r.Stats.Filled,
 			PrepSecs:    r.Stats.PrepTime.Seconds(),
 			ExtractSecs: r.Stats.ExtractTime.Seconds(),
+			Quarantined: r.Stats.Quarantined,
+			Skipped:     r.Stats.Skipped,
+			Retried:     r.Stats.Retried,
+			Cancelled:   r.Stats.Cancelled,
 		},
 	}
 	for _, st := range r.Stats.Stages {

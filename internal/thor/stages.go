@@ -112,13 +112,16 @@ func (a *stageAcc) stats() []StageStat {
 // map lookups. All fields are nil (valid no-op instruments) when the
 // pipeline runs without a registry.
 type instruments struct {
-	stageHist  [numStages]*obs.Histogram
-	docs       *obs.Counter
-	sentences  *obs.Counter
-	phrases    *obs.Counter
-	candidates *obs.Counter
-	entities   *obs.Counter
-	filled     *obs.Counter
+	stageHist   [numStages]*obs.Histogram
+	docs        *obs.Counter
+	sentences   *obs.Counter
+	phrases     *obs.Counter
+	candidates  *obs.Counter
+	entities    *obs.Counter
+	filled      *obs.Counter
+	quarantined *obs.Counter
+	skipped     *obs.Counter
+	retried     *obs.Counter
 }
 
 func newInstruments(reg *obs.Registry) instruments {
@@ -135,5 +138,12 @@ func newInstruments(reg *obs.Registry) instruments {
 	ins.candidates = reg.Counter("thor.candidates")
 	ins.entities = reg.Counter("thor.entities")
 	ins.filled = reg.Counter("thor.filled")
+	// Fault-isolation counters: quarantined documents, documents skipped by
+	// cancellation/abort, and extra attempts consumed by transient retries.
+	// docs/sentences/phrases/candidates tick per extraction attempt, so a
+	// retried document contributes to them more than once.
+	ins.quarantined = reg.Counter("thor.quarantined")
+	ins.skipped = reg.Counter("thor.skipped")
+	ins.retried = reg.Counter("thor.retries")
 	return ins
 }

@@ -15,12 +15,15 @@
 package thor
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"thor/internal/chaos"
 	"thor/internal/cow"
 	"thor/internal/dep"
 	"thor/internal/embed"
@@ -111,10 +114,38 @@ type Config struct {
 	// ones with or without a registry.
 	Metrics *obs.Registry
 	// Tracer, when set, records one span per Run ("run"), per document
-	// ("doc", with a "doc" attribute) and per matcher fine-tune
-	// ("finetune") into its ring buffer, plus runtime/trace regions when
-	// an execution trace is active. Nil disables tracing.
+	// ("doc", with a "doc" attribute), per matcher fine-tune ("finetune")
+	// and per quarantined document ("quarantine", with doc/stage/error
+	// attributes) into its ring buffer, plus runtime/trace regions when an
+	// execution trace is active. Nil disables tracing.
 	Tracer *obs.Tracer
+	// DocTimeout bounds the wall clock one document may spend in
+	// extraction. A document that exceeds it is quarantined (checked
+	// cooperatively at stage boundaries, so the bound is approximate by up
+	// to one stage call). Zero means no per-document deadline.
+	DocTimeout time.Duration
+	// StageTimeout bounds the cumulative time any single stage may spend
+	// on one document; exceeding it quarantines the document with the
+	// offending stage named in the failure. Zero means no per-stage budget.
+	StageTimeout time.Duration
+	// MaxFailureFraction is the fraction of documents allowed to
+	// quarantine before the run aborts with a *RunAbortedError (clamped to
+	// [0,1]). Zero — the default — aborts on the first failure, preserving
+	// the historic all-or-nothing contract; 1 never aborts. Even an
+	// aborted run returns its partial Result alongside the error.
+	MaxFailureFraction float64
+	// Retry re-runs a document whose extraction failed transiently (an
+	// error in whose chain some error declares `Transient() bool` true,
+	// e.g. chaos.TransientError) with capped exponential backoff and full
+	// jitter. The zero value disables retries. Panics are never retried.
+	Retry chaos.Backoff
+	// FaultHook, when set, is invoked once per document at the boundary of
+	// every per-document stage (segment through refine) with the document
+	// name and the stage about to run. A returned error — or a panic —
+	// quarantines the document at that stage; chaos.Injector.Fault is the
+	// canonical implementation. Must be safe for concurrent use when
+	// Workers > 1. Nil costs nothing.
+	FaultHook func(doc string, stage Stage) error
 }
 
 // EntityValidator vetoes (phrase, concept) assignments; kg.Validator is the
@@ -156,6 +187,25 @@ type Stats struct {
 	// are deterministic across worker counts; Total durations are wall
 	// clock.
 	Stages []StageStat
+	// Quarantined lists the documents whose extraction failed — error,
+	// panic, per-document deadline or per-stage budget — in input order.
+	// Their partial work is discarded entirely, so the merged result is
+	// bit-identical to a run over the surviving documents alone.
+	Quarantined []DocumentFailure
+	// Skipped counts documents never extracted because the run was
+	// cancelled or aborted before reaching them (or while they were
+	// in flight).
+	Skipped int
+	// Retried counts extra extraction attempts consumed by transient
+	// failures (Config.Retry).
+	Retried int
+	// CompletedDocs are the input indices of the documents whose outcomes
+	// are merged into the result, in input order. On a fully successful
+	// run it is simply [0..Documents).
+	CompletedDocs []int
+	// Cancelled reports that the caller's context ended before the run
+	// completed.
+	Cancelled bool
 }
 
 // Total returns the combined wall-clock duration.
@@ -280,13 +330,40 @@ type docOutcome struct {
 	stages                         stageAcc
 }
 
-// Run executes phases ①a, ② and ③ over the documents and returns the
+// Run executes phases ①a, ② and ③ over the documents with a background
+// context; see RunContext for the full contract.
+func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
+	return p.RunContext(context.Background(), docs)
+}
+
+// failureAllowance is the number of quarantined documents the run tolerates
+// before aborting: floor(MaxFailureFraction · n), clamped to [0, n].
+func (p *Pipeline) failureAllowance(n int) int {
+	frac := p.cfg.MaxFailureFraction
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return n
+	}
+	return int(frac * float64(n))
+}
+
+// RunContext executes phases ①a, ② and ③ over the documents and returns the
 // enriched table and extracted entities. With Config.Workers > 1, documents
 // are processed concurrently and merged back in input order, so the result
-// is identical to a sequential run. A panic while extracting a document
-// (e.g. in a user-supplied Validator) is recovered and returned as an
-// error rather than crashing the process.
-func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
+// is identical to a sequential run.
+//
+// Fault isolation: a document whose extraction errors, panics, or exceeds
+// its deadline is quarantined — recorded in Result.Stats.Quarantined with
+// its stage, error and (for panics) stack — while the remaining documents
+// complete. When quarantines exceed Config.MaxFailureFraction the run stops
+// early and returns a *RunAbortedError. When ctx ends mid-run, in-flight and
+// unprocessed documents are skipped and the context's error is returned.
+// In both cases — unlike the usual Go convention — the returned *Result is
+// non-nil and valid: it merges every document that completed, bit-identical
+// to a clean run over exactly those documents.
+func (p *Pipeline) RunContext(ctx context.Context, docs []segment.Document) (*Result, error) {
 	if len(docs) == 0 {
 		return nil, fmt.Errorf("thor: no documents")
 	}
@@ -300,9 +377,23 @@ func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
 	res.Stats.Documents = len(docs)
 	res.Stats.PrepTime = p.prepDur
 
+	// runCtx is cancelled by the caller's ctx or by the failure threshold
+	// tripping; either way the workers drain their remaining jobs without
+	// extracting them.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	allowance := p.failureAllowance(len(docs))
+	var failed atomic.Int64
+	noteFailure := func() {
+		if failed.Add(1) > int64(allowance) {
+			cancelRun()
+		}
+	}
+
 	// ①a + ②: segmentation and entity extraction.
 	outcomes := make([]*docOutcome, len(docs))
 	errs := make([]error, len(docs))
+	tries := make([]int, len(docs))
 	if w := p.cfg.Workers; w > 1 {
 		var wg sync.WaitGroup
 		jobs := make(chan int)
@@ -314,7 +405,13 @@ func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
 				// scratch space is reused without contention.
 				mctx := p.match.NewContext()
 				for i := range jobs {
-					outcomes[i], errs[i] = p.extractDocSafe(docs[i], mctx)
+					if runCtx.Err() != nil {
+						continue // drain; the document stays unattempted
+					}
+					outcomes[i], tries[i], errs[i] = p.extractDocResilient(runCtx, docs[i], mctx)
+					if errs[i] != nil && !isContextErr(errs[i]) {
+						noteFailure()
+					}
 				}
 			}()
 		}
@@ -326,22 +423,46 @@ func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
 	} else {
 		mctx := p.match.NewContext()
 		for i := range docs {
-			outcomes[i], errs[i] = p.extractDocSafe(docs[i], mctx)
+			if runCtx.Err() != nil {
+				break
+			}
+			outcomes[i], tries[i], errs[i] = p.extractDocResilient(runCtx, docs[i], mctx)
+			if errs[i] != nil && !isContextErr(errs[i]) {
+				noteFailure()
+			}
 		}
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
+	aborted := failed.Load() > int64(allowance)
+	cancelled := ctx.Err() != nil
 
 	// Merge per-document outcomes in input order, deduplicating entities
-	// per subject (the set semantics of E[c*] in Algorithm 1). The stage
-	// breakdown starts from the one-off fine-tune cost (already observed
-	// into the histogram by New).
+	// per subject (the set semantics of E[c*] in Algorithm 1). Failed
+	// documents contribute nothing — their partial work is discarded — so
+	// the merged result over the surviving subset is exactly what a clean
+	// run over that subset produces. The stage breakdown starts from the
+	// one-off fine-tune cost (already observed into the histogram by New).
 	acc := stageAcc{}
 	acc.observe(idxFineTune, p.tuneDur)
-	for _, o := range outcomes {
+	for i, o := range outcomes {
+		res.Stats.Retried += tries[i]
+		if err := errs[i]; err != nil {
+			if isContextErr(err) {
+				res.Stats.Skipped++
+				continue
+			}
+			f := failureOf(docs[i].Name, i, err)
+			res.Stats.Quarantined = append(res.Stats.Quarantined, f)
+			p.cfg.Tracer.StartSpan("quarantine",
+				obs.String("doc", f.Doc),
+				obs.String("stage", string(f.Stage)),
+				obs.String("error", f.Err)).End()
+			continue
+		}
+		if o == nil { // never attempted: run ended first
+			res.Stats.Skipped++
+			continue
+		}
+		res.Stats.CompletedDocs = append(res.Stats.CompletedDocs, i)
 		res.Stats.Sentences += o.sentences
 		res.Stats.Phrases += o.phrases
 		res.Stats.Candidates += o.candidates
@@ -354,6 +475,9 @@ func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
 			res.Stats.Entities++
 		}
 	}
+	p.ins.quarantined.Add(int64(len(res.Stats.Quarantined)))
+	p.ins.skipped.Add(int64(res.Stats.Skipped))
+	p.ins.retried.Add(int64(res.Stats.Retried))
 
 	// ③ Slot filling (Algorithm 1 lines 16–20).
 	fillStart := time.Now()
@@ -384,32 +508,126 @@ func (p *Pipeline) Run(docs []segment.Document) (*Result, error) {
 	// and filled only exist after the merge and fill phases.
 	p.ins.entities.Add(int64(res.Stats.Entities))
 	p.ins.filled.Add(int64(res.Stats.Filled))
+
+	switch {
+	case cancelled:
+		res.Stats.Cancelled = true
+		return res, fmt.Errorf("thor: run cancelled after %d of %d documents: %w",
+			len(res.Stats.CompletedDocs), len(docs), ctx.Err())
+	case aborted:
+		return res, &RunAbortedError{
+			Failures:           res.Stats.Quarantined,
+			Documents:          len(docs),
+			MaxFailureFraction: p.cfg.MaxFailureFraction,
+		}
+	}
 	return res, nil
 }
 
-// extractDocSafe runs extractDoc with panic recovery: a panicking stage or
-// Validator surfaces as an error from Run instead of crashing the worker
-// pool with a confusing goroutine stack.
-func (p *Pipeline) extractDocSafe(doc segment.Document, mctx *matcher.MatchContext) (out *docOutcome, err error) {
+// extractDocResilient wraps one document's extraction in the configured
+// retry policy: transient failures are re-attempted with capped, jittered
+// backoff; panics and permanent errors surface immediately. retries is the
+// number of extra attempts consumed.
+func (p *Pipeline) extractDocResilient(ctx context.Context, doc segment.Document, mctx *matcher.MatchContext) (out *docOutcome, retries int, err error) {
+	err = chaos.Retry(ctx, p.cfg.Retry, doc.Name, func(attempt int) error {
+		retries = attempt
+		o, e := p.extractDocSafe(ctx, doc, mctx)
+		out = o
+		return e
+	})
+	if err != nil {
+		out = nil
+	}
+	return out, retries, err
+}
+
+// docRun carries one extraction attempt's cancellation state: the run
+// context, the document's own deadline, the last stage entered (so a panic
+// is attributed to the stage it escaped from), and which stage-entry fault
+// hooks have fired this attempt.
+type docRun struct {
+	ctx      context.Context
+	doc      string
+	deadline time.Time // zero when Config.DocTimeout is unset
+	stage    Stage     // last stage entered, for failure attribution
+	hooked   [numStages]bool
+}
+
+// checkpoint marks entry into a stage: it records the stage for failure
+// attribution, honors run-level cancellation and the document deadline, and
+// fires the stage-entry fault hook (once per stage per attempt). With no
+// deadline and no hook configured the cost is one atomic context check.
+func (p *Pipeline) checkpoint(dr *docRun, idx int) error {
+	dr.stage = PipelineStages[idx]
+	if err := dr.ctx.Err(); err != nil {
+		return err
+	}
+	if !dr.deadline.IsZero() && time.Now().After(dr.deadline) {
+		return &docError{stage: dr.stage, cause: fmt.Errorf("document timeout %v exceeded", p.cfg.DocTimeout)}
+	}
+	if h := p.cfg.FaultHook; h != nil && !dr.hooked[idx] {
+		dr.hooked[idx] = true
+		if err := h(dr.doc, dr.stage); err != nil {
+			return &docError{stage: dr.stage, cause: err}
+		}
+	}
+	return nil
+}
+
+// observeChecked records one stage call and enforces the per-stage time
+// budget: a stage whose cumulative time on this document exceeds
+// Config.StageTimeout quarantines the document.
+func (p *Pipeline) observeChecked(dr *docRun, acc *stageAcc, i int, d time.Duration) error {
+	p.observe(acc, i, d)
+	if st := p.cfg.StageTimeout; st > 0 && acc.total[i] > st {
+		return &docError{stage: PipelineStages[i],
+			cause: fmt.Errorf("stage budget %v exceeded (spent %v)", st, acc.total[i])}
+	}
+	return nil
+}
+
+// extractDocSafe runs one extraction attempt with panic recovery: a
+// panicking stage, fault hook or Validator surfaces as a stage-attributed
+// error carrying the goroutine stack, feeding the quarantine record instead
+// of crashing the worker pool.
+func (p *Pipeline) extractDocSafe(ctx context.Context, doc segment.Document, mctx *matcher.MatchContext) (out *docOutcome, err error) {
 	sp := p.cfg.Tracer.StartSpan("doc", obs.String("doc", doc.Name))
 	defer sp.End()
+	dr := &docRun{ctx: ctx, doc: doc.Name, stage: StageSegment}
+	if p.cfg.DocTimeout > 0 {
+		dr.deadline = time.Now().Add(p.cfg.DocTimeout)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			out = nil
-			err = fmt.Errorf("thor: document %q: extraction panicked: %v\n%s", doc.Name, r, debug.Stack())
+			err = &docError{
+				stage: dr.stage,
+				cause: fmt.Errorf("extraction panicked: %v", r),
+				stack: debug.Stack(),
+			}
 		}
 	}()
-	return p.extractDoc(doc, mctx), nil
+	out, err = p.extractDoc(dr, doc, mctx)
+	if err != nil {
+		out = nil
+	}
+	return out, err
 }
 
 // extractDoc runs segmentation plus lines 6–15 of Algorithm 1 over one
-// document.
-func (p *Pipeline) extractDoc(doc segment.Document, mctx *matcher.MatchContext) *docOutcome {
+// document, checking for cancellation, deadlines and injected faults at
+// stage boundaries.
+func (p *Pipeline) extractDoc(dr *docRun, doc segment.Document, mctx *matcher.MatchContext) (*docOutcome, error) {
 	out := &docOutcome{}
 	semW, jacW, gesW := p.cfg.scoreWeights()
+	if err := p.checkpoint(dr, idxSegment); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	assignments := p.seg.Segment(doc)
-	p.observe(&out.stages, idxSegment, time.Since(t0))
+	if err := p.observeChecked(dr, &out.stages, idxSegment, time.Since(t0)); err != nil {
+		return nil, err
+	}
 	p.ins.docs.Add(1)
 	p.ins.sentences.Add(int64(len(assignments)))
 	for _, asg := range assignments {
@@ -417,15 +635,26 @@ func (p *Pipeline) extractDoc(doc segment.Document, mctx *matcher.MatchContext) 
 		if asg.Subject == "" {
 			continue
 		}
-		phrases := p.phrases(asg, &out.stages)
+		phrases, err := p.phrases(dr, asg, &out.stages)
+		if err != nil {
+			return nil, err
+		}
 		out.phrases += len(phrases)
 		p.ins.phrases.Add(int64(len(phrases)))
 		for _, ph := range phrases {
+			if err := p.checkpoint(dr, idxMatch); err != nil {
+				return nil, err
+			}
 			t0 = time.Now()
 			cands := mctx.Match(ph)
-			p.observe(&out.stages, idxMatch, time.Since(t0))
+			if err := p.observeChecked(dr, &out.stages, idxMatch, time.Since(t0)); err != nil {
+				return nil, err
+			}
 			out.candidates += len(cands)
 			p.ins.candidates.Add(int64(len(cands)))
+			if err := p.checkpoint(dr, idxRefine); err != nil {
+				return nil, err
+			}
 			t0 = time.Now()
 			var best Entity
 			found := false
@@ -445,13 +674,15 @@ func (p *Pipeline) extractDoc(doc segment.Document, mctx *matcher.MatchContext) 
 			}
 			refined := found && best.Score >= p.cfg.minScore() &&
 				(p.cfg.Validator == nil || p.cfg.Validator.Validate(best.Phrase, best.Concept))
-			p.observe(&out.stages, idxRefine, time.Since(t0))
+			if err := p.observeChecked(dr, &out.stages, idxRefine, time.Since(t0)); err != nil {
+				return nil, err
+			}
 			if refined {
 				out.entities = append(out.entities, best)
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // refineScores returns the semantic, Jaccard and Gestalt similarities of a
@@ -484,42 +715,71 @@ func (p *Pipeline) observe(acc *stageAcc, i int, d time.Duration) {
 // phrases produces the candidate noun phrases of a sentence, consulting the
 // shared parse cache when one is configured. A hit books the lookup under
 // the phrase-extract stage; a miss runs the full analysis (observing every
-// stage as usual) and publishes the result.
-func (p *Pipeline) phrases(asg segment.Assignment, acc *stageAcc) []phrase.Phrase {
+// stage as usual) and publishes the result. Nothing is published for a
+// failed analysis.
+func (p *Pipeline) phrases(dr *docRun, asg segment.Assignment, acc *stageAcc) ([]phrase.Phrase, error) {
 	if p.parse == nil {
-		return p.analyze(asg, acc)
+		return p.analyze(dr, asg, acc)
+	}
+	if err := p.checkpoint(dr, idxPhraseExtract); err != nil {
+		return nil, err
 	}
 	t0 := time.Now()
 	key := parseKey{cfg: p.parseFP, sent: sentenceKey(asg.Sentence)}
 	if phs, ok := p.parse.m.Get(key); ok {
-		p.observe(acc, idxPhraseExtract, time.Since(t0))
-		return phs
+		if err := p.observeChecked(dr, acc, idxPhraseExtract, time.Since(t0)); err != nil {
+			return nil, err
+		}
+		return phs, nil
 	}
-	phs := p.analyze(asg, acc)
+	phs, err := p.analyze(dr, asg, acc)
+	if err != nil {
+		return nil, err
+	}
 	p.parse.m.Put(key, phs)
-	return phs
+	return phs, nil
 }
 
 // analyze produces the candidate noun phrases of a sentence, via the
 // dependency parse (default) or naive n-gram chunking (ablation), recording
 // the POS-tag, parse and extraction stage costs.
-func (p *Pipeline) analyze(asg segment.Assignment, acc *stageAcc) []phrase.Phrase {
+func (p *Pipeline) analyze(dr *docRun, asg segment.Assignment, acc *stageAcc) ([]phrase.Phrase, error) {
 	if p.cfg.NaiveChunking {
+		if err := p.checkpoint(dr, idxPhraseExtract); err != nil {
+			return nil, err
+		}
 		t0 := time.Now()
 		out := naiveChunks(asg)
-		p.observe(acc, idxPhraseExtract, time.Since(t0))
-		return out
+		if err := p.observeChecked(dr, acc, idxPhraseExtract, time.Since(t0)); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if err := p.checkpoint(dr, idxPOSTag); err != nil {
+		return nil, err
 	}
 	t0 := time.Now()
 	tagged := p.tagger.Tag(asg.Sentence)
-	p.observe(acc, idxPOSTag, time.Since(t0))
+	if err := p.observeChecked(dr, acc, idxPOSTag, time.Since(t0)); err != nil {
+		return nil, err
+	}
+	if err := p.checkpoint(dr, idxDepParse); err != nil {
+		return nil, err
+	}
 	t0 = time.Now()
 	tree := dep.Parse(tagged)
-	p.observe(acc, idxDepParse, time.Since(t0))
+	if err := p.observeChecked(dr, acc, idxDepParse, time.Since(t0)); err != nil {
+		return nil, err
+	}
+	if err := p.checkpoint(dr, idxPhraseExtract); err != nil {
+		return nil, err
+	}
 	t0 = time.Now()
 	out := phrase.Extract(tree)
-	p.observe(acc, idxPhraseExtract, time.Since(t0))
-	return out
+	if err := p.observeChecked(dr, acc, idxPhraseExtract, time.Since(t0)); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // naiveChunks emits every 1..3-word window of the sentence's words as a
@@ -575,4 +835,16 @@ func Run(table *schema.Table, space *embed.Space, docs []segment.Document, cfg C
 		return nil, err
 	}
 	return p.Run(docs)
+}
+
+// RunContext is Run with a caller-controlled context: cancellation or a
+// deadline time-boxes the document phase and yields a valid partial Result
+// (see Pipeline.RunContext). Fine-tuning in New is not cancellable; its
+// cost is bounded by the knowledge table, not the documents.
+func RunContext(ctx context.Context, table *schema.Table, space *embed.Space, docs []segment.Document, cfg Config) (*Result, error) {
+	p, err := New(table, space, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunContext(ctx, docs)
 }
