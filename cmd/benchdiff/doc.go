@@ -1,0 +1,23 @@
+// Command benchdiff compares two benchmark recordings and fails when the
+// guarded benchmarks regress. It exists so CI can hold the line on the
+// big-table pipeline benchmarks (Tables V, IX and XI — the end-to-end
+// experiment runs) after the matcher hot-path optimization work.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.20] [-guard name,name,...] OLD NEW
+//
+// OLD and NEW are either BENCH_*.json recordings (the repository's schema:
+// a top-level "benchmarks" array of {package,name,nsPerOp,...}) or, when a
+// file does not parse as JSON, raw `go test -bench` text output — so CI can
+// diff a fresh run against the committed recording without an intermediate
+// conversion step:
+//
+//	go test -run '^$' -bench 'BenchmarkTable(V|IX|XI)$' -benchtime 1x . | tee bench.txt
+//	benchdiff BENCH_MATCH_OPT.json bench.txt
+//
+// Every benchmark present in both inputs is reported with its ns/op delta.
+// The exit status is non-zero iff a guarded benchmark is missing from NEW
+// or its ns/op exceeds OLD by more than the threshold (default 20%).
+// Guarded names match with or without a -N GOMAXPROCS suffix.
+package main

@@ -1,25 +1,3 @@
-// Command benchdiff compares two benchmark recordings and fails when the
-// guarded benchmarks regress. It exists so CI can hold the line on the
-// big-table pipeline benchmarks (Tables V, IX and XI — the end-to-end
-// experiment runs) after the matcher hot-path optimization work.
-//
-// Usage:
-//
-//	benchdiff [-threshold 0.20] [-guard name,name,...] OLD NEW
-//
-// OLD and NEW are either BENCH_*.json recordings (the repository's schema:
-// a top-level "benchmarks" array of {package,name,nsPerOp,...}) or, when a
-// file does not parse as JSON, raw `go test -bench` text output — so CI can
-// diff a fresh run against the committed recording without an intermediate
-// conversion step:
-//
-//	go test -run '^$' -bench 'BenchmarkTable(V|IX|XI)$' -benchtime 1x . | tee bench.txt
-//	benchdiff BENCH_MATCH_OPT.json bench.txt
-//
-// Every benchmark present in both inputs is reported with its ns/op delta.
-// The exit status is non-zero iff a guarded benchmark is missing from NEW
-// or its ns/op exceeds OLD by more than the threshold (default 20%).
-// Guarded names match with or without a -N GOMAXPROCS suffix.
 package main
 
 import (
@@ -35,17 +13,25 @@ import (
 
 // Bench is one recorded benchmark result.
 type Bench struct {
-	Package     string  `json:"package"`
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"nsPerOp"`
-	BytesPerOp  float64 `json:"bytesPerOp"`
+	// Package is the Go package the benchmark lives in.
+	Package string `json:"package"`
+	// Name is the benchmark function name, including any -cpu suffix.
+	Name string `json:"name"`
+	// Iterations is the b.N the result was measured over.
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"nsPerOp"`
+	// BytesPerOp is heap allocated per operation.
+	BytesPerOp float64 `json:"bytesPerOp"`
+	// AllocsPerOp is allocation count per operation.
 	AllocsPerOp float64 `json:"allocsPerOp"`
 }
 
 // File is the subset of the BENCH_*.json schema benchdiff reads.
 type File struct {
-	RecordedAt string  `json:"recordedAt"`
+	// RecordedAt documents when the baseline was captured (informational).
+	RecordedAt string `json:"recordedAt"`
+	// Benchmarks are the recorded results.
 	Benchmarks []Bench `json:"benchmarks"`
 }
 

@@ -1,12 +1,3 @@
-// Command datagen materializes the synthetic evaluation datasets to disk:
-// the structured table (JSON + CSV), the documents of each split as .txt
-// files, and the gold annotations as JSON.
-//
-// Usage:
-//
-//	datagen -dataset disease -out ./data        # Disease A-Z
-//	datagen -dataset resume  -out ./data        # Résumé
-//	datagen -dataset disease -seed 42 -out ./d  # alternative seed
 package main
 
 import (

@@ -1,0 +1,20 @@
+// Command doclint enforces the repository's documentation standard: every
+// package under the given roots must carry a package comment, and every
+// exported identifier — types, functions, methods, constants, variables,
+// struct fields and interface methods — must carry a doc comment (a
+// preceding // comment or, for fields and specs, a trailing line comment).
+//
+// Usage:
+//
+//	doclint [-v] [dir ...]
+//
+// With no directories, ./internal/... and ./cmd/... relative to the current
+// working directory are checked. Test files (_test.go) are exempt. The exit
+// code is 0 when documentation is complete, 1 when any identifier is
+// undocumented, and 2 on a usage or parse error. Each finding is printed as
+// "file:line: identifier" so editors can jump to it.
+//
+// doclint runs in CI (see .github/workflows/ci.yml) and as a test
+// (TestRepositoryDocumented), so `go test ./...` fails on undocumented
+// exports.
+package main

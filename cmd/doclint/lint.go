@@ -1,0 +1,260 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one undocumented exported identifier, rendered as
+// "file:line: message".
+type Finding struct {
+	// Pos locates the identifier.
+	Pos token.Position
+	// Msg names the identifier and what is missing.
+	Msg string
+}
+
+// String renders the finding in the conventional file:line: message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s", f.Pos.Filename, f.Pos.Line, f.Msg)
+}
+
+// Lint walks every Go package under the given root directories and returns
+// the undocumented exported identifiers, sorted by position. When verbose,
+// each directory checked is logged to logw.
+func Lint(roots []string, verbose bool, logw io.Writer) ([]Finding, error) {
+	var dirs []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() && !strings.HasPrefix(d.Name(), ".") && d.Name() != "testdata" {
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var findings []Finding
+	for _, dir := range dirs {
+		fs, err := lintDir(dir, verbose, logw)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return findings, nil
+}
+
+// lintDir checks the single package in dir (if any). Test files are skipped
+// entirely: examples and test helpers document themselves through their
+// assertions.
+func lintDir(dir string, verbose bool, logw io.Writer) ([]Finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", dir, err)
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if verbose {
+			fmt.Fprintf(logw, "doclint: checking %s\n", dir)
+		}
+		findings = append(findings, lintPackage(fset, dir, pkg)...)
+	}
+	return findings, nil
+}
+
+// lintPackage applies the documentation rules to one parsed package.
+func lintPackage(fset *token.FileSet, dir string, pkg *ast.Package) []Finding {
+	var findings []Finding
+	note := func(pos token.Pos, format string, args ...any) {
+		findings = append(findings, Finding{Pos: fset.Position(pos), Msg: fmt.Sprintf(format, args...)})
+	}
+
+	// Rule 1: the package must carry a package comment in some file.
+	hasPkgDoc := false
+	var first *ast.File
+	var firstName string
+	for name, f := range pkg.Files {
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+			hasPkgDoc = true
+		}
+		if first == nil || name < firstName {
+			first, firstName = f, name
+		}
+	}
+	if !hasPkgDoc && first != nil {
+		note(first.Package, "package %s has no package comment", pkg.Name)
+	}
+
+	// Rule 2: every exported top-level identifier needs a doc comment; struct
+	// fields and interface methods accept trailing line comments too.
+	exportedTypes := exportedTypeNames(pkg)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				lintFunc(note, d, exportedTypes)
+			case *ast.GenDecl:
+				lintGen(note, d)
+			}
+		}
+	}
+	return findings
+}
+
+// exportedTypeNames collects the package's exported named types, so methods
+// on unexported types (which no importer can reach) are exempt.
+func exportedTypeNames(pkg *ast.Package) map[string]bool {
+	names := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if ts.Name.IsExported() {
+					names[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return names
+}
+
+// lintFunc checks one function or method declaration.
+func lintFunc(note func(token.Pos, string, ...any), d *ast.FuncDecl, exportedTypes map[string]bool) {
+	if !d.Name.IsExported() {
+		return
+	}
+	if d.Recv != nil {
+		recv := receiverTypeName(d.Recv)
+		if recv != "" && !exportedTypes[recv] {
+			return // method on an unexported type
+		}
+		if !hasDoc(d.Doc) {
+			note(d.Name.Pos(), "exported method %s.%s has no doc comment", recv, d.Name.Name)
+		}
+		return
+	}
+	if !hasDoc(d.Doc) {
+		note(d.Name.Pos(), "exported function %s has no doc comment", d.Name.Name)
+	}
+}
+
+// lintGen checks one const, var or type declaration group. A doc comment on
+// the group covers every spec in it; otherwise each exported spec needs its
+// own preceding or trailing comment.
+func lintGen(note func(token.Pos, string, ...any), d *ast.GenDecl) {
+	groupDoc := hasDoc(d.Doc)
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if !groupDoc && !hasDoc(s.Doc) && !hasDoc(s.Comment) {
+				note(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			}
+			lintTypeBody(note, s)
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if !groupDoc && !hasDoc(s.Doc) && !hasDoc(s.Comment) {
+					kind := "variable"
+					if d.Tok == token.CONST {
+						kind = "constant"
+					}
+					note(name.Pos(), "exported %s %s has no doc comment", kind, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// lintTypeBody checks the exported members of an exported struct or
+// interface type: fields and embedded interface methods.
+func lintTypeBody(note func(token.Pos, string, ...any), s *ast.TypeSpec) {
+	if !s.Name.IsExported() {
+		return
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		for _, field := range t.Fields.List {
+			if len(field.Names) == 0 {
+				continue // embedded field: documented by its own type
+			}
+			for _, name := range field.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if !hasDoc(field.Doc) && !hasDoc(field.Comment) {
+					note(name.Pos(), "exported field %s.%s has no doc comment", s.Name.Name, name.Name)
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			for _, name := range m.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if !hasDoc(m.Doc) && !hasDoc(m.Comment) {
+					note(name.Pos(), "exported interface method %s.%s has no doc comment", s.Name.Name, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverTypeName unwraps the receiver's named type (through pointers and
+// type parameters).
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// hasDoc reports whether the comment group carries non-empty text.
+func hasDoc(cg *ast.CommentGroup) bool {
+	return cg != nil && len(strings.TrimSpace(cg.Text())) > 0
+}

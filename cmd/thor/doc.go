@@ -1,0 +1,21 @@
+// Command thor runs the THOR pipeline over a user-supplied table and
+// documents and writes the enriched table.
+//
+// Usage:
+//
+//	thor -table table.json -docs dir/ [-tau 0.7] [-subject Disease] [-out out.json] [-format json|csv]
+//
+// The table is JSON (see schema.WriteJSON) or CSV with a header row; the
+// documents directory holds one .txt file per document (the file name,
+// without extension and with dashes as spaces, is used as the document's
+// default subject when it matches a table row). The embedding space is built
+// from the table's own instances plus subword hashing, so the command works
+// out of the box; programmatic users can supply richer spaces via the
+// library API.
+//
+// Robustness flags: -timeout bounds the whole run (a partial result is still
+// written), and -max-doc-failures sets the fraction of documents that may be
+// quarantined before the run aborts. Exit codes: 0 success, 1 fatal error or
+// aborted/cancelled run, 2 usage error, 3 run completed but quarantined at
+// least one document (outputs are written).
+package main

@@ -1,23 +1,3 @@
-// Command thor runs the THOR pipeline over a user-supplied table and
-// documents and writes the enriched table.
-//
-// Usage:
-//
-//	thor -table table.json -docs dir/ [-tau 0.7] [-subject Disease] [-out out.json] [-format json|csv]
-//
-// The table is JSON (see schema.WriteJSON) or CSV with a header row; the
-// documents directory holds one .txt file per document (the file name,
-// without extension and with dashes as spaces, is used as the document's
-// default subject when it matches a table row). The embedding space is built
-// from the table's own instances plus subword hashing, so the command works
-// out of the box; programmatic users can supply richer spaces via the
-// library API.
-//
-// Robustness flags: -timeout bounds the whole run (a partial result is still
-// written), and -max-doc-failures sets the fraction of documents that may be
-// quarantined before the run aborts. Exit codes: 0 success, 1 fatal error or
-// aborted/cancelled run, 2 usage error, 3 run completed but quarantined at
-// least one document (outputs are written).
 package main
 
 import (
@@ -64,6 +44,17 @@ func run() int {
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot (counters + stage histograms) to this file")
 		traceOut    = flag.String("trace-out", "", "write a runtime execution trace to this file")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage: thor -table table.json -docs dir/ [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"\nExit codes:\n"+
+				"  0  success\n"+
+				"  1  fatal error, or run aborted/cancelled (partial outputs written)\n"+
+				"  2  usage error\n"+
+				"  3  run completed but quarantined at least one document (outputs written)\n")
+	}
 	flag.Parse()
 	// Validate everything up front: a bad flag should fail in milliseconds
 	// with a usage message, not after minutes of extraction.

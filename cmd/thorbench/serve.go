@@ -1,0 +1,279 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thor/internal/chaos"
+	"thor/internal/experiments"
+	"thor/internal/serve"
+)
+
+// serveLevel is one concurrency level's measurement in the serving baseline.
+type serveLevel struct {
+	// Concurrency is the closed-loop client count.
+	Concurrency int `json:"concurrency"`
+	// Requests is the number of completed (2xx) requests.
+	Requests int64 `json:"requests"`
+	// Retries counts 503 shed responses that were retried.
+	Retries int64 `json:"retries"`
+	// Errors counts requests that failed after retries.
+	Errors int64 `json:"errors"`
+	// ThroughputRPS is completed requests per second of wall clock.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// LatencyMS are end-to-end request latency percentiles in milliseconds.
+	LatencyMS map[string]float64 `json:"latency_ms"`
+	// Entities and Filled sum the per-request result counters, a sanity
+	// check that the load was real slot-filling work.
+	Entities int64 `json:"entities"`
+	// Filled counts slots written across all completed requests.
+	Filled int64 `json:"filled"`
+}
+
+// serveBaseline is the BENCH_SERVE_BASELINE.json document.
+type serveBaseline struct {
+	// Benchmark identifies the workload shape.
+	Benchmark string `json:"benchmark"`
+	// Dataset names the corpus driven through the server.
+	Dataset string `json:"dataset"`
+	// DocsPerRequest is the fixed request size.
+	DocsPerRequest int `json:"docs_per_request"`
+	// DurationS is the measured wall clock per level, in seconds.
+	DurationS float64 `json:"duration_s"`
+	// BatchMax and BatchWindowMS echo the server's coalescing knobs.
+	BatchMax int `json:"batch_max"`
+	// BatchWindowMS is the coalescing window in milliseconds.
+	BatchWindowMS float64 `json:"batch_window_ms"`
+	// Levels are the per-concurrency measurements.
+	Levels []serveLevel `json:"levels"`
+}
+
+// runServe benchmarks the online serving path end to end: it starts an
+// in-process internal/serve engine over the Disease dataset, drives it with
+// closed-loop HTTP clients at each concurrency level, and writes throughput
+// plus latency percentiles to outPath. Shed responses (503) are retried with
+// chaos.Retry's jittered backoff, as a well-behaved client would.
+func runServe(outPath string, duration time.Duration, levelsCSV string) {
+	levels, err := parseLevels(levelsCSV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thorbench:", err)
+		os.Exit(2)
+	}
+	ds := experiments.DiseaseDataset()
+	const batchMax = 16
+	const batchWindow = 2 * time.Millisecond
+	engine, err := serve.NewServer(serve.Options{
+		Table: ds.TestTable(),
+		// The full structured table is the fine-tuning knowledge, exactly as
+		// the offline experiments run (the cleared test table alone would
+		// only seed subject-concept matches).
+		Knowledge:   ds.Table,
+		Space:       ds.Space,
+		Tau:         experiments.BestTau,
+		Lexicon:     ds.Lexicon,
+		BatchMax:    batchMax,
+		BatchWindow: batchWindow,
+		QueueDepth:  128,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: engine}
+	go httpSrv.Serve(ln)
+	defer func() {
+		httpSrv.Close()
+		engine.Close()
+	}()
+	url := "http://" + ln.Addr().String() + "/v1/fill"
+
+	// Pre-encode one single-document request body per test document so the
+	// clients measure serving, not client-side encoding.
+	bodies := make([][]byte, len(ds.Test.Docs))
+	for i, d := range ds.Test.Docs {
+		b, err := json.Marshal(serve.Request{Documents: []serve.Document{{
+			Name: d.Name, DefaultSubject: d.DefaultSubject, Text: d.Text,
+		}}})
+		if err != nil {
+			fatal(err)
+		}
+		bodies[i] = b
+	}
+
+	header("Serving benchmark — closed-loop load against thord's engine (Disease A-Z)")
+	fmt.Printf("docs: %d  batch-max: %d  window: %v  duration/level: %v\n\n",
+		len(bodies), batchMax, batchWindow, duration)
+	base := serveBaseline{
+		Benchmark:      "serve-closed-loop",
+		Dataset:        "disease",
+		DocsPerRequest: 1,
+		DurationS:      duration.Seconds(),
+		BatchMax:       batchMax,
+		BatchWindowMS:  float64(batchWindow) / float64(time.Millisecond),
+	}
+	for _, c := range levels {
+		lv := driveLevel(url, bodies, c, duration)
+		base.Levels = append(base.Levels, lv)
+		fmt.Printf("c=%-3d  %8.1f req/s   p50 %7.2fms  p90 %7.2fms  p99 %7.2fms   retries %d  errors %d\n",
+			lv.Concurrency, lv.ThroughputRPS,
+			lv.LatencyMS["p50"], lv.LatencyMS["p90"], lv.LatencyMS["p99"],
+			lv.Retries, lv.Errors)
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(base)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "thorbench: serving baseline written to %s\n", outPath)
+}
+
+// driveLevel runs one closed-loop level: c clients, each issuing its next
+// request the moment the previous one completes, for the given duration.
+func driveLevel(url string, bodies [][]byte, c int, duration time.Duration) serveLevel {
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: c}}
+	defer client.CloseIdleConnections()
+	var (
+		next     atomic.Int64 // round-robin document cursor
+		requests atomic.Int64
+		retries  atomic.Int64
+		errs     atomic.Int64
+		entities atomic.Int64
+		filled   atomic.Int64
+		mu       sync.Mutex
+		lats     []time.Duration
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			backoff := chaos.Backoff{Attempts: 5, Base: 2 * time.Millisecond, Cap: 50 * time.Millisecond, Seed: uint64(w)}
+			for ctx.Err() == nil {
+				body := bodies[int(next.Add(1))%len(bodies)]
+				t0 := time.Now()
+				var resp serve.Response
+				err := chaos.Retry(ctx, backoff, "bench", func(attempt int) error {
+					if attempt > 0 {
+						retries.Add(1)
+					}
+					return postOnce(ctx, client, url, body, &resp)
+				})
+				if ctx.Err() != nil {
+					return
+				}
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				requests.Add(1)
+				entities.Add(int64(resp.Stats.Entities))
+				filled.Add(int64(resp.Stats.Filled))
+				d := time.Since(t0)
+				mu.Lock()
+				lats = append(lats, d)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return serveLevel{
+		Concurrency:   c,
+		Requests:      requests.Load(),
+		Retries:       retries.Load(),
+		Errors:        errs.Load(),
+		ThroughputRPS: float64(requests.Load()) / elapsed.Seconds(),
+		LatencyMS:     percentiles(lats),
+		Entities:      entities.Load(),
+		Filled:        filled.Load(),
+	}
+}
+
+// postOnce issues one fill request. A 503 (shed or draining) comes back as a
+// transient error so chaos.Retry backs off and tries again; any other
+// non-200 is permanent.
+func postOnce(ctx context.Context, client *http.Client, url string, body []byte, out *serve.Response) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return json.NewDecoder(resp.Body).Decode(out)
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return chaos.MarkTransient(fmt.Errorf("server overloaded (503)"))
+	default:
+		return fmt.Errorf("unexpected status %d", resp.StatusCode)
+	}
+}
+
+// percentiles summarizes latencies as milliseconds.
+func percentiles(lats []time.Duration) map[string]float64 {
+	if len(lats) == 0 {
+		return map[string]float64{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i]) / float64(time.Millisecond)
+	}
+	var sum time.Duration
+	for _, d := range lats {
+		sum += d
+	}
+	return map[string]float64{
+		"p50":  at(0.50),
+		"p90":  at(0.90),
+		"p99":  at(0.99),
+		"max":  float64(lats[len(lats)-1]) / float64(time.Millisecond),
+		"mean": float64(sum) / float64(len(lats)) / float64(time.Millisecond),
+	}
+}
+
+// parseLevels parses the -serve-levels CSV ("1,8,64") into concurrencies.
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -serve-levels %q: each level must be a positive integer", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

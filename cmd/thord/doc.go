@@ -1,0 +1,26 @@
+// Command thord is the THOR serving daemon: it loads the integrated table,
+// embedding space and warm matcher caches once, then serves concurrent
+// slot-filling requests over HTTP with micro-batching and admission control
+// (see internal/serve and docs/API.md).
+//
+// Usage:
+//
+//	thord -table table.json -addr :8080 [-tau 0.7] [-subject Disease]
+//	      [-vectors space.thorvec] [-knowledge knowledge.json]
+//	      [-workers N] [-batch-max 16] [-batch-window 2ms]
+//	      [-queue-depth 64] [-doc-timeout 0] [-drain-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/fill     — documents in, entities + slot assignments out
+//	POST /v1/extract  — documents in, entities only
+//	GET  /healthz     — process liveness
+//	GET  /readyz      — ready for traffic (503 while draining)
+//	GET  /debug/*     — expvar, pprof, metrics and span dumps
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: readyz flips to 503,
+// new work is shed, queued and in-flight requests finish (bounded by
+// -drain-timeout), then the process exits.
+//
+// Exit codes: 0 clean shutdown, 1 fatal error, 2 usage error.
+package main

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"thor/internal/embed"
+	"thor/internal/obs"
+	"thor/internal/schema"
+	"thor/internal/serve"
+	"thor/internal/text"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code so deferred cleanup executes on every path.
+func run() int {
+	var (
+		tablePath     = flag.String("table", "", "path to the integrated table (.json or .csv)")
+		subject       = flag.String("subject", "", "subject concept (required for CSV tables)")
+		knowledgePath = flag.String("knowledge", "", "optional fine-tuning table distinct from the fill target")
+		vectors       = flag.String("vectors", "", "optional THORVEC1 embedding file (default: build from the table)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		tau           = flag.Float64("tau", 0.7, "similarity threshold τ in [0,1]")
+		workers       = flag.Int("workers", 0, "pipeline workers per batch (0 = GOMAXPROCS)")
+		batchMax      = flag.Int("batch-max", 16, "maximum documents coalesced into one pipeline run")
+		batchWindow   = flag.Duration("batch-window", 2*time.Millisecond, "how long a batch waits for more requests after its first")
+		queueDepth    = flag.Int("queue-depth", 64, "admission queue depth in requests; beyond it requests are shed with 503")
+		maxDocs       = flag.Int("max-docs", 0, "maximum documents per request (0 = batch-max)")
+		docTimeout    = flag.Duration("doc-timeout", 0, "default per-document extraction deadline (0 = none)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests before exiting anyway")
+		spanCap       = flag.Int("span-capacity", 4096, "span ring-buffer capacity for /debug/thor/spans")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage: thord -table table.json -addr :8080 [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"\nExit codes:\n  0  clean shutdown (drained)\n  1  fatal error\n  2  usage error\n")
+	}
+	flag.Parse()
+	if *tablePath == "" {
+		usageErr("-table is required")
+	}
+	if *tau < 0 || *tau > 1 {
+		usageErr(fmt.Sprintf("-tau %v is outside [0,1]", *tau))
+	}
+	if *workers < 0 || *batchMax < 1 || *queueDepth < 1 || *maxDocs < 0 {
+		usageErr("-workers/-batch-max/-queue-depth/-max-docs out of range")
+	}
+	if *batchWindow < 0 || *docTimeout < 0 || *drainTimeout < 0 {
+		usageErr("durations must be non-negative")
+	}
+	if strings.EqualFold(filepath.Ext(*tablePath), ".csv") && *subject == "" {
+		usageErr("CSV tables need -subject <concept> to name the subject column")
+	}
+
+	table, err := loadTable(*tablePath, schema.Concept(*subject))
+	if err != nil {
+		return fatal(err)
+	}
+	var knowledge *schema.Table
+	if *knowledgePath != "" {
+		if knowledge, err = loadTable(*knowledgePath, schema.Concept(*subject)); err != nil {
+			return fatal(err)
+		}
+	}
+	space := selfSpace(table)
+	if *vectors != "" {
+		f, err := os.Open(*vectors)
+		if err != nil {
+			return fatal(err)
+		}
+		space, err = embed.ReadSpace(f)
+		f.Close()
+		if err != nil {
+			return fatal(err)
+		}
+	}
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(*spanCap)
+	reg.PublishExpvar("thor")
+	engine, err := serve.NewServer(serve.Options{
+		Table:             table,
+		Knowledge:         knowledge,
+		Space:             space,
+		Tau:               *tau,
+		Workers:           *workers,
+		BatchMax:          *batchMax,
+		BatchWindow:       *batchWindow,
+		QueueDepth:        *queueDepth,
+		MaxDocsPerRequest: *maxDocs,
+		DocTimeout:        *docTimeout,
+		Metrics:           reg,
+		Tracer:            tracer,
+	})
+	if err != nil {
+		return fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fatal(err)
+	}
+	httpSrv := &http.Server{Handler: engine}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "thord: serving %d-row table on http://%s (tau=%v, batch-max=%d, window=%v, queue=%d)\n",
+		table.InstanceCount(), ln.Addr(), *tau, *batchMax, *batchWindow, *queueDepth)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "thord: %v: draining (timeout %v)\n", sig, *drainTimeout)
+	case err := <-errCh:
+		return fatal(fmt.Errorf("serve: %w", err))
+	}
+
+	// Drain order: flip readiness and shed new work first, let queued and
+	// in-flight requests finish, then close the HTTP listener (whose
+	// Shutdown waits for active handlers, which need the engine alive).
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := engine.Shutdown(ctx)
+	_ = httpSrv.Shutdown(ctx)
+	if drainErr != nil {
+		engine.Close()
+		return fatal(fmt.Errorf("drain: %w", drainErr))
+	}
+	fmt.Fprintln(os.Stderr, "thord: drained cleanly")
+	return 0
+}
+
+// usageErr prints the message plus usage and exits 2.
+func usageErr(msg string) {
+	fmt.Fprintln(os.Stderr, "thord:", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// fatal reports err and returns the fatal exit code.
+func fatal(err error) int {
+	fmt.Fprintln(os.Stderr, "thord:", err)
+	return 1
+}
+
+// loadTable reads a JSON or CSV integrated table (CSV needs the subject
+// concept).
+func loadTable(path string, subject schema.Concept) (*schema.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".json":
+		return schema.ReadJSON(f)
+	case ".csv":
+		if subject == "" {
+			return nil, fmt.Errorf("-subject is required for CSV tables")
+		}
+		return schema.ReadCSV(f, subject)
+	default:
+		return nil, fmt.Errorf("unsupported table format %q", filepath.Ext(path))
+	}
+}
+
+// selfSpace builds the zero-configuration embedding space from the table's
+// own instances (the same fallback cmd/thor ships with): column words
+// cluster around a per-concept centroid, unknown words fall back to subword
+// hashing.
+func selfSpace(table *schema.Table) *embed.Space {
+	space := embed.NewSpace()
+	for _, c := range table.Schema.Concepts {
+		centroid := embed.HashVector("cli-centroid:" + string(c))
+		for _, v := range table.ColumnValues(c) {
+			for _, w := range strings.Fields(text.NormalizePhrase(v)) {
+				if space.Contains(w) {
+					continue
+				}
+				space.Add(w, embed.Blend(centroid, embed.SubwordVector(w), 0.6))
+			}
+		}
+	}
+	return space
+}

@@ -1,7 +1,3 @@
-// Package ahocorasick implements the Aho–Corasick multi-pattern string
-// matching automaton [Aho & Corasick 1975], the paper's traditional
-// entity-recognition Baseline: structured-data instances become dictionary
-// patterns, and all their occurrences in a document are reported in one pass.
 package ahocorasick
 
 // Match is a single pattern occurrence in the searched text.

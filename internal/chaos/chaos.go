@@ -1,25 +1,3 @@
-// Package chaos is THOR's deterministic fault-injection harness: a
-// seed-driven injector that perturbs document sources (truncation, byte
-// corruption) and pipeline stage boundaries (errors, panics, latency) on a
-// reproducible schedule, plus a context-aware retry helper with capped
-// exponential backoff (see retry.go).
-//
-// Every decision the injector makes is a pure function of (seed, site,
-// call sequence number), where a site is a (document, stage) pair. Two runs
-// with the same seed over the same document set therefore inject exactly the
-// same faults, which is what makes chaos test failures reproducible: re-run
-// with the printed seed and the schedule replays bit-for-bit.
-//
-// The injector plugs into the pipeline through thor.Config.FaultHook:
-//
-//	inj := chaos.New(chaos.Config{Seed: 42, ErrorRate: 0.05})
-//	cfg.FaultHook = func(doc string, stage thor.Stage) error {
-//		return inj.Fault(doc, string(stage))
-//	}
-//	docs = inj.WrapDocs(docs)
-//
-// The package deliberately has no dependency on the pipeline: stages are
-// plain strings, so it can wrap any staged computation.
 package chaos
 
 import (
@@ -219,7 +197,10 @@ func splitmix64(x uint64) uint64 {
 
 // TransientError marks an injected (or real) fault as retryable. Retry and
 // IsTransient recognize it, including through fmt.Errorf("%w") wrapping.
-type TransientError struct{ Err error }
+type TransientError struct {
+	// Err is the underlying fault.
+	Err error
+}
 
 // Error implements error.
 func (e *TransientError) Error() string { return e.Err.Error() + " (transient)" }
@@ -238,3 +219,28 @@ func IsTransient(err error) bool {
 	var t interface{ Transient() bool }
 	return errors.As(err, &t) && t.Transient()
 }
+
+// MarkTransient wraps err so IsTransient — and therefore Retry — classifies
+// it as retryable, without altering its message (unlike TransientError,
+// which appends a marker). Clients of the serving layer use it to mark
+// 503 load-shed responses for retry with backoff. Returns nil for a nil
+// err.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientMark{err: err}
+}
+
+// transientMark is MarkTransient's invisible wrapper: same message, same
+// chain, plus the Transient marker.
+type transientMark struct{ err error }
+
+// Error implements error, forwarding the wrapped message unchanged.
+func (e *transientMark) Error() string { return e.err.Error() }
+
+// Unwrap exposes the wrapped error to errors.Is/As.
+func (e *transientMark) Unwrap() error { return e.err }
+
+// Transient reports that the error is retryable.
+func (e *transientMark) Transient() bool { return true }

@@ -1,0 +1,23 @@
+// Package chaos is THOR's deterministic fault-injection harness: a
+// seed-driven injector that perturbs document sources (truncation, byte
+// corruption) and pipeline stage boundaries (errors, panics, latency) on a
+// reproducible schedule, plus a context-aware retry helper with capped
+// exponential backoff (see retry.go).
+//
+// Every decision the injector makes is a pure function of (seed, site,
+// call sequence number), where a site is a (document, stage) pair. Two runs
+// with the same seed over the same document set therefore inject exactly the
+// same faults, which is what makes chaos test failures reproducible: re-run
+// with the printed seed and the schedule replays bit-for-bit.
+//
+// The injector plugs into the pipeline through thor.Config.FaultHook:
+//
+//	inj := chaos.New(chaos.Config{Seed: 42, ErrorRate: 0.05})
+//	cfg.FaultHook = func(doc string, stage thor.Stage) error {
+//		return inj.Fault(doc, string(stage))
+//	}
+//	docs = inj.WrapDocs(docs)
+//
+// The package deliberately has no dependency on the pipeline: stages are
+// plain strings, so it can wrap any staged computation.
+package chaos

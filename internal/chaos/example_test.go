@@ -1,0 +1,32 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"thor/internal/chaos"
+)
+
+// ExampleRetry retries an operation whose first two attempts fail
+// transiently. Only errors marked transient (chaos.MarkTransient, or any
+// error declaring Transient() bool) are retried; a permanent error returns
+// immediately. The jittered backoff is deterministic in (Seed, key, attempt).
+func ExampleRetry() {
+	b := chaos.Backoff{Attempts: 5, Base: time.Microsecond, Cap: time.Microsecond, Seed: 42}
+	err := chaos.Retry(context.Background(), b, "fetch-doc", func(attempt int) error {
+		if attempt < 2 {
+			fmt.Printf("attempt %d: connection reset, retrying\n", attempt)
+			return chaos.MarkTransient(errors.New("connection reset"))
+		}
+		fmt.Printf("attempt %d: ok\n", attempt)
+		return nil
+	})
+	fmt.Println("err:", err)
+	// Output:
+	// attempt 0: connection reset, retrying
+	// attempt 1: connection reset, retrying
+	// attempt 2: ok
+	// err: <nil>
+}

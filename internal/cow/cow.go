@@ -1,21 +1,3 @@
-// Package cow provides a read-mostly concurrent map for memoizing
-// deterministic computations on the THOR hot path.
-//
-// The previous design guarded memo maps with a sync.RWMutex, which puts two
-// atomic RMW operations (RLock/RUnlock) on every cache hit and serializes
-// writers against all readers. Map replaces that with a copy-on-write
-// scheme: hits are a single atomic pointer load plus one lookup in an
-// immutable snapshot — no locks, no write barriers, perfectly scalable
-// across the pipeline's document workers. Misses insert into a small
-// mutex-guarded overflow map that is merged into a fresh snapshot once it
-// outgrows a fraction of the snapshot, so the total copying work stays
-// linear (amortized) in the number of distinct keys: the first merge
-// effectively sizes the snapshot after a warmup pass over the workload.
-//
-// Values must be immutable after insertion (they are returned to concurrent
-// readers), and the computation memoized must be deterministic: when two
-// workers race on the same missing key, either result may win, so both must
-// be equal.
 package cow
 
 import (

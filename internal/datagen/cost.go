@@ -10,8 +10,7 @@ import "time"
 type AnnotationCost struct {
 	// MinTokenSeconds and MaxTokenSeconds bound the per-token annotation
 	// time observed in the paper (8–13 s).
-	MinTokenSeconds float64
-	MaxTokenSeconds float64
+	MinTokenSeconds, MaxTokenSeconds float64
 	// Annotators is the team size (3 annotators + 1 supervisor in the
 	// paper; the supervisor is accounted separately).
 	Annotators int

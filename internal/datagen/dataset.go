@@ -1,20 +1,3 @@
-// Package datagen deterministically generates the paper's two evaluation
-// datasets — Disease A-Z and Résumé — at the scale of Tables II and III.
-//
-// The real corpora (NHS/WHO/CDC health pages; job-seeker CVs) and their 600+
-// hours of manual annotation are unavailable, so the generator synthesizes
-// the closest equivalent that exercises the same code paths:
-//
-//   - per-concept vocabularies with cluster-consistent embeddings (known
-//     table instances and novel out-of-table instances share a concept
-//     cluster, so semantic matchers generalize and exact matchers do not),
-//   - deliberate cross-concept confusers ('blood' as Anatomy vs 'blood clot'
-//     as Complication) so syntactic refinement has work to do,
-//   - a structured table whose coverage of the document entities matches the
-//     Baseline's published recall regime, and
-//   - ground-truth annotations that come for free from generation.
-//
-// All randomness is seeded; generation is reproducible bit-for-bit.
 package datagen
 
 import (
@@ -95,10 +78,14 @@ func (d *Dataset) TestTable() *schema.Table {
 
 // Stats summarizes a split like Table III of the paper.
 type Stats struct {
+	// Subjects is the number of distinct subject instances.
 	Subjects int
-	Docs     int
+	// Docs is the number of text documents.
+	Docs int
+	// Entities is the number of gold mentions across the documents.
 	Entities int
-	Words    int
+	// Words is the total token count across the documents.
+	Words int
 }
 
 // SplitStats computes Table III-style statistics for a split.

@@ -1,0 +1,18 @@
+// Package datagen deterministically generates the paper's two evaluation
+// datasets — Disease A-Z and Résumé — at the scale of Tables II and III.
+//
+// The real corpora (NHS/WHO/CDC health pages; job-seeker CVs) and their 600+
+// hours of manual annotation are unavailable, so the generator synthesizes
+// the closest equivalent that exercises the same code paths:
+//
+//   - per-concept vocabularies with cluster-consistent embeddings (known
+//     table instances and novel out-of-table instances share a concept
+//     cluster, so semantic matchers generalize and exact matchers do not),
+//   - deliberate cross-concept confusers ('blood' as Anatomy vs 'blood clot'
+//     as Complication) so syntactic refinement has work to do,
+//   - a structured table whose coverage of the document entities matches the
+//     Baseline's published recall regime, and
+//   - ground-truth annotations that come for free from generation.
+//
+// All randomness is seeded; generation is reproducible bit-for-bit.
+package datagen

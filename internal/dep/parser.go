@@ -1,12 +1,3 @@
-// Package dep implements a deterministic rule-based dependency parser over
-// part-of-speech-tagged sentences.
-//
-// It stands in for spaCy's statistical parser in the original THOR system.
-// THOR consumes the parse only to (a) extract noun phrases — subtrees rooted
-// at a NOUN/PROPN/PRON with leading modifiers — and (b) expose
-// subject-verb-object structure (nsubj/obj thematic roles, Fig. 3 of the
-// paper). The head-finding rules below recover exactly those relations for
-// declarative English prose.
 package dep
 
 import (
@@ -48,6 +39,7 @@ type Node struct {
 
 // Tree is a parsed sentence: nodes in surface order plus a child index.
 type Tree struct {
+	// Nodes are the sentence's tokens in surface order.
 	Nodes    []Node
 	children [][]int
 	root     int

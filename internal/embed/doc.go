@@ -1,0 +1,12 @@
+// Package embed implements the static word-embedding substrate THOR's
+// semantic matcher runs on.
+//
+// The paper uses spaCy's pre-trained English vectors (OntoNotes 5 +
+// Wikipedia). Those are unavailable offline, so this package provides a
+// deterministic synthetic embedding space with the single property the
+// matcher depends on: instances of the same concept cluster together, while
+// unrelated words are far apart. Vocabularies are placed around concept
+// centroids by the dataset generator; unknown words fall back to subword
+// (character n-gram) hash vectors so that morphologically related words
+// ("cancer" / "cancerous") remain close.
+package embed

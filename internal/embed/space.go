@@ -153,8 +153,10 @@ func (s *Space) Similarity(a, b string) float64 {
 
 // Neighbor is a vocabulary word with its similarity to a query.
 type Neighbor struct {
+	// Word is the vocabulary entry.
 	Word string
-	Sim  float64
+	// Sim is its cosine similarity to the query.
+	Sim float64
 }
 
 // Neighbors returns all vocabulary words whose cosine similarity to the

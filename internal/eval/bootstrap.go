@@ -8,6 +8,7 @@ import (
 
 // Interval is a two-sided confidence interval with its point estimate.
 type Interval struct {
+	// Low, Point and High are the interval bounds around the point estimate.
 	Low, Point, High float64
 }
 
@@ -17,6 +18,7 @@ func (iv Interval) Contains(x float64) bool { return x >= iv.Low && x <= iv.High
 // BootstrapResult carries the resampled intervals for the three headline
 // metrics.
 type BootstrapResult struct {
+	// Precision, Recall and F1 are the resampled intervals per metric.
 	Precision, Recall, F1 Interval
 	// Resamples is the number of bootstrap iterations performed.
 	Resamples int

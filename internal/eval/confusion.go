@@ -95,8 +95,10 @@ func (cm *ConfusionMatrix) Confusions() []ConfusionCell {
 
 // ConfusionCell is one off-diagonal confusion.
 type ConfusionCell struct {
+	// Gold and Predicted are the true and assigned concepts.
 	Gold, Predicted schema.Concept
-	Count           int
+	// Count is how often the confusion occurred.
+	Count int
 }
 
 // Render writes the matrix as a fixed-width table, concepts sorted, with the

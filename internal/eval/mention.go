@@ -1,7 +1,3 @@
-// Package eval implements the paper's evaluation machinery: the
-// SemEval-2013-style partial-matching scorer (nervaluate [104]) producing
-// Precision/Recall/F1, raw prediction counts (TP/FP/FN, Tables VI/VII) and
-// per-concept sensitivity (Table VIII).
 package eval
 
 import (

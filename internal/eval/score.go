@@ -95,8 +95,11 @@ func (o Outcome) String() string {
 // Report is a full evaluation: overall outcome plus the per-concept
 // breakdown used by Tables VII and VIII and Fig. 10.
 type Report struct {
-	Overall    Outcome
-	GoldTotal  int
+	// Overall aggregates every concept's outcome.
+	Overall Outcome
+	// GoldTotal is the number of gold mentions evaluated against.
+	GoldTotal int
+	// PerConcept breaks the outcome down by concept.
 	PerConcept map[schema.Concept]Outcome
 }
 

@@ -23,10 +23,13 @@ type ChaosReport struct {
 	Seed uint64
 	// Documents is the total document count, Completed + Quarantined +
 	// Skipped.
-	Documents   int
-	Completed   int
+	Documents int
+	// Completed is the number of documents that finished extraction.
+	Completed int
+	// Quarantined is the number of documents isolated by injected faults.
 	Quarantined int
-	Skipped     int
+	// Skipped is the number of documents never attempted (hard stop).
+	Skipped int
 	// Retried counts transient faults absorbed by the retry policy.
 	Retried int
 	// Failures lists the quarantined documents with stage and cause.
@@ -47,6 +50,8 @@ type ChaosReport struct {
 	Elapsed time.Duration
 }
 
+// String renders the report as the human-readable block thorbench -chaos
+// prints, including the isolation verdict.
 func (r *ChaosReport) String() string {
 	verdict := "healthy docs bit-identical to clean run"
 	if !r.HealthyIdentical {

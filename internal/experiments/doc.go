@@ -1,0 +1,7 @@
+// Package experiments reproduces the paper's evaluation section: Experiment
+// 1 (comparison against the state of the art, Tables V–VIII and Figs. 5–7),
+// Experiment 2 (manual vs. automatic annotation, Tables IX–X and Fig. 8) and
+// Experiment 3 (generalizability on Résumé, Table XI and Figs. 9–10). Every
+// table and figure has a renderer in render.go and a benchmark in the
+// repository root's bench_test.go.
+package experiments

@@ -1,9 +1,3 @@
-// Package experiments reproduces the paper's evaluation section: Experiment
-// 1 (comparison against the state of the art, Tables V–VIII and Figs. 5–7),
-// Experiment 2 (manual vs. automatic annotation, Tables IX–X and Fig. 8) and
-// Experiment 3 (generalizability on Résumé, Table XI and Figs. 9–10). Every
-// table and figure has a renderer in render.go and a benchmark in the
-// repository root's bench_test.go.
 package experiments
 
 import (
@@ -53,6 +47,7 @@ func (r SystemResult) ThorOnly() bool { return r.Tau > 0 }
 
 // Comparison holds every system's result on one dataset, THOR sweep first.
 type Comparison struct {
+	// Dataset is the workload the systems were compared on.
 	Dataset *datagen.Dataset
 	Thor    []SystemResult // one per τ in Taus
 	Others  []SystemResult // Baseline, LM-SD, GPT-4, UniNER, LM-Human
@@ -175,6 +170,7 @@ type AnnotationPoint struct {
 
 // AnnotationStudy is Experiment 2's output.
 type AnnotationStudy struct {
+	// Dataset is the workload the study ran on.
 	Dataset *datagen.Dataset
 	// ThorF1 is THOR's reference score at BestTau (zero annotation time).
 	ThorF1 float64

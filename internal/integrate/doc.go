@@ -1,0 +1,7 @@
+// Package integrate combines concept-oriented data sources into a single
+// integrated table, reproducing the data-integration setting of the paper's
+// introduction: sources capture different instance sets and partial views,
+// so combining them with partial-match operators (outer join / full
+// disjunction over the subject concept) yields a table riddled with labeled
+// nulls — the data sparsity THOR then mitigates.
+package integrate

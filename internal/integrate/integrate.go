@@ -1,9 +1,3 @@
-// Package integrate combines concept-oriented data sources into a single
-// integrated table, reproducing the data-integration setting of the paper's
-// introduction: sources capture different instance sets and partial views,
-// so combining them with partial-match operators (outer join / full
-// disjunction over the subject concept) yields a table riddled with labeled
-// nulls — the data sparsity THOR then mitigates.
 package integrate
 
 import (
@@ -16,7 +10,9 @@ import (
 // Source is one input dataset: a table over a (possibly partial) schema that
 // shares the subject concept with the integration target.
 type Source struct {
-	Name  string
+	// Name identifies the source in reports and diagnostics.
+	Name string
+	// Table is the source's data.
 	Table *schema.Table
 }
 
@@ -90,11 +86,16 @@ func LeftOuterJoin(left, right *schema.Table) (*schema.Table, error) {
 
 // Report summarizes an integration result for diagnostics.
 type Report struct {
-	Sources   int
-	Rows      int
-	Concepts  int
+	// Sources is the number of input datasets integrated.
+	Sources int
+	// Rows is the integrated table's row count.
+	Rows int
+	// Concepts is the width of the unified schema.
+	Concepts int
+	// Instances is the number of non-null cell values.
 	Instances int
-	Sparsity  schema.Sparsity
+	// Sparsity is the integrated table's missing-cell ratio.
+	Sparsity schema.Sparsity
 }
 
 // Describe computes a Report for an integrated table.

@@ -1,0 +1,12 @@
+// Package kg implements a lightweight knowledge graph over the integrated
+// data and a THOR extension built on it: the paper's future-work proposal of
+// "reducing the number of false positives ... by further exploring the data
+// integration context" (Section VII).
+//
+// The graph is a triple store whose nodes are subject instances, concepts
+// and instance phrases; FromTable derives it from a concept-oriented table
+// ((subject, concept, instance) triples plus same-row co-occurrence edges).
+// Validator uses the graph's type assertions to reject extracted entities
+// whose head word is known under different concepts only — the cross-concept
+// confusions that dominate THOR's false positives at permissive τ.
+package kg

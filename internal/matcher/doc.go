@@ -1,0 +1,33 @@
+// Package matcher implements THOR's semantic similarity matcher (Section
+// IV-A/IV-B of the paper): a weakly supervised entity matcher fine-tuned from
+// the integrated table's own instances, with no annotated text.
+//
+// Fine-tuning associates each concept with a set of representative vectors:
+// the embeddings of the concept's known instances (seeds, from R.C) and of
+// their content words, plus every vocabulary word whose similarity to a seed
+// word reaches the user threshold τ. Matching scores a candidate subphrase by
+// its lexical head — the rightmost content word, which determines the
+// phrase's category — against the representative cluster, and reports the
+// best-matching seed instance c_m for syntactic refinement.
+//
+// τ therefore controls both how far the cluster expands beyond the known
+// instances and how close a head must be to count as a match: τ=1.0 accepts
+// only heads that coincide with known-instance words (precision-oriented),
+// while τ=0.5 reaches deep into the embedding neighborhood
+// (recall-oriented), reproducing the trade-off of Table V.
+//
+// # Performance
+//
+// Matching is the pipeline's hot path, so the matcher is built around
+// precomputed structures whose results are bit-for-bit identical to the
+// brute-force definitions above. Each cluster's seed and word vectors are
+// flattened into contiguous embed.Matrix slabs at FineTune time, so head-fit
+// and best-seed sweeps are cache-friendly dot products with precomputed
+// norms and conservative-bound pruning. τ-expansion runs through the space's
+// shared ThresholdIndex (LSH propose, exact verify) instead of brute
+// vocabulary scans, and the index's LSH buckets also prime head-fit sweeps
+// with a strong initial best so the bound prunes harder. Head fits, subphrase
+// queries, and best seeds are memoized in read-mostly copy-on-write maps
+// (package cow) that cost one atomic load per hit under the pipeline's
+// parallel document workers.
+package matcher

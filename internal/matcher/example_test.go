@@ -1,0 +1,46 @@
+package matcher_test
+
+import (
+	"fmt"
+
+	"thor/internal/embed"
+	"thor/internal/matcher"
+	"thor/internal/phrase"
+	"thor/internal/schema"
+)
+
+// ExampleCache shows the fine-tune cache sharing one matcher across
+// identical (space, table content, config) requests. The cache keys on the
+// table's content fingerprint, so a rebuilt-but-equal table hits too — the
+// second FineTune returns the same instance without re-expanding clusters.
+func ExampleCache() {
+	table := schema.NewTable(schema.NewSchema("Disease", "Complication"))
+	table.AddRow("Tuberculosis").Add("Complication", "skin cancer")
+
+	space := embed.NewSpace()
+	complication := embed.HashVector("ex:complication")
+	for _, w := range []string{"cancer", "cancerous", "non-cancerous", "tumor", "skin"} {
+		space.Add(w, embed.Blend(complication, embed.HashVector("ex:cancer-family"), 0.85))
+	}
+
+	cache := matcher.NewCache()
+	m1, err := cache.FineTune(space, table, matcher.Config{Tau: 0.6})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m2, _ := cache.FineTune(space, table.Clone(), matcher.Config{Tau: 0.6})
+	fmt.Println("shared instance:", m1 == m2)
+	fmt.Println("cached matchers:", cache.Len())
+
+	// Match returns the strongest subphrases per concept, best first.
+	cands := m1.Match(phrase.Phrase{Words: []string{"non-cancerous", "tumor"}, HeadWord: "tumor"})
+	for _, c := range cands {
+		fmt.Printf("%q -> %s (matched %q)\n", c.Phrase, c.Concept, c.Matched)
+	}
+	// Output:
+	// shared instance: true
+	// cached matchers: 1
+	// "non-cancerous tumor" -> Complication (matched "skin cancer")
+	// "non-cancerous" -> Complication (matched "skin cancer")
+}

@@ -1,16 +1,3 @@
-// Package models implements the comparator systems of the paper's
-// evaluation (Table IV): the exact-matching Baseline and behavioral
-// simulators of the four neural systems (LM-SD, LM-Human, GPT-4,
-// UniversalNER).
-//
-// The neural models cannot be reproduced bit-for-bit offline, so each
-// simulator is a genuine algorithm over the same substrates (embedding
-// space, parser, segmenter) engineered to exhibit the system's *documented*
-// behavior: LM-SD's majority-class bias from sparse structured training
-// data, LM-Human's high precision that scales with annotated volume, GPT-4's
-// hallucination/instability and generic-class strength, and UniNER's
-// pre-training coverage gaps plus hard context window. See DESIGN.md,
-// "Substitutions".
 package models
 
 import (

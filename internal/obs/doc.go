@@ -1,0 +1,14 @@
+// Package obs is THOR's stdlib-only observability layer: named counters,
+// log-scaled latency histograms, lightweight span tracing, and a debug HTTP
+// server exposing expvar, pprof and the span ring buffer.
+//
+// The package is built for the pipeline's hot path: every type is safe for
+// concurrent use, and every method is a guarded no-op on a nil receiver, so
+// instrumented code can thread a nil *Registry or *Tracer through without
+// branching and without paying any allocation (guarded by
+// TestNilRegistryZeroAlloc and BenchmarkNilRegistryHotPath).
+//
+// Only the standard library is used: sync/atomic for the counters and
+// histogram buckets, expvar for /debug/vars, net/http/pprof for live
+// profiling, and runtime/trace for optional execution-trace regions.
+package obs

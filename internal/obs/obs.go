@@ -1,16 +1,3 @@
-// Package obs is THOR's stdlib-only observability layer: named counters,
-// log-scaled latency histograms, lightweight span tracing, and a debug HTTP
-// server exposing expvar, pprof and the span ring buffer.
-//
-// The package is built for the pipeline's hot path: every type is safe for
-// concurrent use, and every method is a guarded no-op on a nil receiver, so
-// instrumented code can thread a nil *Registry or *Tracer through without
-// branching and without paying any allocation (guarded by
-// TestNilRegistryZeroAlloc and BenchmarkNilRegistryHotPath).
-//
-// Only the standard library is used: sync/atomic for the counters and
-// histogram buckets, expvar for /debug/vars, net/http/pprof for live
-// profiling, and runtime/trace for optional execution-trace regions.
 package obs
 
 import (
@@ -40,6 +27,38 @@ func (c *Counter) Value() int64 {
 		return 0
 	}
 	return c.n.Load()
+}
+
+// Gauge is an instantaneous int64 level — a queue depth, an in-flight
+// count — that moves both ways, unlike a Counter's monotone story. The zero
+// value is ready to use; all methods are nil-safe.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Set replaces the gauge's value. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.n.Store(v)
+}
+
+// Add moves the gauge by delta (negative deltas decrease it). No-op on a
+// nil gauge.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.n.Add(delta)
+}
+
+// Value returns the current level (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.n.Load()
 }
 
 // NumBuckets is the fixed number of histogram buckets: 27 log-scaled
@@ -205,29 +224,45 @@ type BucketCount struct {
 
 // HistogramSnapshot is the JSON-serializable state of one histogram.
 type HistogramSnapshot struct {
-	Count       int64         `json:"count"`
-	SumSeconds  float64       `json:"sumSeconds"`
-	MeanSeconds float64       `json:"meanSeconds"`
-	MinSeconds  float64       `json:"minSeconds"`
-	MaxSeconds  float64       `json:"maxSeconds"`
-	P50Seconds  float64       `json:"p50Seconds"`
-	P95Seconds  float64       `json:"p95Seconds"`
-	P99Seconds  float64       `json:"p99Seconds"`
-	Buckets     []BucketCount `json:"buckets,omitempty"`
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+	// SumSeconds and MeanSeconds are the total and average observation.
+	SumSeconds float64 `json:"sumSeconds"`
+	// MeanSeconds is SumSeconds / Count.
+	MeanSeconds float64 `json:"meanSeconds"`
+	// MinSeconds and MaxSeconds are the observed extremes.
+	MinSeconds float64 `json:"minSeconds"`
+	// MaxSeconds is the largest observation.
+	MaxSeconds float64 `json:"maxSeconds"`
+	// P50Seconds, P95Seconds and P99Seconds are bucket-interpolated
+	// percentiles.
+	P50Seconds float64 `json:"p50Seconds"`
+	// P95Seconds is the 95th percentile.
+	P95Seconds float64 `json:"p95Seconds"`
+	// P99Seconds is the 99th percentile.
+	P99Seconds float64 `json:"p99Seconds"`
+	// Buckets is the raw distribution.
+	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // Snapshot is a point-in-time JSON-serializable view of a Registry.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters"`
+	// Counters maps counter names to their current counts.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges maps gauge names to their current levels (omitted when no
+	// gauge is registered).
+	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// Histograms maps histogram names to their snapshots.
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Registry holds named counters and histograms. A nil *Registry is a valid
-// disabled registry: Counter and Histogram return nil instruments whose
-// methods no-op without allocating.
+// Registry holds named counters, gauges and histograms. A nil *Registry is
+// a valid disabled registry: Counter, Gauge and Histogram return nil
+// instruments whose methods no-op without allocating.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -235,6 +270,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -258,6 +294,27 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil (a
+// valid no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it on first use. Returns
@@ -288,8 +345,11 @@ func (r *Registry) Names() []string {
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	names := make([]string, 0, len(r.counters)+len(r.hists))
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
 	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
 		names = append(names, n)
 	}
 	for n := range r.hists {
@@ -314,6 +374,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for n, c := range r.counters {
 		counters[n] = c
 	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for n, h := range r.hists {
 		hists[n] = h
@@ -321,6 +385,12 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.RUnlock()
 	for n, c := range counters {
 		s.Counters[n] = c.Value()
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(gauges))
+		for n, g := range gauges {
+			s.Gauges[n] = g.Value()
+		}
 	}
 	for n, h := range hists {
 		s.Histograms[n] = h.snapshot()

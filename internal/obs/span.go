@@ -13,7 +13,9 @@ const DefaultSpanCapacity = 4096
 
 // Attr is one key/value annotation on a span.
 type Attr struct {
-	Key   string `json:"key"`
+	// Key names the annotation.
+	Key string `json:"key"`
+	// Value is the annotation's rendered value.
 	Value string `json:"value"`
 }
 
@@ -129,9 +131,11 @@ func (t *Tracer) Spans() []Span {
 // SpanDump is the JSON payload of /debug/thor/spans.
 type SpanDump struct {
 	// Total counts every span ever recorded; Dropped = Total - len(Spans).
-	Total   uint64 `json:"total"`
+	Total uint64 `json:"total"`
+	// Dropped is the number of spans evicted from the ring buffer.
 	Dropped uint64 `json:"dropped"`
-	Spans   []Span `json:"spans"`
+	// Spans are the retained spans, oldest first.
+	Spans []Span `json:"spans"`
 }
 
 // Dump captures the tracer state for serialization.

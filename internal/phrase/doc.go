@@ -1,0 +1,9 @@
+// Package phrase extracts noun phrases from dependency-parsed sentences and
+// enumerates candidate subphrases, implementing PARSER.EXTRACTNOUNPHRASES of
+// Algorithm 1 in the THOR paper.
+//
+// A noun phrase is a dependency subtree whose root is a NOUN, PROPN or PRON,
+// restricted to the contiguous pre-nominal modifier span (determiners,
+// adjectives, numerals and compound nouns). Leading and trailing stop-words
+// are stripped, so "the lungs" yields the phrase "lungs".
+package phrase

@@ -1,11 +1,3 @@
-// Package phrase extracts noun phrases from dependency-parsed sentences and
-// enumerates candidate subphrases, implementing PARSER.EXTRACTNOUNPHRASES of
-// Algorithm 1 in the THOR paper.
-//
-// A noun phrase is a dependency subtree whose root is a NOUN, PROPN or PRON,
-// restricted to the contiguous pre-nominal modifier span (determiners,
-// adjectives, numerals and compound nouns). Leading and trailing stop-words
-// are stripped, so "the lungs" yields the phrase "lungs".
 package phrase
 
 import (
@@ -179,7 +171,10 @@ func Subphrases(p Phrase) [][]string {
 
 // Span is a half-open [Start, End) window into a phrase's Words. Every
 // subphrase is contiguous, so a span identifies it without copying.
-type Span struct{ Start, End int }
+type Span struct {
+	// Start and End are word indices delimiting the half-open window.
+	Start, End int
+}
 
 // AppendSubphraseSpans appends the spans of p's candidate subphrases to dst
 // (reusing its capacity) in exactly Subphrases order. It exists for hot-path

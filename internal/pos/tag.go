@@ -1,13 +1,3 @@
-// Package pos implements a deterministic rule-based part-of-speech tagger
-// over the Universal Dependencies tag set.
-//
-// The tagger plays the role of spaCy's statistical tagger in the original
-// THOR system. It combines (1) a closed-class lexicon, (2) an open-class
-// lexicon of frequent words, (3) suffix and shape heuristics, and (4) a small
-// set of contextual patch rules in the spirit of a Brill tagger. THOR only
-// consumes the tags NOUN/PROPN/PRON (noun-phrase heads), ADJ/DET/NUM
-// (modifiers) and VERB/ADP (phrase boundaries), so the rules are tuned for
-// exactly those distinctions.
 package pos
 
 // Tag is a Universal Dependencies part-of-speech tag.

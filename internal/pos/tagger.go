@@ -10,6 +10,7 @@ import (
 // TaggedToken pairs a token with its part-of-speech tag.
 type TaggedToken struct {
 	text.Token
+	// Tag is the assigned Universal Dependencies part of speech.
 	Tag Tag
 }
 

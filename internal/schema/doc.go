@@ -1,0 +1,5 @@
+// Package schema implements the concept-oriented data model of the THOR
+// paper (Section III): concepts, schemas with a subject concept, and
+// relational tables whose cells are multi-valued and may hold labeled nulls
+// (⊥), the missing values integration produces.
+package schema

@@ -1,7 +1,3 @@
-// Package schema implements the concept-oriented data model of the THOR
-// paper (Section III): concepts, schemas with a subject concept, and
-// relational tables whose cells are multi-valued and may hold labeled nulls
-// (⊥), the missing values integration produces.
 package schema
 
 import (
@@ -70,8 +66,10 @@ func (s Schema) WithConcept(c Concept) Schema {
 // the labeled null ⊥ ("nothing known"), distinct from an empty non-nil slice
 // only in provenance; both count as missing.
 type Row struct {
+	// Subject is the row's subject instance (the key).
 	Subject string
-	Cells   map[Concept][]string
+	// Cells maps each non-subject concept to its instances.
+	Cells map[Concept][]string
 }
 
 // Values returns the instances the row holds for concept c (nil if missing
@@ -108,6 +106,7 @@ func (r *Row) Missing(c Concept) bool { return len(r.Cells[c]) == 0 }
 
 // Table is a relation adhering to a concept-oriented schema.
 type Table struct {
+	// Schema is the table's concept-oriented schema.
 	Schema Schema
 	// Rows in insertion order; Subjects are unique (enforced by AddRow).
 	Rows []*Row
@@ -243,7 +242,9 @@ func (t *Table) ClearNonSubject() {
 // Sparsity summarizes missingness: cells is rows × non-subject concepts,
 // missing the count of labeled nulls among them.
 type Sparsity struct {
-	Cells   int
+	// Cells is rows × non-subject concepts.
+	Cells int
+	// Missing counts the labeled nulls among them.
 	Missing int
 }
 

@@ -1,0 +1,10 @@
+// Package segment implements Phase ① (a) of the THOR pipeline: splitting a
+// document into sentences and associating each sentence with an instance of
+// the subject concept (Algorithm 1, line 1).
+//
+// The strategy mirrors the paper: documents (or paragraphs) typically talk
+// about one subject instance at a time, so a direct mention switches the
+// active subject and subsequent sentences inherit it; sentences before any
+// mention fall back to the document's default subject (e.g. the disease a
+// Disease A-Z page is about) or, failing that, a fuzzy match.
+package segment

@@ -1,12 +1,3 @@
-// Package segment implements Phase ① (a) of the THOR pipeline: splitting a
-// document into sentences and associating each sentence with an instance of
-// the subject concept (Algorithm 1, line 1).
-//
-// The strategy mirrors the paper: documents (or paragraphs) typically talk
-// about one subject instance at a time, so a direct mention switches the
-// active subject and subsequent sentences inherit it; sentences before any
-// mention fall back to the document's default subject (e.g. the disease a
-// Disease A-Z page is about) or, failing that, a fuzzy match.
 package segment
 
 import (
@@ -31,7 +22,9 @@ type Document struct {
 // Assignment pairs a sentence with the subject instance it talks about.
 // Subject is empty when no instance could be determined.
 type Assignment struct {
-	Subject  string
+	// Subject is the instance the sentence was attributed to.
+	Subject string
+	// Sentence is the attributed sentence.
 	Sentence text.Sentence
 }
 

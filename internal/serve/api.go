@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"thor/internal/thor"
+)
+
+// Document is one input text of a fill or extract request.
+type Document struct {
+	// Name identifies the document in entity provenance and quarantine
+	// records. Empty names default to "doc-<index>".
+	Name string `json:"name,omitempty"`
+	// DefaultSubject, when set, is the subject instance the document is
+	// about before any explicit mention (see segment.Document).
+	DefaultSubject string `json:"default_subject,omitempty"`
+	// Text is the raw document body.
+	Text string `json:"text"`
+}
+
+// Request is the JSON body of POST /v1/fill and POST /v1/extract.
+type Request struct {
+	// Documents are the texts to conceptualize; at least one is required.
+	Documents []Document `json:"documents"`
+	// DocTimeoutMS optionally bounds the wall clock any single document of
+	// this request may spend in extraction (thor.Config.DocTimeout). A
+	// batch applies the strictest bound among its batchmates, so the
+	// effective timeout is never looser than requested. Zero inherits the
+	// server default.
+	DocTimeoutMS int64 `json:"doc_timeout_ms,omitempty"`
+}
+
+// Entity is the wire form of thor.Entity: one conceptualized entity with
+// its refinement scores.
+type Entity struct {
+	// Phrase is the extracted (normalized) phrase e.p.
+	Phrase string `json:"phrase"`
+	// Concept is the assigned schema concept e.C.
+	Concept string `json:"concept"`
+	// Doc names the document the entity was extracted from.
+	Doc string `json:"doc"`
+	// Matched is the seed instance the matcher aligned the phrase to.
+	Matched string `json:"matched"`
+	// Score is the combined refinement score.
+	Score float64 `json:"score"`
+	// Semantic, Jaccard and Gestalt are the three component similarities.
+	Semantic float64 `json:"semantic"`
+	// Jaccard is the word-level similarity.
+	Jaccard float64 `json:"jaccard"`
+	// Gestalt is the character-level similarity.
+	Gestalt float64 `json:"gestalt"`
+}
+
+// Quarantine is the wire form of one quarantined document: the request's
+// other documents complete normally (fault isolation, PR 3). Panic stacks
+// are deliberately not exposed over HTTP; they remain in the server-side
+// quarantine records and spans.
+type Quarantine struct {
+	// Doc is the document's name.
+	Doc string `json:"doc"`
+	// Index is the document's position in the request's Documents slice.
+	Index int `json:"index"`
+	// Stage names the pipeline stage that failed, when attributable.
+	Stage string `json:"stage,omitempty"`
+	// Error is the failure message.
+	Error string `json:"error"`
+}
+
+// StageCost is one row of a response's per-stage cost breakdown, summed
+// over the request's completed documents.
+type StageCost struct {
+	// Stage names the pipeline stage (see thor.PipelineStages).
+	Stage string `json:"stage"`
+	// Calls is the number of times the stage ran for this request.
+	Calls int64 `json:"calls"`
+	// TotalMS is the summed duration across those calls, in milliseconds.
+	TotalMS float64 `json:"total_ms"`
+}
+
+// Stats summarizes one request's execution: what its documents produced and
+// what the batching cost it.
+type Stats struct {
+	// Documents is the number of documents in the request.
+	Documents int `json:"documents"`
+	// Completed is the number that finished extraction.
+	Completed int `json:"completed"`
+	// Skipped counts documents never extracted (server shutdown mid-run).
+	Skipped int `json:"skipped,omitempty"`
+	// Sentences, Phrases and Candidates are the pipeline counters summed
+	// over the request's completed documents.
+	Sentences int `json:"sentences"`
+	// Phrases counts extracted noun phrases.
+	Phrases int `json:"phrases"`
+	// Candidates counts semantic match candidates.
+	Candidates int `json:"candidates"`
+	// Entities is the number of refined entities after per-subject
+	// deduplication.
+	Entities int `json:"entities"`
+	// Filled is the number of slots written (POST /v1/fill only).
+	Filled int `json:"filled"`
+	// Quarantined lists this request's failed documents, if any.
+	Quarantined []Quarantine `json:"quarantined,omitempty"`
+	// BatchDocs is the total document count of the micro-batch the request
+	// rode in (≥ Documents).
+	BatchDocs int `json:"batch_docs"`
+	// QueueWaitMS is the time the request spent queued before its batch
+	// started, in milliseconds.
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// RunMS is the batch's pipeline wall clock, in milliseconds.
+	RunMS float64 `json:"run_ms"`
+	// Stages breaks the request's document work down per pipeline stage.
+	Stages []StageCost `json:"stages,omitempty"`
+}
+
+// Response is the JSON body of a successful fill or extract call.
+type Response struct {
+	// Entities maps each subject instance to its extracted entities (the
+	// map E[c*] of Algorithm 1, restricted to this request's documents).
+	Entities map[string][]Entity `json:"entities"`
+	// Assignments are the slots the request filled, in deterministic
+	// order (POST /v1/fill only).
+	Assignments []thor.Assignment `json:"assignments,omitempty"`
+	// Stats summarizes the request's execution.
+	Stats Stats `json:"stats"`
+}
+
+// Error codes of the ErrorInfo envelope.
+const (
+	// CodeInvalidRequest marks malformed or out-of-bounds request bodies
+	// (HTTP 400).
+	CodeInvalidRequest = "invalid_request"
+	// CodeMethodNotAllowed marks non-POST calls to the POST endpoints
+	// (HTTP 405).
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeOverloaded marks load shedding: the admission queue is full
+	// (HTTP 503 with Retry-After).
+	CodeOverloaded = "overloaded"
+	// CodeDraining marks requests arriving during graceful shutdown
+	// (HTTP 503 with Retry-After).
+	CodeDraining = "draining"
+	// CodeClosed marks requests interrupted by a hard server stop
+	// (HTTP 503).
+	CodeClosed = "server_closed"
+	// CodeInternal marks unexpected server-side failures (HTTP 500).
+	CodeInternal = "internal"
+)
+
+// ErrorInfo is the error payload of the envelope.
+type ErrorInfo struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is a human-readable description.
+	Message string `json:"message"`
+}
+
+// ErrorBody is the uniform error envelope every non-2xx response carries.
+type ErrorBody struct {
+	// Error describes what went wrong.
+	Error ErrorInfo `json:"error"`
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, ErrorBody{Error: ErrorInfo{Code: code, Message: message}})
+}
+
+// wireEntities converts the merged per-subject entity map to its wire form.
+func wireEntities(merged map[string][]thor.Entity) map[string][]Entity {
+	out := make(map[string][]Entity, len(merged))
+	for subj, es := range merged {
+		ws := make([]Entity, len(es))
+		for i, e := range es {
+			ws[i] = Entity{
+				Phrase:   e.Phrase,
+				Concept:  string(e.Concept),
+				Doc:      e.Doc,
+				Matched:  e.Matched,
+				Score:    e.Score,
+				Semantic: e.ScoreS,
+				Jaccard:  e.ScoreW,
+				Gestalt:  e.ScoreC,
+			}
+		}
+		out[subj] = ws
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"thor/internal/obs"
+	"thor/internal/segment"
+	"thor/internal/thor"
+)
+
+// pending is one admitted request waiting for (or riding in) a batch.
+type pending struct {
+	ctx        reqContext
+	docs       []segment.Document
+	docTimeout time.Duration
+	enq        time.Time
+	// resp is buffered (capacity 1) so the coalescer never blocks on a
+	// client that stopped listening.
+	resp chan batchOutcome
+}
+
+// reqContext is the slice of context.Context the coalescer needs; it keeps
+// pending testable without spinning up HTTP requests.
+type reqContext interface {
+	Err() error
+	Done() <-chan struct{}
+}
+
+// batchOutcome is one request's demultiplexed share of a batch run.
+type batchOutcome struct {
+	// docs are the request's completed documents, reindexed to the
+	// request's own document order.
+	docs []thor.DocResult
+	// quarantined are the request's failed documents, reindexed likewise.
+	quarantined []thor.DocumentFailure
+	// skipped counts the request's documents never extracted (hard stop).
+	skipped int
+	// batchDocs is the total document count of the batch.
+	batchDocs int
+	// queueWait is the time from admission to batch start.
+	queueWait time.Duration
+	// runDur is the batch's pipeline wall clock.
+	runDur time.Duration
+	// err, when set, replaces the payload: the request failed as a whole
+	// (cancelled while queued, or the server closed).
+	err error
+}
+
+// dispatch is the coalescer goroutine: it gathers admitted requests into
+// micro-batches and runs them until drain (finish everything, then exit) or
+// hard stop (answer the queue with ErrClosed, then exit).
+func (s *Server) dispatch() {
+	defer close(s.done)
+	for {
+		select {
+		case p := <-s.queue:
+			s.runBatch(s.gather(p))
+		case <-s.drainCh:
+			// Graceful drain: admission is already off (Server.mu ordering
+			// guarantees no enqueue is still in progress), so the queue
+			// can only shrink; batch until it is empty.
+			for {
+				select {
+				case p := <-s.queue:
+					s.runBatch(s.gather(p))
+				default:
+					return
+				}
+			}
+		case <-s.baseCtx.Done():
+			s.failQueue()
+			return
+		}
+	}
+}
+
+// failQueue answers every queued request with ErrClosed (hard stop).
+func (s *Server) failQueue() {
+	for {
+		select {
+		case p := <-s.queue:
+			s.ins.queueDepth.Add(-1)
+			p.resp <- batchOutcome{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// gather builds one micro-batch: the first request plus whatever else
+// arrives before the batch holds Options.BatchMax documents or
+// Options.BatchWindow elapses. A zero window (or an in-progress drain)
+// takes only what is already queued.
+func (s *Server) gather(first *pending) []*pending {
+	batch := []*pending{first}
+	total := len(first.docs)
+	if total >= s.opts.BatchMax {
+		return batch
+	}
+	var window <-chan time.Time
+	if s.opts.BatchWindow > 0 {
+		t := time.NewTimer(s.opts.BatchWindow)
+		defer t.Stop()
+		window = t.C
+	}
+	for total < s.opts.BatchMax {
+		if window == nil {
+			// No window: drain what is immediately available and go.
+			select {
+			case p := <-s.queue:
+				batch = append(batch, p)
+				total += len(p.docs)
+			default:
+				return batch
+			}
+			continue
+		}
+		select {
+		case p := <-s.queue:
+			batch = append(batch, p)
+			total += len(p.docs)
+		case <-window:
+			return batch
+		case <-s.drainCh:
+			// Draining: stop waiting for stragglers, take what is queued.
+			window = nil
+		case <-s.baseCtx.Done():
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch executes one micro-batch through a single pipeline run and
+// demultiplexes the per-document outcomes back to their requests. Requests
+// whose context ended while queued are answered (and excluded) up front.
+func (s *Server) runBatch(batch []*pending) {
+	if s.testBatchStart != nil {
+		s.testBatchStart()
+	}
+	live := make([]*pending, 0, len(batch))
+	for _, p := range batch {
+		s.ins.queueDepth.Add(-1)
+		if err := p.ctx.Err(); err != nil {
+			s.ins.canceled.Add(1)
+			p.resp <- batchOutcome{err: err}
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+	batchStart := time.Now()
+	var docs []segment.Document
+	starts := make([]int, len(live))
+	var docTimeout time.Duration
+	for i, p := range live {
+		starts[i] = len(docs)
+		docs = append(docs, p.docs...)
+		// The batch honors the strictest per-document deadline among its
+		// batchmates: never looser than any request asked for.
+		if p.docTimeout > 0 && (docTimeout == 0 || p.docTimeout < docTimeout) {
+			docTimeout = p.docTimeout
+		}
+		s.ins.queueWait.Observe(batchStart.Sub(p.enq))
+	}
+	sp := s.opts.Tracer.StartSpan("batch",
+		obs.String("requests", strconv.Itoa(len(live))),
+		obs.String("docs", strconv.Itoa(len(docs))))
+	res, err := thor.RunContext(s.baseCtx, s.opts.Table, s.opts.Space, docs, s.runConfig(docTimeout))
+	runDur := time.Since(batchStart)
+	sp.End()
+	s.ins.batches.Add(1)
+	s.ins.batchDocs.Add(int64(len(docs)))
+	s.ins.batchRun.Observe(runDur)
+	if res == nil {
+		for _, p := range live {
+			p.resp <- batchOutcome{err: err}
+		}
+		return
+	}
+
+	outs := make([]batchOutcome, len(live))
+	for i, p := range live {
+		outs[i] = batchOutcome{
+			batchDocs: len(docs),
+			queueWait: batchStart.Sub(p.enq),
+			runDur:    runDur,
+		}
+	}
+	owner := func(global int) int {
+		// The owner is the last range starting at or before the index.
+		return sort.Search(len(starts), func(i int) bool { return starts[i] > global }) - 1
+	}
+	for _, d := range res.Docs {
+		i := owner(d.Index)
+		d.Index -= starts[i]
+		outs[i].docs = append(outs[i].docs, d)
+	}
+	for _, q := range res.Stats.Quarantined {
+		i := owner(q.Index)
+		q.Index -= starts[i]
+		outs[i].quarantined = append(outs[i].quarantined, q)
+	}
+	for i, p := range live {
+		outs[i].skipped = len(p.docs) - len(outs[i].docs) - len(outs[i].quarantined)
+		if err != nil && outs[i].skipped == len(p.docs) {
+			// A hard stop interrupted the run before any of this request's
+			// documents were attempted; report the stop, not an empty
+			// success.
+			outs[i] = batchOutcome{err: ErrClosed}
+		}
+		p.resp <- outs[i]
+	}
+}

@@ -1,0 +1,73 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"thor/internal/embed"
+	"thor/internal/schema"
+	"thor/internal/serve"
+)
+
+// ExampleNewServer starts the online slot-filling engine over a miniature
+// table and embedding space, then fills a labeled null with one POST
+// /v1/fill call. Concurrent requests would be coalesced into micro-batched
+// pipeline runs over the same warm caches.
+func ExampleNewServer() {
+	table := schema.NewTable(schema.NewSchema("Disease", "Anatomy", "Complication"))
+	table.AddRow("Acoustic Neuroma").Add("Anatomy", "nervous system")
+	table.AddRow("Tuberculosis").Add("Complication", "skin cancer")
+
+	space := embed.NewSpace()
+	anatomy := embed.HashVector("ex:anatomy")
+	complication := embed.HashVector("ex:complication")
+	add := func(c embed.Vector, alpha float64, noise string, words ...string) {
+		for _, w := range words {
+			for _, part := range strings.Fields(w) {
+				key := noise
+				if key == "" {
+					key = "ex-noise:" + part
+				}
+				space.Add(part, embed.Blend(c, embed.HashVector(key), alpha))
+			}
+		}
+	}
+	add(anatomy, 0.58, "", "nervous system", "brain", "nerve", "ear", "lungs")
+	add(complication, 0.85, "ex:cancer-family", "cancer", "cancerous", "non-cancerous", "tumor")
+
+	srv, err := serve.NewServer(serve.Options{Table: table, Space: space, Tau: 0.6, Workers: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body, _ := json.Marshal(serve.Request{Documents: []serve.Document{{
+		Name: "health-portal",
+		Text: "An Acoustic Neuroma is a slow-growing non-cancerous brain tumor.",
+	}}})
+	resp, err := http.Post(ts.URL+"/v1/fill", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer resp.Body.Close()
+	var out serve.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, a := range out.Assignments {
+		fmt.Printf("%s / %s := %s\n", a.Subject, a.Concept, a.Value)
+	}
+	fmt.Println("filled:", out.Stats.Filled)
+	// Output:
+	// Acoustic Neuroma / Complication := non-cancerous brain tumor
+	// filled: 1
+}

@@ -1,0 +1,742 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"thor/internal/embed"
+	"thor/internal/obs"
+	"thor/internal/schema"
+	"thor/internal/segment"
+	"thor/internal/thor"
+)
+
+// testWorld builds a miniature but non-trivial serving fixture: a 4-disease
+// table with labeled nulls and an embedding space whose clusters make the
+// matcher generalize (the ExampleRun fixture, widened).
+func testWorld() (*schema.Table, *embed.Space) {
+	table := schema.NewTable(schema.NewSchema("Disease", "Anatomy", "Complication"))
+	table.AddRow("Acoustic Neuroma").Add("Anatomy", "nervous system")
+	table.AddRow("Tuberculosis").Add("Complication", "skin cancer")
+	table.AddRow("Malaria")
+	table.AddRow("Cholera").Add("Anatomy", "small intestine")
+
+	space := embed.NewSpace()
+	anatomy := embed.HashVector("ex:anatomy")
+	complication := embed.HashVector("ex:complication")
+	add := func(c embed.Vector, alpha float64, noise string, words ...string) {
+		for _, w := range words {
+			for _, part := range strings.Fields(w) {
+				key := noise
+				if key == "" {
+					key = "ex-noise:" + part
+				}
+				space.Add(part, embed.Blend(c, embed.HashVector(key), alpha))
+			}
+		}
+	}
+	add(anatomy, 0.58, "", "nervous system", "brain", "nerve", "ear", "lungs",
+		"small intestine", "liver", "kidneys")
+	add(complication, 0.85, "ex:cancer-family", "cancer", "cancerous", "non-cancerous", "tumor")
+	return table, space
+}
+
+// worldDocs are deterministic request payloads over the fixture; each entry
+// produces at least one entity on its own.
+var worldDocs = []Document{
+	{Name: "an", DefaultSubject: "Acoustic Neuroma",
+		Text: "An Acoustic Neuroma is a slow-growing non-cancerous brain tumor."},
+	{Name: "tb", DefaultSubject: "Tuberculosis",
+		Text: "Tuberculosis generally damages the lungs of the patient."},
+	{Name: "mal", DefaultSubject: "Malaria",
+		Text: "Malaria parasites travel to the liver and can reach the brain."},
+	{Name: "cho", DefaultSubject: "Cholera",
+		Text: "Cholera infects the small intestine and may harm the kidneys."},
+}
+
+// segmentDocs converts wire documents to pipeline documents the way the
+// handler does.
+func segmentDocs(in []Document) []segment.Document {
+	out := make([]segment.Document, len(in))
+	for i, d := range in {
+		name := d.Name
+		if name == "" {
+			name = fmt.Sprintf("doc-%d", i)
+		}
+		out[i] = segment.Document{Name: name, DefaultSubject: d.DefaultSubject, Text: d.Text}
+	}
+	return out
+}
+
+// singleShot runs the reference single-request pipeline the serving results
+// must be bit-identical to.
+func singleShot(t *testing.T, opts Options, docs []Document) *thor.Result {
+	t.Helper()
+	res, err := thor.RunContext(context.Background(), opts.Table, opts.Space, segmentDocs(docs),
+		thor.Config{
+			Tau:                opts.Tau,
+			Knowledge:          opts.Knowledge,
+			Lexicon:            opts.Lexicon,
+			MaxFailureFraction: 1,
+			FaultHook:          opts.FaultHook,
+		})
+	if err != nil {
+		t.Fatalf("single-shot run: %v", err)
+	}
+	return res
+}
+
+// postJSON POSTs body as JSON and returns status plus raw response bytes.
+func postJSON(t *testing.T, client *http.Client, url string, body any) (int, []byte, http.Header) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, raw, resp.Header
+}
+
+// decodeResponse unmarshals a 200 payload.
+func decodeResponse(t *testing.T, raw []byte) Response {
+	t.Helper()
+	var r Response
+	if err := json.Unmarshal(raw, &r); err != nil {
+		t.Fatalf("decode response: %v (%s)", err, raw)
+	}
+	return r
+}
+
+// decodeError unmarshals an error envelope.
+func decodeError(t *testing.T, raw []byte) ErrorBody {
+	t.Helper()
+	var e ErrorBody
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatalf("decode error envelope: %v (%s)", err, raw)
+	}
+	return e
+}
+
+// waitFor polls cond until it is true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// holdBatches builds a batch-start hook that signals entry and then blocks
+// until release is called. entered is buffered so later (unheld) batches
+// never block on it; release is idempotent and safe to defer.
+func holdBatches() (hook func(), entered chan struct{}, release func()) {
+	hold := make(chan struct{})
+	entered = make(chan struct{}, 64)
+	var once sync.Once
+	release = func() { once.Do(func() { close(hold) }) }
+	hook = func() {
+		entered <- struct{}{}
+		<-hold
+	}
+	return hook, entered, release
+}
+
+// waitEnter blocks until the coalescer enters a batch (the hook fired).
+func waitEnter(t *testing.T, entered <-chan struct{}) {
+	t.Helper()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for a batch to start")
+	}
+}
+
+// assertBitIdentical compares one serving response with the single-shot
+// reference run over the same documents. base is the pristine pre-fill table
+// (a fresh clone is filled to recompute the reference assignments).
+func assertBitIdentical(t *testing.T, label string, got Response, ref *thor.Result, base *schema.Table, fill bool) {
+	t.Helper()
+	wantEnts := wireEntities(ref.Entities)
+	if len(wantEnts) != 0 || len(got.Entities) != 0 {
+		if !reflect.DeepEqual(got.Entities, wantEnts) {
+			t.Errorf("%s: entities diverge from single-shot run\n got: %+v\nwant: %+v", label, got.Entities, wantEnts)
+		}
+	}
+	if fill {
+		want := thor.Fill(base.Clone(), ref.Entities)
+		if !reflect.DeepEqual(got.Assignments, want) && !(len(got.Assignments) == 0 && len(want) == 0) {
+			t.Errorf("%s: assignments diverge\n got: %+v\nwant: %+v", label, got.Assignments, want)
+		}
+		if got.Stats.Filled != ref.Stats.Filled {
+			t.Errorf("%s: filled %d, single-shot %d", label, got.Stats.Filled, ref.Stats.Filled)
+		}
+	} else if len(got.Assignments) != 0 {
+		t.Errorf("%s: extract response carries assignments", label)
+	}
+	if got.Stats.Sentences != ref.Stats.Sentences ||
+		got.Stats.Phrases != ref.Stats.Phrases ||
+		got.Stats.Candidates != ref.Stats.Candidates ||
+		got.Stats.Entities != ref.Stats.Entities {
+		t.Errorf("%s: counters diverge: got %+v, single-shot %+v", label, got.Stats, ref.Stats)
+	}
+}
+
+// startEngine builds a hooked engine plus an httptest server around it.
+func startEngine(t *testing.T, opts Options, hook func()) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.Table == nil {
+		opts.Table, opts.Space = testWorld()
+	}
+	if opts.Tau == 0 {
+		opts.Tau = 0.6
+	}
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	s, err := newServer(opts, hook)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// TestFillBitIdenticalAcrossBatch coalesces several concurrent requests
+// into one pipeline run and asserts every demultiplexed response is
+// bit-identical to a single-shot run over just that request's documents.
+func TestFillBitIdenticalAcrossBatch(t *testing.T) {
+	hook, entered, release := holdBatches()
+	defer release()
+	reg := obs.NewRegistry()
+	s, ts := startEngine(t, Options{BatchMax: 64, BatchWindow: 0, QueueDepth: 64, Metrics: reg}, hook)
+
+	// Request 0 occupies the coalescer (held at the hook); requests 1..3
+	// queue behind it and must land in one shared batch.
+	requests := [][]Document{
+		{worldDocs[0]},
+		{worldDocs[1], worldDocs[2]},
+		{worldDocs[3]},
+		{worldDocs[0], worldDocs[3]},
+	}
+	type reply struct {
+		idx    int
+		status int
+		raw    []byte
+	}
+	replies := make(chan reply, len(requests))
+	var wg sync.WaitGroup
+	post := func(i int) {
+		defer wg.Done()
+		status, raw, _ := postJSON(t, ts.Client(), ts.URL+"/v1/fill", Request{Documents: requests[i]})
+		replies <- reply{i, status, raw}
+	}
+	wg.Add(1)
+	go post(0)
+	waitEnter(t, entered)
+	for i := 1; i < len(requests); i++ {
+		wg.Add(1)
+		go post(i)
+	}
+	// The held request is still counted in the gauge (its decrement happens
+	// once its batch resumes), so held + queued = all requests.
+	waitFor(t, "requests queued", func() bool { return s.ins.queueDepth.Value() == int64(len(requests)) })
+	release()
+	wg.Wait()
+	close(replies)
+
+	batchedDocs := 0
+	for _, r := range requests[1:] {
+		batchedDocs += len(r)
+	}
+	for rep := range replies {
+		if rep.status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", rep.idx, rep.status, rep.raw)
+		}
+		resp := decodeResponse(t, rep.raw)
+		ref := singleShot(t, s.opts, requests[rep.idx])
+		assertBitIdentical(t, fmt.Sprintf("request %d", rep.idx), resp, ref, s.opts.Table, true)
+		if rep.idx > 0 && resp.Stats.BatchDocs != batchedDocs {
+			t.Errorf("request %d: batch_docs %d, want %d (coalesced)", rep.idx, resp.Stats.BatchDocs, batchedDocs)
+		}
+		if resp.Stats.Completed != len(requests[rep.idx]) {
+			t.Errorf("request %d: completed %d of %d", rep.idx, resp.Stats.Completed, len(requests[rep.idx]))
+		}
+	}
+	if got := reg.Counter("serve.batches").Value(); got != 2 {
+		t.Errorf("batches = %d, want 2 (one held, one coalesced)", got)
+	}
+	// The response must carry real work for the fixture.
+	ref := singleShot(t, s.opts, requests[1])
+	if ref.Stats.Entities == 0 || ref.Stats.Filled == 0 {
+		t.Fatalf("fixture produces no entities/fills; test is vacuous: %+v", ref.Stats)
+	}
+}
+
+// TestExtractOmitsFill asserts /v1/extract returns entities but never
+// assignments, again bit-identical to a single-shot run.
+func TestExtractOmitsFill(t *testing.T) {
+	s, ts := startEngine(t, Options{BatchWindow: 0}, nil)
+	status, raw, _ := postJSON(t, ts.Client(), ts.URL+"/v1/extract", Request{Documents: []Document{worldDocs[0]}})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	resp := decodeResponse(t, raw)
+	ref := singleShot(t, s.opts, []Document{worldDocs[0]})
+	assertBitIdentical(t, "extract", resp, ref, s.opts.Table, false)
+	if resp.Stats.Filled != 0 {
+		t.Errorf("extract filled = %d, want 0", resp.Stats.Filled)
+	}
+}
+
+// TestLoadShedding fills the bounded queue while the coalescer is held and
+// asserts the next request is shed with 503 + Retry-After + the overloaded
+// error envelope — and that shedding never disturbs queued requests.
+func TestLoadShedding(t *testing.T) {
+	hook, entered, release := holdBatches()
+	defer release()
+	reg := obs.NewRegistry()
+	s, ts := startEngine(t, Options{BatchMax: 1, BatchWindow: 0, QueueDepth: 2, Metrics: reg}, hook)
+
+	var wg sync.WaitGroup
+	statuses := make([]int, 3)
+	fire := func(i int) {
+		defer wg.Done()
+		statuses[i], _, _ = postJSON(t, ts.Client(), ts.URL+"/v1/fill",
+			Request{Documents: []Document{worldDocs[i%len(worldDocs)]}})
+	}
+	wg.Add(1)
+	go fire(0) // occupies the held batch
+	waitEnter(t, entered)
+	wg.Add(2)
+	go fire(1)
+	go fire(2)
+	waitFor(t, "queue full", func() bool { return s.ins.queueDepth.Value() == 3 }) // 1 held + 2 queued
+
+	status, raw, hdr := postJSON(t, ts.Client(), ts.URL+"/v1/fill", Request{Documents: []Document{worldDocs[3]}})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("shed status = %d, want 503: %s", status, raw)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	if env := decodeError(t, raw); env.Error.Code != CodeOverloaded {
+		t.Errorf("shed code = %q, want %q", env.Error.Code, CodeOverloaded)
+	}
+	if reg.Counter("serve.shed").Value() != 1 {
+		t.Errorf("serve.shed = %d, want 1", reg.Counter("serve.shed").Value())
+	}
+	release()
+	wg.Wait()
+	for i, st := range statuses {
+		if st != http.StatusOK {
+			t.Errorf("queued request %d: status %d, want 200", i, st)
+		}
+	}
+}
+
+// TestCancelWhileQueued cancels a request that is sitting in the admission
+// queue and asserts the coalescer skips it without disturbing its would-be
+// batchmates.
+func TestCancelWhileQueued(t *testing.T) {
+	hook, entered, release := holdBatches()
+	defer release()
+	reg := obs.NewRegistry()
+	s, ts := startEngine(t, Options{BatchMax: 1, BatchWindow: 0, QueueDepth: 8, Metrics: reg}, hook)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var firstStatus int
+	go func() {
+		defer wg.Done()
+		firstStatus, _, _ = postJSON(t, ts.Client(), ts.URL+"/v1/fill", Request{Documents: []Document{worldDocs[0]}})
+	}()
+	waitEnter(t, entered)
+
+	// Queue a second request with a cancellable context, then abandon it.
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(Request{Documents: []Document{worldDocs[1]}})
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/fill", bytes.NewReader(body))
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+			t.Errorf("cancelled request got status %d, want transport error", resp.StatusCode)
+		}
+	}()
+	waitFor(t, "second request queued", func() bool { return s.ins.queueDepth.Value() == 2 }) // 1 held + 1 queued
+	cancel()
+	waitFor(t, "handler observed cancellation", func() bool { return reg.Counter("serve.canceled").Value() >= 1 })
+	release()
+	wg.Wait()
+	if firstStatus != http.StatusOK {
+		t.Errorf("first request status = %d, want 200", firstStatus)
+	}
+	waitFor(t, "queue drained", func() bool { return s.ins.queueDepth.Value() == 0 })
+
+	// The server keeps serving after the cancellation.
+	status, raw, _ := postJSON(t, ts.Client(), ts.URL+"/v1/fill", Request{Documents: []Document{worldDocs[2]}})
+	if status != http.StatusOK {
+		t.Errorf("post-cancel request status = %d: %s", status, raw)
+	}
+}
+
+// TestPartialQuarantine poisons one document of one request inside a shared
+// batch and asserts (a) the poisoned request still gets 200 with its
+// healthy documents' results plus a quarantine record, and (b) its
+// batchmate is untouched and bit-identical to a clean single-shot run.
+func TestPartialQuarantine(t *testing.T) {
+	hook, entered, release := holdBatches()
+	defer release()
+	table, space := testWorld()
+	poison := errors.New("injected segment fault")
+	opts := Options{
+		Table: table, Space: space, Tau: 0.6,
+		BatchMax: 64, BatchWindow: 0, QueueDepth: 8,
+		// Metrics are required here: the queue-depth gauge is the test's
+		// synchronization point, and without a registry it is a no-op.
+		Metrics: obs.NewRegistry(),
+		FaultHook: func(doc string, stage thor.Stage) error {
+			if doc == "poison" && stage == thor.StageSegment {
+				return poison
+			}
+			return nil
+		},
+	}
+	s, ts := startEngine(t, opts, hook)
+
+	reqA := []Document{worldDocs[0], {Name: "poison", DefaultSubject: "Malaria", Text: "Malaria harms the brain."}, worldDocs[2]}
+	reqB := []Document{worldDocs[1]}
+
+	type result struct {
+		status int
+		raw    []byte
+	}
+	results := make(map[string]result)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	post := func(name string, docs []Document) {
+		defer wg.Done()
+		status, raw, _ := postJSON(t, ts.Client(), ts.URL+"/v1/fill", Request{Documents: docs})
+		mu.Lock()
+		results[name] = result{status, raw}
+		mu.Unlock()
+	}
+	// A dummy request occupies the held batch so A and B provably share
+	// the next one.
+	wg.Add(1)
+	go post("dummy", []Document{worldDocs[3]})
+	waitEnter(t, entered)
+	wg.Add(2)
+	go post("A", reqA)
+	go post("B", reqB)
+	waitFor(t, "A and B queued", func() bool { return s.ins.queueDepth.Value() == 3 }) // 1 held + 2 queued
+	release()
+	wg.Wait()
+
+	for name, r := range results {
+		if r.status != http.StatusOK {
+			t.Fatalf("request %s: status %d: %s", name, r.status, r.raw)
+		}
+	}
+	respA := decodeResponse(t, results["A"].raw)
+	if len(respA.Stats.Quarantined) != 1 {
+		t.Fatalf("A quarantined = %+v, want exactly the poisoned doc", respA.Stats.Quarantined)
+	}
+	q := respA.Stats.Quarantined[0]
+	if q.Doc != "poison" || q.Index != 1 || q.Stage != string(thor.StageSegment) || !strings.Contains(q.Error, "injected") {
+		t.Errorf("quarantine record = %+v", q)
+	}
+	if respA.Stats.Completed != 2 {
+		t.Errorf("A completed = %d, want 2", respA.Stats.Completed)
+	}
+	// A's healthy documents match a single-shot run (which quarantines the
+	// same poisoned doc under the same hook).
+	refA := singleShot(t, s.opts, reqA)
+	assertBitIdentical(t, "A", respA, refA, s.opts.Table, true)
+	// B is untouched by its batchmate's fault.
+	refB := singleShot(t, s.opts, reqB)
+	assertBitIdentical(t, "B", decodeResponse(t, results["B"].raw), refB, s.opts.Table, true)
+}
+
+// TestDrainDuringInflight starts a graceful shutdown while one batch is in
+// flight and another request is queued: both must complete with 200, new
+// requests must be shed as draining, readyz must flip, and Shutdown must
+// return cleanly with the dispatcher goroutine gone.
+func TestDrainDuringInflight(t *testing.T) {
+	hook, entered, release := holdBatches()
+	defer release()
+	s, ts := startEngine(t, Options{BatchMax: 1, BatchWindow: 0, QueueDepth: 8, Metrics: obs.NewRegistry()}, hook)
+
+	var wg sync.WaitGroup
+	statuses := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], _, _ = postJSON(t, ts.Client(), ts.URL+"/v1/fill", Request{Documents: []Document{worldDocs[i]}})
+		}(i)
+		if i == 0 {
+			waitEnter(t, entered)
+		}
+	}
+	waitFor(t, "second request queued", func() bool { return s.ins.queueDepth.Value() == 2 }) // 1 held + 1 queued
+
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainErr <- s.Shutdown(ctx)
+	}()
+	waitFor(t, "draining flag", func() bool {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.draining
+	})
+
+	// readyz flips; new work is shed as draining.
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain = %d, want 503", resp.StatusCode)
+	}
+	status, raw, _ := postJSON(t, ts.Client(), ts.URL+"/v1/fill", Request{Documents: []Document{worldDocs[3]}})
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("request during drain = %d, want 503", status)
+	}
+	if env := decodeError(t, raw); env.Error.Code != CodeDraining {
+		t.Errorf("drain code = %q, want %q", env.Error.Code, CodeDraining)
+	}
+
+	release()
+	if err := <-drainErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	for i, st := range statuses {
+		if st != http.StatusOK {
+			t.Errorf("in-flight request %d: status %d, want 200 (drain must finish queued work)", i, st)
+		}
+	}
+	select {
+	case <-s.done:
+	default:
+		t.Error("dispatcher goroutine still running after Shutdown returned")
+	}
+	// healthz stays alive through and after the drain.
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz after drain = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestShutdownNoGoroutineLeak runs a full serve lifecycle and asserts the
+// goroutine count returns to its baseline.
+func TestShutdownNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		table, space := testWorld()
+		s, err := NewServer(Options{Table: table, Space: space, Tau: 0.6, BatchWindow: 0})
+		if err != nil {
+			t.Fatalf("NewServer: %v", err)
+		}
+		ts := httptest.NewServer(s)
+		for i := 0; i < 3; i++ {
+			status, raw, _ := postJSON(t, ts.Client(), ts.URL+"/v1/fill", Request{Documents: []Document{worldDocs[i]}})
+			if status != http.StatusOK {
+				t.Fatalf("request %d: %d %s", i, status, raw)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+		ts.CloseClientConnections()
+		ts.Close()
+	}()
+	waitFor(t, "goroutines to settle", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	})
+}
+
+// TestEmptyBatchWindow asserts a zero window dispatches a lone request
+// immediately as its own batch.
+func TestEmptyBatchWindow(t *testing.T) {
+	s, ts := startEngine(t, Options{BatchWindow: 0}, nil)
+	start := time.Now()
+	status, raw, _ := postJSON(t, ts.Client(), ts.URL+"/v1/fill", Request{Documents: []Document{worldDocs[0]}})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	resp := decodeResponse(t, raw)
+	if resp.Stats.BatchDocs != 1 {
+		t.Errorf("batch_docs = %d, want 1 (no coalescing partner)", resp.Stats.BatchDocs)
+	}
+	_ = s
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("zero-window request took %v; the coalescer must not wait", elapsed)
+	}
+}
+
+// TestBatchMaxSplitsBatches queues three one-doc requests behind a held
+// batch with BatchMax=2 and asserts they split 2+1.
+func TestBatchMaxSplitsBatches(t *testing.T) {
+	hook, entered, release := holdBatches()
+	defer release()
+	reg := obs.NewRegistry()
+	s, ts := startEngine(t, Options{BatchMax: 2, BatchWindow: 0, QueueDepth: 8, Metrics: reg}, hook)
+	var wg sync.WaitGroup
+	sizes := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, raw, _ := postJSON(t, ts.Client(), ts.URL+"/v1/fill", Request{Documents: []Document{worldDocs[i]}})
+			if status != http.StatusOK {
+				t.Errorf("request %d: status %d", i, status)
+				return
+			}
+			sizes[i] = decodeResponse(t, raw).Stats.BatchDocs
+		}(i)
+		if i == 0 {
+			waitEnter(t, entered)
+		}
+	}
+	waitFor(t, "three queued", func() bool { return s.ins.queueDepth.Value() == 4 }) // 1 held + 3 queued
+	release()
+	wg.Wait()
+	if got := reg.Counter("serve.batches").Value(); got != 3 {
+		t.Errorf("batches = %d, want 3 (1 held + 2 split by BatchMax)", got)
+	}
+	twos, ones := 0, 0
+	for _, sz := range sizes[1:] {
+		switch sz {
+		case 2:
+			twos++
+		case 1:
+			ones++
+		}
+	}
+	if twos != 2 || ones != 1 {
+		t.Errorf("batch sizes of queued requests = %v, want one batch of 2 and one of 1", sizes[1:])
+	}
+}
+
+// TestRequestValidation covers the 4xx surface: wrong method, bad JSON, no
+// documents, too many documents, negative timeout.
+func TestRequestValidation(t *testing.T) {
+	s, ts := startEngine(t, Options{BatchWindow: 0, MaxDocsPerRequest: 2}, nil)
+	_ = s
+	get, err := ts.Client().Get(ts.URL + "/v1/fill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/fill = %d, want 405", get.StatusCode)
+	}
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/fill", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || decodeError(t, raw).Error.Code != CodeInvalidRequest {
+		t.Errorf("bad JSON = %d %s, want 400 invalid_request", resp.StatusCode, raw)
+	}
+
+	status, raw, _ := postJSON(t, ts.Client(), ts.URL+"/v1/fill", Request{})
+	if status != http.StatusBadRequest || decodeError(t, raw).Error.Code != CodeInvalidRequest {
+		t.Errorf("no documents = %d %s, want 400", status, raw)
+	}
+
+	status, raw, _ = postJSON(t, ts.Client(), ts.URL+"/v1/fill", Request{Documents: []Document{worldDocs[0], worldDocs[1], worldDocs[2]}})
+	if status != http.StatusBadRequest {
+		t.Errorf("too many documents = %d %s, want 400", status, raw)
+	}
+
+	status, raw, _ = postJSON(t, ts.Client(), ts.URL+"/v1/fill", Request{Documents: []Document{worldDocs[0]}, DocTimeoutMS: -5})
+	if status != http.StatusBadRequest {
+		t.Errorf("negative timeout = %d %s, want 400", status, raw)
+	}
+}
+
+// TestHardClose asserts Close answers queued requests with the
+// server_closed envelope instead of leaving them hanging.
+func TestHardClose(t *testing.T) {
+	hook, entered, release := holdBatches()
+	defer release()
+	s, ts := startEngine(t, Options{BatchMax: 1, BatchWindow: 0, QueueDepth: 8, Metrics: obs.NewRegistry()}, hook)
+	var wg sync.WaitGroup
+	statuses := make([]int, 2)
+	codes := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, raw, _ := postJSON(t, ts.Client(), ts.URL+"/v1/fill", Request{Documents: []Document{worldDocs[i]}})
+			statuses[i] = status
+			if status != http.StatusOK {
+				codes[i] = decodeError(t, raw).Error.Code
+			}
+		}(i)
+		if i == 0 {
+			waitEnter(t, entered)
+		}
+	}
+	waitFor(t, "second queued", func() bool { return s.ins.queueDepth.Value() == 2 }) // 1 held + 1 queued
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	// Close cancels the base context; the held batch wakes when released.
+	release()
+	<-closed
+	wg.Wait()
+	// The queued request must have been answered with server_closed; the
+	// in-flight one either completed (its run had already passed the
+	// cancellation checkpoints) or was closed too.
+	if statuses[1] != http.StatusServiceUnavailable || codes[1] != CodeClosed {
+		t.Errorf("queued request after Close: status %d code %q, want 503 %q", statuses[1], codes[1], CodeClosed)
+	}
+	if statuses[0] != http.StatusOK && codes[0] != CodeClosed {
+		t.Errorf("in-flight request after Close: status %d code %q", statuses[0], codes[0])
+	}
+}

@@ -1,0 +1,457 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"thor/internal/embed"
+	"thor/internal/matcher"
+	"thor/internal/obs"
+	"thor/internal/pos"
+	"thor/internal/schema"
+	"thor/internal/segment"
+	"thor/internal/thor"
+)
+
+// Options configure a Server. Table and Space are required; every other
+// field has a serving-grade default.
+type Options struct {
+	// Table is the integrated table requests fill slots in. Loaded once;
+	// each fill request operates on its own clone.
+	Table *schema.Table
+	// Knowledge optionally fine-tunes the matcher from a different table
+	// than the fill target (thor.Config.Knowledge, the paper's evaluation
+	// setting). Nil fine-tunes on Table itself.
+	Knowledge *schema.Table
+	// Space is the embedding space, loaded once at startup.
+	Space *embed.Space
+	// Tau is the similarity threshold τ ∈ [0,1] every request is served
+	// with. Per-request τ would fragment the warm caches, so it is fixed
+	// per server.
+	Tau float64
+	// Lexicon optionally extends the POS tagger with domain words.
+	Lexicon map[string]pos.Tag
+	// Workers is the pipeline worker count per batch. Zero defaults to
+	// GOMAXPROCS.
+	Workers int
+	// BatchMax is the maximum number of documents coalesced into one
+	// pipeline run. Zero defaults to 16.
+	BatchMax int
+	// BatchWindow is how long the coalescer waits after a batch's first
+	// request for more to arrive. Zero dispatches immediately with
+	// whatever is already queued (no wait); cmd/thord defaults its flag
+	// to 2ms.
+	BatchWindow time.Duration
+	// QueueDepth bounds the admission queue in requests; a full queue
+	// sheds with 503 + Retry-After. Zero defaults to 64.
+	QueueDepth int
+	// MaxDocsPerRequest bounds one request's document count (400 beyond
+	// it). Zero defaults to BatchMax.
+	MaxDocsPerRequest int
+	// MaxBodyBytes bounds a request body. Zero defaults to 8 MiB.
+	MaxBodyBytes int64
+	// DocTimeout is the default per-document extraction deadline applied
+	// when a request does not set doc_timeout_ms. Zero means none.
+	DocTimeout time.Duration
+	// Metrics, when set, receives the serving metrics (serve.* counters,
+	// gauges and histograms) in addition to the pipeline's thor.* ones.
+	Metrics *obs.Registry
+	// Tracer, when set, records http.fill/http.extract and batch spans in
+	// addition to the pipeline's.
+	Tracer *obs.Tracer
+	// FaultHook is threaded into every batch's thor.Config.FaultHook: a
+	// chaos-testing seam for injecting per-document faults into a live
+	// server (see internal/chaos). Nil in production.
+	FaultHook func(doc string, stage thor.Stage) error
+}
+
+// withDefaults resolves the zero values documented on Options.
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.BatchMax == 0 {
+		o.BatchMax = 16
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.MaxDocsPerRequest == 0 {
+		o.MaxDocsPerRequest = o.BatchMax
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	return o
+}
+
+// ErrClosed is reported to requests interrupted by a hard Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// instruments caches the serve-level metrics, resolved once so the request
+// path performs no registry lookups. All fields are valid no-ops when the
+// server runs without a registry.
+type instruments struct {
+	fillReqs    *obs.Counter
+	extractReqs *obs.Counter
+	shed        *obs.Counter
+	canceled    *obs.Counter
+	batches     *obs.Counter
+	batchDocs   *obs.Counter
+	queueDepth  *obs.Gauge
+	queueWait   *obs.Histogram
+	batchRun    *obs.Histogram
+	fillLat     *obs.Histogram
+	extractLat  *obs.Histogram
+}
+
+func newInstruments(reg *obs.Registry) instruments {
+	return instruments{
+		fillReqs:    reg.Counter("serve.fill.requests"),
+		extractReqs: reg.Counter("serve.extract.requests"),
+		shed:        reg.Counter("serve.shed"),
+		canceled:    reg.Counter("serve.canceled"),
+		batches:     reg.Counter("serve.batches"),
+		batchDocs:   reg.Counter("serve.batch.docs"),
+		queueDepth:  reg.Gauge("serve.queue.depth"),
+		queueWait:   reg.Histogram("serve.queue.wait"),
+		batchRun:    reg.Histogram("serve.batch.run"),
+		fillLat:     reg.Histogram("serve.http.fill"),
+		extractLat:  reg.Histogram("serve.http.extract"),
+	}
+}
+
+// Server is the online slot-filling engine: an http.Handler whose /v1/fill
+// and /v1/extract endpoints coalesce concurrent requests into micro-batched
+// pipeline runs over state loaded once at construction.
+type Server struct {
+	opts  Options
+	tune  *matcher.Cache
+	parse *thor.ParseCache
+	ins   instruments
+
+	queue   chan *pending
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	drainCh chan struct{}
+	drain1  sync.Once
+	done    chan struct{}
+
+	// mu orders enqueue attempts against the draining flag flip: handlers
+	// hold the read side across check+send, Shutdown takes the write side
+	// to flip, so after the flip no handler can still be mid-enqueue and
+	// the dispatcher's final drain observes every queued request.
+	mu       sync.RWMutex
+	draining bool
+
+	mux *http.ServeMux
+
+	// testBatchStart, when set by tests before any request is admitted,
+	// runs at the head of every batch; it lets tests hold the coalescer
+	// at a deterministic point (e.g. to fill the admission queue).
+	testBatchStart func()
+}
+
+// NewServer validates the options, warms the matcher cache by fine-tuning
+// once, starts the coalescer goroutine and returns a ready-to-serve engine.
+// The returned server is ready as soon as this returns (readyz reports ok).
+func NewServer(opts Options) (*Server, error) {
+	return newServer(opts, nil)
+}
+
+// newServer is NewServer with a test seam: batchStart, when non-nil, is
+// installed as testBatchStart before the coalescer goroutine starts, so
+// tests can hold batches at a deterministic point without racing the
+// dispatcher.
+func newServer(opts Options, batchStart func()) (*Server, error) {
+	if opts.Table == nil {
+		return nil, fmt.Errorf("serve: nil table")
+	}
+	if opts.Space == nil {
+		return nil, fmt.Errorf("serve: nil embedding space")
+	}
+	if opts.Tau < 0 || opts.Tau > 1 {
+		return nil, fmt.Errorf("serve: tau %v outside [0,1]", opts.Tau)
+	}
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		tune:    matcher.NewCache(),
+		parse:   thor.NewParseCache(),
+		ins:     newInstruments(opts.Metrics),
+		queue:   make(chan *pending, opts.QueueDepth),
+		baseCtx: ctx,
+		cancel:  cancel,
+		drainCh: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	s.testBatchStart = batchStart
+	// Warm the fine-tune cache now: the first request should pay queueing
+	// and extraction, not minutes of cluster expansion. thor.New with the
+	// shared TuneCache stores the matcher every later run reuses.
+	if _, err := thor.New(opts.Table, opts.Space, s.runConfig(0)); err != nil {
+		cancel()
+		return nil, fmt.Errorf("serve: warmup fine-tune: %w", err)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/fill", func(w http.ResponseWriter, r *http.Request) {
+		s.handleRun(w, r, true)
+	})
+	s.mux.HandleFunc("/v1/extract", func(w http.ResponseWriter, r *http.Request) {
+		s.handleRun(w, r, false)
+	})
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.Handle("/debug/", obs.Handler(opts.Metrics, opts.Tracer))
+	go s.dispatch()
+	return s, nil
+}
+
+// runConfig is the pipeline configuration every batch runs with: warm
+// caches, per-document results for demultiplexing, and MaxFailureFraction 1
+// so one poisoned document quarantines alone instead of aborting its
+// batchmates.
+func (s *Server) runConfig(docTimeout time.Duration) thor.Config {
+	return thor.Config{
+		Tau:                s.opts.Tau,
+		Knowledge:          s.opts.Knowledge,
+		Lexicon:            s.opts.Lexicon,
+		Workers:            s.opts.Workers,
+		TuneCache:          s.tune,
+		ParseCache:         s.parse,
+		CollectDocResults:  true,
+		MaxFailureFraction: 1,
+		DocTimeout:         docTimeout,
+		Metrics:            s.opts.Metrics,
+		Tracer:             s.opts.Tracer,
+		FaultHook:          s.opts.FaultHook,
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// handleHealthz reports process liveness: 200 as long as the process can
+// answer HTTP at all, draining or not.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports readiness to accept work: 503 once draining begins
+// (load balancers should stop routing here), 200 otherwise. The caches are
+// warmed synchronously in NewServer, so a constructed server is ready.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleRun is the shared fill/extract handler: decode, validate, admit,
+// wait for the coalescer's answer, respond.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
+	endpoint, reqs, lat := "extract", s.ins.extractReqs, s.ins.extractLat
+	if fill {
+		endpoint, reqs, lat = "fill", s.ins.fillReqs, s.ins.fillLat
+	}
+	start := time.Now()
+	defer lat.ObserveSince(start)
+	reqs.Add(1)
+	sp := s.opts.Tracer.StartSpan("http." + endpoint)
+	defer sp.End()
+
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			endpoint+" accepts POST only")
+		return
+	}
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "decode body: "+err.Error())
+		return
+	}
+	// Drain any trailing bytes so keep-alive connections stay reusable.
+	_, _ = io.Copy(io.Discard, body)
+	if len(req.Documents) == 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "at least one document is required")
+		return
+	}
+	if len(req.Documents) > s.opts.MaxDocsPerRequest {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+			fmt.Sprintf("%d documents exceed the per-request limit of %d",
+				len(req.Documents), s.opts.MaxDocsPerRequest))
+		return
+	}
+	if req.DocTimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "doc_timeout_ms is negative")
+		return
+	}
+	docs := make([]segment.Document, len(req.Documents))
+	for i, d := range req.Documents {
+		name := d.Name
+		if name == "" {
+			name = fmt.Sprintf("doc-%d", i)
+		}
+		docs[i] = segment.Document{Name: name, DefaultSubject: d.DefaultSubject, Text: d.Text}
+	}
+	docTimeout := s.opts.DocTimeout
+	if req.DocTimeoutMS > 0 {
+		docTimeout = time.Duration(req.DocTimeoutMS) * time.Millisecond
+	}
+	p := &pending{
+		ctx:        r.Context(),
+		docs:       docs,
+		docTimeout: docTimeout,
+		enq:        time.Now(),
+		resp:       make(chan batchOutcome, 1),
+	}
+
+	// Admission control: the read lock spans check+send so a concurrent
+	// Shutdown cannot flip draining between them (see Server.mu).
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		s.ins.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	}
+	select {
+	case s.queue <- p:
+		s.mu.RUnlock()
+		s.ins.queueDepth.Add(1)
+	default:
+		s.mu.RUnlock()
+		s.ins.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, CodeOverloaded,
+			fmt.Sprintf("admission queue full (%d requests)", s.opts.QueueDepth))
+		return
+	}
+
+	select {
+	case out := <-p.resp:
+		s.respond(w, out, len(docs), fill)
+	case <-r.Context().Done():
+		// The client is gone; the coalescer will drop the buffered result.
+		s.ins.canceled.Add(1)
+	}
+}
+
+// respond converts one demultiplexed batch outcome into the HTTP response.
+func (s *Server) respond(w http.ResponseWriter, out batchOutcome, nDocs int, fill bool) {
+	if out.err != nil {
+		switch {
+		case errors.Is(out.err, ErrClosed) || errors.Is(out.err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, CodeClosed, "server closed before the request completed")
+		default:
+			writeError(w, http.StatusInternalServerError, CodeInternal, out.err.Error())
+		}
+		return
+	}
+	merged := thor.MergeEntities(out.docs)
+	resp := Response{Entities: wireEntities(merged)}
+	if fill {
+		// Each request fills its own clone, so concurrent requests never
+		// contend and the server's table stays pristine.
+		clone := s.opts.Table.Clone()
+		resp.Assignments = thor.Fill(clone, merged)
+	}
+	resp.Stats = buildStats(out, nDocs, merged, len(resp.Assignments))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildStats assembles the per-request statistics from the demultiplexed
+// outcome.
+func buildStats(out batchOutcome, nDocs int, merged map[string][]thor.Entity, filled int) Stats {
+	st := Stats{
+		Documents:   nDocs,
+		Completed:   len(out.docs),
+		Skipped:     out.skipped,
+		Filled:      filled,
+		BatchDocs:   out.batchDocs,
+		QueueWaitMS: float64(out.queueWait) / float64(time.Millisecond),
+		RunMS:       float64(out.runDur) / float64(time.Millisecond),
+	}
+	for _, es := range merged {
+		st.Entities += len(es)
+	}
+	calls := make(map[thor.Stage]int64)
+	totals := make(map[thor.Stage]time.Duration)
+	for _, d := range out.docs {
+		st.Sentences += d.Sentences
+		st.Phrases += d.Phrases
+		st.Candidates += d.Candidates
+		for _, sc := range d.Stages {
+			calls[sc.Stage] += sc.Calls
+			totals[sc.Stage] += sc.Total
+		}
+	}
+	for _, stage := range thor.PipelineStages {
+		if calls[stage] == 0 {
+			continue
+		}
+		st.Stages = append(st.Stages, StageCost{
+			Stage:   string(stage),
+			Calls:   calls[stage],
+			TotalMS: float64(totals[stage]) / float64(time.Millisecond),
+		})
+	}
+	for _, q := range out.quarantined {
+		st.Quarantined = append(st.Quarantined, Quarantine{
+			Doc:   q.Doc,
+			Index: q.Index,
+			Stage: string(q.Stage),
+			Error: q.Err,
+		})
+	}
+	return st
+}
+
+// Shutdown drains gracefully: admission stops (new requests shed with 503
+// draining), every queued and in-flight request completes and is answered,
+// then the coalescer goroutine exits. Returns nil once drained, or ctx's
+// error if it expires first (the drain continues in the background).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginDrain()
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops hard: admission stops, the in-flight batch is cancelled, and
+// queued requests are answered with a server_closed error. Blocks until the
+// coalescer goroutine has exited.
+func (s *Server) Close() {
+	s.beginDrain()
+	s.cancel()
+	<-s.done
+}
+
+// beginDrain flips the draining flag under the write lock (ordering against
+// in-flight enqueues) and wakes the dispatcher's drain path.
+func (s *Server) beginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.drain1.Do(func() { close(s.drainCh) })
+}

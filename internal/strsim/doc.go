@@ -1,0 +1,5 @@
+// Package strsim provides the syntactic string-similarity measures THOR's
+// refinement stage uses: Gestalt pattern matching (Ratcliff–Obershelp) at the
+// character level and Jaccard overlap at the word level, plus Levenshtein
+// distance used by the segmentation fallback.
+package strsim

@@ -1,0 +1,8 @@
+// Package text provides the low-level text-processing substrate used by the
+// THOR pipeline: tokens, sentences, a tokenizer, a sentence splitter,
+// stop-word handling and string normalization.
+//
+// The design follows the paper's document model: a document is a collection
+// of sentences, a sentence a sequence of words, and a phrase a subsequence of
+// a sentence.
+package text

@@ -1,10 +1,3 @@
-// Package text provides the low-level text-processing substrate used by the
-// THOR pipeline: tokens, sentences, a tokenizer, a sentence splitter,
-// stop-word handling and string normalization.
-//
-// The design follows the paper's document model: a document is a collection
-// of sentences, a sentence a sequence of words, and a phrase a subsequence of
-// a sentence.
 package text
 
 import "strings"
@@ -59,6 +52,7 @@ func (t Token) IsWordLike() bool { return t.Kind == Word || t.Kind == Number }
 
 // Sentence is a contiguous run of tokens plus its span in the document.
 type Sentence struct {
+	// Tokens are the sentence's tokens in order.
 	Tokens []Token
 	// Start and End delimit the sentence as byte offsets into the document.
 	Start, End int

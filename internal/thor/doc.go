@@ -1,0 +1,15 @@
+// Package thor implements the THOR pipeline of the paper "Mitigating Data
+// Sparsity in Integrated Data through Text Conceptualization" (ICDE 2024):
+// entity-centric slot filling that enriches an integrated table with
+// conceptualized entities extracted from external documents.
+//
+// The pipeline follows Algorithm 1 exactly:
+//
+//	① Preparation      — segment documents by subject instance and fine-tune
+//	                      a semantic matcher from the table's own instances.
+//	② Entity Extraction — parse each sentence, extract noun phrases, match
+//	                      subphrases semantically, refine syntactically, and
+//	                      keep the best entity per phrase.
+//	③ Slot Filling      — write the extracted entities into the table's
+//	                      labeled nulls.
+package thor

@@ -1,6 +1,8 @@
 package thor_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -10,9 +12,10 @@ import (
 	"thor/internal/thor"
 )
 
-// ExampleRun reproduces the paper's Fig. 1 in miniature: an integrated table
-// with a labeled null is enriched from external text.
-func ExampleRun() {
+// exampleWorld builds the miniature Fig. 1 fixture the examples share: an
+// integrated Disease table with a labeled null and an embedding space whose
+// vectors cluster anatomy and complication words.
+func exampleWorld() (*schema.Table, *embed.Space) {
 	// The integrated table: Acoustic Neuroma has no known Complication (⊥).
 	table := schema.NewTable(schema.NewSchema("Disease", "Anatomy", "Complication"))
 	row := table.AddRow("Acoustic Neuroma")
@@ -37,7 +40,13 @@ func ExampleRun() {
 	}
 	add(anatomy, 0.58, "", "nervous system", "brain", "nerve", "ear", "lungs")
 	add(complication, 0.85, "ex:cancer-family", "cancer", "cancerous", "non-cancerous", "tumor")
+	return table, space
+}
 
+// ExampleRun reproduces the paper's Fig. 1 in miniature: an integrated table
+// with a labeled null is enriched from external text.
+func ExampleRun() {
+	table, space := exampleWorld()
 	doc := segment.Document{
 		Name: "health-portal",
 		Text: "An Acoustic Neuroma is a slow-growing non-cancerous brain tumor. " +
@@ -55,4 +64,39 @@ func ExampleRun() {
 	// Output:
 	// Acoustic Neuroma complication: non-cancerous brain tumor
 	// Tuberculosis anatomy: lungs
+}
+
+// ExampleRunContext demonstrates the fault-isolated entry point: a document
+// that fails is quarantined on its own while its batchmates complete, and
+// the context bounds the whole run. FaultHook stands in for any per-document
+// failure (a panic, a timeout, an injected chaos fault).
+func ExampleRunContext() {
+	table, space := exampleWorld()
+	docs := []segment.Document{
+		{Name: "health-portal", Text: "An Acoustic Neuroma is a slow-growing non-cancerous brain tumor."},
+		{Name: "flaky-feed", Text: "Tuberculosis generally damages the lungs."},
+	}
+	cfg := thor.Config{
+		Tau:                0.6,
+		MaxFailureFraction: 1, // quarantine failures instead of aborting the run
+		FaultHook: func(doc string, stage thor.Stage) error {
+			if doc == "flaky-feed" && stage == thor.StageSegment {
+				return errors.New("injected outage")
+			}
+			return nil
+		},
+	}
+	res, err := thor.RunContext(context.Background(), table, space, docs, cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, f := range res.Stats.Quarantined {
+		fmt.Println("quarantined:", f.String())
+	}
+	fmt.Println("Acoustic Neuroma complication:",
+		res.Table.Row("Acoustic Neuroma").Values("Complication")[0])
+	// Output:
+	// quarantined: doc "flaky-feed" (#1) stage segment: injected outage
+	// Acoustic Neuroma complication: non-cancerous brain tumor
 }

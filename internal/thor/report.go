@@ -19,43 +19,70 @@ type Report struct {
 
 // ReportEntity is the exported form of an Entity.
 type ReportEntity struct {
-	Subject string  `json:"subject"`
-	Concept string  `json:"concept"`
-	Phrase  string  `json:"phrase"`
-	Matched string  `json:"matchedInstance"`
-	Doc     string  `json:"doc,omitempty"`
-	ScoreS  float64 `json:"scoreSemantic"`
-	ScoreW  float64 `json:"scoreWord"`
-	ScoreC  float64 `json:"scoreChar"`
-	Score   float64 `json:"score"`
+	// Subject is the instance the entity was extracted for.
+	Subject string `json:"subject"`
+	// Concept is the assigned schema concept.
+	Concept string `json:"concept"`
+	// Phrase is the extracted (normalized) phrase.
+	Phrase string `json:"phrase"`
+	// Matched is the seed instance the matcher aligned the phrase to.
+	Matched string `json:"matchedInstance"`
+	// Doc names the source document.
+	Doc string `json:"doc,omitempty"`
+	// ScoreS, ScoreW and ScoreC are the semantic, word-level and
+	// character-level similarities.
+	ScoreS float64 `json:"scoreSemantic"`
+	// ScoreW is the word-level (Jaccard) similarity.
+	ScoreW float64 `json:"scoreWord"`
+	// ScoreC is the character-level (gestalt) similarity.
+	ScoreC float64 `json:"scoreChar"`
+	// Score is the combined refinement score.
+	Score float64 `json:"score"`
 }
 
 // ReportStats is the exported form of Stats (durations in seconds).
 type ReportStats struct {
-	Documents   int           `json:"documents"`
-	Sentences   int           `json:"sentences"`
-	Phrases     int           `json:"phrases"`
-	Candidates  int           `json:"candidates"`
-	Entities    int           `json:"entities"`
-	Filled      int           `json:"slotsFilled"`
-	PrepSecs    float64       `json:"prepSeconds"`
-	ExtractSecs float64       `json:"extractSeconds"`
-	Stages      []ReportStage `json:"stages,omitempty"`
+	// Documents is the number of input documents.
+	Documents int `json:"documents"`
+	// Sentences is the number of segmented sentences.
+	Sentences int `json:"sentences"`
+	// Phrases is the number of extracted noun phrases.
+	Phrases int `json:"phrases"`
+	// Candidates is the number of semantic match candidates.
+	Candidates int `json:"candidates"`
+	// Entities is the number of refined entities after deduplication.
+	Entities int `json:"entities"`
+	// Filled is the number of slots written into the table.
+	Filled int `json:"slotsFilled"`
+	// PrepSecs and ExtractSecs split the wall clock between phase ① and
+	// phases ②–③.
+	PrepSecs float64 `json:"prepSeconds"`
+	// ExtractSecs is the extraction wall clock.
+	ExtractSecs float64 `json:"extractSeconds"`
+	// Stages is the per-stage cost breakdown.
+	Stages []ReportStage `json:"stages,omitempty"`
 	// Fault-isolation outcome: quarantined documents (with stage and
 	// error), documents skipped by cancellation/abort, retry attempts
 	// consumed, and whether the run was cancelled.
 	Quarantined []DocumentFailure `json:"quarantined,omitempty"`
-	Skipped     int               `json:"skipped,omitempty"`
-	Retried     int               `json:"retried,omitempty"`
-	Cancelled   bool              `json:"cancelled,omitempty"`
+	// Skipped is the number of documents never attempted.
+	Skipped int `json:"skipped,omitempty"`
+	// Retried counts transient faults absorbed by retries.
+	Retried int `json:"retried,omitempty"`
+	// Cancelled reports whether the run was interrupted.
+	Cancelled bool `json:"cancelled,omitempty"`
 }
 
 // ReportStage is the exported form of one StageStat row.
 type ReportStage struct {
-	Stage     string  `json:"stage"`
-	Calls     int64   `json:"calls"`
+	// Stage names the pipeline stage.
+	Stage string `json:"stage"`
+	// Calls is the number of times the stage ran.
+	Calls int64 `json:"calls"`
+	// TotalSecs and MeanSecs are the summed and per-call durations.
 	TotalSecs float64 `json:"totalSeconds"`
-	MeanSecs  float64 `json:"meanSeconds"`
+	// MeanSecs is TotalSecs / Calls.
+	MeanSecs float64 `json:"meanSeconds"`
 }
 
 // Report builds the exportable summary of the result.

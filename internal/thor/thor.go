@@ -1,17 +1,3 @@
-// Package thor implements the THOR pipeline of the paper "Mitigating Data
-// Sparsity in Integrated Data through Text Conceptualization" (ICDE 2024):
-// entity-centric slot filling that enriches an integrated table with
-// conceptualized entities extracted from external documents.
-//
-// The pipeline follows Algorithm 1 exactly:
-//
-//	① Preparation      — segment documents by subject instance and fine-tune
-//	                      a semantic matcher from the table's own instances.
-//	② Entity Extraction — parse each sentence, extract noun phrases, match
-//	                      subphrases semantically, refine syntactically, and
-//	                      keep the best entity per phrase.
-//	③ Slot Filling      — write the extracted entities into the table's
-//	                      labeled nulls.
 package thor
 
 import (
@@ -146,11 +132,22 @@ type Config struct {
 	// canonical implementation. Must be safe for concurrent use when
 	// Workers > 1. Nil costs nothing.
 	FaultHook func(doc string, stage Stage) error
+	// CollectDocResults, when set, retains each completed document's
+	// individual pre-merge outcome in Result.Docs: its extracted entities
+	// in extraction order (before the per-subject set deduplication of the
+	// merge), its sentence/phrase/candidate counts and its per-stage cost
+	// breakdown. The serving layer uses this to demultiplex one batched
+	// run into per-request results that are bit-identical to single-shot
+	// runs (see MergeEntities and Fill). Off by default: retaining
+	// per-document slices costs memory proportional to the batch.
+	CollectDocResults bool
 }
 
 // EntityValidator vetoes (phrase, concept) assignments; kg.Validator is the
 // canonical implementation.
 type EntityValidator interface {
+	// Validate reports whether the (phrase, concept) assignment is
+	// admissible.
 	Validate(phrase string, concept schema.Concept) bool
 }
 
@@ -172,16 +169,21 @@ func (c Config) scoreWeights() (sem, jac, ges bool) {
 
 // Stats reports what a run did.
 type Stats struct {
-	Documents  int
-	Sentences  int
-	Phrases    int
+	// Documents is the number of input documents.
+	Documents int
+	// Sentences is the number of segmented sentences.
+	Sentences int
+	// Phrases is the number of extracted noun phrases.
+	Phrases int
+	// Candidates is the number of semantic match candidates.
 	Candidates int
-	Entities   int
-	Filled     int
+	// Entities is the number of refined entities after deduplication.
+	Entities int
+	// Filled is the number of slots written into the table.
+	Filled int
 	// PrepTime and ExtractTime split the wall clock between phase ① and
 	// phases ②–③.
-	PrepTime    time.Duration
-	ExtractTime time.Duration
+	PrepTime, ExtractTime time.Duration
 	// Stages breaks the run down per pipeline stage, in PipelineStages
 	// order (every stage is present, even with zero calls). Calls counts
 	// are deterministic across worker counts; Total durations are wall
@@ -219,8 +221,93 @@ type Result struct {
 	// Entities holds every refined entity, grouped by subject instance
 	// (the map E[c*] of Algorithm 1).
 	Entities map[string][]Entity
+	// Docs holds each completed document's individual outcome, in input
+	// order. Populated only under Config.CollectDocResults; nil otherwise.
+	Docs []DocResult
 	// Stats summarizes the run.
 	Stats Stats
+}
+
+// DocResult is one document's isolated extraction outcome, before the
+// cross-document merge. Entities are in extraction order and not
+// deduplicated against other documents, so any subset of documents can be
+// re-merged with MergeEntities to reproduce exactly what a run over that
+// subset alone would produce.
+type DocResult struct {
+	// Index is the document's position in the run's input slice.
+	Index int
+	// Name is the document's name.
+	Name string
+	// Sentences, Phrases and Candidates are the document's contribution to
+	// the run counters of the same names.
+	Sentences, Phrases, Candidates int
+	// Entities are the document's refined entities in extraction order,
+	// before per-subject set deduplication.
+	Entities []Entity
+	// Stages is the document's per-stage cost breakdown (the per-document
+	// stages only: segment through refine; fine-tune and fill are
+	// run-level).
+	Stages []StageStat
+}
+
+// MergeEntities folds per-document entities into the per-subject entity map
+// E[c*] of Algorithm 1, applying the same set semantics as a pipeline run:
+// documents in input order, duplicate (phrase, concept) pairs per subject
+// dropped. Merging the DocResults of any document subset yields exactly the
+// Entities map a clean run over that subset produces.
+func MergeEntities(docs []DocResult) map[string][]Entity {
+	out := make(map[string][]Entity)
+	for _, d := range docs {
+		for _, e := range d.Entities {
+			if hasEntity(out[e.Subject], e) {
+				continue
+			}
+			out[e.Subject] = append(out[e.Subject], e)
+		}
+	}
+	return out
+}
+
+// Assignment is one slot filled by phase ③: Value was added to the row of
+// Subject under the Concept column.
+type Assignment struct {
+	// Subject is the row's subject instance.
+	Subject string `json:"subject"`
+	// Concept is the column the value was written to.
+	Concept schema.Concept `json:"concept"`
+	// Value is the written cell value.
+	Value string `json:"value"`
+}
+
+// Fill applies phase ③ (Algorithm 1 lines 16–20) to the table in place:
+// every entity fills its subject's row under its concept, except mentions
+// conceptualized as the subject concept itself (the subject column is the
+// key). The returned assignments list each cell actually added — values the
+// row already held are skipped — with subjects in sorted order and each
+// subject's entities in merge order, so the output is deterministic.
+func Fill(table *schema.Table, entities map[string][]Entity) []Assignment {
+	subjects := make([]string, 0, len(entities))
+	for s := range entities {
+		subjects = append(subjects, s)
+	}
+	sort.Strings(subjects)
+	subjectConcept := table.Schema.Subject
+	var out []Assignment
+	for _, subj := range subjects {
+		row := table.Row(subj)
+		if row == nil {
+			continue
+		}
+		for _, e := range entities[subj] {
+			if e.Concept == subjectConcept {
+				continue
+			}
+			if row.Add(e.Concept, e.Phrase) {
+				out = append(out, Assignment{Subject: row.Subject, Concept: e.Concept, Value: e.Phrase})
+			}
+		}
+	}
+	return out
 }
 
 // AllEntities flattens the per-subject entity map in deterministic order
@@ -467,6 +554,17 @@ func (p *Pipeline) RunContext(ctx context.Context, docs []segment.Document) (*Re
 		res.Stats.Phrases += o.phrases
 		res.Stats.Candidates += o.candidates
 		acc.merge(&o.stages)
+		if p.cfg.CollectDocResults {
+			res.Docs = append(res.Docs, DocResult{
+				Index:      i,
+				Name:       docs[i].Name,
+				Sentences:  o.sentences,
+				Phrases:    o.phrases,
+				Candidates: o.candidates,
+				Entities:   o.entities,
+				Stages:     o.stages.stats(),
+			})
+		}
 		for _, e := range o.entities {
 			if hasEntity(res.Entities[e.Subject], e) {
 				continue
@@ -481,24 +579,7 @@ func (p *Pipeline) RunContext(ctx context.Context, docs []segment.Document) (*Re
 
 	// ③ Slot filling (Algorithm 1 lines 16–20).
 	fillStart := time.Now()
-	subjectConcept := p.table.Schema.Subject
-	for subj, ents := range res.Entities {
-		row := res.Table.Row(subj)
-		if row == nil {
-			continue
-		}
-		for _, e := range ents {
-			// Mentions conceptualized as the subject concept are reported
-			// as entities (the evaluation counts them) but do not fill
-			// slots: the subject column is the key.
-			if e.Concept == subjectConcept {
-				continue
-			}
-			if row.Add(e.Concept, e.Phrase) {
-				res.Stats.Filled++
-			}
-		}
-	}
+	res.Stats.Filled = len(Fill(res.Table, res.Entities))
 	acc.observe(idxFill, time.Since(fillStart))
 	p.ins.stageHist[idxFill].Observe(time.Since(fillStart))
 
