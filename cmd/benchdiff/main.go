@@ -46,6 +46,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.20] [-guard names] OLD NEW")
 		os.Exit(2)
 	}
+	// Serving baselines (thorbench -serve, gated on tail latency) are
+	// detected by shape; mixing one with a benchmark recording is an error.
+	oldServe, oldIsServe := LoadServe(flag.Arg(0))
+	newServe, newIsServe := LoadServe(flag.Arg(1))
+	if oldIsServe || newIsServe {
+		if !oldIsServe || !newIsServe {
+			fmt.Fprintln(os.Stderr, "benchdiff: one input is a serving baseline and the other is not")
+			os.Exit(2)
+		}
+		report, regressions := CompareServe(oldServe, newServe, *threshold)
+		fmt.Print(report)
+		if len(regressions) > 0 {
+			fmt.Fprintln(os.Stderr, "benchdiff: FAIL:", strings.Join(regressions, "; "))
+			os.Exit(1)
+		}
+		return
+	}
 	oldF, err := Load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// ServeLevel is one concurrency level of a serving baseline
+// (BENCH_SERVE_BASELINE.json, written by `thorbench -serve`).
+type ServeLevel struct {
+	// Concurrency is the closed-loop client count.
+	Concurrency int `json:"concurrency"`
+	// ThroughputRPS is completed requests per second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// LatencyMS are the end-to-end latency percentiles in milliseconds
+	// ("p50", "p95", "p99", ...).
+	LatencyMS map[string]float64 `json:"latency_ms"`
+}
+
+// ServeFile is the subset of the serving-baseline schema benchdiff reads.
+type ServeFile struct {
+	// Benchmark identifies the workload shape.
+	Benchmark string `json:"benchmark"`
+	// Levels are the per-concurrency measurements.
+	Levels []ServeLevel `json:"levels"`
+}
+
+// LoadServe tries to read path as a serving baseline; ok is false when the
+// file is not one (the caller then falls back to the benchmark schema).
+func LoadServe(path string) (*ServeFile, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var f ServeFile
+	if err := json.Unmarshal(data, &f); err != nil || len(f.Levels) == 0 {
+		return nil, false
+	}
+	return &f, true
+}
+
+// CompareServe renders a per-concurrency delta report over the tail latency
+// (P99) of two serving baselines and returns the regressions: a level whose
+// new P99 exceeds the old by more than threshold fails, as does a level
+// missing from the new recording. Throughput deltas are reported for context
+// but never gate — closed-loop throughput follows latency anyway.
+func CompareServe(oldF, newF *ServeFile, threshold float64) (string, []string) {
+	newBy := make(map[int]ServeLevel, len(newF.Levels))
+	for _, lv := range newF.Levels {
+		newBy[lv.Concurrency] = lv
+	}
+	levels := make([]ServeLevel, len(oldF.Levels))
+	copy(levels, oldF.Levels)
+	sort.Slice(levels, func(i, j int) bool { return levels[i].Concurrency < levels[j].Concurrency })
+
+	var b strings.Builder
+	var regressions []string
+	fmt.Fprintf(&b, "%-6s %12s %12s %8s %14s\n", "level", "old p99 ms", "new p99 ms", "delta", "rps delta")
+	for _, o := range levels {
+		n, ok := newBy[o.Concurrency]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("c=%d missing from new recording", o.Concurrency))
+			continue
+		}
+		op99, np99 := o.LatencyMS["p99"], n.LatencyMS["p99"]
+		delta := 0.0
+		if op99 != 0 {
+			delta = np99/op99 - 1
+		}
+		rpsDelta := 0.0
+		if o.ThroughputRPS != 0 {
+			rpsDelta = n.ThroughputRPS/o.ThroughputRPS - 1
+		}
+		mark := ""
+		if delta > threshold {
+			mark = " [REGRESSION]"
+			regressions = append(regressions,
+				fmt.Sprintf("c=%d p99 +%.1f%% exceeds +%.0f%%", o.Concurrency, delta*100, threshold*100))
+		}
+		fmt.Fprintf(&b, "c=%-4d %12.2f %12.2f %+7.1f%% %+13.1f%%%s\n",
+			o.Concurrency, op99, np99, delta*100, rpsDelta*100, mark)
+	}
+	return b.String(), regressions
+}

@@ -43,6 +43,9 @@ func run() int {
 		metricsAddr = flag.String("metrics-addr", "", "serve /debug/vars, /debug/pprof/* and /debug/thor/* on this address")
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot (counters + stage histograms) to this file")
 		traceOut    = flag.String("trace-out", "", "write a runtime execution trace to this file")
+		explain     = flag.Bool("explain", false, "attach fill provenance (source doc, matched seed, scores, τ) to each assignment in the -report")
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -76,6 +79,14 @@ func run() int {
 	if strings.EqualFold(filepath.Ext(*tablePath), ".csv") && *subject == "" {
 		usageErr("CSV tables need -subject <concept> to name the subject column")
 	}
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		usageErr(err.Error())
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		usageErr(err.Error())
+	}
 
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(0)
@@ -85,7 +96,7 @@ func run() int {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "thor: debug server on http://%s/debug/vars\n", srv.Addr)
+		logger.Info("debug server up", "url", "http://"+srv.Addr+"/debug/vars")
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -137,6 +148,8 @@ func run() int {
 		MaxFailureFraction: *maxFailures,
 		Metrics:            reg,
 		Tracer:             tracer,
+		Explain:            *explain,
+		Logger:             logger,
 	})
 	if runErr != nil && res == nil {
 		fatal(runErr)
@@ -144,20 +157,20 @@ func run() int {
 	// An aborted or cancelled run still carries a well-formed partial
 	// result; report what happened, write everything we have, exit 1.
 	for _, f := range res.Stats.Quarantined {
-		fmt.Fprintf(os.Stderr, "thor: quarantined %s\n", f.String())
+		logger.Warn("document quarantined", obs.LogDocID, f.Doc, "detail", f.String())
 	}
 	if runErr != nil {
 		var aborted *thor.RunAbortedError
 		switch {
 		case errors.As(runErr, &aborted):
-			fmt.Fprintf(os.Stderr, "thor: %v\n", runErr)
+			logger.Error("run aborted", "error", runErr.Error())
 		case errors.Is(runErr, context.DeadlineExceeded):
-			fmt.Fprintf(os.Stderr, "thor: run hit the -timeout %v deadline: %v\n", *timeout, runErr)
+			logger.Error("run hit the -timeout deadline", "timeout", timeout.String(), "error", runErr.Error())
 		default:
-			fmt.Fprintf(os.Stderr, "thor: %v\n", runErr)
+			logger.Error("run failed", "error", runErr.Error())
 		}
-		fmt.Fprintf(os.Stderr, "thor: partial result: %d of %d documents completed\n",
-			len(res.Stats.CompletedDocs), res.Stats.Documents)
+		logger.Warn("partial result",
+			"completed", len(res.Stats.CompletedDocs), "documents", res.Stats.Documents)
 	}
 	if *metricsJSON != "" {
 		f, err := os.Create(*metricsJSON)
@@ -188,9 +201,12 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "%-24s %-18s %s\n", e.Subject, e.Concept, e.Phrase)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "thor: %d docs, %d sentences, %d entities, %d slots filled (%v)\n",
-		res.Stats.Documents, res.Stats.Sentences, res.Stats.Entities,
-		res.Stats.Filled, res.Stats.Total().Round(1e6))
+	logger.Info("run complete",
+		"docs", res.Stats.Documents,
+		"sentences", res.Stats.Sentences,
+		"entities", res.Stats.Entities,
+		"filled", res.Stats.Filled,
+		"elapsed", res.Stats.Total().Round(1e6).String())
 
 	out := os.Stdout
 	if *outPath != "" {

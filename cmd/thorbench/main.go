@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime/trace"
 	"time"
@@ -12,6 +13,11 @@ import (
 	"thor/internal/experiments"
 	"thor/internal/obs"
 )
+
+// logger carries the structured diagnostics every thorbench mode writes to
+// stderr (results themselves go to stdout); configured by -log-format and
+// -log-level in main.
+var logger *slog.Logger
 
 func main() {
 	exp := flag.Int("exp", 0, "experiment to run (1, 2 or 3; 0 = all)")
@@ -29,7 +35,19 @@ func main() {
 	serveOut := flag.String("serve-out", "BENCH_SERVE_BASELINE.json", "where -serve writes the baseline document")
 	serveDuration := flag.Duration("serve-duration", 3*time.Second, "measured wall clock per -serve concurrency level")
 	serveLevels := flag.String("serve-levels", "1,8,64", "comma-separated closed-loop client counts for -serve")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thorbench:", err)
+		os.Exit(2)
+	}
+	if logger, err = obs.NewLogger(os.Stderr, *logFormat, level); err != nil {
+		fmt.Fprintln(os.Stderr, "thorbench:", err)
+		os.Exit(2)
+	}
 
 	if *chaosMode {
 		runChaos(*chaosSeed, *chaosErrRate, *chaosPanicRate)
@@ -53,7 +71,7 @@ func main() {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "thorbench: debug server on http://%s/debug/vars\n", srv.Addr)
+		logger.Info("debug server up", "url", "http://"+srv.Addr+"/debug/vars")
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -108,7 +126,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "thorbench: metrics snapshot written to %s\n", *metricsJSON)
+		logger.Info("metrics snapshot written", "path", *metricsJSON)
 	}
 }
 

@@ -129,9 +129,9 @@ func runServe(outPath string, duration time.Duration, levelsCSV string) {
 	for _, c := range levels {
 		lv := driveLevel(url, bodies, c, duration)
 		base.Levels = append(base.Levels, lv)
-		fmt.Printf("c=%-3d  %8.1f req/s   p50 %7.2fms  p90 %7.2fms  p99 %7.2fms   retries %d  errors %d\n",
+		fmt.Printf("c=%-3d  %8.1f req/s   p50 %7.2fms  p95 %7.2fms  p99 %7.2fms   retries %d  errors %d\n",
 			lv.Concurrency, lv.ThroughputRPS,
-			lv.LatencyMS["p50"], lv.LatencyMS["p90"], lv.LatencyMS["p99"],
+			lv.LatencyMS["p50"], lv.LatencyMS["p95"], lv.LatencyMS["p99"],
 			lv.Retries, lv.Errors)
 	}
 	f, err := os.Create(outPath)
@@ -147,7 +147,7 @@ func runServe(outPath string, duration time.Duration, levelsCSV string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "thorbench: serving baseline written to %s\n", outPath)
+	logger.Info("serving baseline written", "path", outPath)
 }
 
 // driveLevel runs one closed-loop level: c clients, each issuing its next
@@ -259,6 +259,7 @@ func percentiles(lats []time.Duration) map[string]float64 {
 	return map[string]float64{
 		"p50":  at(0.50),
 		"p90":  at(0.90),
+		"p95":  at(0.95),
 		"p99":  at(0.99),
 		"max":  float64(lats[len(lats)-1]) / float64(time.Millisecond),
 		"mean": float64(sum) / float64(len(lats)) / float64(time.Millisecond),

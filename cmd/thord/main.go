@@ -41,6 +41,12 @@ func run() int {
 		docTimeout    = flag.Duration("doc-timeout", 0, "default per-document extraction deadline (0 = none)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests before exiting anyway")
 		spanCap       = flag.Int("span-capacity", 4096, "span ring-buffer capacity for /debug/thor/spans")
+		logFormat     = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel      = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		traceSlow     = flag.Duration("trace-slow", 250*time.Millisecond, "flight-recorder slow threshold: traces at or above it are always retained")
+		traceKeep     = flag.Int("trace-keep", 256, "flight-recorder capacity for slow/errored/shed/quarantined traces")
+		sloLatency    = flag.Duration("slo-latency", 500*time.Millisecond, "per-request latency objective driving /readyz degradation (0 = error budget only)")
+		sloWindow     = flag.Duration("slo-window", time.Minute, "sliding window the SLO burn rate is evaluated over")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -64,6 +70,17 @@ func run() int {
 	}
 	if strings.EqualFold(filepath.Ext(*tablePath), ".csv") && *subject == "" {
 		usageErr("CSV tables need -subject <concept> to name the subject column")
+	}
+	if *traceSlow < 0 || *traceKeep < 1 || *sloLatency < 0 || *sloWindow <= 0 {
+		usageErr("-trace-slow/-trace-keep/-slo-latency/-slo-window out of range")
+	}
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		usageErr(err.Error())
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		usageErr(err.Error())
 	}
 
 	table, err := loadTable(*tablePath, schema.Concept(*subject))
@@ -91,7 +108,16 @@ func run() int {
 
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(*spanCap)
+	recorder := obs.NewRecorder(obs.RecorderOptions{
+		SlowThreshold:   *traceSlow,
+		KeepInteresting: *traceKeep,
+	})
+	slo := obs.NewSLO(obs.SLOConfig{
+		Window:  *sloWindow,
+		Latency: *sloLatency,
+	})
 	reg.PublishExpvar("thor")
+	slo.PublishExpvar("thor.slo")
 	engine, err := serve.NewServer(serve.Options{
 		Table:             table,
 		Knowledge:         knowledge,
@@ -105,6 +131,9 @@ func run() int {
 		DocTimeout:        *docTimeout,
 		Metrics:           reg,
 		Tracer:            tracer,
+		Recorder:          recorder,
+		SLO:               slo,
+		Logger:            logger,
 	})
 	if err != nil {
 		return fatal(err)
@@ -117,14 +146,20 @@ func run() int {
 	httpSrv := &http.Server{Handler: engine}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "thord: serving %d-row table on http://%s (tau=%v, batch-max=%d, window=%v, queue=%d)\n",
-		table.InstanceCount(), ln.Addr(), *tau, *batchMax, *batchWindow, *queueDepth)
+	logger.Info("serving",
+		"addr", ln.Addr().String(),
+		"rows", table.InstanceCount(),
+		"tau", *tau,
+		"batch_max", *batchMax,
+		"batch_window", batchWindow.String(),
+		"queue_depth", *queueDepth,
+		"slo_latency", sloLatency.String())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case sig := <-sigCh:
-		fmt.Fprintf(os.Stderr, "thord: %v: draining (timeout %v)\n", sig, *drainTimeout)
+		logger.Info("draining", "signal", sig.String(), "timeout", drainTimeout.String())
 	case err := <-errCh:
 		return fatal(fmt.Errorf("serve: %w", err))
 	}
@@ -140,7 +175,7 @@ func run() int {
 		engine.Close()
 		return fatal(fmt.Errorf("drain: %w", drainErr))
 	}
-	fmt.Fprintln(os.Stderr, "thord: drained cleanly")
+	logger.Info("drained cleanly")
 	return 0
 }
 

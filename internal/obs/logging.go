@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Correlation field names the serving path logs under, so log lines join
+// against traces (/debug/traces/{id}) and quarantine records.
+const (
+	// LogTraceID is the request trace identifier field.
+	LogTraceID = "trace_id"
+	// LogBatchID is the micro-batch sequence number field.
+	LogBatchID = "batch_id"
+	// LogDocID is the document name field.
+	LogDocID = "doc_id"
+)
+
+// ParseLogLevel maps a flag value ("debug", "info", "warn", "error",
+// case-insensitive) to its slog level.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// NewLogger builds a structured logger writing to w. format is "text"
+// (human-oriented key=value lines) or "json" (one JSON object per line);
+// level gates emission. The returned logger is what the four binaries wire
+// through their layers in place of ad-hoc fmt.Fprintln diagnostics.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// rankOf returns the fraction of sorted values at or below v.
+func rankOf(sorted []float64, v float64) float64 {
+	i := sort.SearchFloat64s(sorted, v)
+	for i < len(sorted) && sorted[i] == v {
+		i++
+	}
+	return float64(i) / float64(len(sorted))
+}
+
+// assertRankError checks that the sketch's q-estimate lands within eps rank
+// of the exact quantile of the data.
+func assertRankError(t *testing.T, sk *Sketch, sorted []float64, q, eps float64) {
+	t.Helper()
+	got := sk.Query(q)
+	r := rankOf(sorted, got)
+	if r < q-eps || r > q+eps {
+		t.Errorf("q=%.2f: estimate %v sits at rank %.4f, want %.2f±%.2f", q, got, r, q, eps)
+	}
+}
+
+// TestSketchAccuracy bounds the rank error against an exact sort over fixed
+// seeds and several distributions — the accuracy contract the SLO engine's
+// published percentiles rest on.
+func TestSketchAccuracy(t *testing.T) {
+	const n = 20000
+	const eps = 0.025 // k=512, n=20k: ~L/k with headroom
+	dists := map[string]func(r *rand.Rand) float64{
+		"uniform":   func(r *rand.Rand) float64 { return r.Float64() },
+		"exp-tail":  func(r *rand.Rand) float64 { return r.ExpFloat64() },
+		"bimodal":   func(r *rand.Rand) float64 { return float64(r.Intn(2))*100 + r.Float64() },
+		"monotonic": func(r *rand.Rand) float64 { return float64(r.Int63n(1 << 40)) },
+	}
+	for name, gen := range dists {
+		for _, seed := range []int64{1, 7, 42} {
+			r := rand.New(rand.NewSource(seed))
+			sk := NewSketch(512)
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = gen(r)
+				sk.Observe(data[i])
+			}
+			sort.Float64s(data)
+			if sk.Count() != n {
+				t.Fatalf("%s/seed=%d: count %d, want %d", name, seed, sk.Count(), n)
+			}
+			if sk.Min() != data[0] || sk.Max() != data[n-1] {
+				t.Fatalf("%s/seed=%d: min/max %v/%v, want %v/%v",
+					name, seed, sk.Min(), sk.Max(), data[0], data[n-1])
+			}
+			for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+				assertRankError(t, sk, data, q, eps)
+			}
+		}
+	}
+}
+
+// TestSketchDeterministic pins the determinism contract: the same sequence
+// always yields the same estimates.
+func TestSketchDeterministic(t *testing.T) {
+	build := func() *Sketch {
+		r := rand.New(rand.NewSource(99))
+		sk := NewSketch(128)
+		for i := 0; i < 5000; i++ {
+			sk.Observe(r.Float64())
+		}
+		return sk
+	}
+	a, b := build(), build()
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		if a.Query(q) != b.Query(q) {
+			t.Fatalf("q=%v: %v != %v on identical sequences", q, a.Query(q), b.Query(q))
+		}
+	}
+}
+
+// TestSketchMerge checks that merging per-slice sketches matches observing
+// the union, within the rank-error bound — the property the SLO window
+// composition relies on.
+func TestSketchMerge(t *testing.T) {
+	const n = 4000
+	r := rand.New(rand.NewSource(5))
+	parts := []*Sketch{NewSketch(256), NewSketch(256), NewSketch(256)}
+	var data []float64
+	for i := 0; i < 3*n; i++ {
+		v := r.ExpFloat64() * 10
+		data = append(data, v)
+		parts[i%3].Observe(v)
+	}
+	merged := NewSketch(256)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	sort.Float64s(data)
+	if merged.Count() != int64(len(data)) {
+		t.Fatalf("merged count %d, want %d", merged.Count(), len(data))
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		assertRankError(t, merged, data, q, 0.04)
+	}
+	if merged.Min() != data[0] || merged.Max() != data[len(data)-1] {
+		t.Fatalf("merged min/max %v/%v, want %v/%v", merged.Min(), merged.Max(), data[0], data[len(data)-1])
+	}
+}
+
+func TestSketchSmallAndEmpty(t *testing.T) {
+	sk := NewSketch(8)
+	if sk.Query(0.5) != 0 || sk.Count() != 0 {
+		t.Fatal("empty sketch should report zeros")
+	}
+	sk.Observe(3)
+	if got := sk.Query(0.5); got != 3 {
+		t.Fatalf("single-value median = %v, want 3", got)
+	}
+	sk.ObserveDuration(5 * time.Second)
+	if sk.Max() != 5 {
+		t.Fatalf("max = %v, want 5 (seconds)", sk.Max())
+	}
+	if got := sk.Query(2); got != 5 {
+		t.Fatalf("clamped q>1 = %v, want max", got)
+	}
+	sk.Reset()
+	if sk.Count() != 0 || sk.Query(0.5) != 0 {
+		t.Fatal("reset did not empty the sketch")
+	}
+
+	var nilSk *Sketch
+	nilSk.Observe(1)
+	nilSk.Merge(sk)
+	if nilSk.Query(0.5) != 0 || nilSk.Count() != 0 {
+		t.Fatal("nil sketch is not a valid no-op")
+	}
+}

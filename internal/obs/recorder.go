@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RecorderOptions configure a flight Recorder. Every zero value has a
+// serving-grade default.
+type RecorderOptions struct {
+	// SlowThreshold marks a trace slow when its root span meets or exceeds
+	// it. Zero defaults to 250ms.
+	SlowThreshold time.Duration
+	// KeepInteresting bounds the retained slow/errored/shed/quarantined
+	// traces. Zero defaults to 256.
+	KeepInteresting int
+	// KeepHealthy bounds the retained healthy traces (most recent first
+	// out). Zero defaults to 64.
+	KeepHealthy int
+	// MaxSpansPerTrace bounds one trace's span count; further spans are
+	// counted in TraceSummary.SpansDropped. Zero defaults to 512.
+	MaxSpansPerTrace int
+	// MaxActive bounds the number of in-flight (unfinished) traces buffered
+	// at once; beyond it the oldest in-flight trace is discarded. Zero
+	// defaults to 1024.
+	MaxActive int
+}
+
+func (o RecorderOptions) withDefaults() RecorderOptions {
+	if o.SlowThreshold <= 0 {
+		o.SlowThreshold = 250 * time.Millisecond
+	}
+	if o.KeepInteresting <= 0 {
+		o.KeepInteresting = 256
+	}
+	if o.KeepHealthy <= 0 {
+		o.KeepHealthy = 64
+	}
+	if o.MaxSpansPerTrace <= 0 {
+		o.MaxSpansPerTrace = 512
+	}
+	if o.MaxActive <= 0 {
+		o.MaxActive = 1024
+	}
+	return o
+}
+
+// Retention reasons a finished trace is classified under. "healthy" traces
+// compete only with each other for buffer space; every other class is
+// retained at the expense of healthy traces, never the reverse — the
+// tail-sampling invariant the recorder tests pin down.
+const (
+	// ReasonSlow marks traces whose root span met the slow threshold.
+	ReasonSlow = "slow"
+	// ReasonError marks traces containing an error event or attribute.
+	ReasonError = "error"
+	// ReasonShed marks traces of requests refused by admission control.
+	ReasonShed = "shed"
+	// ReasonQuarantine marks traces in which a document was quarantined.
+	ReasonQuarantine = "quarantine"
+	// ReasonHealthy marks traces with nothing anomalous about them.
+	ReasonHealthy = "healthy"
+)
+
+// RecordedTrace is one finished, retained trace.
+type RecordedTrace struct {
+	// TraceID is the trace's identifier (hex).
+	TraceID string `json:"traceId"`
+	// Root is the root span's name.
+	Root string `json:"root"`
+	// Start is the root span's start time.
+	Start time.Time `json:"start"`
+	// Duration is the root span's elapsed time.
+	Duration time.Duration `json:"durationNanos"`
+	// Reason is the retention classification (Reason* constants).
+	Reason string `json:"reason"`
+	// SpansDropped counts spans discarded beyond MaxSpansPerTrace.
+	SpansDropped int `json:"spansDropped,omitempty"`
+	// Spans are the trace's retained spans in recording (end-time) order.
+	Spans []Span `json:"spans"`
+}
+
+// TraceSummary is one row of the /debug/traces listing.
+type TraceSummary struct {
+	// TraceID is the trace's identifier (hex).
+	TraceID string `json:"traceId"`
+	// Root is the root span's name.
+	Root string `json:"root"`
+	// Start is the root span's start time.
+	Start time.Time `json:"start"`
+	// DurationMS is the root span's elapsed time in milliseconds.
+	DurationMS float64 `json:"durationMs"`
+	// Reason is the retention classification.
+	Reason string `json:"reason"`
+	// Spans is the retained span count.
+	Spans int `json:"spans"`
+	// SpansDropped counts spans discarded beyond the per-trace bound.
+	SpansDropped int `json:"spansDropped,omitempty"`
+}
+
+// activeTrace buffers one in-flight trace's spans until its root ends.
+type activeTrace struct {
+	id      string
+	spans   []Span
+	dropped int
+	seq     uint64 // admission order, for oldest-first eviction
+}
+
+// Recorder is the tail-sampling flight recorder: it buffers every span of
+// every in-flight trace, and decides at trace completion — when the root
+// span ends — whether to keep the trace. Slow, errored, shed and quarantined
+// traces are always retained (up to KeepInteresting, FIFO among themselves);
+// healthy traces fill a separate, smaller buffer, so an interesting trace is
+// never evicted to make room for a healthy one. A nil *Recorder is a valid
+// disabled recorder.
+type Recorder struct {
+	mu   sync.Mutex
+	opts RecorderOptions
+
+	active map[string]*activeTrace
+	seq    uint64
+
+	interesting []RecordedTrace // FIFO ring, newest last
+	healthy     []RecordedTrace // FIFO ring, newest last
+
+	finished uint64 // traces ever completed
+	dropped  uint64 // finished traces evicted (or active traces discarded)
+}
+
+// NewRecorder returns a flight recorder with the given options.
+func NewRecorder(opts RecorderOptions) *Recorder {
+	return &Recorder{
+		opts:   opts.withDefaults(),
+		active: make(map[string]*activeTrace),
+	}
+}
+
+// add buffers one span into its in-flight trace, creating the trace on first
+// sight (spans can end before the root does — they usually do).
+func (r *Recorder) add(sp Span) {
+	if r == nil || sp.TraceID == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	at := r.active[sp.TraceID]
+	if at == nil {
+		if len(r.active) >= r.opts.MaxActive {
+			r.evictOldestActiveLocked()
+		}
+		r.seq++
+		at = &activeTrace{id: sp.TraceID, seq: r.seq}
+		r.active[sp.TraceID] = at
+	}
+	if len(at.spans) >= r.opts.MaxSpansPerTrace {
+		at.dropped++
+		return
+	}
+	at.spans = append(at.spans, sp)
+}
+
+// evictOldestActiveLocked discards the in-flight trace admitted earliest —
+// the one most likely abandoned by a vanished client.
+func (r *Recorder) evictOldestActiveLocked() {
+	var oldest *activeTrace
+	for _, at := range r.active {
+		if oldest == nil || at.seq < oldest.seq {
+			oldest = at
+		}
+	}
+	if oldest != nil {
+		delete(r.active, oldest.id)
+		r.dropped++
+	}
+}
+
+// finish completes a trace: its buffered spans are classified and the trace
+// is retained or dropped per the tail-sampling policy. root is the trace's
+// root span (already recorded via add).
+func (r *Recorder) finish(traceID string, root Span) {
+	if r == nil || traceID == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	at := r.active[traceID]
+	delete(r.active, traceID)
+	rt := RecordedTrace{
+		TraceID:  traceID,
+		Root:     root.Name,
+		Start:    root.Start,
+		Duration: root.Duration,
+	}
+	if at != nil {
+		rt.Spans = at.spans
+		rt.SpansDropped = at.dropped
+	}
+	rt.Reason = r.classify(rt)
+	r.finished++
+	if rt.Reason == ReasonHealthy {
+		r.healthy = append(r.healthy, rt)
+		if len(r.healthy) > r.opts.KeepHealthy {
+			r.healthy = r.healthy[1:]
+			r.dropped++
+		}
+		return
+	}
+	r.interesting = append(r.interesting, rt)
+	if len(r.interesting) > r.opts.KeepInteresting {
+		r.interesting = r.interesting[1:]
+		r.dropped++
+	}
+}
+
+// classify decides a finished trace's retention reason. Error beats shed
+// beats quarantine beats slow: the most actionable signal names the trace.
+func (r *Recorder) classify(rt RecordedTrace) string {
+	var shed, quarantine, errored bool
+	for _, sp := range rt.Spans {
+		for _, ev := range sp.Events {
+			switch ev.Name {
+			case ReasonShed:
+				shed = true
+			case ReasonQuarantine:
+				quarantine = true
+			case ReasonError:
+				errored = true
+			}
+		}
+		if sp.Name == ReasonQuarantine {
+			quarantine = true
+		}
+		for _, a := range sp.Attrs {
+			if a.Key == "error" {
+				errored = true
+			}
+		}
+	}
+	switch {
+	case errored:
+		return ReasonError
+	case shed:
+		return ReasonShed
+	case quarantine:
+		return ReasonQuarantine
+	case rt.Duration >= r.opts.SlowThreshold:
+		return ReasonSlow
+	default:
+		return ReasonHealthy
+	}
+}
+
+// Traces lists the retained traces, newest first (interesting and healthy
+// interleaved by start time).
+func (r *Recorder) Traces() []TraceSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	all := make([]RecordedTrace, 0, len(r.interesting)+len(r.healthy))
+	all = append(all, r.interesting...)
+	all = append(all, r.healthy...)
+	r.mu.Unlock()
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Start.After(all[j].Start) })
+	out := make([]TraceSummary, len(all))
+	for i, rt := range all {
+		out[i] = TraceSummary{
+			TraceID:      rt.TraceID,
+			Root:         rt.Root,
+			Start:        rt.Start,
+			DurationMS:   float64(rt.Duration) / float64(time.Millisecond),
+			Reason:       rt.Reason,
+			Spans:        len(rt.Spans),
+			SpansDropped: rt.SpansDropped,
+		}
+	}
+	return out
+}
+
+// Trace returns the retained trace with the given ID (hex, case-insensitive)
+// and whether it was found.
+func (r *Recorder) Trace(id string) (RecordedTrace, bool) {
+	if r == nil {
+		return RecordedTrace{}, false
+	}
+	id = strings.ToLower(id)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.interesting) - 1; i >= 0; i-- {
+		if r.interesting[i].TraceID == id {
+			return cloneTrace(r.interesting[i]), true
+		}
+	}
+	for i := len(r.healthy) - 1; i >= 0; i-- {
+		if r.healthy[i].TraceID == id {
+			return cloneTrace(r.healthy[i]), true
+		}
+	}
+	return RecordedTrace{}, false
+}
+
+// cloneTrace copies the span slice so callers can serialize it outside the
+// recorder's lock while new spans keep arriving.
+func cloneTrace(rt RecordedTrace) RecordedTrace {
+	spans := make([]Span, len(rt.Spans))
+	copy(spans, rt.Spans)
+	rt.Spans = spans
+	return rt
+}
+
+// Stats reports the recorder's lifetime counters.
+func (r *Recorder) Stats() (finished, retained, dropped uint64) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.finished, uint64(len(r.interesting) + len(r.healthy)), r.dropped
+}

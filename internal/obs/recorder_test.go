@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// finishTrace pushes one synthetic single-span trace through the recorder.
+// kind selects the classification signal: "slow", "error", "shed",
+// "quarantine" or "healthy".
+func finishTrace(r *Recorder, id, kind string) {
+	root := Span{
+		Name:     "http.fill",
+		TraceID:  id,
+		SpanID:   NewSpanID().String(),
+		Start:    time.Now(),
+		Duration: 10 * time.Millisecond,
+	}
+	switch kind {
+	case ReasonSlow:
+		root.Duration = time.Second
+	case ReasonError:
+		root.Events = []Event{{Name: ReasonError, Time: time.Now()}}
+	case ReasonShed:
+		root.Events = []Event{{Name: ReasonShed, Time: time.Now()}}
+	case ReasonQuarantine:
+		root.Events = []Event{{Name: ReasonQuarantine, Time: time.Now()}}
+	}
+	r.add(root)
+	r.finish(id, root)
+}
+
+// TestRecorderRetentionInvariant pins the tail-sampling guarantee: healthy
+// traces can never evict slow/errored/shed/quarantined ones, no matter how
+// many healthy traces follow.
+func TestRecorderRetentionInvariant(t *testing.T) {
+	r := NewRecorder(RecorderOptions{SlowThreshold: 500 * time.Millisecond, KeepInteresting: 8, KeepHealthy: 2})
+	interesting := []string{}
+	for i, kind := range []string{ReasonSlow, ReasonError, ReasonShed, ReasonQuarantine} {
+		id := fmt.Sprintf("%032x", i+1)
+		interesting = append(interesting, id)
+		finishTrace(r, id, kind)
+	}
+	// A flood of healthy traffic follows.
+	for i := 0; i < 100; i++ {
+		finishTrace(r, fmt.Sprintf("%032x", 1000+i), ReasonHealthy)
+	}
+	for _, id := range interesting {
+		rt, ok := r.Trace(id)
+		if !ok {
+			t.Fatalf("interesting trace %s was evicted by healthy traffic", id)
+		}
+		if rt.Reason == ReasonHealthy {
+			t.Fatalf("trace %s classified healthy, want interesting", id)
+		}
+	}
+	// The healthy ring holds only its own bound, newest last.
+	var healthy int
+	for _, s := range r.Traces() {
+		if s.Reason == ReasonHealthy {
+			healthy++
+		}
+	}
+	if healthy != 2 {
+		t.Fatalf("retained %d healthy traces, want 2", healthy)
+	}
+	if _, ok := r.Trace(fmt.Sprintf("%032x", 1099)); !ok {
+		t.Fatal("newest healthy trace missing")
+	}
+	if _, ok := r.Trace(fmt.Sprintf("%032x", 1000)); ok {
+		t.Fatal("oldest healthy trace should have been evicted")
+	}
+}
+
+// TestRecorderInterestingFIFO checks interesting traces evict among
+// themselves, oldest first, once their own buffer fills.
+func TestRecorderInterestingFIFO(t *testing.T) {
+	r := NewRecorder(RecorderOptions{KeepInteresting: 3, KeepHealthy: 1})
+	for i := 0; i < 5; i++ {
+		finishTrace(r, fmt.Sprintf("%032x", i), ReasonError)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := r.Trace(fmt.Sprintf("%032x", i)); ok {
+			t.Fatalf("trace %d should have rotated out", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := r.Trace(fmt.Sprintf("%032x", i)); !ok {
+			t.Fatalf("trace %d missing from FIFO ring", i)
+		}
+	}
+	finished, retained, dropped := r.Stats()
+	if finished != 5 || retained != 3 || dropped != 2 {
+		t.Fatalf("stats = %d/%d/%d, want 5/3/2", finished, retained, dropped)
+	}
+}
+
+// TestRecorderClassifyPrecedence pins error > shed > quarantine > slow.
+func TestRecorderClassifyPrecedence(t *testing.T) {
+	r := NewRecorder(RecorderOptions{SlowThreshold: time.Millisecond})
+	id := strings.Repeat("ab", 16)
+	root := Span{
+		Name: "http.fill", TraceID: id, SpanID: NewSpanID().String(),
+		Duration: time.Second, // slow
+		Events: []Event{
+			{Name: ReasonQuarantine},
+			{Name: ReasonShed},
+			{Name: ReasonError},
+		},
+	}
+	r.add(root)
+	r.finish(id, root)
+	rt, ok := r.Trace(id)
+	if !ok || rt.Reason != ReasonError {
+		t.Fatalf("reason = %q (found %v), want error", rt.Reason, ok)
+	}
+}
+
+// TestRecorderQuarantineSpanName checks a span named "quarantine" (the
+// pipeline's per-document quarantine span) marks the trace.
+func TestRecorderQuarantineSpanName(t *testing.T) {
+	r := NewRecorder(RecorderOptions{})
+	id := strings.Repeat("cd", 16)
+	q := Span{Name: "quarantine", TraceID: id, SpanID: NewSpanID().String()}
+	root := Span{Name: "http.fill", TraceID: id, SpanID: NewSpanID().String(), Duration: time.Millisecond}
+	r.add(q)
+	r.add(root)
+	r.finish(id, root)
+	rt, ok := r.Trace(id)
+	if !ok || rt.Reason != ReasonQuarantine {
+		t.Fatalf("reason = %q (found %v), want quarantine", rt.Reason, ok)
+	}
+	if len(rt.Spans) != 2 {
+		t.Fatalf("retained %d spans, want 2", len(rt.Spans))
+	}
+}
+
+func TestRecorderSpanCapAndLookup(t *testing.T) {
+	r := NewRecorder(RecorderOptions{MaxSpansPerTrace: 3})
+	id := strings.Repeat("ef", 16)
+	for i := 0; i < 10; i++ {
+		r.add(Span{Name: "doc", TraceID: id, SpanID: NewSpanID().String()})
+	}
+	root := Span{Name: "http.fill", TraceID: id, Duration: time.Hour}
+	r.finish(id, root)
+	rt, ok := r.Trace(strings.ToUpper(id)) // case-insensitive lookup
+	if !ok {
+		t.Fatal("trace not found")
+	}
+	if len(rt.Spans) != 3 || rt.SpansDropped != 7 {
+		t.Fatalf("spans=%d dropped=%d, want 3/7", len(rt.Spans), rt.SpansDropped)
+	}
+	if _, ok := r.Trace("no-such-trace"); ok {
+		t.Fatal("lookup of unknown trace succeeded")
+	}
+}
+
+func TestRecorderNilIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.add(Span{TraceID: "x"})
+	r.finish("x", Span{})
+	if r.Traces() != nil {
+		t.Fatal("nil recorder listed traces")
+	}
+	if _, ok := r.Trace("x"); ok {
+		t.Fatal("nil recorder found a trace")
+	}
+	f, ret, d := r.Stats()
+	if f != 0 || ret != 0 || d != 0 {
+		t.Fatal("nil recorder has stats")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 )
 
@@ -41,14 +42,16 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 
 // Handler returns the debug mux:
 //
-//	/debug/vars          — expvar (includes the registry once published)
+//	/debug/vars          — expvar (includes the registry and SLO once published)
 //	/debug/pprof/*       — live profiling (profile, heap, goroutine, trace, …)
 //	/debug/thor/metrics  — the registry snapshot as JSON
 //	/debug/thor/spans    — the tracer's span ring buffer as JSON
+//	/debug/traces        — the flight recorder's retained-trace listing
+//	/debug/traces/{id}   — one retained trace's full span tree
 //
-// reg and tr may be nil; the corresponding endpoints then serve empty
-// payloads.
-func Handler(reg *Registry, tr *Tracer) http.Handler {
+// reg, tr and rec may be nil; the corresponding endpoints then serve empty
+// payloads (and /debug/traces/{id} answers 404).
+func Handler(reg *Registry, tr *Tracer, rec *Recorder) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -66,7 +69,29 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(tr.Dump())
 	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		writeIndentedJSON(w, rec.Traces())
+	})
+	mux.HandleFunc("/debug/traces/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+		rt, ok := rec.Trace(id)
+		if !ok {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(http.StatusNotFound)
+			_, _ = fmt.Fprintf(w, "{\"error\":\"trace %q not retained\"}\n", id)
+			return
+		}
+		writeIndentedJSON(w, rt)
+	})
 	return mux
+}
+
+// writeIndentedJSON writes v as indented JSON with the standard header.
+func writeIndentedJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
 }
 
 // Serve starts the debug HTTP server on addr (e.g. ":6060" or
@@ -80,7 +105,7 @@ func Serve(addr string, reg *Registry, tr *Tracer) (*http.Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Addr: ln.Addr().String(), Handler: Handler(reg, tr)}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: Handler(reg, tr, nil)}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, nil
 }

@@ -34,7 +34,7 @@ func TestHandlerEndpoints(t *testing.T) {
 	tr := NewTracer(8)
 	tr.StartSpan("doc", String("doc", "d1")).End()
 
-	srv := httptest.NewServer(Handler(reg, tr))
+	srv := httptest.NewServer(Handler(reg, tr, nil))
 	defer srv.Close()
 
 	var snap Snapshot
@@ -65,7 +65,7 @@ func TestHandlerEndpoints(t *testing.T) {
 }
 
 func TestHandlerNilRegistryAndTracer(t *testing.T) {
-	srv := httptest.NewServer(Handler(nil, nil))
+	srv := httptest.NewServer(Handler(nil, nil, nil))
 	defer srv.Close()
 	var snap Snapshot
 	if err := json.Unmarshal(get(t, srv, "/debug/thor/metrics"), &snap); err != nil {

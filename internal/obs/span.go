@@ -22,16 +22,42 @@ type Attr struct {
 // String builds a string attribute.
 func String(key, value string) Attr { return Attr{Key: key, Value: value} }
 
-// Span is one completed timed operation.
+// Event is one timestamped annotation recorded while a span was open — a
+// quarantine, a shed decision, an error. Events ride inside their span
+// rather than becoming spans of their own.
+type Event struct {
+	// Name identifies the event ("quarantine", "shed", "error", …).
+	Name string `json:"name"`
+	// Time is when the event was recorded.
+	Time time.Time `json:"time"`
+	// Attrs carry the event's details.
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Span is one completed timed operation. TraceID/SpanID/ParentID are empty
+// on flat spans (recorded outside any request trace) and populated on spans
+// recorded through StartTrace/StartSpanCtx, where they place the span in a
+// request's tree.
 type Span struct {
 	// Name identifies the operation ("run", "doc", "finetune", …).
 	Name string `json:"name"`
+	// TraceID is the request trace the span belongs to (hex; empty on flat
+	// spans).
+	TraceID string `json:"traceId,omitempty"`
+	// SpanID identifies the span within its trace (hex).
+	SpanID string `json:"spanId,omitempty"`
+	// ParentID is the parent span's ID (hex; empty on roots whose caller
+	// sent no traceparent).
+	ParentID string `json:"parentId,omitempty"`
 	// Start is the wall-clock start time.
 	Start time.Time `json:"start"`
 	// Duration is the span's elapsed time.
 	Duration time.Duration `json:"durationNanos"`
 	// Attrs are the annotations passed to StartSpan.
 	Attrs []Attr `json:"attrs,omitempty"`
+	// Events are the timestamped annotations recorded while the span was
+	// open.
+	Events []Event `json:"events,omitempty"`
 }
 
 // Tracer records completed spans into a fixed-capacity ring buffer: the
@@ -41,11 +67,16 @@ type Span struct {
 //
 // When a runtime execution trace is active (runtime/trace.IsEnabled), every
 // span additionally opens a trace region, so spans show up in
-// `go tool trace` output.
+// `go tool trace` output. When a Recorder is attached (SetRecorder), every
+// span carrying a TraceID is also fed to the flight recorder.
 type Tracer struct {
 	mu    sync.Mutex
 	ring  []Span
 	total uint64 // spans ever recorded
+
+	// rec is the optional flight recorder; set before the tracer is shared
+	// (SetRecorder is not synchronized against concurrent StartSpan).
+	rec *Recorder
 }
 
 // NewTracer returns a tracer keeping the last capacity spans
@@ -57,11 +88,31 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{ring: make([]Span, capacity)}
 }
 
+// SetRecorder attaches a flight recorder: every recorded span with a trace
+// ID is copied into it, and a root span ending completes its trace. Call
+// before the tracer is shared with other goroutines. Nil-safe.
+func (t *Tracer) SetRecorder(r *Recorder) {
+	if t == nil {
+		return
+	}
+	t.rec = r
+}
+
 // ActiveSpan is an in-flight span; call End to record it.
 type ActiveSpan struct {
 	tr     *Tracer
 	span   Span
 	region *trace.Region
+	root   bool
+
+	// refs/ids fan the span out: one recorded Span per ref, identified by
+	// the matching id. Empty on flat spans.
+	refs []SpanRef
+	ids  []SpanID
+
+	// evMu guards Events: annotations may race with each other (not with
+	// End, which happens-after all annotations by contract).
+	evMu sync.Mutex
 }
 
 // StartSpan opens a span. On a nil tracer it returns nil, and End on a nil
@@ -77,7 +128,20 @@ func (t *Tracer) StartSpan(name string, attrs ...Attr) *ActiveSpan {
 	return s
 }
 
-// End closes the span and records it in the tracer's ring buffer.
+// Annotate records a timestamped event on the span — visible on every copy
+// the span fans out to. No-op on a nil span.
+func (s *ActiveSpan) Annotate(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.evMu.Lock()
+	s.span.Events = append(s.span.Events, Event{Name: name, Time: time.Now(), Attrs: attrs})
+	s.evMu.Unlock()
+}
+
+// End closes the span and records it in the tracer's ring buffer — once per
+// SpanRef for spans opened inside a trace, flat otherwise. Ending the root
+// span of a trace completes the trace in the attached Recorder.
 func (s *ActiveSpan) End() {
 	if s == nil {
 		return
@@ -86,7 +150,24 @@ func (s *ActiveSpan) End() {
 		s.region.End()
 	}
 	s.span.Duration = time.Since(s.span.Start)
-	s.tr.record(s.span)
+	if len(s.ids) == 0 {
+		s.tr.record(s.span)
+		return
+	}
+	for i, r := range s.refs {
+		sp := s.span
+		sp.TraceID = r.Trace.String()
+		sp.SpanID = s.ids[i].String()
+		if !r.Parent.IsZero() {
+			sp.ParentID = r.Parent.String()
+		} else {
+			sp.ParentID = ""
+		}
+		s.tr.record(sp)
+	}
+	if s.root && s.tr.rec != nil {
+		s.tr.rec.finish(s.span.TraceID, s.span)
+	}
 }
 
 func (t *Tracer) record(sp Span) {
@@ -94,6 +175,9 @@ func (t *Tracer) record(sp Span) {
 	t.ring[t.total%uint64(len(t.ring))] = sp
 	t.total++
 	t.mu.Unlock()
+	if t.rec != nil && sp.TraceID != "" {
+		t.rec.add(sp)
+	}
 }
 
 // Total returns the number of spans ever recorded (including overwritten

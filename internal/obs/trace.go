@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a W3C Trace Context trace identifier: 16 bytes, rendered as 32
+// lowercase hex digits. The zero value is invalid per the spec.
+type TraceID [16]byte
+
+// String renders the trace ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the trace ID is the all-zero (invalid) ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// SpanID is a W3C Trace Context span identifier: 8 bytes, rendered as 16
+// lowercase hex digits. The zero value is invalid per the spec.
+type SpanID [8]byte
+
+// String renders the span ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the span ID is the all-zero (invalid) ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// idState is the process-wide ID generator: a splitmix64 counter seeded once
+// from crypto/rand. Atomic increments keep generation lock-free and unique
+// within the process; the random seed keeps IDs unique across processes.
+var idState atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	_, _ = rand.Read(seed[:])
+	idState.Store(binary.LittleEndian.Uint64(seed[:]) | 1)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijective mixer
+// whose outputs are well distributed even over sequential inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewTraceID returns a fresh non-zero trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		n := idState.Add(2)
+		binary.BigEndian.PutUint64(t[:8], splitmix64(n))
+		binary.BigEndian.PutUint64(t[8:], splitmix64(n+1))
+	}
+	return t
+}
+
+// NewSpanID returns a fresh non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		binary.BigEndian.PutUint64(s[:], splitmix64(idState.Add(1)))
+	}
+	return s
+}
+
+// TraceContext is one request's position in a distributed trace: the trace it
+// belongs to and the span that is its current parent. The zero value means
+// "no trace".
+type TraceContext struct {
+	// Trace is the trace identifier shared by every span of the request.
+	Trace TraceID
+	// Span is the identifier of the current (parent) span.
+	Span SpanID
+}
+
+// Valid reports whether both IDs are non-zero, as the W3C spec requires.
+func (tc TraceContext) Valid() bool { return !tc.Trace.IsZero() && !tc.Span.IsZero() }
+
+// Traceparent renders the context as a W3C traceparent header value
+// (version 00, sampled flag set).
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-01", tc.Trace, tc.Span)
+}
+
+// ParseTraceparent parses a W3C traceparent header value
+// ("00-<32 hex>-<16 hex>-<2 hex>"). It returns ok=false — never an invented
+// context — for malformed headers, all-zero IDs, or the reserved version ff,
+// so callers can fall back to generating a fresh trace. Future versions
+// (01–fe) are accepted as long as the 00-prefix fields parse, per the spec's
+// forward-compatibility rule.
+func ParseTraceparent(h string) (tc TraceContext, ok bool) {
+	// Fixed layout: 2 (version) + 1 + 32 (trace) + 1 + 16 (span) + 1 + 2 (flags).
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceContext{}, false
+	}
+	if len(h) > 55 && (h[0] == '0' && h[1] == '0' || h[55] != '-') {
+		// Version 00 must be exactly 55 chars; later versions may append
+		// "-<extra>" suffixes which we ignore.
+		return TraceContext{}, false
+	}
+	var version [1]byte
+	if _, err := hex.Decode(version[:], []byte(h[0:2])); err != nil || version[0] == 0xff {
+		return TraceContext{}, false
+	}
+	if _, err := hex.Decode(tc.Trace[:], []byte(h[3:35])); err != nil {
+		return TraceContext{}, false
+	}
+	if _, err := hex.Decode(tc.Span[:], []byte(h[36:52])); err != nil {
+		return TraceContext{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return TraceContext{}, false
+	}
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// SpanRef is one (trace, parent span) coordinate a new span attaches under.
+// A batched operation shared by several requests carries one ref per request,
+// so every span the operation opens is recorded once into each request's
+// trace — the span-tree multiplexing the serving path relies on.
+type SpanRef struct {
+	// Trace is the trace the span belongs to.
+	Trace TraceID
+	// Parent is the span the new span is a child of.
+	Parent SpanID
+}
+
+// refsKey is the context key SpanRefs travel under.
+type refsKey struct{}
+
+// WithSpanRefs returns a context carrying the given span refs; spans started
+// with StartSpanCtx attach under them. An empty refs list returns ctx
+// unchanged (spans stay flat, exactly the pre-tracing behavior).
+func WithSpanRefs(ctx context.Context, refs ...SpanRef) context.Context {
+	if len(refs) == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, refsKey{}, refs)
+}
+
+// SpanRefs returns the span refs carried by ctx, nil when there are none.
+func SpanRefs(ctx context.Context) []SpanRef {
+	refs, _ := ctx.Value(refsKey{}).([]SpanRef)
+	return refs
+}
+
+// StartTrace opens the root span of a request trace under tc (tc.Span, when
+// set, becomes the remote parent of the root — the caller's traceparent).
+// The returned context carries a SpanRef under the new root, so every
+// StartSpanCtx call below it lands in the trace. When the root span ends the
+// trace is complete: an attached Recorder makes its retention decision then.
+// On a nil tracer it returns ctx unchanged and a nil span.
+func (t *Tracer) StartTrace(ctx context.Context, tc TraceContext, name string, attrs ...Attr) (context.Context, *ActiveSpan) {
+	if t == nil || tc.Trace.IsZero() {
+		return ctx, nil
+	}
+	id := NewSpanID()
+	s := &ActiveSpan{
+		tr:   t,
+		span: Span{Name: name, Start: time.Now(), Attrs: attrs, TraceID: tc.Trace.String(), SpanID: id.String()},
+		root: true,
+	}
+	if !tc.Span.IsZero() {
+		s.span.ParentID = tc.Span.String()
+	}
+	s.refs = []SpanRef{{Trace: tc.Trace, Parent: tc.Span}}
+	s.ids = []SpanID{id}
+	return WithSpanRefs(ctx, SpanRef{Trace: tc.Trace, Parent: id}), s
+}
+
+// StartSpanCtx opens a span attached under every SpanRef ctx carries: on End
+// one Span record per ref is written, each parented into its own trace. The
+// returned context carries the refs of the new span, so nested StartSpanCtx
+// calls build a tree. Without refs in ctx it behaves exactly like StartSpan
+// (one flat, parentless span). Nil-safe like StartSpan.
+func (t *Tracer) StartSpanCtx(ctx context.Context, name string, attrs ...Attr) (context.Context, *ActiveSpan) {
+	if t == nil {
+		return ctx, nil
+	}
+	refs := SpanRefs(ctx)
+	if len(refs) == 0 {
+		return ctx, t.StartSpan(name, attrs...)
+	}
+	s := &ActiveSpan{
+		tr:   t,
+		span: Span{Name: name, Start: time.Now(), Attrs: attrs},
+		refs: refs,
+		ids:  make([]SpanID, len(refs)),
+	}
+	childRefs := make([]SpanRef, len(refs))
+	for i, r := range refs {
+		id := NewSpanID()
+		s.ids[i] = id
+		childRefs[i] = SpanRef{Trace: r.Trace, Parent: id}
+	}
+	return WithSpanRefs(ctx, childRefs...), s
+}
+
+// RecordSpan records an already-measured operation as one span per ref —
+// the synthesized spans of the serving path (queue wait, per-stage
+// summaries), whose start and duration were measured outside a Start/End
+// pair. Nil-safe; no-op with no refs.
+func (t *Tracer) RecordSpan(refs []SpanRef, name string, start time.Time, d time.Duration, attrs ...Attr) {
+	if t == nil || len(refs) == 0 {
+		return
+	}
+	for _, r := range refs {
+		sp := Span{
+			Name:     name,
+			Start:    start,
+			Duration: d,
+			Attrs:    attrs,
+			TraceID:  r.Trace.String(),
+			SpanID:   NewSpanID().String(),
+		}
+		if !r.Parent.IsZero() {
+			sp.ParentID = r.Parent.String()
+		}
+		t.record(sp)
+	}
+}

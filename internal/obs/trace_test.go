@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		tc := TraceContext{Trace: NewTraceID(), Span: NewSpanID()}
+		h := tc.Traceparent()
+		if len(h) != 55 {
+			t.Fatalf("traceparent %q has length %d, want 55", h, len(h))
+		}
+		got, ok := ParseTraceparent(h)
+		if !ok {
+			t.Fatalf("round-trip parse failed for %q", h)
+		}
+		if got != tc {
+			t.Fatalf("round-trip mismatch: sent %+v got %+v", tc, got)
+		}
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	valid := TraceContext{Trace: NewTraceID(), Span: NewSpanID()}.Traceparent()
+	cases := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"valid", valid, true},
+		{"empty", "", false},
+		{"truncated", valid[:54], false},
+		{"garbage", "not a traceparent header at all, but long enough to pass len", false},
+		{"reserved version ff", "ff" + valid[2:], false},
+		{"future version", "cc" + valid[2:], true},
+		{"future version with suffix", "cc" + valid[2:] + "-extra", true},
+		{"version 00 with suffix", valid + "-extra", false},
+		{"zero trace", "00-00000000000000000000000000000000-00f067aa0ba902b7-01", false},
+		{"zero span", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", false},
+		{"bad trace hex", "00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01", false},
+		{"bad span hex", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902zz-01", false},
+		{"bad flags hex", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz", false},
+		{"bad version hex", "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"wrong separators", strings.ReplaceAll(valid, "-", "_"), false},
+	}
+	for _, c := range cases {
+		tc, ok := ParseTraceparent(c.in)
+		if ok != c.ok {
+			t.Errorf("%s: ParseTraceparent(%q) ok = %v, want %v", c.name, c.in, ok, c.ok)
+		}
+		if !ok && tc != (TraceContext{}) {
+			t.Errorf("%s: failed parse returned non-zero context %+v", c.name, tc)
+		}
+	}
+}
+
+func TestNewIDsAreUniqueAndNonZero(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		tr, sp := NewTraceID(), NewSpanID()
+		if tr.IsZero() || sp.IsZero() {
+			t.Fatal("generated a zero ID")
+		}
+		if seen[tr.String()] || seen[sp.String()] {
+			t.Fatal("generated a duplicate ID")
+		}
+		seen[tr.String()], seen[sp.String()] = true, true
+	}
+}
+
+// TestSpanTreeMultiplexing pins the fan-out contract: a batched operation
+// carrying two requests' span refs records every span once per request, each
+// copy parented into its own trace.
+func TestSpanTreeMultiplexing(t *testing.T) {
+	tr := NewTracer(64)
+
+	ctxA, rootA := tr.StartTrace(context.Background(), TraceContext{Trace: NewTraceID()}, "http.fill")
+	ctxB, rootB := tr.StartTrace(context.Background(), TraceContext{Trace: NewTraceID()}, "http.fill")
+	refsA, refsB := SpanRefs(ctxA), SpanRefs(ctxB)
+	if len(refsA) != 1 || len(refsB) != 1 {
+		t.Fatalf("root contexts carry %d/%d refs, want 1/1", len(refsA), len(refsB))
+	}
+
+	// The shared batch operation fans out over both requests.
+	ctx := WithSpanRefs(context.Background(), refsA[0], refsB[0])
+	ctx, batch := tr.StartSpanCtx(ctx, "batch")
+	_, run := tr.StartSpanCtx(ctx, "run")
+	run.End()
+	batch.End()
+	rootA.End()
+	rootB.End()
+
+	spans := tr.Spans()
+	byTrace := map[string]map[string]Span{} // trace -> name -> span
+	for _, sp := range spans {
+		if byTrace[sp.TraceID] == nil {
+			byTrace[sp.TraceID] = map[string]Span{}
+		}
+		byTrace[sp.TraceID][sp.Name] = sp
+	}
+	if len(byTrace) != 2 {
+		t.Fatalf("spans landed in %d traces, want 2", len(byTrace))
+	}
+	for id, tree := range byTrace {
+		root, okR := tree["http.fill"]
+		batchSp, okB := tree["batch"]
+		runSp, okN := tree["run"]
+		if !okR || !okB || !okN {
+			t.Fatalf("trace %s is missing spans: %v", id, tree)
+		}
+		if root.ParentID != "" {
+			t.Errorf("trace %s: root has parent %q, want none", id, root.ParentID)
+		}
+		if batchSp.ParentID != root.SpanID {
+			t.Errorf("trace %s: batch parent %q, want root %q", id, batchSp.ParentID, root.SpanID)
+		}
+		if runSp.ParentID != batchSp.SpanID {
+			t.Errorf("trace %s: run parent %q, want batch %q", id, runSp.ParentID, batchSp.SpanID)
+		}
+	}
+}
+
+// TestStartTraceContinuesRemoteParent checks a caller-sent traceparent
+// becomes the root span's parent.
+func TestStartTraceContinuesRemoteParent(t *testing.T) {
+	tr := NewTracer(8)
+	tc := TraceContext{Trace: NewTraceID(), Span: NewSpanID()}
+	_, root := tr.StartTrace(context.Background(), tc, "http.fill")
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	if spans[0].TraceID != tc.Trace.String() || spans[0].ParentID != tc.Span.String() {
+		t.Fatalf("root = %+v, want trace %s parent %s", spans[0], tc.Trace, tc.Span)
+	}
+}
+
+func TestRecordSpanSynthesized(t *testing.T) {
+	tr := NewTracer(8)
+	ref := SpanRef{Trace: NewTraceID(), Parent: NewSpanID()}
+	start := time.Now().Add(-50 * time.Millisecond)
+	tr.RecordSpan([]SpanRef{ref}, "queue.wait", start, 50*time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Name != "queue.wait" || sp.TraceID != ref.Trace.String() || sp.ParentID != ref.Parent.String() {
+		t.Fatalf("synthesized span = %+v", sp)
+	}
+	if sp.Duration != 50*time.Millisecond {
+		t.Fatalf("duration = %v, want 50ms", sp.Duration)
+	}
+}
+
+// TestStartSpanCtxWithoutRefsIsFlat pins the disabled path: no refs in the
+// context means the exact pre-tracing behavior (one flat span, no IDs).
+func TestStartSpanCtxWithoutRefsIsFlat(t *testing.T) {
+	tr := NewTracer(8)
+	_, sp := tr.StartSpanCtx(context.Background(), "run")
+	sp.End()
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].TraceID != "" || spans[0].SpanID != "" {
+		t.Fatalf("flat span = %+v, want no trace IDs", spans)
+	}
+}
+
+func TestNilTracerTraceCallsAreNoOps(t *testing.T) {
+	var tr *Tracer
+	ctx, root := tr.StartTrace(context.Background(), TraceContext{Trace: NewTraceID()}, "x")
+	if root != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	ctx2, sp := tr.StartSpanCtx(ctx, "y")
+	sp.Annotate("shed")
+	sp.End()
+	root.End()
+	tr.RecordSpan([]SpanRef{{Trace: NewTraceID()}}, "z", time.Now(), time.Second)
+	if ctx2 != ctx {
+		t.Fatal("nil tracer modified the context")
+	}
+}

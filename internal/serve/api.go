@@ -29,6 +29,11 @@ type Request struct {
 	// effective timeout is never looser than requested. Zero inherits the
 	// server default.
 	DocTimeoutMS int64 `json:"doc_timeout_ms,omitempty"`
+	// Explain, on POST /v1/fill, attaches a provenance record to every
+	// assignment: source document, matched seed, the three similarity
+	// scores, and the τ in force at decision time. Off by default; with
+	// Explain false the response is byte-identical to a pre-explain server.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // Entity is the wire form of thor.Entity: one conceptualized entity with
@@ -158,6 +163,9 @@ type ErrorInfo struct {
 type ErrorBody struct {
 	// Error describes what went wrong.
 	Error ErrorInfo `json:"error"`
+	// TraceID is the request's trace identifier (also in the X-Trace-Id
+	// response header), empty when the server runs without a tracer.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // writeJSON writes v as a JSON response with the given status.
@@ -167,9 +175,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError writes the uniform error envelope.
-func writeError(w http.ResponseWriter, status int, code, message string) {
-	writeJSON(w, status, ErrorBody{Error: ErrorInfo{Code: code, Message: message}})
+// writeError writes the uniform error envelope. traceID ties the failure to
+// its trace (/debug/traces/{id}); empty omits the field.
+func writeError(w http.ResponseWriter, status int, code, message, traceID string) {
+	writeJSON(w, status, ErrorBody{Error: ErrorInfo{Code: code, Message: message}, TraceID: traceID})
 }
 
 // wireEntities converts the merged per-subject entity map to its wire form.

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"log/slog"
 	"sort"
 	"strconv"
 	"time"
@@ -16,6 +17,12 @@ type pending struct {
 	docs       []segment.Document
 	docTimeout time.Duration
 	enq        time.Time
+	// ref is the request's position in its trace (the span ref under the
+	// request's root span); the zero value means the request is untraced.
+	// The coalescer parents the queue.wait and batch spans here, so a batch
+	// shared by several requests writes its span tree into every rider's
+	// trace.
+	ref obs.SpanRef
 	// resp is buffered (capacity 1) so the coalescer never blocks on a
 	// client that stopped listening.
 	resp chan batchOutcome
@@ -153,10 +160,12 @@ func (s *Server) runBatch(batch []*pending) {
 	if len(live) == 0 {
 		return
 	}
+	batchID := s.batchSeq.Add(1)
 	batchStart := time.Now()
 	var docs []segment.Document
 	starts := make([]int, len(live))
 	var docTimeout time.Duration
+	rootRefs := make([]obs.SpanRef, 0, len(live))
 	for i, p := range live {
 		starts[i] = len(docs)
 		docs = append(docs, p.docs...)
@@ -166,16 +175,49 @@ func (s *Server) runBatch(batch []*pending) {
 			docTimeout = p.docTimeout
 		}
 		s.ins.queueWait.Observe(batchStart.Sub(p.enq))
+		if !p.ref.Trace.IsZero() {
+			rootRefs = append(rootRefs, p.ref)
+			// The queue.wait span: admission to batch start, measured rather
+			// than Start/End-paired, synthesized into this request's trace.
+			s.opts.Tracer.RecordSpan([]obs.SpanRef{p.ref}, "queue.wait", p.enq, batchStart.Sub(p.enq))
+		}
 	}
-	sp := s.opts.Tracer.StartSpan("batch",
+	// The batch span fans out into every traced rider's trace; without any
+	// traced rider StartSpanCtx falls back to one flat span, the pre-trace
+	// behavior.
+	ctx := obs.WithSpanRefs(s.baseCtx, rootRefs...)
+	ctx, bsp := s.opts.Tracer.StartSpanCtx(ctx, "batch",
+		obs.String("batch_id", strconv.FormatUint(batchID, 10)),
 		obs.String("requests", strconv.Itoa(len(live))),
 		obs.String("docs", strconv.Itoa(len(docs))))
-	res, err := thor.RunContext(s.baseCtx, s.opts.Table, s.opts.Space, docs, s.runConfig(docTimeout))
+	var blog *slog.Logger
+	if s.opts.Logger != nil {
+		blog = s.opts.Logger.With(obs.LogBatchID, batchID)
+		blog.Debug("batch start", "requests", len(live), "docs", len(docs))
+	}
+	res, err := thor.RunContext(ctx, s.opts.Table, s.opts.Space, docs, s.runConfig(docTimeout, blog))
 	runDur := time.Since(batchStart)
-	sp.End()
+	bsp.End()
 	s.ins.batches.Add(1)
 	s.ins.batchDocs.Add(int64(len(docs)))
 	s.ins.batchRun.Observe(runDur)
+	if res != nil {
+		// Per-stage latency feeds the SLO engine's tracked streams, so
+		// /debug/vars shows windowed stage percentiles next to the routes.
+		for _, st := range res.Stats.Stages {
+			if st.Calls == 0 {
+				continue
+			}
+			s.opts.SLO.Track("stage."+string(st.Stage), st.Total)
+		}
+	}
+	if blog != nil {
+		if err != nil {
+			blog.Warn("batch failed", "error", err.Error())
+		} else {
+			blog.Debug("batch done", "run_ms", float64(runDur)/float64(time.Millisecond))
+		}
+	}
 	if res == nil {
 		for _, p := range live {
 			p.resp <- batchOutcome{err: err}

@@ -1,0 +1,430 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"thor/internal/obs"
+	"thor/internal/thor"
+)
+
+// tracedEngine starts an engine with the full observability stack attached.
+func tracedEngine(t *testing.T, opts Options) (*Server, string, *obs.Recorder, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(obs.RecorderOptions{SlowThreshold: time.Minute})
+	opts.Metrics = reg
+	opts.Tracer = obs.NewTracer(1024)
+	opts.Recorder = rec
+	_, ts := tracedStart(t, opts)
+	return nil, ts, rec, reg
+}
+
+// tracedStart is startEngine with the options already carrying the obs stack.
+func tracedStart(t *testing.T, opts Options) (*Server, string) {
+	t.Helper()
+	s, ts := startEngine(t, opts, nil)
+	return s, ts.URL
+}
+
+// postTraced POSTs one fill request carrying the given traceparent header.
+func postTraced(t *testing.T, url, traceparent string, body any) (int, []byte, http.Header) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw := new(bytes.Buffer)
+	raw.ReadFrom(resp.Body)
+	return resp.StatusCode, raw.Bytes(), resp.Header
+}
+
+// TestTraceSpanTreeAcceptance is the tentpole acceptance check: a request
+// sent with a W3C traceparent yields a retrievable span tree at
+// /debug/traces/{id} covering queue wait, batch, pipeline stages and demux,
+// every span parented into the caller's trace.
+func TestTraceSpanTreeAcceptance(t *testing.T) {
+	_, base, rec, _ := tracedEngine(t, Options{BatchWindow: time.Millisecond})
+
+	tc := obs.TraceContext{Trace: obs.NewTraceID(), Span: obs.NewSpanID()}
+	status, raw, hdr := postTraced(t, base+"/v1/fill", tc.Traceparent(), Request{Documents: worldDocs[:2]})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if got := hdr.Get("X-Trace-Id"); got != tc.Trace.String() {
+		t.Fatalf("X-Trace-Id = %q, want the sent trace %q", got, tc.Trace)
+	}
+
+	// The root span ends after the response is written; poll the recorder.
+	waitFor(t, "trace retained by the flight recorder", func() bool {
+		_, ok := rec.Trace(tc.Trace.String())
+		return ok
+	})
+
+	// The acceptance path is the HTTP endpoint, not the Go API.
+	resp, err := http.Get(base + "/debug/traces/" + tc.Trace.String())
+	if err != nil {
+		t.Fatalf("GET /debug/traces/{id}: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces/{id} status %d", resp.StatusCode)
+	}
+	var rt obs.RecordedTrace
+	if err := json.NewDecoder(resp.Body).Decode(&rt); err != nil {
+		t.Fatalf("decode recorded trace: %v", err)
+	}
+	if rt.TraceID != tc.Trace.String() {
+		t.Fatalf("recorded trace ID %q, want %q", rt.TraceID, tc.Trace)
+	}
+
+	byName := map[string]obs.Span{}
+	for _, sp := range rt.Spans {
+		byName[sp.Name] = sp
+	}
+	root, ok := byName["http.fill"]
+	if !ok {
+		t.Fatalf("no http.fill root span; spans: %v", names(rt.Spans))
+	}
+	if root.ParentID != tc.Span.String() {
+		t.Fatalf("root parent %q, want the caller's span %q (remote parent continued)", root.ParentID, tc.Span)
+	}
+	for _, want := range []string{"queue.wait", "batch", "run", "demux", "doc", "stage.segment"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("span %q missing from the tree; spans: %v", want, names(rt.Spans))
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	// Parent chain: root → {queue.wait, batch, demux}; batch → run; run → stages.
+	for _, child := range []string{"queue.wait", "batch", "demux"} {
+		if got := byName[child].ParentID; got != root.SpanID {
+			t.Errorf("%s parent %q, want root %q", child, got, root.SpanID)
+		}
+	}
+	if got := byName["run"].ParentID; got != byName["batch"].SpanID {
+		t.Errorf("run parent %q, want batch %q", got, byName["batch"].SpanID)
+	}
+	if got := byName["stage.segment"].ParentID; got != byName["run"].SpanID {
+		t.Errorf("stage.segment parent %q, want run %q", got, byName["run"].SpanID)
+	}
+	// Every span belongs to the caller's trace.
+	for _, sp := range rt.Spans {
+		if sp.TraceID != tc.Trace.String() {
+			t.Errorf("span %q landed in trace %q, want %q", sp.Name, sp.TraceID, tc.Trace)
+		}
+	}
+}
+
+// names lists span names for failure messages.
+func names(spans []obs.Span) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+// TestTraceWithoutTraceparentMintsID checks a bare request still gets a
+// fresh trace, echoed in X-Trace-Id and retained by the recorder.
+func TestTraceWithoutTraceparentMintsID(t *testing.T) {
+	_, base, rec, _ := tracedEngine(t, Options{})
+	status, raw, hdr := postTraced(t, base+"/v1/fill", "", Request{Documents: worldDocs[:1]})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	id := hdr.Get("X-Trace-Id")
+	if len(id) != 32 {
+		t.Fatalf("X-Trace-Id %q, want a 32-hex minted trace ID", id)
+	}
+	waitFor(t, "minted trace retained", func() bool {
+		_, ok := rec.Trace(id)
+		return ok
+	})
+}
+
+// zeroTimings clears the wall-clock fields so two responses produced by
+// different engines can be compared byte for byte.
+func zeroTimings(r *Response) {
+	r.Stats.QueueWaitMS = 0
+	r.Stats.RunMS = 0
+	for i := range r.Stats.Stages {
+		r.Stats.Stages[i].TotalMS = 0
+	}
+}
+
+// TestObservabilityOffIsBitIdentical pins the acceptance guarantee: with
+// tracing and explain disabled, the serving outputs are bit-identical to an
+// engine running the full observability stack — instrumentation observes,
+// it never perturbs.
+func TestObservabilityOffIsBitIdentical(t *testing.T) {
+	table, space := testWorld()
+	plainOpts := Options{Table: table, Space: space, Tau: 0.6, Workers: 2}
+	_, plainTS := startEngine(t, plainOpts, nil)
+	_, tracedBase, _, _ := tracedEngine(t, Options{Table: table.Clone(), Space: space, Tau: 0.6, Workers: 2})
+
+	req := Request{Documents: worldDocs}
+	stP, rawP, hdrP := postJSON(t, http.DefaultClient, plainTS.URL+"/v1/fill", req)
+	stT, rawT, _ := postTraced(t, tracedBase+"/v1/fill", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", req)
+	if stP != http.StatusOK || stT != http.StatusOK {
+		t.Fatalf("statuses %d/%d: %s / %s", stP, stT, rawP, rawT)
+	}
+	if hdrP.Get("X-Trace-Id") != "" {
+		t.Fatal("untraced engine emitted an X-Trace-Id header")
+	}
+
+	plain, traced := decodeResponse(t, rawP), decodeResponse(t, rawT)
+	ref := singleShot(t, plainOpts, worldDocs)
+	assertBitIdentical(t, "plain engine", plain, ref, table, true)
+	assertBitIdentical(t, "traced engine", traced, ref, table, true)
+
+	// Byte-level comparison modulo wall-clock timings: re-encode both with
+	// timings zeroed and require identical bytes.
+	zeroTimings(&plain)
+	zeroTimings(&traced)
+	bp, _ := json.Marshal(plain)
+	bt, _ := json.Marshal(traced)
+	if !bytes.Equal(bp, bt) {
+		t.Fatalf("traced response diverges from plain\nplain:  %s\ntraced: %s", bp, bt)
+	}
+}
+
+// TestExplainProvenance checks explain=true attaches a full provenance chain
+// per filled cell without changing which cells are filled, and ticks the
+// per-concept fills_explained counters.
+func TestExplainProvenance(t *testing.T) {
+	table, space := testWorld()
+	reg := obs.NewRegistry()
+	_, ts := startEngine(t, Options{Table: table, Space: space, Tau: 0.6, Workers: 2, Metrics: reg}, nil)
+
+	stPlain, rawPlain, _ := postJSON(t, http.DefaultClient, ts.URL+"/v1/fill", Request{Documents: worldDocs})
+	stEx, rawEx, _ := postJSON(t, http.DefaultClient, ts.URL+"/v1/fill", Request{Documents: worldDocs, Explain: true})
+	if stPlain != http.StatusOK || stEx != http.StatusOK {
+		t.Fatalf("statuses %d/%d", stPlain, stEx)
+	}
+	plain, explained := decodeResponse(t, rawPlain), decodeResponse(t, rawEx)
+	if len(explained.Assignments) == 0 {
+		t.Fatal("explain run filled nothing; fixture should fill slots")
+	}
+	if len(explained.Assignments) != len(plain.Assignments) {
+		t.Fatalf("explain changed the fill count: %d vs %d", len(explained.Assignments), len(plain.Assignments))
+	}
+	for i, a := range explained.Assignments {
+		p := plain.Assignments[i]
+		if a.Subject != p.Subject || a.Concept != p.Concept || a.Value != p.Value {
+			t.Errorf("assignment %d diverges: explain %+v vs plain %+v", i, a, p)
+		}
+		if a.Provenance == nil {
+			t.Fatalf("assignment %d (%s/%s) has no provenance", i, a.Subject, a.Concept)
+		}
+		if a.Provenance.Tau != 0.6 {
+			t.Errorf("assignment %d tau %v, want 0.6", i, a.Provenance.Tau)
+		}
+		if a.Provenance.Doc == "" || a.Provenance.Phrase == "" {
+			t.Errorf("assignment %d provenance incomplete: %+v", i, a.Provenance)
+		}
+	}
+	for _, p := range plain.Assignments {
+		if p.Provenance != nil {
+			t.Fatal("plain fill attached provenance")
+		}
+	}
+	concepts := map[string]bool{}
+	for _, a := range explained.Assignments {
+		concepts[string(a.Concept)] = true
+	}
+	var ticked int64
+	for c := range concepts {
+		ticked += reg.Counter("thor.fills_explained." + c).Value()
+	}
+	if ticked != int64(len(explained.Assignments)) {
+		t.Fatalf("fills_explained counters sum to %d, want %d", ticked, len(explained.Assignments))
+	}
+}
+
+// TestReadyzDegradedAndRecovers checks /readyz flips to 503 degraded while
+// the SLO engine reports a burning judged stream, and recovers by itself
+// once the violating observations age out of the window.
+func TestReadyzDegradedAndRecovers(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1_000_000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	slo := obs.NewSLO(obs.SLOConfig{
+		Window: time.Minute, Latency: 100 * time.Millisecond,
+		LatencyBudget: 0.01, MinSamples: 10, Now: clock,
+	})
+	_, ts := startEngine(t, Options{SLO: slo}, nil)
+
+	readyz := func() (int, map[string]any) {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatalf("GET /readyz: %v", err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		json.NewDecoder(resp.Body).Decode(&body)
+		return resp.StatusCode, body
+	}
+
+	if st, _ := readyz(); st != http.StatusOK {
+		t.Fatalf("fresh engine readyz %d, want 200", st)
+	}
+	// Inject an SLO violation: every request far beyond the objective.
+	for i := 0; i < 20; i++ {
+		slo.Observe("fill", time.Second, false)
+	}
+	st, body := readyz()
+	if st != http.StatusServiceUnavailable {
+		t.Fatalf("degraded readyz %d, want 503", st)
+	}
+	if body["status"] != "degraded" {
+		t.Fatalf("degraded body %v, want status=degraded", body)
+	}
+	// The violations age out; no operator action, no restart.
+	mu.Lock()
+	now = now.Add(3 * time.Minute)
+	mu.Unlock()
+	if st, body := readyz(); st != http.StatusOK {
+		t.Fatalf("recovered readyz %d (%v), want 200", st, body)
+	}
+}
+
+// TestRetryAfterJitterBounds pins the shed backoff contract: Retry-After is
+// always within [1,3] seconds and actually jitters across sheds.
+func TestRetryAfterJitterBounds(t *testing.T) {
+	s, _ := startEngine(t, Options{}, nil)
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		v := s.retryAfter()
+		if v != "1" && v != "2" && v != "3" {
+			t.Fatalf("Retry-After %q outside [1,3]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("no jitter: 64 sheds all produced %v", seen)
+	}
+}
+
+// TestErrorEnvelopeCarriesTraceID checks error responses echo the trace both
+// in the X-Trace-Id header and the JSON envelope's trace_id field.
+func TestErrorEnvelopeCarriesTraceID(t *testing.T) {
+	_, base, _, _ := tracedEngine(t, Options{})
+	resp, err := http.Get(base + "/v1/fill") // GET → 405 via the traced handler
+	if err != nil {
+		t.Fatalf("GET /v1/fill: %v", err)
+	}
+	defer resp.Body.Close()
+	raw := new(bytes.Buffer)
+	raw.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Trace-Id")
+	if len(id) != 32 {
+		t.Fatalf("X-Trace-Id %q, want 32-hex", id)
+	}
+	e := decodeError(t, raw.Bytes())
+	if e.Error.Code != CodeMethodNotAllowed {
+		t.Fatalf("code %q, want %q", e.Error.Code, CodeMethodNotAllowed)
+	}
+	if e.TraceID != id {
+		t.Fatalf("envelope trace_id %q != header %q", e.TraceID, id)
+	}
+	if !strings.Contains(raw.String(), `"trace_id"`) {
+		t.Fatalf("envelope JSON missing trace_id: %s", raw)
+	}
+}
+
+// TestShedTraceRetained checks a shed request's trace is classified
+// interesting and retained by the flight recorder with the shed annotation.
+func TestShedTraceRetained(t *testing.T) {
+	hook, entered, release := holdBatches()
+	defer release()
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(obs.RecorderOptions{SlowThreshold: time.Minute})
+	s, ts := startEngine(t, Options{
+		BatchMax: 1, BatchWindow: 0, QueueDepth: 1,
+		Metrics: reg, Tracer: obs.NewTracer(1024), Recorder: rec,
+	}, hook)
+
+	// Occupy the coalescer and fill the queue so the next request sheds.
+	var wg sync.WaitGroup
+	post := func() {
+		defer wg.Done()
+		postJSON(t, http.DefaultClient, ts.URL+"/v1/fill", Request{Documents: worldDocs[:1]})
+	}
+	wg.Add(1)
+	go post()
+	waitEnter(t, entered)
+	wg.Add(1)
+	go post()
+	waitFor(t, "queue to fill", func() bool { return len(s.queue) == 1 })
+
+	tc := obs.TraceContext{Trace: obs.NewTraceID(), Span: obs.NewSpanID()}
+	status, _, hdr := postTraced(t, ts.URL+"/v1/fill", tc.Traceparent(), Request{Documents: worldDocs[:1]})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 shed", status)
+	}
+	if got := hdr.Get("X-Trace-Id"); got != tc.Trace.String() {
+		t.Fatalf("X-Trace-Id %q, want %q", got, tc.Trace)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "1" && ra != "2" && ra != "3" {
+		t.Fatalf("Retry-After %q outside [1,3]", ra)
+	}
+	release()
+	wg.Wait()
+
+	waitFor(t, "shed trace retained", func() bool {
+		rt, ok := rec.Trace(tc.Trace.String())
+		return ok && rt.Reason == obs.ReasonShed
+	})
+}
+
+// TestExplainOnTracedEngineMatchesPlain closes the matrix: explain=true on a
+// fully-traced engine fills exactly the cells a bare engine fills.
+func TestExplainOnTracedEngineMatchesPlain(t *testing.T) {
+	table, space := testWorld()
+	plainOpts := Options{Table: table, Space: space, Tau: 0.6, Workers: 2}
+	_, plainTS := startEngine(t, plainOpts, nil)
+	_, tracedBase, _, _ := tracedEngine(t, Options{Table: table.Clone(), Space: space, Tau: 0.6, Workers: 2})
+
+	_, rawP, _ := postJSON(t, http.DefaultClient, plainTS.URL+"/v1/fill", Request{Documents: worldDocs})
+	_, rawT, _ := postTraced(t, tracedBase+"/v1/fill", "", Request{Documents: worldDocs, Explain: true})
+	plain, traced := decodeResponse(t, rawP), decodeResponse(t, rawT)
+	if len(plain.Assignments) != len(traced.Assignments) {
+		t.Fatalf("fill counts diverge: %d vs %d", len(plain.Assignments), len(traced.Assignments))
+	}
+	strip := make([]thor.Assignment, len(traced.Assignments))
+	for i, a := range traced.Assignments {
+		a.Provenance = nil
+		strip[i] = a
+	}
+	if !reflect.DeepEqual(plain.Assignments, strip) {
+		t.Fatalf("assignments diverge\nplain:  %+v\ntraced: %+v", plain.Assignments, strip)
+	}
+}

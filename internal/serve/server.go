@@ -6,9 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"thor/internal/embed"
@@ -70,6 +73,19 @@ type Options struct {
 	// chaos-testing seam for injecting per-document faults into a live
 	// server (see internal/chaos). Nil in production.
 	FaultHook func(doc string, stage thor.Stage) error
+	// Recorder, when set (alongside Tracer), is the tail-sampling flight
+	// recorder: it is attached to Tracer at construction, retains slow,
+	// errored, shed and quarantined request traces, and is served at
+	// /debug/traces and /debug/traces/{id}.
+	Recorder *obs.Recorder
+	// SLO, when set, receives one judged observation per request (stream
+	// "fill" or "extract") and per-stage latency tracking from every batch;
+	// /readyz reports degraded (503) while any judged stream's burn rate
+	// breaches its threshold.
+	SLO *obs.SLO
+	// Logger, when set, receives structured serving logs correlated by
+	// trace_id, batch_id and doc_id (see obs.Log* field names).
+	Logger *slog.Logger
 }
 
 // withDefaults resolves the zero values documented on Options.
@@ -153,6 +169,11 @@ type Server struct {
 
 	mux *http.ServeMux
 
+	// batchSeq numbers micro-batches for batch_id log/span correlation.
+	batchSeq atomic.Uint64
+	// shedSeq drives the deterministic Retry-After jitter on shed responses.
+	shedSeq atomic.Uint64
+
 	// testBatchStart, when set by tests before any request is admitted,
 	// runs at the head of every batch; it lets tests hold the coalescer
 	// at a deterministic point (e.g. to fill the admission queue).
@@ -194,10 +215,13 @@ func newServer(opts Options, batchStart func()) (*Server, error) {
 		done:    make(chan struct{}),
 	}
 	s.testBatchStart = batchStart
+	if opts.Tracer != nil && opts.Recorder != nil {
+		opts.Tracer.SetRecorder(opts.Recorder)
+	}
 	// Warm the fine-tune cache now: the first request should pay queueing
 	// and extraction, not minutes of cluster expansion. thor.New with the
 	// shared TuneCache stores the matcher every later run reuses.
-	if _, err := thor.New(opts.Table, opts.Space, s.runConfig(0)); err != nil {
+	if _, err := thor.New(opts.Table, opts.Space, s.runConfig(0, nil)); err != nil {
 		cancel()
 		return nil, fmt.Errorf("serve: warmup fine-tune: %w", err)
 	}
@@ -210,7 +234,7 @@ func newServer(opts Options, batchStart func()) (*Server, error) {
 	})
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	s.mux.Handle("/debug/", obs.Handler(opts.Metrics, opts.Tracer))
+	s.mux.Handle("/debug/", obs.Handler(opts.Metrics, opts.Tracer, opts.Recorder))
 	go s.dispatch()
 	return s, nil
 }
@@ -218,8 +242,9 @@ func newServer(opts Options, batchStart func()) (*Server, error) {
 // runConfig is the pipeline configuration every batch runs with: warm
 // caches, per-document results for demultiplexing, and MaxFailureFraction 1
 // so one poisoned document quarantines alone instead of aborting its
-// batchmates.
-func (s *Server) runConfig(docTimeout time.Duration) thor.Config {
+// batchmates. logger is the batch-scoped logger (pre-annotated with
+// batch_id); nil disables pipeline logging.
+func (s *Server) runConfig(docTimeout time.Duration, logger *slog.Logger) thor.Config {
 	return thor.Config{
 		Tau:                s.opts.Tau,
 		Knowledge:          s.opts.Knowledge,
@@ -233,6 +258,7 @@ func (s *Server) runConfig(docTimeout time.Duration) thor.Config {
 		Metrics:            s.opts.Metrics,
 		Tracer:             s.opts.Tracer,
 		FaultHook:          s.opts.FaultHook,
+		Logger:             logger,
 	}
 }
 
@@ -248,8 +274,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleReadyz reports readiness to accept work: 503 once draining begins
-// (load balancers should stop routing here), 200 otherwise. The caches are
-// warmed synchronously in NewServer, so a constructed server is ready.
+// (load balancers should stop routing here), 503 "degraded" while the SLO
+// engine reports a judged stream burning its budget past threshold, 200
+// otherwise. The caches are warmed synchronously in NewServer, so a
+// constructed server is ready; a degraded server recovers on its own once
+// the violating observations age out of the SLO window.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	draining := s.draining
@@ -258,11 +287,46 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
+	if st := s.opts.SLO.Status(); st.Degraded {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":    "degraded",
+			"violating": st.Violating,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// statusWriter captures the response status so the handler can classify the
+// request for the SLO engine after writing it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the first status written and forwards it.
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// retryAfter returns the Retry-After value for shed responses: 1 plus a
+// deterministic jitter in [0,2] seconds derived from a mixed shed counter,
+// so a synchronized herd of shed clients spreads its retries instead of
+// hammering back in lockstep.
+func (s *Server) retryAfter() string {
+	n := s.shedSeq.Add(1)
+	n = (n ^ (n >> 30)) * 0xbf58476d1ce4e5b9
+	return strconv.Itoa(1 + int((n>>33)%3))
+}
+
 // handleRun is the shared fill/extract handler: decode, validate, admit,
-// wait for the coalescer's answer, respond.
+// wait for the coalescer's answer, respond. With a tracer configured it
+// opens the request's root span — continuing the caller's trace when a W3C
+// traceparent header is present, minting a fresh trace ID otherwise — and
+// always echoes the trace ID in the X-Trace-Id response header.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
 	endpoint, reqs, lat := "extract", s.ins.extractReqs, s.ins.extractLat
 	if fill {
@@ -271,35 +335,57 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
 	start := time.Now()
 	defer lat.ObserveSince(start)
 	reqs.Add(1)
-	sp := s.opts.Tracer.StartSpan("http." + endpoint)
-	defer sp.End()
+
+	sw := &statusWriter{ResponseWriter: w}
+	defer func() {
+		// A request that wrote no response (client gone mid-wait) is not
+		// judged: its latency reflects the client, not the server.
+		if sw.status != 0 {
+			s.opts.SLO.Observe(endpoint, time.Since(start), sw.status >= http.StatusInternalServerError)
+		}
+	}()
+
+	ctx := r.Context()
+	var traceID string
+	var root *obs.ActiveSpan
+	if s.opts.Tracer != nil {
+		tc, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			tc = obs.TraceContext{Trace: obs.NewTraceID()}
+		}
+		traceID = tc.Trace.String()
+		sw.Header().Set("X-Trace-Id", traceID)
+		ctx, root = s.opts.Tracer.StartTrace(ctx, tc, "http."+endpoint,
+			obs.String("method", r.Method))
+		defer root.End()
+	}
 
 	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
-			endpoint+" accepts POST only")
+		sw.Header().Set("Allow", http.MethodPost)
+		writeError(sw, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			endpoint+" accepts POST only", traceID)
 		return
 	}
 	var req Request
-	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	body := http.MaxBytesReader(sw, r.Body, s.opts.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "decode body: "+err.Error())
+		writeError(sw, http.StatusBadRequest, CodeInvalidRequest, "decode body: "+err.Error(), traceID)
 		return
 	}
 	// Drain any trailing bytes so keep-alive connections stay reusable.
 	_, _ = io.Copy(io.Discard, body)
 	if len(req.Documents) == 0 {
-		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "at least one document is required")
+		writeError(sw, http.StatusBadRequest, CodeInvalidRequest, "at least one document is required", traceID)
 		return
 	}
 	if len(req.Documents) > s.opts.MaxDocsPerRequest {
-		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+		writeError(sw, http.StatusBadRequest, CodeInvalidRequest,
 			fmt.Sprintf("%d documents exceed the per-request limit of %d",
-				len(req.Documents), s.opts.MaxDocsPerRequest))
+				len(req.Documents), s.opts.MaxDocsPerRequest), traceID)
 		return
 	}
 	if req.DocTimeoutMS < 0 {
-		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "doc_timeout_ms is negative")
+		writeError(sw, http.StatusBadRequest, CodeInvalidRequest, "doc_timeout_ms is negative", traceID)
 		return
 	}
 	docs := make([]segment.Document, len(req.Documents))
@@ -321,15 +407,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
 		enq:        time.Now(),
 		resp:       make(chan batchOutcome, 1),
 	}
+	if refs := obs.SpanRefs(ctx); len(refs) > 0 {
+		// The ref under the root span: the coalescer parents the request's
+		// queue.wait and batch spans here.
+		p.ref = refs[0]
+	}
 
 	// Admission control: the read lock spans check+send so a concurrent
 	// Shutdown cannot flip draining between them (see Server.mu).
 	s.mu.RLock()
 	if s.draining {
 		s.mu.RUnlock()
-		s.ins.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		s.shedResponse(sw, root, traceID, CodeDraining, "server is draining")
 		return
 	}
 	select {
@@ -338,32 +427,55 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
 		s.ins.queueDepth.Add(1)
 	default:
 		s.mu.RUnlock()
-		s.ins.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, CodeOverloaded,
+		s.shedResponse(sw, root, traceID, CodeOverloaded,
 			fmt.Sprintf("admission queue full (%d requests)", s.opts.QueueDepth))
 		return
 	}
 
 	select {
 	case out := <-p.resp:
-		s.respond(w, out, len(docs), fill)
+		demuxStart := time.Now()
+		s.respond(sw, out, len(docs), fill, req.Explain, traceID, root)
+		if refs := obs.SpanRefs(ctx); len(refs) > 0 {
+			// The demux/fill span: merging the request's share of the batch
+			// and (on /v1/fill) filling its table clone.
+			s.opts.Tracer.RecordSpan(refs, "demux", demuxStart, time.Since(demuxStart),
+				obs.String("endpoint", endpoint))
+		}
 	case <-r.Context().Done():
 		// The client is gone; the coalescer will drop the buffered result.
 		s.ins.canceled.Add(1)
 	}
 }
 
+// shedResponse answers one load-shed request: 503 with a jittered
+// Retry-After, the shed annotated on the trace's root span (so the flight
+// recorder always retains it) and logged.
+func (s *Server) shedResponse(w http.ResponseWriter, root *obs.ActiveSpan, traceID, code, message string) {
+	s.ins.shed.Add(1)
+	root.Annotate(obs.ReasonShed, obs.String("code", code))
+	if s.opts.Logger != nil {
+		s.opts.Logger.Warn("request shed", obs.LogTraceID, traceID, "code", code)
+	}
+	w.Header().Set("Retry-After", s.retryAfter())
+	writeError(w, http.StatusServiceUnavailable, code, message, traceID)
+}
+
 // respond converts one demultiplexed batch outcome into the HTTP response.
-func (s *Server) respond(w http.ResponseWriter, out batchOutcome, nDocs int, fill bool) {
+func (s *Server) respond(w http.ResponseWriter, out batchOutcome, nDocs int, fill, explain bool, traceID string, root *obs.ActiveSpan) {
 	if out.err != nil {
+		root.Annotate(obs.ReasonError, obs.String("error", out.err.Error()))
 		switch {
 		case errors.Is(out.err, ErrClosed) || errors.Is(out.err, context.Canceled):
-			writeError(w, http.StatusServiceUnavailable, CodeClosed, "server closed before the request completed")
+			writeError(w, http.StatusServiceUnavailable, CodeClosed, "server closed before the request completed", traceID)
 		default:
-			writeError(w, http.StatusInternalServerError, CodeInternal, out.err.Error())
+			writeError(w, http.StatusInternalServerError, CodeInternal, out.err.Error(), traceID)
 		}
 		return
+	}
+	for _, q := range out.quarantined {
+		root.Annotate(obs.ReasonQuarantine,
+			obs.String("doc", q.Doc), obs.String("stage", string(q.Stage)))
 	}
 	merged := thor.MergeEntities(out.docs)
 	resp := Response{Entities: wireEntities(merged)}
@@ -371,7 +483,14 @@ func (s *Server) respond(w http.ResponseWriter, out batchOutcome, nDocs int, fil
 		// Each request fills its own clone, so concurrent requests never
 		// contend and the server's table stays pristine.
 		clone := s.opts.Table.Clone()
-		resp.Assignments = thor.Fill(clone, merged)
+		if explain {
+			resp.Assignments = thor.FillExplained(clone, merged, s.opts.Tau)
+			for _, a := range resp.Assignments {
+				s.opts.Metrics.Counter("thor.fills_explained." + string(a.Concept)).Add(1)
+			}
+		} else {
+			resp.Assignments = thor.Fill(clone, merged)
+		}
 	}
 	resp.Stats = buildStats(out, nDocs, merged, len(resp.Assignments))
 	writeJSON(w, http.StatusOK, resp)

@@ -1,0 +1,38 @@
+package thor
+
+import "thor/internal/schema"
+
+// Provenance is the audit trail of one filled cell: the evidence chain from
+// source document through semantic match to the similarity decision that
+// admitted the value, captured at fill time. Slot filling in integrated
+// tables is only trustworthy when every imputed value can be traced back to
+// its supporting text (see docs/OBSERVABILITY.md); Provenance is that trace.
+type Provenance struct {
+	// Doc names the source document the value was extracted from.
+	Doc string `json:"doc"`
+	// Phrase is the extracted phrase that became the cell value.
+	Phrase string `json:"phrase"`
+	// Matched is the seed instance the matcher aligned the phrase to.
+	Matched string `json:"matched"`
+	// Semantic, Jaccard and Gestalt are the three refinement similarities
+	// between Phrase and Matched.
+	Semantic float64 `json:"semantic"`
+	// Jaccard is the word-level similarity.
+	Jaccard float64 `json:"jaccard"`
+	// Gestalt is the character-level similarity.
+	Gestalt float64 `json:"gestalt"`
+	// Score is the combined refinement score the admission decision used.
+	Score float64 `json:"score"`
+	// Tau is the similarity threshold τ in force when the value was
+	// admitted.
+	Tau float64 `json:"tau"`
+}
+
+// FillExplained is Fill with provenance: it applies phase ③ identically —
+// the returned assignments' (Subject, Concept, Value) sequence is
+// bit-identical to Fill's over the same inputs — and additionally attaches
+// to each assignment the Provenance of the entity that produced it, stamped
+// with the τ at decision time.
+func FillExplained(table *schema.Table, entities map[string][]Entity, tau float64) []Assignment {
+	return fillInto(table, entities, tau, true)
+}

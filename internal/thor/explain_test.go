@@ -1,0 +1,99 @@
+package thor
+
+import (
+	"reflect"
+	"testing"
+
+	"thor/internal/obs"
+)
+
+// TestFillExplainedBitIdentical pins the provenance contract at the fill
+// layer: FillExplained writes exactly the cells Fill writes — same
+// (Subject, Concept, Value) sequence, same resulting table — and attaches a
+// complete provenance chain stamped with τ to every assignment.
+func TestFillExplainedBitIdentical(t *testing.T) {
+	res, err := Run(fig1Table(), fig1Space(), fig1Docs(), Config{Tau: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainTable, explTable := fig1Table(), fig1Table()
+	plain := Fill(plainTable, res.Entities)
+	explained := FillExplained(explTable, res.Entities, 0.6)
+	if len(plain) == 0 {
+		t.Fatal("fixture filled nothing; the test is vacuous")
+	}
+	if len(explained) != len(plain) {
+		t.Fatalf("FillExplained wrote %d cells, Fill wrote %d", len(explained), len(plain))
+	}
+	for i, e := range explained {
+		p := plain[i]
+		if e.Subject != p.Subject || e.Concept != p.Concept || e.Value != p.Value {
+			t.Errorf("assignment %d diverges: explained %+v vs plain %+v", i, e, p)
+		}
+		if e.Provenance == nil {
+			t.Fatalf("assignment %d has no provenance", i)
+		}
+		if e.Provenance.Tau != 0.6 {
+			t.Errorf("assignment %d tau %v, want 0.6", i, e.Provenance.Tau)
+		}
+		if e.Provenance.Doc == "" || e.Provenance.Phrase != e.Value {
+			t.Errorf("assignment %d provenance %+v inconsistent with value %q", i, e.Provenance, e.Value)
+		}
+		if p.Provenance != nil {
+			t.Errorf("plain assignment %d carries provenance", i)
+		}
+	}
+	// The tables themselves must end up identical cell for cell.
+	if plainTable.String() != explTable.String() {
+		t.Fatalf("tables diverge\nplain:\n%s\nexplained:\n%s", plainTable, explTable)
+	}
+}
+
+// TestRunExplainPopulatesAssignments checks Config.Explain threads provenance
+// through a full pipeline run — Result.Assignments, the JSON report, and the
+// per-concept fills_explained counters — without changing the filled table.
+func TestRunExplainPopulatesAssignments(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := Run(fig1Table(), fig1Space(), fig1Docs(), Config{Tau: 0.6, Explain: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) == 0 {
+		t.Fatal("explain run produced no assignments")
+	}
+	if res.Stats.Filled != len(res.Assignments) {
+		t.Fatalf("Filled %d != %d assignments", res.Stats.Filled, len(res.Assignments))
+	}
+	for i, a := range res.Assignments {
+		if a.Provenance == nil {
+			t.Fatalf("assignment %d has no provenance", i)
+		}
+	}
+	rep := res.Report()
+	if !reflect.DeepEqual(rep.Assignments, res.Assignments) {
+		t.Fatal("report does not carry the run's assignments")
+	}
+	var ticked int64
+	for _, c := range fig1Table().Schema.NonSubject() {
+		ticked += reg.Counter("thor.fills_explained." + string(c)).Value()
+	}
+	if ticked != int64(len(res.Assignments)) {
+		t.Fatalf("fills_explained counters sum to %d, want %d", ticked, len(res.Assignments))
+	}
+
+	// Off by default: same run without Explain fills the same table and
+	// carries no assignments.
+	base, err := Run(fig1Table(), fig1Space(), fig1Docs(), Config{Tau: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Assignments != nil {
+		t.Fatal("non-explain run carries assignments")
+	}
+	if base.Table.String() != res.Table.String() {
+		t.Fatalf("explain changed the filled table\nbase:\n%s\nexplain:\n%s", base.Table, res.Table)
+	}
+	if base.Stats.Filled != res.Stats.Filled {
+		t.Fatalf("explain changed Filled: %d vs %d", base.Stats.Filled, res.Stats.Filled)
+	}
+}

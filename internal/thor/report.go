@@ -13,6 +13,9 @@ import (
 type Report struct {
 	// Entities in deterministic order (see Result.AllEntities).
 	Entities []ReportEntity `json:"entities"`
+	// Assignments are the filled slots, present only on explain runs
+	// (Config.Explain), where each carries its Provenance.
+	Assignments []Assignment `json:"assignments,omitempty"`
 	// Stats summarizes the run.
 	Stats ReportStats `json:"stats"`
 }
@@ -88,6 +91,7 @@ type ReportStage struct {
 // Report builds the exportable summary of the result.
 func (r *Result) Report() *Report {
 	rep := &Report{
+		Assignments: r.Assignments,
 		Stats: ReportStats{
 			Documents:   r.Stats.Documents,
 			Sentences:   r.Stats.Sentences,

@@ -3,6 +3,7 @@ package thor
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime/debug"
 	"sort"
 	"sync"
@@ -132,6 +133,19 @@ type Config struct {
 	// canonical implementation. Must be safe for concurrent use when
 	// Workers > 1. Nil costs nothing.
 	FaultHook func(doc string, stage Stage) error
+	// Explain, when set, makes the run fill slots through FillExplained:
+	// Result.Assignments carries every filled cell with its Provenance
+	// (source document, matched seed, similarity scores, τ at decision
+	// time), and the registry — when one is configured — ticks one
+	// "thor.fills_explained.<concept>" counter per explained fill. Off by
+	// default; with Explain off the run's outputs are bit-identical to a
+	// pre-explain pipeline.
+	Explain bool
+	// Logger, when set, receives structured run diagnostics — quarantines
+	// (warn, with doc_id/stage/error), aborts and cancellations — with
+	// correlation fields matching the serving layer's (see obs.LogDocID).
+	// Nil disables logging.
+	Logger *slog.Logger
 	// CollectDocResults, when set, retains each completed document's
 	// individual pre-merge outcome in Result.Docs: its extracted entities
 	// in extraction order (before the per-subject set deduplication of the
@@ -224,6 +238,9 @@ type Result struct {
 	// Docs holds each completed document's individual outcome, in input
 	// order. Populated only under Config.CollectDocResults; nil otherwise.
 	Docs []DocResult
+	// Assignments lists every slot the run filled, each with its
+	// Provenance. Populated only under Config.Explain; nil otherwise.
+	Assignments []Assignment
 	// Stats summarizes the run.
 	Stats Stats
 }
@@ -269,7 +286,9 @@ func MergeEntities(docs []DocResult) map[string][]Entity {
 }
 
 // Assignment is one slot filled by phase ③: Value was added to the row of
-// Subject under the Concept column.
+// Subject under the Concept column. Provenance is attached only on the
+// explain path (FillExplained / Config.Explain), so the default wire form is
+// unchanged.
 type Assignment struct {
 	// Subject is the row's subject instance.
 	Subject string `json:"subject"`
@@ -277,6 +296,8 @@ type Assignment struct {
 	Concept schema.Concept `json:"concept"`
 	// Value is the written cell value.
 	Value string `json:"value"`
+	// Provenance, when requested, explains where the value came from.
+	Provenance *Provenance `json:"provenance,omitempty"`
 }
 
 // Fill applies phase ③ (Algorithm 1 lines 16–20) to the table in place:
@@ -286,6 +307,13 @@ type Assignment struct {
 // row already held are skipped — with subjects in sorted order and each
 // subject's entities in merge order, so the output is deterministic.
 func Fill(table *schema.Table, entities map[string][]Entity) []Assignment {
+	return fillInto(table, entities, 0, false)
+}
+
+// fillInto is the shared phase-③ core of Fill and FillExplained: the
+// assignment sequence is identical on both paths; explain only adds the
+// per-cell provenance record.
+func fillInto(table *schema.Table, entities map[string][]Entity, tau float64, explain bool) []Assignment {
 	subjects := make([]string, 0, len(entities))
 	for s := range entities {
 		subjects = append(subjects, s)
@@ -303,7 +331,20 @@ func Fill(table *schema.Table, entities map[string][]Entity) []Assignment {
 				continue
 			}
 			if row.Add(e.Concept, e.Phrase) {
-				out = append(out, Assignment{Subject: row.Subject, Concept: e.Concept, Value: e.Phrase})
+				a := Assignment{Subject: row.Subject, Concept: e.Concept, Value: e.Phrase}
+				if explain {
+					a.Provenance = &Provenance{
+						Doc:      e.Doc,
+						Phrase:   e.Phrase,
+						Matched:  e.Matched,
+						Semantic: e.ScoreS,
+						Jaccard:  e.ScoreW,
+						Gestalt:  e.ScoreC,
+						Score:    e.Score,
+						Tau:      tau,
+					}
+				}
+				out = append(out, a)
 			}
 		}
 	}
@@ -454,7 +495,10 @@ func (p *Pipeline) RunContext(ctx context.Context, docs []segment.Document) (*Re
 	if len(docs) == 0 {
 		return nil, fmt.Errorf("thor: no documents")
 	}
-	runSpan := p.cfg.Tracer.StartSpan("run")
+	// The run span attaches under whatever SpanRefs the caller's context
+	// carries (the serving layer's batch span, fanned out per request);
+	// without refs it records flat, exactly as before request tracing.
+	ctx, runSpan := p.cfg.Tracer.StartSpanCtx(ctx, "run")
 	defer runSpan.End()
 	start := time.Now()
 	res := &Result{
@@ -539,10 +583,17 @@ func (p *Pipeline) RunContext(ctx context.Context, docs []segment.Document) (*Re
 			}
 			f := failureOf(docs[i].Name, i, err)
 			res.Stats.Quarantined = append(res.Stats.Quarantined, f)
-			p.cfg.Tracer.StartSpan("quarantine",
+			_, qs := p.cfg.Tracer.StartSpanCtx(ctx, "quarantine",
 				obs.String("doc", f.Doc),
 				obs.String("stage", string(f.Stage)),
-				obs.String("error", f.Err)).End()
+				obs.String("error", f.Err))
+			qs.End()
+			if p.cfg.Logger != nil {
+				p.cfg.Logger.Warn("document quarantined",
+					obs.LogDocID, f.Doc,
+					"stage", string(f.Stage),
+					"error", f.Err)
+			}
 			continue
 		}
 		if o == nil { // never attempted: run ended first
@@ -577,14 +628,35 @@ func (p *Pipeline) RunContext(ctx context.Context, docs []segment.Document) (*Re
 	p.ins.skipped.Add(int64(res.Stats.Skipped))
 	p.ins.retried.Add(int64(res.Stats.Retried))
 
-	// ③ Slot filling (Algorithm 1 lines 16–20).
+	// ③ Slot filling (Algorithm 1 lines 16–20). The explain path runs the
+	// identical fill and additionally retains the per-cell provenance.
 	fillStart := time.Now()
-	res.Stats.Filled = len(Fill(res.Table, res.Entities))
+	if p.cfg.Explain {
+		res.Assignments = FillExplained(res.Table, res.Entities, p.cfg.Tau)
+		res.Stats.Filled = len(res.Assignments)
+		for _, a := range res.Assignments {
+			p.cfg.Metrics.Counter("thor.fills_explained." + string(a.Concept)).Add(1)
+		}
+	} else {
+		res.Stats.Filled = len(Fill(res.Table, res.Entities))
+	}
 	acc.observe(idxFill, time.Since(fillStart))
 	p.ins.stageHist[idxFill].Observe(time.Since(fillStart))
 
 	res.Stats.ExtractTime = time.Since(start)
 	res.Stats.Stages = acc.stats()
+	// Per-stage summary spans: one span per stage with calls, total
+	// duration — children of the run span, fanned into each request trace
+	// the context carries. Emitted only when the run is traced.
+	if refs := obs.SpanRefs(ctx); len(refs) > 0 {
+		for _, st := range res.Stats.Stages {
+			if st.Calls == 0 {
+				continue
+			}
+			p.cfg.Tracer.RecordSpan(refs, "stage."+string(st.Stage), start, st.Total,
+				obs.String("calls", fmt.Sprint(st.Calls)))
+		}
+	}
 	// docs/sentences/phrases/candidates tick live in extractDoc; entities
 	// and filled only exist after the merge and fill phases.
 	p.ins.entities.Add(int64(res.Stats.Entities))
@@ -672,7 +744,7 @@ func (p *Pipeline) observeChecked(dr *docRun, acc *stageAcc, i int, d time.Durat
 // error carrying the goroutine stack, feeding the quarantine record instead
 // of crashing the worker pool.
 func (p *Pipeline) extractDocSafe(ctx context.Context, doc segment.Document, mctx *matcher.MatchContext) (out *docOutcome, err error) {
-	sp := p.cfg.Tracer.StartSpan("doc", obs.String("doc", doc.Name))
+	_, sp := p.cfg.Tracer.StartSpanCtx(ctx, "doc", obs.String("doc", doc.Name))
 	defer sp.End()
 	dr := &docRun{ctx: ctx, doc: doc.Name, stage: StageSegment}
 	if p.cfg.DocTimeout > 0 {
