@@ -1,0 +1,79 @@
+// Command promlint validates a Prometheus/OpenMetrics text exposition — the
+// scrape-and-lint gate CI runs against a live thord's /metrics.
+//
+// Usage:
+//
+//	promlint [-require fam1,fam2_,...] [file]
+//
+// The exposition is read from the file argument, or stdin when absent. Every
+// syntax error or lint finding (see internal/promtext) is reported and fails
+// the run. -require lists metric families that must be present: exact names,
+// or prefixes when the entry ends in '_' or '*'. Exit status 0 when clean,
+// 1 on findings, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"thor/internal/promtext"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stderr))
+}
+
+// run is the testable entry point: args excludes the program name; exit
+// status as documented on the package.
+func run(args []string, stdin io.Reader, stderr io.Writer) int {
+	fs := flag.NewFlagSet("promlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	require := fs.String("require", "", "comma-separated metric families that must be present (suffix '_' or '*' for a prefix match)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	in := stdin
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "promlint: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	default:
+		fmt.Fprintln(stderr, "promlint: at most one input file")
+		return 2
+	}
+
+	exp, err := promtext.Parse(in)
+	failed := false
+	if err != nil {
+		fmt.Fprintf(stderr, "promlint: syntax: %v\n", err)
+		failed = true
+	}
+	probs := promtext.Lint(exp)
+	if *require != "" {
+		var want []string
+		for _, f := range strings.Split(*require, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				want = append(want, f)
+			}
+		}
+		probs = append(probs, promtext.RequireFamilies(exp, want)...)
+	}
+	for _, p := range probs {
+		fmt.Fprintf(stderr, "promlint: %s\n", p)
+		failed = true
+	}
+	if failed {
+		return 1
+	}
+	fmt.Fprintf(stderr, "promlint: ok (%d families)\n", len(exp.Families))
+	return 0
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodExposition = `# TYPE thor_docs counter
+thor_docs_total 42
+# TYPE thor_stage_fill_seconds histogram
+thor_stage_fill_seconds_bucket{le="0.001"} 3
+thor_stage_fill_seconds_bucket{le="+Inf"} 4
+thor_stage_fill_seconds_sum 0.25
+thor_stage_fill_seconds_count 4
+# EOF
+`
+
+func TestRunClean(t *testing.T) {
+	var errb strings.Builder
+	if code := run(nil, strings.NewReader(goodExposition), &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errb.String())
+	}
+}
+
+func TestRunRequire(t *testing.T) {
+	var errb strings.Builder
+	code := run([]string{"-require", "thor_docs,thor_sparsity_*"},
+		strings.NewReader(goodExposition), &errb)
+	if code != 1 || !strings.Contains(errb.String(), "thor_sparsity_") {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errb.String())
+	}
+}
+
+func TestRunMalformed(t *testing.T) {
+	bad := "# TYPE x counter\nx_total{le=oops} 1\n# EOF\n"
+	var errb strings.Builder
+	if code := run(nil, strings.NewReader(bad), &errb); code != 1 {
+		t.Fatalf("exit = %d for malformed input, stderr:\n%s", code, errb.String())
+	}
+}
+
+func TestRunMissingEOF(t *testing.T) {
+	var errb strings.Builder
+	code := run(nil, strings.NewReader("# TYPE x counter\nx_total 1\n"), &errb)
+	if code != 1 || !strings.Contains(errb.String(), "EOF") {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errb.String())
+	}
+}

@@ -40,7 +40,7 @@ func run() int {
 		timeout     = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); a partial result is still written")
 		maxFailures = flag.Float64("max-doc-failures", 0, "fraction of documents in [0,1] that may fail before the run aborts (0 = abort on first failure)")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve /debug/vars, /debug/pprof/* and /debug/thor/* on this address")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof/* and /debug/thor/* on this address")
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot (counters + stage histograms) to this file")
 		traceOut    = flag.String("trace-out", "", "write a runtime execution trace to this file")
 		explain     = flag.Bool("explain", false, "attach fill provenance (source doc, matched seed, scores, τ) to each assignment in the -report")

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime/metrics"
 	"sort"
 	"strconv"
 	"strings"
@@ -40,6 +41,22 @@ type serveLevel struct {
 	Entities int64 `json:"entities"`
 	// Filled counts slots written across all completed requests.
 	Filled int64 `json:"filled"`
+	// Runtime are the Go runtime deltas measured across the level.
+	Runtime serveRuntime `json:"runtime"`
+}
+
+// serveRuntime captures runtime/metrics deltas across one concurrency level,
+// so the baseline records the memory cost of a load shape alongside its
+// latency (a throughput win that doubles GC pressure is not a win).
+type serveRuntime struct {
+	// GCCycles is the number of GC cycles completed during the level.
+	GCCycles uint64 `json:"gc_cycles"`
+	// AllocBytes is the total heap allocation during the level.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// PeakHeapBytes is the largest live-heap sample observed during the
+	// level (polled, so it reflects mid-level pressure, not the post-GC
+	// endpoints).
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 }
 
 // serveBaseline is the BENCH_SERVE_BASELINE.json document.
@@ -127,12 +144,15 @@ func runServe(outPath string, duration time.Duration, levelsCSV string) {
 		BatchWindowMS:  float64(batchWindow) / float64(time.Millisecond),
 	}
 	for _, c := range levels {
+		sampler := startRuntimeSampler()
 		lv := driveLevel(url, bodies, c, duration)
+		lv.Runtime = sampler.finish()
 		base.Levels = append(base.Levels, lv)
-		fmt.Printf("c=%-3d  %8.1f req/s   p50 %7.2fms  p95 %7.2fms  p99 %7.2fms   retries %d  errors %d\n",
+		fmt.Printf("c=%-3d  %8.1f req/s   p50 %7.2fms  p95 %7.2fms  p99 %7.2fms   retries %d  errors %d   gc %d  peak-heap %.1fMiB\n",
 			lv.Concurrency, lv.ThroughputRPS,
 			lv.LatencyMS["p50"], lv.LatencyMS["p95"], lv.LatencyMS["p99"],
-			lv.Retries, lv.Errors)
+			lv.Retries, lv.Errors,
+			lv.Runtime.GCCycles, float64(lv.Runtime.PeakHeapBytes)/(1<<20))
 	}
 	f, err := os.Create(outPath)
 	if err != nil {
@@ -148,6 +168,82 @@ func runServe(outPath string, duration time.Duration, levelsCSV string) {
 		fatal(err)
 	}
 	logger.Info("serving baseline written", "path", outPath)
+}
+
+// Runtime metric names sampled per level; all three are KindUint64 and have
+// been stable since go1.16.
+const (
+	gcCyclesMetric   = "/gc/cycles/total:gc-cycles"
+	allocBytesMetric = "/gc/heap/allocs:bytes"
+	liveHeapMetric   = "/memory/classes/heap/objects:bytes"
+)
+
+// readRuntime samples the three level metrics in one runtime/metrics read.
+func readRuntime() (gcCycles, allocBytes, liveHeap uint64) {
+	s := []metrics.Sample{
+		{Name: gcCyclesMetric}, {Name: allocBytesMetric}, {Name: liveHeapMetric},
+	}
+	metrics.Read(s)
+	read := func(v metrics.Value) uint64 {
+		if v.Kind() == metrics.KindUint64 {
+			return v.Uint64()
+		}
+		return 0
+	}
+	return read(s[0].Value), read(s[1].Value), read(s[2].Value)
+}
+
+// runtimeSampler measures GC-cycle and allocation deltas across one level and
+// polls the live heap so the recorded peak catches mid-level pressure.
+type runtimeSampler struct {
+	startGC    uint64
+	startAlloc uint64
+	peak       uint64
+	stop       chan struct{}
+	done       chan struct{}
+}
+
+// startRuntimeSampler snapshots the counters and begins polling the heap.
+func startRuntimeSampler() *runtimeSampler {
+	gc, alloc, live := readRuntime()
+	rs := &runtimeSampler{
+		startGC:    gc,
+		startAlloc: alloc,
+		peak:       live,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	go func() {
+		defer close(rs.done)
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-rs.stop:
+				return
+			case <-tick.C:
+				if _, _, live := readRuntime(); live > rs.peak {
+					rs.peak = live
+				}
+			}
+		}
+	}()
+	return rs
+}
+
+// finish stops the poller and returns the level's deltas.
+func (rs *runtimeSampler) finish() serveRuntime {
+	close(rs.stop)
+	<-rs.done
+	gc, alloc, live := readRuntime()
+	if live > rs.peak {
+		rs.peak = live
+	}
+	return serveRuntime{
+		GCCycles:      gc - rs.startGC,
+		AllocBytes:    alloc - rs.startAlloc,
+		PeakHeapBytes: rs.peak,
+	}
 }
 
 // driveLevel runs one closed-loop level: c clients, each issuing its next

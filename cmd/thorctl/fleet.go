@@ -1,0 +1,310 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"thor/internal/promtext"
+)
+
+// InstanceStatus is one polled thord instance's view.
+type InstanceStatus struct {
+	// Target is the instance's host:port as given on the command line.
+	Target string `json:"target"`
+	// Err is the poll failure, if any; the other fields are then zero.
+	Err string `json:"error,omitempty"`
+	// Ready reports a 200 from /readyz.
+	Ready bool `json:"ready"`
+	// ReadyDetail is /readyz's status string ("ok", "degraded", "draining").
+	ReadyDetail string `json:"readyDetail,omitempty"`
+	// Degraded reports the thor_slo_degraded gauge (falls back to the
+	// /readyz detail when the gauge is absent).
+	Degraded bool `json:"degraded"`
+	// Goroutines and HeapBytes are the instance's runtime gauges.
+	Goroutines int64 `json:"goroutines"`
+	// HeapBytes is the live heap size in bytes.
+	HeapBytes int64 `json:"heapBytes"`
+	// Counters holds the instance's counter families, summed across label
+	// sets (e.g. "serve_fill_requests" -> total requests).
+	Counters map[string]float64 `json:"counters,omitempty"`
+	// Families is the number of metric families scraped.
+	Families int `json:"families"`
+
+	exp *promtext.Exposition
+}
+
+// MergedHistogram is one histogram family merged across the fleet by
+// summing cumulative bucket counts — the merged quantiles are monotone by
+// construction.
+type MergedHistogram struct {
+	// Count is the total observation count across instances.
+	Count float64 `json:"count"`
+	// Sum is the summed _sum across instances.
+	Sum float64 `json:"sum"`
+	// P50, P90 and P99 are bucket-interpolated quantiles of the merged
+	// distribution, in the family's native unit (seconds).
+	P50 float64 `json:"p50"`
+	// P90 is the merged 90th percentile.
+	P90 float64 `json:"p90"`
+	// P99 is the merged 99th percentile.
+	P99 float64 `json:"p99"`
+	// Instances is the number of instances contributing observations.
+	Instances int `json:"instances"`
+}
+
+// FleetStatus is one aggregation pass over every target.
+type FleetStatus struct {
+	// PolledAt is the aggregation wall-clock time.
+	PolledAt time.Time `json:"polledAt"`
+	// Instances are the per-target views, in command-line order.
+	Instances []InstanceStatus `json:"instances"`
+	// Histograms maps histogram family names to their fleet-wide merges.
+	Histograms map[string]MergedHistogram `json:"histograms,omitempty"`
+	// Counters sums counter families fleet-wide.
+	Counters map[string]float64 `json:"counters,omitempty"`
+	// Degraded lists the targets currently degraded or unreachable.
+	Degraded []string `json:"degraded,omitempty"`
+}
+
+// pollInstance scrapes one target's /readyz and /metrics.
+func pollInstance(client *http.Client, target string) InstanceStatus {
+	st := InstanceStatus{Target: target}
+	base := "http://" + target
+
+	if resp, err := client.Get(base + "/readyz"); err != nil {
+		st.Err = fmt.Sprintf("readyz: %v", err)
+		return st
+	} else {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		st.Ready = resp.StatusCode == http.StatusOK
+		var rz struct {
+			Status string `json:"status"`
+		}
+		if json.Unmarshal(body, &rz) == nil {
+			st.ReadyDetail = rz.Status
+		}
+	}
+
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		st.Err = fmt.Sprintf("metrics: %v", err)
+		return st
+	}
+	defer resp.Body.Close()
+	exp, err := promtext.Parse(resp.Body)
+	if err != nil {
+		st.Err = fmt.Sprintf("metrics: %v", err)
+		return st
+	}
+	st.exp = exp
+	st.Families = len(exp.Families)
+	st.Counters = make(map[string]float64)
+	for name, f := range exp.Families {
+		switch f.Type {
+		case "counter":
+			for _, s := range f.Samples {
+				if strings.HasSuffix(s.Name, "_total") {
+					st.Counters[name] += s.Value
+				}
+			}
+		case "gauge":
+			switch name {
+			case "go_goroutines":
+				if len(f.Samples) > 0 {
+					st.Goroutines = int64(f.Samples[0].Value)
+				}
+			case "go_memory_heap_objects_bytes":
+				if len(f.Samples) > 0 {
+					st.HeapBytes = int64(f.Samples[0].Value)
+				}
+			case "thor_slo_degraded":
+				if len(f.Samples) > 0 && f.Samples[0].Value >= 1 {
+					st.Degraded = true
+				}
+			}
+		}
+	}
+	if !st.Degraded && st.ReadyDetail == "degraded" {
+		st.Degraded = true
+	}
+	return st
+}
+
+// poll scrapes every target concurrently and merges the fleet view.
+func poll(client *http.Client, targets []string, now time.Time) *FleetStatus {
+	fs := &FleetStatus{
+		PolledAt:   now,
+		Instances:  make([]InstanceStatus, len(targets)),
+		Histograms: make(map[string]MergedHistogram),
+		Counters:   make(map[string]float64),
+	}
+	var wg sync.WaitGroup
+	for i, target := range targets {
+		wg.Add(1)
+		go func(i int, target string) {
+			defer wg.Done()
+			fs.Instances[i] = pollInstance(client, target)
+		}(i, target)
+	}
+	wg.Wait()
+
+	merge := newHistMerger()
+	for _, inst := range fs.Instances {
+		if inst.Err != "" || inst.Degraded || !inst.Ready {
+			fs.Degraded = append(fs.Degraded, inst.Target)
+		}
+		if inst.exp == nil {
+			continue
+		}
+		for name, v := range inst.Counters {
+			fs.Counters[name] += v
+		}
+		for name, f := range inst.exp.Families {
+			if f.Type == "histogram" {
+				merge.add(name, f)
+			}
+		}
+	}
+	for name, m := range merge.families {
+		fs.Histograms[name] = m.merged()
+	}
+	sort.Strings(fs.Degraded)
+	return fs
+}
+
+// histMerger accumulates cumulative bucket counts per histogram family
+// across instances. Buckets are keyed by le bound; summing cumulative
+// counts of identical bounds keeps the merged CDF monotone.
+type histMerger struct {
+	families map[string]*histAcc
+}
+
+// histAcc is one family's accumulated state.
+type histAcc struct {
+	byLE      map[float64]float64
+	count     float64
+	sum       float64
+	instances int
+}
+
+func newHistMerger() *histMerger {
+	return &histMerger{families: make(map[string]*histAcc)}
+}
+
+// add folds one instance's family into the accumulator, collapsing label
+// sets: thorctl's fleet view is per family, so per-label series (concepts,
+// streams) of the same family merge together.
+func (m *histMerger) add(name string, f *promtext.Family) {
+	acc := m.families[name]
+	if acc == nil {
+		acc = &histAcc{byLE: make(map[float64]float64)}
+		m.families[name] = acc
+	}
+	contributed := false
+	for _, s := range f.Samples {
+		switch s.Name {
+		case name + "_bucket":
+			le, err := parseLE(s.Label("le"))
+			if err != nil {
+				continue
+			}
+			acc.byLE[le] += s.Value
+		case name + "_count":
+			acc.count += s.Value
+			if s.Value > 0 {
+				contributed = true
+			}
+		case name + "_sum":
+			acc.sum += s.Value
+		}
+	}
+	if contributed {
+		acc.instances++
+	}
+}
+
+// parseLE parses a bucket bound, accepting the exposition infinities.
+func parseLE(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "":
+		return 0, fmt.Errorf("missing le")
+	}
+	var v float64
+	_, err := fmt.Sscanf(s, "%g", &v)
+	return v, err
+}
+
+// merged folds the accumulated buckets into quantiles.
+func (a *histAcc) merged() MergedHistogram {
+	out := MergedHistogram{Count: a.count, Sum: a.sum, Instances: a.instances}
+	if a.count == 0 {
+		return out
+	}
+	les := make([]float64, 0, len(a.byLE))
+	for le := range a.byLE {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	cums := make([]float64, len(les))
+	for i, le := range les {
+		cums[i] = a.byLE[le]
+	}
+	// Cumulative counts from different instances' bucket layouts can be
+	// jagged if layouts differ; enforce monotonicity before interpolating.
+	for i := 1; i < len(cums); i++ {
+		if cums[i] < cums[i-1] {
+			cums[i] = cums[i-1]
+		}
+	}
+	total := cums[len(cums)-1]
+	out.P50 = quantileFromBuckets(les, cums, total, 0.50)
+	out.P90 = quantileFromBuckets(les, cums, total, 0.90)
+	out.P99 = quantileFromBuckets(les, cums, total, 0.99)
+	return out
+}
+
+// quantileFromBuckets interpolates the q-quantile from cumulative bucket
+// counts, Prometheus histogram_quantile-style: linear within the bucket the
+// rank falls into, with the +Inf bucket clamped to the last finite bound.
+func quantileFromBuckets(les, cums []float64, total, q float64) float64 {
+	if total == 0 || len(les) == 0 {
+		return 0
+	}
+	rank := q * total
+	for i, cum := range cums {
+		if cum < rank {
+			continue
+		}
+		lo, loCum := 0.0, 0.0
+		if i > 0 {
+			lo, loCum = les[i-1], cums[i-1]
+		}
+		hi := les[i]
+		if math.IsInf(hi, +1) {
+			// The rank lands in the overflow bucket: the best point estimate
+			// is the largest finite bound.
+			return lo
+		}
+		if cum == loCum {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-loCum)/(cum-loCum)
+	}
+	last := les[len(les)-1]
+	if math.IsInf(last, +1) && len(les) > 1 {
+		return les[len(les)-2]
+	}
+	return last
+}

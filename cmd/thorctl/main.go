@@ -1,0 +1,144 @@
+// Command thorctl aggregates a fleet of thord instances into one status
+// view: it polls each instance's /metrics and /readyz, merges histograms by
+// summing cumulative buckets (so fleet quantiles stay monotone), and
+// renders a status table — the observational substrate a sharded serving
+// tier's router will sit on.
+//
+// Usage:
+//
+//	thorctl -targets 127.0.0.1:7071,127.0.0.1:7072 [-watch 5s] [-json] [-timeout 2s]
+//
+// One-shot by default; -watch re-polls at the given interval until
+// interrupted. -json emits the FleetStatus as JSON (one document per poll)
+// for CI and scripting. The exit status is 0 when every instance is ready
+// and healthy, 1 when any instance is degraded, draining or unreachable
+// (one-shot mode only).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; exit status as documented above.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("thorctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	targetsFlag := fs.String("targets", "", "comma-separated thord instances (host:port), required")
+	watch := fs.Duration("watch", 0, "re-poll at this interval (0 = one shot)")
+	asJSON := fs.Bool("json", false, "emit JSON instead of the status table")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-request HTTP timeout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var targets []string
+	for _, t := range strings.Split(*targetsFlag, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targets = append(targets, t)
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(stderr, "thorctl: -targets is required")
+		fs.Usage()
+		return 2
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	for {
+		st := poll(client, targets, time.Now())
+		if *asJSON {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(st)
+		} else {
+			render(stdout, st)
+		}
+		if *watch <= 0 {
+			if len(st.Degraded) > 0 {
+				return 1
+			}
+			return 0
+		}
+		time.Sleep(*watch)
+	}
+}
+
+// render prints the fleet table: one row per instance, then the merged
+// histogram quantiles.
+func render(w io.Writer, st *FleetStatus) {
+	fmt.Fprintf(w, "fleet status @ %s — %d instance(s), %d degraded\n",
+		st.PolledAt.Format(time.RFC3339), len(st.Instances), len(st.Degraded))
+	fmt.Fprintf(w, "%-24s %-10s %-9s %11s %12s %12s\n",
+		"TARGET", "READY", "DEGRADED", "GOROUTINES", "HEAP", "FILL REQS")
+	for _, inst := range st.Instances {
+		if inst.Err != "" {
+			fmt.Fprintf(w, "%-24s %-10s %s\n", inst.Target, "unreachable", inst.Err)
+			continue
+		}
+		ready := inst.ReadyDetail
+		if ready == "" {
+			if inst.Ready {
+				ready = "ok"
+			} else {
+				ready = "not-ready"
+			}
+		}
+		fmt.Fprintf(w, "%-24s %-10s %-9v %11d %12s %12.0f\n",
+			inst.Target, ready, inst.Degraded, inst.Goroutines,
+			humanBytes(inst.HeapBytes), inst.Counters["serve_fill_requests"])
+	}
+	names := make([]string, 0, len(st.Histograms))
+	for n := range st.Histograms {
+		if st.Histograms[n].Count > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintf(w, "\nmerged histograms (fleet-wide, %d instance(s)):\n", len(st.Instances))
+		fmt.Fprintf(w, "%-40s %10s %10s %10s %10s\n", "FAMILY", "COUNT", "P50", "P90", "P99")
+		for _, n := range names {
+			h := st.Histograms[n]
+			fmt.Fprintf(w, "%-40s %10.0f %10s %10s %10s\n",
+				n, h.Count, humanSeconds(h.P50), humanSeconds(h.P90), humanSeconds(h.P99))
+		}
+	}
+}
+
+// humanBytes renders a byte count compactly.
+func humanBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// humanSeconds renders a seconds value compactly.
+func humanSeconds(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+	return fmt.Sprintf("%dns", d.Nanoseconds())
+}

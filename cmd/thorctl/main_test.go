@@ -1,0 +1,158 @@
+package main
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"thor/internal/embed"
+	"thor/internal/obs"
+	"thor/internal/schema"
+	"thor/internal/serve"
+)
+
+// startInstance boots one in-process serving engine over the shared fixture
+// and returns its host:port plus the engine's SLO (so tests can degrade it).
+func startInstance(t *testing.T) (string, *obs.SLO) {
+	t.Helper()
+	table := schema.NewTable(schema.NewSchema("Disease", "Anatomy", "Complication"))
+	table.AddRow("Acoustic Neuroma").Add("Anatomy", "nervous system")
+	table.AddRow("Malaria")
+	space := embed.NewSpace()
+	for _, w := range []string{"nervous", "system", "brain", "nerve"} {
+		space.Add(w, embed.Blend(embed.HashVector("ex:anatomy"), embed.HashVector("ex-noise:"+w), 0.6))
+	}
+	slo := obs.NewSLO(obs.SLOConfig{Latency: 50 * time.Millisecond, MinSamples: 5})
+	s, err := serve.NewServer(serve.Options{
+		Table: table, Space: space, Tau: 0.6, Workers: 2,
+		Metrics: obs.NewRegistry(), SLO: slo,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return strings.TrimPrefix(ts.URL, "http://"), slo
+}
+
+// TestFleetAggregation polls two live serving instances — one driven
+// degraded — and checks the merged fleet view: the degraded instance is
+// surfaced, merged histogram quantiles are monotone, and counters sum
+// across instances.
+func TestFleetAggregation(t *testing.T) {
+	healthyAddr, _ := startInstance(t)
+	degradedAddr, degradedSLO := startInstance(t)
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	fill := func(addr string) {
+		resp, err := client.Post("http://"+addr+"/v1/fill", "application/json",
+			strings.NewReader(`{"documents":[{"name":"d","default_subject":"Malaria","text":"Malaria damages the nervous system."}]}`))
+		if err != nil {
+			t.Fatalf("fill %s: %v", addr, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fill %s: status %d", addr, resp.StatusCode)
+		}
+	}
+	fill(healthyAddr)
+	fill(degradedAddr)
+	// Burn the second instance's error budget directly: every judged
+	// observation errored, well past MinSamples.
+	for i := 0; i < 20; i++ {
+		degradedSLO.Observe("fill", 100*time.Millisecond, true)
+	}
+
+	st := poll(client, []string{healthyAddr, degradedAddr}, time.Unix(1754000000, 0))
+
+	if len(st.Instances) != 2 {
+		t.Fatalf("polled %d instances, want 2", len(st.Instances))
+	}
+	for _, inst := range st.Instances {
+		if inst.Err != "" {
+			t.Fatalf("instance %s unreachable: %s", inst.Target, inst.Err)
+		}
+		if inst.Goroutines <= 0 || inst.HeapBytes <= 0 {
+			t.Errorf("instance %s runtime gauges not scraped: %+v", inst.Target, inst)
+		}
+	}
+
+	// The degraded instance — and only it — is surfaced.
+	if len(st.Degraded) != 1 || st.Degraded[0] != degradedAddr {
+		t.Fatalf("degraded = %v, want exactly [%s]", st.Degraded, degradedAddr)
+	}
+
+	// Counters sum across the fleet: one fill request per instance.
+	if got := st.Counters["serve_fill_requests"]; got != 2 {
+		t.Errorf("fleet serve_fill_requests = %v, want 2", got)
+	}
+
+	// Merged histogram quantiles are monotone and populated for the
+	// request-latency family both instances observed.
+	h, ok := st.Histograms["serve_http_fill_seconds"]
+	if !ok {
+		t.Fatalf("serve_http_fill_seconds not merged: %v", st.Histograms)
+	}
+	if h.Count < 2 {
+		t.Errorf("merged count = %v, want >= 2", h.Count)
+	}
+	if h.Instances != 2 {
+		t.Errorf("contributing instances = %d, want 2", h.Instances)
+	}
+	if !(h.P50 <= h.P90 && h.P90 <= h.P99) {
+		t.Errorf("merged quantiles not monotone: p50=%v p90=%v p99=%v", h.P50, h.P90, h.P99)
+	}
+	if h.P99 <= 0 {
+		t.Errorf("merged p99 = %v, want > 0", h.P99)
+	}
+	for name, m := range st.Histograms {
+		if !(m.P50 <= m.P90 && m.P90 <= m.P99) {
+			t.Errorf("family %s quantiles not monotone: %+v", name, m)
+		}
+	}
+
+	// The one-shot exit path flags the degradation.
+	var out, errb strings.Builder
+	code := run([]string{"-targets", healthyAddr + "," + degradedAddr}, &out, &errb)
+	if code != 1 {
+		t.Errorf("one-shot exit = %d with a degraded instance, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), degradedAddr) || !strings.Contains(out.String(), "true") {
+		t.Errorf("status table does not surface the degraded instance:\n%s", out.String())
+	}
+
+	// -json mode emits parseable FleetStatus.
+	out.Reset()
+	code = run([]string{"-targets", healthyAddr, "-json"}, &out, &errb)
+	if code != 0 {
+		t.Errorf("healthy one-shot exit = %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), `"instances"`) {
+		t.Errorf("-json output unexpected:\n%s", out.String())
+	}
+}
+
+// TestQuantileFromBuckets pins the interpolation: a known CDF yields
+// monotone, in-range quantiles.
+func TestQuantileFromBuckets(t *testing.T) {
+	les := []float64{0.001, 0.01, 0.1, math.Inf(1)}
+	cums := []float64{10, 60, 90, 100}
+	var prev float64
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		v := quantileFromBuckets(les, cums, 100, q)
+		if v < prev {
+			t.Fatalf("quantile %v = %v < previous %v (not monotone)", q, v, prev)
+		}
+		prev = v
+	}
+	// q=0.99 lands in the +Inf bucket: clamped to the last finite bound.
+	if v := quantileFromBuckets(les, cums, 100, 0.99); v != 0.1 {
+		t.Errorf("overflow quantile = %v, want clamp to 0.1", v)
+	}
+}

@@ -47,6 +47,9 @@ func run() int {
 		traceKeep     = flag.Int("trace-keep", 256, "flight-recorder capacity for slow/errored/shed/quarantined traces")
 		sloLatency    = flag.Duration("slo-latency", 500*time.Millisecond, "per-request latency objective driving /readyz degradation (0 = error budget only)")
 		sloWindow     = flag.Duration("slo-window", time.Minute, "sliding window the SLO burn rate is evaluated over")
+		profKeep      = flag.Int("profile-keep", 32, "profile ring capacity for /debug/profiles (0 disables degraded-triggered profiling)")
+		profSteady    = flag.Duration("profile-steady", 10*time.Minute, "steady-state profile cadence while healthy (0 = default, negative disables)")
+		profCPU       = flag.Duration("profile-cpu", 250*time.Millisecond, "CPU profile duration per capture burst (negative skips CPU profiles)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -73,6 +76,9 @@ func run() int {
 	}
 	if *traceSlow < 0 || *traceKeep < 1 || *sloLatency < 0 || *sloWindow <= 0 {
 		usageErr("-trace-slow/-trace-keep/-slo-latency/-slo-window out of range")
+	}
+	if *profKeep < 0 {
+		usageErr("-profile-keep must be non-negative")
 	}
 	level, err := obs.ParseLogLevel(*logLevel)
 	if err != nil {
@@ -118,6 +124,32 @@ func run() int {
 	})
 	reg.PublishExpvar("thor")
 	slo.PublishExpvar("thor.slo")
+
+	// Degraded-triggered profiling: a capture burst fires on every
+	// healthy->degraded SLO transition (plus a slow steady cadence), tagged
+	// with the flight recorder's retained trace IDs so a profile can be
+	// correlated with the traces that degraded the objective.
+	var profiler *obs.Profiler
+	if *profKeep > 0 {
+		profiler = obs.NewProfiler(obs.ProfilerConfig{
+			Degraded: slo.Degraded,
+			TraceIDs: func() []string {
+				summaries := recorder.Traces()
+				ids := make([]string, 0, len(summaries))
+				for _, s := range summaries {
+					ids = append(ids, s.TraceID)
+				}
+				return ids
+			},
+			SteadyEvery: *profSteady,
+			CPUDuration: *profCPU,
+			Capacity:    *profKeep,
+		})
+		profCtx, profCancel := context.WithCancel(context.Background())
+		defer profCancel()
+		go profiler.Run(profCtx)
+	}
+
 	engine, err := serve.NewServer(serve.Options{
 		Table:             table,
 		Knowledge:         knowledge,
@@ -133,6 +165,7 @@ func run() int {
 		Tracer:            tracer,
 		Recorder:          recorder,
 		SLO:               slo,
+		Profiler:          profiler,
 		Logger:            logger,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,6 +60,30 @@ func (g *Gauge) Value() int64 {
 		return 0
 	}
 	return g.n.Load()
+}
+
+// FloatGauge is an instantaneous float64 level — a ratio, a density, a
+// rate — for signals that do not fit an integer Gauge. The zero value is
+// ready to use; all methods are nil-safe and lock-free (the value is stored
+// as IEEE-754 bits in an atomic word).
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value. No-op on a nil gauge.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current level (0 on a nil gauge).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
 }
 
 // NumBuckets is the fixed number of histogram buckets: 27 log-scaled
@@ -174,15 +199,21 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	for i := range counts {
 		counts[i] = h.buckets[i].Load()
 	}
+	var cum int64
 	for i, n := range counts {
-		if n == 0 {
+		cum += n
+		// Empty finite buckets are elided for compactness; the overflow
+		// bucket is always present so every snapshot carries an explicit
+		// "+Inf" row whose Cumulative equals Count — the invariant the
+		// OpenMetrics exposition (and its agreement test) relies on.
+		if n == 0 && i < NumBuckets-1 {
 			continue
 		}
 		le := "+Inf"
 		if i < NumBuckets-1 {
 			le = BucketBound(i).String()
 		}
-		s.Buckets = append(s.Buckets, BucketCount{LE: le, Count: n})
+		s.Buckets = append(s.Buckets, BucketCount{LE: le, Count: n, Cumulative: cum})
 	}
 	s.P50Seconds = quantile(counts, s.Count, 0.50)
 	s.P95Seconds = quantile(counts, s.Count, 0.95)
@@ -214,12 +245,18 @@ func quantile(counts []int64, total int64, q float64) float64 {
 	return BucketBound(NumBuckets - 2).Seconds()
 }
 
-// BucketCount is one non-empty histogram bucket in a snapshot.
+// BucketCount is one histogram bucket in a snapshot. Non-empty finite
+// buckets are listed in bound order; the overflow ("+Inf") bucket is always
+// present, even when empty.
 type BucketCount struct {
 	// LE is the bucket's inclusive upper bound ("1µs", "2ms", …, "+Inf").
 	LE string `json:"le"`
-	// Count is the number of observations in the bucket.
+	// Count is the number of observations in this bucket alone.
 	Count int64 `json:"count"`
+	// Cumulative is the number of observations at or below LE — the
+	// Prometheus-style cumulative count. The "+Inf" bucket's Cumulative
+	// always equals the histogram's Count.
+	Cumulative int64 `json:"cumulative"`
 }
 
 // HistogramSnapshot is the JSON-serializable state of one histogram.
@@ -252,18 +289,26 @@ type Snapshot struct {
 	// Gauges maps gauge names to their current levels (omitted when no
 	// gauge is registered).
 	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// FloatGauges maps float-gauge names to their current levels (omitted
+	// when none is registered).
+	FloatGauges map[string]float64 `json:"floatGauges,omitempty"`
 	// Histograms maps histogram names to their snapshots.
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Distributions maps distribution names to their quantile summaries
+	// (omitted when none is registered).
+	Distributions map[string]DistributionSnapshot `json:"distributions,omitempty"`
 }
 
-// Registry holds named counters, gauges and histograms. A nil *Registry is
-// a valid disabled registry: Counter, Gauge and Histogram return nil
-// instruments whose methods no-op without allocating.
+// Registry holds named counters, gauges, float gauges, histograms and
+// distributions. A nil *Registry is a valid disabled registry: every
+// accessor returns a nil instrument whose methods no-op without allocating.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	fgauges  map[string]*FloatGauge
 	hists    map[string]*Histogram
+	dists    map[string]*Distribution
 }
 
 // NewRegistry returns an empty registry.
@@ -271,7 +316,9 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		fgauges:  make(map[string]*FloatGauge),
 		hists:    make(map[string]*Histogram),
+		dists:    make(map[string]*Distribution),
 	}
 }
 
@@ -317,6 +364,48 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// FloatGauge returns the named float gauge, creating it on first use.
+// Returns nil (a valid no-op gauge) on a nil registry.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.fgauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.fgauges[name]; g == nil {
+		g = &FloatGauge{}
+		r.fgauges[name] = g
+	}
+	return g
+}
+
+// Distribution returns the named distribution, creating it on first use.
+// Returns nil (a valid no-op distribution) on a nil registry.
+func (r *Registry) Distribution(name string) *Distribution {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	d := r.dists[name]
+	r.mu.RUnlock()
+	if d != nil {
+		return d
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d = r.dists[name]; d == nil {
+		d = &Distribution{}
+		r.dists[name] = d
+	}
+	return d
+}
+
 // Histogram returns the named histogram, creating it on first use. Returns
 // nil (a valid no-op histogram) on a nil registry.
 func (r *Registry) Histogram(name string) *Histogram {
@@ -345,14 +434,21 @@ func (r *Registry) Names() []string {
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	names := make([]string, 0,
+		len(r.counters)+len(r.gauges)+len(r.fgauges)+len(r.hists)+len(r.dists))
 	for n := range r.counters {
 		names = append(names, n)
 	}
 	for n := range r.gauges {
 		names = append(names, n)
 	}
+	for n := range r.fgauges {
+		names = append(names, n)
+	}
 	for n := range r.hists {
+		names = append(names, n)
+	}
+	for n := range r.dists {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -378,9 +474,17 @@ func (r *Registry) Snapshot() Snapshot {
 	for n, g := range r.gauges {
 		gauges[n] = g
 	}
+	fgauges := make(map[string]*FloatGauge, len(r.fgauges))
+	for n, g := range r.fgauges {
+		fgauges[n] = g
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for n, h := range r.hists {
 		hists[n] = h
+	}
+	dists := make(map[string]*Distribution, len(r.dists))
+	for n, d := range r.dists {
+		dists[n] = d
 	}
 	r.mu.RUnlock()
 	for n, c := range counters {
@@ -392,8 +496,20 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Gauges[n] = g.Value()
 		}
 	}
+	if len(fgauges) > 0 {
+		s.FloatGauges = make(map[string]float64, len(fgauges))
+		for n, g := range fgauges {
+			s.FloatGauges[n] = g.Value()
+		}
+	}
 	for n, h := range hists {
 		s.Histograms[n] = h.snapshot()
+	}
+	if len(dists) > 0 {
+		s.Distributions = make(map[string]DistributionSnapshot, len(dists))
+		for n, d := range dists {
+			s.Distributions[n] = d.Snapshot()
+		}
 	}
 	return s
 }

@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Profile reasons: why a capture burst fired.
+const (
+	// CaptureDegraded marks profiles captured on a healthy→degraded SLO
+	// transition.
+	CaptureDegraded = "degraded"
+	// CaptureSteady marks low-cadence background captures.
+	CaptureSteady = "steady"
+	// CaptureManual marks captures requested via CaptureNow.
+	CaptureManual = "manual"
+)
+
+// ProfilerConfig configures a Profiler. Every zero value has a usable
+// default.
+type ProfilerConfig struct {
+	// Degraded reports whether the process is currently degraded; typically
+	// (*SLO).Degraded. A capture burst fires on each false→true edge. Nil
+	// disables degraded-triggered capture.
+	Degraded func() bool
+	// TraceIDs returns the trace IDs currently retained by the flight
+	// recorder; they are stamped onto each captured profile so a profile can
+	// be correlated with the traces in flight when it was taken. Nil leaves
+	// profiles uncorrelated.
+	TraceIDs func() []string
+	// SteadyEvery is the background capture cadence while healthy. Zero
+	// defaults to 10 minutes; negative disables steady capture.
+	SteadyEvery time.Duration
+	// PollInterval is how often Run polls the degraded signal. Zero
+	// defaults to 1s.
+	PollInterval time.Duration
+	// CPUDuration is how long each CPU profile samples. Zero defaults to
+	// 250ms; negative skips CPU profiles (heap and goroutine only).
+	CPUDuration time.Duration
+	// Capacity bounds the in-memory profile ring; the oldest capture is
+	// evicted first. Zero defaults to 32 profiles.
+	Capacity int
+	// Now overrides the clock — the deterministic test seam. Nil uses
+	// time.Now.
+	Now func() time.Time
+}
+
+func (c ProfilerConfig) withDefaults() ProfilerConfig {
+	if c.SteadyEvery == 0 {
+		c.SteadyEvery = 10 * time.Minute
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = time.Second
+	}
+	if c.CPUDuration == 0 {
+		c.CPUDuration = 250 * time.Millisecond
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 32
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// ProfileInfo describes one retained profile (without its payload).
+type ProfileInfo struct {
+	// ID is the retrieval key for /debug/profiles/{id}.
+	ID string `json:"id"`
+	// Kind is the profile type: "cpu", "heap" or "goroutine".
+	Kind string `json:"kind"`
+	// Reason is why the capture fired: "degraded", "steady" or "manual".
+	Reason string `json:"reason"`
+	// CapturedAt is the capture wall-clock time.
+	CapturedAt time.Time `json:"capturedAt"`
+	// SizeBytes is the payload length.
+	SizeBytes int `json:"sizeBytes"`
+	// TraceIDs are the flight-recorder trace IDs retained at capture time.
+	TraceIDs []string `json:"traceIds,omitempty"`
+}
+
+// storedProfile pairs a listing entry with its pprof payload.
+type storedProfile struct {
+	info ProfileInfo
+	data []byte
+}
+
+// Profiler captures pprof profiles (CPU, heap, goroutine) into a bounded
+// in-memory ring. Captures are edge-triggered by the SLO degraded signal —
+// one burst per healthy→degraded transition — plus an optional low steady
+// cadence, so the ring holds evidence from around the moment things went
+// wrong rather than whatever happened most recently. A nil *Profiler is
+// valid and no-ops everywhere.
+type Profiler struct {
+	cfg ProfilerConfig
+
+	mu          sync.Mutex
+	ring        []storedProfile
+	seq         int64
+	wasDegraded bool
+	lastSteady  time.Time
+	capturing   bool
+}
+
+// NewProfiler returns a stopped profiler; drive it with Run (production) or
+// Poll (tests, custom schedulers).
+func NewProfiler(cfg ProfilerConfig) *Profiler {
+	cfg = cfg.withDefaults()
+	// Start the steady timer at construction so the first background capture
+	// lands one full cadence in, not on the first poll.
+	return &Profiler{cfg: cfg, lastSteady: cfg.Now()}
+}
+
+// Run polls the degraded signal every PollInterval until ctx is cancelled.
+// It blocks; run it in its own goroutine. No-op on a nil profiler.
+func (p *Profiler) Run(ctx context.Context) {
+	if p == nil {
+		return
+	}
+	t := time.NewTicker(p.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.Poll()
+		}
+	}
+}
+
+// Poll evaluates the capture triggers once: a burst fires on a
+// healthy→degraded edge, or when SteadyEvery has elapsed since the last
+// steady capture. Exactly one burst fires per degraded transition no matter
+// how often Poll runs while the signal stays up. Safe for concurrent use;
+// no-op on a nil profiler.
+func (p *Profiler) Poll() {
+	if p == nil {
+		return
+	}
+	now := p.cfg.Now()
+	degraded := p.cfg.Degraded != nil && p.cfg.Degraded()
+
+	p.mu.Lock()
+	reason := ""
+	switch {
+	case degraded && !p.wasDegraded:
+		reason = CaptureDegraded
+	case p.cfg.SteadyEvery > 0 && now.Sub(p.lastSteady) >= p.cfg.SteadyEvery:
+		reason = CaptureSteady
+	}
+	p.wasDegraded = degraded
+	if reason == "" || p.capturing {
+		p.mu.Unlock()
+		return
+	}
+	p.capturing = true
+	// Any burst resets the steady timer: a degraded capture is recent
+	// evidence too.
+	p.lastSteady = now
+	p.mu.Unlock()
+
+	p.capture(reason, now)
+
+	p.mu.Lock()
+	p.capturing = false
+	p.mu.Unlock()
+}
+
+// CaptureNow fires one manual capture burst and returns the infos of the
+// profiles it stored. No-op on a nil profiler.
+func (p *Profiler) CaptureNow() []ProfileInfo {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	if p.capturing {
+		p.mu.Unlock()
+		return nil
+	}
+	p.capturing = true
+	before := p.seq
+	p.mu.Unlock()
+
+	p.capture(CaptureManual, p.cfg.Now())
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.capturing = false
+	var out []ProfileInfo
+	for _, sp := range p.ring {
+		if infoSeq(sp.info.ID) > before {
+			out = append(out, sp.info)
+		}
+	}
+	return out
+}
+
+// infoSeq parses the leading sequence number out of a profile ID (IDs are
+// "<seq>-<kind>-<reason>"); -1 when unparseable.
+func infoSeq(id string) int64 {
+	var seq int64
+	if _, err := fmt.Sscanf(id, "%d-", &seq); err != nil {
+		return -1
+	}
+	return seq
+}
+
+// capture performs one burst: CPU (unless disabled), heap and goroutine
+// profiles, each stored with the recorder's current trace IDs.
+func (p *Profiler) capture(reason string, now time.Time) {
+	var traceIDs []string
+	if p.cfg.TraceIDs != nil {
+		traceIDs = p.cfg.TraceIDs()
+		sort.Strings(traceIDs)
+	}
+	if p.cfg.CPUDuration > 0 {
+		var buf bytes.Buffer
+		// StartCPUProfile fails if another CPU profile is running (e.g. a
+		// live /debug/pprof/profile scrape); skip CPU rather than block.
+		if err := pprof.StartCPUProfile(&buf); err == nil {
+			time.Sleep(p.cfg.CPUDuration)
+			pprof.StopCPUProfile()
+			p.store("cpu", reason, now, traceIDs, buf.Bytes())
+		}
+	}
+	for _, kind := range []string{"heap", "goroutine"} {
+		prof := pprof.Lookup(kind)
+		if prof == nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := prof.WriteTo(&buf, 0); err != nil {
+			continue
+		}
+		p.store(kind, reason, now, traceIDs, buf.Bytes())
+	}
+}
+
+// store appends one profile to the ring, evicting the oldest entry when the
+// ring is full.
+func (p *Profiler) store(kind, reason string, now time.Time, traceIDs []string, data []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	info := ProfileInfo{
+		ID:         fmt.Sprintf("%d-%s-%s", p.seq, kind, reason),
+		Kind:       kind,
+		Reason:     reason,
+		CapturedAt: now,
+		SizeBytes:  len(data),
+		TraceIDs:   traceIDs,
+	}
+	p.ring = append(p.ring, storedProfile{info: info, data: data})
+	if len(p.ring) > p.cfg.Capacity {
+		p.ring = append(p.ring[:0], p.ring[len(p.ring)-p.cfg.Capacity:]...)
+	}
+}
+
+// Profiles lists the retained profiles, oldest first. Empty on a nil
+// profiler.
+func (p *Profiler) Profiles() []ProfileInfo {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ProfileInfo, len(p.ring))
+	for i, sp := range p.ring {
+		out[i] = sp.info
+	}
+	return out
+}
+
+// Profile returns one retained profile's info and raw pprof payload by ID.
+func (p *Profiler) Profile(id string) (ProfileInfo, []byte, bool) {
+	if p == nil {
+		return ProfileInfo{}, nil, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, sp := range p.ring {
+		if sp.info.ID == id {
+			return sp.info, sp.data, true
+		}
+	}
+	return ProfileInfo{}, nil, false
+}
+
+// handler serves the profile ring:
+//
+//	/debug/profiles       — JSON listing (ProfileInfo, oldest first)
+//	/debug/profiles/{id}  — one profile's raw pprof payload
+func (p *Profiler) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/debug/profiles")
+		id = strings.TrimPrefix(id, "/")
+		if id == "" {
+			list := p.Profiles()
+			if list == nil {
+				list = []ProfileInfo{}
+			}
+			writeIndentedJSON(w, list)
+			return
+		}
+		info, data, ok := p.Profile(id)
+		if !ok {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(http.StatusNotFound)
+			body, _ := json.Marshal(map[string]string{
+				"error": fmt.Sprintf("profile %q not retained", id),
+			})
+			_, _ = w.Write(append(body, '\n'))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.pprof", info.ID))
+		_, _ = w.Write(data)
+	})
+}

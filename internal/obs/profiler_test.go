@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// profilerForTest builds a fake-clock profiler with CPU capture disabled
+// (heap + goroutine only) so bursts are instant and deterministic.
+func profilerForTest(degraded *bool, now *time.Time, capacity int, steady time.Duration) *Profiler {
+	return NewProfiler(ProfilerConfig{
+		Degraded:    func() bool { return *degraded },
+		CPUDuration: -1, // skip CPU: no sampling sleep in tests
+		SteadyEvery: steady,
+		Capacity:    capacity,
+		Now:         func() time.Time { return *now },
+	})
+}
+
+// TestProfilerDegradedEdgeTriggersOneBurst drives a fake-clock SLO-style
+// degraded signal through Poll and asserts exactly one capture burst per
+// healthy→degraded transition, however often the signal is polled.
+func TestProfilerDegradedEdgeTriggersOneBurst(t *testing.T) {
+	degraded := false
+	now := time.Unix(5000, 0)
+	p := profilerForTest(&degraded, &now, 32, -1)
+
+	for i := 0; i < 5; i++ {
+		p.Poll() // healthy: nothing captured
+		now = now.Add(time.Second)
+	}
+	if got := len(p.Profiles()); got != 0 {
+		t.Fatalf("healthy polls captured %d profiles, want 0", got)
+	}
+
+	degraded = true
+	for i := 0; i < 10; i++ {
+		p.Poll() // only the first poll sees the edge
+		now = now.Add(time.Second)
+	}
+	profs := p.Profiles()
+	if len(profs) != 2 { // heap + goroutine (CPU disabled)
+		t.Fatalf("degraded transition captured %d profiles, want 2: %+v", len(profs), profs)
+	}
+	for _, pi := range profs {
+		if pi.Reason != CaptureDegraded {
+			t.Fatalf("profile reason = %q, want %q", pi.Reason, CaptureDegraded)
+		}
+	}
+
+	// Recover, then degrade again: a second burst fires.
+	degraded = false
+	p.Poll()
+	degraded = true
+	p.Poll()
+	if got := len(p.Profiles()); got != 4 {
+		t.Fatalf("second transition: %d profiles, want 4", got)
+	}
+}
+
+// TestProfilerSteadyCadence checks the low-cadence background capture fires
+// once per SteadyEvery on the fake clock.
+func TestProfilerSteadyCadence(t *testing.T) {
+	degraded := false
+	now := time.Unix(9000, 0)
+	p := profilerForTest(&degraded, &now, 32, time.Minute)
+
+	p.Poll() // 0s since construction: below cadence
+	if got := len(p.Profiles()); got != 0 {
+		t.Fatalf("early steady capture: %d profiles", got)
+	}
+	now = now.Add(61 * time.Second)
+	p.Poll()
+	if got := len(p.Profiles()); got != 2 {
+		t.Fatalf("steady capture at cadence: %d profiles, want 2", got)
+	}
+	for _, pi := range p.Profiles() {
+		if pi.Reason != CaptureSteady {
+			t.Fatalf("reason = %q, want %q", pi.Reason, CaptureSteady)
+		}
+	}
+	now = now.Add(10 * time.Second)
+	p.Poll() // cadence not yet elapsed again
+	if got := len(p.Profiles()); got != 2 {
+		t.Fatalf("steady re-captured too soon: %d profiles", got)
+	}
+}
+
+// TestProfilerRingEviction fills a small ring past capacity and asserts
+// FIFO retention order.
+func TestProfilerRingEviction(t *testing.T) {
+	degraded := false
+	now := time.Unix(100, 0)
+	p := profilerForTest(&degraded, &now, 3, -1)
+
+	for i := 0; i < 3; i++ { // 3 bursts × 2 profiles = 6 captures into a ring of 3
+		p.CaptureNow()
+		now = now.Add(time.Minute)
+	}
+	profs := p.Profiles()
+	if len(profs) != 3 {
+		t.Fatalf("ring holds %d profiles, want capacity 3", len(profs))
+	}
+	// Oldest first, and only the newest captures survive (seq 4,5,6).
+	for i := 1; i < len(profs); i++ {
+		if !profs[i].CapturedAt.Before(profs[i-1].CapturedAt) && infoSeq(profs[i].ID) <= infoSeq(profs[i-1].ID) {
+			t.Fatalf("ring order broken: %+v", profs)
+		}
+	}
+	if infoSeq(profs[0].ID) != 4 {
+		t.Fatalf("oldest retained seq = %d, want 4 (earlier captures evicted): %+v", infoSeq(profs[0].ID), profs)
+	}
+	if _, _, ok := p.Profile("1-heap-manual"); ok {
+		t.Fatalf("evicted profile still retrievable")
+	}
+}
+
+// TestProfilerTraceCorrelation checks capture-time trace IDs are stamped
+// onto the stored profiles.
+func TestProfilerTraceCorrelation(t *testing.T) {
+	degraded := true
+	now := time.Unix(100, 0)
+	p := NewProfiler(ProfilerConfig{
+		Degraded:    func() bool { return degraded },
+		TraceIDs:    func() []string { return []string{"t2", "t1"} },
+		CPUDuration: -1,
+		SteadyEvery: -1,
+		Now:         func() time.Time { return now },
+	})
+	p.Poll()
+	profs := p.Profiles()
+	if len(profs) == 0 {
+		t.Fatal("no profiles captured")
+	}
+	for _, pi := range profs {
+		if len(pi.TraceIDs) != 2 || pi.TraceIDs[0] != "t1" || pi.TraceIDs[1] != "t2" {
+			t.Fatalf("trace IDs not stamped/sorted: %+v", pi)
+		}
+	}
+}
+
+// checkPprof asserts data is a parseable pprof payload: gzipped protobuf
+// whose top-level fields walk cleanly.
+func checkPprof(t *testing.T, data []byte) {
+	t.Helper()
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("profile is not gzipped: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("profile does not decompress: %v", err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("profile is empty")
+	}
+	// Walk the top-level protobuf fields; a valid profile.proto message
+	// consists of length-delimited and varint fields only.
+	for off := 0; off < len(raw); {
+		tag, n := binaryUvarint(raw[off:])
+		if n <= 0 {
+			t.Fatalf("bad protobuf tag at %d", off)
+		}
+		off += n
+		switch tag & 7 {
+		case 0: // varint
+			_, vn := binaryUvarint(raw[off:])
+			if vn <= 0 {
+				t.Fatalf("bad varint at %d", off)
+			}
+			off += vn
+		case 2: // length-delimited
+			l, ln := binaryUvarint(raw[off:])
+			if ln <= 0 || off+ln+int(l) > len(raw) {
+				t.Fatalf("bad length-delimited field at %d", off)
+			}
+			off += ln + int(l)
+		default:
+			t.Fatalf("unexpected wire type %d at %d", tag&7, off)
+		}
+	}
+}
+
+// binaryUvarint is encoding/binary.Uvarint, local to keep the import list
+// flat.
+func binaryUvarint(b []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, c := range b {
+		if c < 0x80 {
+			return x | uint64(c)<<s, i + 1
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+		if s >= 64 {
+			return 0, -1
+		}
+	}
+	return 0, 0
+}
+
+// TestProfilesEndpointRoundTrip captures a burst and fetches each profile
+// back through /debug/profiles/{id}, asserting parseable pprof payloads
+// and a sane listing.
+func TestProfilesEndpointRoundTrip(t *testing.T) {
+	degraded := true
+	now := time.Unix(100, 0)
+	p := profilerForTest(&degraded, &now, 8, -1)
+	p.Poll()
+
+	srv := httptest.NewServer(DebugHandler(DebugOptions{Profiler: p}))
+	defer srv.Close()
+
+	var listing []ProfileInfo
+	if err := json.Unmarshal(get(t, srv, "/debug/profiles"), &listing); err != nil {
+		t.Fatalf("listing not JSON: %v", err)
+	}
+	if len(listing) != 2 {
+		t.Fatalf("listing has %d profiles, want 2", len(listing))
+	}
+	for _, pi := range listing {
+		checkPprof(t, get(t, srv, "/debug/profiles/"+pi.ID))
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/profiles/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("missing profile: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestProfilerCPUCapture exercises the real CPU profile path once, with a
+// tiny sampling window, and asserts the payload parses.
+func TestProfilerCPUCapture(t *testing.T) {
+	p := NewProfiler(ProfilerConfig{
+		CPUDuration: 20 * time.Millisecond,
+		SteadyEvery: -1,
+	})
+	infos := p.CaptureNow()
+	if len(infos) != 3 {
+		t.Fatalf("manual burst captured %d profiles, want 3 (cpu, heap, goroutine): %+v", len(infos), infos)
+	}
+	for _, pi := range infos {
+		_, data, ok := p.Profile(pi.ID)
+		if !ok {
+			t.Fatalf("profile %s not retrievable", pi.ID)
+		}
+		checkPprof(t, data)
+	}
+}
+
+// TestProfilerNil checks the nil profiler no-ops across the whole API.
+func TestProfilerNil(t *testing.T) {
+	var p *Profiler
+	p.Poll()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p.Run(ctx)
+	if p.Profiles() != nil || p.CaptureNow() != nil {
+		t.Fatal("nil profiler returned data")
+	}
+	if _, _, ok := p.Profile("x"); ok {
+		t.Fatal("nil profiler resolved a profile")
+	}
+}

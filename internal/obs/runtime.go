@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"strings"
+	"sync"
+)
+
+// runtimeSpec maps one runtime/metrics sample to an exposition family. The
+// runtime/metrics namespace shifts between Go releases, so each family lists
+// the known names in preference order and the sampler uses the first one the
+// running toolchain actually exports.
+type runtimeSpec struct {
+	family string
+	typ    string // counter | gauge | histogram
+	help   string
+	names  []string
+}
+
+// runtimeSpecs is the curated slice of the runtime/metrics namespace the
+// exposition serves: enough to reason about heap pressure, GC behaviour and
+// scheduler health without dumping the full (and version-dependent) set.
+var runtimeSpecs = []runtimeSpec{
+	{family: "go_goroutines", typ: "gauge",
+		help:  "current goroutine count",
+		names: []string{"/sched/goroutines:goroutines"}},
+	{family: "go_gomaxprocs", typ: "gauge",
+		help:  "GOMAXPROCS",
+		names: []string{"/sched/gomaxprocs:threads"}},
+	{family: "go_memory_heap_objects_bytes", typ: "gauge",
+		help:  "bytes of live heap objects",
+		names: []string{"/memory/classes/heap/objects:bytes"}},
+	{family: "go_memory_total_bytes", typ: "gauge",
+		help:  "total bytes mapped by the Go runtime",
+		names: []string{"/memory/classes/total:bytes"}},
+	{family: "go_gc_heap_goal_bytes", typ: "gauge",
+		help:  "heap size target of the next GC cycle",
+		names: []string{"/gc/heap/goal:bytes"}},
+	{family: "go_gc_cycles", typ: "counter",
+		help:  "completed GC cycles",
+		names: []string{"/gc/cycles/total:gc-cycles"}},
+	{family: "go_gc_heap_allocs_bytes", typ: "counter",
+		help:  "cumulative bytes allocated on the heap",
+		names: []string{"/gc/heap/allocs:bytes"}},
+	{family: "go_gc_pauses_seconds", typ: "histogram",
+		help:  "distribution of stop-the-world pause latencies",
+		names: []string{"/sched/pauses/total/gc:seconds", "/gc/pauses:seconds"}},
+	{family: "go_sched_latencies_seconds", typ: "histogram",
+		help:  "distribution of goroutine scheduling latencies",
+		names: []string{"/sched/latencies:seconds"}},
+}
+
+var (
+	runtimeOnce    sync.Once
+	runtimeSamples []metrics.Sample // one per resolved spec, same order
+	runtimeResolve []runtimeSpec    // specs whose metric exists in this toolchain
+)
+
+// resolveRuntime walks metrics.All once and keeps, for each spec, the first
+// candidate name this Go version exports.
+func resolveRuntime() {
+	known := make(map[string]bool)
+	for _, d := range metrics.All() {
+		known[d.Name] = true
+	}
+	for _, spec := range runtimeSpecs {
+		for _, n := range spec.names {
+			if known[n] {
+				runtimeResolve = append(runtimeResolve, spec)
+				runtimeSamples = append(runtimeSamples, metrics.Sample{Name: n})
+				break
+			}
+		}
+	}
+}
+
+// addRuntime samples the resolved runtime metrics and renders them into the
+// family set. Histogram-valued metrics become cumulative le-bucket
+// histograms with zero-count runs elided and a closing +Inf bucket; the
+// runtime does not track their sums, so only _bucket and _count samples are
+// emitted.
+func (fs *familySet) addRuntime() {
+	runtimeOnce.Do(resolveRuntime)
+	if len(runtimeSamples) == 0 {
+		return
+	}
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	copy(samples, runtimeSamples)
+	metrics.Read(samples)
+	for i, spec := range runtimeResolve {
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			v := float64(samples[i].Value.Uint64())
+			if spec.typ == "counter" {
+				fs.add(counterFamily(spec.family), "counter", spec.help, omSample{suffix: "_total", value: v})
+			} else {
+				fs.add(spec.family, "gauge", spec.help, omSample{value: v})
+			}
+		case metrics.KindFloat64:
+			fs.add(spec.family, "gauge", spec.help, omSample{value: samples[i].Value.Float64()})
+		case metrics.KindFloat64Histogram:
+			fs.addRuntimeHistogram(spec, samples[i].Value.Float64Histogram())
+		}
+	}
+}
+
+// addRuntimeHistogram converts a runtime Float64Histogram (per-bucket counts
+// between explicit boundaries) to exposition form: cumulative counts keyed
+// by upper bound, empty interior buckets skipped, +Inf always present.
+func (fs *familySet) addRuntimeHistogram(spec runtimeSpec, h *metrics.Float64Histogram) {
+	if h == nil {
+		return
+	}
+	name := spec.family
+	if !strings.HasSuffix(name, "_seconds") {
+		name += "_seconds"
+	}
+	var cum uint64
+	sawInf := false
+	for i, n := range h.Counts {
+		cum += n
+		// Buckets[i+1] is the upper bound of Counts[i].
+		le := h.Buckets[i+1]
+		last := i == len(h.Counts)-1
+		if n == 0 && !last {
+			continue
+		}
+		fs.add(name, "histogram", spec.help, omSample{
+			suffix: "_bucket",
+			labels: `le="` + formatValue(le) + `"`,
+			value:  float64(cum),
+		})
+		if last {
+			sawInf = formatValue(le) == "+Inf"
+		}
+	}
+	if !sawInf {
+		fs.add(name, "histogram", spec.help, omSample{
+			suffix: "_bucket",
+			labels: `le="+Inf"`,
+			value:  float64(cum),
+		})
+	}
+	fs.add(name, "histogram", spec.help, omSample{suffix: "_count", value: float64(cum)})
+}

@@ -40,20 +40,51 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return nil
 }
 
-// Handler returns the debug mux:
+// DebugOptions selects the signal sources a debug mux serves. Every field
+// may be nil; the corresponding endpoints then serve empty payloads.
+type DebugOptions struct {
+	// Registry feeds /debug/thor/metrics and the /metrics exposition.
+	Registry *Registry
+	// Tracer feeds /debug/thor/spans.
+	Tracer *Tracer
+	// Recorder feeds /debug/traces and /debug/traces/{id}.
+	Recorder *Recorder
+	// SLO contributes quantile summaries and burn rates to /metrics.
+	SLO *SLO
+	// Profiler feeds /debug/profiles and /debug/profiles/{id}.
+	Profiler *Profiler
+}
+
+// Handler returns the debug mux for the given registry, tracer and flight
+// recorder — shorthand for DebugHandler(DebugOptions{...}). Any argument
+// may be nil.
+func Handler(reg *Registry, tr *Tracer, rec *Recorder) http.Handler {
+	return DebugHandler(DebugOptions{Registry: reg, Tracer: tr, Recorder: rec})
+}
+
+// DebugHandler returns the debug mux:
 //
+//	/metrics             — OpenMetrics exposition (registry + SLO + runtime)
 //	/debug/vars          — expvar (includes the registry and SLO once published)
 //	/debug/pprof/*       — live profiling (profile, heap, goroutine, trace, …)
+//	/debug/profiles      — the profiler's retained-capture listing
+//	/debug/profiles/{id} — one retained pprof payload
 //	/debug/thor/metrics  — the registry snapshot as JSON
 //	/debug/thor/spans    — the tracer's span ring buffer as JSON
 //	/debug/traces        — the flight recorder's retained-trace listing
 //	/debug/traces/{id}   — one retained trace's full span tree
 //
-// reg, tr and rec may be nil; the corresponding endpoints then serve empty
-// payloads (and /debug/traces/{id} answers 404).
-func Handler(reg *Registry, tr *Tracer, rec *Recorder) http.Handler {
+// Each call builds a fresh mux, so any number of debug handlers (and debug
+// servers) can coexist in one process — multi-shard tests construct several
+// — without duplicate-registration panics.
+func DebugHandler(opts DebugOptions) http.Handler {
+	reg, tr, rec := opts.Registry, opts.Tracer, opts.Recorder
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg, opts.SLO))
 	mux.Handle("/debug/vars", expvar.Handler())
+	profiles := opts.Profiler.handler()
+	mux.Handle("/debug/profiles", profiles)
+	mux.Handle("/debug/profiles/", profiles)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,320 @@
+package promtext
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Problem is one lint finding.
+type Problem struct {
+	// Family is the metric family the finding concerns ("" for payload-level
+	// findings such as a missing EOF marker).
+	Family string
+	// Msg describes the defect.
+	Msg string
+}
+
+// String renders the finding with its family prefix when one applies.
+func (p Problem) String() string {
+	if p.Family == "" {
+		return p.Msg
+	}
+	return p.Family + ": " + p.Msg
+}
+
+// validTypes are the exposition types the linter accepts.
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// validMetricName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]* and is
+// not a reserved __ name.
+func validLabelName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Lint checks a parsed exposition for structural defects: invalid names,
+// missing or unknown TYPEs, counters without _total samples, histograms
+// with non-cumulative or +Inf-less buckets, _count/+Inf disagreement,
+// out-of-range quantiles, duplicate series and a missing EOF marker.
+// Findings come back sorted by family.
+func Lint(exp *Exposition) []Problem {
+	var out []Problem
+	if exp == nil {
+		return []Problem{{Msg: "nil exposition"}}
+	}
+	if !exp.SawEOF {
+		out = append(out, Problem{Msg: "missing # EOF marker"})
+	}
+	names := make([]string, 0, len(exp.Families))
+	for n := range exp.Families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out = append(out, lintFamily(exp.Families[name])...)
+	}
+	return out
+}
+
+// lintFamily checks one family.
+func lintFamily(f *Family) []Problem {
+	var out []Problem
+	bad := func(format string, args ...any) {
+		out = append(out, Problem{Family: f.Name, Msg: fmt.Sprintf(format, args...)})
+	}
+	if !validMetricName(f.Name) {
+		bad("invalid metric name")
+	}
+	if f.Type == "" {
+		bad("sample without a # TYPE declaration")
+		return out
+	}
+	if !validTypes[f.Type] {
+		bad("unknown type %q", f.Type)
+		return out
+	}
+	seen := make(map[string]bool)
+	for _, s := range f.Samples {
+		key := s.Name + "|" + s.LabelString()
+		if seen[key] {
+			bad("duplicate series %s{%s}", s.Name, s.LabelString())
+		}
+		seen[key] = true
+		for ln := range s.Labels {
+			if !validLabelName(ln) {
+				bad("invalid label name %q on %s", ln, s.Name)
+			}
+		}
+	}
+	switch f.Type {
+	case "counter":
+		out = append(out, lintCounter(f)...)
+	case "histogram":
+		out = append(out, lintHistogram(f)...)
+	case "summary":
+		out = append(out, lintSummary(f)...)
+	}
+	return out
+}
+
+// lintCounter requires every sample to be <family>_total or
+// <family>_created, with at least one _total.
+func lintCounter(f *Family) []Problem {
+	var out []Problem
+	sawTotal := false
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_total":
+			sawTotal = true
+			if s.Value < 0 {
+				out = append(out, Problem{Family: f.Name, Msg: "negative counter value"})
+			}
+		case f.Name + "_created":
+		default:
+			out = append(out, Problem{Family: f.Name,
+				Msg: fmt.Sprintf("counter sample %q is not _total or _created", s.Name)})
+		}
+	}
+	if !sawTotal && len(f.Samples) > 0 {
+		out = append(out, Problem{Family: f.Name, Msg: "counter without a _total sample"})
+	}
+	return out
+}
+
+// histSeries groups one histogram series' buckets and _sum/_count by label
+// set (excluding le).
+type histSeries struct {
+	les    []float64
+	counts []float64
+	count  float64
+	hasCnt bool
+}
+
+// lintHistogram checks each labeled series: buckets sorted by le and
+// cumulative, a +Inf bucket present, and _count equal to the +Inf bucket.
+func lintHistogram(f *Family) []Problem {
+	var out []Problem
+	series := make(map[string]*histSeries)
+	get := func(s Sample) *histSeries {
+		// Key by the label set minus le so all parts of one series group.
+		rest := make([]string, 0, len(s.Labels))
+		for k, v := range s.Labels {
+			if k != "le" {
+				rest = append(rest, k+"="+v)
+			}
+		}
+		sort.Strings(rest)
+		key := strings.Join(rest, ",")
+		hs := series[key]
+		if hs == nil {
+			hs = &histSeries{}
+			series[key] = hs
+		}
+		return hs
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				out = append(out, Problem{Family: f.Name, Msg: "_bucket without le label"})
+				continue
+			}
+			le, err := parseLE(leStr)
+			if err != nil {
+				out = append(out, Problem{Family: f.Name, Msg: fmt.Sprintf("bad le %q", leStr)})
+				continue
+			}
+			hs := get(s)
+			hs.les = append(hs.les, le)
+			hs.counts = append(hs.counts, s.Value)
+		case f.Name + "_count":
+			hs := get(s)
+			hs.count, hs.hasCnt = s.Value, true
+		case f.Name + "_sum", f.Name + "_created":
+		default:
+			out = append(out, Problem{Family: f.Name,
+				Msg: fmt.Sprintf("unexpected histogram sample %q", s.Name)})
+		}
+	}
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		hs := series[key]
+		where := key
+		if where == "" {
+			where = "(unlabeled)"
+		}
+		if len(hs.les) == 0 {
+			out = append(out, Problem{Family: f.Name,
+				Msg: fmt.Sprintf("series %s has no buckets", where)})
+			continue
+		}
+		if !sort.Float64sAreSorted(hs.les) {
+			out = append(out, Problem{Family: f.Name,
+				Msg: fmt.Sprintf("series %s buckets not sorted by le", where)})
+		}
+		for i := 1; i < len(hs.counts); i++ {
+			if hs.counts[i] < hs.counts[i-1] {
+				out = append(out, Problem{Family: f.Name,
+					Msg: fmt.Sprintf("series %s buckets not cumulative", where)})
+				break
+			}
+		}
+		last := hs.les[len(hs.les)-1]
+		if !math.IsInf(last, +1) {
+			out = append(out, Problem{Family: f.Name,
+				Msg: fmt.Sprintf("series %s missing +Inf bucket", where)})
+		} else if hs.hasCnt && hs.counts[len(hs.counts)-1] != hs.count {
+			out = append(out, Problem{Family: f.Name,
+				Msg: fmt.Sprintf("series %s _count %g != +Inf bucket %g",
+					where, hs.count, hs.counts[len(hs.counts)-1])})
+		}
+		if !hs.hasCnt {
+			out = append(out, Problem{Family: f.Name,
+				Msg: fmt.Sprintf("series %s missing _count", where)})
+		}
+	}
+	return out
+}
+
+// parseLE parses a bucket bound, accepting the exposition infinity
+// spellings.
+func parseLE(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// lintSummary checks quantile labels are numbers in [0, 1] and quantile
+// values per series are monotone.
+func lintSummary(f *Family) []Problem {
+	var out []Problem
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name:
+			q, ok := s.Labels["quantile"]
+			if !ok {
+				out = append(out, Problem{Family: f.Name, Msg: "summary sample without quantile label"})
+				continue
+			}
+			v, err := strconv.ParseFloat(q, 64)
+			if err != nil || v < 0 || v > 1 {
+				out = append(out, Problem{Family: f.Name, Msg: fmt.Sprintf("quantile %q out of [0,1]", q)})
+			}
+		case f.Name + "_sum", f.Name + "_count", f.Name + "_created":
+		default:
+			out = append(out, Problem{Family: f.Name,
+				Msg: fmt.Sprintf("unexpected summary sample %q", s.Name)})
+		}
+	}
+	return out
+}
+
+// RequireFamilies checks that, for every entry in prefixes, at least one
+// declared family matches: an exact family name, or — when the entry ends
+// in '_' or '*' — a prefix. It returns one Problem per unmet requirement.
+// This is how CI asserts the scrape actually carries the thor_sparsity_*,
+// SLO and runtime families rather than merely being well-formed.
+func RequireFamilies(exp *Exposition, prefixes []string) []Problem {
+	var out []Problem
+	for _, want := range prefixes {
+		prefix := strings.HasSuffix(want, "_") || strings.HasSuffix(want, "*")
+		pat := strings.TrimSuffix(want, "*")
+		found := false
+		for name, f := range exp.Families {
+			if f.Type == "" {
+				continue // undeclared pseudo-family
+			}
+			if name == want || (prefix && strings.HasPrefix(name, pat)) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, Problem{Msg: fmt.Sprintf("required metric family %q not found", want)})
+		}
+	}
+	return out
+}

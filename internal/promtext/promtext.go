@@ -1,0 +1,300 @@
+// Package promtext parses and lints the Prometheus/OpenMetrics text
+// exposition format. It backs the CI scrape-and-lint gate (cmd/promlint),
+// the exposition round-trip tests in internal/obs, and the fleet aggregator
+// (cmd/thorctl), which re-parses /metrics payloads to merge them.
+//
+// The parser accepts the subset of the format internal/obs emits — HELP,
+// TYPE and EOF comments plus sample lines with optional label blocks — and
+// is strict about it: malformed lines are errors, not skips, because the
+// whole point is to fail the build on output Prometheus would mis-scrape.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one exposition line: a metric name (including any magic suffix
+// such as _total or _bucket), its label set and its value.
+type Sample struct {
+	// Name is the full sample name as written.
+	Name string
+	// Labels maps label names to (unescaped) values; nil when unlabeled.
+	Labels map[string]string
+	// Value is the sample value (+Inf/-Inf/NaN parse to the IEEE values).
+	Value float64
+}
+
+// Label returns the value of the named label ("" when absent).
+func (s Sample) Label(name string) string {
+	return s.Labels[name]
+}
+
+// LabelString renders the label set canonically (sorted, escaped), for use
+// as a series key.
+func (s Sample) LabelString() string {
+	if len(s.Labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.Labels[k])
+	}
+	return b.String()
+}
+
+// Family is one metric family: a TYPE (and optional HELP) plus the samples
+// whose names belong to it.
+type Family struct {
+	// Name is the family name from the TYPE line.
+	Name string
+	// Type is the declared type: counter, gauge, histogram, summary or
+	// untyped.
+	Type string
+	// Help is the HELP text ("" when absent).
+	Help string
+	// Samples are the family's samples in exposition order.
+	Samples []Sample
+}
+
+// Exposition is one parsed scrape.
+type Exposition struct {
+	// Families maps family names to their parsed contents.
+	Families map[string]*Family
+	// Order lists family names in first-appearance order.
+	Order []string
+	// SawEOF reports whether the payload ended with the OpenMetrics "# EOF"
+	// marker.
+	SawEOF bool
+}
+
+// Family returns the named family (nil when absent).
+func (e *Exposition) Family(name string) *Family {
+	if e == nil {
+		return nil
+	}
+	return e.Families[name]
+}
+
+// familySuffixes are the magic sample-name suffixes that map a sample back
+// to its family, per declared type.
+var familySuffixes = map[string][]string{
+	"counter":   {"_total", "_created"},
+	"histogram": {"_bucket", "_sum", "_count", "_created"},
+	"summary":   {"_sum", "_count", "_created"},
+}
+
+// familyOf resolves which declared family a sample name belongs to. Exact
+// name match wins; otherwise a declared family whose typed suffix produces
+// the sample name.
+func (e *Exposition) familyOf(sample string) *Family {
+	if f := e.Families[sample]; f != nil {
+		return f
+	}
+	for _, f := range e.Families {
+		for _, suf := range familySuffixes[f.Type] {
+			if sample == f.Name+suf {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// Parse reads one exposition payload. It returns the parsed families along
+// with the first syntax error encountered (the exposition parsed so far is
+// still returned, so linting can report both).
+func Parse(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Families: make(map[string]*Family)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if exp.SawEOF {
+			return exp, fmt.Errorf("line %d: content after # EOF", lineNo)
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := exp.parseComment(line); err != nil {
+				return exp, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return exp, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		f := exp.familyOf(s.Name)
+		if f == nil {
+			// Keep undeclared samples under their own name so the linter can
+			// flag them with context.
+			f = &Family{Name: s.Name, Type: ""}
+			exp.Families[s.Name] = f
+			exp.Order = append(exp.Order, s.Name)
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return exp, fmt.Errorf("read: %w", err)
+	}
+	return exp, nil
+}
+
+// parseComment handles "# TYPE", "# HELP" and "# EOF" lines; other comments
+// are ignored per the format.
+func (e *Exposition) parseComment(line string) error {
+	if line == "# EOF" {
+		e.SawEOF = true
+		return nil
+	}
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if f := e.Families[name]; f != nil {
+			if f.Type != "" {
+				return fmt.Errorf("duplicate TYPE for family %q", name)
+			}
+			// HELP (or an early undeclared sample) created the entry first.
+			f.Type = typ
+			return nil
+		}
+		e.Families[name] = &Family{Name: name, Type: typ}
+		e.Order = append(e.Order, name)
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		name := fields[2]
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		if f := e.Families[name]; f != nil {
+			f.Help = help
+		} else {
+			e.Families[name] = &Family{Name: name, Help: help}
+			e.Order = append(e.Order, name)
+		}
+	}
+	return nil
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	// Name runs until '{' or whitespace.
+	i := strings.IndexAny(rest, "{ ")
+	if i <= 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:i]
+	rest = rest[i:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", s.Name, err)
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// Value is the next field; an optional timestamp may follow.
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	if rest == "" {
+		return s, fmt.Errorf("sample %q: missing value", s.Name)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value %q", s.Name, rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a '{…}' label block, handling escaped quotes,
+// backslashes and newlines in values. Returns the remainder after '}'.
+func parseLabels(in string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	rest := in[1:] // past '{'
+	for {
+		rest = strings.TrimLeft(rest, ",")
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("malformed label pair near %q", rest)
+		}
+		name := rest[:eq]
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return nil, "", fmt.Errorf("label %q: unquoted value", name)
+		}
+		val, tail, err := parseQuoted(rest)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %q: %w", name, err)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val
+		rest = tail
+	}
+}
+
+// parseQuoted consumes a leading double-quoted, backslash-escaped string
+// and returns its unescaped value plus the remainder.
+func parseQuoted(in string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(in); i++ {
+		switch in[i] {
+		case '\\':
+			if i+1 >= len(in) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch in[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(in[i])
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c", in[i])
+			}
+		case '"':
+			return b.String(), in[i+1:], nil
+		default:
+			b.WriteByte(in[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"thor/internal/obs"
+	"thor/internal/promtext"
+)
+
+// TestMetricsEndpoint serves one fill through a fully instrumented engine
+// and asserts GET /metrics returns lint-clean OpenMetrics carrying the
+// serving counters, at least one thor_sparsity_* family per loaded concept,
+// SLO quantiles and runtime metrics — the acceptance shape the CI
+// scrape-and-lint job enforces against a real thord binary.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	slo := obs.NewSLO(obs.SLOConfig{Latency: time.Second})
+	_, ts := startEngine(t, Options{Metrics: reg, SLO: slo}, nil)
+
+	status, _, _ := postJSON(t, ts.Client(), ts.URL+"/v1/fill", Request{Documents: worldDocs})
+	if status != http.StatusOK {
+		t.Fatalf("fill status = %d", status)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+
+	exp, err := promtext.Parse(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v\n%s", err, body)
+	}
+	if probs := promtext.Lint(exp); len(probs) > 0 {
+		t.Fatalf("/metrics does not lint: %v", probs)
+	}
+
+	// One thor_sparsity_* series per loaded concept.
+	fills := exp.Family("thor_sparsity_request_fills")
+	if fills == nil {
+		t.Fatalf("thor_sparsity_request_fills family missing")
+	}
+	concepts := map[string]bool{}
+	for _, s := range fills.Samples {
+		concepts[s.Label("concept")] = true
+	}
+	for _, want := range []string{"Anatomy", "Complication"} {
+		if !concepts[want] {
+			t.Errorf("no request_fills series for concept %q: %v", want, concepts)
+		}
+	}
+	// Serving counters, SLO quantiles and runtime metrics all present.
+	if probs := promtext.RequireFamilies(exp, []string{
+		"serve_fill_requests",
+		"thor_sparsity_*",
+		"thor_slo_latency_seconds",
+		"thor_slo_degraded",
+		"go_goroutines",
+		"go_gc_pauses_seconds",
+	}); len(probs) > 0 {
+		t.Fatalf("required families missing: %v", probs)
+	}
+	// The SLO summary saw the request we just served.
+	lat := exp.Family("thor_slo_latency_seconds")
+	var count float64
+	for _, s := range lat.Samples {
+		if s.Name == "thor_slo_latency_seconds_count" && s.Label("stream") == "fill" {
+			count = s.Value
+		}
+	}
+	if count < 1 {
+		t.Errorf("SLO fill stream count = %v, want >= 1", count)
+	}
+}
+
+// TestProfilesEndpointOnServer checks the serving mux exposes the profiler
+// ring when one is configured.
+func TestProfilesEndpointOnServer(t *testing.T) {
+	prof := obs.NewProfiler(obs.ProfilerConfig{CPUDuration: -1, SteadyEvery: -1})
+	_, ts := startEngine(t, Options{Profiler: prof}, nil)
+	prof.CaptureNow()
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/profiles")
+	if err != nil {
+		t.Fatalf("GET /debug/profiles: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("profiles listing wrong (status %d): %.200s", resp.StatusCode, body)
+	}
+}

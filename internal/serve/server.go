@@ -81,8 +81,13 @@ type Options struct {
 	// SLO, when set, receives one judged observation per request (stream
 	// "fill" or "extract") and per-stage latency tracking from every batch;
 	// /readyz reports degraded (503) while any judged stream's burn rate
-	// breaches its threshold.
+	// breaches its threshold. It also feeds the /metrics exposition's SLO
+	// families.
 	SLO *obs.SLO
+	// Profiler, when set, is served at /debug/profiles and
+	// /debug/profiles/{id}. The caller owns its capture loop (obs.Profiler.Run),
+	// typically wired to SLO.Degraded — see cmd/thord.
+	Profiler *obs.Profiler
 	// Logger, when set, receives structured serving logs correlated by
 	// trace_id, batch_id and doc_id (see obs.Log* field names).
 	Logger *slog.Logger
@@ -126,10 +131,16 @@ type instruments struct {
 	batchRun    *obs.Histogram
 	fillLat     *obs.Histogram
 	extractLat  *obs.Histogram
+	// requestFills counts cells filled per concept across /v1/fill
+	// responses ("thor.sparsity.request_fills{concept=…}") — the serving
+	// counterpart of the pipeline's per-run sparsity telemetry, which a
+	// batched server never sees per request. Keyed by concept; nil without
+	// a registry.
+	requestFills map[schema.Concept]*obs.Counter
 }
 
-func newInstruments(reg *obs.Registry) instruments {
-	return instruments{
+func newInstruments(reg *obs.Registry, table *schema.Table) instruments {
+	ins := instruments{
 		fillReqs:    reg.Counter("serve.fill.requests"),
 		extractReqs: reg.Counter("serve.extract.requests"),
 		shed:        reg.Counter("serve.shed"),
@@ -142,6 +153,14 @@ func newInstruments(reg *obs.Registry) instruments {
 		fillLat:     reg.Histogram("serve.http.fill"),
 		extractLat:  reg.Histogram("serve.http.extract"),
 	}
+	if reg != nil && table != nil {
+		ins.requestFills = make(map[schema.Concept]*obs.Counter)
+		for _, c := range table.Schema.NonSubject() {
+			ins.requestFills[c] = reg.Counter(obs.LabeledName(
+				"thor.sparsity.request_fills", "concept", string(c)))
+		}
+	}
+	return ins
 }
 
 // Server is the online slot-filling engine: an http.Handler whose /v1/fill
@@ -207,7 +226,7 @@ func newServer(opts Options, batchStart func()) (*Server, error) {
 		opts:    opts,
 		tune:    matcher.NewCache(),
 		parse:   thor.NewParseCache(),
-		ins:     newInstruments(opts.Metrics),
+		ins:     newInstruments(opts.Metrics, opts.Table),
 		queue:   make(chan *pending, opts.QueueDepth),
 		baseCtx: ctx,
 		cancel:  cancel,
@@ -234,7 +253,15 @@ func newServer(opts Options, batchStart func()) (*Server, error) {
 	})
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	s.mux.Handle("/debug/", obs.Handler(opts.Metrics, opts.Tracer, opts.Recorder))
+	debug := obs.DebugHandler(obs.DebugOptions{
+		Registry: opts.Metrics,
+		Tracer:   opts.Tracer,
+		Recorder: opts.Recorder,
+		SLO:      opts.SLO,
+		Profiler: opts.Profiler,
+	})
+	s.mux.Handle("/debug/", debug)
+	s.mux.Handle("/metrics", debug)
 	go s.dispatch()
 	return s, nil
 }
@@ -490,6 +517,9 @@ func (s *Server) respond(w http.ResponseWriter, out batchOutcome, nDocs int, fil
 			}
 		} else {
 			resp.Assignments = thor.Fill(clone, merged)
+		}
+		for _, a := range resp.Assignments {
+			s.ins.requestFills[a.Concept].Add(1)
 		}
 	}
 	resp.Stats = buildStats(out, nDocs, merged, len(resp.Assignments))

@@ -178,6 +178,92 @@ func TestStatsDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestSparsityTelemetry runs the Fig. 1 example with a registry and checks
+// the thor.sparsity.* instruments report the run's actual fill effect.
+func TestSparsityTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	tbl := fig1Table()
+	res, err := Run(tbl, fig1Space(), fig1Docs(), Config{Tau: 0.6, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Filled == 0 {
+		t.Fatal("fixture run filled nothing; sparsity telemetry untestable")
+	}
+	snap := reg.Snapshot()
+
+	// Per-concept gauges exist for every non-subject concept, densities in
+	// [0,1], and after <= before.
+	var filledTotal int64
+	for _, c := range tbl.Schema.NonSubject() {
+		label := []string{"concept", string(c)}
+		before, okB := snap.FloatGauges[obs.LabeledName("thor.sparsity.null_density_before", label...)]
+		after, okA := snap.FloatGauges[obs.LabeledName("thor.sparsity.null_density_after", label...)]
+		if !okB || !okA {
+			t.Fatalf("concept %q: density gauges missing (have %v)", c, snap.FloatGauges)
+		}
+		if before < 0 || before > 1 || after < 0 || after > 1 || after > before {
+			t.Errorf("concept %q: densities out of order: before=%v after=%v", c, before, after)
+		}
+		filledTotal += snap.Counters[obs.LabeledName("thor.sparsity.cells_filled", label...)]
+	}
+	if filledTotal != int64(res.Stats.Filled) {
+		t.Errorf("cells_filled sum = %d, want Stats.Filled = %d", filledTotal, res.Stats.Filled)
+	}
+
+	// Fill rate reflects the run; quarantine fraction is 0 on a clean run.
+	if rate := snap.FloatGauges["thor.sparsity.fill_rate"]; rate <= 0 {
+		t.Errorf("fill_rate = %v, want > 0", rate)
+	}
+	qname := ""
+	for name := range snap.FloatGauges {
+		if strings.HasPrefix(name, "thor.sparsity.quarantine_fraction{table=") {
+			qname = name
+		}
+	}
+	if qname == "" {
+		t.Fatalf("quarantine_fraction gauge missing: %v", snap.FloatGauges)
+	}
+	if v := snap.FloatGauges[qname]; v != 0 {
+		t.Errorf("quarantine_fraction = %v, want 0 on a clean run", v)
+	}
+
+	// Assignment scores surfaced per concept, one observation per merged
+	// entity of that concept.
+	var scoreObs int64
+	for name, d := range snap.Distributions {
+		if strings.HasPrefix(name, "thor.sparsity.assignment_score{") {
+			scoreObs += d.Count
+			if d.Min < 0 || d.Max > 1 {
+				t.Errorf("%s: scores outside [0,1]: %+v", name, d)
+			}
+		}
+	}
+	if scoreObs == 0 {
+		t.Error("no assignment-score observations recorded")
+	}
+}
+
+// TestSparsityNilRegistry guards the no-metrics path: a pipeline without a
+// registry must produce identical results (the telemetry is observational
+// only) and not allocate instruments.
+func TestSparsityNilRegistry(t *testing.T) {
+	with, err := Run(fig1Table(), fig1Space(), fig1Docs(), Config{Tau: 0.6, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(fig1Table(), fig1Space(), fig1Docs(), Config{Tau: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csvOf(t, with.Table) != csvOf(t, without.Table) {
+		t.Error("enriched tables differ with vs without a registry")
+	}
+	if with.Stats.Filled != without.Stats.Filled {
+		t.Errorf("filled differs: %d vs %d", with.Stats.Filled, without.Stats.Filled)
+	}
+}
+
 func csvOf(t *testing.T, tbl *schema.Table) string {
 	t.Helper()
 	var sb strings.Builder

@@ -92,9 +92,12 @@ type Config struct {
 	// the kg package). Must be safe for concurrent use when Workers > 1.
 	Validator EntityValidator
 	// Metrics, when set, receives per-stage latency histograms
-	// ("thor.stage.<name>", see PipelineStages) and run counters
+	// ("thor.stage.<name>", see PipelineStages), run counters
 	// ("thor.docs", "thor.sentences", "thor.phrases", "thor.candidates",
-	// "thor.entities", "thor.filled"). Nil disables metric reporting at
+	// "thor.entities", "thor.filled") and the per-concept sparsity
+	// telemetry ("thor.sparsity.*": null density before/after fill, fill
+	// rate, cells filled, assignment-score distributions, quarantine
+	// fraction — see docs/OBSERVABILITY.md). Nil disables metric reporting at
 	// zero cost on the hot path (no allocations; guarded by
 	// BenchmarkNilRegistryHotPath in the obs package). Instrumentation
 	// never affects results: parallel runs stay identical to sequential
@@ -378,6 +381,7 @@ type Pipeline struct {
 	prepDur time.Duration
 	tuneDur time.Duration
 	ins     instruments
+	spars   sparsityInstruments
 	// refine memoizes the three syntactic-refinement similarities per
 	// (phrase, matched seed) pair. The same pairs recur across sentences and
 	// documents, and all three scores are pure functions of the pair, so the
@@ -438,6 +442,7 @@ func New(table *schema.Table, space *embed.Space, cfg Config) (*Pipeline, error)
 		prepDur: time.Since(start),
 		tuneDur: tuneDur,
 		ins:     newInstruments(cfg.Metrics),
+		spars:   newSparsityInstruments(cfg.Metrics, table),
 		refine:  cow.New[[2]string, [3]float64](),
 		parse:   cfg.ParseCache,
 	}
@@ -622,6 +627,7 @@ func (p *Pipeline) RunContext(ctx context.Context, docs []segment.Document) (*Re
 			}
 			res.Entities[e.Subject] = append(res.Entities[e.Subject], e)
 			res.Stats.Entities++
+			p.spars.observeScore(e)
 		}
 	}
 	p.ins.quarantined.Add(int64(len(res.Stats.Quarantined)))
@@ -631,17 +637,22 @@ func (p *Pipeline) RunContext(ctx context.Context, docs []segment.Document) (*Re
 	// ③ Slot filling (Algorithm 1 lines 16–20). The explain path runs the
 	// identical fill and additionally retains the per-cell provenance.
 	fillStart := time.Now()
+	var assignments []Assignment
 	if p.cfg.Explain {
 		res.Assignments = FillExplained(res.Table, res.Entities, p.cfg.Tau)
-		res.Stats.Filled = len(res.Assignments)
+		assignments = res.Assignments
 		for _, a := range res.Assignments {
 			p.cfg.Metrics.Counter("thor.fills_explained." + string(a.Concept)).Add(1)
 		}
 	} else {
-		res.Stats.Filled = len(Fill(res.Table, res.Entities))
+		assignments = Fill(res.Table, res.Entities)
 	}
+	res.Stats.Filled = len(assignments)
 	acc.observe(idxFill, time.Since(fillStart))
 	p.ins.stageHist[idxFill].Observe(time.Since(fillStart))
+	// Sparsity telemetry: the paper's headline effect — null density removed
+	// per concept — published after every run. No-op without a registry.
+	p.spars.recordRun(p.table, res.Table, assignments, &res.Stats)
 
 	res.Stats.ExtractTime = time.Since(start)
 	res.Stats.Stages = acc.stats()
