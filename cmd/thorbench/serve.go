@@ -41,6 +41,12 @@ type serveLevel struct {
 	Entities int64 `json:"entities"`
 	// Filled counts slots written across all completed requests.
 	Filled int64 `json:"filled"`
+	// AllocsPerRequest is the process-wide heap allocation count delta
+	// divided by completed requests — the serving path's steady-state
+	// allocation cost. In-process bench clients contribute too, so the
+	// value is an upper bound on the server's own share; it is comparable
+	// run to run because the client shape is fixed.
+	AllocsPerRequest float64 `json:"allocs_per_request"`
 	// Runtime are the Go runtime deltas measured across the level.
 	Runtime serveRuntime `json:"runtime"`
 }
@@ -53,6 +59,9 @@ type serveRuntime struct {
 	GCCycles uint64 `json:"gc_cycles"`
 	// AllocBytes is the total heap allocation during the level.
 	AllocBytes uint64 `json:"alloc_bytes"`
+	// AllocObjects is the total number of heap objects allocated during the
+	// level (the numerator of AllocsPerRequest).
+	AllocObjects uint64 `json:"alloc_objects"`
 	// PeakHeapBytes is the largest live-heap sample observed during the
 	// level (polled, so it reflects mid-level pressure, not the post-GC
 	// endpoints).
@@ -147,12 +156,16 @@ func runServe(outPath string, duration time.Duration, levelsCSV string) {
 		sampler := startRuntimeSampler()
 		lv := driveLevel(url, bodies, c, duration)
 		lv.Runtime = sampler.finish()
+		if lv.Requests > 0 {
+			lv.AllocsPerRequest = float64(lv.Runtime.AllocObjects) / float64(lv.Requests)
+		}
 		base.Levels = append(base.Levels, lv)
-		fmt.Printf("c=%-3d  %8.1f req/s   p50 %7.2fms  p95 %7.2fms  p99 %7.2fms   retries %d  errors %d   gc %d  peak-heap %.1fMiB\n",
+		fmt.Printf("c=%-3d  %8.1f req/s   p50 %7.2fms  p95 %7.2fms  p99 %7.2fms   retries %d  errors %d   gc %d  peak-heap %.1fMiB  allocs/req %.0f\n",
 			lv.Concurrency, lv.ThroughputRPS,
 			lv.LatencyMS["p50"], lv.LatencyMS["p95"], lv.LatencyMS["p99"],
 			lv.Retries, lv.Errors,
-			lv.Runtime.GCCycles, float64(lv.Runtime.PeakHeapBytes)/(1<<20))
+			lv.Runtime.GCCycles, float64(lv.Runtime.PeakHeapBytes)/(1<<20),
+			lv.AllocsPerRequest)
 	}
 	f, err := os.Create(outPath)
 	if err != nil {
@@ -170,18 +183,20 @@ func runServe(outPath string, duration time.Duration, levelsCSV string) {
 	logger.Info("serving baseline written", "path", outPath)
 }
 
-// Runtime metric names sampled per level; all three are KindUint64 and have
+// Runtime metric names sampled per level; all four are KindUint64 and have
 // been stable since go1.16.
 const (
 	gcCyclesMetric   = "/gc/cycles/total:gc-cycles"
 	allocBytesMetric = "/gc/heap/allocs:bytes"
+	allocObjsMetric  = "/gc/heap/allocs:objects"
 	liveHeapMetric   = "/memory/classes/heap/objects:bytes"
 )
 
-// readRuntime samples the three level metrics in one runtime/metrics read.
-func readRuntime() (gcCycles, allocBytes, liveHeap uint64) {
+// readRuntime samples the four level metrics in one runtime/metrics read.
+func readRuntime() (gcCycles, allocBytes, allocObjs, liveHeap uint64) {
 	s := []metrics.Sample{
-		{Name: gcCyclesMetric}, {Name: allocBytesMetric}, {Name: liveHeapMetric},
+		{Name: gcCyclesMetric}, {Name: allocBytesMetric},
+		{Name: allocObjsMetric}, {Name: liveHeapMetric},
 	}
 	metrics.Read(s)
 	read := func(v metrics.Value) uint64 {
@@ -190,7 +205,7 @@ func readRuntime() (gcCycles, allocBytes, liveHeap uint64) {
 		}
 		return 0
 	}
-	return read(s[0].Value), read(s[1].Value), read(s[2].Value)
+	return read(s[0].Value), read(s[1].Value), read(s[2].Value), read(s[3].Value)
 }
 
 // runtimeSampler measures GC-cycle and allocation deltas across one level and
@@ -198,6 +213,7 @@ func readRuntime() (gcCycles, allocBytes, liveHeap uint64) {
 type runtimeSampler struct {
 	startGC    uint64
 	startAlloc uint64
+	startObjs  uint64
 	peak       uint64
 	stop       chan struct{}
 	done       chan struct{}
@@ -205,10 +221,11 @@ type runtimeSampler struct {
 
 // startRuntimeSampler snapshots the counters and begins polling the heap.
 func startRuntimeSampler() *runtimeSampler {
-	gc, alloc, live := readRuntime()
+	gc, alloc, objs, live := readRuntime()
 	rs := &runtimeSampler{
 		startGC:    gc,
 		startAlloc: alloc,
+		startObjs:  objs,
 		peak:       live,
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
@@ -222,7 +239,7 @@ func startRuntimeSampler() *runtimeSampler {
 			case <-rs.stop:
 				return
 			case <-tick.C:
-				if _, _, live := readRuntime(); live > rs.peak {
+				if _, _, _, live := readRuntime(); live > rs.peak {
 					rs.peak = live
 				}
 			}
@@ -235,13 +252,14 @@ func startRuntimeSampler() *runtimeSampler {
 func (rs *runtimeSampler) finish() serveRuntime {
 	close(rs.stop)
 	<-rs.done
-	gc, alloc, live := readRuntime()
+	gc, alloc, objs, live := readRuntime()
 	if live > rs.peak {
 		rs.peak = live
 	}
 	return serveRuntime{
 		GCCycles:      gc - rs.startGC,
 		AllocBytes:    alloc - rs.startAlloc,
+		AllocObjects:  objs - rs.startObjs,
 		PeakHeapBytes: rs.peak,
 	}
 }

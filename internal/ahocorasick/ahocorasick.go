@@ -8,10 +8,30 @@ type Match struct {
 	Start, End int
 }
 
+// node stores its transitions as parallel sparse arrays: keys[i] maps to
+// vals[i]. Nodes average a handful of children, where a linear scan over a
+// byte slice beats a map lookup's hashing by a wide margin (the per-character
+// map access dominated matching-heavy profiles).
 type node struct {
-	next    map[byte]int32
+	keys    []byte
+	vals    []int32
 	fail    int32
 	outputs []int32 // pattern indices terminating here
+}
+
+// get returns the child for byte c, if any.
+func (n *node) get(c byte) (int32, bool) {
+	for i, k := range n.keys {
+		if k == c {
+			return n.vals[i], true
+		}
+	}
+	return 0, false
+}
+
+func (n *node) set(c byte, v int32) {
+	n.keys = append(n.keys, c)
+	n.vals = append(n.vals, v)
 }
 
 // Automaton is an immutable Aho–Corasick automaton over a set of patterns.
@@ -19,6 +39,11 @@ type node struct {
 type Automaton struct {
 	nodes    []node
 	patterns []string
+	// root is the dense root-transition table: root[c] is the state entered
+	// from the root on byte c (0 when no pattern starts with c). The root is
+	// the fallback target of every failure chain, so it is consulted far more
+	// often than any other node and earns a direct index.
+	root [256]int32
 }
 
 // NewAutomaton builds the automaton for the given patterns. Matching is
@@ -27,7 +52,7 @@ type Automaton struct {
 // Match.Pattern remains meaningful.
 func NewAutomaton(patterns []string) *Automaton {
 	a := &Automaton{
-		nodes:    []node{{next: map[byte]int32{}}},
+		nodes:    make([]node, 1),
 		patterns: make([]string, len(patterns)),
 	}
 	for i, p := range patterns {
@@ -39,6 +64,9 @@ func NewAutomaton(patterns []string) *Automaton {
 		a.insert(lp, int32(i))
 	}
 	a.buildFailureLinks()
+	for i, k := range a.nodes[0].keys {
+		a.root[k] = a.nodes[0].vals[i]
+	}
 	return a
 }
 
@@ -71,11 +99,11 @@ func (a *Automaton) insert(pattern string, id int32) {
 	cur := int32(0)
 	for i := 0; i < len(pattern); i++ {
 		c := pattern[i]
-		nxt, ok := a.nodes[cur].next[c]
+		nxt, ok := a.nodes[cur].get(c)
 		if !ok {
-			a.nodes = append(a.nodes, node{next: map[byte]int32{}})
+			a.nodes = append(a.nodes, node{})
 			nxt = int32(len(a.nodes) - 1)
-			a.nodes[cur].next[c] = nxt
+			a.nodes[cur].set(c, nxt)
 		}
 		cur = nxt
 	}
@@ -86,24 +114,25 @@ func (a *Automaton) insert(pattern string, id int32) {
 // output sets along failure chains.
 func (a *Automaton) buildFailureLinks() {
 	queue := make([]int32, 0, len(a.nodes))
-	for _, child := range a.nodes[0].next {
+	for _, child := range a.nodes[0].vals {
 		a.nodes[child].fail = 0
 		queue = append(queue, child)
 	}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for c, child := range a.nodes[cur].next {
+		for i, c := range a.nodes[cur].keys {
+			child := a.nodes[cur].vals[i]
 			queue = append(queue, child)
 			f := a.nodes[cur].fail
 			for f != 0 {
-				if nxt, ok := a.nodes[f].next[c]; ok {
+				if nxt, ok := a.nodes[f].get(c); ok {
 					f = nxt
 					goto found
 				}
 				f = a.nodes[f].fail
 			}
-			if nxt, ok := a.nodes[0].next[c]; ok && nxt != child {
+			if nxt, ok := a.nodes[0].get(c); ok && nxt != child {
 				f = nxt
 			} else {
 				f = 0
@@ -116,32 +145,40 @@ func (a *Automaton) buildFailureLinks() {
 }
 
 // FindAll returns every occurrence of every pattern in text, in order of
-// match end position. Matching is ASCII-case-insensitive.
+// match end position. Matching is ASCII-case-insensitive: text bytes are
+// lowered on the fly, so no lowered copy of the input is allocated.
 func (a *Automaton) FindAll(text string) []Match {
-	lower := lowerASCII(text)
-	var out []Match
+	return a.AppendAll(nil, text)
+}
+
+// AppendAll appends every occurrence of every pattern in text to dst and
+// returns it, in order of match end position. Callers scanning many spans can
+// reuse one buffer across calls (`buf = a.AppendAll(buf[:0], span)`).
+func (a *Automaton) AppendAll(dst []Match, text string) []Match {
 	cur := int32(0)
-	for i := 0; i < len(lower); i++ {
-		c := lower[i]
-		for {
-			if nxt, ok := a.nodes[cur].next[c]; ok {
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		for cur != 0 {
+			if nxt, ok := a.nodes[cur].get(c); ok {
 				cur = nxt
-				break
-			}
-			if cur == 0 {
-				break
+				goto stepped
 			}
 			cur = a.nodes[cur].fail
 		}
+		cur = a.root[c]
+	stepped:
 		for _, pid := range a.nodes[cur].outputs {
 			// lowerASCII preserves byte length, so the lowered pattern's
 			// length is the matched span length and every offset computed
-			// in lower is valid in text.
+			// in the lowered view is valid in text.
 			plen := len(a.patterns[pid])
-			out = append(out, Match{Pattern: int(pid), Start: i + 1 - plen, End: i + 1})
+			dst = append(dst, Match{Pattern: int(pid), Start: i + 1 - plen, End: i + 1})
 		}
 	}
-	return out
+	return dst
 }
 
 // FindWholeWords returns matches whose span is delimited by non-letter
@@ -149,9 +186,14 @@ func (a *Automaton) FindAll(text string) []Match {
 // not fire inside "acnestis". This is how the Baseline model uses the
 // automaton.
 func (a *Automaton) FindWholeWords(text string) []Match {
-	all := a.FindAll(text)
-	out := all[:0]
-	for _, m := range all {
+	return a.AppendWholeWords(nil, text)
+}
+
+// AppendWholeWords is FindWholeWords appending into a reusable buffer.
+func (a *Automaton) AppendWholeWords(dst []Match, text string) []Match {
+	all := a.AppendAll(dst, text)
+	out := all[:len(dst)]
+	for _, m := range all[len(dst):] {
 		if isWordBoundary(text, m.Start-1) && isWordBoundary(text, m.End) {
 			out = append(out, m)
 		}

@@ -170,6 +170,14 @@ func (idx *ThresholdIndex) Neighbors(query Vector, tau float64) []Neighbor {
 // NeighborsQuery is Neighbors for a precomputed query (which must have been
 // built by this index's Basis).
 func (idx *ThresholdIndex) NeighborsQuery(q *Query, tau float64) []Neighbor {
+	return idx.NeighborsQueryOpt(q, tau, true)
+}
+
+// NeighborsQueryOpt is NeighborsQuery with the int8 propose tier explicitly
+// enabled or disabled (see Matrix's quant tier — results are bit-identical
+// either way; the flag exists so matcher.Config.DisableQuant governs every
+// screen on its path).
+func (idx *ThresholdIndex) NeighborsQueryOpt(q *Query, tau float64, quant bool) []Neighbor {
 	n := idx.mat.Len()
 	if q.Zero() {
 		// CosineAt defines every similarity against a zero vector as 0.
@@ -182,22 +190,42 @@ func (idx *ThresholdIndex) NeighborsQuery(q *Query, tau float64) []Neighbor {
 		}
 		return out // rows are sorted words: already the tie-break order
 	}
+	quant = quant && idx.mat.qs.enable
+	var filtered, passed uint64
 	sc := idx.scratch.Get().(*idxScratch)
 	var out []Neighbor
-	// Fast path: score LSH bucket candidates by true cosine.
+	// Fast path: score LSH bucket candidates by true cosine; with the quant
+	// tier on, candidates whose int8 bound already falls short of τ skip the
+	// full-width dot product (the bound is conservative, so nothing scoring
+	// ≥ τ is ever screened).
 	sc.rows = idx.candidateRows(q, sc.seen, sc.rows[:0])
 	for _, i := range sc.rows {
+		if quant {
+			if idx.mat.quantBound(q, i)+boundMargin < tau {
+				filtered++
+				continue
+			}
+			passed++
+		}
 		if sim := idx.mat.Cosine(q, i); sim >= tau {
 			out = append(out, Neighbor{Word: idx.words[i], Sim: sim})
 		}
 	}
-	// Exact-verification fallback: bound-screen everything LSH did not
-	// propose, and score survivors by true cosine. This pass is what makes
-	// the result identical to the brute-force sweep rather than approximate.
+	// Exact-verification fallback: screen everything LSH did not propose —
+	// int8 tier first, float64 sketch bound second — and score survivors by
+	// true cosine. This pass is what makes the result identical to the
+	// brute-force sweep rather than approximate.
 	for i := 0; i < n; i++ {
 		if sc.seen[i] {
 			sc.seen[i] = false // reset scratch as we go
 			continue
+		}
+		if quant {
+			if idx.mat.quantBound(q, i)+boundMargin < tau {
+				filtered++
+				continue
+			}
+			passed++
 		}
 		if idx.mat.bound(q, i)+boundMargin < tau {
 			continue
@@ -207,6 +235,7 @@ func (idx *ThresholdIndex) NeighborsQuery(q *Query, tau float64) []Neighbor {
 		}
 	}
 	idx.scratch.Put(sc)
+	addQuantStats(filtered, passed)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Sim != out[j].Sim {
 			return out[i].Sim > out[j].Sim

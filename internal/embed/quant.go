@@ -1,0 +1,149 @@
+package embed
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// This file adds the int8-quantized propose tier that screens rows *before*
+// the float64 Gram–Schmidt sketch bound (and before any exact cosine): each
+// sketch is symmetrically quantized to int8 with one per-row scale, and a
+// conservative upper bound on the cosine is computed from the integer dot
+// product plus a worst-case dequantization slack. The chain
+//
+//	quantBound ≥ bound ≥ Cosine        (up to ~1e-10, inside boundMargin)
+//
+// means the tier can only skip rows the float64 bound would also skip (or
+// that the exact cosine would reject), so pruned sweeps stay bit-for-bit
+// identical to full sweeps: every survivor is still verified by the float64
+// bound and then by the exact CosineAt-order cosine.
+//
+// Why symmetric (zero-point 0): sketch coordinates are centered projections
+// of unit directions, so their range is symmetric around zero and an affine
+// zero-point would only add a constant the bound must conservatively absorb
+// anyway. One scale per row (the "cluster" of one sketch) keeps dequantization
+// exact at the row's extreme coordinate and the slack formula tight.
+//
+// Bound derivation. Write the row sketch r_t = s_r·i_t + e_t with integer
+// i_t ∈ [-127,127] and |e_t| ≤ s_r/2 (round-to-nearest), and the query sketch
+// likewise with scale s_q. Then
+//
+//	Σ q_t r_t = s_q·s_r·Σ iq_t·ir_t + s_q·Σ iq_t·er_t + s_r·Σ ir_t·eq_t + Σ eq_t·er_t
+//	          ≤ s_q·s_r·( D + Σ|iq_t|/2 + Σ|ir_t|/2 + K/4 )
+//
+// with D the integer dot product and K = SketchDim. Adding the off-span
+// Cauchy–Schwarz term resid_q·resid_r (unchanged from the float64 bound)
+// yields quantBound. The per-row constants Σ|i|/2 + K/8 are precomputed as
+// qslack, so the per-pair cost is one K-wide int8 dot product and a handful
+// of float64 operations over 24 bytes of row data instead of 192.
+type quantSketch struct {
+	q8     []int8    // rows of SketchDim quantized sketch coordinates
+	scale  []float64 // per-row dequantization scale (0 for an all-zero sketch)
+	slack  []float64 // per-row Σ|i|/2 + SketchDim/8 (its half of the error bound)
+	enable bool
+}
+
+// quantFiltered and quantPassed count, package-wide, the rows the int8 tier
+// screened out versus let through to the float64 bound. Sweeps accumulate
+// locally and flush once per sweep, so the counters cost two atomic adds per
+// sweep. thor publishes per-run deltas as thor.match.quant_filtered /
+// thor.match.quant_pass_rate.
+var quantFiltered, quantPassed atomic.Uint64
+
+// QuantCounters returns the cumulative number of rows the int8 propose tier
+// screened out (filtered) and passed through to exact verification since
+// process start. Intended for telemetry deltas; both counters are monotonic.
+func QuantCounters() (filtered, passed uint64) {
+	return quantFiltered.Load(), quantPassed.Load()
+}
+
+// addQuantStats flushes one sweep's screening tallies.
+func addQuantStats(filtered, passed uint64) {
+	if filtered != 0 {
+		quantFiltered.Add(filtered)
+	}
+	if passed != 0 {
+		quantPassed.Add(passed)
+	}
+}
+
+// quantizeSketch quantizes one sketch row into q (len SketchDim), returning
+// the dequantization scale and the row's precomputed slack term. An all-zero
+// sketch quantizes to scale 0 with zero slack: its in-span dot product is
+// exactly 0, and the bound degenerates to the residual term alone.
+func quantizeSketch(sk []float64, q []int8) (scale, slack float64) {
+	maxAbs := 0.0
+	for _, x := range sk {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		for t := range q {
+			q[t] = 0
+		}
+		return 0, 0
+	}
+	scale = maxAbs / 127
+	inv := 127 / maxAbs
+	var absSum int64
+	for t, x := range sk {
+		r := math.Round(x * inv)
+		q[t] = int8(r)
+		if r < 0 {
+			r = -r
+		}
+		absSum += int64(r)
+	}
+	return scale, float64(absSum)/2 + float64(SketchDim)/8
+}
+
+// quantize builds the quantized tier for a matrix's sketch slab.
+func (m *Matrix) quantize() {
+	m.qs = quantSketch{
+		q8:     make([]int8, m.n*SketchDim),
+		scale:  make([]float64, m.n),
+		slack:  make([]float64, m.n),
+		enable: true,
+	}
+	for i := 0; i < m.n; i++ {
+		m.qs.scale[i], m.qs.slack[i] = quantizeSketch(
+			m.sk[i*SketchDim:(i+1)*SketchDim],
+			m.qs.q8[i*SketchDim:(i+1)*SketchDim])
+	}
+}
+
+// QuantEnabled reports whether the matrix screens sweeps with the int8
+// propose tier before the float64 sketch bound.
+func (m *Matrix) QuantEnabled() bool { return m.qs.enable }
+
+// CanExceed reports whether row i's cosine could possibly reach target,
+// screening with the int8 tier when it is enabled. A false return is a proof
+// (the exact cosine is strictly below target); a true return says nothing —
+// callers must still verify exactly. With the tier disabled it always
+// returns true. Used to skip exact priming cosines in the matcher.
+func (m *Matrix) CanExceed(q *Query, i int, target float64) bool {
+	if !m.qs.enable {
+		return true
+	}
+	if m.quantBound(q, i)+boundMargin < target {
+		quantFiltered.Add(1)
+		return false
+	}
+	quantPassed.Add(1)
+	return true
+}
+
+// quantBound returns a conservative upper bound on Cosine(q, i) computed
+// entirely from the int8 sketches: integer dot product, dequantization slack,
+// and the off-span residual term. It is ≥ the float64 sketch bound (up to
+// float rounding far inside boundMargin), so screening with it can never skip
+// a row the exact sweep would keep.
+func (m *Matrix) quantBound(q *Query, i int) float64 {
+	row := m.qs.q8[i*SketchDim : (i+1)*SketchDim]
+	var d int32
+	for t := 0; t < SketchDim; t++ {
+		d += int32(q.q8[t]) * int32(row[t])
+	}
+	return q.qscale*m.qs.scale[i]*(float64(d)+q.qslack+m.qs.slack[i]) + q.resid*m.resid[i]
+}

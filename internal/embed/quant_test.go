@@ -1,0 +1,252 @@
+package embed
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// quantQueries builds a representative query mix for a space: every
+// vocabulary vector, a few out-of-vocabulary hashes, and the zero vector.
+func quantQueries(s *Space) []Vector {
+	queries := []Vector{{}}
+	for _, w := range s.Words() {
+		queries = append(queries, s.Lookup(w))
+	}
+	for i := 0; i < 8; i++ {
+		queries = append(queries, HashVector(fmt.Sprintf("quant-oov-%d", i)))
+	}
+	return queries
+}
+
+// TestQuantBoundConservative pins the tier's safety property: the int8 bound
+// (plus the shared margin) must dominate both the exact cosine and can
+// therefore never screen out a row an exact sweep would keep.
+func TestQuantBoundConservative(t *testing.T) {
+	s := clusteredSpace(5, 15, 10)
+	words := s.Words()
+	vecs := make([]Vector, len(words))
+	for i, w := range words {
+		vecs[i] = s.Lookup(w)
+	}
+	vecs = append(vecs, Vector{}) // all-zero row
+	b := NewBasis(vecs)
+	m := NewMatrix(b, vecs)
+	if !m.QuantEnabled() {
+		t.Fatal("NewMatrix did not enable the quant tier")
+	}
+	for qi, qv := range quantQueries(s) {
+		q := b.Query(qv)
+		for i := range vecs {
+			cos := m.Cosine(&q, i)
+			qb := m.quantBound(&q, i)
+			if qb+boundMargin < cos {
+				t.Fatalf("query %d row %d: quantBound %v + margin < cosine %v", qi, i, qb, cos)
+			}
+		}
+	}
+}
+
+// TestQuantSweepsBitIdentical compares every sweep with the tier on against
+// the tier off: indices, similarities (bitwise) and visit order must agree.
+func TestQuantSweepsBitIdentical(t *testing.T) {
+	s := clusteredSpace(4, 12, 9)
+	words := s.Words()
+	vecs := make([]Vector, len(words))
+	for i, w := range words {
+		vecs[i] = s.Lookup(w)
+	}
+	b := NewBasis(vecs)
+	on := NewMatrixQuant(b, vecs, true)
+	off := NewMatrixQuant(b, vecs, false)
+	if off.QuantEnabled() {
+		t.Fatal("NewMatrixQuant(..., false) left the tier enabled")
+	}
+	inits := []float64{-2, 0, 0.85, math.Nextafter(0.95, 0)}
+	taus := []float64{0, 0.5, 0.7, 0.9, 0.95, 1.0}
+	for qi, qv := range quantQueries(s) {
+		q := b.Query(qv)
+		for _, init := range inits {
+			gi, gv := on.ArgMax(&q, init)
+			wi, wv := off.ArgMax(&q, init)
+			if gi != wi || math.Float64bits(gv) != math.Float64bits(wv) {
+				t.Fatalf("query %d ArgMax(init=%v): quant (%d,%v) vs exact (%d,%v)", qi, init, gi, gv, wi, wv)
+			}
+		}
+		for _, tau := range taus {
+			type hit struct {
+				i   int
+				sim float64
+			}
+			var got, want []hit
+			on.EachAtLeast(&q, tau, func(i int, sim float64) { got = append(got, hit{i, sim}) })
+			off.EachAtLeast(&q, tau, func(i int, sim float64) { want = append(want, hit{i, sim}) })
+			if len(got) != len(want) {
+				t.Fatalf("query %d EachAtLeast(tau=%v): quant %d rows vs exact %d", qi, tau, len(got), len(want))
+			}
+			for k := range got {
+				if got[k].i != want[k].i || math.Float64bits(got[k].sim) != math.Float64bits(want[k].sim) {
+					t.Fatalf("query %d EachAtLeast(tau=%v) pos %d: quant %+v vs exact %+v", qi, tau, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestQuantNeighborsOptBitIdentical checks the index path: NeighborsQueryOpt
+// with the tier on must return exactly the tier-off (and brute-force) result.
+func TestQuantNeighborsOptBitIdentical(t *testing.T) {
+	s := clusteredSpace(6, 20, 15)
+	idx := s.Index()
+	for _, tau := range []float64{0, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0} {
+		for qi, qv := range quantQueries(s) {
+			q := idx.Query(qv)
+			got := idx.NeighborsQueryOpt(&q, tau, true)
+			want := idx.NeighborsQueryOpt(&q, tau, false)
+			if len(got) != len(want) {
+				t.Fatalf("tau=%v query=%d: quant %d neighbors vs exact %d", tau, qi, len(got), len(want))
+			}
+			for k := range got {
+				if got[k].Word != want[k].Word || math.Float64bits(got[k].Sim) != math.Float64bits(want[k].Sim) {
+					t.Fatalf("tau=%v query=%d pos=%d: quant %+v vs exact %+v", tau, qi, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestQuantEdgeCases exercises the degenerate shapes the quantizer must
+// handle: all-zero vectors (scale 0), a single-row matrix, and rows/queries
+// at the extremes of the float32 magnitude range. Quantization acts on the
+// sketch of the *unit direction*, so magnitude extremes must not disturb
+// either safety or bit-identity.
+func TestQuantEdgeCases(t *testing.T) {
+	var tiny, huge, mixed Vector
+	for j := 0; j < Dim; j++ {
+		tiny[j] = float32(1e-30 * float64(j%7))
+		huge[j] = float32(1e30 * float64((j%5)-2))
+		if j%2 == 0 {
+			mixed[j] = float32(1e-20)
+		} else {
+			mixed[j] = float32(-1e20)
+		}
+	}
+	vecs := []Vector{{}, tiny, huge, mixed, HashVector("plain")}
+	b := NewBasis(vecs)
+	on := NewMatrixQuant(b, vecs, true)
+	off := NewMatrixQuant(b, vecs, false)
+	queries := append([]Vector{}, vecs...)
+	queries = append(queries, HashVector("edge-query"))
+	for qi, qv := range queries {
+		q := b.Query(qv)
+		for i := range vecs {
+			cos := on.Cosine(&q, i)
+			if qb := on.quantBound(&q, i); qb+boundMargin < cos {
+				t.Fatalf("query %d row %d: quantBound %v + margin < cosine %v", qi, i, qb, cos)
+			}
+		}
+		for _, init := range []float64{-2, 0, 0.5} {
+			gi, gv := on.ArgMax(&q, init)
+			wi, wv := off.ArgMax(&q, init)
+			if gi != wi || math.Float64bits(gv) != math.Float64bits(wv) {
+				t.Fatalf("query %d ArgMax(init=%v): quant (%d,%v) vs exact (%d,%v)", qi, init, gi, gv, wi, wv)
+			}
+		}
+	}
+
+	// Single-element cluster: a 1-row matrix must behave like the 1-element
+	// sequential sweep for hits, misses and the zero query.
+	single := []Vector{HashVector("solo")}
+	sb := NewBasis(single)
+	sm := NewMatrixQuant(sb, single, true)
+	q := sb.Query(single[0])
+	if i, sim := sm.ArgMax(&q, -2); i != 0 || sim != sm.Cosine(&q, 0) {
+		t.Fatalf("single-row ArgMax: got (%d,%v)", i, sim)
+	}
+	if i, _ := sm.ArgMax(&q, 2); i != -1 {
+		t.Fatalf("single-row ArgMax with unreachable init returned %d", i)
+	}
+	zq := sb.Query(Vector{})
+	if i, sim := sm.ArgMax(&zq, -1); i != 0 || sim != 0 {
+		t.Fatalf("single-row zero-query ArgMax: got (%d,%v)", i, sim)
+	}
+}
+
+// TestQuantCountersAdvance checks the telemetry plumbing: quant-screened
+// sweeps move the package counters, and the filtered+passed total accounts
+// for every row of the sweep.
+func TestQuantCountersAdvance(t *testing.T) {
+	s := clusteredSpace(4, 10, 6)
+	words := s.Words()
+	vecs := make([]Vector, len(words))
+	for i, w := range words {
+		vecs[i] = s.Lookup(w)
+	}
+	b := NewBasis(vecs)
+	m := NewMatrix(b, vecs)
+	f0, p0 := QuantCounters()
+	q := b.Query(vecs[0])
+	m.ArgMax(&q, 0.95)
+	f1, p1 := QuantCounters()
+	if got, want := (f1-f0)+(p1-p0), uint64(m.Len()); got < want {
+		t.Fatalf("counters advanced by %d, want at least %d (one per row)", got, want)
+	}
+}
+
+// FuzzQuantBound drives the int8 round-trip bound with adversarial vectors:
+// for any pair of fuzzer-chosen vectors, the quantized bound must stay above
+// the exact cosine (recall can never drop a true candidate), and a quantized
+// threshold sweep must return exactly the exact sweep's rows.
+func FuzzQuantBound(f *testing.F) {
+	seed := func(a, b float64) []byte {
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[0:8], math.Float64bits(a))
+		binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(b))
+		return buf[:]
+	}
+	f.Add(seed(1, -1))
+	f.Add(seed(0, 0))
+	f.Add(seed(1e30, 1e-30))
+	f.Add(seed(math.Pi, -math.E))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode the fuzz payload into two dense vectors (repeating the bytes
+		// across components) plus a third hashed from the raw payload, so the
+		// basis sees both structured and arbitrary directions.
+		var va, vb Vector
+		for j := 0; j < Dim; j++ {
+			if len(data) > 0 {
+				va[j] = float32(int8(data[j%len(data)])) / 16
+				vb[j] = float32(int8(data[(j*7+3)%len(data)])) / 16
+			}
+		}
+		vecs := []Vector{va, vb, HashVector(string(data))}
+		b := NewBasis(vecs)
+		m := NewMatrixQuant(b, vecs, true)
+		exact := NewMatrixQuant(b, vecs, false)
+		for _, qv := range vecs {
+			q := b.Query(qv)
+			for i := range vecs {
+				cos := m.Cosine(&q, i)
+				if !(math.IsInf(cos, 0) || math.IsNaN(cos)) {
+					if qb := m.quantBound(&q, i); qb+boundMargin < cos {
+						t.Fatalf("quantBound %v + margin < cosine %v (row %d)", qb, cos, i)
+					}
+				}
+			}
+			for _, tau := range []float64{0.3, 0.7, 0.95} {
+				var got, want []int
+				m.EachAtLeast(&q, tau, func(i int, _ float64) { got = append(got, i) })
+				exact.EachAtLeast(&q, tau, func(i int, _ float64) { want = append(want, i) })
+				if len(got) != len(want) {
+					t.Fatalf("tau=%v: quant sweep kept %v, exact %v", tau, got, want)
+				}
+				for k := range got {
+					if got[k] != want[k] {
+						t.Fatalf("tau=%v: quant sweep kept %v, exact %v", tau, got, want)
+					}
+				}
+			}
+		}
+	})
+}

@@ -175,6 +175,12 @@ type Query struct {
 	nv    float64
 	sk    [SketchDim]float64
 	resid float64
+	// q8/qscale/qslack are the query's int8-quantized sketch for the quant
+	// propose tier (see quant.go); always built, used only against matrices
+	// with the tier enabled.
+	q8     [SketchDim]int8
+	qscale float64
+	qslack float64
 }
 
 // Query precomputes the sweep view of v under the basis.
@@ -186,6 +192,7 @@ func (b *Basis) Query(v Vector) Query {
 		q.nv += f * f
 	}
 	q.resid = b.sketch(q.comps[:], q.nv, q.sk[:])
+	q.qscale, q.qslack = quantizeSketch(q.sk[:], q.q8[:])
 	return q
 }
 
@@ -203,11 +210,20 @@ type Matrix struct {
 	norm  []float64 // per-row squared norm, accumulated exactly as CosineAt does
 	sk    []float64 // n rows of SketchDim unit-direction coordinates
 	resid []float64 // per-row off-span residual norm
+	qs    quantSketch
 }
 
-// NewMatrix flattens vs under the basis. The rows keep their order, so row
-// indices align with the caller's slice.
+// NewMatrix flattens vs under the basis with the int8 propose tier enabled.
+// The rows keep their order, so row indices align with the caller's slice.
 func NewMatrix(b *Basis, vs []Vector) *Matrix {
+	return NewMatrixQuant(b, vs, true)
+}
+
+// NewMatrixQuant is NewMatrix with the int8 propose tier explicitly enabled
+// or disabled. Sweep results are bit-identical either way — the tier is a
+// screen, not an approximation — so disabling it is purely an ablation /
+// kill-switch knob (matcher.Config.DisableQuant).
+func NewMatrixQuant(b *Basis, vs []Vector, quant bool) *Matrix {
 	m := &Matrix{
 		basis: b,
 		n:     len(vs),
@@ -226,6 +242,9 @@ func NewMatrix(b *Basis, vs []Vector) *Matrix {
 		}
 		m.norm[i] = nw
 		m.resid[i] = b.sketch(row, nw, m.sk[i*SketchDim:(i+1)*SketchDim])
+	}
+	if quant {
+		m.quantize()
 	}
 	return m
 }
@@ -274,8 +293,8 @@ func (m *Matrix) bound(q *Query, i int) float64 {
 // attains the maximum among rows with cosine strictly greater than init
 // (-1 if no row exceeds init). It reproduces the sequential
 // "if sim > best { best = sim }" sweep exactly — including which index wins
-// on ties — while using the sketch bound to skip rows that provably cannot
-// exceed the running best.
+// on ties — while using the int8 propose tier (when enabled) and the float64
+// sketch bound to skip rows that provably cannot exceed the running best.
 func (m *Matrix) ArgMax(q *Query, init float64) (int, float64) {
 	bestI, best := -1, init
 	if q.nv == 0 {
@@ -284,6 +303,24 @@ func (m *Matrix) ArgMax(q *Query, init float64) (int, float64) {
 			return 0, 0
 		}
 		return -1, init
+	}
+	if m.qs.enable {
+		var filtered, passed uint64
+		for i := 0; i < m.n; i++ {
+			if m.quantBound(q, i)+boundMargin < best {
+				filtered++
+				continue
+			}
+			passed++
+			if m.bound(q, i)+boundMargin < best {
+				continue
+			}
+			if c := m.Cosine(q, i); c > best {
+				best, bestI = c, i
+			}
+		}
+		addQuantStats(filtered, passed)
+		return bestI, best
 	}
 	for i := 0; i < m.n; i++ {
 		if m.bound(q, i)+boundMargin < best {
@@ -303,6 +340,57 @@ func (m *Matrix) Max(q *Query, init float64) float64 {
 	return best
 }
 
+// PrefixMaxFloor fills dst[i-lo] with the maximum cosine between q and rows
+// lo..i (inclusive) for every i in [lo, hi), with the running maximum started
+// at floor — the prefix-maximum sweep backing the matcher's cross-τ fit
+// profiles. Prefix maxima above floor equal the sequential Cosine sweep's
+// exactly (both pruning tiers only skip rows that provably cannot raise the
+// running maximum, and the maximum of a set is order-independent); prefixes
+// whose true maximum does not exceed floor come back as floor itself, which
+// is what lets the tiers skip nearly every sub-floor row. dst must have
+// length hi-lo.
+func (m *Matrix) PrefixMaxFloor(q *Query, lo, hi int, floor float64, dst []float64) {
+	if q.nv == 0 {
+		// Every cosine is 0, matching CosineAt's zero-vector convention; the
+		// running maximum still starts at floor.
+		v := floor
+		if 0 > v {
+			v = 0
+		}
+		for i := range dst {
+			dst[i] = v
+		}
+		return
+	}
+	run := floor
+	if m.qs.enable {
+		var filtered, passed uint64
+		for i := lo; i < hi; i++ {
+			if m.quantBound(q, i)+boundMargin < run {
+				filtered++
+			} else {
+				passed++
+				if m.bound(q, i)+boundMargin >= run {
+					if c := m.Cosine(q, i); c > run {
+						run = c
+					}
+				}
+			}
+			dst[i-lo] = run
+		}
+		addQuantStats(filtered, passed)
+		return
+	}
+	for i := lo; i < hi; i++ {
+		if m.bound(q, i)+boundMargin >= run {
+			if c := m.Cosine(q, i); c > run {
+				run = c
+			}
+		}
+		dst[i-lo] = run
+	}
+}
+
 // EachAtLeast calls f(i, sim) for every row whose cosine reaches tau, in row
 // order, using the sketch bound to skip rows that provably fall short. The
 // set and similarities reported are exactly those of a full sweep.
@@ -314,6 +402,24 @@ func (m *Matrix) EachAtLeast(q *Query, tau float64, f func(i int, sim float64)) 
 		for i := 0; i < m.n; i++ {
 			f(i, 0)
 		}
+		return
+	}
+	if m.qs.enable {
+		var filtered, passed uint64
+		for i := 0; i < m.n; i++ {
+			if m.quantBound(q, i)+boundMargin < tau {
+				filtered++
+				continue
+			}
+			passed++
+			if m.bound(q, i)+boundMargin < tau {
+				continue
+			}
+			if c := m.Cosine(q, i); c >= tau {
+				f(i, c)
+			}
+		}
+		addQuantStats(filtered, passed)
 		return
 	}
 	for i := 0; i < m.n; i++ {

@@ -5,6 +5,7 @@ import (
 
 	"thor/internal/datagen"
 	"thor/internal/matcher"
+	"thor/internal/models"
 	"thor/internal/thor"
 )
 
@@ -41,7 +42,40 @@ var (
 	// datasets safely share one cache. Results are identical with or
 	// without it.
 	parseCache = thor.NewParseCache()
+
+	// lmMu guards lmPool, which shares LM-Human models across experiments:
+	// Experiment 1's comparator (the full training split) and Experiment 2's
+	// largest annotation point fine-tune on identical data, and a model is
+	// deterministic and safe for concurrent Extract after construction, so
+	// one instance (with its warmed decision memo) serves both.
+	lmMu   sync.Mutex
+	lmPool = map[lmKey]*models.LMHuman{}
 )
+
+// lmKey identifies an LM-Human fine-tune: the dataset instance and the
+// annotated-subject count (the Table X sweep axis).
+type lmKey struct {
+	ds *datagen.Dataset
+	n  int
+}
+
+// lmHumanFor returns the memoized LM-Human model fine-tuned on the first n
+// training subjects of ds (n capped at the full split).
+func lmHumanFor(ds *datagen.Dataset, n int) *models.LMHuman {
+	if n > len(ds.Train.Subjects) {
+		n = len(ds.Train.Subjects)
+	}
+	key := lmKey{ds: ds, n: n}
+	lmMu.Lock()
+	defer lmMu.Unlock()
+	if m, ok := lmPool[key]; ok {
+		return m
+	}
+	subset := trainSubset(ds, n)
+	m := models.NewLMHuman(subset.Gold, subset.Docs, ds.Space, ds.TestTable().Subjects(), ds.Lexicon)
+	lmPool[key] = m
+	return m
+}
 
 // TuneCache returns the shared fine-tune cache the experiments run with.
 func TuneCache() *matcher.Cache { return tuneCache }

@@ -133,7 +133,7 @@ func buildModels(ds *datagen.Dataset) []models.Model {
 		models.NewLMSD(ds.Table, ds.Space, subjects, ds.Lexicon),
 		models.NewGPT4(ds.Table.Schema, ds.Space, ds.GenericConcept, ds.Vocab, subjects, ds.Lexicon, GPT4Seed),
 		models.NewUniNER(ds.Vocab, ds.PretrainCoverage, subjects, ds.Lexicon),
-		models.NewLMHuman(ds.Train.Gold, ds.Train.Docs, ds.Space, subjects, ds.Lexicon),
+		lmHumanFor(ds, len(ds.Train.Subjects)),
 	}
 }
 
@@ -207,10 +207,9 @@ func StudyAnnotation(ds *datagen.Dataset) *AnnotationStudy {
 	study.ThorEntities = ds.Table.InstanceCount()
 	study.ThorWords = tableWords(ds)
 
-	subjects := ds.TestTable().Subjects()
 	for _, n := range AnnotationSubsets {
 		subset := trainSubset(ds, n)
-		m := models.NewLMHuman(subset.Gold, subset.Docs, ds.Space, subjects, ds.Lexicon)
+		m := lmHumanFor(ds, n)
 		preds := m.Extract(ds.Test.Docs)
 		f1 := eval.Evaluate(preds, ds.Test.Gold).Overall.F1()
 		point := AnnotationPoint{

@@ -1,8 +1,10 @@
 package matcher
 
 import (
+	"sort"
 	"sync"
 
+	"thor/internal/cow"
 	"thor/internal/embed"
 	"thor/internal/schema"
 )
@@ -19,11 +21,42 @@ type cacheKey struct {
 }
 
 // seedKey identifies a shared τ-independent seed cluster: like cacheKey, but
-// per concept and without the configuration — seeds do not depend on it.
+// per concept and without the threshold — seeds do not depend on it. The
+// quantization setting IS part of the key: the shared seed matrix is built
+// with or without the int8 propose tier, so a config toggling
+// Config.DisableQuant must never be served an entry built under the other
+// setting (results would still be identical, but the toggle would silently
+// not apply — the stale-entry hazard TestCacheQuantKeySeparation pins).
 type seedKey struct {
 	index   *embed.ThresholdIndex
 	table   uint64
 	concept schema.Concept
+	quant   bool
+}
+
+// expandKey identifies a shared τ-expansion retrieval: the per-source
+// neighbor lists for one concept's seed heads. τ is deliberately absent —
+// lists are stored at the lowest τ requested so far and prefix-cut upward —
+// while the quantization setting is present for the same staleness reason as
+// in seedKey.
+type expandKey struct {
+	index   *embed.ThresholdIndex
+	table   uint64
+	concept schema.Concept
+	quant   bool
+}
+
+// expandEntry holds one concept's expansion lists, computed at tau (the
+// lowest threshold requested so far). Lists are immutable once stored;
+// higher-τ requests serve prefix subslices. The entry also owns the
+// generation's fitShare — the cross-τ head-fit profile built over exactly
+// these lists — created lazily by the first fine-tune that needs it.
+type expandEntry struct {
+	tau   float64
+	lists [][]embed.Neighbor
+
+	shareOnce sync.Once
+	share     *fitShare
 }
 
 // Cache memoizes fine-tuned matchers. Threshold-sweep experiments fine-tune
@@ -42,6 +75,16 @@ type Cache struct {
 
 	seedMu sync.Mutex
 	seeds  map[seedKey]*sharedSeeds
+
+	expMu sync.Mutex
+	exps  map[expandKey]*expandEntry
+
+	// queries shares the per-subphrase sweep queries across every matcher
+	// fine-tuned against the same vocabulary snapshot: a Query is a pure
+	// function of (basis, phrase vector), and the basis is the index's, so the
+	// whole τ sweep can reuse one memo instead of rebuilding per threshold.
+	queryMu sync.Mutex
+	queries map[*embed.ThresholdIndex]*cow.Map[string, *embed.Query]
 }
 
 // NewCache returns an empty fine-tune cache, safe for concurrent use.
@@ -49,17 +92,32 @@ func NewCache() *Cache {
 	return &Cache{
 		entries: make(map[cacheKey]*Matcher),
 		seeds:   make(map[seedKey]*sharedSeeds),
+		exps:    make(map[expandKey]*expandEntry),
+		queries: make(map[*embed.ThresholdIndex]*cow.Map[string, *embed.Query]),
 	}
 }
 
+// queriesFor returns the shared subphrase-query memo for a vocabulary
+// snapshot, creating it on first request.
+func (c *Cache) queriesFor(index *embed.ThresholdIndex) *cow.Map[string, *embed.Query] {
+	c.queryMu.Lock()
+	defer c.queryMu.Unlock()
+	q, ok := c.queries[index]
+	if !ok {
+		q = cow.New[string, *embed.Query]()
+		c.queries[index] = q
+	}
+	return q
+}
+
 // seedsFor returns the shared seed cluster for (vocabulary snapshot, table
-// content, concept), building and storing it on first request. A threshold
-// sweep fine-tunes once per τ, but the seed instances, their sweep matrix
-// and the best-seed memo are τ-independent, so every configuration shares
-// one instance — later τ runs start with the earlier runs' best-seed memo
-// already warm.
-func (c *Cache) seedsFor(index *embed.ThresholdIndex, table uint64, concept schema.Concept, build func() *sharedSeeds) *sharedSeeds {
-	key := seedKey{index: index, table: table, concept: concept}
+// content, concept, quant tier), building and storing it on first request. A
+// threshold sweep fine-tunes once per τ, but the seed instances, their sweep
+// matrix and the best-seed memo are τ-independent, so every configuration at
+// the same quant setting shares one instance — later τ runs start with the
+// earlier runs' best-seed memo already warm.
+func (c *Cache) seedsFor(index *embed.ThresholdIndex, table uint64, concept schema.Concept, quant bool, build func() *sharedSeeds) *sharedSeeds {
+	key := seedKey{index: index, table: table, concept: concept, quant: quant}
 	c.seedMu.Lock()
 	defer c.seedMu.Unlock()
 	if sh, ok := c.seeds[key]; ok {
@@ -68,6 +126,57 @@ func (c *Cache) seedsFor(index *embed.ThresholdIndex, table uint64, concept sche
 	sh := build()
 	c.seeds[key] = sh
 	return sh
+}
+
+// expansionFor returns the τ-expansion neighbor lists for a concept's seed
+// head words, one list per source in source order, shared across thresholds:
+// the sources are τ-independent, and the index returns neighbors sorted by
+// decreasing similarity, so the τ' ≥ τ result is exactly the prefix of the
+// τ result with Sim ≥ τ'. The cache stores lists at the lowest τ requested
+// so far and serves higher thresholds by prefix cut — bit-identical to a
+// direct retrieval at that threshold. A request below the stored τ
+// recomputes and replaces the entry (a superset of the old one).
+func (c *Cache) expansionFor(index *embed.ThresholdIndex, table uint64, concept schema.Concept, quant bool, tau float64, sources []Representative) [][]embed.Neighbor {
+	key := expandKey{index: index, table: table, concept: concept, quant: quant}
+	c.expMu.Lock()
+	defer c.expMu.Unlock()
+	e, ok := c.exps[key]
+	if !ok || tau < e.tau || len(e.lists) != len(sources) {
+		e = &expandEntry{tau: tau, lists: expansionLists(index, sources, tau, quant)}
+		c.exps[key] = e
+	}
+	if tau == e.tau {
+		return e.lists
+	}
+	cut := make([][]embed.Neighbor, len(e.lists))
+	for i, list := range e.lists {
+		// Lists are sorted by decreasing Sim: the block with Sim ≥ tau is a
+		// prefix, found by binary search.
+		n := sort.Search(len(list), func(k int) bool { return list[k].Sim < tau })
+		cut[i] = list[:n:n]
+	}
+	return cut
+}
+
+// fitShareFor returns the concept's cross-τ fit-share, creating it over the
+// cached full expansion lists on first request. Callers must have populated
+// the expansion entry via expansionFor first (fineTune's order); the share
+// tracks that entry's generation, so matchers that fetched it stay exact even
+// if a later lower-τ request replaces the entry. heads must be the concept's
+// shared seed heads — identical for every caller of the same key by
+// construction.
+func (c *Cache) fitShareFor(index *embed.ThresholdIndex, space *embed.Space, table uint64, concept schema.Concept, quant bool, heads []Representative) *fitShare {
+	key := expandKey{index: index, table: table, concept: concept, quant: quant}
+	c.expMu.Lock()
+	e := c.exps[key]
+	c.expMu.Unlock()
+	if e == nil {
+		return nil
+	}
+	e.shareOnce.Do(func() {
+		e.share = buildFitShare(space, index.Basis(), heads, e.lists, quant)
+	})
+	return e.share
 }
 
 // FineTune returns the cached matcher for (space, table content, cfg),

@@ -45,6 +45,11 @@ type conceptCluster struct {
 	byRow map[int]int
 	// seedMemo caches bestSeed per subphrase text.
 	seedMemo *cow.Map[string, string]
+	// share, when non-nil (cache-backed fine-tune with expansion), resolves
+	// head fits through the cross-τ profile instead of a per-τ wordMat sweep;
+	// cut is this matcher's τ-prefix length into the shared word sequence.
+	share *fitShare
+	cut   int
 }
 
 // Candidate is one match the matcher proposes for a subphrase.
@@ -76,6 +81,14 @@ type Config struct {
 	// DisableExpansion turns off τ-expansion, keeping only seed words as
 	// representatives (ablation: seeds-only matcher).
 	DisableExpansion bool
+	// DisableQuant turns off the int8-quantized propose tier in every sweep
+	// on this matcher's path (cluster matrices and τ-expansion retrieval).
+	// Results are bit-identical either way — the tier is a conservative
+	// screen, not an approximation — so this is purely a kill switch for
+	// ablation and for isolating the tier in benchmarks. The flag is part of
+	// every Cache key: toggling it can never serve an entry built under the
+	// other setting.
+	DisableQuant bool
 }
 
 func (c Config) maxPerPhrase() int {
@@ -85,6 +98,14 @@ func (c Config) maxPerPhrase() int {
 	return c.MaxPerPhrase
 }
 
+// acceptFloorBar is the fixed acceptance bar below. It is also baked into the
+// shared cross-τ fit profiles (fitShare): sub-floor prefix maxima are clamped
+// to just below it, which changes nothing observable — Match consumes a fit
+// only through `fit < acceptFloor` and as the exact Sim of accepted (above-
+// floor) candidates — while letting the profile sweep prune as hard as the
+// per-τ sweeps did.
+const acceptFloorBar = 0.95
+
 // acceptFloor is the minimum head-word cluster fit for a candidate. It is a
 // high fixed bar: a candidate's head must effectively *be* one of the
 // representative vectors. The user threshold τ therefore acts purely through
@@ -92,7 +113,7 @@ func (c Config) maxPerPhrase() int {
 // known instances — which is exactly the paper's design: the matcher
 // recognizes members of the fine-tuned clusters, and τ trades how inclusive
 // those clusters are.
-func (c Config) acceptFloor() float64 { return 0.95 }
+func (c Config) acceptFloor() float64 { return acceptFloorBar }
 
 // Matcher is a fine-tuned semantic similarity matcher. Construct with
 // FineTune; it is then safe for concurrent use.
@@ -125,8 +146,9 @@ type sharedSeeds struct {
 }
 
 // buildSeedCluster constructs the shared seed model for one concept from its
-// table instances.
-func buildSeedCluster(space *embed.Space, basis *embed.Basis, instances []string) *sharedSeeds {
+// table instances. quant selects whether the seed sweep matrix carries the
+// int8 propose tier.
+func buildSeedCluster(space *embed.Space, basis *embed.Basis, instances []string, quant bool) *sharedSeeds {
 	sh := &sharedSeeds{memo: cow.New[string, string]()}
 	seenWord := make(map[string]bool)
 	seenSeed := make(map[string]bool)
@@ -154,7 +176,7 @@ func buildSeedCluster(space *embed.Space, basis *embed.Basis, instances []string
 	for i := range sh.seeds {
 		vecs[i] = sh.seeds[i].Vector
 	}
-	sh.mat = embed.NewMatrix(basis, vecs)
+	sh.mat = embed.NewMatrixQuant(basis, vecs, quant)
 	return sh
 }
 
@@ -186,16 +208,19 @@ func fineTune(space *embed.Space, table *schema.Table, cfg Config, cache *Cache)
 	}
 	var fp uint64
 	if cache != nil {
+		// Sweep queries are τ-independent; share one memo across the sweep.
+		m.subQueries = cache.queriesFor(idx)
 		fp = table.Fingerprint()
 	}
+	quant := !cfg.DisableQuant
 	for _, c := range table.Schema.Concepts {
 		if c == table.Schema.Subject && !cfg.IncludeSubject {
 			continue
 		}
-		build := func() *sharedSeeds { return buildSeedCluster(space, m.basis, table.ColumnValues(c)) }
+		build := func() *sharedSeeds { return buildSeedCluster(space, m.basis, table.ColumnValues(c), quant) }
 		var sh *sharedSeeds
 		if cache != nil {
-			sh = cache.seedsFor(idx, fp, c, build)
+			sh = cache.seedsFor(idx, fp, c, quant, build)
 		} else {
 			sh = build()
 		}
@@ -210,11 +235,13 @@ func fineTune(space *embed.Space, table *schema.Table, cfg Config, cache *Cache)
 			seedMemo: sh.memo,
 		}
 		if !cfg.DisableExpansion {
-			seenWord := make(map[string]bool, len(sh.heads))
-			for i := range sh.heads {
-				seenWord[sh.heads[i].Phrase] = true
+			expandCluster(idx, space, cluster, cfg.Tau, quant, cache, fp)
+			if cache != nil {
+				if share := cache.fitShareFor(idx, space, fp, c, quant, sh.heads); share != nil {
+					cluster.share = share
+					cluster.cut = share.cutAt(cfg.Tau)
+				}
 			}
-			expandCluster(idx, space, cluster, cfg.Tau, seenWord)
 		}
 		m.clusters = append(m.clusters, cluster)
 		m.byConcept[c] = cluster
@@ -232,12 +259,26 @@ func fineTune(space *embed.Space, table *schema.Table, cfg Config, cache *Cache)
 // tau) as non-seed representatives — the weak-supervision "fine-tuning"
 // step. Lower τ expands further into the embedding neighborhood. Retrieval
 // goes through the space's threshold index, whose results are identical to
-// brute-force Space.Neighbors scans (LSH proposes, exact cosine verifies).
-func expandCluster(idx *embed.ThresholdIndex, space *embed.Space, cluster *conceptCluster, tau float64, seen map[string]bool) {
+// brute-force Space.Neighbors scans (the int8 tier and LSH propose, exact
+// cosine verifies). With a cache, the per-source neighbor lists are shared
+// across the whole τ sweep (see Cache.expansionFor): the sources — the seed
+// head words — are τ-independent, and a higher-τ list is an exact prefix of
+// a lower-τ list, so one retrieval pass serves every threshold bit-identically.
+func expandCluster(idx *embed.ThresholdIndex, space *embed.Space, cluster *conceptCluster, tau float64, quant bool, cache *Cache, fp uint64) {
 	sources := make([]Representative, len(cluster.words))
 	copy(sources, cluster.words)
-	for _, src := range sources {
-		for _, nb := range idx.Neighbors(src.Vector, tau) {
+	seen := make(map[string]bool, len(sources))
+	for i := range sources {
+		seen[sources[i].Phrase] = true
+	}
+	var lists [][]embed.Neighbor
+	if cache != nil {
+		lists = cache.expansionFor(idx, fp, cluster.concept, quant, tau, sources)
+	} else {
+		lists = expansionLists(idx, sources, tau, quant)
+	}
+	for si, src := range sources {
+		for _, nb := range lists[si] {
 			if seen[nb.Word] {
 				continue
 			}
@@ -251,12 +292,30 @@ func expandCluster(idx *embed.ThresholdIndex, space *embed.Space, cluster *conce
 	}
 }
 
+// expansionLists retrieves the τ-neighborhood of every source word, in
+// source order. Lists are sorted by decreasing similarity with alphabetical
+// tie-breaks (the index contract), which is what makes cross-τ prefix
+// sharing exact.
+func expansionLists(idx *embed.ThresholdIndex, sources []Representative, tau float64, quant bool) [][]embed.Neighbor {
+	lists := make([][]embed.Neighbor, len(sources))
+	for i := range sources {
+		q := idx.Query(sources[i].Vector)
+		lists[i] = idx.NeighborsQueryOpt(&q, tau, quant)
+	}
+	return lists
+}
+
 // vectorize flattens every cluster's word vectors into SoA matrices sharing
 // the index's pruning basis, and builds the index-row → cluster-row maps used
 // for LSH priming. Seed matrices arrive prebuilt with the shared seed
 // cluster.
 func (m *Matcher) vectorize() {
 	for _, cl := range m.clusters {
+		if cl.share != nil {
+			// Fits resolve through the shared cross-τ profile: no per-τ word
+			// matrix (or LSH row map) to build at all.
+			continue
+		}
 		wordVecs := make([]embed.Vector, len(cl.words))
 		cl.byRow = make(map[int]int, len(cl.words))
 		for i := range cl.words {
@@ -265,7 +324,7 @@ func (m *Matcher) vectorize() {
 				cl.byRow[r] = i
 			}
 		}
-		cl.wordMat = embed.NewMatrix(m.basis, wordVecs)
+		cl.wordMat = embed.NewMatrixQuant(m.basis, wordVecs, !m.cfg.DisableQuant)
 	}
 }
 
@@ -307,17 +366,36 @@ func (m *Matcher) computeFits(head string) []float64 {
 		return fits
 	}
 	q := m.basis.Query(v)
-	var rows []int
-	if r := m.index.RowOf(head); r >= 0 {
-		rows = m.index.CandidateRowsOfRow(r, nil)
-	} else {
-		rows = m.index.CandidateRows(&q, nil)
-	}
 	floor := math.Nextafter(m.cfg.acceptFloor(), 0)
+	var rows []int
+	rowsReady := false
 	for ci, cl := range m.clusters {
+		if cl.share != nil {
+			// Cross-τ path: the shared profile's exact maxima reduce this
+			// matcher's fit to max(seed-head max, prefix max at its τ cut) —
+			// the same floored value the per-τ wordMat sweep produces.
+			if best := cl.share.fit(head, &q, cl.cut); best > floor {
+				fits[ci] = best
+			}
+			continue
+		}
+		if !rowsReady {
+			rowsReady = true
+			if r := m.index.RowOf(head); r >= 0 {
+				rows = m.index.CandidateRowsOfRow(r, nil)
+			} else {
+				rows = m.index.CandidateRows(&q, nil)
+			}
+		}
 		init := floor
 		for _, r := range rows {
 			if li, ok := cl.byRow[r]; ok {
+				// The int8 tier screens priming candidates against the
+				// running init: a skipped prime could not have raised it,
+				// so the final maximum is unchanged.
+				if !cl.wordMat.CanExceed(&q, li, init) {
+					continue
+				}
 				if c := cl.wordMat.Cosine(&q, li); c > init {
 					init = c
 				}
@@ -424,35 +502,57 @@ func (m *Matcher) NewContext() *MatchContext {
 	}
 }
 
+// AcquireContext returns a scratch context from the matcher's internal pool.
+// Callers that process many phrases (the pipeline's document workers, the
+// serving layer's batches) acquire once, reuse across calls, and release
+// with ReleaseContext, so steady-state matching allocates no scratch at all.
+func (m *Matcher) AcquireContext() *MatchContext {
+	return m.ctxPool.Get().(*MatchContext)
+}
+
+// ReleaseContext returns a context obtained from AcquireContext to the pool.
+// The context must not be used afterwards.
+func (m *Matcher) ReleaseContext(c *MatchContext) { m.ctxPool.Put(c) }
+
 // Match proposes candidate entities for a phrase (MATCHER.MATCH in Algorithm
 // 1): every subphrase is scored by its lexical head against every concept
 // cluster; (subphrase, concept) pairs whose fit reaches the acceptance floor
 // become candidates, capped at MaxPerPhrase, strongest first.
 func (m *Matcher) Match(p phrase.Phrase) []Candidate {
-	ctx := m.ctxPool.Get().(*MatchContext)
+	ctx := m.AcquireContext()
 	out := ctx.Match(p)
-	m.ctxPool.Put(ctx)
+	m.ReleaseContext(ctx)
 	return out
 }
 
 // Match is Matcher.Match running on this context's scratch space. The
 // returned slice is freshly allocated and owned by the caller.
 func (c *MatchContext) Match(p phrase.Phrase) []Candidate {
+	kept := c.MatchBuf(p)
+	if len(kept) == 0 {
+		return nil
+	}
+	out := make([]Candidate, len(kept))
+	copy(out, kept)
+	return out
+}
+
+// MatchBuf is Match returning a slice backed by the context's scratch: the
+// result is valid only until the next Match/MatchBuf call on this context and
+// must not be retained or mutated. It is the zero-allocation form the
+// pipeline's hot loop consumes candidates through.
+func (c *MatchContext) MatchBuf(p phrase.Phrase) []Candidate {
 	m := c.m
 	floor := m.cfg.acceptFloor()
 	c.spans = phrase.AppendSubphraseSpans(c.spans[:0], p)
 	if len(c.spans) == 0 {
 		return nil
 	}
-	// Join the phrase once; every subphrase is a substring of it, addressed
-	// by precomputed word offsets — no per-subphrase joins.
-	joined := strings.Join(p.Words, " ")
-	c.offs = c.offs[:0]
-	off := 0
-	for _, w := range p.Words {
-		c.offs = append(c.offs, off)
-		off += len(w) + 1
-	}
+	// Join the phrase once, and only once a subphrase is actually accepted;
+	// every subphrase is then a substring of the join, addressed by
+	// precomputed word offsets. Phrases with no accepted subphrase — the
+	// overwhelming majority on the serving hot path — never allocate.
+	joined := ""
 	c.cands = c.cands[:0]
 	for _, sp := range c.spans {
 		head := headWord(p.Words[sp.Start:sp.End])
@@ -467,6 +567,15 @@ func (c *MatchContext) Match(p phrase.Phrase) []Candidate {
 				continue
 			}
 			if subText == "" {
+				if joined == "" {
+					joined = strings.Join(p.Words, " ")
+					c.offs = c.offs[:0]
+					off := 0
+					for _, w := range p.Words {
+						c.offs = append(c.offs, off)
+						off += len(w) + 1
+					}
+				}
 				subText = joined[c.offs[sp.Start] : c.offs[sp.End-1]+len(p.Words[sp.End-1])]
 			}
 			c.cands = append(c.cands, Candidate{
@@ -503,9 +612,7 @@ func (c *MatchContext) Match(p phrase.Phrase) []Candidate {
 		kept = append(kept, cand)
 	}
 	c.cands = kept
-	out := make([]Candidate, len(kept))
-	copy(out, kept)
-	return out
+	return kept
 }
 
 // clusterIndex returns the position of a concept's cluster in m.clusters.

@@ -1,0 +1,170 @@
+package matcher
+
+import (
+	"math"
+	"testing"
+
+	"thor/internal/phrase"
+)
+
+// TestCacheQuantKeySeparation pins the cache-key fix: a Cache must never serve
+// a matcher (or any shared seed/expansion entry) built under one quantization
+// setting to a config requesting the other. The bug this guards against is
+// silent — results are bit-identical either way — so the test asserts the
+// *structural* property: distinct instances per setting, each carrying
+// matrices in the requested quant state, with same-config requests still
+// sharing one instance.
+func TestCacheQuantKeySeparation(t *testing.T) {
+	space, table := testSpace(), testTable()
+	cache := NewCache()
+	on, err := cache.FineTune(space, table, Config{Tau: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := cache.FineTune(space, table, Config{Tau: 0.7, DisableQuant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on == off {
+		t.Fatal("cache served the same matcher for DisableQuant=false and true")
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache.Len() = %d, want 2 (one entry per quant setting)", cache.Len())
+	}
+	for ci, cl := range on.clusters {
+		if !cl.seedMat.QuantEnabled() || !cl.share.headMat.QuantEnabled() || !cl.share.expMat.QuantEnabled() {
+			t.Fatalf("%s: quant-on matcher carries a matrix without the int8 tier", cl.concept)
+		}
+		if cl.share == off.clusters[ci].share {
+			t.Fatalf("%s: both quant settings share one fit-share entry", cl.concept)
+		}
+	}
+	for _, cl := range off.clusters {
+		if cl.seedMat.QuantEnabled() || cl.share.headMat.QuantEnabled() || cl.share.expMat.QuantEnabled() {
+			t.Fatalf("%s: DisableQuant matcher carries a matrix WITH the int8 tier — stale shared seed/expansion entry", cl.concept)
+		}
+	}
+	// Same-config requests still share one instance (the cache's point).
+	again, err := cache.FineTune(space, table, Config{Tau: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != on {
+		t.Fatal("repeat quant-on request did not hit the cached matcher")
+	}
+	// And the two settings agree on results, bitwise.
+	for _, p := range []phrase.Phrase{
+		{Words: []string{"nervous", "system"}},
+		{Words: []string{"the", "skin", "cancer"}},
+		{Words: []string{"severe", "scarring"}},
+	} {
+		a, b := on.Match(p), off.Match(p)
+		if len(a) != len(b) {
+			t.Fatalf("%v: quant-on %d candidates, quant-off %d", p.Words, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Phrase != b[i].Phrase || a[i].Concept != b[i].Concept ||
+				a[i].Matched != b[i].Matched || math.Float64bits(a[i].Sim) != math.Float64bits(b[i].Sim) {
+				t.Fatalf("%v: candidate[%d] quant-on %+v, quant-off %+v", p.Words, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestCacheExpansionPrefixSharing checks the cross-τ expansion sharing is
+// transparent: fine-tuning through one cache at a high τ after a low τ (prefix
+// cut of the stored lists) and in the reverse order (recompute at the lower τ)
+// must both reproduce the uncached matcher's clusters exactly.
+func TestCacheExpansionPrefixSharing(t *testing.T) {
+	space, table := testSpace(), testTable()
+	taus := []float64{0.5, 0.9, 0.7} // low→high (prefix cut), then between
+	for _, order := range [][]float64{taus, {0.9, 0.5, 0.7}} {
+		cache := NewCache()
+		for _, tau := range order {
+			cfg := Config{Tau: tau}
+			want, err := FineTune(space, table, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cache.FineTune(space, table, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ci, cl := range want.clusters {
+				gcl := got.clusters[ci]
+				if len(gcl.words) != len(cl.words) {
+					t.Fatalf("order %v τ=%.1f %s: %d words via cache, %d direct",
+						order, tau, cl.concept, len(gcl.words), len(cl.words))
+				}
+				for i := range cl.words {
+					if !sameRep(gcl.words[i], cl.words[i]) {
+						t.Fatalf("order %v τ=%.1f %s: word[%d] = %+v via cache, %+v direct",
+							order, tau, cl.concept, i, gcl.words[i], cl.words[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCacheReverseSweepFitEquivalence pins the fit-share generation rule: a
+// sweep that lowers τ replaces the cached expansion entry (longer lists, a
+// fresh fit profile), while matchers built against an earlier generation keep
+// answering through theirs. After the whole descending sweep, every
+// generation must still agree with a direct, uncached fine-tune bit-for-bit.
+func TestCacheReverseSweepFitEquivalence(t *testing.T) {
+	space, table := testSpace(), testTable()
+	phrases := []phrase.Phrase{
+		{Words: []string{"nervous", "system"}},
+		{Words: []string{"the", "skin", "cancer"}},
+		{Words: []string{"severe", "scarring"}},
+		{Words: []string{"memory", "loss"}},
+	}
+	cache := NewCache()
+	taus := []float64{1.0, 0.8, 0.6, 0.5}
+	ms := make([]*Matcher, len(taus))
+	for i, tau := range taus {
+		m, err := cache.FineTune(space, table, Config{Tau: tau})
+		if err != nil {
+			t.Fatalf("τ=%.1f: %v", tau, err)
+		}
+		ms[i] = m
+	}
+	for i, tau := range taus {
+		want, err := FineTune(space, table, Config{Tau: tau})
+		if err != nil {
+			t.Fatalf("τ=%.1f: %v", tau, err)
+		}
+		for _, p := range phrases {
+			a, b := ms[i].Match(p), want.Match(p)
+			if len(a) != len(b) {
+				t.Fatalf("τ=%.1f %v: %d candidates via cache, %d direct", tau, p.Words, len(a), len(b))
+			}
+			for j := range a {
+				if a[j].Phrase != b[j].Phrase || a[j].Concept != b[j].Concept ||
+					a[j].Matched != b[j].Matched || math.Float64bits(a[j].Sim) != math.Float64bits(b[j].Sim) {
+					t.Fatalf("τ=%.1f %v: candidate[%d] = %+v via cache, %+v direct", tau, p.Words, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+// TestMatchBufReuse pins the MatchBuf contract: the returned slice is scratch
+// that the next call may overwrite, while Match hands out an independent copy.
+func TestMatchBufReuse(t *testing.T) {
+	m := newMatcher(t, 0.7)
+	ctx := m.NewContext()
+	p1 := phrase.Phrase{Words: []string{"nervous", "system"}}
+	p2 := phrase.Phrase{Words: []string{"skin", "cancer"}}
+	buf := ctx.MatchBuf(p1)
+	if len(buf) == 0 {
+		t.Fatal("no candidates for the seed phrase")
+	}
+	first := buf[0]
+	copied := ctx.Match(p1)
+	ctx.MatchBuf(p2) // overwrites the scratch behind buf
+	if copied[0] != first {
+		t.Fatalf("Match copy mutated by later MatchBuf: %+v vs %+v", copied[0], first)
+	}
+}

@@ -145,6 +145,8 @@ func (m *LMHuman) learnContexts(docs []segment.Document, patterns []string, bySu
 	}
 	sort.Strings(trainSubjects)
 	trainSeg := segment.New(trainSubjects)
+	entityWords := make(map[string]bool)
+	var matches []ahocorasick.Match
 	for _, doc := range docs {
 		for _, asg := range trainSeg.Segment(doc) {
 			gold := bySubject[strings.ToLower(asg.Subject)]
@@ -152,14 +154,20 @@ func (m *LMHuman) learnContexts(docs []segment.Document, patterns []string, bySu
 				continue
 			}
 			sent := asg.Sentence
-			span := strings.ToLower(doc.Text[sent.Start:sent.End])
+			// The automaton lowercases internally (ASCII-exactly, matching
+			// the normalized gold phrases), so the raw span is searched
+			// without a per-sentence lowered copy.
+			span := doc.Text[sent.Start:sent.End]
 			annotated := false
-			entityWords := make(map[string]bool)
-			for _, match := range auto.FindWholeWords(span) {
+			matches = auto.AppendWholeWords(matches[:0], span)
+			for _, match := range matches {
 				if !gold[auto.Pattern(match.Pattern)] {
 					continue
 				}
-				annotated = true
+				if !annotated {
+					annotated = true
+					clear(entityWords)
+				}
 				for _, w := range strings.Fields(auto.Pattern(match.Pattern)) {
 					entityWords[w] = true
 				}
@@ -191,7 +199,7 @@ func (m *LMHuman) Extract(docs []segment.Document) []eval.Mention {
 	var hits []string
 	for _, doc := range docs {
 		for _, sp := range m.ext.scan(doc) {
-			hits = m.positiveHits(sp.Text, hits[:0])
+			hits = m.positiveHits(sp.Content, hits[:0])
 			for _, ph := range sp.Phrases {
 				norm := text.NormalizePhrase(ph.Text())
 				if norm == "" {
@@ -233,16 +241,17 @@ func (m *LMHuman) decide(norm string) lmhDecision {
 	return d
 }
 
-// positiveHits collects the sentence's words that can satisfy the positive-
-// context test for some phrase: non-stopword words present in the learned
-// positive-context vocabulary. It is computed once per sentence instead of
-// once per candidate phrase.
-func (m *LMHuman) positiveHits(sentence string, buf []string) []string {
+// positiveHits collects the sentence's content words that can satisfy the
+// positive-context test for some phrase: those present in the learned
+// positive-context vocabulary. It takes the scan's precomputed normalized
+// non-stopword words and is computed once per sentence instead of once per
+// candidate phrase.
+func (m *LMHuman) positiveHits(content []string, buf []string) []string {
 	if len(m.posContext) == 0 {
 		return buf
 	}
-	for _, w := range strings.Fields(text.NormalizePhrase(sentence)) {
-		if !text.IsStopword(w) && m.posContext[w] {
+	for _, w := range content {
+		if m.posContext[w] {
 			buf = append(buf, w)
 		}
 	}
@@ -262,13 +271,6 @@ func (m *LMHuman) contextLooksPositiveHits(hits []string, phrase string) bool {
 		}
 	}
 	return false
-}
-
-// contextLooksPositive checks that the sentence shares at least one content
-// word (outside the candidate phrase itself) with the learned positive
-// contexts.
-func (m *LMHuman) contextLooksPositive(sentence, phrase string) bool {
-	return m.contextLooksPositiveHits(m.positiveHits(sentence, nil), phrase)
 }
 
 // phraseHasWord reports whether w occurs as a whole word of the normalized

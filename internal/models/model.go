@@ -11,6 +11,7 @@ import (
 	"thor/internal/phrase"
 	"thor/internal/pos"
 	"thor/internal/segment"
+	"thor/internal/text"
 )
 
 // Model is a slot-filling system under evaluation: it reads documents and
@@ -100,6 +101,10 @@ type sentencePhrases struct {
 	Phrases []phrase.Phrase
 	// Text is the raw sentence span.
 	Text string
+	// Content is the sentence's normalized non-stopword words — the part of
+	// the span context models consult. Precomputed here so every model
+	// sharing the scan reads it instead of re-normalizing the sentence.
+	Content []string
 }
 
 func (e *extractor) scan(doc segment.Document) []sentencePhrases {
@@ -113,10 +118,18 @@ func (e *extractor) scan(doc segment.Document) []sentencePhrases {
 			continue
 		}
 		tree := dep.Parse(e.tagger.Tag(asg.Sentence))
+		span := doc.Text[asg.Sentence.Start:asg.Sentence.End]
+		var content []string
+		for _, w := range strings.Fields(text.NormalizePhrase(span)) {
+			if !text.IsStopword(w) {
+				content = append(content, w)
+			}
+		}
 		out = append(out, sentencePhrases{
 			Subject: asg.Subject,
 			Phrases: phrase.Extract(tree),
-			Text:    doc.Text[asg.Sentence.Start:asg.Sentence.End],
+			Text:    span,
+			Content: content,
 		})
 	}
 	e.scans.Put(key, out)

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestServeZeroAllocWarmBatch gates the serving fill path's steady-state
+// allocation behavior: once the pipeline, caches and dispatcher scratch are
+// warm, coalescing and running a repeated micro-batch must stay within a
+// small fixed allocation budget — independent of document length or phrase
+// count, which all resolve through reused scratch. The dispatcher goroutine
+// is parked via Shutdown first so the test goroutine can drive runBatch
+// directly (AllocsPerRun only counts the calling goroutine; Workers: 1 keeps
+// extraction on it too).
+func TestServeZeroAllocWarmBatch(t *testing.T) {
+	table, space := testWorld()
+	s, err := NewServer(Options{Table: table, Space: space, Tau: 0.6, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	docs := segmentDocs(worldDocs)
+	p := acquirePending()
+	p.ctx = context.Background()
+	p.docs = append(p.docs[:0], docs...)
+	p.enq = time.Now()
+	batch := []*pending{p}
+
+	run := func() batchOutcome {
+		s.runBatch(batch)
+		return <-p.resp
+	}
+	warm := run()
+	if warm.err != nil {
+		t.Fatal(warm.err)
+	}
+	if len(warm.docs) != len(docs) {
+		t.Fatalf("warm batch completed %d/%d documents", len(warm.docs), len(docs))
+	}
+	run() // second warm-up: let every lazy scratch reach steady-state size
+
+	allocs := testing.AllocsPerRun(20, func() {
+		out := run()
+		if out.err != nil || len(out.docs) != len(docs) {
+			t.Fatalf("warm batch changed: err=%v docs=%d", out.err, len(out.docs))
+		}
+	})
+	t.Logf("warm batch: %.1f allocs/op for %d documents", allocs, len(docs))
+	// Budget: the per-request result payload (DocResult slices, entities,
+	// stage stats, the Result itself) — bounded per batch, with nothing
+	// proportional to sentences, phrases or candidate pairs. Measured ~60;
+	// the margin absorbs runtime jitter, not regressions.
+	if budget := 120.0; allocs > budget {
+		t.Errorf("warm batch allocates %.1f allocs/op, budget %.0f", allocs, budget)
+	}
+}
+
+// TestServerDisableQuantIdentical asserts the serving contract of the int8
+// propose tier: a server with Options.DisableQuant answers /v1/fill with
+// byte-identical payloads to the default server.
+func TestServerDisableQuantIdentical(t *testing.T) {
+	_, tsOn := startEngine(t, Options{}, nil)
+	_, tsOff := startEngine(t, Options{DisableQuant: true}, nil)
+	req := Request{Documents: worldDocs, Explain: true}
+	stOn, rawOn, _ := postJSON(t, tsOn.Client(), tsOn.URL+"/v1/fill", req)
+	stOff, rawOff, _ := postJSON(t, tsOff.Client(), tsOff.URL+"/v1/fill", req)
+	if stOn != 200 || stOff != 200 {
+		t.Fatalf("status on=%d off=%d", stOn, stOff)
+	}
+	on, off := decodeResponse(t, rawOn), decodeResponse(t, rawOff)
+	// Stats carry wall-clock fields; compare the semantic payload.
+	if !reflect.DeepEqual(on.Entities, off.Entities) {
+		t.Errorf("entities differ:\nquant on:  %+v\nquant off: %+v", on.Entities, off.Entities)
+	}
+	if !reflect.DeepEqual(on.Assignments, off.Assignments) {
+		t.Errorf("assignments differ:\nquant on:  %+v\nquant off: %+v", on.Assignments, off.Assignments)
+	}
+}

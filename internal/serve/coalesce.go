@@ -4,6 +4,7 @@ import (
 	"log/slog"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"thor/internal/obs"
@@ -33,6 +34,42 @@ type pending struct {
 type reqContext interface {
 	Err() error
 	Done() <-chan struct{}
+}
+
+// pendingPool recycles request envelopes — their buffered response channels
+// and document-slice capacity — so steady-state admission allocates nothing.
+// A pending is recycled only by the handler after it has received the
+// outcome (or before it was ever enqueued); an abandoned pending whose
+// client vanished mid-wait is left to the collector, since the coalescer may
+// still deliver into its channel.
+var pendingPool = sync.Pool{New: func() any {
+	return &pending{resp: make(chan batchOutcome, 1)}
+}}
+
+func acquirePending() *pending { return pendingPool.Get().(*pending) }
+
+func releasePending(p *pending) {
+	p.ctx = nil
+	p.docs = p.docs[:0]
+	p.docTimeout = 0
+	p.enq = time.Time{}
+	p.ref = obs.SpanRef{}
+	pendingPool.Put(p)
+}
+
+// dispatchScratch is the coalescer's per-batch working memory, owned and
+// reused exclusively by the dispatcher goroutine. Everything that crosses a
+// channel to a handler is copied by value; the slices referenced by those
+// values (per-request docs/quarantined) are freshly appended each batch, so
+// reusing the containers here never aliases data a handler still reads.
+type dispatchScratch struct {
+	batch    []*pending
+	live     []*pending
+	docs     []segment.Document
+	starts   []int
+	rootRefs []obs.SpanRef
+	outs     []batchOutcome
+	runOpts  thor.RunOptions
 }
 
 // batchOutcome is one request's demultiplexed share of a batch run.
@@ -101,7 +138,7 @@ func (s *Server) failQueue() {
 // Options.BatchWindow elapses. A zero window (or an in-progress drain)
 // takes only what is already queued.
 func (s *Server) gather(first *pending) []*pending {
-	batch := []*pending{first}
+	batch := append(s.sc.batch[:0], first)
 	total := len(first.docs)
 	if total >= s.opts.BatchMax {
 		return batch
@@ -144,10 +181,12 @@ func (s *Server) gather(first *pending) []*pending {
 // demultiplexes the per-document outcomes back to their requests. Requests
 // whose context ended while queued are answered (and excluded) up front.
 func (s *Server) runBatch(batch []*pending) {
+	// Retain gather's (possibly grown) batch slice for the next batch.
+	s.sc.batch = batch
 	if s.testBatchStart != nil {
 		s.testBatchStart()
 	}
-	live := make([]*pending, 0, len(batch))
+	live := s.sc.live[:0]
 	for _, p := range batch {
 		s.ins.queueDepth.Add(-1)
 		if err := p.ctx.Err(); err != nil {
@@ -157,17 +196,18 @@ func (s *Server) runBatch(batch []*pending) {
 		}
 		live = append(live, p)
 	}
+	s.sc.live = live
 	if len(live) == 0 {
 		return
 	}
 	batchID := s.batchSeq.Add(1)
 	batchStart := time.Now()
-	var docs []segment.Document
-	starts := make([]int, len(live))
+	docs := s.sc.docs[:0]
+	starts := s.sc.starts[:0]
 	var docTimeout time.Duration
-	rootRefs := make([]obs.SpanRef, 0, len(live))
-	for i, p := range live {
-		starts[i] = len(docs)
+	rootRefs := s.sc.rootRefs[:0]
+	for _, p := range live {
+		starts = append(starts, len(docs))
 		docs = append(docs, p.docs...)
 		// The batch honors the strictest per-document deadline among its
 		// batchmates: never looser than any request asked for.
@@ -190,12 +230,15 @@ func (s *Server) runBatch(batch []*pending) {
 		obs.String("batch_id", strconv.FormatUint(batchID, 10)),
 		obs.String("requests", strconv.Itoa(len(live))),
 		obs.String("docs", strconv.Itoa(len(docs))))
+	// Grown scratch slices are kept for the next batch (same goroutine).
+	s.sc.docs, s.sc.starts, s.sc.rootRefs = docs, starts, rootRefs
 	var blog *slog.Logger
 	if s.opts.Logger != nil {
 		blog = s.opts.Logger.With(obs.LogBatchID, batchID)
 		blog.Debug("batch start", "requests", len(live), "docs", len(docs))
 	}
-	res, err := thor.RunContext(ctx, s.opts.Table, s.opts.Space, docs, s.runConfig(docTimeout, blog))
+	s.sc.runOpts = thor.RunOptions{DocTimeout: docTimeout, Logger: blog}
+	res, err := s.pipe.RunContextOpts(ctx, docs, &s.sc.runOpts)
 	runDur := time.Since(batchStart)
 	bsp.End()
 	s.ins.batches.Add(1)
@@ -225,14 +268,18 @@ func (s *Server) runBatch(batch []*pending) {
 		return
 	}
 
-	outs := make([]batchOutcome, len(live))
-	for i, p := range live {
-		outs[i] = batchOutcome{
+	outs := s.sc.outs[:0]
+	for _, p := range live {
+		// Full-value appends: any stale slice headers left in the reused
+		// backing array are overwritten before the per-request appends below
+		// start from nil.
+		outs = append(outs, batchOutcome{
 			batchDocs: len(docs),
 			queueWait: batchStart.Sub(p.enq),
 			runDur:    runDur,
-		}
+		})
 	}
+	s.sc.outs = outs
 	owner := func(global int) int {
 		// The owner is the last range starting at or before the index.
 		return sort.Search(len(starts), func(i int) bool { return starts[i] > global }) - 1

@@ -63,6 +63,11 @@ type Options struct {
 	// DocTimeout is the default per-document extraction deadline applied
 	// when a request does not set doc_timeout_ms. Zero means none.
 	DocTimeout time.Duration
+	// DisableQuant turns off the matcher's int8 propose tier. Results are
+	// bit-for-bit identical either way (the tier only screens candidates
+	// that exact float64 verification would reject); the switch exists for
+	// A/B latency comparison and debugging.
+	DisableQuant bool
 	// Metrics, when set, receives the serving metrics (serve.* counters,
 	// gauges and histograms) in addition to the pipeline's thor.* ones.
 	Metrics *obs.Registry
@@ -172,6 +177,18 @@ type Server struct {
 	parse *thor.ParseCache
 	ins   instruments
 
+	// pipe is the persistent pipeline every micro-batch runs through. It is
+	// constructed once at startup (paying fine-tune and instrument
+	// resolution there) and reused serially by the single dispatcher
+	// goroutine; per-batch knobs (document timeout, batch-scoped logger)
+	// travel via thor.RunOptions instead of pipeline construction. It runs
+	// with SkipFill — batches only extract; each request's fill is computed
+	// read-only against the pristine table at response time.
+	pipe *thor.Pipeline
+	// sc is the dispatcher's batch scratch, reused across batches; only the
+	// dispatcher goroutine touches it.
+	sc dispatchScratch
+
 	queue   chan *pending
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -237,13 +254,16 @@ func newServer(opts Options, batchStart func()) (*Server, error) {
 	if opts.Tracer != nil && opts.Recorder != nil {
 		opts.Tracer.SetRecorder(opts.Recorder)
 	}
-	// Warm the fine-tune cache now: the first request should pay queueing
-	// and extraction, not minutes of cluster expansion. thor.New with the
-	// shared TuneCache stores the matcher every later run reuses.
-	if _, err := thor.New(opts.Table, opts.Space, s.runConfig(0, nil)); err != nil {
+	// Build the persistent pipeline now: the first request should pay
+	// queueing and extraction, not minutes of cluster expansion. Every
+	// micro-batch reuses this pipeline (and its warmed caches) through
+	// RunContextOpts.
+	pipe, err := thor.New(opts.Table, opts.Space, s.runConfig())
+	if err != nil {
 		cancel()
 		return nil, fmt.Errorf("serve: warmup fine-tune: %w", err)
 	}
+	s.pipe = pipe
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/fill", func(w http.ResponseWriter, r *http.Request) {
 		s.handleRun(w, r, true)
@@ -266,12 +286,13 @@ func newServer(opts Options, batchStart func()) (*Server, error) {
 	return s, nil
 }
 
-// runConfig is the pipeline configuration every batch runs with: warm
-// caches, per-document results for demultiplexing, and MaxFailureFraction 1
-// so one poisoned document quarantines alone instead of aborting its
-// batchmates. logger is the batch-scoped logger (pre-annotated with
-// batch_id); nil disables pipeline logging.
-func (s *Server) runConfig(docTimeout time.Duration, logger *slog.Logger) thor.Config {
+// runConfig is the persistent pipeline's configuration: warm caches,
+// per-document results for demultiplexing, MaxFailureFraction 1 so one
+// poisoned document quarantines alone instead of aborting its batchmates,
+// and SkipFill because batches only extract — fills are computed read-only
+// per request at response time. Per-batch knobs (document timeout, the
+// batch-scoped logger) are passed through thor.RunOptions instead.
+func (s *Server) runConfig() thor.Config {
 	return thor.Config{
 		Tau:                s.opts.Tau,
 		Knowledge:          s.opts.Knowledge,
@@ -281,11 +302,11 @@ func (s *Server) runConfig(docTimeout time.Duration, logger *slog.Logger) thor.C
 		ParseCache:         s.parse,
 		CollectDocResults:  true,
 		MaxFailureFraction: 1,
-		DocTimeout:         docTimeout,
+		SkipFill:           true,
+		Matcher:            matcher.Config{DisableQuant: s.opts.DisableQuant},
 		Metrics:            s.opts.Metrics,
 		Tracer:             s.opts.Tracer,
 		FaultHook:          s.opts.FaultHook,
-		Logger:             logger,
 	}
 }
 
@@ -415,25 +436,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
 		writeError(sw, http.StatusBadRequest, CodeInvalidRequest, "doc_timeout_ms is negative", traceID)
 		return
 	}
-	docs := make([]segment.Document, len(req.Documents))
+	nDocs := len(req.Documents)
+	p := acquirePending()
+	p.ctx = r.Context()
 	for i, d := range req.Documents {
 		name := d.Name
 		if name == "" {
 			name = fmt.Sprintf("doc-%d", i)
 		}
-		docs[i] = segment.Document{Name: name, DefaultSubject: d.DefaultSubject, Text: d.Text}
+		p.docs = append(p.docs, segment.Document{Name: name, DefaultSubject: d.DefaultSubject, Text: d.Text})
 	}
-	docTimeout := s.opts.DocTimeout
+	p.docTimeout = s.opts.DocTimeout
 	if req.DocTimeoutMS > 0 {
-		docTimeout = time.Duration(req.DocTimeoutMS) * time.Millisecond
+		p.docTimeout = time.Duration(req.DocTimeoutMS) * time.Millisecond
 	}
-	p := &pending{
-		ctx:        r.Context(),
-		docs:       docs,
-		docTimeout: docTimeout,
-		enq:        time.Now(),
-		resp:       make(chan batchOutcome, 1),
-	}
+	p.enq = time.Now()
 	if refs := obs.SpanRefs(ctx); len(refs) > 0 {
 		// The ref under the root span: the coalescer parents the request's
 		// queue.wait and batch spans here.
@@ -445,6 +462,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
 	s.mu.RLock()
 	if s.draining {
 		s.mu.RUnlock()
+		releasePending(p)
 		s.shedResponse(sw, root, traceID, CodeDraining, "server is draining")
 		return
 	}
@@ -454,6 +472,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
 		s.ins.queueDepth.Add(1)
 	default:
 		s.mu.RUnlock()
+		releasePending(p)
 		s.shedResponse(sw, root, traceID, CodeOverloaded,
 			fmt.Sprintf("admission queue full (%d requests)", s.opts.QueueDepth))
 		return
@@ -461,16 +480,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
 
 	select {
 	case out := <-p.resp:
+		releasePending(p)
 		demuxStart := time.Now()
-		s.respond(sw, out, len(docs), fill, req.Explain, traceID, root)
+		s.respond(sw, out, nDocs, fill, req.Explain, traceID, root)
 		if refs := obs.SpanRefs(ctx); len(refs) > 0 {
 			// The demux/fill span: merging the request's share of the batch
-			// and (on /v1/fill) filling its table clone.
+			// and (on /v1/fill) computing its read-only assignments.
 			s.opts.Tracer.RecordSpan(refs, "demux", demuxStart, time.Since(demuxStart),
 				obs.String("endpoint", endpoint))
 		}
 	case <-r.Context().Done():
 		// The client is gone; the coalescer will drop the buffered result.
+		// The pending is NOT recycled: the coalescer may still send into its
+		// channel, so it is left for the collector.
 		s.ins.canceled.Add(1)
 	}
 }
@@ -507,16 +529,17 @@ func (s *Server) respond(w http.ResponseWriter, out batchOutcome, nDocs int, fil
 	merged := thor.MergeEntities(out.docs)
 	resp := Response{Entities: wireEntities(merged)}
 	if fill {
-		// Each request fills its own clone, so concurrent requests never
-		// contend and the server's table stays pristine.
-		clone := s.opts.Table.Clone()
+		// Assignments are computed read-only against the server's pristine
+		// table — no per-request clone, no contention, and the same output
+		// a fill over a clone would produce (thor.Assignments is the fill
+		// pass minus the mutation).
 		if explain {
-			resp.Assignments = thor.FillExplained(clone, merged, s.opts.Tau)
+			resp.Assignments = thor.AssignmentsExplained(s.opts.Table, merged, s.opts.Tau)
 			for _, a := range resp.Assignments {
 				s.opts.Metrics.Counter("thor.fills_explained." + string(a.Concept)).Add(1)
 			}
 		} else {
-			resp.Assignments = thor.Fill(clone, merged)
+			resp.Assignments = thor.Assignments(s.opts.Table, merged)
 		}
 		for _, a := range resp.Assignments {
 			s.ins.requestFills[a.Concept].Add(1)

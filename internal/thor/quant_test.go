@@ -1,0 +1,362 @@
+package thor
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"thor/internal/matcher"
+	"thor/internal/obs"
+	"thor/internal/phrase"
+	"thor/internal/segment"
+)
+
+// TestPipelineQuantOnOffBitIdentical is the end-to-end form of the matcher's
+// equivalence property: a full pipeline run with the int8 propose tier
+// disabled must reproduce the default run exactly — entities, scores, table
+// contents and assignment sequence.
+func TestPipelineQuantOnOffBitIdentical(t *testing.T) {
+	table, space := fig1Table(), fig1Space()
+	docs := fig1Docs()
+	for _, tau := range []float64{0.5, 0.6, 0.8, 1.0} {
+		on, err := Run(table, space, docs, Config{Tau: tau, Explain: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := Run(table, space, docs, Config{
+			Tau: tau, Explain: true,
+			Matcher: matcher.Config{DisableQuant: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := on.AllEntities(), off.AllEntities()
+		if len(a) != len(b) {
+			t.Fatalf("τ=%.1f: quant-on %d entities, quant-off %d", tau, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("τ=%.1f: entity %d differs: %+v vs %+v", tau, i, a[i], b[i])
+			}
+		}
+		if len(on.Assignments) != len(off.Assignments) {
+			t.Fatalf("τ=%.1f: assignment counts differ: %d vs %d",
+				tau, len(on.Assignments), len(off.Assignments))
+		}
+		for i := range on.Assignments {
+			x, y := on.Assignments[i], off.Assignments[i]
+			if x.Subject != y.Subject || x.Concept != y.Concept || x.Value != y.Value {
+				t.Fatalf("τ=%.1f: assignment %d differs: %+v vs %+v", tau, i, x, y)
+			}
+		}
+	}
+}
+
+// sampleEntities builds an entity map exercising every fill edge case: case
+// variants of one value, the subject concept, unknown subjects, empty
+// phrases and cross-concept repeats.
+func sampleEntities() map[string][]Entity {
+	return map[string][]Entity{
+		"Acoustic Neuroma": {
+			{Subject: "Acoustic Neuroma", Concept: "Complication", Phrase: "Tumor", Score: 0.9},
+			{Subject: "Acoustic Neuroma", Concept: "Complication", Phrase: "tumor", Score: 0.8}, // case dup
+			{Subject: "Acoustic Neuroma", Concept: "Anatomy", Phrase: "tumor", Score: 0.7},      // other concept
+			{Subject: "Acoustic Neuroma", Concept: "Disease", Phrase: "acoustic neuroma", Score: 0.9}, // subject concept
+			{Subject: "Acoustic Neuroma", Concept: "Anatomy", Phrase: "", Score: 0.9},           // empty value
+			{Subject: "Acoustic Neuroma", Concept: "Anatomy", Phrase: "nervous system", Score: 0.9}, // already present
+		},
+		"Tuberculosis": {
+			{Subject: "Tuberculosis", Concept: "Anatomy", Phrase: "lungs", Score: 0.6},
+		},
+		"No Such Row": {
+			{Subject: "No Such Row", Concept: "Anatomy", Phrase: "spine", Score: 0.6},
+		},
+	}
+}
+
+// TestAssignmentsMatchFill pins the read-only fill contract: Assignments /
+// AssignmentsExplained over an untouched table must return exactly what Fill
+// / FillExplained return while mutating a clone — and must not change the
+// table.
+func TestAssignmentsMatchFill(t *testing.T) {
+	table := fig1Table()
+	entities := sampleEntities()
+	before := table.Fingerprint()
+	ro := Assignments(table, entities)
+	roX := AssignmentsExplained(table, entities, 0.6)
+	if table.Fingerprint() != before {
+		t.Fatal("Assignments mutated the table")
+	}
+	clone := table.Clone()
+	mut := Fill(clone, entities)
+	if len(ro) != len(mut) {
+		t.Fatalf("read-only %d assignments, Fill %d\nro: %+v\nfill: %+v", len(ro), len(mut), ro, mut)
+	}
+	for i := range ro {
+		if ro[i] != mut[i] {
+			t.Fatalf("assignment %d differs: read-only %+v, Fill %+v", i, ro[i], mut[i])
+		}
+	}
+	cloneX := table.Clone()
+	mutX := FillExplained(cloneX, entities, 0.6)
+	if len(roX) != len(mutX) {
+		t.Fatalf("explained: read-only %d assignments, FillExplained %d", len(roX), len(mutX))
+	}
+	for i := range roX {
+		a, b := roX[i], mutX[i]
+		if a.Subject != b.Subject || a.Concept != b.Concept || a.Value != b.Value {
+			t.Fatalf("explained assignment %d differs: %+v vs %+v", i, a, b)
+		}
+		if a.Provenance == nil || b.Provenance == nil || *a.Provenance != *b.Provenance {
+			t.Fatalf("explained assignment %d provenance differs: %+v vs %+v", i, a.Provenance, b.Provenance)
+		}
+	}
+	// Spot-check the semantics themselves, not just the agreement.
+	want := []Assignment{
+		{Subject: "Acoustic Neuroma", Concept: "Complication", Value: "Tumor"},
+		{Subject: "Acoustic Neuroma", Concept: "Anatomy", Value: "tumor"},
+		{Subject: "Tuberculosis", Concept: "Anatomy", Value: "lungs"},
+	}
+	if len(ro) != len(want) {
+		t.Fatalf("assignments = %+v, want %+v", ro, want)
+	}
+	for i := range want {
+		if ro[i] != want[i] {
+			t.Fatalf("assignment %d = %+v, want %+v", i, ro[i], want[i])
+		}
+	}
+}
+
+// TestSkipFillMatchesFullRun checks the SkipFill contract: the run stops
+// after the entity merge (no table, no assignments, Filled 0), its entities
+// are identical to a filling run's, the read-only Assignments over them
+// reproduce the filling run's assignment sequence, and the sparsity gauges
+// (derived without a filled table) match the filling run's exactly.
+func TestSkipFillMatchesFullRun(t *testing.T) {
+	table, space, docs := fig1Table(), fig1Space(), fig1Docs()
+	fullReg, skipReg := obs.NewRegistry(), obs.NewRegistry()
+	full, err := Run(table, space, docs, Config{Tau: 0.6, Metrics: fullReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip, err := Run(table, space, docs, Config{Tau: 0.6, SkipFill: true, Metrics: skipReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skip.Table != nil || skip.Assignments != nil || skip.Stats.Filled != 0 {
+		t.Fatalf("SkipFill run still filled: table=%v assignments=%v filled=%d",
+			skip.Table, skip.Assignments, skip.Stats.Filled)
+	}
+	a, b := full.AllEntities(), skip.AllEntities()
+	if len(a) != len(b) {
+		t.Fatalf("entities differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entity %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	ro := Assignments(table, skip.Entities)
+	mut := Fill(table.Clone(), full.Entities)
+	if len(ro) != len(mut) {
+		t.Fatalf("assignments differ: %d vs %d", len(ro), len(mut))
+	}
+	for i := range ro {
+		if ro[i] != mut[i] {
+			t.Fatalf("assignment %d differs: %+v vs %+v", i, ro[i], mut[i])
+		}
+	}
+	// The derived sparsity densities must equal the clone-based ones.
+	for _, c := range table.Schema.NonSubject() {
+		for _, name := range []string{"thor.sparsity.null_density_before", "thor.sparsity.null_density_after"} {
+			n := obs.LabeledName(name, "concept", string(c))
+			if got, want := skipReg.FloatGauge(n).Value(), fullReg.FloatGauge(n).Value(); got != want {
+				t.Errorf("%s: SkipFill %v, full run %v", n, got, want)
+			}
+		}
+	}
+	if got, want := skipReg.FloatGauge("thor.sparsity.fill_rate").Value(),
+		fullReg.FloatGauge("thor.sparsity.fill_rate").Value(); got != want {
+		t.Errorf("fill_rate: SkipFill %v, full run %v", got, want)
+	}
+}
+
+// TestQuantMetricsPublished checks the telemetry plumbing end to end: a run
+// with the tier active ticks the thor.match.quant_* series, and disabling
+// the tier stops them.
+func TestQuantMetricsPublished(t *testing.T) {
+	table, space, docs := fig1Table(), fig1Space(), fig1Docs()
+	reg := obs.NewRegistry()
+	if _, err := Run(table, space, docs, Config{Tau: 0.6, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	filtered := reg.Counter("thor.match.quant_filtered").Value()
+	passed := reg.Counter("thor.match.quant_passed").Value()
+	if filtered+passed == 0 {
+		t.Fatal("quant counters never advanced on a quant-enabled run")
+	}
+	if rate := reg.FloatGauge("thor.match.quant_pass_rate").Value(); rate < 0 || rate > 1 {
+		t.Fatalf("quant_pass_rate = %v, want within [0,1]", rate)
+	}
+	// A pipeline's counters publish per-run deltas: two runs over the same
+	// pipeline must not double-count the first run's work.
+	reg2 := obs.NewRegistry()
+	p, err := New(table, space, Config{Tau: 0.6, Metrics: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(docs); err != nil {
+		t.Fatal(err)
+	}
+	after1 := reg2.Counter("thor.match.quant_filtered").Value() + reg2.Counter("thor.match.quant_passed").Value()
+	if _, err := p.Run(docs); err != nil {
+		t.Fatal(err)
+	}
+	after2 := reg2.Counter("thor.match.quant_filtered").Value() + reg2.Counter("thor.match.quant_passed").Value()
+	if after1 == 0 {
+		t.Fatal("first run published nothing")
+	}
+	// The warm second run resolves through memos, so its delta must be far
+	// smaller than a double-count of the first run's sweep work.
+	if after2 >= 2*after1 {
+		t.Fatalf("second run delta looks cumulative, not incremental: %d then %d", after1, after2)
+	}
+}
+
+// TestRunOptionsOverrides checks RunContextOpts: a per-run DocTimeout and
+// Logger take effect without touching the pipeline's configuration.
+func TestRunOptionsOverrides(t *testing.T) {
+	p, err := New(fig1Table(), fig1Space(), Config{Tau: 0.6, MaxFailureFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	res, err := p.RunContextOpts(context.Background(), fig1Docs(), &RunOptions{
+		DocTimeout: time.Nanosecond,
+		Logger:     logger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Quarantined) != 1 {
+		t.Fatalf("override DocTimeout did not quarantine: %+v", res.Stats)
+	}
+	if !strings.Contains(res.Stats.Quarantined[0].Err, "timeout") {
+		t.Fatalf("failure does not name the timeout: %+v", res.Stats.Quarantined[0])
+	}
+	if !strings.Contains(buf.String(), "document quarantined") {
+		t.Fatalf("override logger saw no quarantine log: %q", buf.String())
+	}
+	// The pipeline's own config is untouched: a plain run still succeeds.
+	res, err = p.Run(fig1Docs())
+	if err != nil || len(res.Stats.Quarantined) != 0 {
+		t.Fatalf("plain run after override run failed: err=%v stats=%+v", err, res.Stats)
+	}
+}
+
+// TestServeZeroAllocWarmExtract is the pipeline half of the serving
+// allocation gate: once caches and memos are warm, extracting a repeated
+// document must cost only a handful of allocations (the per-document outcome
+// and its accepted entities), and the matcher's scratch-backed MatchBuf none
+// at all. Regressions here surface as serving-path allocation growth long
+// before they show in p99s.
+func TestServeZeroAllocWarmExtract(t *testing.T) {
+	table, space := fig1Table(), fig1Space()
+	parse := NewParseCache()
+	p, err := New(table, space, Config{Tau: 0.6, ParseCache: parse, SkipFill: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := fig1Docs()[0]
+	mctx := p.match.AcquireContext()
+	defer p.match.ReleaseContext(mctx)
+	dr := &docRun{ctx: context.Background(), doc: doc.Name, stage: StageSegment}
+	warm, err := p.extractDoc(dr, doc, mctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.entities) == 0 {
+		t.Fatal("warm-up extracted no entities — the gate would measure an empty path")
+	}
+	entityAllocs := len(warm.entities) // appends into out.entities grow from nil
+
+	allocs := testing.AllocsPerRun(50, func() {
+		out, err := p.extractDoc(dr, doc, mctx)
+		if err != nil || len(out.entities) != len(warm.entities) {
+			t.Fatalf("warm extract changed: err=%v entities=%d", err, len(out.entities))
+		}
+	})
+	// Budget: the docOutcome itself, one slice growth chain for the accepted
+	// entities, and nothing else — no per-sentence, per-phrase or per-match
+	// allocations survive on the warm path.
+	budget := float64(2 + 2*entityAllocs)
+	if allocs > budget {
+		t.Errorf("warm extractDoc allocates %.1f allocs/op, budget %.0f", allocs, budget)
+	}
+
+	// The matcher hot path proper: matching a warm phrase that produces no
+	// candidates must be allocation-free.
+	miss := phrase.Phrase{Words: []string{"slow-growing", "development"}}
+	mctx.MatchBuf(miss)
+	if got := testing.AllocsPerRun(100, func() { mctx.MatchBuf(miss) }); got != 0 {
+		t.Errorf("warm rejecting MatchBuf allocates %.1f allocs/op, want 0", got)
+	}
+}
+
+// TestDocCacheHitSkipsAnalysis pins the doc-level cache tier: a repeated
+// document resolves without any per-sentence analysis stage calls, and its
+// outcome is identical to the cold extraction.
+func TestDocCacheHitSkipsAnalysis(t *testing.T) {
+	parse := NewParseCache()
+	p, err := New(fig1Table(), fig1Space(), Config{Tau: 0.6, ParseCache: parse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := fig1Docs()
+	cold, err := p.Run(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parse.DocLen() == 0 {
+		t.Fatal("doc-level cache never populated")
+	}
+	warmRun, err := p.Run(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := cold.AllEntities(), warmRun.AllEntities()
+	if len(a) != len(b) {
+		t.Fatalf("warm run differs: %d vs %d entities", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entity %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for _, st := range warmRun.Stats.Stages {
+		switch st.Stage {
+		case StagePOSTag, StageDepParse, StagePhraseExtract:
+			if st.Calls != 0 {
+				t.Errorf("warm run still ran %s %d times", st.Stage, st.Calls)
+			}
+		case StageSegment:
+			if st.Calls != 1 {
+				t.Errorf("warm run booked %d segment calls, want 1 (the doc lookup)", st.Calls)
+			}
+		}
+	}
+	// Different default subjects key different entries — the cache must not
+	// conflate them.
+	docOther := docs[0]
+	docOther.DefaultSubject = "Tuberculosis"
+	if _, err := p.Run([]segment.Document{docOther}); err != nil {
+		t.Fatal(err)
+	}
+	if parse.DocLen() < 2 {
+		t.Errorf("DocLen = %d, want entries per (subject, text) pair", parse.DocLen())
+	}
+}

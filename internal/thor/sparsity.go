@@ -2,6 +2,7 @@ package thor
 
 import (
 	"fmt"
+	"strings"
 
 	"thor/internal/obs"
 	"thor/internal/schema"
@@ -98,18 +99,72 @@ func conceptDensity(t *schema.Table, concepts []schema.Concept) []float64 {
 	return out
 }
 
+// derivedDensity computes the after-fill per-concept null densities a
+// SkipFill run would have produced, without materializing the filled table:
+// each distinct (subject, concept) pair among the assignments whose cell was
+// null before turns exactly one null cell non-null (assignments are the
+// cells a fill pass adds, so the first assignment to a null cell fills it).
+func derivedDensity(before *schema.Table, concepts []schema.Concept, db []float64, assignments []Assignment) []float64 {
+	da := make([]float64, len(db))
+	if len(before.Rows) == 0 {
+		return da
+	}
+	nulls := make([]int, len(concepts))
+	for i, c := range concepts {
+		for _, r := range before.Rows {
+			if r.Missing(c) {
+				nulls[i]++
+			}
+		}
+	}
+	type cell struct {
+		subject string
+		concept schema.Concept
+	}
+	filledCells := make(map[cell]bool)
+	for _, a := range assignments {
+		key := cell{subject: strings.ToLower(a.Subject), concept: a.Concept}
+		if filledCells[key] {
+			continue
+		}
+		filledCells[key] = true
+		row := before.Row(a.Subject)
+		if row == nil || !row.Missing(a.Concept) {
+			continue
+		}
+		for i, c := range concepts {
+			if c == a.Concept {
+				nulls[i]--
+				break
+			}
+		}
+	}
+	for i := range concepts {
+		da[i] = float64(nulls[i]) / float64(len(before.Rows))
+	}
+	return da
+}
+
 // recordRun publishes the run's sparsity effect: per-concept null density
 // of the input table versus the enriched output, per-concept filled-cell
 // counts (from the run's actual assignments), the overall fill rate
 // (filled / previously-null cells) and the quarantined-document fraction.
 // before is the pipeline's (immutable) target table; after is the run's
-// enriched clone. No-op without a registry.
+// enriched clone, or nil under Config.SkipFill — then the after-densities
+// are derived from before plus the (read-only) assignments, which is exact:
+// a cell leaves null state iff some assignment wrote its first value. No-op
+// without a registry.
 func (si *sparsityInstruments) recordRun(before, after *schema.Table, assignments []Assignment, stats *Stats) {
 	if si.concepts == nil {
 		return
 	}
 	db := conceptDensity(before, si.concepts)
-	da := conceptDensity(after, si.concepts)
+	var da []float64
+	if after != nil {
+		da = conceptDensity(after, si.concepts)
+	} else {
+		da = derivedDensity(before, si.concepts, db, assignments)
+	}
 	rows := float64(len(before.Rows))
 	var nullsBefore float64
 	for i := range si.concepts {

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -149,6 +150,17 @@ type Config struct {
 	// correlation fields matching the serving layer's (see obs.LogDocID).
 	// Nil disables logging.
 	Logger *slog.Logger
+	// SkipFill, when set, skips phase ③ entirely: the run does not clone the
+	// target table and Result.Table stays nil, Result.Assignments stays nil
+	// (even under Explain) and Stats.Filled is 0. Callers that compute their
+	// own fills from Result.Entities or Result.Docs — the serving layer uses
+	// Assignments/AssignmentsExplained per request — opt out of the per-run
+	// table copy this way. Everything up to and including the entity merge is
+	// unaffected. Per-run sparsity telemetry is still published: the
+	// after-fill null densities are derived from the would-be assignments
+	// (computed read-only) instead of an enriched clone, with identical
+	// values.
+	SkipFill bool
 	// CollectDocResults, when set, retains each completed document's
 	// individual pre-merge outcome in Result.Docs: its extracted entities
 	// in extraction order (before the per-subject set deduplication of the
@@ -313,10 +325,46 @@ func Fill(table *schema.Table, entities map[string][]Entity) []Assignment {
 	return fillInto(table, entities, 0, false)
 }
 
+// Assignments computes, without mutating or cloning the table, exactly the
+// assignment sequence Fill would produce on a fresh copy: same cells, same
+// values, same order. It is the read-only form the serving layer fills
+// requests through — one shared immutable table, no per-request clone.
+func Assignments(table *schema.Table, entities map[string][]Entity) []Assignment {
+	return assignmentsFor(table, entities, 0, false)
+}
+
+// AssignmentsExplained is Assignments with per-cell Provenance attached,
+// mirroring FillExplained the way Assignments mirrors Fill.
+func AssignmentsExplained(table *schema.Table, entities map[string][]Entity, tau float64) []Assignment {
+	return assignmentsFor(table, entities, tau, true)
+}
+
 // fillInto is the shared phase-③ core of Fill and FillExplained: the
-// assignment sequence is identical on both paths; explain only adds the
-// per-cell provenance record.
+// assignments are computed read-only first (the single source of truth the
+// Assignments variants share), then applied to the table — so the mutating
+// and read-only paths cannot drift apart.
 func fillInto(table *schema.Table, entities map[string][]Entity, tau float64, explain bool) []Assignment {
+	out := assignmentsFor(table, entities, tau, explain)
+	for _, a := range out {
+		table.Row(a.Subject).Add(a.Concept, a.Value)
+	}
+	return out
+}
+
+// fillDedupKey identifies a (concept, value) cell within one row,
+// case-insensitively — the same identity Row.Add enforces.
+type fillDedupKey struct {
+	concept schema.Concept
+	value   string // lowercased
+}
+
+// assignmentsFor walks subjects in sorted order and emits every cell a fill
+// pass would add: entities whose concept is the subject concept are skipped
+// (the subject column is the key), empty and already-present values are
+// skipped, and repeats within one row — which a mutating fill would reject
+// via the row's updated state — are rejected via a per-row dedup set, so the
+// table itself is never touched.
+func assignmentsFor(table *schema.Table, entities map[string][]Entity, tau float64, explain bool) []Assignment {
 	subjects := make([]string, 0, len(entities))
 	for s := range entities {
 		subjects = append(subjects, s)
@@ -324,31 +372,42 @@ func fillInto(table *schema.Table, entities map[string][]Entity, tau float64, ex
 	sort.Strings(subjects)
 	subjectConcept := table.Schema.Subject
 	var out []Assignment
+	var added map[fillDedupKey]bool
 	for _, subj := range subjects {
 		row := table.Row(subj)
 		if row == nil {
 			continue
 		}
+		clear(added)
 		for _, e := range entities[subj] {
 			if e.Concept == subjectConcept {
 				continue
 			}
-			if row.Add(e.Concept, e.Phrase) {
-				a := Assignment{Subject: row.Subject, Concept: e.Concept, Value: e.Phrase}
-				if explain {
-					a.Provenance = &Provenance{
-						Doc:      e.Doc,
-						Phrase:   e.Phrase,
-						Matched:  e.Matched,
-						Semantic: e.ScoreS,
-						Jaccard:  e.ScoreW,
-						Gestalt:  e.ScoreC,
-						Score:    e.Score,
-						Tau:      tau,
-					}
-				}
-				out = append(out, a)
+			if e.Phrase == "" || row.Has(e.Concept, e.Phrase) {
+				continue
 			}
+			key := fillDedupKey{concept: e.Concept, value: strings.ToLower(e.Phrase)}
+			if added[key] {
+				continue
+			}
+			if added == nil {
+				added = make(map[fillDedupKey]bool)
+			}
+			added[key] = true
+			a := Assignment{Subject: row.Subject, Concept: e.Concept, Value: e.Phrase}
+			if explain {
+				a.Provenance = &Provenance{
+					Doc:      e.Doc,
+					Phrase:   e.Phrase,
+					Matched:  e.Matched,
+					Semantic: e.ScoreS,
+					Jaccard:  e.ScoreW,
+					Gestalt:  e.ScoreC,
+					Score:    e.Score,
+					Tau:      tau,
+				}
+			}
+			out = append(out, a)
 		}
 	}
 	return out
@@ -387,10 +446,17 @@ type Pipeline struct {
 	// documents, and all three scores are pure functions of the pair, so the
 	// read-mostly map turns the refinement stage into a lookup.
 	refine *cow.Map[[2]string, [3]float64]
-	// parse is the optional shared sentence-analysis cache (cfg.ParseCache)
-	// and parseFP the pipeline's analysis-configuration fingerprint.
+	// parse is the optional shared sentence-analysis cache (cfg.ParseCache),
+	// parseFP the pipeline's analysis-configuration fingerprint and docFP
+	// its extension with the segmentation inputs, keying the doc-level tier.
 	parse   *ParseCache
 	parseFP uint64
+	docFP   uint64
+	// lastQuantFiltered/lastQuantPassed are this pipeline's cursors into the
+	// process-wide int8 propose-tier counters, advanced by publishQuantStats
+	// after every run.
+	lastQuantFiltered atomic.Uint64
+	lastQuantPassed   atomic.Uint64
 }
 
 // New prepares a pipeline for the given integrated table: it fine-tunes the
@@ -448,7 +514,13 @@ func New(table *schema.Table, space *embed.Space, cfg Config) (*Pipeline, error)
 	}
 	if p.parse != nil {
 		p.parseFP = parseFingerprint(cfg.Lexicon, cfg.NaiveChunking)
+		p.docFP = docFingerprint(p.parseFP, table.Subjects())
 	}
+	// Seed the quant cursors so the first run publishes only its own delta,
+	// not the process history.
+	qf, qp := embed.QuantCounters()
+	p.lastQuantFiltered.Store(qf)
+	p.lastQuantPassed.Store(qp)
 	// The fine-tune histogram observes once per pipeline; Run seeds its
 	// Stats.Stages row from tuneDur instead of re-observing.
 	p.ins.stageHist[idxFineTune].Observe(tuneDur)
@@ -482,6 +554,18 @@ func (p *Pipeline) failureAllowance(n int) int {
 	return int(frac * float64(n))
 }
 
+// RunOptions are per-run overrides of a pipeline's configuration, for
+// callers that reuse one fine-tuned Pipeline across many runs with varying
+// request-scoped parameters (the serving layer's batch loop). Every field's
+// zero value means "use the pipeline Config's setting".
+type RunOptions struct {
+	// DocTimeout overrides Config.DocTimeout when positive.
+	DocTimeout time.Duration
+	// Logger overrides Config.Logger when non-nil (e.g. a batch-correlated
+	// logger).
+	Logger *slog.Logger
+}
+
 // RunContext executes phases ①a, ② and ③ over the documents and returns the
 // enriched table and extracted entities. With Config.Workers > 1, documents
 // are processed concurrently and merged back in input order, so the result
@@ -497,8 +581,23 @@ func (p *Pipeline) failureAllowance(n int) int {
 // non-nil and valid: it merges every document that completed, bit-identical
 // to a clean run over exactly those documents.
 func (p *Pipeline) RunContext(ctx context.Context, docs []segment.Document) (*Result, error) {
+	return p.RunContextOpts(ctx, docs, nil)
+}
+
+// RunContextOpts is RunContext with per-run overrides; a nil opts is
+// equivalent to RunContext.
+func (p *Pipeline) RunContextOpts(ctx context.Context, docs []segment.Document, opts *RunOptions) (*Result, error) {
 	if len(docs) == 0 {
 		return nil, fmt.Errorf("thor: no documents")
+	}
+	docTimeout, logger := p.cfg.DocTimeout, p.cfg.Logger
+	if opts != nil {
+		if opts.DocTimeout > 0 {
+			docTimeout = opts.DocTimeout
+		}
+		if opts.Logger != nil {
+			logger = opts.Logger
+		}
 	}
 	// The run span attaches under whatever SpanRefs the caller's context
 	// carries (the serving layer's batch span, fanned out per request);
@@ -507,8 +606,10 @@ func (p *Pipeline) RunContext(ctx context.Context, docs []segment.Document) (*Re
 	defer runSpan.End()
 	start := time.Now()
 	res := &Result{
-		Table:    p.table.Clone(),
 		Entities: make(map[string][]Entity),
+	}
+	if !p.cfg.SkipFill {
+		res.Table = p.table.Clone()
 	}
 	res.Stats.Documents = len(docs)
 	res.Stats.PrepTime = p.prepDur
@@ -537,14 +638,16 @@ func (p *Pipeline) RunContext(ctx context.Context, docs []segment.Document) (*Re
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				// Each worker carries its own match context so Match's
-				// scratch space is reused without contention.
-				mctx := p.match.NewContext()
+				// Each worker carries its own pooled match context so Match's
+				// scratch space is reused without contention — and across
+				// runs, so the steady state allocates no scratch at all.
+				mctx := p.match.AcquireContext()
+				defer p.match.ReleaseContext(mctx)
 				for i := range jobs {
 					if runCtx.Err() != nil {
 						continue // drain; the document stays unattempted
 					}
-					outcomes[i], tries[i], errs[i] = p.extractDocResilient(runCtx, docs[i], mctx)
+					outcomes[i], tries[i], errs[i] = p.extractDocResilient(runCtx, docs[i], mctx, docTimeout)
 					if errs[i] != nil && !isContextErr(errs[i]) {
 						noteFailure()
 					}
@@ -557,16 +660,17 @@ func (p *Pipeline) RunContext(ctx context.Context, docs []segment.Document) (*Re
 		close(jobs)
 		wg.Wait()
 	} else {
-		mctx := p.match.NewContext()
+		mctx := p.match.AcquireContext()
 		for i := range docs {
 			if runCtx.Err() != nil {
 				break
 			}
-			outcomes[i], tries[i], errs[i] = p.extractDocResilient(runCtx, docs[i], mctx)
+			outcomes[i], tries[i], errs[i] = p.extractDocResilient(runCtx, docs[i], mctx, docTimeout)
 			if errs[i] != nil && !isContextErr(errs[i]) {
 				noteFailure()
 			}
 		}
+		p.match.ReleaseContext(mctx)
 	}
 	aborted := failed.Load() > int64(allowance)
 	cancelled := ctx.Err() != nil
@@ -593,8 +697,8 @@ func (p *Pipeline) RunContext(ctx context.Context, docs []segment.Document) (*Re
 				obs.String("stage", string(f.Stage)),
 				obs.String("error", f.Err))
 			qs.End()
-			if p.cfg.Logger != nil {
-				p.cfg.Logger.Warn("document quarantined",
+			if logger != nil {
+				logger.Warn("document quarantined",
 					obs.LogDocID, f.Doc,
 					"stage", string(f.Stage),
 					"error", f.Err)
@@ -635,19 +739,29 @@ func (p *Pipeline) RunContext(ctx context.Context, docs []segment.Document) (*Re
 	p.ins.retried.Add(int64(res.Stats.Retried))
 
 	// ③ Slot filling (Algorithm 1 lines 16–20). The explain path runs the
-	// identical fill and additionally retains the per-cell provenance.
+	// identical fill and additionally retains the per-cell provenance. Under
+	// SkipFill no table is cloned or written; the would-be assignments are
+	// still computed (read-only) when a registry wants the sparsity
+	// telemetry, and they are identical to what a filling run would apply.
 	fillStart := time.Now()
 	var assignments []Assignment
-	if p.cfg.Explain {
+	switch {
+	case p.cfg.SkipFill:
+		if p.cfg.Metrics != nil {
+			assignments = Assignments(p.table, res.Entities)
+		}
+	case p.cfg.Explain:
 		res.Assignments = FillExplained(res.Table, res.Entities, p.cfg.Tau)
 		assignments = res.Assignments
 		for _, a := range res.Assignments {
 			p.cfg.Metrics.Counter("thor.fills_explained." + string(a.Concept)).Add(1)
 		}
-	} else {
+	default:
 		assignments = Fill(res.Table, res.Entities)
 	}
-	res.Stats.Filled = len(assignments)
+	if !p.cfg.SkipFill {
+		res.Stats.Filled = len(assignments)
+	}
 	acc.observe(idxFill, time.Since(fillStart))
 	p.ins.stageHist[idxFill].Observe(time.Since(fillStart))
 	// Sparsity telemetry: the paper's headline effect — null density removed
@@ -672,6 +786,7 @@ func (p *Pipeline) RunContext(ctx context.Context, docs []segment.Document) (*Re
 	// and filled only exist after the merge and fill phases.
 	p.ins.entities.Add(int64(res.Stats.Entities))
 	p.ins.filled.Add(int64(res.Stats.Filled))
+	p.publishQuantStats()
 
 	switch {
 	case cancelled:
@@ -692,10 +807,10 @@ func (p *Pipeline) RunContext(ctx context.Context, docs []segment.Document) (*Re
 // retry policy: transient failures are re-attempted with capped, jittered
 // backoff; panics and permanent errors surface immediately. retries is the
 // number of extra attempts consumed.
-func (p *Pipeline) extractDocResilient(ctx context.Context, doc segment.Document, mctx *matcher.MatchContext) (out *docOutcome, retries int, err error) {
+func (p *Pipeline) extractDocResilient(ctx context.Context, doc segment.Document, mctx *matcher.MatchContext, docTimeout time.Duration) (out *docOutcome, retries int, err error) {
 	err = chaos.Retry(ctx, p.cfg.Retry, doc.Name, func(attempt int) error {
 		retries = attempt
-		o, e := p.extractDocSafe(ctx, doc, mctx)
+		o, e := p.extractDocSafe(ctx, doc, mctx, docTimeout)
 		out = o
 		return e
 	})
@@ -712,8 +827,9 @@ func (p *Pipeline) extractDocResilient(ctx context.Context, doc segment.Document
 type docRun struct {
 	ctx      context.Context
 	doc      string
-	deadline time.Time // zero when Config.DocTimeout is unset
-	stage    Stage     // last stage entered, for failure attribution
+	deadline time.Time     // zero when no document timeout is in force
+	timeout  time.Duration // the timeout behind deadline, for error messages
+	stage    Stage         // last stage entered, for failure attribution
 	hooked   [numStages]bool
 }
 
@@ -727,7 +843,7 @@ func (p *Pipeline) checkpoint(dr *docRun, idx int) error {
 		return err
 	}
 	if !dr.deadline.IsZero() && time.Now().After(dr.deadline) {
-		return &docError{stage: dr.stage, cause: fmt.Errorf("document timeout %v exceeded", p.cfg.DocTimeout)}
+		return &docError{stage: dr.stage, cause: fmt.Errorf("document timeout %v exceeded", dr.timeout)}
 	}
 	if h := p.cfg.FaultHook; h != nil && !dr.hooked[idx] {
 		dr.hooked[idx] = true
@@ -754,12 +870,12 @@ func (p *Pipeline) observeChecked(dr *docRun, acc *stageAcc, i int, d time.Durat
 // panicking stage, fault hook or Validator surfaces as a stage-attributed
 // error carrying the goroutine stack, feeding the quarantine record instead
 // of crashing the worker pool.
-func (p *Pipeline) extractDocSafe(ctx context.Context, doc segment.Document, mctx *matcher.MatchContext) (out *docOutcome, err error) {
+func (p *Pipeline) extractDocSafe(ctx context.Context, doc segment.Document, mctx *matcher.MatchContext, docTimeout time.Duration) (out *docOutcome, err error) {
 	_, sp := p.cfg.Tracer.StartSpanCtx(ctx, "doc", obs.String("doc", doc.Name))
 	defer sp.End()
-	dr := &docRun{ctx: ctx, doc: doc.Name, stage: StageSegment}
-	if p.cfg.DocTimeout > 0 {
-		dr.deadline = time.Now().Add(p.cfg.DocTimeout)
+	dr := &docRun{ctx: ctx, doc: doc.Name, stage: StageSegment, timeout: docTimeout}
+	if docTimeout > 0 {
+		dr.deadline = time.Now().Add(docTimeout)
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -778,39 +894,79 @@ func (p *Pipeline) extractDocSafe(ctx context.Context, doc segment.Document, mct
 	return out, err
 }
 
+// analyzeDoc produces one document's sentence/subject assignments and, for
+// every attributed sentence, its candidate noun phrases. With a ParseCache
+// configured, whole-document results are memoized: a warm document costs one
+// lookup (booked under the segment stage) and no per-sentence key building at
+// all — the serving layer's warm fill path depends on this. A miss runs the
+// full analysis (the sentence-level cache tier still applies) and publishes
+// the completed entry; failed analyses publish nothing.
+func (p *Pipeline) analyzeDoc(dr *docRun, doc segment.Document, acc *stageAcc) (docEntry, error) {
+	if err := p.checkpoint(dr, idxSegment); err != nil {
+		return docEntry{}, err
+	}
+	var key docKey
+	t0 := time.Now()
+	if p.parse != nil {
+		key = docKey{cfg: p.docFP, subject: doc.DefaultSubject, text: doc.Text}
+		if e, ok := p.parse.docs.Get(key); ok {
+			if err := p.observeChecked(dr, acc, idxSegment, time.Since(t0)); err != nil {
+				return docEntry{}, err
+			}
+			return *e, nil
+		}
+	}
+	e := docEntry{assignments: p.seg.Segment(doc)}
+	if err := p.observeChecked(dr, acc, idxSegment, time.Since(t0)); err != nil {
+		return docEntry{}, err
+	}
+	e.phrases = make([][]phrase.Phrase, len(e.assignments))
+	for i := range e.assignments {
+		if e.assignments[i].Subject == "" {
+			continue
+		}
+		phs, err := p.phrases(dr, e.assignments[i], acc)
+		if err != nil {
+			return docEntry{}, err
+		}
+		e.phrases[i] = phs
+	}
+	if p.parse != nil {
+		p.parse.docs.Put(key, &e)
+	}
+	return e, nil
+}
+
 // extractDoc runs segmentation plus lines 6–15 of Algorithm 1 over one
 // document, checking for cancellation, deadlines and injected faults at
 // stage boundaries.
 func (p *Pipeline) extractDoc(dr *docRun, doc segment.Document, mctx *matcher.MatchContext) (*docOutcome, error) {
 	out := &docOutcome{}
 	semW, jacW, gesW := p.cfg.scoreWeights()
-	if err := p.checkpoint(dr, idxSegment); err != nil {
-		return nil, err
-	}
-	t0 := time.Now()
-	assignments := p.seg.Segment(doc)
-	if err := p.observeChecked(dr, &out.stages, idxSegment, time.Since(t0)); err != nil {
+	entry, err := p.analyzeDoc(dr, doc, &out.stages)
+	if err != nil {
 		return nil, err
 	}
 	p.ins.docs.Add(1)
-	p.ins.sentences.Add(int64(len(assignments)))
-	for _, asg := range assignments {
+	p.ins.sentences.Add(int64(len(entry.assignments)))
+	for si, asg := range entry.assignments {
 		out.sentences++
 		if asg.Subject == "" {
 			continue
 		}
-		phrases, err := p.phrases(dr, asg, &out.stages)
-		if err != nil {
-			return nil, err
-		}
+		phrases := entry.phrases[si]
 		out.phrases += len(phrases)
 		p.ins.phrases.Add(int64(len(phrases)))
 		for _, ph := range phrases {
 			if err := p.checkpoint(dr, idxMatch); err != nil {
 				return nil, err
 			}
-			t0 = time.Now()
-			cands := mctx.Match(ph)
+			t0 := time.Now()
+			// MatchBuf returns the context's scratch-backed candidates; they
+			// are consumed (and their strings copied into the best Entity)
+			// before the next call, so the hot loop allocates nothing for
+			// rejected phrases.
+			cands := mctx.MatchBuf(ph)
 			if err := p.observeChecked(dr, &out.stages, idxMatch, time.Since(t0)); err != nil {
 				return nil, err
 			}
@@ -874,6 +1030,26 @@ func (p *Pipeline) refineScores(phrase, matched string) (s, w, c float64) {
 func (p *Pipeline) observe(acc *stageAcc, i int, d time.Duration) {
 	acc.observe(i, d)
 	p.ins.stageHist[i].Observe(d)
+}
+
+// publishQuantStats forwards the int8 propose tier's screening counters to
+// the registry as deltas since this pipeline's previous publish. The source
+// counters are process-wide (all matrices share them), so with several
+// concurrently running pipelines the attribution is process-level rather
+// than exact per-pipeline; totals remain correct. The pass-rate gauge
+// reflects the latest delta: filtered/(filtered+passed) screened away.
+func (p *Pipeline) publishQuantStats() {
+	if p.ins.quantFiltered == nil {
+		return
+	}
+	f, q := embed.QuantCounters()
+	df := f - p.lastQuantFiltered.Swap(f)
+	dp := q - p.lastQuantPassed.Swap(q)
+	p.ins.quantFiltered.Add(int64(df))
+	p.ins.quantPassed.Add(int64(dp))
+	if df+dp > 0 {
+		p.ins.quantPassRate.Set(float64(dp) / float64(df+dp))
+	}
 }
 
 // phrases produces the candidate noun phrases of a sentence, consulting the
