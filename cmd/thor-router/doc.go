@@ -1,0 +1,19 @@
+// Command thor-router is the serving-tier front door: an HTTP router that
+// fans /v1/fill and /v1/extract over a fleet of thord backends.
+//
+// Topology comes from either -backends (identical replicas of one logical
+// shard, documents spread by rendezvous hashing) or -shard-map (a JSON file
+// partitioning concepts across shards, each with its own replica set).
+// Replica choice is health-aware: a background prober classifies each
+// backend from /readyz and its SLO burn rate, per-backend circuit breakers
+// isolate failing replicas, slow primaries are hedged against a second
+// replica, transient failures are retried with backend Retry-After hints
+// honored, and a shard with no replicas left degrades to partial responses
+// carrying a per-shard `degraded` marker instead of failing the request.
+//
+// Observability mirrors thord: /metrics serves the OpenMetrics exposition
+// of the router.* families, /debug/thor/spans the span ring, and /v1/topology
+// the live per-backend health/breaker view thorctl renders.
+//
+// Exit codes: 0 clean shutdown (drained), 1 fatal error, 2 usage error.
+package main

@@ -1,0 +1,412 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"time"
+
+	"thor/internal/experiments"
+	"thor/internal/serve"
+)
+
+// routerBitIdentity records the pre-load correctness proof: the same request
+// answered by a backend directly and through the router must produce the
+// same fill.
+type routerBitIdentity struct {
+	// Samples is the number of request bodies compared.
+	Samples int `json:"samples"`
+	// Identical counts samples whose entities and assignments matched
+	// exactly (Stats carries wall-clock timings and is excluded).
+	Identical int `json:"identical"`
+	// Brownouts counts router responses carrying a degraded marker; the
+	// identity contract only binds non-brownout responses, and with every
+	// backend healthy this must be zero.
+	Brownouts int `json:"brownouts"`
+}
+
+// routerBaseline is the BENCH_ROUTER_BASELINE.json document.
+type routerBaseline struct {
+	// Benchmark identifies the workload shape.
+	Benchmark string `json:"benchmark"`
+	// Dataset names the corpus driven through the tier.
+	Dataset string `json:"dataset"`
+	// Backends is the number of thord processes behind the router.
+	Backends int `json:"backends"`
+	// DocsPerRequest is the fixed request size.
+	DocsPerRequest int `json:"docs_per_request"`
+	// DurationS is the measured wall clock per level, in seconds.
+	DurationS float64 `json:"duration_s"`
+	// Levels are the per-concurrency measurements through the router.
+	Levels []serveLevel `json:"levels"`
+	// SingleNodeRPS is the single-process c=64 throughput from
+	// BENCH_SERVE_BASELINE.json, when present (0 otherwise).
+	SingleNodeRPS float64 `json:"single_node_rps,omitempty"`
+	// ScalingVsSingleNode is the router's best-level throughput over
+	// SingleNodeRPS. Recorded honestly: on a single-core machine the
+	// processes time-share one CPU and the ratio stays near (or below) 1 —
+	// the number documents the environment rather than asserting a target.
+	ScalingVsSingleNode float64 `json:"scaling_vs_single_node,omitempty"`
+	// BitIdentity is the pre-load correctness comparison.
+	BitIdentity routerBitIdentity `json:"bit_identity"`
+}
+
+// runRouter benchmarks the sharded serving tier end to end: it builds (or is
+// given) the thord and thor-router binaries, spawns N backends plus one
+// router as separate processes, proves fill bit-identity through the router,
+// then drives closed-loop load through the router at each concurrency level
+// and records throughput against the single-node serving baseline.
+func runRouter(outPath, serveBaselinePath string, duration time.Duration, levelsCSV string, nBackends int, thordBin, routerBin string) {
+	levels, err := parseLevels(levelsCSV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thorbench:", err)
+		os.Exit(2)
+	}
+	if nBackends < 1 {
+		fmt.Fprintln(os.Stderr, "thorbench: -router-backends must be at least 1")
+		os.Exit(2)
+	}
+	tmp, err := os.MkdirTemp("", "thorbench-router-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	if thordBin == "" || routerBin == "" {
+		built, err := buildBinaries(tmp)
+		if err != nil {
+			fatal(fmt.Errorf("building thord/thor-router (pass -thord-bin/-router-bin to skip): %w", err))
+		}
+		if thordBin == "" {
+			thordBin = built["thord"]
+		}
+		if routerBin == "" {
+			routerBin = built["thor-router"]
+		}
+	}
+
+	// Materialize the dataset for the subprocesses: the cleared test table
+	// (fill target), the full table (fine-tuning knowledge) and the real
+	// embedding space, exactly the shape the in-process -serve mode uses.
+	ds := experiments.DiseaseDataset()
+	testPath := filepath.Join(tmp, "test-table.json")
+	knowPath := filepath.Join(tmp, "knowledge.json")
+	vecPath := filepath.Join(tmp, "vectors.thorvec")
+	if err := writeFileWith(testPath, ds.TestTable().WriteJSON); err != nil {
+		fatal(err)
+	}
+	if err := writeFileWith(knowPath, ds.Table.WriteJSON); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(vecPath)
+	if err != nil {
+		fatal(err)
+	}
+	_, err = ds.Space.WriteTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	// Spawn the tier: N identical replicas of one logical shard, then the
+	// router over them.
+	var procs []*exec.Cmd
+	defer func() { stopProcs(procs) }()
+	var backendAddrs []string
+	for i := 0; i < nBackends; i++ {
+		addr := pickAddr()
+		cmd := exec.Command(thordBin,
+			"-table", testPath,
+			"-knowledge", knowPath,
+			"-vectors", vecPath,
+			"-tau", fmt.Sprintf("%g", experiments.BestTau),
+			"-addr", addr,
+			"-shard-id", "all",
+			"-queue-depth", "128",
+			"-log-level", "warn")
+		cmd.Stderr = mustLogFile(tmp, fmt.Sprintf("thord-%d.log", i))
+		if err := cmd.Start(); err != nil {
+			fatal(fmt.Errorf("start thord %d: %w", i, err))
+		}
+		procs = append(procs, cmd)
+		backendAddrs = append(backendAddrs, addr)
+	}
+	for i, addr := range backendAddrs {
+		if err := waitReady("http://"+addr, 60*time.Second); err != nil {
+			fatal(fmt.Errorf("thord %d (%s): %w (see %s/thord-%d.log)", i, addr, err, tmp, i))
+		}
+	}
+	routerAddr := pickAddr()
+	rcmd := exec.Command(routerBin,
+		"-backends", joinComma(backendAddrs),
+		"-addr", routerAddr,
+		"-log-level", "warn")
+	rcmd.Stderr = mustLogFile(tmp, "thor-router.log")
+	if err := rcmd.Start(); err != nil {
+		fatal(fmt.Errorf("start thor-router: %w", err))
+	}
+	procs = append(procs, rcmd)
+	if err := waitReady("http://"+routerAddr, 30*time.Second); err != nil {
+		fatal(fmt.Errorf("thor-router (%s): %w", routerAddr, err))
+	}
+
+	bodies := make([][]byte, len(ds.Test.Docs))
+	for i, d := range ds.Test.Docs {
+		b, err := json.Marshal(serve.Request{Documents: []serve.Document{{
+			Name: d.Name, DefaultSubject: d.DefaultSubject, Text: d.Text,
+		}}})
+		if err != nil {
+			fatal(err)
+		}
+		bodies[i] = b
+	}
+
+	header(fmt.Sprintf("Router benchmark — closed-loop load through thor-router over %d thord backend(s)", nBackends))
+	identity := proveBitIdentity("http://"+backendAddrs[0], "http://"+routerAddr, bodies)
+	fmt.Printf("bit-identity: %d/%d samples identical, %d brownouts\n\n",
+		identity.Identical, identity.Samples, identity.Brownouts)
+	if identity.Identical != identity.Samples || identity.Brownouts != 0 {
+		fatal(fmt.Errorf("router responses deviated from direct backend responses (%d/%d identical, %d brownouts)",
+			identity.Identical, identity.Samples, identity.Brownouts))
+	}
+
+	base := routerBaseline{
+		Benchmark:      "router-closed-loop",
+		Dataset:        "disease",
+		Backends:       nBackends,
+		DocsPerRequest: 1,
+		DurationS:      duration.Seconds(),
+		BitIdentity:    identity,
+	}
+	routerURL := "http://" + routerAddr + "/v1/fill"
+	var best float64
+	for _, c := range levels {
+		sampler := startRuntimeSampler()
+		lv := driveLevel(routerURL, bodies, c, duration)
+		lv.Runtime = sampler.finish()
+		if lv.Requests > 0 {
+			lv.AllocsPerRequest = float64(lv.Runtime.AllocObjects) / float64(lv.Requests)
+		}
+		base.Levels = append(base.Levels, lv)
+		if lv.ThroughputRPS > best {
+			best = lv.ThroughputRPS
+		}
+		fmt.Printf("c=%-3d  %8.1f req/s   p50 %7.2fms  p95 %7.2fms  p99 %7.2fms   retries %d  errors %d\n",
+			lv.Concurrency, lv.ThroughputRPS,
+			lv.LatencyMS["p50"], lv.LatencyMS["p95"], lv.LatencyMS["p99"],
+			lv.Retries, lv.Errors)
+	}
+
+	if rps := singleNodeRPS(serveBaselinePath, 64); rps > 0 {
+		base.SingleNodeRPS = rps
+		base.ScalingVsSingleNode = best / rps
+		fmt.Printf("\nsingle-node c=64 baseline: %.1f req/s  →  scaling ×%.2f (%d backends)\n",
+			rps, base.ScalingVsSingleNode, nBackends)
+	}
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(base)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	logger.Info("router baseline written", "path", outPath)
+}
+
+// buildBinaries compiles thord and thor-router into dir using the module in
+// the current working directory.
+func buildBinaries(dir string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, name := range []string{"thord", "thor-router"} {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			return nil, fmt.Errorf("go build ./cmd/%s: %v: %s", name, err, msg)
+		}
+		out[name] = bin
+	}
+	return out, nil
+}
+
+// writeFileWith streams fn into a new file at path.
+func writeFileWith(path string, fn func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = fn(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// mustLogFile opens a subprocess log sink inside dir.
+func mustLogFile(dir, name string) *os.File {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	return f
+}
+
+// pickAddr reserves a free loopback port and returns host:port. The listener
+// is closed before the subprocess binds it; the race window is acceptable
+// for a benchmark harness.
+func pickAddr() string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// joinComma joins addresses for the router's -backends flag.
+func joinComma(addrs []string) string {
+	out := ""
+	for i, a := range addrs {
+		if i > 0 {
+			out += ","
+		}
+		out += a
+	}
+	return out
+}
+
+// waitReady polls base/readyz until it answers 200.
+func waitReady(base string, timeout time.Duration) error {
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("not ready after %v: %w", timeout, err)
+			}
+			return fmt.Errorf("not ready after %v", timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// stopProcs terminates the tier gracefully, escalating to SIGKILL after a
+// grace period.
+func stopProcs(procs []*exec.Cmd) {
+	for _, p := range procs {
+		if p.Process != nil {
+			_ = p.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		for _, p := range procs {
+			_ = p.Wait()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		for _, p := range procs {
+			if p.Process != nil {
+				_ = p.Process.Kill()
+			}
+		}
+		<-done
+	}
+}
+
+// proveBitIdentity answers a sample of request bodies both directly against
+// one backend and through the router and compares the fills. Entities and
+// assignments must match exactly; Stats is excluded (it carries wall-clock
+// timings that legitimately differ per call).
+func proveBitIdentity(backendBase, routerBase string, bodies [][]byte) routerBitIdentity {
+	const samples = 32
+	client := &http.Client{Timeout: 30 * time.Second}
+	id := routerBitIdentity{}
+	for i := 0; i < samples && i < len(bodies); i++ {
+		id.Samples++
+		direct, _, err := fillOnce(client, backendBase, bodies[i])
+		if err != nil {
+			fatal(fmt.Errorf("bit-identity: direct fill %d: %w", i, err))
+		}
+		via, degraded, err := fillOnce(client, routerBase, bodies[i])
+		if err != nil {
+			fatal(fmt.Errorf("bit-identity: routed fill %d: %w", i, err))
+		}
+		if degraded {
+			id.Brownouts++
+			continue
+		}
+		if reflect.DeepEqual(direct.Entities, via.Entities) &&
+			reflect.DeepEqual(direct.Assignments, via.Assignments) {
+			id.Identical++
+		}
+	}
+	return id
+}
+
+// fillOnce posts one body to base/v1/fill and decodes the response plus its
+// brownout marker.
+func fillOnce(client *http.Client, base string, body []byte) (*serve.Response, bool, error) {
+	resp, err := client.Post(base+"/v1/fill", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		serve.Response
+		Degraded []json.RawMessage `json:"degraded"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, false, err
+	}
+	return &out.Response, len(out.Degraded) > 0, nil
+}
+
+// singleNodeRPS reads the single-process serving baseline and returns the
+// throughput at the given concurrency (0 when the file or level is absent).
+func singleNodeRPS(path string, concurrency int) float64 {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	var base serveBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return 0
+	}
+	for _, lv := range base.Levels {
+		if lv.Concurrency == concurrency {
+			return lv.ThroughputRPS
+		}
+	}
+	return 0
+}

@@ -287,7 +287,8 @@ func driveLevel(url string, bodies [][]byte, c int, duration time.Duration) serv
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			backoff := chaos.Backoff{Attempts: 5, Base: 2 * time.Millisecond, Cap: 50 * time.Millisecond, Seed: uint64(w)}
+			backoff := chaos.Backoff{Attempts: 5, Base: 2 * time.Millisecond, Cap: 50 * time.Millisecond, Seed: uint64(w),
+				Hint: chaos.RetryAfterHint}
 			for ctx.Err() == nil {
 				body := bodies[int(next.Add(1))%len(bodies)]
 				t0 := time.Now()
@@ -350,10 +351,30 @@ func postOnce(ctx context.Context, client *http.Client, url string, body []byte,
 	case resp.StatusCode == http.StatusOK:
 		return json.NewDecoder(resp.Body).Decode(out)
 	case resp.StatusCode == http.StatusServiceUnavailable:
-		return chaos.MarkTransient(fmt.Errorf("server overloaded (503)"))
+		err := chaos.MarkTransient(fmt.Errorf("server overloaded (503)"))
+		// Honor the server's own backoff advice when present: the shed
+		// response carries a jittered Retry-After that spreads the retry
+		// herd better than our blind exponential.
+		if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > 0 {
+			err = chaos.WithRetryAfter(err, ra)
+		}
+		return err
 	default:
 		return fmt.Errorf("unexpected status %d", resp.StatusCode)
 	}
+}
+
+// parseRetryAfter parses a delay-seconds Retry-After header value (the only
+// form thord emits). Returns 0 for absent or unparseable values.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // percentiles summarizes latencies as milliseconds.

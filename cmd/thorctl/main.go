@@ -7,12 +7,17 @@
 // Usage:
 //
 //	thorctl -targets 127.0.0.1:7071,127.0.0.1:7072 [-watch 5s] [-json] [-timeout 2s]
+//	thorctl -router 127.0.0.1:8090 [flags]
 //
 // One-shot by default; -watch re-polls at the given interval until
 // interrupted. -json emits the FleetStatus as JSON (one document per poll)
-// for CI and scripting. The exit status is 0 when every instance is ready
-// and healthy, 1 when any instance is degraded, draining or unreachable
-// (one-shot mode only).
+// for CI and scripting. -router additionally polls a thor-router's
+// /v1/topology and renders the per-backend health/breaker table above the
+// fleet view; when -targets is omitted the fleet targets are derived from
+// the topology. The exit status is 0 when every instance is ready and
+// healthy, 1 when any instance is degraded, draining or unreachable — or,
+// with -router, when any backend's circuit breaker is open or the router is
+// unreachable (one-shot mode only).
 package main
 
 import (
@@ -35,7 +40,8 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("thorctl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	targetsFlag := fs.String("targets", "", "comma-separated thord instances (host:port), required")
+	targetsFlag := fs.String("targets", "", "comma-separated thord instances (host:port); required unless -router is given")
+	routerFlag := fs.String("router", "", "thor-router endpoint (host:port); renders per-backend health/breaker state from /v1/topology")
 	watch := fs.Duration("watch", 0, "re-poll at this interval (0 = one shot)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of the status table")
 	timeout := fs.Duration("timeout", 2*time.Second, "per-request HTTP timeout")
@@ -48,24 +54,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 			targets = append(targets, t)
 		}
 	}
-	if len(targets) == 0 {
-		fmt.Fprintln(stderr, "thorctl: -targets is required")
+	routerTarget := strings.TrimSpace(*routerFlag)
+	if len(targets) == 0 && routerTarget == "" {
+		fmt.Fprintln(stderr, "thorctl: -targets or -router is required")
 		fs.Usage()
 		return 2
 	}
 	client := &http.Client{Timeout: *timeout}
 
 	for {
-		st := poll(client, targets, time.Now())
+		var rst *RouterStatus
+		if routerTarget != "" {
+			rst = pollRouter(client, routerTarget)
+		}
+		pollTargets := targets
+		if len(pollTargets) == 0 && rst != nil {
+			// Derive the fleet from the router's live topology.
+			pollTargets = rst.backendTargets()
+		}
+		st := poll(client, pollTargets, time.Now())
 		if *asJSON {
 			enc := json.NewEncoder(stdout)
 			enc.SetIndent("", "  ")
-			_ = enc.Encode(st)
+			if rst != nil {
+				_ = enc.Encode(struct {
+					Router *RouterStatus `json:"router"`
+					Fleet  *FleetStatus  `json:"fleet"`
+				}{rst, st})
+			} else {
+				_ = enc.Encode(st)
+			}
 		} else {
+			if rst != nil {
+				renderRouter(stdout, rst)
+				fmt.Fprintln(stdout)
+			}
 			render(stdout, st)
 		}
 		if *watch <= 0 {
 			if len(st.Degraded) > 0 {
+				return 1
+			}
+			if rst != nil && (rst.Err != "" || len(rst.OpenBreakers) > 0) {
 				return 1
 			}
 			return 0

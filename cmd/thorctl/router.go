@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"thor/internal/router"
+)
+
+// RouterStatus is one polled thor-router's topology view.
+type RouterStatus struct {
+	// Target is the router's host:port as given on the command line.
+	Target string `json:"target"`
+	// Err is the poll failure, if any; Topology is then nil.
+	Err string `json:"error,omitempty"`
+	// Topology is the router's live /v1/topology snapshot.
+	Topology *router.Topology `json:"topology,omitempty"`
+	// OpenBreakers lists "shard/backend" pairs whose circuit breaker is
+	// currently open — the condition thorctl exits 1 on.
+	OpenBreakers []string `json:"openBreakers,omitempty"`
+	// DownShards lists shards with no selectable replica left.
+	DownShards []string `json:"downShards,omitempty"`
+}
+
+// pollRouter scrapes one router's /v1/topology.
+func pollRouter(client *http.Client, target string) *RouterStatus {
+	st := &RouterStatus{Target: target}
+	resp, err := client.Get("http://" + target + "/v1/topology")
+	if err != nil {
+		st.Err = fmt.Sprintf("topology: %v", err)
+		return st
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		st.Err = fmt.Sprintf("topology: status %d", resp.StatusCode)
+		return st
+	}
+	var topo router.Topology
+	if err := json.Unmarshal(body, &topo); err != nil {
+		st.Err = fmt.Sprintf("topology: %v", err)
+		return st
+	}
+	st.Topology = &topo
+	for _, sh := range topo.Shards {
+		if !sh.Available {
+			st.DownShards = append(st.DownShards, sh.ID)
+		}
+		for _, b := range sh.Backends {
+			if b.Breaker == "open" {
+				st.OpenBreakers = append(st.OpenBreakers, sh.ID+"/"+strings.TrimPrefix(b.URL, "http://"))
+			}
+		}
+	}
+	sort.Strings(st.OpenBreakers)
+	sort.Strings(st.DownShards)
+	return st
+}
+
+// backendTargets flattens the topology into pollable host:port targets, for
+// the fleet view when -targets is not given explicitly.
+func (st *RouterStatus) backendTargets() []string {
+	if st.Topology == nil {
+		return nil
+	}
+	var out []string
+	for _, sh := range st.Topology.Shards {
+		for _, b := range sh.Backends {
+			t := strings.TrimPrefix(b.URL, "http://")
+			t = strings.TrimPrefix(t, "https://")
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// renderRouter prints the router's per-backend health/breaker table.
+func renderRouter(w io.Writer, st *RouterStatus) {
+	if st.Err != "" {
+		fmt.Fprintf(w, "router %s: unreachable: %s\n", st.Target, st.Err)
+		return
+	}
+	nb := 0
+	for _, sh := range st.Topology.Shards {
+		nb += len(sh.Backends)
+	}
+	fmt.Fprintf(w, "router %s — %d shard(s), %d backend(s), %d open breaker(s)\n",
+		st.Target, len(st.Topology.Shards), nb, len(st.OpenBreakers))
+	fmt.Fprintf(w, "%-14s %-24s %-9s %-9s %8s %9s %9s %10s %8s\n",
+		"SHARD", "BACKEND", "HEALTH", "BREAKER", "BURN", "P50", "P95", "REQUESTS", "ERRORS")
+	for _, sh := range st.Topology.Shards {
+		shard := sh.ID
+		if !sh.Available {
+			shard += "(!)"
+		}
+		for _, b := range sh.Backends {
+			fmt.Fprintf(w, "%-14s %-24s %-9s %-9s %8.2f %9s %9s %10d %8d\n",
+				shard, strings.TrimPrefix(b.URL, "http://"), b.Health, b.Breaker, b.BurnRate,
+				humanSeconds(b.P50MS/1e3), humanSeconds(b.P95MS/1e3), b.Requests, b.Errors)
+			shard = "" // print the shard id once per group
+		}
+	}
+	if len(st.DownShards) > 0 {
+		fmt.Fprintf(w, "DOWN SHARDS: %s\n", strings.Join(st.DownShards, ", "))
+	}
+}

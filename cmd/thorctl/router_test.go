@@ -1,0 +1,101 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"thor/internal/chaos"
+	"thor/internal/router"
+)
+
+// startRouter mounts an in-process thor-router over the given shard map and
+// returns its host:port.
+func startRouter(t *testing.T, shards router.ShardMap) string {
+	t.Helper()
+	rt, err := router.New(router.Options{
+		Shards:         shards,
+		HealthInterval: -1,
+		Retry:          chaos.Backoff{Attempts: 1, Base: time.Millisecond, Cap: time.Millisecond},
+		Breaker:        router.BreakerConfig{Threshold: 1, Cooldown: time.Minute},
+	})
+	if err != nil {
+		t.Fatalf("router.New: %v", err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		rt.Close()
+	})
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+// TestRouterModeHealthy pins the happy path: -router renders the
+// per-backend table, derives the fleet targets from the topology when
+// -targets is omitted, and exits 0 while every breaker is closed.
+func TestRouterModeHealthy(t *testing.T) {
+	backend, _ := startInstance(t)
+	routerAddr := startRouter(t, router.SingleShard([]string{backend}))
+
+	var out, errb strings.Builder
+	code := run([]string{"-router", routerAddr}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("healthy router exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "closed") || !strings.Contains(s, "healthy") {
+		t.Fatalf("router table missing health/breaker state:\n%s", s)
+	}
+	// The fleet view below the router table polled the topology-derived
+	// backend.
+	if !strings.Contains(s, backend) {
+		t.Fatalf("fleet view did not include the topology-derived backend %s:\n%s", backend, s)
+	}
+
+	// -json wraps both views.
+	out.Reset()
+	code = run([]string{"-router", routerAddr, "-json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("-json exit = %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), `"router"`) || !strings.Contains(out.String(), `"fleet"`) {
+		t.Fatalf("-json output missing router/fleet sections:\n%s", out.String())
+	}
+}
+
+// TestRouterModeOpenBreakerExits1 pins the alerting contract: once any
+// backend's circuit breaker is open, thorctl -router exits 1 and names the
+// breaker in its table.
+func TestRouterModeOpenBreakerExits1(t *testing.T) {
+	healthy, _ := startInstance(t)
+	dead := "127.0.0.1:1" // nothing listens: connections refuse immediately
+	routerAddr := startRouter(t, router.ShardMap{Shards: []router.ShardConfig{
+		{ID: "alive", Backends: []string{healthy}},
+		{ID: "dead", Backends: []string{dead}},
+	}})
+
+	// One fan-out fill opens the dead shard's breaker (threshold 1).
+	resp, err := http.Post("http://"+routerAddr+"/v1/fill", "application/json",
+		strings.NewReader(`{"documents":[{"name":"d","default_subject":"Malaria","text":"Malaria damages the nervous system."}]}`))
+	if err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+	resp.Body.Close()
+
+	// Poll the healthy backend explicitly so the exit code isolates the
+	// open-breaker condition rather than an unreachable fleet target.
+	var out, errb strings.Builder
+	code := run([]string{"-router", routerAddr, "-targets", healthy}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("open-breaker exit = %d, want 1\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "open") || !strings.Contains(s, dead) {
+		t.Fatalf("router table does not surface the open breaker:\n%s", s)
+	}
+	if !strings.Contains(s, "1 open breaker(s)") {
+		t.Fatalf("router header does not count the open breaker:\n%s", s)
+	}
+}

@@ -41,6 +41,7 @@ func run() int {
 		docTimeout    = flag.Duration("doc-timeout", 0, "default per-document extraction deadline (0 = none)")
 		noQuant       = flag.Bool("no-quant", false, "disable the int8 quantized propose tier (results identical; A/B latency switch)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests before exiting anyway")
+		shardID       = flag.String("shard-id", "", "shard name reported on /readyz and X-Thor-Shard (for partitioned tiers behind thor-router)")
 		spanCap       = flag.Int("span-capacity", 4096, "span ring-buffer capacity for /debug/thor/spans")
 		logFormat     = flag.String("log-format", "text", "structured log format: text or json")
 		logLevel      = flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -169,6 +170,7 @@ func run() int {
 		SLO:               slo,
 		Profiler:          profiler,
 		Logger:            logger,
+		ShardID:           *shardID,
 	})
 	if err != nil {
 		return fatal(err)
@@ -202,10 +204,22 @@ func run() int {
 	// Drain order: flip readiness and shed new work first, let queued and
 	// in-flight requests finish, then close the HTTP listener (whose
 	// Shutdown waits for active handlers, which need the engine alive).
+	//
+	// The listener shutdown deliberately does NOT share the engine's drain
+	// context: a slow drain can consume that budget entirely, and an
+	// already-expired context makes http.Server.Shutdown abort active
+	// handlers immediately. The handlers still running at this point are
+	// requests admitted between the signal and the listener close — the
+	// engine is draining, so they are mid-shed and answer 503 + Retry-After
+	// in microseconds. Aborting them tears the connection and hands the
+	// client an empty reply; a fresh grace period lets every one of them
+	// finish its write.
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	drainErr := engine.Shutdown(ctx)
-	_ = httpSrv.Shutdown(ctx)
+	lnCtx, lnCancel := context.WithTimeout(context.Background(), listenerGrace)
+	defer lnCancel()
+	_ = httpSrv.Shutdown(lnCtx)
 	if drainErr != nil {
 		engine.Close()
 		return fatal(fmt.Errorf("drain: %w", drainErr))
@@ -213,6 +227,11 @@ func run() int {
 	logger.Info("drained cleanly")
 	return 0
 }
+
+// listenerGrace bounds the listener's own shutdown after the engine drain:
+// long enough for every in-flight shed response to flush, short enough that
+// a wedged connection cannot hold the process open.
+const listenerGrace = 5 * time.Second
 
 // usageErr prints the message plus usage and exits 2.
 func usageErr(msg string) {

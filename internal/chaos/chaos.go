@@ -244,3 +244,47 @@ func (e *transientMark) Unwrap() error { return e.err }
 
 // Transient reports that the error is retryable.
 func (e *transientMark) Transient() bool { return true }
+
+// WithRetryAfter wraps err with a server-provided backoff hint (a parsed
+// Retry-After header, typically). The wrapped error is transient — a server
+// that says "come back in d" is inviting a retry — and RetryAfterHint
+// recovers d from anywhere in the chain, so Backoff.Hint can honor the
+// server's jittered value instead of the blind exponential. Returns nil for
+// a nil err.
+func WithRetryAfter(err error, d time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &retryAfterErr{err: err, after: d}
+}
+
+// retryAfterErr carries a server backoff hint through an error chain.
+type retryAfterErr struct {
+	err   error
+	after time.Duration
+}
+
+// Error implements error, forwarding the wrapped message unchanged.
+func (e *retryAfterErr) Error() string { return e.err.Error() }
+
+// Unwrap exposes the wrapped error to errors.Is/As.
+func (e *retryAfterErr) Unwrap() error { return e.err }
+
+// Transient reports that the error is retryable.
+func (e *retryAfterErr) Transient() bool { return true }
+
+// RetryAfter exposes the server's backoff hint.
+func (e *retryAfterErr) RetryAfter() time.Duration { return e.after }
+
+// RetryAfterHint is the standard Backoff.Hint hook: it returns the
+// Retry-After duration carried by any error in err's chain exposing a
+// `RetryAfter() time.Duration` method (WithRetryAfter's wrapper, or a
+// caller's own type). ok is false when no hint is present, which falls Retry
+// back to its computed exponential delay.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var r interface{ RetryAfter() time.Duration }
+	if errors.As(err, &r) {
+		return r.RetryAfter(), true
+	}
+	return 0, false
+}

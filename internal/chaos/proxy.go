@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is an HTTP-level fault injector for tests: it forwards requests to a
+// real backend until told to misbehave. Unlike Injector — which injects
+// faults inside a process — Proxy sits on the wire, so router/client code
+// sees exactly what a dying or overloaded backend produces: aborted
+// connections, added latency, or 503 + Retry-After sheds. All knobs are
+// safe to flip concurrently while requests are in flight.
+type Proxy struct {
+	target *url.URL
+	ln     net.Listener
+	srv    *http.Server
+	rp     *httputil.ReverseProxy
+
+	mu         sync.Mutex
+	down       bool          // abort every connection mid-flight
+	latency    time.Duration // added before forwarding
+	reject     bool          // shed with 503 + Retry-After
+	retryAfter time.Duration // Retry-After value when rejecting
+
+	forwarded atomic.Int64 // requests passed through to the backend
+	aborted   atomic.Int64 // connections aborted by SetDown
+	rejected  atomic.Int64 // requests shed with 503
+}
+
+// ProxyStats counts the proxy's dispositions.
+type ProxyStats struct {
+	Forwarded int64 // requests forwarded to the backend
+	Aborted   int64 // connections aborted while down
+	Rejected  int64 // requests shed with 503 + Retry-After
+}
+
+// NewProxy starts a fault proxy on a fresh loopback port forwarding to
+// target (a base URL like "http://127.0.0.1:8080"). Close it when done.
+func NewProxy(target string) (*Proxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: proxy target %q: %w", target, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("chaos: proxy target %q: need scheme://host", target)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: proxy listen: %w", err)
+	}
+	p := &Proxy{target: u, ln: ln}
+	p.rp = httputil.NewSingleHostReverseProxy(u)
+	// Keep the proxy quiet on aborted upstreams; the test asserts on the
+	// client side, not on proxy logs.
+	p.rp.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		w.WriteHeader(http.StatusBadGateway)
+	}
+	p.srv = &http.Server{Handler: http.HandlerFunc(p.handle)}
+	go p.srv.Serve(ln)
+	return p, nil
+}
+
+// Addr returns the proxy's base URL ("http://127.0.0.1:port").
+func (p *Proxy) Addr() string { return "http://" + p.ln.Addr().String() }
+
+// SetDown simulates a dead backend: while down, every request's connection
+// is aborted without a response — the client sees an unexpected EOF, exactly
+// like a process killed mid-write.
+func (p *Proxy) SetDown(down bool) {
+	p.mu.Lock()
+	p.down = down
+	p.mu.Unlock()
+}
+
+// SetLatency adds d before forwarding each request (0 disables).
+func (p *Proxy) SetLatency(d time.Duration) {
+	p.mu.Lock()
+	p.latency = d
+	p.mu.Unlock()
+}
+
+// SetReject makes the proxy shed every request with 503 + a Retry-After
+// header of retryAfter (rounded up to whole seconds, minimum 1) instead of
+// forwarding. Models an overloaded backend's admission control.
+func (p *Proxy) SetReject(on bool, retryAfter time.Duration) {
+	p.mu.Lock()
+	p.reject = on
+	p.retryAfter = retryAfter
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the proxy's dispositions.
+func (p *Proxy) Stats() ProxyStats {
+	return ProxyStats{
+		Forwarded: p.forwarded.Load(),
+		Aborted:   p.aborted.Load(),
+		Rejected:  p.rejected.Load(),
+	}
+}
+
+// Close stops the listener and frees the port. In-flight requests are
+// aborted.
+func (p *Proxy) Close() error { return p.srv.Close() }
+
+func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	down, latency, reject, retryAfter := p.down, p.latency, p.reject, p.retryAfter
+	p.mu.Unlock()
+
+	if down {
+		p.aborted.Add(1)
+		// http.ErrAbortHandler makes the server drop the connection without
+		// writing a response — the closest stdlib equivalent of kill -9.
+		panic(http.ErrAbortHandler)
+	}
+	if latency > 0 {
+		select {
+		case <-time.After(latency):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	if reject {
+		p.rejected.Add(1)
+		secs := int64(1)
+		if retryAfter > 0 {
+			secs = int64((retryAfter + time.Second - 1) / time.Second)
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, `{"error":{"code":"overloaded","message":"chaos: injected shed"}}`)
+		return
+	}
+	p.forwarded.Add(1)
+	p.rp.ServeHTTP(w, r)
+}

@@ -24,6 +24,17 @@ type Backoff struct {
 	Cap time.Duration
 	// Seed selects the jitter stream.
 	Seed uint64
+	// Hint, when set, is consulted after each transient failure with the
+	// failing error. When it returns (d, true) the next sleep is d — the
+	// server's own backoff advice (e.g. a parsed Retry-After header) takes
+	// precedence over the computed exponential delay — still bounded by
+	// HintCap and still woken early by context cancellation. RetryAfterHint
+	// is the standard hook for errors wrapped with WithRetryAfter.
+	Hint func(error) (time.Duration, bool)
+	// HintCap bounds a hinted delay (default 30s): a misbehaving server
+	// cannot park clients arbitrarily long. Computed (non-hinted) delays are
+	// bounded by Cap as before.
+	HintCap time.Duration
 }
 
 func (b Backoff) base() time.Duration {
@@ -40,6 +51,13 @@ func (b Backoff) cap() time.Duration {
 	return b.Cap
 }
 
+func (b Backoff) hintCap() time.Duration {
+	if b.HintCap <= 0 {
+		return 30 * time.Second
+	}
+	return b.HintCap
+}
+
 // Delay returns the backoff before attempt+2 for the given key: full jitter
 // over the capped exponential envelope.
 func (b Backoff) Delay(key string, attempt int) time.Duration {
@@ -51,6 +69,27 @@ func (b Backoff) Delay(key string, attempt int) time.Duration {
 	}
 	in := Injector{cfg: Config{Seed: b.Seed}}
 	return time.Duration(in.roll("retry\x00"+key, uint64(attempt), saltLatencyAmt) * float64(env))
+}
+
+// DelayAfter returns the backoff before attempt+2 given the error the attempt
+// failed with: when the Hint hook recognizes the error (a server-provided
+// Retry-After, typically), its value wins over the computed exponential
+// delay, bounded by HintCap; otherwise the delay equals Delay(key, attempt).
+// This is the delay Retry actually sleeps, factored out so precedence is
+// testable without sleeping.
+func (b Backoff) DelayAfter(key string, attempt int, err error) time.Duration {
+	if b.Hint != nil && err != nil {
+		if d, ok := b.Hint(err); ok {
+			if cap := b.hintCap(); d > cap {
+				d = cap
+			}
+			if d < 0 {
+				d = 0
+			}
+			return d
+		}
+	}
+	return b.Delay(key, attempt)
 }
 
 // Retry runs op until it succeeds, fails permanently, exhausts b.Attempts,
@@ -69,7 +108,7 @@ func Retry(ctx context.Context, b Backoff, key string, op func(attempt int) erro
 	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			if serr := sleepCtx(ctx, b.Delay(key, attempt-1)); serr != nil {
+			if serr := sleepCtx(ctx, b.DelayAfter(key, attempt-1, err)); serr != nil {
 				return serr
 			}
 		}

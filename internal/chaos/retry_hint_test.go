@@ -1,0 +1,125 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDelayAfterHintPrecedence pins the precedence contract: when the Hint
+// hook recognizes the error, the server's value wins over the computed
+// exponential delay; otherwise DelayAfter equals Delay exactly.
+func TestDelayAfterHintPrecedence(t *testing.T) {
+	b := Backoff{Attempts: 5, Base: time.Millisecond, Cap: 100 * time.Millisecond, Seed: 7,
+		Hint: RetryAfterHint}
+
+	hinted := WithRetryAfter(errors.New("shed"), 1700*time.Millisecond)
+	if got := b.DelayAfter("k", 0, hinted); got != 1700*time.Millisecond {
+		t.Fatalf("hinted delay = %v, want the server's 1.7s", got)
+	}
+
+	// No hint on the error → identical to the computed jittered delay.
+	plain := MarkTransient(errors.New("shed"))
+	for attempt := 0; attempt < 4; attempt++ {
+		if got, want := b.DelayAfter("k", attempt, plain), b.Delay("k", attempt); got != want {
+			t.Fatalf("attempt %d: unhinted DelayAfter = %v, want Delay's %v", attempt, got, want)
+		}
+	}
+
+	// Nil error (first attempt has no failure yet) also falls back.
+	if got, want := b.DelayAfter("k", 2, nil), b.Delay("k", 2); got != want {
+		t.Fatalf("nil-error DelayAfter = %v, want %v", got, want)
+	}
+
+	// A Backoff without a Hint hook ignores hints entirely.
+	noHook := Backoff{Attempts: 5, Seed: 7}
+	if got, want := noHook.DelayAfter("k", 1, hinted), noHook.Delay("k", 1); got != want {
+		t.Fatalf("no-hook DelayAfter = %v, want %v", got, want)
+	}
+}
+
+// TestDelayAfterHintCapped pins the bound: a hint larger than HintCap is
+// clamped, and a negative hint is treated as zero.
+func TestDelayAfterHintCapped(t *testing.T) {
+	b := Backoff{Attempts: 3, Hint: RetryAfterHint, HintCap: 2 * time.Second}
+	long := WithRetryAfter(errors.New("shed"), time.Hour)
+	if got := b.DelayAfter("k", 0, long); got != 2*time.Second {
+		t.Fatalf("over-cap hint = %v, want clamp to 2s", got)
+	}
+
+	// Default cap is 30s when HintCap is unset.
+	def := Backoff{Attempts: 3, Hint: RetryAfterHint}
+	if got := def.DelayAfter("k", 0, long); got != 30*time.Second {
+		t.Fatalf("default-cap hint = %v, want 30s", got)
+	}
+
+	neg := WithRetryAfter(errors.New("shed"), -time.Second)
+	if got := b.DelayAfter("k", 0, neg); got != 0 {
+		t.Fatalf("negative hint = %v, want 0", got)
+	}
+}
+
+// TestRetryHintedSleepContextAware proves a hinted sleep is still woken
+// early by context cancellation: a 10s server hint with a 30ms deadline must
+// return promptly with the context error, not wait out the hint.
+func TestRetryHintedSleepContextAware(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+
+	b := Backoff{Attempts: 3, Hint: RetryAfterHint}
+	start := time.Now()
+	err := Retry(ctx, b, "k", func(int) error {
+		return WithRetryAfter(errors.New("shed"), 10*time.Second)
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hinted sleep ignored cancellation: took %v", elapsed)
+	}
+}
+
+// TestRetryHonorsHintedDelay proves Retry actually sleeps (at least) the
+// hinted duration between attempts rather than the much smaller computed
+// backoff.
+func TestRetryHonorsHintedDelay(t *testing.T) {
+	b := Backoff{Attempts: 2, Base: time.Nanosecond, Cap: time.Nanosecond, Hint: RetryAfterHint}
+	start := time.Now()
+	err := Retry(context.Background(), b, "k", func(int) error {
+		return WithRetryAfter(errors.New("shed"), 50*time.Millisecond)
+	})
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("err = %v, want the transient shed error", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("retry slept only %v, want >= the hinted 50ms", elapsed)
+	}
+}
+
+// TestWithRetryAfterChain pins the wrapper semantics: transient, message
+// unchanged, hint recoverable through further %w wrapping, nil passthrough.
+func TestWithRetryAfterChain(t *testing.T) {
+	if WithRetryAfter(nil, time.Second) != nil {
+		t.Fatal("WithRetryAfter(nil) must be nil")
+	}
+	base := errors.New("http 503")
+	err := WithRetryAfter(base, 3*time.Second)
+	if err.Error() != "http 503" {
+		t.Fatalf("message changed: %q", err.Error())
+	}
+	if !IsTransient(err) {
+		t.Fatal("Retry-After errors must be transient")
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("wrapped error lost from chain")
+	}
+	wrapped := MarkTransient(err)
+	d, ok := RetryAfterHint(wrapped)
+	if !ok || d != 3*time.Second {
+		t.Fatalf("RetryAfterHint through wrapping = (%v, %v), want (3s, true)", d, ok)
+	}
+	if d, ok := RetryAfterHint(base); ok || d != 0 {
+		t.Fatalf("RetryAfterHint on plain error = (%v, %v), want (0, false)", d, ok)
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// flapSLO builds an SLO engine that a test can flip between degraded and
+// healthy deterministically: errored observations burn the budget
+// immediately, and advancing the clock past the window ages them out.
+func flapSLO(clk *testClock) *SLO {
+	return NewSLO(SLOConfig{
+		Window:     time.Second,
+		Slices:     2,
+		MinSamples: 1,
+		Now:        clk.Now,
+	})
+}
+
+// degrade pushes enough errored observations to violate the error budget.
+func degrade(s *SLO) {
+	for i := 0; i < 4; i++ {
+		s.Observe("fill", 5*time.Millisecond, true)
+	}
+}
+
+// recover ages every observation out of the window.
+func recoverSLO(s *SLO, clk *testClock) {
+	clk.advance(2 * time.Second)
+}
+
+// TestProfilerOneBurstPerDegradedEdge pins the edge-triggered contract under
+// rapid flapping: no matter how many polls land while the signal is up, a
+// burst fires exactly once per healthy→degraded transition — a flapping SLO
+// must not turn into a profile storm.
+func TestProfilerOneBurstPerDegradedEdge(t *testing.T) {
+	clk := &testClock{now: time.Unix(1700000000, 0)}
+	slo := flapSLO(clk)
+	p := NewProfiler(ProfilerConfig{
+		Degraded:    slo.Degraded,
+		SteadyEvery: -1, // isolate the degraded trigger
+		CPUDuration: -1, // heap+goroutine only: no 250ms sleep per burst
+		Capacity:    8,
+		Now:         clk.Now,
+	})
+
+	maxSeq := func() int64 {
+		var max int64 = -1
+		for _, info := range p.Profiles() {
+			if s := infoSeq(info.ID); s > max {
+				max = s
+			}
+		}
+		return max
+	}
+
+	if p.Poll(); maxSeq() != -1 {
+		t.Fatal("burst fired while healthy")
+	}
+
+	degrade(slo)
+	if !slo.Degraded() {
+		t.Fatal("SLO not degraded after errored observations")
+	}
+	p.Poll()
+	after1 := maxSeq()
+	if after1 < 0 {
+		t.Fatal("no burst on the healthy→degraded edge")
+	}
+	// Polls while the signal stays up are level, not edge: no new captures.
+	for i := 0; i < 10; i++ {
+		p.Poll()
+	}
+	if got := maxSeq(); got != after1 {
+		t.Fatalf("burst storm while degraded: seq %d → %d", after1, got)
+	}
+
+	// Recovery alone fires nothing; the NEXT degraded edge fires exactly one
+	// more burst.
+	recoverSLO(slo, clk)
+	if slo.Degraded() {
+		t.Fatal("SLO still degraded after the window aged out")
+	}
+	p.Poll()
+	if got := maxSeq(); got != after1 {
+		t.Fatalf("burst fired on the degraded→healthy edge: seq %d → %d", after1, got)
+	}
+	degrade(slo)
+	p.Poll()
+	after2 := maxSeq()
+	if after2 <= after1 {
+		t.Fatal("no burst on the second healthy→degraded edge")
+	}
+	p.Poll()
+	if got := maxSeq(); got != after2 {
+		t.Fatalf("extra burst on a level poll: seq %d → %d", after2, got)
+	}
+}
+
+// TestSLOFlappingThousandEdgesNoLeaks drives 1k degrade↔recover flaps
+// through the SLO engine and the profiler and asserts (a) exactly one burst
+// per edge across the whole run and (b) the pair leaks no goroutines — the
+// degraded signal path must be allocation- and goroutine-clean however often
+// readiness flaps.
+func TestSLOFlappingThousandEdgesNoLeaks(t *testing.T) {
+	clk := &testClock{now: time.Unix(1700000000, 0)}
+	slo := flapSLO(clk)
+	p := NewProfiler(ProfilerConfig{
+		Degraded:    slo.Degraded,
+		SteadyEvery: -1,
+		CPUDuration: -1,
+		Capacity:    4,
+		Now:         clk.Now,
+	})
+
+	before := runtime.NumGoroutine()
+	seen := int64(0) // profile seq numbers start at 1
+	for flap := 0; flap < 1000; flap++ {
+		degrade(slo)
+		// A real poller lands multiple times per state; 3 polls per phase
+		// exercises the level-vs-edge distinction on every flap.
+		for i := 0; i < 3; i++ {
+			p.Poll()
+		}
+		var max int64 = -1
+		for _, info := range p.Profiles() {
+			if s := infoSeq(info.ID); s > max {
+				max = s
+			}
+		}
+		if max <= seen {
+			t.Fatalf("flap %d: no burst on the degraded edge", flap)
+		}
+		// One burst = 2 profiles (heap + goroutine; CPU disabled).
+		if max-seen > 2 {
+			t.Fatalf("flap %d: %d profiles captured, want 2 (one burst)", flap, max-seen)
+		}
+		seen = max
+
+		recoverSLO(slo, clk)
+		for i := 0; i < 3; i++ {
+			p.Poll()
+		}
+		for _, info := range p.Profiles() {
+			if s := infoSeq(info.ID); s > seen {
+				t.Fatalf("flap %d: burst fired while healthy", flap)
+			}
+		}
+	}
+	// Neither the SLO engine nor the profiler spawns goroutines on the Poll
+	// path; allow slack for runtime background goroutines.
+	runtime.GC()
+	if after := runtime.NumGoroutine(); after > before+3 {
+		t.Fatalf("goroutine leak across 1k flaps: %d → %d", before, after)
+	}
+}

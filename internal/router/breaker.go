@@ -1,0 +1,197 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position in the closed → open →
+// half-open cycle.
+type BreakerState int
+
+const (
+	// BreakerClosed passes all traffic; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen admits exactly one probe request; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+	// BreakerOpen rejects all traffic until the cooldown elapses.
+	BreakerOpen
+)
+
+// String renders the state for topology output and metrics labels.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a circuit breaker. The zero value uses the defaults
+// noted per field.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that opens the
+	// breaker (default 5).
+	Threshold int
+	// Cooldown is how long an open breaker rejects before admitting a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+	// Now is the clock (default time.Now); tests inject a fake to step
+	// through cooldowns without sleeping.
+	Now func() time.Time
+	// OnTransition, when set, observes every state change. Called outside
+	// the breaker's lock with the old and new state.
+	OnTransition func(from, to BreakerState)
+}
+
+func (c BreakerConfig) threshold() int {
+	if c.Threshold <= 0 {
+		return 5
+	}
+	return c.Threshold
+}
+
+func (c BreakerConfig) cooldown() time.Duration {
+	if c.Cooldown <= 0 {
+		return 5 * time.Second
+	}
+	return c.Cooldown
+}
+
+func (c BreakerConfig) now() time.Time {
+	if c.Now == nil {
+		return time.Now()
+	}
+	return c.Now()
+}
+
+// Breaker is a per-backend circuit breaker. Allow asks permission to issue a
+// request; every allowed request must be answered by exactly one Record call
+// with its outcome — in half-open state the probe token is held until Record
+// releases it, so a crashed call that never Records would wedge the breaker
+// half-open (callers use defer). Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // half-open probe in flight
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker { return &Breaker{cfg: cfg} }
+
+// State returns the breaker's current state, advancing open → half-open
+// first if the cooldown has elapsed (so observers see the same state a
+// caller would).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	st, transition := b.advanceLocked()
+	b.mu.Unlock()
+	b.notify(transition)
+	return st
+}
+
+// Allow reports whether a request may be issued now. A true return must be
+// paired with exactly one Record call. In half-open state only a single
+// probe is admitted at a time; further callers are rejected until the
+// probe's Record.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	st, transition := b.advanceLocked()
+	allowed := false
+	switch st {
+	case BreakerClosed:
+		allowed = true
+	case BreakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			allowed = true
+		}
+	}
+	b.mu.Unlock()
+	b.notify(transition)
+	return allowed
+}
+
+// Record reports the outcome of an allowed request. Success closes a
+// half-open breaker and resets the failure count; failure re-opens a
+// half-open breaker immediately and, in closed state, opens after Threshold
+// consecutive failures.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	var transition *[2]BreakerState
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			transition = b.setLocked(BreakerClosed)
+			b.fails = 0
+		} else {
+			transition = b.setLocked(BreakerOpen)
+			b.openedAt = b.cfg.now()
+		}
+	case BreakerClosed:
+		if ok {
+			b.fails = 0
+		} else {
+			b.fails++
+			if b.fails >= b.cfg.threshold() {
+				transition = b.setLocked(BreakerOpen)
+				b.openedAt = b.cfg.now()
+			}
+		}
+	case BreakerOpen:
+		// A straggler from before the breaker opened; its outcome is stale.
+	}
+	b.mu.Unlock()
+	b.notify(transition)
+}
+
+// RecordNeutral releases an Allow without judging the backend: the call
+// was abandoned for reasons that say nothing about backend health (a hedge
+// loser cancelled because the other replica answered first, or the client
+// went away). A half-open probe token is released so the next caller can
+// probe again; closed-state failure counts are untouched.
+func (b *Breaker) RecordNeutral() {
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// advanceLocked moves open → half-open when the cooldown has elapsed.
+// Callers hold b.mu.
+func (b *Breaker) advanceLocked() (BreakerState, *[2]BreakerState) {
+	if b.state == BreakerOpen && b.cfg.now().Sub(b.openedAt) >= b.cfg.cooldown() {
+		t := b.setLocked(BreakerHalfOpen)
+		return b.state, t
+	}
+	return b.state, nil
+}
+
+// setLocked transitions to the given state, returning the (from, to) pair
+// for notification after the lock is released. Callers hold b.mu.
+func (b *Breaker) setLocked(to BreakerState) *[2]BreakerState {
+	from := b.state
+	if from == to {
+		return nil
+	}
+	b.state = to
+	return &[2]BreakerState{from, to}
+}
+
+// notify delivers a transition to OnTransition outside the lock.
+func (b *Breaker) notify(t *[2]BreakerState) {
+	if t != nil && b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(t[0], t[1])
+	}
+}

@@ -1,0 +1,195 @@
+package router
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for breaker cooldown tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: 5 * time.Second, Now: clk.Now})
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		b.Record(false)
+	}
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", st)
+	}
+	// A success resets the consecutive count: two more failures must not
+	// open it.
+	b.Allow()
+	b.Record(true)
+	b.Allow()
+	b.Record(false)
+	b.Allow()
+	b.Record(false)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after reset+2 failures = %v, want closed", st)
+	}
+	b.Allow()
+	b.Record(false)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", st)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 5 * time.Second, Now: clk.Now})
+	b.Allow()
+	b.Record(false)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+
+	// Before the cooldown: still rejecting.
+	clk.Advance(4 * time.Second)
+	if b.Allow() {
+		t.Fatal("open breaker allowed before cooldown")
+	}
+
+	// After the cooldown: exactly one probe.
+	clk.Advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe success closes.
+	b.Record(true)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", st)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker denied")
+	}
+	b.Record(true)
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, Now: clk.Now})
+	b.Allow()
+	b.Record(false)
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe denied")
+	}
+	b.Record(false)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", st)
+	}
+	// The cooldown restarts from the re-open.
+	clk.Advance(900 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("allowed before the restarted cooldown elapsed")
+	}
+	clk.Advance(200 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe denied after restarted cooldown")
+	}
+	b.Record(true)
+}
+
+func TestBreakerRecordNeutralReleasesProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, Now: clk.Now})
+	b.Allow()
+	b.Record(false)
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe denied")
+	}
+	// The probe was abandoned (hedge loser / client gone): neutral release
+	// keeps the breaker half-open and re-admits the next probe.
+	b.RecordNeutral()
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state after neutral = %v, want half-open", st)
+	}
+	if !b.Allow() {
+		t.Fatal("next probe denied after neutral release")
+	}
+	b.Record(true)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state = %v, want closed", st)
+	}
+}
+
+func TestBreakerTransitionsObserved(t *testing.T) {
+	clk := newFakeClock()
+	var mu sync.Mutex
+	var seen [][2]BreakerState
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, Now: clk.Now,
+		OnTransition: func(from, to BreakerState) {
+			mu.Lock()
+			seen = append(seen, [2]BreakerState{from, to})
+			mu.Unlock()
+		}})
+	b.Allow()
+	b.Record(false) // closed → open
+	clk.Advance(time.Second)
+	b.Allow()      // open → half-open
+	b.Record(true) // half-open → closed
+
+	want := [][2]BreakerState{
+		{BreakerClosed, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerClosed},
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestBreakerStaleRecordWhileOpenIgnored(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Minute, Now: clk.Now})
+	b.Allow()
+	b.Allow() // hypothetical second in-flight call (closed admits many)
+	b.Record(false)
+	// The straggler's success arrives after the breaker opened: stale, must
+	// not close it.
+	b.Record(true)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state = %v, want open (stale record ignored)", st)
+	}
+}

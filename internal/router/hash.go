@@ -1,0 +1,71 @@
+package router
+
+import "sort"
+
+// hash64 is FNV-1a finished with a splitmix64 mix: cheap, stable across
+// processes and runs (replica preference must not change on router restart),
+// and well distributed even over short similar strings like document names.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rendezvousOrder returns node indices in highest-random-weight order for
+// key: the full preference list of rendezvous (HRW) hashing. The first index
+// is the key's home node; removing a node reshuffles only the keys that
+// lived on it, which is the property that keeps replica caches warm when a
+// backend dies and comes back. Deterministic in (key, nodes).
+func rendezvousOrder(key string, nodes []string) []int {
+	type scored struct {
+		idx   int
+		score uint64
+	}
+	hk := hash64(key)
+	ss := make([]scored, len(nodes))
+	for i, n := range nodes {
+		ss[i] = scored{idx: i, score: mix64(hk ^ hash64(n))}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		return ss[i].idx < ss[j].idx
+	})
+	out := make([]int, len(ss))
+	for i, s := range ss {
+		out[i] = s.idx
+	}
+	return out
+}
+
+// requestKey derives the rendezvous key for a request from its document
+// names: repeat corpora (same names) keep their replica affinity — and its
+// warm parse/fine-tune caches — while distinct corpora spread across
+// replicas.
+func requestKey(names []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	// Order-insensitive combine so shuffled document lists keep affinity.
+	var acc uint64
+	for _, n := range names {
+		acc ^= hash64(n)
+	}
+	var b [16]byte
+	const hexdigits = "0123456789abcdef"
+	for i := 0; i < 16; i++ {
+		b[i] = hexdigits[(acc>>(60-4*i))&0xf]
+	}
+	return string(b[:])
+}

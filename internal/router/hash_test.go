@@ -1,0 +1,80 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRendezvousOrderIsPermutation(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	order := rendezvousOrder("key-1", nodes)
+	if len(order) != len(nodes) {
+		t.Fatalf("order length %d, want %d", len(order), len(nodes))
+	}
+	seen := make(map[int]bool)
+	for _, i := range order {
+		if i < 0 || i >= len(nodes) || seen[i] {
+			t.Fatalf("order %v is not a permutation", order)
+		}
+		seen[i] = true
+	}
+	// Deterministic across calls.
+	again := rendezvousOrder("key-1", nodes)
+	for i := range order {
+		if order[i] != again[i] {
+			t.Fatalf("order not deterministic: %v vs %v", order, again)
+		}
+	}
+}
+
+// TestRendezvousMinimalDisruption pins the HRW property the replica caches
+// rely on: removing one node only moves the keys that lived on it.
+func TestRendezvousMinimalDisruption(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	const keys = 500
+	moved := 0
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		full := rendezvousOrder(key, nodes)
+		if full[0] == 2 {
+			continue // lived on the removed node; expected to move
+		}
+		reduced := rendezvousOrder(key, nodes[:2])
+		if reduced[0] != full[0] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved that did not live on the removed node", moved)
+	}
+}
+
+// TestRendezvousBalance sanity-checks the spread: over many keys each of 3
+// nodes should own a non-trivial share.
+func TestRendezvousBalance(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	counts := make([]int, 3)
+	const keys = 3000
+	for k := 0; k < keys; k++ {
+		counts[rendezvousOrder(fmt.Sprintf("key-%d", k), nodes)[0]]++
+	}
+	for i, c := range counts {
+		if c < keys/6 || c > keys/2+keys/6 {
+			t.Fatalf("node %d owns %d of %d keys — badly unbalanced (%v)", i, c, keys, counts)
+		}
+	}
+}
+
+func TestRequestKeyOrderInsensitive(t *testing.T) {
+	a := requestKey([]string{"doc-a", "doc-b", "doc-c"})
+	b := requestKey([]string{"doc-c", "doc-a", "doc-b"})
+	if a != b {
+		t.Fatalf("shuffled document lists got different keys: %q vs %q", a, b)
+	}
+	if a == requestKey([]string{"doc-a", "doc-b"}) {
+		t.Fatal("different document sets got the same key")
+	}
+	if requestKey(nil) != "" {
+		t.Fatal("empty list should key to empty string")
+	}
+}

@@ -1,0 +1,466 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thor/internal/chaos"
+	"thor/internal/embed"
+	"thor/internal/obs"
+	"thor/internal/schema"
+	"thor/internal/serve"
+)
+
+// chaosWorld builds the serving fixture the kill-a-shard suite runs real
+// engines over: a 4-disease table with labeled nulls and an embedding space
+// whose clusters make the matcher generalize (the serve test fixture).
+func chaosWorld(concepts ...string) (*schema.Table, *embed.Space) {
+	if len(concepts) == 0 {
+		concepts = []string{"Anatomy", "Complication"}
+	}
+	cs := make([]schema.Concept, len(concepts))
+	for i, c := range concepts {
+		cs[i] = schema.Concept(c)
+	}
+	table := schema.NewTable(schema.NewSchema("Disease", cs...))
+	has := func(c string) bool {
+		for _, k := range concepts {
+			if k == c {
+				return true
+			}
+		}
+		return false
+	}
+	an := table.AddRow("Acoustic Neuroma")
+	if has("Anatomy") {
+		an.Add("Anatomy", "nervous system")
+	}
+	tb := table.AddRow("Tuberculosis")
+	if has("Complication") {
+		tb.Add("Complication", "skin cancer")
+	}
+	table.AddRow("Malaria")
+	ch := table.AddRow("Cholera")
+	if has("Anatomy") {
+		ch.Add("Anatomy", "small intestine")
+	}
+
+	space := embed.NewSpace()
+	anatomy := embed.HashVector("ex:anatomy")
+	complication := embed.HashVector("ex:complication")
+	add := func(c embed.Vector, alpha float64, noise string, words ...string) {
+		for _, w := range words {
+			for _, part := range strings.Fields(w) {
+				key := noise
+				if key == "" {
+					key = "ex-noise:" + part
+				}
+				space.Add(part, embed.Blend(c, embed.HashVector(key), alpha))
+			}
+		}
+	}
+	add(anatomy, 0.58, "", "nervous system", "brain", "nerve", "ear", "lungs",
+		"small intestine", "liver", "kidneys")
+	add(complication, 0.85, "ex:cancer-family", "cancer", "cancerous", "non-cancerous", "tumor")
+	return table, space
+}
+
+// chaosDocs are the request payloads; distinct subsets give distinct
+// rendezvous keys so load spreads over both replicas.
+var chaosDocs = []serve.Document{
+	{Name: "an", DefaultSubject: "Acoustic Neuroma",
+		Text: "An Acoustic Neuroma is a slow-growing non-cancerous brain tumor."},
+	{Name: "tb", DefaultSubject: "Tuberculosis",
+		Text: "Tuberculosis generally damages the lungs of the patient."},
+	{Name: "mal", DefaultSubject: "Malaria",
+		Text: "Malaria parasites travel to the liver and can reach the brain."},
+	{Name: "cho", DefaultSubject: "Cholera",
+		Text: "Cholera infects the small intestine and may harm the kidneys."},
+}
+
+// startEngine boots a real serve engine over the fixture and returns its
+// HTTP server.
+func startEngine(t *testing.T, table *schema.Table, space *embed.Space) *httptest.Server {
+	t.Helper()
+	s, err := serve.NewServer(serve.Options{Table: table, Space: space, Tau: 0.6, Workers: 2, BatchWindow: 0})
+	if err != nil {
+		t.Fatalf("serve.NewServer: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts
+}
+
+// proxied wraps an engine in a chaos fault proxy.
+func proxied(t *testing.T, engine *httptest.Server) *chaos.Proxy {
+	t.Helper()
+	p, err := chaos.NewProxy(engine.URL)
+	if err != nil {
+		t.Fatalf("chaos.NewProxy: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// semantic strips the timing-dependent Stats fields from a response,
+// keeping exactly the payload that must be bit-identical across replicas
+// and runs: entities, assignments, and the deterministic counters.
+type semantic struct {
+	Entities    map[string][]serve.Entity
+	Assignments string // canonical JSON
+	Filled      int
+	NEntities   int
+}
+
+func toSemantic(t *testing.T, raw []byte) semantic {
+	t.Helper()
+	var r serve.Response
+	if err := json.Unmarshal(raw, &r); err != nil {
+		t.Fatalf("decode response: %v (%s)", err, raw)
+	}
+	asg, err := json.Marshal(r.Assignments)
+	if err != nil {
+		t.Fatalf("marshal assignments: %v", err)
+	}
+	return semantic{Entities: r.Entities, Assignments: string(asg), Filled: r.Stats.Filled, NEntities: r.Stats.Entities}
+}
+
+// chaosBodies builds one request body per distinct doc subset.
+func chaosBodies(t *testing.T) [][]byte {
+	t.Helper()
+	subsets := [][]serve.Document{
+		{chaosDocs[0]},
+		{chaosDocs[1]},
+		{chaosDocs[2]},
+		{chaosDocs[3]},
+		{chaosDocs[0], chaosDocs[1]},
+		{chaosDocs[2], chaosDocs[3]},
+		{chaosDocs[0], chaosDocs[1], chaosDocs[2], chaosDocs[3]},
+	}
+	bodies := make([][]byte, len(subsets))
+	for i, docs := range subsets {
+		buf, err := json.Marshal(serve.Request{Documents: docs})
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		bodies[i] = buf
+	}
+	return bodies
+}
+
+// referenceFills posts every body directly to a bare engine and records the
+// semantic payload each must produce.
+func referenceFills(t *testing.T, engine *httptest.Server, bodies [][]byte) []semantic {
+	t.Helper()
+	refs := make([]semantic, len(bodies))
+	for i, body := range bodies {
+		resp, err := http.Post(engine.URL+"/v1/fill", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("reference fill %d: %v", i, err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference fill %d: status %d: %s", i, resp.StatusCode, buf.Bytes())
+		}
+		refs[i] = toSemantic(t, buf.Bytes())
+	}
+	return refs
+}
+
+// TestChaosKillOneReplicaZeroFailures is the headline robustness proof for
+// replicated shards: with 2 replicas, killing one mid-load causes zero
+// client-visible failures — every request completes 200 with the exact
+// semantic payload of a direct single-shot run — and the tier heals
+// automatically (the killed replica's keyspace returns to it once it is
+// back and its breaker re-closes).
+func TestChaosKillOneReplicaZeroFailures(t *testing.T) {
+	table, space := chaosWorld()
+	e1, e2 := startEngine(t, table, space), startEngine(t, table, space)
+	p1, p2 := proxied(t, e1), proxied(t, e2)
+
+	reg := obs.NewRegistry()
+	rt, err := New(Options{
+		Shards:         SingleShard([]string{p1.Addr(), p2.Addr()}),
+		Metrics:        reg,
+		HealthInterval: -1,
+		HedgeMin:       40 * time.Millisecond,
+		Retry:          chaos.Backoff{Attempts: 5, Base: 5 * time.Millisecond, Cap: 50 * time.Millisecond},
+		Breaker:        BreakerConfig{Threshold: 3, Cooldown: 150 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer rt.Close()
+
+	bodies := chaosBodies(t)
+	refs := referenceFills(t, e1, bodies)
+
+	// Find a body homed on replica 1 so the kill provably crosses a served
+	// keyspace.
+	client := httptest.NewServer(rt.Handler())
+	defer client.Close()
+	homedOn1 := -1
+	for i, body := range bodies {
+		resp, err := http.Post(client.URL+"/v1/fill", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("warm fill %d: %v", i, err)
+		}
+		backend := resp.Header.Get("X-Thor-Backend")
+		resp.Body.Close()
+		if strings.Contains(p1.Addr(), backend) {
+			homedOn1 = i
+		}
+	}
+	if homedOn1 < 0 {
+		t.Skip("no body homed on replica 1 (fixture hash collision); rendezvous balance test covers spread")
+	}
+
+	const workers = 4
+	var failures atomic.Int64
+	var served atomic.Int64
+	var wrong atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hc := &http.Client{}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (w + i) % len(bodies)
+				resp, err := hc.Post(client.URL+"/v1/fill", "application/json", bytes.NewReader(bodies[k]))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				var buf bytes.Buffer
+				buf.ReadFrom(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				got := toSemantic(t, buf.Bytes())
+				if !reflect.DeepEqual(got.Entities, refs[k].Entities) || got.Assignments != refs[k].Assignments {
+					wrong.Add(1)
+				}
+				served.Add(1)
+			}
+		}(w)
+	}
+
+	// Let steady-state traffic flow, then kill replica 1 mid-load, let the
+	// tier absorb it, and bring the replica back.
+	time.Sleep(250 * time.Millisecond)
+	p1.SetDown(true)
+	time.Sleep(500 * time.Millisecond)
+	p1.SetDown(false)
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if failures.Load() != 0 {
+		t.Fatalf("%d client-visible failures during one-replica kill (served %d)", failures.Load(), served.Load())
+	}
+	if wrong.Load() != 0 {
+		t.Fatalf("%d responses deviated from the single-shot reference", wrong.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("no requests served")
+	}
+
+	// Auto-recovery: once the breaker cooldown passes, the killed replica's
+	// keyspace migrates home again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Post(client.URL+"/v1/fill", "application/json", bytes.NewReader(bodies[homedOn1]))
+		if err != nil {
+			t.Fatalf("recovery fill: %v", err)
+		}
+		backend := resp.Header.Get("X-Thor-Backend")
+		resp.Body.Close()
+		if strings.Contains(p1.Addr(), backend) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("keyspace never returned to the revived replica (still served by %q)", backend)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestChaosKillWholeShardBrownout is the headline robustness proof for
+// domain-partitioned tiers: killing every replica of one shard degrades
+// responses to partials with that shard's `degraded` marker — the other
+// shard's keyspace is untouched — the breaker transitions are visible in
+// router.* metrics, and full service resumes automatically once the shard
+// returns.
+func TestChaosKillWholeShardBrownout(t *testing.T) {
+	anatomyTable, anatomySpace := chaosWorld("Anatomy")
+	compTable, compSpace := chaosWorld("Complication")
+	ea := startEngine(t, anatomyTable, anatomySpace)
+	ec := startEngine(t, compTable, compSpace)
+	pa, pc := proxied(t, ea), proxied(t, ec)
+
+	reg := obs.NewRegistry()
+	rt, err := New(Options{
+		Shards: ShardMap{Shards: []ShardConfig{
+			{ID: "anatomy", Concepts: []string{"Anatomy"}, Backends: []string{pa.Addr()}},
+			{ID: "complication", Concepts: []string{"Complication"}, Backends: []string{pc.Addr()}},
+		}},
+		Metrics:        reg,
+		HealthInterval: -1,
+		Retry:          chaos.Backoff{Attempts: 2, Base: 5 * time.Millisecond, Cap: 20 * time.Millisecond},
+		Breaker:        BreakerConfig{Threshold: 2, Cooldown: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer rt.Close()
+	client := httptest.NewServer(rt.Handler())
+	defer client.Close()
+
+	body, err := json.Marshal(serve.Request{Documents: chaosDocs})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	fill := func() (int, Response) {
+		resp, err := http.Post(client.URL+"/v1/fill", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("fill: %v", err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		var r Response
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(buf.Bytes(), &r); err != nil {
+				t.Fatalf("decode: %v (%s)", err, buf.Bytes())
+			}
+		}
+		return resp.StatusCode, r
+	}
+
+	// Steady state: both domains contribute, nothing degraded.
+	status, full := fill()
+	if status != http.StatusOK || len(full.Degraded) != 0 {
+		t.Fatalf("steady state: status %d degraded %+v", status, full.Degraded)
+	}
+	hasConcept := func(r Response, concept string) bool {
+		for _, es := range r.Entities {
+			for _, e := range es {
+				if e.Concept == concept {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !hasConcept(full, "Anatomy") || !hasConcept(full, "Complication") {
+		t.Fatalf("steady-state response missing a domain: %+v", full.Entities)
+	}
+
+	// Kill the complication shard (its only replica).
+	pc.SetDown(true)
+	var brown Response
+	for i := 0; i < 4; i++ { // enough failures to open the breaker
+		status, brown = fill()
+		if status != http.StatusOK {
+			t.Fatalf("brownout fill %d: status %d, want 200 partial", i, status)
+		}
+	}
+	if len(brown.Degraded) != 1 || brown.Degraded[0].Shard != "complication" {
+		t.Fatalf("degraded = %+v, want the complication shard", brown.Degraded)
+	}
+	if got := brown.Degraded[0].Concepts; len(got) != 1 || got[0] != "Complication" {
+		t.Fatalf("degraded concepts = %v, want [Complication]", got)
+	}
+	if !hasConcept(brown, "Anatomy") {
+		t.Fatal("brownout lost the healthy shard's results")
+	}
+	if hasConcept(brown, "Complication") {
+		t.Fatal("brownout response claims results from the dead shard")
+	}
+	// The anatomy shard's payload is unchanged by the other shard's death.
+	// (Both shards also emit subject/Disease matches, so compare only the
+	// Anatomy-concept entities each side produced.)
+	onlyAnatomy := func(es []serve.Entity) []serve.Entity {
+		var out []serve.Entity
+		for _, e := range es {
+			if e.Concept == "Anatomy" {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	for subj, es := range brown.Entities {
+		got, want := onlyAnatomy(es), onlyAnatomy(full.Entities[subj])
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("subject %s: brownout anatomy entities deviate: got %+v want %+v", subj, got, want)
+		}
+	}
+
+	// Breaker state is visible in metrics: the dead backend's breaker is
+	// open (gauge = 2) with transitions counted.
+	host := strings.TrimPrefix(pc.Addr(), "http://")
+	if got := reg.Gauge(obs.LabeledName("router.breaker.state", "backend", host)).Value(); got != int64(BreakerOpen) {
+		t.Fatalf("router.breaker.state{%s} = %d, want %d (open)", host, got, BreakerOpen)
+	}
+	if reg.Counter(obs.LabeledName("router.breaker.transitions", "backend", host)).Value() == 0 {
+		t.Fatal("breaker transitions not recorded")
+	}
+	if reg.Counter("router.brownouts").Value() == 0 {
+		t.Fatal("router.brownouts not recorded")
+	}
+
+	// Shard returns: after the breaker cooldown a probe closes it and full
+	// responses resume, automatically.
+	pc.SetDown(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, r := fill()
+		if status == http.StatusOK && len(r.Degraded) == 0 && hasConcept(r, "Complication") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard never recovered: status %d degraded %+v", status, r.Degraded)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+	if got := reg.Gauge(obs.LabeledName("router.breaker.state", "backend", host)).Value(); got != int64(BreakerClosed) {
+		t.Fatalf("post-recovery breaker gauge = %d, want %d (closed)", got, BreakerClosed)
+	}
+
+	// All shards down: not even a partial is possible — 503.
+	pa.SetDown(true)
+	pc.SetDown(true)
+	// Exhaust both breakers so the failure is immediate and unambiguous.
+	for i := 0; i < 3; i++ {
+		st, _ := fill()
+		if st == http.StatusOK {
+			t.Fatalf("fill %d: status 200 with every shard down", i)
+		}
+	}
+	st, _ := fill()
+	if st != http.StatusServiceUnavailable {
+		t.Fatalf("all-down status %d, want 503", st)
+	}
+}

@@ -1,0 +1,115 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// ShardConfig describes one shard: a set of identical replicas serving the
+// same table partition.
+type ShardConfig struct {
+	// ID names the shard in metrics, topology output and degraded markers.
+	ID string `json:"id"`
+	// Concepts lists the concept domains this shard's table partition
+	// serves. Informational: it is surfaced in topology output and in the
+	// `degraded` marker of brownout responses so clients know which slots
+	// a partial response is missing. Empty means "unspecified".
+	Concepts []string `json:"concepts,omitempty"`
+	// Backends are the replicas' base URLs ("host:port" or
+	// "http://host:port").
+	Backends []string `json:"backends"`
+}
+
+// ShardMap is the router's static topology: the JSON document passed to
+// thor-router -shard-map.
+type ShardMap struct {
+	// Shards are the partitions; every request fans out to one replica of
+	// each.
+	Shards []ShardConfig `json:"shards"`
+}
+
+// SingleShard builds the replica-only topology: one shard ("all") whose
+// replicas are the given backends. This is what thor-router -backends
+// produces.
+func SingleShard(backends []string) ShardMap {
+	return ShardMap{Shards: []ShardConfig{{ID: "all", Backends: backends}}}
+}
+
+// ParseShardMap parses and validates a shard-map JSON document. Backend URLs
+// are normalized (scheme defaulted to http, trailing slash stripped); shard
+// IDs and backend URLs must be unique, and every shard needs at least one
+// backend.
+func ParseShardMap(data []byte) (ShardMap, error) {
+	var m ShardMap
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return ShardMap{}, fmt.Errorf("shard map: %w", err)
+	}
+	if err := m.validate(); err != nil {
+		return ShardMap{}, err
+	}
+	return m, nil
+}
+
+// validate normalizes the map in place and checks its invariants.
+func (m *ShardMap) validate() error {
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("shard map: no shards")
+	}
+	ids := make(map[string]bool, len(m.Shards))
+	urls := make(map[string]bool)
+	for i := range m.Shards {
+		sh := &m.Shards[i]
+		if sh.ID == "" {
+			return fmt.Errorf("shard map: shard %d has no id", i)
+		}
+		if ids[sh.ID] {
+			return fmt.Errorf("shard map: duplicate shard id %q", sh.ID)
+		}
+		ids[sh.ID] = true
+		if len(sh.Backends) == 0 {
+			return fmt.Errorf("shard map: shard %q has no backends", sh.ID)
+		}
+		for j, b := range sh.Backends {
+			nb, err := NormalizeBackend(b)
+			if err != nil {
+				return fmt.Errorf("shard map: shard %q backend %d: %w", sh.ID, j, err)
+			}
+			if urls[nb] {
+				return fmt.Errorf("shard map: backend %q appears twice", nb)
+			}
+			urls[nb] = true
+			sh.Backends[j] = nb
+		}
+		sort.Strings(sh.Concepts)
+	}
+	return nil
+}
+
+// NormalizeBackend canonicalizes a backend address: "host:port" gains an
+// http:// scheme, trailing slashes are stripped, and the result must be a
+// bare scheme://host[:port] base URL.
+func NormalizeBackend(s string) (string, error) {
+	s = strings.TrimSpace(strings.TrimRight(strings.TrimSpace(s), "/"))
+	if s == "" {
+		return "", fmt.Errorf("empty backend address")
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return "", fmt.Errorf("backend address %q: %w", s, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("backend address %q: scheme must be http or https", s)
+	}
+	if u.Host == "" || u.Path != "" || u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("backend address %q: want a bare scheme://host[:port]", s)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}

@@ -1,0 +1,64 @@
+package router
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseShardMapNormalizes(t *testing.T) {
+	m, err := ParseShardMap([]byte(`{
+		"shards": [
+			{"id": "anatomy", "concepts": ["Complication", "Anatomy"], "backends": ["127.0.0.1:9001", "http://127.0.0.1:9002/"]},
+			{"id": "rest", "backends": ["https://10.0.0.1:9003"]}
+		]
+	}`))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := m.Shards[0].Backends[0]; got != "http://127.0.0.1:9001" {
+		t.Fatalf("scheme not defaulted: %q", got)
+	}
+	if got := m.Shards[0].Backends[1]; got != "http://127.0.0.1:9002" {
+		t.Fatalf("trailing slash not stripped: %q", got)
+	}
+	if got := m.Shards[1].Backends[0]; got != "https://10.0.0.1:9003" {
+		t.Fatalf("https backend mangled: %q", got)
+	}
+	// Concepts are sorted for deterministic degraded markers.
+	if m.Shards[0].Concepts[0] != "Anatomy" {
+		t.Fatalf("concepts not sorted: %v", m.Shards[0].Concepts)
+	}
+}
+
+func TestParseShardMapRejects(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", `{"shards": []}`, "no shards"},
+		{"no id", `{"shards": [{"backends": ["a:1"]}]}`, "no id"},
+		{"dup id", `{"shards": [{"id":"x","backends":["a:1"]},{"id":"x","backends":["b:1"]}]}`, "duplicate shard id"},
+		{"no backends", `{"shards": [{"id":"x","backends":[]}]}`, "no backends"},
+		{"dup backend", `{"shards": [{"id":"x","backends":["a:1","http://a:1"]}]}`, "appears twice"},
+		{"backend path", `{"shards": [{"id":"x","backends":["http://a:1/v1"]}]}`, "bare scheme://host"},
+		{"backend scheme", `{"shards": [{"id":"x","backends":["ftp://a:1"]}]}`, "scheme must be"},
+		{"unknown field", `{"shards": [], "extra": 1}`, "unknown field"},
+	}
+	for _, c := range cases {
+		if _, err := ParseShardMap([]byte(c.in)); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSingleShard(t *testing.T) {
+	m := SingleShard([]string{"127.0.0.1:9001", "127.0.0.1:9002"})
+	if err := m.validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if m.Shards[0].ID != "all" || len(m.Shards[0].Backends) != 2 {
+		t.Fatalf("unexpected map: %+v", m)
+	}
+	if m.Shards[0].Backends[0] != "http://127.0.0.1:9001" {
+		t.Fatalf("backend not normalized: %q", m.Shards[0].Backends[0])
+	}
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDrainAdmissionRaceNeverTearsConnections pins the drain contract the
+// router relies on: requests admitted in the window between the drain
+// beginning and the listener closing either complete normally (200) or are
+// shed with 503 + Retry-After and a JSON error body — a client never sees a
+// torn connection or an empty reply. The test hammers admissions from many
+// goroutines while Shutdown runs concurrently (run under -race).
+func TestDrainAdmissionRaceNeverTearsConnections(t *testing.T) {
+	table, space := testWorld()
+	s, err := NewServer(Options{
+		Table: table, Space: space, Tau: 0.6,
+		Workers: 2, BatchWindow: 0, QueueDepth: 4,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	// The listener outlives the engine drain on purpose: that is exactly the
+	// SIGTERM→listener-close window under test.
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body, err := json.Marshal(Request{Documents: worldDocs[:1]})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+
+	const workers = 8
+	var (
+		wg      sync.WaitGroup
+		stop    = make(chan struct{})
+		torn    atomic.Int64 // transport errors / unreadable bodies: must stay 0
+		ok200   atomic.Int64
+		shed    atomic.Int64
+		badShed atomic.Int64 // sheds missing Retry-After or a JSON error body
+		other   atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hc := &http.Client{}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := hc.Post(ts.URL+"/v1/fill", "application/json", bytes.NewReader(body))
+				if err != nil {
+					torn.Add(1)
+					continue
+				}
+				raw, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					torn.Add(1)
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok200.Add(1)
+				case http.StatusServiceUnavailable:
+					shed.Add(1)
+					var eb ErrorBody
+					if resp.Header.Get("Retry-After") == "" ||
+						json.Unmarshal(raw, &eb) != nil ||
+						(eb.Error.Code != CodeDraining && eb.Error.Code != CodeOverloaded && eb.Error.Code != CodeClosed) {
+						badShed.Add(1)
+					}
+				default:
+					other.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Let steady-state traffic flow, then drain while the hammer runs.
+	time.Sleep(150 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// Requests arriving after the drain completed must still shed cleanly
+	// while the listener remains open.
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d requests saw a torn connection or empty reply during drain", n)
+	}
+	if n := badShed.Load(); n != 0 {
+		t.Fatalf("%d shed responses were missing Retry-After or a JSON error body", n)
+	}
+	if n := other.Load(); n != 0 {
+		t.Fatalf("%d requests got an unexpected status", n)
+	}
+	if ok200.Load() == 0 {
+		t.Fatal("no requests completed before the drain — hammer never reached steady state")
+	}
+	if shed.Load() == 0 {
+		t.Fatal("no requests were shed — the drain window was never exercised")
+	}
+}
+
+// TestReadyzReportsShard pins the shard-id surfacing the router's topology
+// checks rely on: /readyz and /healthz name the shard, and every /v1/*
+// response carries X-Thor-Shard.
+func TestReadyzReportsShard(t *testing.T) {
+	table, space := testWorld()
+	s, err := NewServer(Options{
+		Table: table, Space: space, Tau: 0.6,
+		Workers: 2, BatchWindow: 0, ShardID: "anatomy",
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for _, path := range []string{"/readyz", "/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		var body map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+		if body["shard"] != "anatomy" {
+			t.Fatalf("%s shard = %v, want anatomy", path, body["shard"])
+		}
+	}
+
+	body, _ := json.Marshal(Request{Documents: worldDocs[:1]})
+	resp, err := http.Post(ts.URL+"/v1/fill", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Thor-Shard"); got != "anatomy" {
+		t.Fatalf("X-Thor-Shard = %q, want anatomy", got)
+	}
+
+	// Draining still names the shard (routers classify by body status).
+	go s.Shutdown(context.Background())
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatalf("GET /readyz: %v", err)
+		}
+		var rb map[string]any
+		json.NewDecoder(resp.Body).Decode(&rb)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if rb["status"] != "draining" || rb["shard"] != "anatomy" {
+				t.Fatalf("draining readyz = %v", rb)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never reported draining")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

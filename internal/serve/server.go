@@ -96,6 +96,12 @@ type Options struct {
 	// Logger, when set, receives structured serving logs correlated by
 	// trace_id, batch_id and doc_id (see obs.Log* field names).
 	Logger *slog.Logger
+	// ShardID optionally names the shard this server holds in a
+	// domain-partitioned tier. When set, /readyz and /healthz report it and
+	// every /v1/* response carries an X-Thor-Shard header, so a router (or
+	// an operator with curl) can verify a backend actually serves the shard
+	// the topology says it does.
+	ShardID string
 }
 
 // withDefaults resolves the zero values documented on Options.
@@ -315,10 +321,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// statusBody builds a health/readiness payload, naming the shard when the
+// server is part of a partitioned tier.
+func (s *Server) statusBody(status string) map[string]any {
+	body := map[string]any{"status": status}
+	if s.opts.ShardID != "" {
+		body["shard"] = s.opts.ShardID
+	}
+	return body
+}
+
 // handleHealthz reports process liveness: 200 as long as the process can
 // answer HTTP at all, draining or not.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, s.statusBody("ok"))
 }
 
 // handleReadyz reports readiness to accept work: 503 once draining begins
@@ -332,17 +348,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	draining := s.draining
 	s.mu.RUnlock()
 	if draining {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, s.statusBody("draining"))
 		return
 	}
 	if st := s.opts.SLO.Status(); st.Degraded {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status":    "degraded",
-			"violating": st.Violating,
-		})
+		body := s.statusBody("degraded")
+		body["violating"] = st.Violating
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, s.statusBody("ok"))
 }
 
 // statusWriter captures the response status so the handler can classify the
@@ -385,6 +400,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
 	reqs.Add(1)
 
 	sw := &statusWriter{ResponseWriter: w}
+	if s.opts.ShardID != "" {
+		sw.Header().Set("X-Thor-Shard", s.opts.ShardID)
+	}
 	defer func() {
 		// A request that wrote no response (client gone mid-wait) is not
 		// judged: its latency reflects the client, not the server.
