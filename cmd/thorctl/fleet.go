@@ -27,6 +27,12 @@ type InstanceStatus struct {
 	// Degraded reports the thor_slo_degraded gauge (falls back to the
 	// /readyz detail when the gauge is absent).
 	Degraded bool `json:"degraded"`
+	// Shard is the shard the instance reports on /readyz (empty when the
+	// instance runs unsharded).
+	Shard string `json:"shard,omitempty"`
+	// TableVersion is the instance's live-table version (the
+	// thor_table_version gauge); zero when the instance predates live tables.
+	TableVersion uint64 `json:"tableVersion,omitempty"`
 	// Goroutines and HeapBytes are the instance's runtime gauges.
 	Goroutines int64 `json:"goroutines"`
 	// HeapBytes is the live heap size in bytes.
@@ -71,6 +77,11 @@ type FleetStatus struct {
 	Counters map[string]float64 `json:"counters,omitempty"`
 	// Degraded lists the targets currently degraded or unreachable.
 	Degraded []string `json:"degraded,omitempty"`
+	// VersionSkew lists shards whose replicas disagree on the live-table
+	// version — replicas of one shard answering from different table
+	// contents, which thorctl exits 1 on. Unsharded instances are compared as
+	// one group.
+	VersionSkew []string `json:"versionSkew,omitempty"`
 }
 
 // pollInstance scrapes one target's /readyz and /metrics.
@@ -87,9 +98,11 @@ func pollInstance(client *http.Client, target string) InstanceStatus {
 		st.Ready = resp.StatusCode == http.StatusOK
 		var rz struct {
 			Status string `json:"status"`
+			Shard  string `json:"shard"`
 		}
 		if json.Unmarshal(body, &rz) == nil {
 			st.ReadyDetail = rz.Status
+			st.Shard = rz.Shard
 		}
 	}
 
@@ -128,6 +141,10 @@ func pollInstance(client *http.Client, target string) InstanceStatus {
 			case "thor_slo_degraded":
 				if len(f.Samples) > 0 && f.Samples[0].Value >= 1 {
 					st.Degraded = true
+				}
+			case "thor_table_version":
+				if len(f.Samples) > 0 && f.Samples[0].Value > 0 {
+					st.TableVersion = uint64(f.Samples[0].Value)
 				}
 			}
 		}
@@ -177,7 +194,51 @@ func poll(client *http.Client, targets []string, now time.Time) *FleetStatus {
 		fs.Histograms[name] = m.merged()
 	}
 	sort.Strings(fs.Degraded)
+	fs.VersionSkew = versionSkew(fs.Instances)
 	return fs
+}
+
+// versionSkew groups reachable instances by shard and reports every shard
+// whose members disagree on the live-table version. A replica set serving two
+// table versions at once means a mutation reached some replicas and not
+// others — responses depend on which replica the router picks. Instances
+// predating live tables (version 0) are skipped rather than counted as skew.
+func versionSkew(instances []InstanceStatus) []string {
+	type group struct {
+		versions map[uint64]bool
+		min, max uint64
+	}
+	byShard := make(map[string]*group)
+	for _, inst := range instances {
+		if inst.Err != "" || inst.TableVersion == 0 {
+			continue
+		}
+		g := byShard[inst.Shard]
+		if g == nil {
+			g = &group{versions: make(map[uint64]bool), min: inst.TableVersion, max: inst.TableVersion}
+			byShard[inst.Shard] = g
+		}
+		g.versions[inst.TableVersion] = true
+		if inst.TableVersion < g.min {
+			g.min = inst.TableVersion
+		}
+		if inst.TableVersion > g.max {
+			g.max = inst.TableVersion
+		}
+	}
+	var skew []string
+	for shard, g := range byShard {
+		if len(g.versions) <= 1 {
+			continue
+		}
+		name := shard
+		if name == "" {
+			name = "(unsharded)"
+		}
+		skew = append(skew, fmt.Sprintf("%s: v%d..v%d across %d versions", name, g.min, g.max, len(g.versions)))
+	}
+	sort.Strings(skew)
+	return skew
 }
 
 // histMerger accumulates cumulative bucket counts per histogram family

@@ -15,7 +15,9 @@
 // /v1/topology and renders the per-backend health/breaker table above the
 // fleet view; when -targets is omitted the fleet targets are derived from
 // the topology. The exit status is 0 when every instance is ready and
-// healthy, 1 when any instance is degraded, draining or unreachable — or,
+// healthy, 1 when any instance is degraded, draining or unreachable, or when
+// replicas of one shard disagree on the live-table version (thor_table_version
+// skew: a POST /v1/table mutation reached some replicas and not others) — or,
 // with -router, when any backend's circuit breaker is open or the router is
 // unreachable (one-shot mode only).
 package main
@@ -92,7 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			render(stdout, st)
 		}
 		if *watch <= 0 {
-			if len(st.Degraded) > 0 {
+			if len(st.Degraded) > 0 || len(st.VersionSkew) > 0 {
 				return 1
 			}
 			if rst != nil && (rst.Err != "" || len(rst.OpenBreakers) > 0) {
@@ -109,8 +111,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 func render(w io.Writer, st *FleetStatus) {
 	fmt.Fprintf(w, "fleet status @ %s — %d instance(s), %d degraded\n",
 		st.PolledAt.Format(time.RFC3339), len(st.Instances), len(st.Degraded))
-	fmt.Fprintf(w, "%-24s %-10s %-9s %11s %12s %12s\n",
-		"TARGET", "READY", "DEGRADED", "GOROUTINES", "HEAP", "FILL REQS")
+	fmt.Fprintf(w, "%-24s %-10s %-9s %7s %11s %12s %12s\n",
+		"TARGET", "READY", "DEGRADED", "TABLE", "GOROUTINES", "HEAP", "FILL REQS")
 	for _, inst := range st.Instances {
 		if inst.Err != "" {
 			fmt.Fprintf(w, "%-24s %-10s %s\n", inst.Target, "unreachable", inst.Err)
@@ -124,9 +126,16 @@ func render(w io.Writer, st *FleetStatus) {
 				ready = "not-ready"
 			}
 		}
-		fmt.Fprintf(w, "%-24s %-10s %-9v %11d %12s %12.0f\n",
-			inst.Target, ready, inst.Degraded, inst.Goroutines,
+		version := "-"
+		if inst.TableVersion > 0 {
+			version = fmt.Sprintf("v%d", inst.TableVersion)
+		}
+		fmt.Fprintf(w, "%-24s %-10s %-9v %7s %11d %12s %12.0f\n",
+			inst.Target, ready, inst.Degraded, version, inst.Goroutines,
 			humanBytes(inst.HeapBytes), inst.Counters["serve_fill_requests"])
+	}
+	if len(st.VersionSkew) > 0 {
+		fmt.Fprintf(w, "TABLE VERSION SKEW: %s\n", strings.Join(st.VersionSkew, "; "))
 	}
 	names := make([]string, 0, len(st.Histograms))
 	for n := range st.Histograms {

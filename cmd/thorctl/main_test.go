@@ -138,6 +138,79 @@ func TestFleetAggregation(t *testing.T) {
 	}
 }
 
+// startVersionedInstance boots a serving engine at a fixed live-table
+// version, optionally sharded.
+func startVersionedInstance(t *testing.T, version uint64, shard string) string {
+	t.Helper()
+	table := schema.NewTable(schema.NewSchema("Disease", "Anatomy"))
+	table.AddRow("Malaria")
+	s, err := serve.NewServer(serve.Options{
+		Table: table, Space: embed.NewSpace(), Tau: 0.6, Workers: 1,
+		Metrics: obs.NewRegistry(), TableVersion: version, ShardID: shard,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+// TestTableVersionSkew drives the live-table version check: replicas of one
+// shard serving different table versions are flagged (and fail the one-shot
+// exit code), while matching replicas — and skew across *different* shards —
+// stay green.
+func TestTableVersionSkew(t *testing.T) {
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// Same shard, same version: clean.
+	a1 := startVersionedInstance(t, 4, "shard-a")
+	a2 := startVersionedInstance(t, 4, "shard-a")
+	st := poll(client, []string{a1, a2}, time.Unix(1754000000, 0))
+	if len(st.VersionSkew) != 0 {
+		t.Fatalf("matching replicas flagged: %v", st.VersionSkew)
+	}
+	for _, inst := range st.Instances {
+		if inst.TableVersion != 4 || inst.Shard != "shard-a" {
+			t.Fatalf("instance scrape: version %d shard %q, want 4/shard-a", inst.TableVersion, inst.Shard)
+		}
+	}
+
+	// Different shards may run different versions (a rollout mutates one
+	// domain partition at a time): still clean.
+	b1 := startVersionedInstance(t, 9, "shard-b")
+	st = poll(client, []string{a1, a2, b1}, time.Unix(1754000000, 0))
+	if len(st.VersionSkew) != 0 {
+		t.Fatalf("cross-shard version difference flagged: %v", st.VersionSkew)
+	}
+
+	// Skew inside one shard: flagged, rendered, and the one-shot exit is 1.
+	a3 := startVersionedInstance(t, 5, "shard-a")
+	st = poll(client, []string{a1, a2, a3}, time.Unix(1754000000, 0))
+	if len(st.VersionSkew) != 1 || !strings.Contains(st.VersionSkew[0], "shard-a") {
+		t.Fatalf("skew = %v, want exactly shard-a", st.VersionSkew)
+	}
+	var out, errb strings.Builder
+	code := run([]string{"-targets", a1 + "," + a2 + "," + a3}, &out, &errb)
+	if code != 1 {
+		t.Errorf("one-shot exit = %d with version skew, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "TABLE VERSION SKEW") || !strings.Contains(out.String(), "shard-a") {
+		t.Errorf("status table does not surface the skew:\n%s", out.String())
+	}
+
+	// Unsharded instances are compared as one group.
+	u1 := startVersionedInstance(t, 2, "")
+	u2 := startVersionedInstance(t, 3, "")
+	st = poll(client, []string{u1, u2}, time.Unix(1754000000, 0))
+	if len(st.VersionSkew) != 1 || !strings.Contains(st.VersionSkew[0], "(unsharded)") {
+		t.Fatalf("unsharded skew = %v, want one (unsharded) entry", st.VersionSkew)
+	}
+}
+
 // TestQuantileFromBuckets pins the interpolation: a known CDF yields
 // monotone, in-range quantiles.
 func TestQuantileFromBuckets(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"thor/internal/obs"
 	"thor/internal/schema"
 	"thor/internal/serve"
+	"thor/internal/tablestore"
 	"thor/internal/text"
 )
 
@@ -28,6 +30,7 @@ func main() {
 func run() int {
 	var (
 		tablePath     = flag.String("table", "", "path to the integrated table (.json or .csv)")
+		snapshotPath  = flag.String("snapshot", "", "THORTBL1 live-table snapshot: loaded (with its version) when present, rewritten on every POST /v1/table swap and at clean shutdown")
 		subject       = flag.String("subject", "", "subject concept (required for CSV tables)")
 		knowledgePath = flag.String("knowledge", "", "optional fine-tuning table distinct from the fill target")
 		vectors       = flag.String("vectors", "", "optional THORVEC1 embedding file (default: build from the table)")
@@ -61,8 +64,8 @@ func run() int {
 			"\nExit codes:\n  0  clean shutdown (drained)\n  1  fatal error\n  2  usage error\n")
 	}
 	flag.Parse()
-	if *tablePath == "" {
-		usageErr("-table is required")
+	if *tablePath == "" && *snapshotPath == "" {
+		usageErr("-table or -snapshot is required")
 	}
 	if *tau < 0 || *tau > 1 {
 		usageErr(fmt.Sprintf("-tau %v is outside [0,1]", *tau))
@@ -91,12 +94,39 @@ func run() int {
 		usageErr(err.Error())
 	}
 
-	table, err := loadTable(*tablePath, schema.Concept(*subject))
-	if err != nil {
-		return fatal(err)
+	// A present snapshot wins over -table: it carries the mutation history
+	// (the rows POST /v1/table added) plus the version the tier last served,
+	// so a restarted daemon resumes exactly where it drained. -table is the
+	// seed for the first boot, before any snapshot exists.
+	var table *schema.Table
+	var tableVersion uint64
+	if *snapshotPath != "" {
+		f, err := os.Open(*snapshotPath)
+		switch {
+		case err == nil:
+			tableVersion, table, err = tablestore.ReadFrom(f)
+			f.Close()
+			if err != nil {
+				return fatal(fmt.Errorf("snapshot %s: %w", *snapshotPath, err))
+			}
+			logger.Info("table snapshot loaded",
+				"path", *snapshotPath, "version", tableVersion, "rows", len(table.Rows))
+		case !os.IsNotExist(err):
+			return fatal(err)
+		}
+	}
+	if table == nil {
+		if *tablePath == "" {
+			return fatal(fmt.Errorf("snapshot %s does not exist and no -table to seed from", *snapshotPath))
+		}
+		var err error
+		if table, err = loadTable(*tablePath, schema.Concept(*subject)); err != nil {
+			return fatal(err)
+		}
 	}
 	var knowledge *schema.Table
 	if *knowledgePath != "" {
+		var err error
 		if knowledge, err = loadTable(*knowledgePath, schema.Concept(*subject)); err != nil {
 			return fatal(err)
 		}
@@ -152,8 +182,27 @@ func run() int {
 		go profiler.Run(profCtx)
 	}
 
+	// Every accepted mutation rewrites the snapshot (atomically, in the swap
+	// hook's goroutine — mutations are rare next to fills), so a crash loses
+	// at most the mutation in flight.
+	var onSwap func(uint64, *schema.Table)
+	if *snapshotPath != "" {
+		path := *snapshotPath
+		onSwap = func(version uint64, t *schema.Table) {
+			if err := persistSnapshot(path, func(w io.Writer) (int64, error) {
+				return tablestore.WriteTable(w, version, t)
+			}); err != nil {
+				logger.Warn("snapshot persist failed", "path", path, "error", err.Error())
+				return
+			}
+			logger.Info("snapshot persisted", "path", path, "version", version)
+		}
+	}
+
 	engine, err := serve.NewServer(serve.Options{
 		Table:             table,
+		TableVersion:      tableVersion,
+		OnTableSwap:       onSwap,
 		Knowledge:         knowledge,
 		Space:             space,
 		Tau:               *tau,
@@ -185,6 +234,7 @@ func run() int {
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	logger.Info("serving",
 		"addr", ln.Addr().String(),
+		"table_version", engine.TableVersion(),
 		"rows", table.InstanceCount(),
 		"tau", *tau,
 		"batch_max", *batchMax,
@@ -224,8 +274,37 @@ func run() int {
 		engine.Close()
 		return fatal(fmt.Errorf("drain: %w", drainErr))
 	}
+	// Belt and braces: the swap hook already persisted every accepted
+	// mutation, but a final write at clean shutdown also captures a tier that
+	// started from -table and was never mutated.
+	if *snapshotPath != "" {
+		if err := persistSnapshot(*snapshotPath, engine.WriteTableSnapshot); err != nil {
+			logger.Warn("shutdown snapshot persist failed", "path", *snapshotPath, "error", err.Error())
+		} else {
+			logger.Info("snapshot persisted", "path", *snapshotPath, "version", engine.TableVersion())
+		}
+	}
 	logger.Info("drained cleanly")
 	return 0
+}
+
+// persistSnapshot atomically replaces path with the bytes write produces: the
+// write lands in a temp file in the destination directory, then renames over
+// the target, so a crash mid-write never leaves a torn snapshot behind.
+func persistSnapshot(path string, write func(io.Writer) (int64, error)) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".thortbl-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // listenerGrace bounds the listener's own shutdown after the engine drain:

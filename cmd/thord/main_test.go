@@ -1,0 +1,80 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"thor/internal/schema"
+	"thor/internal/tablestore"
+)
+
+// TestPersistSnapshotAtomicReplace covers the daemon's snapshot persistence:
+// the write replaces the target atomically, survives a round-trip through the
+// THORTBL1 codec with its version, and a failed write leaves the previous
+// snapshot untouched.
+func TestPersistSnapshotAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.tbl")
+
+	table := schema.NewTable(schema.NewSchema("Disease", "Anatomy"))
+	table.AddRow("Malaria").Add("Anatomy", "liver")
+	write := func(version uint64) func(io.Writer) (int64, error) {
+		return func(w io.Writer) (int64, error) {
+			return tablestore.WriteTable(w, version, table)
+		}
+	}
+
+	if err := persistSnapshot(path, write(7)); err != nil {
+		t.Fatalf("persist: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	version, got, err := tablestore.ReadFrom(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("reread: %v", err)
+	}
+	if version != 7 || got.Fingerprint() != table.Fingerprint() {
+		t.Fatalf("round-trip: version %d fingerprint %x, want 7/%x", version, got.Fingerprint(), table.Fingerprint())
+	}
+
+	// A newer version replaces the file in place.
+	if err := persistSnapshot(path, write(8)); err != nil {
+		t.Fatalf("re-persist: %v", err)
+	}
+	f, _ = os.Open(path)
+	version, _, err = tablestore.ReadFrom(f)
+	f.Close()
+	if err != nil || version != 8 {
+		t.Fatalf("replaced snapshot: version %d err %v, want 8", version, err)
+	}
+
+	// A failed write must not clobber the good snapshot, and must not leave
+	// temp files behind.
+	failErr := os.ErrInvalid
+	err = persistSnapshot(path, func(io.Writer) (int64, error) { return 0, failErr })
+	if err != failErr {
+		t.Fatalf("failed write returned %v, want %v", err, failErr)
+	}
+	f, _ = os.Open(path)
+	version, _, err = tablestore.ReadFrom(f)
+	f.Close()
+	if err != nil || version != 8 {
+		t.Fatalf("snapshot after failed write: version %d err %v, want intact 8", version, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "live.tbl" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory not clean after failed write: %v", names)
+	}
+}

@@ -22,6 +22,11 @@ type cacheKey struct {
 
 // seedKey identifies a shared τ-independent seed cluster: like cacheKey, but
 // per concept and without the threshold — seeds do not depend on it. The
+// table component is the CONCEPT's instance-set fingerprint
+// (schema.Table.ConceptFingerprint), not the whole table's: a seed cluster
+// is a pure function of its own column's values, so a table mutation that
+// leaves the column untouched keeps the entry warm (the incremental
+// invalidation live tables rely on). The
 // quantization setting IS part of the key: the shared seed matrix is built
 // with or without the int8 propose tier, so a config toggling
 // Config.DisableQuant must never be served an entry built under the other
@@ -35,7 +40,8 @@ type seedKey struct {
 }
 
 // expandKey identifies a shared τ-expansion retrieval: the per-source
-// neighbor lists for one concept's seed heads. τ is deliberately absent —
+// neighbor lists for one concept's seed heads, keyed — like seedKey — by the
+// concept's own instance-set fingerprint. τ is deliberately absent —
 // lists are stored at the lowest τ requested so far and prefix-cut upward —
 // while the quantization setting is present for the same staleness reason as
 // in seedKey.
@@ -110,8 +116,9 @@ func (c *Cache) queriesFor(index *embed.ThresholdIndex) *cow.Map[string, *embed.
 	return q
 }
 
-// seedsFor returns the shared seed cluster for (vocabulary snapshot, table
-// content, concept, quant tier), building and storing it on first request. A
+// seedsFor returns the shared seed cluster for (vocabulary snapshot, concept
+// instance-set fingerprint, concept, quant tier), building and storing it on
+// first request. A
 // threshold sweep fine-tunes once per τ, but the seed instances, their sweep
 // matrix and the best-seed memo are τ-independent, so every configuration at
 // the same quant setting shares one instance — later τ runs start with the

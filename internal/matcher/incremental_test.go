@@ -1,0 +1,93 @@
+package matcher
+
+import (
+	"strings"
+	"testing"
+
+	"thor/internal/embed"
+	"thor/internal/schema"
+)
+
+// incrementalWorld builds a table and space where both non-subject concepts
+// produce usable seed clusters.
+func incrementalWorld() (*schema.Table, *embed.Space) {
+	table := schema.NewTable(schema.NewSchema("Disease", "Anatomy", "Complication"))
+	table.AddRow("Acoustic Neuroma").Add("Anatomy", "nervous system")
+	table.AddRow("Tuberculosis").Add("Complication", "skin cancer")
+	table.AddRow("Cholera").Add("Anatomy", "small intestine")
+
+	space := embed.NewSpace()
+	anatomy := embed.HashVector("it:anatomy")
+	complication := embed.HashVector("it:complication")
+	add := func(c embed.Vector, words ...string) {
+		for _, w := range words {
+			for _, part := range strings.Fields(w) {
+				space.Add(part, embed.Blend(c, embed.HashVector("it-noise:"+part), 0.6))
+			}
+		}
+	}
+	add(anatomy, "nervous system", "small intestine", "liver", "brain")
+	add(complication, "skin cancer", "tumor", "lesion")
+	return table, space
+}
+
+// TestCacheIncrementalInvalidation pins the live-table contract of the
+// fine-tune cache: after a mutation touching ONE concept's instance set, a
+// re-fine-tune through the same cache must reuse the untouched concepts'
+// shared seed clusters (pointer-identical seedMemo/seedMat) and rebuild only
+// the mutated concept's.
+func TestCacheIncrementalInvalidation(t *testing.T) {
+	table, space := incrementalWorld()
+	cache := NewCache()
+	cfg := Config{Tau: 0.6, IncludeSubject: true}
+
+	a, err := cache.FineTune(space, table, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutated := table.Clone()
+	mutated.Row("Tuberculosis").Add("Complication", "meningitis")
+	b, err := cache.FineTune(space, mutated, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("whole-matcher cache hit despite a table mutation")
+	}
+
+	ca, cb := a.byConcept["Anatomy"], b.byConcept["Anatomy"]
+	if ca == nil || cb == nil {
+		t.Fatal("Anatomy cluster missing")
+	}
+	if ca.seedMemo != cb.seedMemo || ca.seedMat != cb.seedMat {
+		t.Error("untouched Anatomy concept rebuilt its shared seed cluster after an unrelated mutation")
+	}
+	da, db := a.byConcept["Disease"], b.byConcept["Disease"]
+	if da.seedMemo != db.seedMemo {
+		t.Error("untouched subject concept rebuilt its shared seed cluster")
+	}
+
+	xa, xb := a.byConcept["Complication"], b.byConcept["Complication"]
+	if xa.seedMemo == xb.seedMemo {
+		t.Error("mutated Complication concept served a stale shared seed cluster")
+	}
+
+	// Results must be exactly what an uncached fine-tune on the mutated
+	// table produces: warm reuse is an optimization, never an answer change.
+	fresh, err := FineTune(space, mutated, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range mutated.Schema.Concepts {
+		got, want := b.Representatives(c), fresh.Representatives(c)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d representatives cached vs %d fresh", c, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Phrase != want[i].Phrase || got[i].Seed != want[i].Seed {
+				t.Fatalf("%s representative %d: cached %+v fresh %+v", c, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -206,11 +206,9 @@ func fineTune(space *embed.Space, table *schema.Table, cfg Config, cache *Cache)
 		fitMemo:    cow.New[string, []float64](),
 		subQueries: cow.New[string, *embed.Query](),
 	}
-	var fp uint64
 	if cache != nil {
 		// Sweep queries are τ-independent; share one memo across the sweep.
 		m.subQueries = cache.queriesFor(idx)
-		fp = table.Fingerprint()
 	}
 	quant := !cfg.DisableQuant
 	for _, c := range table.Schema.Concepts {
@@ -219,7 +217,15 @@ func fineTune(space *embed.Space, table *schema.Table, cfg Config, cache *Cache)
 		}
 		build := func() *sharedSeeds { return buildSeedCluster(space, m.basis, table.ColumnValues(c), quant) }
 		var sh *sharedSeeds
+		var fp uint64
 		if cache != nil {
+			// Per-concept keying: the shared seeds, expansion lists and fit
+			// profile are pure functions of THIS concept's instance set, so
+			// they key on its column fingerprint rather than the whole
+			// table's. A live-table mutation that leaves a concept's column
+			// untouched then re-fine-tunes through warm entries for it —
+			// only the mutated concepts rebuild.
+			fp = table.ConceptFingerprint(c)
 			sh = cache.seedsFor(idx, fp, c, quant, build)
 		} else {
 			sh = build()

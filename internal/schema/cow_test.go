@@ -1,0 +1,101 @@
+package schema
+
+import "testing"
+
+// mutationWorld builds a small two-concept table for the COW tests.
+func mutationWorld() *Table {
+	t := NewTable(NewSchema("Disease", "Anatomy", "Complication"))
+	t.AddRow("Acoustic Neuroma").Add("Anatomy", "nervous system")
+	t.AddRow("Tuberculosis").Add("Complication", "skin cancer")
+	t.AddRow("Malaria")
+	return t
+}
+
+func TestConceptFingerprintIsolation(t *testing.T) {
+	base := mutationWorld()
+	fps := base.ConceptFingerprints()
+	if len(fps) != 3 {
+		t.Fatalf("expected 3 per-concept fingerprints, got %d", len(fps))
+	}
+
+	// Mutating one concept's instance set changes only that concept's
+	// fingerprint.
+	mut := base.Clone()
+	mut.Row("Malaria").Add("Anatomy", "liver")
+	mfps := mut.ConceptFingerprints()
+	if mfps["Anatomy"] == fps["Anatomy"] {
+		t.Error("Anatomy fingerprint unchanged after adding an Anatomy value")
+	}
+	if mfps["Complication"] != fps["Complication"] {
+		t.Error("Complication fingerprint changed by an Anatomy-only mutation")
+	}
+	if mfps["Disease"] != fps["Disease"] {
+		t.Error("subject fingerprint changed without a new row")
+	}
+
+	// Adding a row changes the subject fingerprint, not untouched columns.
+	grown := base.Clone()
+	grown.AddRow("Cholera")
+	gfps := grown.ConceptFingerprints()
+	if gfps["Disease"] == fps["Disease"] {
+		t.Error("subject fingerprint unchanged after a new row")
+	}
+	if gfps["Anatomy"] != fps["Anatomy"] || gfps["Complication"] != fps["Complication"] {
+		t.Error("column fingerprints changed by a row whose cells are empty")
+	}
+
+	// A value that already exists (case-insensitively) is a no-op mutation
+	// and must not move the fingerprint.
+	same := base.Clone()
+	same.Row("Acoustic Neuroma").Add("Anatomy", "NERVOUS SYSTEM")
+	if same.ConceptFingerprint("Anatomy") != fps["Anatomy"] {
+		t.Error("case-duplicate value moved the Anatomy fingerprint")
+	}
+}
+
+func TestCloneSharedCopyOnWrite(t *testing.T) {
+	base := mutationWorld()
+	baseFP := base.Fingerprint()
+
+	next := base.CloneShared()
+	// Shared rows: same pointers until a row is replaced.
+	if next.Row("Malaria") != base.Row("Malaria") {
+		t.Fatal("CloneShared did not share row pointers")
+	}
+
+	// Copy-on-write replace: clone the row, mutate the clone, install it.
+	nr := next.Row("Malaria").Clone()
+	nr.Add("Anatomy", "liver")
+	next.SetRow(nr)
+
+	if base.Row("Malaria").Has("Anatomy", "liver") {
+		t.Error("mutating the COW clone leaked into the base snapshot")
+	}
+	if !next.Row("Malaria").Has("Anatomy", "liver") {
+		t.Error("SetRow did not install the mutated row")
+	}
+	if base.Fingerprint() != baseFP {
+		t.Error("base fingerprint moved after a COW mutation of its clone")
+	}
+	// Row order is preserved by in-place replacement.
+	if next.Rows[2].Subject != "Malaria" {
+		t.Errorf("replaced row moved: Rows[2] = %q", next.Rows[2].Subject)
+	}
+
+	// Appending a fresh row via SetRow extends the clone only.
+	next.SetRow(&Row{Subject: "Cholera", Cells: map[Concept][]string{}})
+	if base.Row("Cholera") != nil {
+		t.Error("appended row visible in the base snapshot")
+	}
+	if next.Row("Cholera") == nil {
+		t.Error("appended row not indexed in the clone")
+	}
+
+	// The COW clone's content equals a deep-clone-and-mutate of the base.
+	deep := base.Clone()
+	deep.Row("Malaria").Add("Anatomy", "liver")
+	deep.AddRow("Cholera")
+	if deep.Fingerprint() != next.Fingerprint() {
+		t.Error("COW mutation fingerprint diverges from deep-clone mutation")
+	}
+}

@@ -119,6 +119,17 @@ func NewTable(s Schema) *Table {
 	return &Table{Schema: s, bySubject: make(map[string]*Row)}
 }
 
+// NewTableSized returns an empty table pre-sized for rows — the bulk-load
+// constructor: deserializers that know the row count up front skip the
+// subject index's incremental growth.
+func NewTableSized(s Schema, rows int) *Table {
+	return &Table{
+		Schema:    s,
+		Rows:      make([]*Row, 0, rows),
+		bySubject: make(map[string]*Row, rows),
+	}
+}
+
 // AddRow inserts a row for the subject instance and returns it. If the
 // subject already exists, the existing row is returned.
 func (t *Table) AddRow(subject string) *Row {
@@ -131,7 +142,6 @@ func (t *Table) AddRow(subject string) *Row {
 	t.bySubject[key] = r
 	return r
 }
-
 // Row returns the row whose subject equals s (case-insensitive), or nil.
 func (t *Table) Row(s string) *Row { return t.bySubject[strings.ToLower(s)] }
 
@@ -217,6 +227,94 @@ func (t *Table) Fingerprint() uint64 {
 		}
 	}
 	return h
+}
+
+// ConceptFingerprint returns an FNV-1a hash of the deduplicated, sorted
+// instance set of column c — exactly the input the matcher builds c's seed
+// cluster from (ColumnValues). Two tables whose column c holds the same
+// value set fingerprint equal for c even when every other column differs,
+// which is what lets a live-table mutation invalidate fine-tune state for
+// only the concepts it actually touched.
+func (t *Table) ConceptFingerprint(c Concept) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	write := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	write(string(c))
+	for _, v := range t.ColumnValues(c) {
+		write(v)
+	}
+	return h
+}
+
+// ConceptFingerprints returns the per-concept content fingerprints of every
+// concept in the schema, the subject included. Diffing two tables' maps
+// names exactly the concepts whose instance sets changed between them.
+func (t *Table) ConceptFingerprints() map[Concept]uint64 {
+	out := make(map[Concept]uint64, len(t.Schema.Concepts))
+	for _, c := range t.Schema.Concepts {
+		out[c] = t.ConceptFingerprint(c)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the row: the cell map and its value slices
+// are fresh, so mutating the copy never aliases the original.
+func (r *Row) Clone() *Row {
+	nr := &Row{Subject: r.Subject, Cells: make(map[Concept][]string, len(r.Cells))}
+	for c, vs := range r.Cells {
+		nr.Cells[c] = append([]string(nil), vs...)
+	}
+	return nr
+}
+
+// CloneShared returns a shallow, copy-on-write clone: a fresh Rows slice and
+// subject index pointing at the SAME Row values as the receiver. Callers that
+// treat rows as immutable — replacing a row via SetRow with a Clone instead
+// of mutating in place — get O(rows) snapshots whose unmodified rows are
+// shared with every other snapshot (the tablestore's swap primitive).
+func (t *Table) CloneShared() *Table {
+	out := &Table{
+		Schema:    t.Schema,
+		Rows:      append(make([]*Row, 0, len(t.Rows)+1), t.Rows...),
+		bySubject: make(map[string]*Row, len(t.Rows)+1),
+	}
+	for k, r := range t.bySubject {
+		out.bySubject[k] = r
+	}
+	return out
+}
+
+// SetRow installs r as the row for its subject: replacing the existing row
+// with the same (case-insensitive) subject in place, or appending a new row.
+// It is the copy-on-write complement of CloneShared — swap in a cloned,
+// mutated row without touching the shared original.
+func (t *Table) SetRow(r *Row) {
+	key := strings.ToLower(r.Subject)
+	if t.bySubject == nil {
+		t.bySubject = make(map[string]*Row)
+	}
+	if old, ok := t.bySubject[key]; ok {
+		for i, x := range t.Rows {
+			if x == old {
+				t.Rows[i] = r
+				break
+			}
+		}
+		t.bySubject[key] = r
+		return
+	}
+	t.Rows = append(t.Rows, r)
+	t.bySubject[key] = r
 }
 
 // Clone returns a deep copy of the table.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 
+	"thor/internal/tablestore"
 	"thor/internal/thor"
 )
 
@@ -114,6 +115,10 @@ type Stats struct {
 	QueueWaitMS float64 `json:"queue_wait_ms"`
 	// RunMS is the batch's pipeline wall clock, in milliseconds.
 	RunMS float64 `json:"run_ms"`
+	// TableVersion is the live-table version the request was admitted under
+	// and answered from (see POST /v1/table). A request in flight across a
+	// mutation still reports — and computes against — its admission version.
+	TableVersion uint64 `json:"table_version"`
 	// Stages breaks the request's document work down per pipeline stage.
 	Stages []StageCost `json:"stages,omitempty"`
 }
@@ -147,9 +152,50 @@ const (
 	// CodeClosed marks requests interrupted by a hard server stop
 	// (HTTP 503).
 	CodeClosed = "server_closed"
+	// CodeVersionConflict marks a table mutation whose If-Match version
+	// precondition no longer holds (HTTP 412); re-read GET /v1/table and
+	// retry on the current version.
+	CodeVersionConflict = "version_conflict"
 	// CodeInternal marks unexpected server-side failures (HTTP 500).
 	CodeInternal = "internal"
 )
+
+// TableInfo is the JSON body of GET /v1/table: the identity of the table
+// version currently serving. The fingerprints are content hashes (hex);
+// per-concept fingerprints change exactly when that concept's instance set
+// does, so two calls bracketing a mutation name which concepts it touched.
+type TableInfo struct {
+	// Version is the current live-table version (also the response's ETag,
+	// as "v<version>", and the value POST /v1/table's If-Match matches).
+	Version uint64 `json:"version"`
+	// Subject is the schema's subject concept.
+	Subject string `json:"subject"`
+	// Rows is the table's row count.
+	Rows int `json:"rows"`
+	// Fingerprint is the whole-table content fingerprint.
+	Fingerprint string `json:"fingerprint"`
+	// Concepts maps each schema concept to its instance-set fingerprint.
+	Concepts map[string]string `json:"concepts"`
+	// Readers is the number of requests currently holding a snapshot.
+	Readers int64 `json:"readers"`
+	// LiveSnapshots counts undrained versions, the current one included; a
+	// value above 1 means in-flight requests still finish on a superseded
+	// version.
+	LiveSnapshots int64 `json:"live_snapshots"`
+}
+
+// MutationRequest is the JSON body of POST /v1/table. The optional If-Match
+// request header carries an optimistic-concurrency precondition: the version
+// (bare, quoted, or in the ETag's "v<version>" form) the caller read before
+// composing the mutation; the mutation fails with 412 version_conflict if
+// the table has moved on. The response body is tablestore.MutateResult.
+type MutationRequest struct {
+	// Updates are applied atomically: either the whole batch becomes one new
+	// version or (on validation failure) nothing changes. Appends are
+	// set-semantic, so replaying a mutation is idempotent and a mutation
+	// adding nothing new is a no-op that keeps the current version.
+	Updates []tablestore.RowUpdate `json:"updates"`
+}
 
 // ErrorInfo is the error payload of the envelope.
 type ErrorInfo struct {

@@ -9,6 +9,7 @@ import (
 
 	"thor/internal/obs"
 	"thor/internal/segment"
+	"thor/internal/tablestore"
 	"thor/internal/thor"
 )
 
@@ -18,6 +19,11 @@ type pending struct {
 	docs       []segment.Document
 	docTimeout time.Duration
 	enq        time.Time
+	// snap is the live-table snapshot the request was admitted under. The
+	// handler acquires it before enqueueing and owns its reference; the
+	// coalescer only reads it — to group batchmates by version and to run
+	// the batch through that version's pipeline.
+	snap *tablestore.Snapshot
 	// ref is the request's position in its trace (the span ref under the
 	// request's root span); the zero value means the request is untraced.
 	// The coalescer parents the queue.wait and batch spans here, so a batch
@@ -54,6 +60,7 @@ func releasePending(p *pending) {
 	p.docTimeout = 0
 	p.enq = time.Time{}
 	p.ref = obs.SpanRef{}
+	p.snap = nil
 	pendingPool.Put(p)
 }
 
@@ -100,7 +107,7 @@ func (s *Server) dispatch() {
 	for {
 		select {
 		case p := <-s.queue:
-			s.runBatch(s.gather(p))
+			s.runChain(p)
 		case <-s.drainCh:
 			// Graceful drain: admission is already off (Server.mu ordering
 			// guarantees no enqueue is still in progress), so the queue
@@ -108,7 +115,7 @@ func (s *Server) dispatch() {
 			for {
 				select {
 				case p := <-s.queue:
-					s.runBatch(s.gather(p))
+					s.runChain(p)
 				default:
 					return
 				}
@@ -117,6 +124,18 @@ func (s *Server) dispatch() {
 			s.failQueue()
 			return
 		}
+	}
+}
+
+// runChain batches and runs starting from p. A batch never mixes table
+// versions, so gather hands back the first rider admitted under a different
+// snapshot; that carryover seeds the next batch immediately instead of
+// returning to the queue (which would reorder it behind later arrivals).
+func (s *Server) runChain(p *pending) {
+	for p != nil {
+		batch, carry := s.gather(p)
+		s.runBatch(batch)
+		p = carry
 	}
 }
 
@@ -136,12 +155,15 @@ func (s *Server) failQueue() {
 // gather builds one micro-batch: the first request plus whatever else
 // arrives before the batch holds Options.BatchMax documents or
 // Options.BatchWindow elapses. A zero window (or an in-progress drain)
-// takes only what is already queued.
-func (s *Server) gather(first *pending) []*pending {
-	batch := append(s.sc.batch[:0], first)
+// takes only what is already queued. Batchmates must share the first
+// request's admitted table snapshot — one batch, one pipeline, one version;
+// a request admitted under a different version is returned as carry and
+// seeds the next batch (see runChain).
+func (s *Server) gather(first *pending) (batch []*pending, carry *pending) {
+	batch = append(s.sc.batch[:0], first)
 	total := len(first.docs)
 	if total >= s.opts.BatchMax {
-		return batch
+		return batch, nil
 	}
 	var window <-chan time.Time
 	if s.opts.BatchWindow > 0 {
@@ -154,27 +176,33 @@ func (s *Server) gather(first *pending) []*pending {
 			// No window: drain what is immediately available and go.
 			select {
 			case p := <-s.queue:
+				if p.snap != first.snap {
+					return batch, p
+				}
 				batch = append(batch, p)
 				total += len(p.docs)
 			default:
-				return batch
+				return batch, nil
 			}
 			continue
 		}
 		select {
 		case p := <-s.queue:
+			if p.snap != first.snap {
+				return batch, p
+			}
 			batch = append(batch, p)
 			total += len(p.docs)
 		case <-window:
-			return batch
+			return batch, nil
 		case <-s.drainCh:
 			// Draining: stop waiting for stragglers, take what is queued.
 			window = nil
 		case <-s.baseCtx.Done():
-			return batch
+			return batch, nil
 		}
 	}
-	return batch
+	return batch, nil
 }
 
 // runBatch executes one micro-batch through a single pipeline run and
@@ -238,7 +266,15 @@ func (s *Server) runBatch(batch []*pending) {
 		blog.Debug("batch start", "requests", len(live), "docs", len(docs))
 	}
 	s.sc.runOpts = thor.RunOptions{DocTimeout: docTimeout, Logger: blog}
-	res, err := s.pipe.RunContextOpts(ctx, docs, &s.sc.runOpts)
+	// The batch runs through its snapshot's pipeline: every batchmate shares
+	// one snap (gather's grouping invariant), so the whole run — extraction
+	// here, assignments at response time — sees one consistent table
+	// version. Read through a live rider: canceled ones were already
+	// answered above and may have been recycled by their handlers. The
+	// snapshot object stays valid for the run even if every rider abandons
+	// mid-batch: each abandoned pending still references it.
+	pipe := live[0].snap.Payload.(*thor.Pipeline)
+	res, err := pipe.RunContextOpts(ctx, docs, &s.sc.runOpts)
 	runDur := time.Since(batchStart)
 	bsp.End()
 	s.ins.batches.Add(1)

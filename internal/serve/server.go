@@ -20,15 +20,27 @@ import (
 	"thor/internal/pos"
 	"thor/internal/schema"
 	"thor/internal/segment"
+	"thor/internal/tablestore"
 	"thor/internal/thor"
 )
 
 // Options configure a Server. Table and Space are required; every other
 // field has a serving-grade default.
 type Options struct {
-	// Table is the integrated table requests fill slots in. Loaded once;
-	// each fill request operates on its own clone.
+	// Table is the initial integrated table requests fill slots in. It seeds
+	// the server's live-table store (version TableVersion, default 1); later
+	// versions arrive through POST /v1/table mutations, each an atomic
+	// copy-on-write swap that never blocks in-flight requests. The server
+	// owns the table after construction.
 	Table *schema.Table
+	// TableVersion is the initial live-table version; zero means 1. A daemon
+	// restoring a persisted snapshot passes the version it was saved with so
+	// fleet version gauges stay comparable across restarts.
+	TableVersion uint64
+	// OnTableSwap, when set, runs synchronously after every live-table swap
+	// with the new version and its table — cmd/thord persists the binary
+	// snapshot here. The table is shared and must be treated as read-only.
+	OnTableSwap func(version uint64, table *schema.Table)
 	// Knowledge optionally fine-tunes the matcher from a different table
 	// than the fill target (thor.Config.Knowledge, the paper's evaluation
 	// setting). Nil fine-tunes on Table itself.
@@ -148,6 +160,20 @@ type instruments struct {
 	// batched server never sees per request. Keyed by concept; nil without
 	// a registry.
 	requestFills map[schema.Concept]*obs.Counter
+
+	// Live-table telemetry (the thor.table.* families).
+	tableVersion     *obs.Gauge     // current version
+	tableMutations   *obs.Counter   // accepted POST /v1/table mutations (no-ops included)
+	tableSwaps       *obs.Counter   // mutations that produced a new version
+	tableSwapLat     *obs.Histogram // full mutation wall clock (validate→swap)
+	tableBuildLat    *obs.Histogram // successor pipeline build (incremental fine-tune)
+	tableInvalidated *obs.Counter   // concepts whose fine-tune state rebuilt, summed over swaps
+	tableRetained    *obs.Counter   // concepts whose warm caches survived, summed over swaps
+	tableRowsAdded   *obs.Counter   // rows added across swaps
+	tableValsAdded   *obs.Counter   // cell values added across swaps
+	tableDrains      *obs.Counter   // superseded versions whose last reader finished
+	tableReaders     *obs.Gauge     // snapshot references currently held (event-sampled)
+	tableLive        *obs.Gauge     // undrained versions, current included (event-sampled)
 }
 
 func newInstruments(reg *obs.Registry, table *schema.Table) instruments {
@@ -163,6 +189,19 @@ func newInstruments(reg *obs.Registry, table *schema.Table) instruments {
 		batchRun:    reg.Histogram("serve.batch.run"),
 		fillLat:     reg.Histogram("serve.http.fill"),
 		extractLat:  reg.Histogram("serve.http.extract"),
+
+		tableVersion:     reg.Gauge("thor.table.version"),
+		tableMutations:   reg.Counter("thor.table.mutations"),
+		tableSwaps:       reg.Counter("thor.table.swaps"),
+		tableSwapLat:     reg.Histogram("thor.table.swap"),
+		tableBuildLat:    reg.Histogram("thor.table.build"),
+		tableInvalidated: reg.Counter("thor.table.concepts_invalidated"),
+		tableRetained:    reg.Counter("thor.table.concepts_retained"),
+		tableRowsAdded:   reg.Counter("thor.table.rows_added"),
+		tableValsAdded:   reg.Counter("thor.table.values_added"),
+		tableDrains:      reg.Counter("thor.table.drains"),
+		tableReaders:     reg.Gauge("thor.table.readers"),
+		tableLive:        reg.Gauge("thor.table.live_snapshots"),
 	}
 	if reg != nil && table != nil {
 		ins.requestFills = make(map[schema.Concept]*obs.Counter)
@@ -183,14 +222,17 @@ type Server struct {
 	parse *thor.ParseCache
 	ins   instruments
 
-	// pipe is the persistent pipeline every micro-batch runs through. It is
-	// constructed once at startup (paying fine-tune and instrument
-	// resolution there) and reused serially by the single dispatcher
-	// goroutine; per-batch knobs (document timeout, batch-scoped logger)
-	// travel via thor.RunOptions instead of pipeline construction. It runs
-	// with SkipFill — batches only extract; each request's fill is computed
-	// read-only against the pristine table at response time.
-	pipe *thor.Pipeline
+	// store is the live-table store: every snapshot's payload is that
+	// version's persistent pipeline, constructed when the version is created
+	// (initial warmup, then each mutation's build step) so the request path
+	// never pays fine-tune. Requests pin the current snapshot at admission
+	// and compute against it end to end; per-batch knobs (document timeout,
+	// batch-scoped logger) travel via thor.RunOptions. Pipelines run with
+	// SkipFill — batches only extract; each request's fill is computed
+	// read-only against its admitted snapshot's table at response time.
+	// Successive versions share s.tune and s.parse, so a swap re-fine-tunes
+	// only the concepts the mutation's fingerprint diff invalidated.
+	store *tablestore.Store
 	// sc is the dispatcher's batch scratch, reused across batches; only the
 	// dispatcher goroutine touches it.
 	sc dispatchScratch
@@ -260,17 +302,29 @@ func newServer(opts Options, batchStart func()) (*Server, error) {
 	if opts.Tracer != nil && opts.Recorder != nil {
 		opts.Tracer.SetRecorder(opts.Recorder)
 	}
-	// Build the persistent pipeline now: the first request should pay
-	// queueing and extraction, not minutes of cluster expansion. Every
-	// micro-batch reuses this pipeline (and its warmed caches) through
-	// RunContextOpts.
-	pipe, err := thor.New(opts.Table, opts.Space, s.runConfig())
+	// Build the initial version's pipeline now (the store's Build hook): the
+	// first request should pay queueing and extraction, not minutes of
+	// cluster expansion. Every later version built by a mutation goes
+	// through the same hook, inheriting s.tune/s.parse so unchanged concepts
+	// stay warm.
+	store, err := tablestore.New(tablestore.Options{
+		Table:   opts.Table,
+		Version: opts.TableVersion,
+		Build: func(sn *tablestore.Snapshot) (any, error) {
+			return thor.New(sn.Table, opts.Space, s.runConfig())
+		},
+		OnDrain: s.onTableDrain,
+		OnSwap:  s.onTableSwap,
+	})
 	if err != nil {
 		cancel()
 		return nil, fmt.Errorf("serve: warmup fine-tune: %w", err)
 	}
-	s.pipe = pipe
+	s.store = store
+	s.ins.tableVersion.Set(int64(store.Version()))
+	s.refreshTableGauges()
 	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/table", s.handleTable)
 	s.mux.HandleFunc("/v1/fill", func(w http.ResponseWriter, r *http.Request) {
 		s.handleRun(w, r, true)
 	})
@@ -457,6 +511,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
 	nDocs := len(req.Documents)
 	p := acquirePending()
 	p.ctx = r.Context()
+	// Pin the live-table version at admission: the whole request — batch
+	// run, demux, assignments — computes against this snapshot even if
+	// mutations swap in newer versions while it is in flight. The handler
+	// owns the reference and releases it on exactly one of its exit paths
+	// (shed, answered, abandoned).
+	p.snap = s.store.Acquire()
 	for i, d := range req.Documents {
 		name := d.Name
 		if name == "" {
@@ -480,6 +540,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
 	s.mu.RLock()
 	if s.draining {
 		s.mu.RUnlock()
+		p.snap.Release()
 		releasePending(p)
 		s.shedResponse(sw, root, traceID, CodeDraining, "server is draining")
 		return
@@ -490,6 +551,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
 		s.ins.queueDepth.Add(1)
 	default:
 		s.mu.RUnlock()
+		p.snap.Release()
 		releasePending(p)
 		s.shedResponse(sw, root, traceID, CodeOverloaded,
 			fmt.Sprintf("admission queue full (%d requests)", s.opts.QueueDepth))
@@ -498,9 +560,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
 
 	select {
 	case out := <-p.resp:
+		snap := p.snap
 		releasePending(p)
 		demuxStart := time.Now()
-		s.respond(sw, out, nDocs, fill, req.Explain, traceID, root)
+		s.respond(sw, out, snap, nDocs, fill, req.Explain, traceID, root)
+		snap.Release()
 		if refs := obs.SpanRefs(ctx); len(refs) > 0 {
 			// The demux/fill span: merging the request's share of the batch
 			// and (on /v1/fill) computing its read-only assignments.
@@ -510,8 +574,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
 	case <-r.Context().Done():
 		// The client is gone; the coalescer will drop the buffered result.
 		// The pending is NOT recycled: the coalescer may still send into its
-		// channel, so it is left for the collector.
+		// channel, so it is left for the collector. The snapshot reference is
+		// dropped here — the snapshot object itself stays valid (immutable,
+		// reachable through the pending) if the coalescer is still mid-batch;
+		// only the drain telemetry counts this reader as gone.
 		s.ins.canceled.Add(1)
+		p.snap.Release()
 	}
 }
 
@@ -529,7 +597,10 @@ func (s *Server) shedResponse(w http.ResponseWriter, root *obs.ActiveSpan, trace
 }
 
 // respond converts one demultiplexed batch outcome into the HTTP response.
-func (s *Server) respond(w http.ResponseWriter, out batchOutcome, nDocs int, fill, explain bool, traceID string, root *obs.ActiveSpan) {
+// snap is the snapshot the request was admitted under: assignments and the
+// reported table version come from it, never from a version swapped in while
+// the request was in flight.
+func (s *Server) respond(w http.ResponseWriter, out batchOutcome, snap *tablestore.Snapshot, nDocs int, fill, explain bool, traceID string, root *obs.ActiveSpan) {
 	if out.err != nil {
 		root.Annotate(obs.ReasonError, obs.String("error", out.err.Error()))
 		switch {
@@ -547,23 +618,24 @@ func (s *Server) respond(w http.ResponseWriter, out batchOutcome, nDocs int, fil
 	merged := thor.MergeEntities(out.docs)
 	resp := Response{Entities: wireEntities(merged)}
 	if fill {
-		// Assignments are computed read-only against the server's pristine
+		// Assignments are computed read-only against the admitted snapshot's
 		// table — no per-request clone, no contention, and the same output
-		// a fill over a clone would produce (thor.Assignments is the fill
-		// pass minus the mutation).
+		// a fill over a clone of that version would produce
+		// (thor.Assignments is the fill pass minus the mutation).
 		if explain {
-			resp.Assignments = thor.AssignmentsExplained(s.opts.Table, merged, s.opts.Tau)
+			resp.Assignments = thor.AssignmentsExplained(snap.Table, merged, s.opts.Tau)
 			for _, a := range resp.Assignments {
 				s.opts.Metrics.Counter("thor.fills_explained." + string(a.Concept)).Add(1)
 			}
 		} else {
-			resp.Assignments = thor.Assignments(s.opts.Table, merged)
+			resp.Assignments = thor.Assignments(snap.Table, merged)
 		}
 		for _, a := range resp.Assignments {
 			s.ins.requestFills[a.Concept].Add(1)
 		}
 	}
 	resp.Stats = buildStats(out, nDocs, merged, len(resp.Assignments))
+	resp.Stats.TableVersion = snap.Version
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"thor/internal/tablestore"
+)
+
+// onTableSwap is the store's OnSwap hook: telemetry, the swap log line, and
+// the caller's persistence hook. It runs synchronously on the mutating
+// request's goroutine, after the new version is already visible to Acquire.
+func (s *Server) onTableSwap(sn *tablestore.Snapshot, res *tablestore.MutateResult) {
+	s.ins.tableVersion.Set(int64(sn.Version))
+	s.ins.tableSwaps.Add(1)
+	s.ins.tableSwapLat.Observe(res.SwapTime)
+	s.ins.tableBuildLat.Observe(res.BuildTime)
+	s.ins.tableInvalidated.Add(int64(len(res.Invalidated)))
+	s.ins.tableRetained.Add(int64(res.Retained))
+	s.ins.tableRowsAdded.Add(int64(res.RowsAdded))
+	s.ins.tableValsAdded.Add(int64(res.ValuesAdded))
+	s.refreshTableGauges()
+	if s.opts.Logger != nil {
+		s.opts.Logger.Info("table swapped",
+			"version", sn.Version,
+			"rows_added", res.RowsAdded,
+			"values_added", res.ValuesAdded,
+			"invalidated", len(res.Invalidated),
+			"retained", res.Retained,
+			"build_ms", float64(res.BuildTime.Microseconds())/1e3,
+			"swap_ms", float64(res.SwapTime.Microseconds())/1e3)
+	}
+	if s.opts.OnTableSwap != nil {
+		s.opts.OnTableSwap(sn.Version, sn.Table)
+	}
+}
+
+// onTableDrain is the store's OnDrain hook: it fires once per superseded
+// version, when the last request admitted under it finished.
+func (s *Server) onTableDrain(*tablestore.Snapshot) {
+	s.ins.tableDrains.Add(1)
+	s.refreshTableGauges()
+}
+
+// refreshTableGauges samples the store's reader/liveness counters into their
+// gauges. Sampled on table events and /v1/table reads — not per request, so
+// the zero-allocation serving path stays untouched.
+func (s *Server) refreshTableGauges() {
+	s.ins.tableReaders.Set(s.store.Readers())
+	s.ins.tableLive.Set(s.store.Live())
+}
+
+// TableVersion returns the live-table version currently serving.
+func (s *Server) TableVersion() uint64 { return s.store.Version() }
+
+// WriteTableSnapshot serializes the current table version in the THORTBL1
+// binary format (see internal/tablestore) — the daemon's shutdown
+// persistence path. Safe under concurrent mutations: the snapshot is pinned
+// for the duration of the write.
+func (s *Server) WriteTableSnapshot(w io.Writer) (int64, error) {
+	return s.store.WriteTo(w)
+}
+
+// etag formats a table version as the entity tag GET /v1/table serves and
+// If-Match parses.
+func etag(version uint64) string { return `"v` + strconv.FormatUint(version, 10) + `"` }
+
+// parseIfMatch extracts the version precondition from an If-Match header.
+// Accepted forms: empty or "*" (unconditional), a decimal version, or the
+// ETag form with quotes and/or the v prefix ("3", v3, "v3").
+func parseIfMatch(h string) (uint64, error) {
+	h = strings.TrimSpace(h)
+	if h == "" || h == "*" {
+		return 0, nil
+	}
+	h = strings.Trim(h, `"`)
+	h = strings.TrimPrefix(h, "v")
+	v, err := strconv.ParseUint(h, 10, 64)
+	if err != nil || v == 0 {
+		return 0, fmt.Errorf("If-Match %q is not a table version", h)
+	}
+	return v, nil
+}
+
+// handleTable serves the live-table API: GET reports the serving version's
+// identity (version, content fingerprints, reader counts); POST applies a
+// batch of row upserts as one atomic copy-on-write swap, honoring an
+// If-Match version precondition.
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	if s.opts.ShardID != "" {
+		w.Header().Set("X-Thor-Shard", s.opts.ShardID)
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.handleTableGet(w)
+	case http.MethodPost:
+		s.handleTableMutate(w, r)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"/v1/table accepts GET and POST", "")
+	}
+}
+
+func (s *Server) handleTableGet(w http.ResponseWriter) {
+	sn := s.store.Acquire()
+	defer sn.Release()
+	s.refreshTableGauges()
+	info := TableInfo{
+		Version:       sn.Version,
+		Subject:       string(sn.Table.Schema.Subject),
+		Rows:          len(sn.Table.Rows),
+		Fingerprint:   fmt.Sprintf("%016x", sn.Fingerprint),
+		Concepts:      make(map[string]string, len(sn.Concepts)),
+		Readers:       s.store.Readers(),
+		LiveSnapshots: s.store.Live(),
+	}
+	for c, fp := range sn.Concepts {
+		info.Concepts[string(c)] = fmt.Sprintf("%016x", fp)
+	}
+	w.Header().Set("ETag", etag(sn.Version))
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleTableMutate(w http.ResponseWriter, r *http.Request) {
+	ifVersion, err := parseIfMatch(r.Header.Get("If-Match"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error(), "")
+		return
+	}
+	var req MutationRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "decode body: "+err.Error(), "")
+		return
+	}
+	_, _ = io.Copy(io.Discard, body)
+
+	res, err := s.store.Mutate(ifVersion, req.Updates)
+	if err != nil {
+		var vm *tablestore.VersionMismatchError
+		var ve *tablestore.ValidationError
+		switch {
+		case errors.As(err, &vm):
+			// Tell the caller where the table actually is, so one GET-free
+			// retry on the current version is possible.
+			w.Header().Set("ETag", etag(vm.Have))
+			writeError(w, http.StatusPreconditionFailed, CodeVersionConflict, err.Error(), "")
+		case errors.As(err, &ve):
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error(), "")
+		default:
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error(), "")
+		}
+		return
+	}
+	s.ins.tableMutations.Add(1)
+	w.Header().Set("ETag", etag(res.Version))
+	writeJSON(w, http.StatusOK, res)
+}

@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+
+	"thor/internal/schema"
+	"thor/internal/tablestore"
+)
+
+// tableGet fetches GET /v1/table and decodes the TableInfo payload.
+func tableGet(t *testing.T, ts string, client *http.Client) (TableInfo, http.Header) {
+	t.Helper()
+	resp, err := client.Get(ts + "/v1/table")
+	if err != nil {
+		t.Fatalf("GET /v1/table: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/table: status %d", resp.StatusCode)
+	}
+	var info TableInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("decode TableInfo: %v", err)
+	}
+	return info, resp.Header
+}
+
+// mustUnmarshal decodes raw JSON into v.
+func mustUnmarshal(t *testing.T, raw []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(raw, v); err != nil {
+		t.Fatalf("decode %T: %v (%s)", v, err, raw)
+	}
+}
+
+// TestTableGetReportsIdentity covers GET /v1/table: version, shape, content
+// fingerprints and the ETag the mutation API's If-Match matches against.
+func TestTableGetReportsIdentity(t *testing.T) {
+	table, _ := testWorld()
+	_, ts := startEngine(t, Options{}, nil)
+	info, hdr := tableGet(t, ts.URL, ts.Client())
+
+	if info.Version != 1 {
+		t.Errorf("fresh table version = %d, want 1", info.Version)
+	}
+	if got := hdr.Get("ETag"); got != `"v1"` {
+		t.Errorf("ETag = %q, want %q", got, `"v1"`)
+	}
+	if info.Subject != "Disease" || info.Rows != len(table.Rows) {
+		t.Errorf("identity = %s/%d rows, want Disease/%d", info.Subject, info.Rows, len(table.Rows))
+	}
+	if want := fmt.Sprintf("%016x", table.Fingerprint()); info.Fingerprint != want {
+		t.Errorf("fingerprint = %s, want %s", info.Fingerprint, want)
+	}
+	if len(info.Concepts) != len(table.Schema.Concepts) {
+		t.Fatalf("concept fingerprints: %d entries, want %d", len(info.Concepts), len(table.Schema.Concepts))
+	}
+	for c, fp := range table.ConceptFingerprints() {
+		if got := info.Concepts[string(c)]; got != fmt.Sprintf("%016x", fp) {
+			t.Errorf("concept %s fingerprint = %s, want %016x", c, got, fp)
+		}
+	}
+	if info.LiveSnapshots != 1 {
+		t.Errorf("live snapshots = %d, want 1", info.LiveSnapshots)
+	}
+}
+
+// TestTableMutateLifecycle walks the mutation API end to end: a successful
+// versioned mutation, its visibility in subsequent fills, the If-Match
+// precondition in both its passing and failing forms, validation failures,
+// and per-concept fingerprint stability for untouched concepts.
+func TestTableMutateLifecycle(t *testing.T) {
+	s, ts := startEngine(t, Options{}, nil)
+	client := ts.Client()
+	before, _ := tableGet(t, ts.URL, client)
+
+	// A stale precondition must not mutate anything: If-Match v99 vs v1.
+	req := MutationRequest{Updates: []tablestore.RowUpdate{
+		{Subject: "Dengue", Cells: map[schema.Concept][]string{"Anatomy": {"blood"}}},
+	}}
+	status, raw := postTable(t, client, ts.URL, req, `"v99"`)
+	if status != http.StatusPreconditionFailed {
+		t.Fatalf("stale If-Match: status %d, want 412 (%s)", status, raw)
+	}
+	if e := decodeError(t, raw); e.Error.Code != CodeVersionConflict {
+		t.Errorf("stale If-Match: code %q, want %q", e.Error.Code, CodeVersionConflict)
+	}
+	if v := s.TableVersion(); v != 1 {
+		t.Fatalf("table moved to v%d under a failed precondition", v)
+	}
+
+	// Malformed updates fail validation atomically (nothing applied).
+	for name, bad := range map[string]MutationRequest{
+		"empty subject":   {Updates: []tablestore.RowUpdate{{Subject: ""}}},
+		"unknown concept": {Updates: []tablestore.RowUpdate{{Subject: "Malaria", Cells: map[schema.Concept][]string{"Climate": {"tropical"}}}}},
+		"subject column":  {Updates: []tablestore.RowUpdate{{Subject: "Malaria", Cells: map[schema.Concept][]string{"Disease": {"alias"}}}}},
+	} {
+		status, raw := postTable(t, client, ts.URL, bad, "")
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, status, raw)
+		} else if e := decodeError(t, raw); e.Error.Code != CodeInvalidRequest {
+			t.Errorf("%s: code %q, want %q", name, e.Error.Code, CodeInvalidRequest)
+		}
+	}
+	if v := s.TableVersion(); v != 1 {
+		t.Fatalf("table moved to v%d under failed validation", v)
+	}
+
+	// The real mutation, with a passing precondition: one new row, one new
+	// value on an existing row.
+	req = MutationRequest{Updates: []tablestore.RowUpdate{
+		{Subject: "Dengue", Cells: map[schema.Concept][]string{"Anatomy": {"blood"}}},
+		{Subject: "Malaria", Cells: map[schema.Concept][]string{"Complication": {"anemia"}}},
+	}}
+	status, raw = postTable(t, client, ts.URL, req, `"v1"`)
+	if status != http.StatusOK {
+		t.Fatalf("mutation: status %d (%s)", status, raw)
+	}
+	var res tablestore.MutateResult
+	mustUnmarshal(t, raw, &res)
+	if res.Version != 2 || res.Previous != 1 || res.RowsAdded != 1 || res.ValuesAdded != 2 {
+		t.Errorf("mutate result = %+v, want version 2 (from 1), 1 row, 2 values", res)
+	}
+	wantInvalid := []schema.Concept{"Disease", "Anatomy", "Complication"}
+	if !reflect.DeepEqual(res.Invalidated, wantInvalid) {
+		t.Errorf("invalidated = %v, want %v (new row touches its subject and every written concept)", res.Invalidated, wantInvalid)
+	}
+
+	after, hdr := tableGet(t, ts.URL, client)
+	if after.Version != 2 || hdr.Get("ETag") != `"v2"` {
+		t.Errorf("post-mutation GET: version %d / ETag %q, want 2 / \"v2\"", after.Version, hdr.Get("ETag"))
+	}
+	if after.Rows != before.Rows+1 {
+		t.Errorf("rows = %d, want %d", after.Rows, before.Rows+1)
+	}
+	if after.Fingerprint == before.Fingerprint {
+		t.Error("whole-table fingerprint unchanged across a content mutation")
+	}
+
+	// A fill after the swap must compute against — and report — version 2.
+	fillStatus, fillRaw, _ := postJSON(t, client, ts.URL+"/v1/fill", Request{Documents: worldDocs})
+	if fillStatus != http.StatusOK {
+		t.Fatalf("post-mutation fill: status %d", fillStatus)
+	}
+	if got := decodeResponse(t, fillRaw); got.Stats.TableVersion != 2 {
+		t.Errorf("fill reports table version %d, want 2", got.Stats.TableVersion)
+	}
+
+	// Replaying the same mutation is a set-semantic no-op: same version, no
+	// swap, every concept retained.
+	status, raw = postTable(t, client, ts.URL, req, "")
+	if status != http.StatusOK {
+		t.Fatalf("replay: status %d (%s)", status, raw)
+	}
+	mustUnmarshal(t, raw, &res)
+	if !res.NoOp() || res.Version != 2 || res.Retained != len(wantInvalid) {
+		t.Errorf("replayed mutation = %+v, want no-op at version 2 with %d retained", res, len(wantInvalid))
+	}
+
+	// A value-only mutation invalidates exactly the written concept.
+	status, raw = postTable(t, client, ts.URL, MutationRequest{Updates: []tablestore.RowUpdate{
+		{Subject: "Cholera", Cells: map[schema.Concept][]string{"Complication": {"dehydration"}}},
+	}}, `v2`)
+	if status != http.StatusOK {
+		t.Fatalf("value mutation: status %d (%s)", status, raw)
+	}
+	mustUnmarshal(t, raw, &res)
+	if want := []schema.Concept{"Complication"}; !reflect.DeepEqual(res.Invalidated, want) {
+		t.Errorf("value-only mutation invalidated %v, want %v", res.Invalidated, want)
+	}
+	if res.Retained != 2 {
+		t.Errorf("value-only mutation retained %d concepts, want 2", res.Retained)
+	}
+	final, _ := tableGet(t, ts.URL, client)
+	if final.Concepts["Disease"] != after.Concepts["Disease"] || final.Concepts["Anatomy"] != after.Concepts["Anatomy"] {
+		t.Error("untouched concept fingerprints changed across an unrelated mutation")
+	}
+	if final.Concepts["Complication"] == after.Concepts["Complication"] {
+		t.Error("mutated concept fingerprint did not change")
+	}
+
+	// Unsupported methods get a 405 with the Allow set.
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/table", nil)
+	resp, err := client.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != "GET, POST" {
+		t.Errorf("DELETE: status %d Allow %q, want 405 with GET, POST", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+}
+
+// TestTableSwapHammer is the zero-downtime proof: requests hammer /v1/fill
+// while a writer walks the table through a sequence of mutations. Every
+// response must be bit-identical to a single-shot run over the table version
+// it was admitted under — no torn tables, no version skew inside a response —
+// and once traffic stops, every superseded snapshot must drain.
+func TestTableSwapHammer(t *testing.T) {
+	baseTable, space := testWorld()
+	s, ts := startEngine(t, Options{QueueDepth: 256}, nil)
+	client := ts.Client()
+
+	const mutations = 12
+	const readers = 4
+
+	// tables[v] is the expected table content at version v, maintained by
+	// replaying each accepted mutation onto a local clone.
+	tables := make(map[uint64]*schema.Table, mutations+1)
+	tables[1] = baseTable.Clone()
+
+	type obsResp struct {
+		version uint64
+		resp    Response
+	}
+	var (
+		mu       sync.Mutex
+		observed []obsResp
+	)
+	done := make(chan struct{})
+
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastVersion uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				status, raw, _ := postJSON(t, client, ts.URL+"/v1/fill", Request{Documents: worldDocs})
+				if status != http.StatusOK {
+					t.Errorf("fill during mutation storm: status %d (%s)", status, raw)
+					return
+				}
+				got := decodeResponse(t, raw)
+				v := got.Stats.TableVersion
+				if v < lastVersion {
+					t.Errorf("table version went backwards for one client: %d after %d", v, lastVersion)
+					return
+				}
+				lastVersion = v
+				mu.Lock()
+				observed = append(observed, obsResp{version: v, resp: got})
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// The writer: one value appended per mutation, each a new version. The
+	// local replay gives the hammer its per-version reference tables.
+	cur := tables[1]
+	for k := 1; k <= mutations; k++ {
+		val := fmt.Sprintf("aux complication %d", k)
+		status, raw := postTable(t, client, ts.URL, MutationRequest{Updates: []tablestore.RowUpdate{
+			{Subject: "Tuberculosis", Cells: map[schema.Concept][]string{"Complication": {val}}},
+		}}, "")
+		if status != http.StatusOK {
+			t.Fatalf("mutation %d: status %d (%s)", k, status, raw)
+		}
+		var res tablestore.MutateResult
+		mustUnmarshal(t, raw, &res)
+		if res.Version != uint64(k+1) {
+			t.Fatalf("mutation %d produced version %d, want %d", k, res.Version, k+1)
+		}
+		next := cur.Clone()
+		next.Row("Tuberculosis").Add("Complication", val)
+		tables[res.Version] = next
+		cur = next
+	}
+	close(done)
+	wg.Wait()
+
+	// Group responses by admitted version; within a version every semantic
+	// payload must agree, and the version's payload must be bit-identical to
+	// the single-shot reference over that version's table.
+	byVersion := make(map[uint64][]Response)
+	for _, o := range observed {
+		if tables[o.version] == nil {
+			t.Fatalf("response reports version %d, which never existed", o.version)
+		}
+		byVersion[o.version] = append(byVersion[o.version], o.resp)
+	}
+	if len(observed) == 0 {
+		t.Fatal("hammer produced no responses")
+	}
+	t.Logf("hammer: %d responses across %d distinct versions", len(observed), len(byVersion))
+	for v, group := range byVersion {
+		table := tables[v]
+		ref := singleShot(t, Options{Table: table, Space: space, Tau: 0.6}, worldDocs)
+		label := fmt.Sprintf("v%d", v)
+		assertBitIdentical(t, label, group[0], ref, table, true)
+		for i, other := range group[1:] {
+			if !reflect.DeepEqual(other.Entities, group[0].Entities) ||
+				!reflect.DeepEqual(other.Assignments, group[0].Assignments) {
+				t.Errorf("%s: response %d diverges from its version peers", label, i+1)
+			}
+		}
+	}
+
+	// Drain proof: with traffic stopped, only the current version stays live
+	// and no request still holds a snapshot.
+	waitFor(t, "superseded snapshots to drain", func() bool {
+		return s.store.Live() == 1 && s.store.Readers() == 0
+	})
+	if v := s.TableVersion(); v != mutations+1 {
+		t.Errorf("final version = %d, want %d", v, mutations+1)
+	}
+}
+
+// postTable POSTs a mutation to /v1/table with an optional If-Match header.
+func postTable(t *testing.T, client *http.Client, base string, req MutationRequest, ifMatch string) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal mutation: %v", err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, base+"/v1/table", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if ifMatch != "" {
+		hreq.Header.Set("If-Match", ifMatch)
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		t.Fatalf("POST /v1/table: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, raw
+}

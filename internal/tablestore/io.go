@@ -1,0 +1,315 @@
+package tablestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"thor/internal/schema"
+)
+
+// The on-disk snapshot format: a magic header, the store version, the
+// schema (subject index + concept names), the rows (subject plus each
+// non-subject concept's values in schema order), and a trailing CRC-32C of
+// everything before it, verified on read. Strings are uvarint-length-prefixed
+// UTF-8; counts are uvarints. The format is versioned through the magic.
+const tableMagic = "THORTBL1"
+
+// crcTable is the Castagnoli polynomial — hardware-accelerated on amd64 and
+// arm64, so integrity costs a fraction of re-hashing the table's content.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Read-side sanity bounds: a frame above these is corrupt or hostile, not a
+// table we ever wrote.
+const (
+	maxStringLen = 1 << 20 // one cell value / concept name
+	maxConcepts  = 1 << 16
+	maxRows      = 1 << 28
+	maxCellVals  = 1 << 24 // values in one cell
+)
+
+// countingWriter tracks bytes and the running checksum across a
+// bufio.Writer.
+type countingWriter struct {
+	w   *bufio.Writer
+	n   int64
+	crc uint32
+}
+
+func (cw *countingWriter) write(b []byte) error {
+	if _, err := cw.w.Write(b); err != nil {
+		return err
+	}
+	cw.crc = crc32.Update(cw.crc, crcTable, b)
+	cw.n += int64(len(b))
+	return nil
+}
+
+func (cw *countingWriter) str(s string) error {
+	var buf [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(buf[:], uint64(len(s)))
+	if err := cw.write(buf[:k]); err != nil {
+		return err
+	}
+	if _, err := cw.w.WriteString(s); err != nil {
+		return err
+	}
+	cw.crc = crc32.Update(cw.crc, crcTable, []byte(s))
+	cw.n += int64(len(s))
+	return nil
+}
+
+func (cw *countingWriter) uvarint(v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(buf[:], v)
+	return cw.write(buf[:k])
+}
+
+// WriteTable serializes (version, table) in the THORTBL1 format. Equal
+// tables at equal versions produce byte-identical output: rows are written
+// in insertion order and cells in schema column order, both deterministic.
+func WriteTable(w io.Writer, version uint64, t *schema.Table) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	if err := cw.write([]byte(tableMagic)); err != nil {
+		return cw.n, err
+	}
+	if err := cw.uvarint(version); err != nil {
+		return cw.n, err
+	}
+	// Schema: the subject's index into the concept list, then the concepts.
+	subjectIdx := -1
+	for i, c := range t.Schema.Concepts {
+		if c == t.Schema.Subject {
+			subjectIdx = i
+			break
+		}
+	}
+	if subjectIdx < 0 {
+		return cw.n, fmt.Errorf("tablestore: schema subject %q is not among its concepts", t.Schema.Subject)
+	}
+	if err := cw.uvarint(uint64(subjectIdx)); err != nil {
+		return cw.n, err
+	}
+	if err := cw.uvarint(uint64(len(t.Schema.Concepts))); err != nil {
+		return cw.n, err
+	}
+	for _, c := range t.Schema.Concepts {
+		if err := cw.str(string(c)); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := cw.uvarint(uint64(len(t.Rows))); err != nil {
+		return cw.n, err
+	}
+	for _, r := range t.Rows {
+		if err := cw.str(r.Subject); err != nil {
+			return cw.n, err
+		}
+		for _, c := range t.Schema.Concepts {
+			if c == t.Schema.Subject {
+				continue
+			}
+			vs := r.Cells[c]
+			if err := cw.uvarint(uint64(len(vs))); err != nil {
+				return cw.n, err
+			}
+			for _, v := range vs {
+				if err := cw.str(v); err != nil {
+					return cw.n, err
+				}
+			}
+		}
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], cw.crc)
+	if _, err := cw.w.Write(sum[:]); err != nil {
+		return cw.n, err
+	}
+	cw.n += 4
+	return cw.n, cw.w.Flush()
+}
+
+// WriteTo serializes the store's current snapshot. The snapshot is acquired
+// for the duration of the write, so a concurrent swap never tears the
+// output.
+func (st *Store) WriteTo(w io.Writer) (int64, error) {
+	sn := st.Acquire()
+	defer sn.Release()
+	return WriteTable(w, sn.Version, sn.Table)
+}
+
+// decoder parses the snapshot from one in-memory string. Cell values and
+// subjects are substrings of it — zero allocations per value — which is what
+// makes the binary restart path an order of magnitude faster than JSON
+// re-derivation (the loaded table pins the snapshot buffer, whose size is the
+// table's own content plus a few percent of framing).
+type decoder struct {
+	s   string
+	off int
+}
+
+func (d *decoder) uvarint(what string, max uint64) (uint64, error) {
+	var x uint64
+	var shift uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		if d.off >= len(d.s) {
+			return 0, fmt.Errorf("tablestore: read %s: unexpected end of snapshot", what)
+		}
+		b := d.s[d.off]
+		d.off++
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				break // overflows uint64
+			}
+			x |= uint64(b) << shift
+			if x > max {
+				return 0, fmt.Errorf("tablestore: implausible %s %d (max %d)", what, x, max)
+			}
+			return x, nil
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, fmt.Errorf("tablestore: read %s: varint overflows uint64", what)
+}
+
+func (d *decoder) str(what string) (string, error) {
+	n, err := d.uvarint(what, maxStringLen)
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(d.s)-d.off) < n {
+		return "", fmt.Errorf("tablestore: read %s: unexpected end of snapshot", what)
+	}
+	v := d.s[d.off : d.off+int(n)]
+	d.off += int(n)
+	return v, nil
+}
+
+// ReadFrom parses a snapshot previously produced by WriteTable/WriteTo,
+// returning the version it was saved with and the reconstructed table. The
+// trailing checksum is verified first, so a truncated or corrupted file
+// fails loudly instead of loading a silently different table.
+func ReadFrom(r io.Reader) (uint64, *schema.Table, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return 0, nil, fmt.Errorf("tablestore: read snapshot: %w", err)
+	}
+	if len(raw) < len(tableMagic)+4 || string(raw[:len(tableMagic)]) != tableMagic {
+		return 0, nil, fmt.Errorf("tablestore: not a %s file", tableMagic)
+	}
+	body, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+	if want, got := binary.LittleEndian.Uint32(trailer), crc32.Checksum(body, crcTable); want != got {
+		return 0, nil, fmt.Errorf("tablestore: checksum mismatch: file says %08x, content sums to %08x", want, got)
+	}
+	d := &decoder{s: string(body), off: len(tableMagic)}
+	version, err := d.uvarint("version", 1<<62)
+	if err != nil {
+		return 0, nil, err
+	}
+	subjectIdx, err := d.uvarint("subject index", maxConcepts-1)
+	if err != nil {
+		return 0, nil, err
+	}
+	nConcepts, err := d.uvarint("concept count", maxConcepts)
+	if err != nil {
+		return 0, nil, err
+	}
+	if nConcepts == 0 {
+		return 0, nil, fmt.Errorf("tablestore: schema has no concepts")
+	}
+	if subjectIdx >= nConcepts {
+		return 0, nil, fmt.Errorf("tablestore: subject index %d outside %d concepts", subjectIdx, nConcepts)
+	}
+	concepts := make([]schema.Concept, nConcepts)
+	seen := make(map[schema.Concept]bool, nConcepts)
+	for i := range concepts {
+		name, err := d.str("concept name")
+		if err != nil {
+			return 0, nil, err
+		}
+		if name == "" || seen[schema.Concept(name)] {
+			return 0, nil, fmt.Errorf("tablestore: empty or duplicate concept %q", name)
+		}
+		seen[schema.Concept(name)] = true
+		concepts[i] = schema.Concept(name)
+	}
+	nRows, err := d.uvarint("row count", maxRows)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Every row costs at least one byte per field, so a count beyond the
+	// remaining input is corrupt — refuse before sizing any allocation by it.
+	if nRows > uint64(len(d.s)-d.off) {
+		return 0, nil, fmt.Errorf("tablestore: row count %d exceeds the remaining input", nRows)
+	}
+	table := schema.NewTableSized(schema.Schema{Subject: concepts[subjectIdx], Concepts: concepts}, int(nRows))
+	// Cell slices are carved out of chunked slabs instead of allocated one
+	// make([]string, n) at a time — at bulk-load scale the per-cell
+	// allocations are the single largest cost after the row index itself.
+	var slab []string
+	carve := func(n int) []string {
+		if n > len(slab) {
+			size := 4096
+			if n > size {
+				size = n
+			}
+			slab = make([]string, size)
+		}
+		out := slab[:n:n]
+		slab = slab[n:]
+		return out
+	}
+	rows := make([]schema.Row, nRows) // one slab, not one alloc per row
+	for i := uint64(0); i < nRows; i++ {
+		subject, err := d.str("row subject")
+		if err != nil {
+			return 0, nil, err
+		}
+		if subject == "" {
+			return 0, nil, fmt.Errorf("tablestore: row %d has an empty subject", i)
+		}
+		row := &rows[i]
+		row.Subject = subject
+		row.Cells = make(map[schema.Concept][]string, int(nConcepts)-1)
+		// SetRow would silently replace a same-subject row, so detect the
+		// duplicate by the row count not growing.
+		table.SetRow(row)
+		if uint64(len(table.Rows)) != i+1 {
+			return 0, nil, fmt.Errorf("tablestore: duplicate row subject %q", subject)
+		}
+		for _, c := range concepts {
+			if c == table.Schema.Subject {
+				continue
+			}
+			nVals, err := d.uvarint("cell count", maxCellVals)
+			if err != nil {
+				return 0, nil, err
+			}
+			if nVals == 0 {
+				continue
+			}
+			if nVals > uint64(len(d.s)-d.off) {
+				return 0, nil, fmt.Errorf("tablestore: cell count %d exceeds the remaining input", nVals)
+			}
+			// Raw slice fill, not Row.Add: the writer serialized the cells
+			// verbatim, and Add's case-insensitive dedup could silently drop
+			// values a legacy table legitimately held.
+			vals := carve(int(nVals))
+			for k := range vals {
+				v, err := d.str("cell value")
+				if err != nil {
+					return 0, nil, err
+				}
+				vals[k] = v
+			}
+			row.Cells[c] = vals
+		}
+	}
+	if d.off != len(d.s) {
+		return 0, nil, fmt.Errorf("tablestore: %d trailing bytes after the last row", len(d.s)-d.off)
+	}
+	return version, table, nil
+}

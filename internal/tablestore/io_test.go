@@ -1,0 +1,160 @@
+package tablestore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"thor/internal/schema"
+)
+
+// randomTable builds a table with deterministic pseudo-random shape: variable
+// row counts, sparse cells, multi-valued cells, unicode and empty-adjacent
+// values.
+func randomTable(rng *rand.Rand) *schema.Table {
+	nConcepts := 2 + rng.Intn(4)
+	concepts := make([]schema.Concept, nConcepts)
+	for i := range concepts {
+		concepts[i] = schema.Concept(fmt.Sprintf("Concept%d", i))
+	}
+	subject := concepts[rng.Intn(nConcepts)]
+	t := schema.NewTable(schema.Schema{Subject: subject, Concepts: concepts})
+	alphabet := []string{"liver", "päncreas", "小腸", "skin cancer", "x", strings.Repeat("long value ", 20)}
+	for i, n := 0, rng.Intn(30); i < n; i++ {
+		row := t.AddRow(fmt.Sprintf("subject %d ø", i))
+		for _, c := range concepts {
+			if c == subject || rng.Intn(3) == 0 {
+				continue
+			}
+			for k, nv := 0, rng.Intn(4); k < nv; k++ {
+				row.Add(c, fmt.Sprintf("%s %d", alphabet[rng.Intn(len(alphabet))], rng.Intn(50)))
+			}
+		}
+	}
+	return t
+}
+
+func tablesEqual(t *testing.T, a, b *schema.Table) {
+	t.Helper()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprints differ")
+	}
+	if a.Schema.Subject != b.Schema.Subject || len(a.Schema.Concepts) != len(b.Schema.Concepts) {
+		t.Fatal("schemas differ")
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i, ra := range a.Rows {
+		rb := b.Rows[i]
+		if ra.Subject != rb.Subject {
+			t.Fatalf("row %d subject %q vs %q", i, ra.Subject, rb.Subject)
+		}
+		for _, c := range a.Schema.Concepts {
+			va, vb := ra.Values(c), rb.Values(c)
+			if len(va) != len(vb) {
+				t.Fatalf("row %d concept %s: %d vs %d values", i, c, len(va), len(vb))
+			}
+			for k := range va {
+				if va[k] != vb[k] {
+					t.Fatalf("row %d concept %s value %d: %q vs %q", i, c, k, va[k], vb[k])
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotRoundTrip is the serialization property test: for many random
+// tables, WriteTable → ReadFrom reconstructs version and content exactly, and
+// re-serializing yields byte-identical output.
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		table := randomTable(rng)
+		version := uint64(rng.Intn(1 << 20))
+		var buf bytes.Buffer
+		n, err := WriteTable(&buf, version, table)
+		if err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("trial %d: WriteTable reported %d bytes, wrote %d", trial, n, buf.Len())
+		}
+		gotVersion, got, err := ReadFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: read: %v", trial, err)
+		}
+		if gotVersion != version {
+			t.Fatalf("trial %d: version %d, want %d", trial, gotVersion, version)
+		}
+		tablesEqual(t, table, got)
+
+		var again bytes.Buffer
+		if _, err := WriteTable(&again, gotVersion, got); err != nil {
+			t.Fatalf("trial %d: rewrite: %v", trial, err)
+		}
+		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Fatalf("trial %d: round-trip is not byte-identical", trial)
+		}
+	}
+}
+
+func TestStoreWriteTo(t *testing.T) {
+	st, err := New(Options{Table: seedTable(), Version: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	version, table, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 9 {
+		t.Fatalf("version %d, want 9", version)
+	}
+	tablesEqual(t, seedTable(), table)
+	if st.Readers() != 0 {
+		t.Fatalf("WriteTo leaked %d reader references", st.Readers())
+	}
+}
+
+func TestReadFromRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteTable(&buf, 3, seedTable()); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte("NOTATBL!"), valid[8:]...)
+		if _, _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
+			t.Fatal("accepted a foreign magic")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{len(valid) - 1, len(valid) - 8, len(valid) / 2, 9} {
+			if _, _, err := ReadFrom(bytes.NewReader(valid[:cut])); err == nil {
+				t.Fatalf("accepted a file truncated to %d bytes", cut)
+			}
+		}
+	})
+	t.Run("flipped content byte", func(t *testing.T) {
+		bad := append([]byte(nil), valid...)
+		bad[len(bad)/2] ^= 0x20 // case-flip a letter mid-file
+		if _, _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
+			t.Fatal("accepted corrupted content (checksum should mismatch)")
+		}
+	})
+	t.Run("flipped checksum", func(t *testing.T) {
+		bad := append([]byte(nil), valid...)
+		bad[len(bad)-1] ^= 0xff
+		if _, _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
+			t.Fatal("accepted a tampered checksum")
+		}
+	})
+}

@@ -1,0 +1,359 @@
+package tablestore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thor/internal/schema"
+)
+
+// Snapshot is one immutable version of the serving table. The Table (and
+// everything derived from it in Payload) must be treated as read-only by
+// every holder; mutations go through Store.Mutate, which builds a successor
+// snapshot copy-on-write and swaps it in atomically.
+type Snapshot struct {
+	// Version is the monotonically increasing table version, starting at 1
+	// (or the version a persisted snapshot was loaded with).
+	Version uint64
+	// Table is this version's integrated table. Read-only.
+	Table *schema.Table
+	// Fingerprint is the table's whole-content fingerprint.
+	Fingerprint uint64
+	// Concepts maps each schema concept to its instance-set fingerprint —
+	// the per-concept keys the matcher cache invalidates by.
+	Concepts map[schema.Concept]uint64
+	// Payload is whatever Options.Build derived from the table (the serving
+	// layer stores the version's fine-tuned pipeline here). Read-only.
+	Payload any
+
+	store *Store
+	// refs counts the store's own current-pointer reference (1, dropped at
+	// supersession) plus every outstanding reader. At zero the snapshot is
+	// drained: no holder can touch it again.
+	refs atomic.Int64
+}
+
+// Release returns a reference obtained from Store.Acquire or
+// Snapshot.Retain. When the last reference of a superseded snapshot drops,
+// the store's OnDrain hook fires.
+func (sn *Snapshot) Release() {
+	sn.store.readers.Add(-1)
+	sn.decref()
+}
+
+// Retain adds a reference to an already-held snapshot — the coalescer pins
+// the batch's snapshot for the duration of a pipeline run this way. Callers
+// must already hold a reference; Retain pairs with Release.
+func (sn *Snapshot) Retain() {
+	sn.store.readers.Add(1)
+	sn.refs.Add(1)
+}
+
+// decref drops one reference and fires the drain hook when the snapshot
+// reaches zero (only possible after supersession dropped the store's ref).
+func (sn *Snapshot) decref() {
+	if sn.refs.Add(-1) == 0 {
+		sn.store.live.Add(-1)
+		if f := sn.store.onDrain; f != nil {
+			f(sn)
+		}
+	}
+}
+
+// Options configure a Store.
+type Options struct {
+	// Table is the initial table. Required. The store owns it afterwards:
+	// the caller must not mutate it.
+	Table *schema.Table
+	// Version is the initial version; zero means 1. A daemon restoring a
+	// persisted snapshot passes the version it was saved with so the fleet's
+	// version gauges stay comparable across restarts.
+	Version uint64
+	// Build, when set, derives each snapshot's Payload from its table before
+	// the snapshot becomes visible — the serving layer fine-tunes the
+	// version's pipeline here, so a swap never exposes a version whose
+	// caches are cold-faulted on the request path. A Build error aborts the
+	// mutation; the current version stays in place.
+	Build func(sn *Snapshot) (any, error)
+	// OnDrain, when set, is called once per superseded snapshot, after its
+	// last reader released it.
+	OnDrain func(sn *Snapshot)
+	// OnSwap, when set, is called after every successful swap with the new
+	// snapshot and the mutation's result (persistence, telemetry).
+	OnSwap func(sn *Snapshot, res *MutateResult)
+}
+
+// Store is a versioned table holder with atomic swap semantics. All methods
+// are safe for concurrent use; mutations serialize among themselves but
+// never block readers.
+type Store struct {
+	// mu orders Acquire against the current-pointer swap: readers hold the
+	// read side across load+refcount, Mutate takes the write side for the
+	// pointer store only (payload builds happen outside it).
+	mu  sync.RWMutex
+	cur *Snapshot
+
+	// mutateMu serializes mutations end to end, so version preconditions
+	// are checked against a stable current version.
+	mutateMu sync.Mutex
+
+	build   func(sn *Snapshot) (any, error)
+	onDrain func(sn *Snapshot)
+	onSwap  func(sn *Snapshot, res *MutateResult)
+
+	// readers counts outstanding acquired references; live counts
+	// undrained snapshots (current included). Both feed gauges.
+	readers atomic.Int64
+	live    atomic.Int64
+	// version mirrors cur.Version for lock-free gauge reads.
+	version atomic.Uint64
+}
+
+// New builds a store over the initial table, deriving the first snapshot's
+// payload through Options.Build.
+func New(opts Options) (*Store, error) {
+	if opts.Table == nil {
+		return nil, fmt.Errorf("tablestore: nil table")
+	}
+	version := opts.Version
+	if version == 0 {
+		version = 1
+	}
+	st := &Store{build: opts.Build, onDrain: opts.OnDrain, onSwap: opts.OnSwap}
+	sn, err := st.newSnapshot(version, opts.Table)
+	if err != nil {
+		return nil, err
+	}
+	st.cur = sn
+	st.version.Store(version)
+	st.live.Store(1)
+	return st, nil
+}
+
+// newSnapshot assembles a snapshot (fingerprints + payload) without making
+// it visible.
+func (st *Store) newSnapshot(version uint64, table *schema.Table) (*Snapshot, error) {
+	sn := &Snapshot{
+		Version:     version,
+		Table:       table,
+		Fingerprint: table.Fingerprint(),
+		Concepts:    table.ConceptFingerprints(),
+		store:       st,
+	}
+	sn.refs.Store(1) // the store's own reference
+	if st.build != nil {
+		p, err := st.build(sn)
+		if err != nil {
+			return nil, fmt.Errorf("tablestore: build version %d: %w", version, err)
+		}
+		sn.Payload = p
+	}
+	return sn, nil
+}
+
+// Acquire returns the current snapshot with a reference held. Callers must
+// Release it when done; the snapshot stays valid (and its version's results
+// stay coherent) for as long as the reference is held, across any number of
+// concurrent swaps.
+func (st *Store) Acquire() *Snapshot {
+	st.mu.RLock()
+	sn := st.cur
+	sn.refs.Add(1)
+	st.mu.RUnlock()
+	st.readers.Add(1)
+	return sn
+}
+
+// Version returns the current version without acquiring a reference.
+func (st *Store) Version() uint64 { return st.version.Load() }
+
+// Readers returns the number of outstanding acquired references.
+func (st *Store) Readers() int64 { return st.readers.Load() }
+
+// Live returns the number of undrained snapshots, the current one included.
+// A value above 1 means a superseded version still has readers.
+func (st *Store) Live() int64 { return st.live.Load() }
+
+// RowUpdate is one upsert of a mutation: values appended to the subject's
+// row (created when absent) under each listed concept. Appends are
+// set-semantic — values the row already holds (case-insensitively) are
+// skipped — so replaying a mutation is idempotent.
+type RowUpdate struct {
+	// Subject is the row's subject instance. Required.
+	Subject string `json:"subject"`
+	// Cells maps non-subject concepts to the values to append.
+	Cells map[schema.Concept][]string `json:"cells,omitempty"`
+}
+
+// VersionMismatchError reports a failed optimistic-concurrency precondition:
+// the mutation named a version (If-Match) that is no longer current.
+type VersionMismatchError struct {
+	// Want is the version the mutation was conditioned on.
+	Want uint64
+	// Have is the store's current version.
+	Have uint64
+}
+
+// Error implements error.
+func (e *VersionMismatchError) Error() string {
+	return fmt.Sprintf("tablestore: version precondition failed: mutation conditioned on %d, current is %d", e.Want, e.Have)
+}
+
+// ValidationError reports a structurally invalid mutation (empty subject,
+// unknown concept, values under the subject column). Nothing was applied.
+type ValidationError struct {
+	// Reason describes the rejected update.
+	Reason string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string { return "tablestore: invalid mutation: " + e.Reason }
+
+// MutateResult reports what a mutation did.
+type MutateResult struct {
+	// Version is the version serving after the call: Previous+1 after a
+	// swap, Previous unchanged for a no-op mutation.
+	Version uint64 `json:"version"`
+	// Previous is the version the mutation was applied on top of.
+	Previous uint64 `json:"previous"`
+	// RowsAdded counts subjects that did not exist before.
+	RowsAdded int `json:"rows_added"`
+	// ValuesAdded counts cell values actually appended (duplicates skipped).
+	ValuesAdded int `json:"values_added"`
+	// Invalidated lists the concepts whose instance-set fingerprints
+	// changed — the concepts whose fine-tune state must rebuild — in schema
+	// order.
+	Invalidated []schema.Concept `json:"invalidated,omitempty"`
+	// Retained counts the concepts whose fingerprints (and therefore warm
+	// caches) survived the swap.
+	Retained int `json:"retained"`
+	// BuildTime is the successor payload's build wall clock (the
+	// incremental fine-tune), zero for a no-op.
+	BuildTime time.Duration `json:"-"`
+	// SwapTime is the full mutation wall clock: validate, copy-on-write
+	// apply, fingerprint diff, payload build and pointer swap.
+	SwapTime time.Duration `json:"-"`
+}
+
+// NoOp reports whether the mutation changed nothing (every value already
+// present) and therefore did not produce a new version.
+func (r *MutateResult) NoOp() bool { return r.Version == r.Previous }
+
+// Mutate applies the updates copy-on-write and swaps the successor snapshot
+// in. ifVersion is the optimistic-concurrency precondition: non-zero values
+// must equal the current version or the mutation fails with
+// *VersionMismatchError (zero means unconditional). Invalid updates fail
+// with *ValidationError before anything is applied. A mutation whose every
+// value is already present is a no-op: no new version, no swap, no build.
+//
+// In-flight readers are never blocked: they keep their acquired snapshot;
+// the first Acquire after Mutate returns sees the new version.
+func (st *Store) Mutate(ifVersion uint64, updates []RowUpdate) (*MutateResult, error) {
+	st.mutateMu.Lock()
+	defer st.mutateMu.Unlock()
+	start := time.Now()
+
+	st.mu.RLock()
+	cur := st.cur
+	st.mu.RUnlock()
+
+	if ifVersion != 0 && ifVersion != cur.Version {
+		return nil, &VersionMismatchError{Want: ifVersion, Have: cur.Version}
+	}
+	if len(updates) == 0 {
+		return nil, &ValidationError{Reason: "no row updates"}
+	}
+	for i, u := range updates {
+		if u.Subject == "" {
+			return nil, &ValidationError{Reason: fmt.Sprintf("update %d has an empty subject", i)}
+		}
+		for c := range u.Cells {
+			if c == cur.Table.Schema.Subject {
+				return nil, &ValidationError{Reason: fmt.Sprintf("update %d writes the subject column %q (the key)", i, c)}
+			}
+			if !cur.Table.Schema.Has(c) {
+				return nil, &ValidationError{Reason: fmt.Sprintf("update %d names unknown concept %q", i, c)}
+			}
+		}
+	}
+
+	res := &MutateResult{Previous: cur.Version, Version: cur.Version}
+	next := cur.Table.CloneShared()
+	// copied tracks the rows this mutation already cloned, so several
+	// updates to one subject mutate a single private copy.
+	copied := make(map[string]*schema.Row)
+	for _, u := range updates {
+		row := copied[u.Subject]
+		if row == nil {
+			if shared := next.Row(u.Subject); shared != nil {
+				row = shared.Clone()
+			} else {
+				row = &schema.Row{Subject: u.Subject, Cells: make(map[schema.Concept][]string)}
+				res.RowsAdded++
+			}
+			next.SetRow(row)
+			copied[u.Subject] = row
+		}
+		for _, c := range sortedConcepts(u.Cells) {
+			for _, v := range u.Cells[c] {
+				if row.Add(c, v) {
+					res.ValuesAdded++
+				}
+			}
+		}
+	}
+	if res.RowsAdded == 0 && res.ValuesAdded == 0 {
+		res.SwapTime = time.Since(start)
+		res.Retained = len(cur.Concepts)
+		return res, nil
+	}
+
+	sn, err := st.newSnapshotTimed(cur.Version+1, next, res)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range sn.Table.Schema.Concepts {
+		if sn.Concepts[c] != cur.Concepts[c] {
+			res.Invalidated = append(res.Invalidated, c)
+		} else {
+			res.Retained++
+		}
+	}
+	res.Version = sn.Version
+
+	st.mu.Lock()
+	st.cur = sn
+	st.mu.Unlock()
+	st.version.Store(sn.Version)
+	st.live.Add(1)
+	cur.decref() // drop the store's reference to the superseded version
+	res.SwapTime = time.Since(start)
+	if st.onSwap != nil {
+		st.onSwap(sn, res)
+	}
+	return res, nil
+}
+
+// newSnapshotTimed is newSnapshot with the payload build cost recorded into
+// the mutation result.
+func (st *Store) newSnapshotTimed(version uint64, table *schema.Table, res *MutateResult) (*Snapshot, error) {
+	buildStart := time.Now()
+	sn, err := st.newSnapshot(version, table)
+	res.BuildTime = time.Since(buildStart)
+	return sn, err
+}
+
+// sortedConcepts returns the update's concepts in deterministic order, so
+// replaying a mutation applies values identically regardless of map
+// iteration order.
+func sortedConcepts(cells map[schema.Concept][]string) []schema.Concept {
+	out := make([]schema.Concept, 0, len(cells))
+	for c := range cells {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

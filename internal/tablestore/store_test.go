@@ -1,0 +1,366 @@
+package tablestore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"thor/internal/schema"
+)
+
+func seedTable() *schema.Table {
+	t := schema.NewTable(schema.NewSchema("Disease", "Anatomy", "Complication"))
+	t.AddRow("Acoustic Neuroma").Add("Anatomy", "nervous system")
+	t.AddRow("Tuberculosis").Add("Complication", "skin infection")
+	t.AddRow("Cholera").Add("Anatomy", "small intestine")
+	return t
+}
+
+func TestStoreMutateSwap(t *testing.T) {
+	builds := 0
+	st, err := New(Options{Table: seedTable(), Build: func(sn *Snapshot) (any, error) {
+		builds++
+		return sn.Version, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Version(); got != 1 {
+		t.Fatalf("initial version %d, want 1", got)
+	}
+	if builds != 1 {
+		t.Fatalf("initial build ran %d times, want 1", builds)
+	}
+
+	res, err := st.Mutate(1, []RowUpdate{
+		{Subject: "Tuberculosis", Cells: map[schema.Concept][]string{"Complication": {"meningitis"}}},
+		{Subject: "Malaria", Cells: map[schema.Concept][]string{"Anatomy": {"liver"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 || res.Previous != 1 {
+		t.Fatalf("result versions %d/%d, want 2/1", res.Version, res.Previous)
+	}
+	if res.RowsAdded != 1 || res.ValuesAdded != 2 {
+		t.Fatalf("rows/values added %d/%d, want 1/2", res.RowsAdded, res.ValuesAdded)
+	}
+	// Disease (new subject Malaria), Anatomy (liver) and Complication
+	// (meningitis) all changed — nothing retained in this mutation.
+	if len(res.Invalidated) != 3 || res.Retained != 0 {
+		t.Fatalf("invalidated %v retained %d", res.Invalidated, res.Retained)
+	}
+	if res.NoOp() {
+		t.Fatal("swap reported as no-op")
+	}
+	if builds != 2 {
+		t.Fatalf("builds after mutation %d, want 2", builds)
+	}
+
+	sn := st.Acquire()
+	defer sn.Release()
+	if sn.Version != 2 {
+		t.Fatalf("acquired version %d, want 2", sn.Version)
+	}
+	if sn.Payload.(uint64) != 2 {
+		t.Fatalf("payload %v, want the build's version 2", sn.Payload)
+	}
+	if sn.Table.Row("Malaria") == nil {
+		t.Fatal("new row Malaria missing from the swapped snapshot")
+	}
+	if !sn.Table.Row("Tuberculosis").Has("Complication", "meningitis") {
+		t.Fatal("appended value missing from the swapped snapshot")
+	}
+}
+
+func TestMutateRetainsUntouchedConcepts(t *testing.T) {
+	st, err := New(Options{Table: seedTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Mutate(0, []RowUpdate{
+		{Subject: "Cholera", Cells: map[schema.Concept][]string{"Complication": {"dehydration"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Existing subject, one concept touched: Disease and Anatomy retain.
+	if res.Retained != 2 {
+		t.Fatalf("retained %d, want 2", res.Retained)
+	}
+	if len(res.Invalidated) != 1 || res.Invalidated[0] != "Complication" {
+		t.Fatalf("invalidated %v, want [Complication]", res.Invalidated)
+	}
+}
+
+func TestVersionPrecondition(t *testing.T) {
+	st, err := New(Options{Table: seedTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := []RowUpdate{{Subject: "Cholera", Cells: map[schema.Concept][]string{"Complication": {"dehydration"}}}}
+	if _, err := st.Mutate(7, up); err == nil {
+		t.Fatal("stale precondition accepted")
+	} else {
+		var vm *VersionMismatchError
+		if !errors.As(err, &vm) || vm.Want != 7 || vm.Have != 1 {
+			t.Fatalf("want VersionMismatchError{7,1}, got %v", err)
+		}
+	}
+	if st.Version() != 1 {
+		t.Fatalf("failed precondition still bumped the version to %d", st.Version())
+	}
+	if _, err := st.Mutate(1, up); err != nil {
+		t.Fatalf("matching precondition rejected: %v", err)
+	}
+	if _, err := st.Mutate(0, []RowUpdate{{Subject: "Cholera", Cells: map[schema.Concept][]string{"Complication": {"sepsis"}}}}); err != nil {
+		t.Fatalf("unconditional mutation rejected: %v", err)
+	}
+	if st.Version() != 3 {
+		t.Fatalf("version %d after two swaps, want 3", st.Version())
+	}
+}
+
+func TestMutateValidation(t *testing.T) {
+	st, err := New(Options{Table: seedTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		updates []RowUpdate
+	}{
+		{"empty batch", nil},
+		{"empty subject", []RowUpdate{{Subject: ""}}},
+		{"subject column", []RowUpdate{{Subject: "Cholera", Cells: map[schema.Concept][]string{"Disease": {"x"}}}}},
+		{"unknown concept", []RowUpdate{{Subject: "Cholera", Cells: map[schema.Concept][]string{"Treatment": {"x"}}}}},
+	}
+	for _, tc := range cases {
+		_, err := st.Mutate(0, tc.updates)
+		var ve *ValidationError
+		if !errors.As(err, &ve) {
+			t.Errorf("%s: want ValidationError, got %v", tc.name, err)
+		}
+	}
+	if st.Version() != 1 {
+		t.Fatalf("rejected mutations changed the version to %d", st.Version())
+	}
+}
+
+func TestNoOpMutation(t *testing.T) {
+	swaps := 0
+	st, err := New(Options{Table: seedTable(), OnSwap: func(*Snapshot, *MutateResult) { swaps++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every value already present (case-insensitively) — nothing to do.
+	res, err := st.Mutate(1, []RowUpdate{
+		{Subject: "Tuberculosis", Cells: map[schema.Concept][]string{"Complication": {"SKIN INFECTION"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NoOp() || res.Version != 1 || res.ValuesAdded != 0 {
+		t.Fatalf("want a version-1 no-op, got %+v", res)
+	}
+	if res.Retained != 3 {
+		t.Fatalf("no-op retained %d concepts, want all 3", res.Retained)
+	}
+	if swaps != 0 {
+		t.Fatalf("no-op fired OnSwap %d times", swaps)
+	}
+	if st.Live() != 1 {
+		t.Fatalf("no-op grew live snapshots to %d", st.Live())
+	}
+}
+
+func TestSnapshotDrain(t *testing.T) {
+	var drained []uint64
+	st, err := New(Options{Table: seedTable(), OnDrain: func(sn *Snapshot) { drained = append(drained, sn.Version) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old := st.Acquire()
+	oldFP := old.Table.Fingerprint()
+	up := []RowUpdate{{Subject: "Malaria", Cells: map[schema.Concept][]string{"Anatomy": {"liver"}}}}
+	if _, err := st.Mutate(0, up); err != nil {
+		t.Fatal(err)
+	}
+
+	// The superseded snapshot stays fully usable — and bit-identical — while
+	// its reference is held.
+	if st.Live() != 2 {
+		t.Fatalf("live %d after swap with a pinned reader, want 2", st.Live())
+	}
+	if len(drained) != 0 {
+		t.Fatalf("drained %v while a reader still holds version 1", drained)
+	}
+	if old.Version != 1 || old.Table.Row("Malaria") != nil {
+		t.Fatal("pinned snapshot leaked the successor's mutation")
+	}
+	if old.Table.Fingerprint() != oldFP {
+		t.Fatal("pinned snapshot's content changed across the swap")
+	}
+
+	// Retain/Release nesting: the drain must wait for the LAST reference.
+	old.Retain()
+	old.Release()
+	if len(drained) != 0 {
+		t.Fatal("drained with one reference still outstanding")
+	}
+	if st.Readers() != 1 {
+		t.Fatalf("readers %d, want 1", st.Readers())
+	}
+	old.Release()
+	if len(drained) != 1 || drained[0] != 1 {
+		t.Fatalf("drained %v, want [1]", drained)
+	}
+	if st.Live() != 1 || st.Readers() != 0 {
+		t.Fatalf("live/readers %d/%d after drain, want 1/0", st.Live(), st.Readers())
+	}
+}
+
+func TestCopyOnWriteSharesUntouchedRows(t *testing.T) {
+	st, err := New(Options{Table: seedTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.Acquire()
+	defer before.Release()
+	if _, err := st.Mutate(0, []RowUpdate{
+		{Subject: "Cholera", Cells: map[schema.Concept][]string{"Complication": {"dehydration"}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := st.Acquire()
+	defer after.Release()
+
+	// Untouched rows are the same *Row values; the mutated row is a fresh
+	// copy and the old snapshot's row is untouched.
+	if before.Table.Row("Tuberculosis") != after.Table.Row("Tuberculosis") {
+		t.Error("untouched row was deep-copied instead of shared")
+	}
+	if before.Table.Row("Cholera") == after.Table.Row("Cholera") {
+		t.Error("mutated row is shared with the superseded snapshot")
+	}
+	if before.Table.Row("Cholera").Has("Complication", "dehydration") {
+		t.Error("mutation leaked into the superseded snapshot's row")
+	}
+}
+
+// TestStoreHammer swaps continuously under concurrent readers and asserts —
+// under -race — that every acquired snapshot is internally coherent: its
+// recorded fingerprints match its table's content, versions never run
+// backwards for a reader, and all superseded snapshots eventually drain.
+func TestStoreHammer(t *testing.T) {
+	var drains atomic.Int64
+	st, err := New(Options{
+		Table:   seedTable(),
+		OnDrain: func(*Snapshot) { drains.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers   = 8
+		mutations = 200
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sn := st.Acquire()
+				if sn.Version < last {
+					errs <- fmt.Errorf("version ran backwards: %d after %d", sn.Version, last)
+					sn.Release()
+					return
+				}
+				last = sn.Version
+				if got := sn.Table.Fingerprint(); got != sn.Fingerprint {
+					errs <- fmt.Errorf("version %d: torn table: content %016x, snapshot says %016x", sn.Version, got, sn.Fingerprint)
+					sn.Release()
+					return
+				}
+				for _, c := range sn.Table.Schema.Concepts {
+					if got := sn.Table.ConceptFingerprint(c); got != sn.Concepts[c] {
+						errs <- fmt.Errorf("version %d: concept %s fingerprint drifted", sn.Version, c)
+						sn.Release()
+						return
+					}
+				}
+				sn.Release()
+			}
+		}()
+	}
+
+	for i := 0; i < mutations; i++ {
+		subject := fmt.Sprintf("Disease %03d", i%37)
+		value := fmt.Sprintf("complication %03d", i)
+		if _, err := st.Mutate(0, []RowUpdate{
+			{Subject: subject, Cells: map[schema.Concept][]string{"Complication": {value}}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	if got := st.Version(); got != mutations+1 {
+		t.Fatalf("version %d after %d mutations, want %d", got, mutations, mutations+1)
+	}
+	// Every superseded version drains once all readers are done: mutations
+	// snapshots were superseded, the final one is still current.
+	if got := drains.Load(); got != mutations {
+		t.Fatalf("%d drains, want %d", got, mutations)
+	}
+	if st.Live() != 1 || st.Readers() != 0 {
+		t.Fatalf("live/readers %d/%d after hammer, want 1/0", st.Live(), st.Readers())
+	}
+}
+
+func TestBuildErrorAbortsMutation(t *testing.T) {
+	boom := false
+	st, err := New(Options{Table: seedTable(), Build: func(sn *Snapshot) (any, error) {
+		if boom {
+			return nil, errors.New("tuner exploded")
+		}
+		return nil, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom = true
+	_, err = st.Mutate(0, []RowUpdate{
+		{Subject: "Malaria", Cells: map[schema.Concept][]string{"Anatomy": {"liver"}}},
+	})
+	if err == nil {
+		t.Fatal("build failure did not abort the mutation")
+	}
+	if st.Version() != 1 || st.Live() != 1 {
+		t.Fatalf("failed build still swapped: version %d live %d", st.Version(), st.Live())
+	}
+	sn := st.Acquire()
+	defer sn.Release()
+	if sn.Table.Row("Malaria") != nil {
+		t.Fatal("failed build leaked the mutated table")
+	}
+}
