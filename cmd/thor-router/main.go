@@ -39,6 +39,8 @@ func run() int {
 		maxBody        = flag.Int64("max-body", 8<<20, "maximum request body bytes")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests before exiting anyway")
 		spanCap        = flag.Int("span-capacity", 4096, "span ring-buffer capacity for /debug/thor/spans")
+		traceSlow      = flag.Duration("trace-slow", 250*time.Millisecond, "flight-recorder slow threshold: traces at or above it are always retained")
+		traceKeep      = flag.Int("trace-keep", 256, "flight-recorder capacity for slow/errored/shed/quarantined traces")
 		logFormat      = flag.String("log-format", "text", "structured log format: text or json")
 		logLevel       = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
@@ -65,6 +67,9 @@ func run() int {
 	}
 	if *healthInterval <= 0 || *maxBody < 1 || *drainTimeout < 0 || *spanCap < 1 {
 		usageErr("-health-interval/-max-body/-drain-timeout/-span-capacity out of range")
+	}
+	if *traceSlow < 0 || *traceKeep < 1 {
+		usageErr("-trace-slow/-trace-keep out of range")
 	}
 	level, err := obs.ParseLogLevel(*logLevel)
 	if err != nil {
@@ -96,12 +101,25 @@ func run() int {
 
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(*spanCap)
+	// The flight recorder retains whole router traces — including per-backend
+	// child spans with hedge/retry attribution — so thorctl -trace can fetch
+	// the router's fragment of a request and stitch it against the backends'.
+	recorder := obs.NewRecorder(obs.RecorderOptions{
+		SlowThreshold:   *traceSlow,
+		KeepInteresting: *traceKeep,
+	})
+	tracer.SetRecorder(recorder)
+	journal := obs.NewJournal(obs.JournalConfig{
+		Node:     *addr,
+		Registry: reg,
+	})
 	reg.PublishExpvar("router")
 
 	rt, err := router.New(router.Options{
 		Shards:         shards,
 		Metrics:        reg,
 		Tracer:         tracer,
+		Journal:        journal,
 		Logger:         logger,
 		HedgeFactor:    *hedgeFactor,
 		HedgeMin:       *hedgeMin,
@@ -119,7 +137,12 @@ func run() int {
 	// The outer mux layers the observability endpoints over the router's
 	// own (/v1/*, /healthz, /readyz, /v1/topology).
 	mux := http.NewServeMux()
-	debug := obs.DebugHandler(obs.DebugOptions{Registry: reg, Tracer: tracer})
+	debug := obs.DebugHandler(obs.DebugOptions{
+		Registry: reg,
+		Tracer:   tracer,
+		Recorder: recorder,
+		Journal:  journal,
+	})
 	mux.Handle("/debug/", debug)
 	mux.Handle("/metrics", debug)
 	mux.Handle("/", rt.Handler())

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"thor/internal/obs"
+)
+
+// eventsFragment is one node's answer to the -events fan-out.
+type eventsFragment struct {
+	// Target is the host:port the journal was fetched from.
+	Target string
+	// Export is the node's journal export; nil on fetch failure.
+	Export *obs.JournalExport
+	// Err is the fetch failure, if any.
+	Err error
+}
+
+// fetchEvents fetches one node's /debug/events journal.
+func fetchEvents(client *http.Client, target string) eventsFragment {
+	frag := eventsFragment{Target: target}
+	resp, err := client.Get("http://" + target + "/debug/events")
+	if err != nil {
+		frag.Err = err
+		return frag
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		frag.Err = err
+		return frag
+	}
+	if resp.StatusCode != http.StatusOK {
+		frag.Err = fmt.Errorf("status %d", resp.StatusCode)
+		return frag
+	}
+	var je obs.JournalExport
+	if err := json.Unmarshal(body, &je); err != nil {
+		frag.Err = fmt.Errorf("decode journal: %w", err)
+		return frag
+	}
+	if je.Node == "" {
+		je.Node = target
+	}
+	frag.Export = &je
+	return frag
+}
+
+// FleetTimeline is the merged fleet event view: every node's journal
+// flattened into one timeline ordered by wall clock (per-node sequence
+// numbers break wall-clock ties within a process).
+type FleetTimeline struct {
+	// Events are the merged events, oldest first, each stamped with its node.
+	Events []obs.JournalEvent `json:"events"`
+	// Nodes lists the polled nodes, sorted.
+	Nodes []string `json:"nodes"`
+	// Dropped is the fleet-wide count of events lost to ring overwrites.
+	Dropped uint64 `json:"dropped"`
+	// Errors lists nodes that could not be polled ("target: error").
+	Errors []string `json:"errors,omitempty"`
+}
+
+// mergeEvents flattens per-node journals into one timeline.
+func mergeEvents(frags []eventsFragment) *FleetTimeline {
+	tl := &FleetTimeline{}
+	for _, f := range frags {
+		if f.Err != nil {
+			tl.Errors = append(tl.Errors, f.Target+": "+f.Err.Error())
+			continue
+		}
+		tl.Nodes = append(tl.Nodes, f.Export.Node)
+		tl.Dropped += f.Export.Dropped
+		for _, ev := range f.Export.Events {
+			ev.Node = f.Export.Node
+			tl.Events = append(tl.Events, ev)
+		}
+	}
+	sort.Slice(tl.Events, func(i, j int) bool {
+		a, b := tl.Events[i], tl.Events[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Seq < b.Seq
+	})
+	sort.Strings(tl.Nodes)
+	sort.Strings(tl.Errors)
+	return tl
+}
+
+// runEvents is the -events mode: fan out to every node, merge, render. Exit
+// 0 when every node answered, 1 otherwise.
+func runEvents(client *http.Client, stdout io.Writer, targets []string, asJSON bool) int {
+	frags := make([]eventsFragment, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t string) {
+			defer wg.Done()
+			frags[i] = fetchEvents(client, t)
+		}(i, t)
+	}
+	wg.Wait()
+	tl := mergeEvents(frags)
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tl)
+	} else {
+		renderEvents(stdout, tl)
+	}
+	if len(tl.Errors) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// renderEvents prints the merged timeline, one event per line.
+func renderEvents(w io.Writer, tl *FleetTimeline) {
+	fmt.Fprintf(w, "fleet events — %d event(s) from %d node(s), %d overwritten\n",
+		len(tl.Events), len(tl.Nodes), tl.Dropped)
+	for _, e := range tl.Errors {
+		fmt.Fprintf(w, "  unreachable: %s\n", e)
+	}
+	if len(tl.Events) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-15s %-22s %-10s %-24s %-20s %s\n",
+		"TIME", "NODE", "KIND", "SUBJECT", "TRANSITION", "DETAIL")
+	for _, e := range tl.Events {
+		fmt.Fprintf(w, "%-15s %-22s %-10s %-24s %-20s %s\n",
+			e.Time.Format("15:04:05.000"), e.Node, e.Kind,
+			eventSubject(e), eventTransition(e), eventDetail(e))
+	}
+}
+
+// eventSubject renders the subject column ("-" when empty).
+func eventSubject(e obs.JournalEvent) string {
+	if e.Subject == "" {
+		return "-"
+	}
+	return e.Subject
+}
+
+// eventTransition renders the from→to column; table events show versions.
+func eventTransition(e obs.JournalEvent) string {
+	if e.Kind == obs.EventTableSwap {
+		return fmt.Sprintf("v%d→v%d", e.Previous, e.Version)
+	}
+	if e.Version > 0 {
+		return fmt.Sprintf("%s→%s v%d", e.From, e.To, e.Version)
+	}
+	if e.From == "" && e.To == "" {
+		return "-"
+	}
+	return e.From + "→" + e.To
+}
+
+// eventDetail folds the free-form columns (detail, invalidated concepts, the
+// triggering trace) into one trailing cell.
+func eventDetail(e obs.JournalEvent) string {
+	var parts []string
+	if e.Detail != "" {
+		parts = append(parts, e.Detail)
+	}
+	if len(e.Concepts) > 0 {
+		parts = append(parts, "invalidated: "+strings.Join(e.Concepts, ","))
+	}
+	if e.TraceID != "" {
+		parts = append(parts, "trace="+e.TraceID)
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "  ")
+}

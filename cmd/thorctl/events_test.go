@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"thor/internal/obs"
+)
+
+func TestMergeEventsFleetTimeline(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	frags := []eventsFragment{
+		{Target: "b:7072", Export: &obs.JournalExport{Node: "b:7072", Total: 2, Events: []obs.JournalEvent{
+			{Seq: 1, Time: t0.Add(2 * time.Second), Kind: obs.EventTableSwap, Previous: 1, Version: 2, Concepts: []string{"Color"}},
+			{Seq: 2, Time: t0.Add(4 * time.Second), Kind: obs.EventSLO, From: "healthy", To: "degraded", Subject: "fill"},
+		}}},
+		{Target: "a:7071", Export: &obs.JournalExport{Node: "a:7071", Total: 3, Dropped: 1, Events: []obs.JournalEvent{
+			{Seq: 2, Time: t0.Add(time.Second), Kind: obs.EventBreaker, Subject: "b1", From: "closed", To: "open"},
+			{Seq: 3, Time: t0.Add(3 * time.Second), Kind: obs.EventBreaker, Subject: "b1", From: "open", To: "half-open"},
+		}}},
+		{Target: "down:1", Err: errFake("refused")},
+	}
+	tl := mergeEvents(frags)
+	if len(tl.Events) != 4 {
+		t.Fatalf("merged %d events, want 4", len(tl.Events))
+	}
+	// Time-sorted across nodes, each stamped with its node.
+	wantOrder := []struct{ node, kind string }{
+		{"a:7071", obs.EventBreaker},
+		{"b:7072", obs.EventTableSwap},
+		{"a:7071", obs.EventBreaker},
+		{"b:7072", obs.EventSLO},
+	}
+	for i, w := range wantOrder {
+		if tl.Events[i].Node != w.node || tl.Events[i].Kind != w.kind {
+			t.Fatalf("event %d = %s/%s, want %s/%s",
+				i, tl.Events[i].Node, tl.Events[i].Kind, w.node, w.kind)
+		}
+	}
+	if tl.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", tl.Dropped)
+	}
+	if len(tl.Errors) != 1 || !strings.Contains(tl.Errors[0], "down:1") {
+		t.Fatalf("errors = %v", tl.Errors)
+	}
+	if len(tl.Nodes) != 2 || tl.Nodes[0] != "a:7071" {
+		t.Fatalf("nodes = %v", tl.Nodes)
+	}
+}
+
+func TestMergeEventsTieBreaksBySeq(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	frags := []eventsFragment{
+		{Target: "n", Export: &obs.JournalExport{Node: "n", Events: []obs.JournalEvent{
+			{Seq: 1, Time: t0, Kind: obs.EventDrain, To: "begin"},
+			{Seq: 2, Time: t0, Kind: obs.EventDrain, To: "end"},
+		}}},
+	}
+	tl := mergeEvents(frags)
+	if tl.Events[0].To != "begin" || tl.Events[1].To != "end" {
+		t.Fatalf("wall-clock tie not broken by seq: %+v", tl.Events)
+	}
+}
+
+func TestRunEventsFansOut(t *testing.T) {
+	j1 := obs.NewJournal(obs.JournalConfig{Node: "node-one"})
+	j1.Append(obs.JournalEvent{Kind: obs.EventBreaker, Subject: "b2:7072", From: "closed", To: "open"})
+	j2 := obs.NewJournal(obs.JournalConfig{Node: "node-two"})
+	j2.Append(obs.JournalEvent{Kind: obs.EventTableSwap, Previous: 4, Version: 5, Concepts: []string{"Brand"}})
+
+	srv1 := httptest.NewServer(obs.DebugHandler(obs.DebugOptions{Journal: j1}))
+	defer srv1.Close()
+	srv2 := httptest.NewServer(obs.DebugHandler(obs.DebugOptions{Journal: j2}))
+	defer srv2.Close()
+	targets := []string{
+		strings.TrimPrefix(srv1.URL, "http://"),
+		strings.TrimPrefix(srv2.URL, "http://"),
+	}
+
+	var stdout bytes.Buffer
+	if code := runEvents(http.DefaultClient, &stdout, targets, true); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	var tl FleetTimeline
+	if err := json.Unmarshal(stdout.Bytes(), &tl); err != nil {
+		t.Fatalf("-json output not JSON: %v", err)
+	}
+	if len(tl.Events) != 2 || len(tl.Nodes) != 2 {
+		t.Fatalf("timeline wrong: %+v", tl)
+	}
+
+	stdout.Reset()
+	if code := runEvents(http.DefaultClient, &stdout, targets, false); code != 0 {
+		t.Fatalf("text exit = %d", code)
+	}
+	out := stdout.String()
+	for _, want := range []string{"node-one", "node-two", "breaker", "closed→open", "v4→v5", "invalidated: Brand"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	// An unreachable node exits 1 but still renders the reachable ones.
+	stdout.Reset()
+	code := runEvents(http.DefaultClient, &stdout, append(targets, "127.0.0.1:1"), false)
+	if code != 1 {
+		t.Fatalf("unreachable node should exit 1, got %d", code)
+	}
+	if !strings.Contains(stdout.String(), "node-one") {
+		t.Fatal("reachable nodes dropped from partial timeline")
+	}
+}

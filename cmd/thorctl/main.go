@@ -47,7 +47,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	watch := fs.Duration("watch", 0, "re-poll at this interval (0 = one shot)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of the status table")
 	timeout := fs.Duration("timeout", 2*time.Second, "per-request HTTP timeout")
+	traceID := fs.String("trace", "", "stitch this trace ID: fetch span fragments from every node (router + topology backends) and render one causal tree")
+	events := fs.Bool("events", false, "merge every node's /debug/events journal into one fleet timeline")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *traceID != "" && *events {
+		fmt.Fprintln(stderr, "thorctl: -trace and -events are mutually exclusive")
 		return 2
 	}
 	var targets []string
@@ -63,6 +69,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	client := &http.Client{Timeout: *timeout}
+
+	if *traceID != "" || *events {
+		nodes := fleetNodes(client, targets, routerTarget, stderr)
+		if *traceID != "" {
+			return runTrace(client, stdout, stderr, *traceID, nodes, *asJSON)
+		}
+		return runEvents(client, stdout, nodes, *asJSON)
+	}
 
 	for {
 		var rst *RouterStatus
@@ -104,6 +118,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		time.Sleep(*watch)
 	}
+}
+
+// fleetNodes assembles the -trace/-events fan-out set: the explicit targets,
+// plus — when a router is given — the router itself and every backend in its
+// live /v1/topology, deduplicated in first-appearance order.
+func fleetNodes(client *http.Client, targets []string, routerTarget string, stderr io.Writer) []string {
+	var nodes []string
+	seen := make(map[string]bool)
+	add := func(t string) {
+		if t != "" && !seen[t] {
+			seen[t] = true
+			nodes = append(nodes, t)
+		}
+	}
+	if routerTarget != "" {
+		add(routerTarget)
+		rst := pollRouter(client, routerTarget)
+		if rst.Err != "" {
+			fmt.Fprintf(stderr, "thorctl: router %s: %s (continuing with explicit targets)\n", routerTarget, rst.Err)
+		}
+		for _, t := range rst.backendTargets() {
+			add(t)
+		}
+	}
+	for _, t := range targets {
+		add(t)
+	}
+	return nodes
 }
 
 // render prints the fleet table: one row per instance, then the merged

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"thor/internal/obs"
+)
+
+// traceFragment is one node's answer to the -trace fan-out: its retained
+// span fragment for the trace, or why it had none.
+type traceFragment struct {
+	// Target is the host:port the fragment was fetched from.
+	Target string
+	// Export is the node's fragment; nil when the node does not retain the
+	// trace (a 404 — normal for nodes the request never touched).
+	Export *obs.TraceExport
+	// Err is the fetch failure, if any (nil for a clean 404).
+	Err error
+}
+
+// fetchTraceExport fetches one node's durable span fragment for a trace via
+// /debug/traces/{id}?format=export.
+func fetchTraceExport(client *http.Client, target, id string) traceFragment {
+	frag := traceFragment{Target: target}
+	resp, err := client.Get("http://" + target + "/debug/traces/" + id + "?format=export")
+	if err != nil {
+		frag.Err = err
+		return frag
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		frag.Err = err
+		return frag
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return frag // this node never saw (or no longer retains) the trace
+	}
+	if resp.StatusCode != http.StatusOK {
+		frag.Err = fmt.Errorf("status %d", resp.StatusCode)
+		return frag
+	}
+	var te obs.TraceExport
+	if err := json.Unmarshal(body, &te); err != nil {
+		frag.Err = fmt.Errorf("decode export: %w", err)
+		return frag
+	}
+	if te.Node == "" {
+		te.Node = target
+	}
+	frag.Export = &te
+	return frag
+}
+
+// StitchedSpan is one span in the stitched fleet-wide tree: the wire span
+// plus which node recorded it and its resolved children.
+type StitchedSpan struct {
+	obs.SpanExport
+	// Node is the process that recorded the span.
+	Node string `json:"node"`
+	// Children are the span's resolved child spans, sorted by start time.
+	Children []*StitchedSpan `json:"children,omitempty"`
+}
+
+// StitchedTrace is the fleet-wide view of one trace: every fragment's spans
+// merged into causal trees keyed on the shared W3C trace ID.
+type StitchedTrace struct {
+	// TraceID is the stitched trace (32 hex digits).
+	TraceID string `json:"traceId"`
+	// Nodes lists the processes that contributed spans, sorted.
+	Nodes []string `json:"nodes"`
+	// SpanCount is the total stitched span count across nodes.
+	SpanCount int `json:"spanCount"`
+	// Roots are the causal trees, sorted by start time. More than one root
+	// is possible when a parent span was dropped or not retained anywhere.
+	Roots []*StitchedSpan `json:"roots"`
+	// Errors lists nodes that could not be polled ("target: error").
+	Errors []string `json:"errors,omitempty"`
+}
+
+// stitchTrace merges the fragments' spans into causal trees. Spans are keyed
+// by span ID (first sighting wins — hedged duplicates share a trace but
+// carry distinct span IDs, so both branches survive); children resolve
+// against parents recorded by any node, which is the whole point: the
+// router's per-backend client span parents the backend's server-side root.
+func stitchTrace(id string, frags []traceFragment) *StitchedTrace {
+	st := &StitchedTrace{TraceID: strings.ToLower(id)}
+	byID := make(map[string]*StitchedSpan)
+	var order []*StitchedSpan
+	nodes := make(map[string]bool)
+	for _, f := range frags {
+		if f.Err != nil {
+			st.Errors = append(st.Errors, f.Target+": "+f.Err.Error())
+			continue
+		}
+		if f.Export == nil {
+			continue
+		}
+		for _, sp := range f.Export.Spans {
+			if byID[sp.SpanID] != nil {
+				continue
+			}
+			ss := &StitchedSpan{SpanExport: sp, Node: f.Export.Node}
+			byID[sp.SpanID] = ss
+			order = append(order, ss)
+			nodes[f.Export.Node] = true
+		}
+	}
+	for _, ss := range order {
+		if p := byID[ss.ParentID]; p != nil && p != ss {
+			p.Children = append(p.Children, ss)
+		} else {
+			st.Roots = append(st.Roots, ss)
+		}
+	}
+	var sortTree func(s []*StitchedSpan)
+	sortTree = func(s []*StitchedSpan) {
+		sort.Slice(s, func(i, j int) bool {
+			if !s[i].Start.Equal(s[j].Start) {
+				return s[i].Start.Before(s[j].Start)
+			}
+			return s[i].SpanID < s[j].SpanID
+		})
+		for _, c := range s {
+			sortTree(c.Children)
+		}
+	}
+	sortTree(st.Roots)
+	for n := range nodes {
+		st.Nodes = append(st.Nodes, n)
+	}
+	sort.Strings(st.Nodes)
+	st.SpanCount = len(order)
+	sort.Strings(st.Errors)
+	return st
+}
+
+// runTrace is the -trace mode: fan out to every node, stitch, render. Exit 0
+// when at least one fragment was found and every node answered, 1 otherwise.
+func runTrace(client *http.Client, stdout, stderr io.Writer, id string, targets []string, asJSON bool) int {
+	frags := make([]traceFragment, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t string) {
+			defer wg.Done()
+			frags[i] = fetchTraceExport(client, t, id)
+		}(i, t)
+	}
+	wg.Wait()
+	st := stitchTrace(id, frags)
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	} else {
+		renderTrace(stdout, st)
+	}
+	if st.SpanCount == 0 {
+		fmt.Fprintf(stderr, "thorctl: trace %s not retained by any of %d node(s)\n", id, len(targets))
+		return 1
+	}
+	if len(st.Errors) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// renderTrace prints the stitched trees with node attribution, one line per
+// span plus its recorded events.
+func renderTrace(w io.Writer, st *StitchedTrace) {
+	fmt.Fprintf(w, "trace %s — %d span(s) from %d node(s): %s\n",
+		st.TraceID, st.SpanCount, len(st.Nodes), strings.Join(st.Nodes, ", "))
+	for _, e := range st.Errors {
+		fmt.Fprintf(w, "  unreachable: %s\n", e)
+	}
+	for _, r := range st.Roots {
+		renderSpan(w, r, "", true)
+	}
+}
+
+// renderSpan prints one span and recurses into its children.
+func renderSpan(w io.Writer, s *StitchedSpan, prefix string, last bool) {
+	branch, childPrefix := "├─ ", prefix+"│  "
+	if last {
+		branch, childPrefix = "└─ ", prefix+"   "
+	}
+	var attrs strings.Builder
+	for _, a := range s.Attrs {
+		fmt.Fprintf(&attrs, " %s=%s", a.Key, a.Value)
+	}
+	fmt.Fprintf(w, "%s%s%-32s %9s  [%s]%s\n",
+		prefix, branch, s.Name,
+		humanSeconds(time.Duration(s.DurationNanos).Seconds()), s.Node, attrs.String())
+	for _, ev := range s.Events {
+		var evAttrs strings.Builder
+		for _, a := range ev.Attrs {
+			fmt.Fprintf(&evAttrs, " %s=%s", a.Key, a.Value)
+		}
+		fmt.Fprintf(w, "%s· %s%s\n", childPrefix, ev.Name, evAttrs.String())
+	}
+	for i, c := range s.Children {
+		renderSpan(w, c, childPrefix, i == len(s.Children)-1)
+	}
+}

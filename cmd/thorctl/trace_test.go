@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"thor/internal/obs"
+)
+
+// span builds a test SpanExport.
+func span(id, parent, name, node string, start time.Time, attrs ...obs.Attr) obs.SpanExport {
+	_ = node
+	return obs.SpanExport{
+		TraceID:       "4bf92f3577b34da6a3ce929d0e0e4736",
+		SpanID:        id,
+		ParentID:      parent,
+		Name:          name,
+		Start:         start,
+		DurationNanos: int64(time.Millisecond),
+		Attrs:         attrs,
+	}
+}
+
+func TestStitchTraceCrossProcess(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	routerFrag := traceFragment{
+		Target: "r:8090",
+		Export: &obs.TraceExport{
+			Node:    "r:8090",
+			TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+			Spans: []obs.SpanExport{
+				span("aaaaaaaaaaaaaaaa", "", "router.fill", "r", t0),
+				span("bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa", "router.backend", "r", t0.Add(time.Millisecond),
+					obs.String("backend", "b1:7071"), obs.String("role", "primary")),
+				span("cccccccccccccccc", "aaaaaaaaaaaaaaaa", "router.backend", "r", t0.Add(2*time.Millisecond),
+					obs.String("backend", "b2:7072"), obs.String("role", "hedge")),
+			},
+		},
+	}
+	backendFrag := traceFragment{
+		Target: "b1:7071",
+		Export: &obs.TraceExport{
+			Node:    "b1:7071",
+			TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+			Spans: []obs.SpanExport{
+				// The backend's root parents under the router's client span —
+				// the cross-process edge stitching exists for.
+				span("dddddddddddddddd", "bbbbbbbbbbbbbbbb", "http.fill", "b1", t0.Add(time.Millisecond+100*time.Microsecond)),
+			},
+		},
+	}
+	st := stitchTrace("4BF92F3577B34DA6A3CE929D0E0E4736", []traceFragment{routerFrag, backendFrag})
+	if st.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace ID not lowercased: %q", st.TraceID)
+	}
+	if st.SpanCount != 4 || len(st.Nodes) != 2 {
+		t.Fatalf("spans=%d nodes=%v", st.SpanCount, st.Nodes)
+	}
+	if len(st.Roots) != 1 || st.Roots[0].Name != "router.fill" {
+		t.Fatalf("want one root router.fill, got %+v", st.Roots)
+	}
+	root := st.Roots[0]
+	if len(root.Children) != 2 {
+		t.Fatalf("root has %d children, want 2 (primary + hedge)", len(root.Children))
+	}
+	// Children sorted by start: primary first, hedge second.
+	primary, hedge := root.Children[0], root.Children[1]
+	if primary.SpanID != "bbbbbbbbbbbbbbbb" || hedge.SpanID != "cccccccccccccccc" {
+		t.Fatalf("children misordered: %s, %s", primary.SpanID, hedge.SpanID)
+	}
+	// The backend's server-side span hangs under the router's client span.
+	if len(primary.Children) != 1 || primary.Children[0].Node != "b1:7071" {
+		t.Fatalf("cross-process child not stitched: %+v", primary.Children)
+	}
+	if primary.Children[0].Name != "http.fill" {
+		t.Fatalf("stitched child = %q", primary.Children[0].Name)
+	}
+}
+
+func TestStitchTraceOrphansAndErrors(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	frags := []traceFragment{
+		{Target: "a", Export: &obs.TraceExport{Node: "a", Spans: []obs.SpanExport{
+			span("1111111111111111", "feedfacefeedface", "orphan", "a", t0), // parent retained nowhere
+		}}},
+		{Target: "down", Err: errFake("connection refused")},
+		{Target: "empty"}, // clean 404: no fragment
+	}
+	st := stitchTrace("4bf92f3577b34da6a3ce929d0e0e4736", frags)
+	if len(st.Roots) != 1 || st.Roots[0].Name != "orphan" {
+		t.Fatalf("orphan should surface as a root: %+v", st.Roots)
+	}
+	if len(st.Errors) != 1 || !strings.Contains(st.Errors[0], "down") {
+		t.Fatalf("errors = %v", st.Errors)
+	}
+}
+
+type errFake string
+
+func (e errFake) Error() string { return string(e) }
+
+func TestRunTraceFansOutAndStitches(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	id := "4bf92f3577b34da6a3ce929d0e0e4736"
+	router := httptest.NewServer(exportHandler(t, id, &obs.TraceExport{
+		Node: "router", TraceID: id, Spans: []obs.SpanExport{
+			span("aaaaaaaaaaaaaaaa", "", "router.fill", "router", t0),
+			span("bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa", "router.backend", "router", t0.Add(time.Millisecond)),
+		},
+	}))
+	defer router.Close()
+	backend := httptest.NewServer(exportHandler(t, id, &obs.TraceExport{
+		Node: "backend", TraceID: id, Spans: []obs.SpanExport{
+			span("dddddddddddddddd", "bbbbbbbbbbbbbbbb", "http.fill", "backend", t0.Add(2*time.Millisecond)),
+		},
+	}))
+	defer backend.Close()
+	stranger := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":{"code":"not_found"}}`, http.StatusNotFound)
+	}))
+	defer stranger.Close()
+
+	targets := []string{
+		strings.TrimPrefix(router.URL, "http://"),
+		strings.TrimPrefix(backend.URL, "http://"),
+		strings.TrimPrefix(stranger.URL, "http://"),
+	}
+	var stdout, stderr bytes.Buffer
+	code := runTrace(http.DefaultClient, &stdout, &stderr, id, targets, true)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	var st StitchedTrace
+	if err := json.Unmarshal(stdout.Bytes(), &st); err != nil {
+		t.Fatalf("-json output not JSON: %v", err)
+	}
+	if st.SpanCount != 3 || len(st.Nodes) != 2 || len(st.Roots) != 1 {
+		t.Fatalf("stitched wrong: %+v", st)
+	}
+
+	// Text render mentions every node and draws the tree.
+	stdout.Reset()
+	if code := runTrace(http.DefaultClient, &stdout, &stderr, id, targets, false); code != 0 {
+		t.Fatalf("text mode exit = %d", code)
+	}
+	out := stdout.String()
+	for _, want := range []string{"router.fill", "http.fill", "[router]", "[backend]", "└─"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	// A trace nobody retains exits 1.
+	stdout.Reset()
+	if code := runTrace(http.DefaultClient, &stdout, &stderr, strings.Repeat("0", 32), targets, true); code != 1 {
+		t.Fatalf("unknown trace should exit 1, got %d", code)
+	}
+}
+
+// exportHandler serves the given export at /debug/traces/{id}?format=export
+// and 404 otherwise.
+func exportHandler(t *testing.T, id string, te *obs.TraceExport) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/traces/"+id || r.URL.Query().Get("format") != "export" {
+			http.Error(w, `{"error":{"code":"not_found"}}`, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := json.NewEncoder(w).Encode(te); err != nil {
+			t.Errorf("encode: %v", err)
+		}
+	})
+}

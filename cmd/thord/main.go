@@ -150,9 +150,28 @@ func run() int {
 		SlowThreshold:   *traceSlow,
 		KeepInteresting: *traceKeep,
 	})
+	// The journal records the node's state transitions (breaker, SLO, table
+	// swaps, drains, profiler bursts) as one causally-ordered timeline,
+	// served at /debug/events and merged fleet-wide by thorctl -events.
+	journal := obs.NewJournal(obs.JournalConfig{
+		Node:     *addr,
+		Registry: reg,
+	})
 	slo := obs.NewSLO(obs.SLOConfig{
 		Window:  *sloWindow,
 		Latency: *sloLatency,
+		OnTransition: func(degraded bool, violating []string) {
+			from, to := "degraded", "healthy"
+			if degraded {
+				from, to = "healthy", "degraded"
+			}
+			journal.Append(obs.JournalEvent{
+				Kind:    obs.EventSLO,
+				Subject: strings.Join(violating, ","),
+				From:    from,
+				To:      to,
+			})
+		},
 	})
 	reg.PublishExpvar("thor")
 	slo.PublishExpvar("thor.slo")
@@ -176,6 +195,11 @@ func run() int {
 			SteadyEvery: *profSteady,
 			CPUDuration: *profCPU,
 			Capacity:    *profKeep,
+			OnBurst: func(reason string) {
+				journal.Append(obs.JournalEvent{
+					Kind: obs.EventProfiler, Subject: reason, To: "captured",
+				})
+			},
 		})
 		profCtx, profCancel := context.WithCancel(context.Background())
 		defer profCancel()
@@ -218,6 +242,7 @@ func run() int {
 		Recorder:          recorder,
 		SLO:               slo,
 		Profiler:          profiler,
+		Journal:           journal,
 		Logger:            logger,
 		ShardID:           *shardID,
 	})

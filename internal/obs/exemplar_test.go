@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"thor/internal/promtext"
+)
+
+func testTraceID(b byte) TraceID {
+	var t TraceID
+	for i := range t {
+		t[i] = b
+	}
+	return t
+}
+
+func TestObserveTraceCapturesExemplar(t *testing.T) {
+	var h Histogram
+	tr := testTraceID(0xab)
+	h.ObserveTrace(3*time.Millisecond, tr)
+
+	ex := h.exemplar()
+	if ex == nil {
+		t.Fatal("no exemplar captured")
+	}
+	if ex.TraceID != tr.String() {
+		t.Fatalf("exemplar trace = %q, want %q", ex.TraceID, tr.String())
+	}
+	if ex.ValueSeconds != (3 * time.Millisecond).Seconds() {
+		t.Fatalf("exemplar value = %g", ex.ValueSeconds)
+	}
+	if ex.Time.IsZero() {
+		t.Fatal("exemplar time not stamped")
+	}
+	if h.Count() != 1 {
+		t.Fatal("ObserveTrace must also count as an observation")
+	}
+}
+
+func TestObserveTraceBucketMaxPolicy(t *testing.T) {
+	var h Histogram
+	slow, fast := testTraceID(0x11), testTraceID(0x22)
+	h.ObserveTrace(100*time.Millisecond, slow)
+	// A smaller-bucket observation must not displace a fresh bucket-max one.
+	h.ObserveTrace(time.Millisecond, fast)
+	if ex := h.exemplar(); ex == nil || ex.TraceID != slow.String() {
+		t.Fatalf("fast observation displaced the bucket-max exemplar: %+v", ex)
+	}
+	// An equal-or-higher bucket observation replaces it.
+	h.ObserveTrace(200*time.Millisecond, fast)
+	if ex := h.exemplar(); ex == nil || ex.TraceID != fast.String() {
+		t.Fatalf("higher observation did not replace the exemplar: %+v", ex)
+	}
+}
+
+func TestObserveTraceStaleExemplarRefreshes(t *testing.T) {
+	var h Histogram
+	old, fresh := testTraceID(0x33), testTraceID(0x44)
+	h.ObserveTrace(100*time.Millisecond, old)
+	// Backdate the capture beyond the staleness bound.
+	h.exUnix.Store(time.Now().UnixNano() - exemplarMaxAge - int64(time.Second))
+	h.ObserveTrace(time.Microsecond, fresh)
+	if ex := h.exemplar(); ex == nil || ex.TraceID != fresh.String() {
+		t.Fatalf("stale exemplar not refreshed: %+v", ex)
+	}
+}
+
+func TestObserveTraceZeroTraceLeavesNoExemplar(t *testing.T) {
+	var h Histogram
+	h.ObserveTrace(time.Millisecond, TraceID{})
+	if ex := h.exemplar(); ex != nil {
+		t.Fatalf("zero trace captured an exemplar: %+v", ex)
+	}
+	if h.Count() != 1 {
+		t.Fatal("untraced ObserveTrace must still count")
+	}
+	// Snapshot carries no exemplar either.
+	if snap := h.snapshot(); snap.Exemplar != nil {
+		t.Fatalf("snapshot exemplar should be nil: %+v", snap.Exemplar)
+	}
+}
+
+func TestSnapshotCarriesExemplar(t *testing.T) {
+	reg := NewRegistry()
+	tr := testTraceID(0x5a)
+	reg.Histogram("thor.http.fill").ObserveTrace(7*time.Millisecond, tr)
+	snap := reg.Snapshot()
+	hs := snap.Histograms["thor.http.fill"]
+	if hs.Exemplar == nil || hs.Exemplar.TraceID != tr.String() {
+		t.Fatalf("snapshot exemplar missing: %+v", hs.Exemplar)
+	}
+}
+
+// TestOpenMetricsExemplar pins the exposition syntax: the exemplar rides the
+// first bucket whose le covers its value, in OpenMetrics exemplar form, and
+// the payload still parses and lints cleanly.
+func TestOpenMetricsExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("thor.http.fill")
+	tr := testTraceID(0xcd)
+	h.Observe(time.Microsecond) // a second bucket so attachment is selective
+	h.ObserveTrace(3*time.Millisecond, tr)
+
+	var sb strings.Builder
+	if err := WriteOpenMetrics(&sb, reg, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	if !strings.Contains(body, `# {trace_id="`+tr.String()+`"}`) {
+		t.Fatalf("exposition missing exemplar:\n%s", body)
+	}
+
+	exp, err := promtext.Parse(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("exemplar-bearing exposition does not parse: %v\n%s", err, body)
+	}
+	if probs := promtext.Lint(exp); len(probs) > 0 {
+		t.Fatalf("exemplar-bearing exposition does not lint: %v\n%s", probs, body)
+	}
+
+	f := exp.Family("thor_http_fill_seconds")
+	if f == nil {
+		t.Fatal("histogram family missing")
+	}
+	var carriers []promtext.Sample
+	for _, s := range f.Samples {
+		if s.Exemplar != nil {
+			carriers = append(carriers, s)
+		}
+	}
+	if len(carriers) != 1 {
+		t.Fatalf("exemplar on %d samples, want exactly 1: %+v", len(carriers), carriers)
+	}
+	c := carriers[0]
+	if c.Name != "thor_http_fill_seconds_bucket" {
+		t.Fatalf("exemplar on %q, want a _bucket sample", c.Name)
+	}
+	le, err := promtextParseLE(c.Label("le"))
+	if err != nil || c.Exemplar.Value > le {
+		t.Fatalf("exemplar value %g exceeds carrying bucket le %q", c.Exemplar.Value, c.Label("le"))
+	}
+	if c.Exemplar.Labels["trace_id"] != tr.String() {
+		t.Fatalf("exemplar trace label = %q", c.Exemplar.Labels["trace_id"])
+	}
+	if !c.Exemplar.HasTimestamp || c.Exemplar.Timestamp <= 0 {
+		t.Fatalf("exemplar timestamp missing: %+v", c.Exemplar)
+	}
+	// It rides the FIRST covering bucket: every lower bucket has a smaller le.
+	for _, s := range f.Samples {
+		if s.Name != c.Name || s.Exemplar != nil {
+			continue
+		}
+		sle, err := promtextParseLE(s.Label("le"))
+		if err == nil && sle < le && c.Exemplar.Value <= sle {
+			t.Fatalf("exemplar skipped covering bucket le=%g for le=%g", sle, le)
+		}
+	}
+}
+
+// promtextParseLE mirrors promtext's le parsing for test assertions.
+func promtextParseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// TestObserveTraceZeroAlloc gates the traced observe path: exemplar capture
+// must add no allocations over plain Observe.
+func TestObserveTraceZeroAlloc(t *testing.T) {
+	var h Histogram
+	tr := testTraceID(0x77)
+	h.ObserveTrace(time.Millisecond, tr)
+	allocs := testing.AllocsPerRun(100, func() {
+		h.ObserveTrace(time.Millisecond, tr)
+	})
+	if allocs != 0 {
+		t.Fatalf("ObserveTrace allocates %.1f times per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"time"
+)
+
+// SpanExport is the durable wire form of one span — the schema
+// /debug/traces/{id}?format=export serves and cross-process stitchers
+// (thorctl -trace) consume. It is deliberately flat and version-stable:
+// IDs are lowercase hex strings, the duration is integral nanoseconds, and
+// annotations keep the tracer's Attr/Event shapes.
+type SpanExport struct {
+	// TraceID is the W3C trace the span belongs to (32 hex digits).
+	TraceID string `json:"traceId"`
+	// SpanID identifies the span within its trace (16 hex digits).
+	SpanID string `json:"spanId"`
+	// ParentID is the parent span's ID; empty on roots without a remote
+	// parent. A parent recorded by another process is normal — stitchers
+	// resolve it against fragments fetched from the rest of the fleet.
+	ParentID string `json:"parentId,omitempty"`
+	// Name identifies the operation ("router.fill", "http.fill", "batch", …).
+	Name string `json:"name"`
+	// Start is the span's wall-clock start time.
+	Start time.Time `json:"start"`
+	// DurationNanos is the span's elapsed time in nanoseconds.
+	DurationNanos int64 `json:"durationNanos"`
+	// Attrs are the span's annotations (backend, shard, endpoint, …).
+	Attrs []Attr `json:"attrs,omitempty"`
+	// Events are the timestamped annotations recorded while the span was
+	// open.
+	Events []Event `json:"events,omitempty"`
+}
+
+// TraceExport is one process's fragment of a distributed trace in durable
+// wire form: every span this process retained for the trace, plus the
+// attribution a stitcher needs to label the fragment.
+type TraceExport struct {
+	// Node is the exporting process's self-reported identity ("" when
+	// unconfigured; stitchers then fall back to the address they fetched
+	// from).
+	Node string `json:"node,omitempty"`
+	// TraceID is the trace's identifier (32 hex digits).
+	TraceID string `json:"traceId"`
+	// Root is the root span's name as this process saw it.
+	Root string `json:"root"`
+	// Start is the local root span's start time.
+	Start time.Time `json:"start"`
+	// DurationNanos is the local root span's elapsed time.
+	DurationNanos int64 `json:"durationNanos"`
+	// Reason is the flight recorder's retention classification.
+	Reason string `json:"reason"`
+	// SpansDropped counts spans discarded beyond the per-trace bound.
+	SpansDropped int `json:"spansDropped,omitempty"`
+	// Spans are the retained spans in recording (end-time) order.
+	Spans []SpanExport `json:"spans"`
+}
+
+// exportSpan converts one recorded span to its wire form.
+func exportSpan(sp Span) SpanExport {
+	return SpanExport{
+		TraceID:       sp.TraceID,
+		SpanID:        sp.SpanID,
+		ParentID:      sp.ParentID,
+		Name:          sp.Name,
+		Start:         sp.Start,
+		DurationNanos: int64(sp.Duration),
+		Attrs:         sp.Attrs,
+		Events:        sp.Events,
+	}
+}
+
+// ExportTrace converts a retained trace to its durable wire form, attributed
+// to node.
+func ExportTrace(rt RecordedTrace, node string) TraceExport {
+	te := TraceExport{
+		Node:          node,
+		TraceID:       rt.TraceID,
+		Root:          rt.Root,
+		Start:         rt.Start,
+		DurationNanos: int64(rt.Duration),
+		Reason:        rt.Reason,
+		SpansDropped:  rt.SpansDropped,
+		Spans:         make([]SpanExport, len(rt.Spans)),
+	}
+	for i, sp := range rt.Spans {
+		te.Spans[i] = exportSpan(sp)
+	}
+	return te
+}

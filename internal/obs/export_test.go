@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// retainTwoSpanTrace pushes a two-span trace (root + child) through a
+// recorder, classified slow so it is always retained.
+func retainTwoSpanTrace(r *Recorder, id string) (rootSpanID, childSpanID string) {
+	rootSpanID, childSpanID = NewSpanID().String(), NewSpanID().String()
+	child := Span{
+		Name:     "router.backend",
+		TraceID:  id,
+		SpanID:   childSpanID,
+		ParentID: rootSpanID,
+		Start:    time.Now(),
+		Duration: 5 * time.Millisecond,
+		Attrs:    []Attr{String("backend", "b1:8080"), String("shard", "s0"), String("role", "primary")},
+	}
+	root := Span{
+		Name:     "router.fill",
+		TraceID:  id,
+		SpanID:   rootSpanID,
+		Start:    time.Now(),
+		Duration: time.Second, // slow: always retained
+	}
+	r.add(child)
+	r.add(root)
+	r.finish(id, root)
+	return rootSpanID, childSpanID
+}
+
+func TestExportTrace(t *testing.T) {
+	r := NewRecorder(RecorderOptions{SlowThreshold: 100 * time.Millisecond})
+	id := "4bf92f3577b34da6a3ce929d0e0e4736"
+	rootID, childID := retainTwoSpanTrace(r, id)
+
+	rt, ok := r.Trace(id)
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	te := ExportTrace(rt, "router:8090")
+	if te.Node != "router:8090" || te.TraceID != id || te.Root != "router.fill" {
+		t.Fatalf("export envelope wrong: %+v", te)
+	}
+	if te.DurationNanos != int64(time.Second) {
+		t.Fatalf("export duration = %d", te.DurationNanos)
+	}
+	if len(te.Spans) != 2 {
+		t.Fatalf("exported %d spans, want 2", len(te.Spans))
+	}
+	byID := map[string]SpanExport{}
+	for _, sp := range te.Spans {
+		byID[sp.SpanID] = sp
+	}
+	child := byID[childID]
+	if child.ParentID != rootID || child.Name != "router.backend" {
+		t.Fatalf("child span wrong: %+v", child)
+	}
+	if len(child.Attrs) != 3 || child.Attrs[0].Key != "backend" {
+		t.Fatalf("child attrs lost: %+v", child.Attrs)
+	}
+	if child.DurationNanos != int64(5*time.Millisecond) {
+		t.Fatalf("child duration = %d", child.DurationNanos)
+	}
+}
+
+func TestDebugTraceExportEndpoint(t *testing.T) {
+	r := NewRecorder(RecorderOptions{SlowThreshold: 100 * time.Millisecond})
+	id := "4bf92f3577b34da6a3ce929d0e0e4736"
+	retainTwoSpanTrace(r, id)
+
+	srv := httptest.NewServer(DebugHandler(DebugOptions{Recorder: r, Node: "n1:7071"}))
+	defer srv.Close()
+
+	var te TraceExport
+	if err := json.Unmarshal(get(t, srv, "/debug/traces/"+id+"?format=export"), &te); err != nil {
+		t.Fatalf("export not JSON: %v", err)
+	}
+	if te.Node != "n1:7071" || te.TraceID != id || len(te.Spans) != 2 {
+		t.Fatalf("export wrong: node=%q trace=%q spans=%d", te.Node, te.TraceID, len(te.Spans))
+	}
+	// The default (non-export) format still serves the RecordedTrace shape.
+	var rt RecordedTrace
+	if err := json.Unmarshal(get(t, srv, "/debug/traces/"+id), &rt); err != nil {
+		t.Fatalf("default format not JSON: %v", err)
+	}
+	if rt.TraceID != id {
+		t.Fatalf("default format trace = %q", rt.TraceID)
+	}
+}
+
+// TestDebugTraceNotFoundEnvelope is the ISSUE 10 satellite: an unknown trace
+// ID answers with the structured JSON error envelope (code, message,
+// trace_id), not a bare 404 body.
+func TestDebugTraceNotFoundEnvelope(t *testing.T) {
+	srv := httptest.NewServer(DebugHandler(DebugOptions{
+		Recorder: NewRecorder(RecorderOptions{}),
+	}))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/traces/deadbeefdeadbeefdeadbeefdeadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("404 body is not the error envelope: %v\n%s", err, body)
+	}
+	if env.Error.Code != "not_found" || env.Error.Message == "" {
+		t.Fatalf("envelope wrong: %+v", env)
+	}
+	if env.TraceID != "deadbeefdeadbeefdeadbeefdeadbeef" {
+		t.Fatalf("envelope trace_id = %q", env.TraceID)
+	}
+}
+
+func TestDebugEventsEndpoint(t *testing.T) {
+	j := NewJournal(JournalConfig{Node: "n1:7071", Capacity: 8})
+	j.Append(JournalEvent{Kind: EventBreaker, Subject: "b1", From: "closed", To: "open"})
+	j.Append(JournalEvent{Kind: EventTableSwap, Previous: 3, Version: 4, Concepts: []string{"Color", "Brand"}})
+
+	srv := httptest.NewServer(DebugHandler(DebugOptions{Journal: j}))
+	defer srv.Close()
+
+	var ex JournalExport
+	if err := json.Unmarshal(get(t, srv, "/debug/events"), &ex); err != nil {
+		t.Fatalf("/debug/events not JSON: %v", err)
+	}
+	if ex.Node != "n1:7071" || ex.Total != 2 || len(ex.Events) != 2 {
+		t.Fatalf("journal export wrong: %+v", ex)
+	}
+	if ex.Events[1].Kind != EventTableSwap || ex.Events[1].Version != 4 || len(ex.Events[1].Concepts) != 2 {
+		t.Fatalf("table swap event wrong over HTTP: %+v", ex.Events[1])
+	}
+}

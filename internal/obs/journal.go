@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Journal event kinds — the state transitions worth a timeline entry. Every
+// kind is pre-registered as one thor.events{kind=…} counter series, so the
+// /metrics exposition carries thor_events_total{kind="…"} without any
+// per-append name formatting.
+const (
+	// EventBreaker records a circuit-breaker state change
+	// (closed→open→half-open→…). Subject is the backend host, From/To the
+	// breaker states.
+	EventBreaker = "breaker"
+	// EventSLO records the SLO engine flipping between healthy and degraded.
+	// Subject names the violating streams on the degraded edge.
+	EventSLO = "slo"
+	// EventTableSwap records a live-table version swap. Previous/Version are
+	// the old and new versions; Concepts lists the invalidated concepts.
+	EventTableSwap = "table_swap"
+	// EventDrain records drain lifecycle edges: a server beginning its drain
+	// (To="begin"), finishing it (To="end"), and a superseded table version's
+	// last reader finishing (Subject="table", Version set).
+	EventDrain = "drain"
+	// EventTopology records a topology load or reload; Subject summarizes
+	// the shard layout.
+	EventTopology = "topology"
+	// EventProfiler records a profiler capture burst; Subject is the capture
+	// reason ("degraded", "steady", "manual").
+	EventProfiler = "profiler"
+)
+
+// journalKinds is the pre-registered kind set. Unknown kinds still append
+// and count — they just pay one lazy registry resolution.
+var journalKinds = []string{
+	EventBreaker, EventSLO, EventTableSwap, EventDrain, EventTopology, EventProfiler,
+}
+
+// JournalEvent is one recorded state transition. The zero value of every
+// optional field is elided from JSON, so each kind serializes only the fields
+// it uses.
+type JournalEvent struct {
+	// Seq is the journal's monotonic per-process sequence number, assigned at
+	// append. Together with Time it gives merged fleet timelines a total
+	// order that survives wall-clock ties within one process.
+	Seq uint64 `json:"seq"`
+	// Time is the append wall-clock time.
+	Time time.Time `json:"time"`
+	// Kind classifies the transition (Event* constants).
+	Kind string `json:"kind"`
+	// Node attributes the event to a process. The journal leaves it empty —
+	// the export envelope carries the node once — and mergers (thorctl
+	// -events) stamp it per event when flattening fleets.
+	Node string `json:"node,omitempty"`
+	// Subject is what transitioned: a backend host, an SLO stream list, a
+	// shard ID.
+	Subject string `json:"subject,omitempty"`
+	// From and To are the transition's endpoints ("closed"→"open",
+	// "healthy"→"degraded", ""→"begin").
+	From string `json:"from,omitempty"`
+	// To is the state transitioned into.
+	To string `json:"to,omitempty"`
+	// TraceID is the trace that triggered the transition, when one exists —
+	// the bridge from a timeline entry to a stitchable trace.
+	TraceID string `json:"trace_id,omitempty"`
+	// Version and Previous carry table versions on table_swap/drain events.
+	Version uint64 `json:"version,omitempty"`
+	// Previous is the superseded table version on table_swap events.
+	Previous uint64 `json:"previous,omitempty"`
+	// Concepts lists the concepts a table swap invalidated.
+	Concepts []string `json:"concepts,omitempty"`
+	// Detail carries free-form context (counts, reasons) preformatted by the
+	// emitter — never formatted on the append path.
+	Detail string `json:"detail,omitempty"`
+}
+
+// JournalConfig configures a Journal.
+type JournalConfig struct {
+	// Capacity bounds the ring; once full the newest events overwrite the
+	// oldest. Zero defaults to 512.
+	Capacity int
+	// Node is the process's self-reported identity (host:port), carried on
+	// the /debug/events export envelope.
+	Node string
+	// Registry, when set, receives one thor.events{kind=…} counter per kind.
+	Registry *Registry
+	// Now is the clock (default time.Now).
+	Now func() time.Time
+}
+
+// DefaultJournalCapacity is the ring size for JournalConfig.Capacity <= 0.
+const DefaultJournalCapacity = 512
+
+// Journal is a bounded, mergeable ring of state-transition events: breaker
+// flips, SLO degradations, table swaps, drains — the "what changed right
+// before it" half of an incident timeline. Appends are allocation-free (the
+// ring is preallocated and per-kind counters are resolved at construction),
+// so journal hooks may sit on serving-path edges. A nil *Journal is a valid
+// disabled journal.
+type Journal struct {
+	node string
+	now  func() time.Time
+	reg  *Registry
+
+	// counters maps pre-registered kinds to their series counters. The map
+	// is read-only after construction, so Append reads it without locking.
+	counters map[string]*Counter
+
+	mu   sync.Mutex
+	ring []JournalEvent
+	seq  uint64 // events ever appended
+}
+
+// NewJournal returns a journal with the given configuration.
+func NewJournal(cfg JournalConfig) *Journal {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultJournalCapacity
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	j := &Journal{
+		node:     cfg.Node,
+		now:      cfg.Now,
+		reg:      cfg.Registry,
+		counters: make(map[string]*Counter, len(journalKinds)),
+		ring:     make([]JournalEvent, cfg.Capacity),
+	}
+	for _, k := range journalKinds {
+		j.counters[k] = cfg.Registry.Counter(LabeledName("thor.events", "kind", k))
+	}
+	return j
+}
+
+// Node returns the journal's self-reported process identity.
+func (j *Journal) Node() string {
+	if j == nil {
+		return ""
+	}
+	return j.node
+}
+
+// Append records one event, assigning its sequence number and (when unset)
+// its timestamp. Allocation-free for the pre-registered kinds: string fields
+// are retained as passed, never formatted. Nil-safe.
+func (j *Journal) Append(ev JournalEvent) {
+	if j == nil {
+		return
+	}
+	c := j.counters[ev.Kind]
+	if c == nil && j.reg != nil {
+		c = j.reg.Counter(LabeledName("thor.events", "kind", ev.Kind))
+	}
+	c.Add(1)
+	if ev.Time.IsZero() {
+		ev.Time = j.now()
+	}
+	j.mu.Lock()
+	j.seq++
+	ev.Seq = j.seq
+	j.ring[(j.seq-1)%uint64(len(j.ring))] = ev
+	j.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (j *Journal) Events() []JournalEvent {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := j.seq
+	cap := uint64(len(j.ring))
+	if n > cap {
+		out := make([]JournalEvent, 0, cap)
+		start := n % cap // oldest retained slot
+		out = append(out, j.ring[start:]...)
+		out = append(out, j.ring[:start]...)
+		return out
+	}
+	out := make([]JournalEvent, n)
+	copy(out, j.ring[:n])
+	return out
+}
+
+// JournalExport is the /debug/events payload: one process's retained events
+// plus the attribution a fleet merger needs.
+type JournalExport struct {
+	// Node is the process's self-reported identity ("" when unconfigured;
+	// mergers then fall back to the address they fetched from).
+	Node string `json:"node,omitempty"`
+	// Total counts every event ever appended; Dropped = Total - len(Events).
+	Total uint64 `json:"total"`
+	// Dropped is the number of events overwritten in the ring.
+	Dropped uint64 `json:"dropped"`
+	// Events are the retained events, oldest first.
+	Events []JournalEvent `json:"events"`
+}
+
+// Export captures the journal for serialization.
+func (j *Journal) Export() JournalExport {
+	events := j.Events()
+	var total uint64
+	if j != nil {
+		j.mu.Lock()
+		total = j.seq
+		j.mu.Unlock()
+	}
+	return JournalExport{
+		Node:    j.Node(),
+		Total:   total,
+		Dropped: total - uint64(len(events)),
+		Events:  events,
+	}
+}

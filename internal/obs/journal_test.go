@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJournalAppendAndOrder(t *testing.T) {
+	now := time.Unix(1000, 0)
+	j := NewJournal(JournalConfig{
+		Capacity: 8,
+		Node:     "n1:8080",
+		Now:      func() time.Time { now = now.Add(time.Second); return now },
+	})
+	j.Append(JournalEvent{Kind: EventBreaker, Subject: "b1", From: "closed", To: "open"})
+	j.Append(JournalEvent{Kind: EventSLO, From: "healthy", To: "degraded"})
+	j.Append(JournalEvent{Kind: EventTableSwap, Previous: 1, Version: 2, Concepts: []string{"Color"}})
+
+	evs := j.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Time.IsZero() {
+			t.Fatalf("event %d has zero time", i)
+		}
+		if i > 0 && !evs[i-1].Time.Before(ev.Time) {
+			t.Fatalf("events out of time order: %v !< %v", evs[i-1].Time, ev.Time)
+		}
+	}
+	if evs[0].Kind != EventBreaker || evs[0].From != "closed" || evs[0].To != "open" {
+		t.Fatalf("breaker event wrong: %+v", evs[0])
+	}
+	if evs[2].Previous != 1 || evs[2].Version != 2 || len(evs[2].Concepts) != 1 {
+		t.Fatalf("table swap event wrong: %+v", evs[2])
+	}
+}
+
+func TestJournalRingOverwrite(t *testing.T) {
+	j := NewJournal(JournalConfig{Capacity: 4, Node: "n"})
+	for i := 0; i < 10; i++ {
+		j.Append(JournalEvent{Kind: EventDrain, Subject: fmt.Sprintf("s%d", i)})
+	}
+	ex := j.Export()
+	if ex.Total != 10 || ex.Dropped != 6 || len(ex.Events) != 4 {
+		t.Fatalf("export totals wrong: total=%d dropped=%d retained=%d", ex.Total, ex.Dropped, len(ex.Events))
+	}
+	// Oldest-first: the retained window is s6..s9 with ascending seq.
+	for i, ev := range ex.Events {
+		if want := fmt.Sprintf("s%d", i+6); ev.Subject != want {
+			t.Fatalf("event %d subject = %q, want %q", i, ev.Subject, want)
+		}
+		if ev.Seq != uint64(i+7) {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, i+7)
+		}
+	}
+	if ex.Node != "n" {
+		t.Fatalf("export node = %q", ex.Node)
+	}
+}
+
+func TestJournalCountsPerKind(t *testing.T) {
+	reg := NewRegistry()
+	j := NewJournal(JournalConfig{Registry: reg})
+	j.Append(JournalEvent{Kind: EventBreaker})
+	j.Append(JournalEvent{Kind: EventBreaker})
+	j.Append(JournalEvent{Kind: EventSLO})
+	j.Append(JournalEvent{Kind: "custom"}) // unknown kind: lazily registered
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[`thor.events{kind="breaker"}`]; got != 2 {
+		t.Fatalf("breaker count = %d, want 2", got)
+	}
+	if got := snap.Counters[`thor.events{kind="slo"}`]; got != 1 {
+		t.Fatalf("slo count = %d, want 1", got)
+	}
+	if got := snap.Counters[`thor.events{kind="custom"}`]; got != 1 {
+		t.Fatalf("custom count = %d, want 1", got)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Append(JournalEvent{Kind: EventDrain}) // must not panic
+	if j.Events() != nil {
+		t.Fatal("nil journal should have no events")
+	}
+	if j.Node() != "" {
+		t.Fatal("nil journal should have no node")
+	}
+	ex := j.Export()
+	if ex.Total != 0 || len(ex.Events) != 0 {
+		t.Fatalf("nil journal export not empty: %+v", ex)
+	}
+	// A journal without a registry must also work.
+	noReg := NewJournal(JournalConfig{Capacity: 2})
+	noReg.Append(JournalEvent{Kind: EventBreaker})
+	if len(noReg.Events()) != 1 {
+		t.Fatal("registry-less journal dropped its event")
+	}
+}
+
+func TestJournalConcurrentAppends(t *testing.T) {
+	j := NewJournal(JournalConfig{Capacity: 64, Registry: NewRegistry()})
+	var wg sync.WaitGroup
+	const writers, each = 8, 100
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				j.Append(JournalEvent{Kind: EventBreaker, Subject: "b"})
+			}
+		}()
+	}
+	wg.Wait()
+	ex := j.Export()
+	if ex.Total != writers*each {
+		t.Fatalf("total = %d, want %d", ex.Total, writers*each)
+	}
+	if len(ex.Events) != 64 {
+		t.Fatalf("retained = %d, want 64", len(ex.Events))
+	}
+	// Sequence numbers in the retained window are dense and ascending.
+	for i := 1; i < len(ex.Events); i++ {
+		if ex.Events[i].Seq != ex.Events[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs: %d then %d", ex.Events[i-1].Seq, ex.Events[i].Seq)
+		}
+	}
+}
+
+// TestJournalAppendZeroAlloc is the ISSUE 10 allocation gate: journal appends
+// sit on serving-path edges (drain begin, breaker flips), so an append of a
+// pre-registered kind with preformatted strings must not allocate.
+func TestJournalAppendZeroAlloc(t *testing.T) {
+	j := NewJournal(JournalConfig{Capacity: 128, Registry: NewRegistry(), Node: "n"})
+	ev := JournalEvent{Kind: EventBreaker, Subject: "b1:8080", From: "closed", To: "open"}
+	j.Append(ev) // warm the path
+	allocs := testing.AllocsPerRun(100, func() {
+		j.Append(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("journal append allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestJournalEventJSONElidesZeroFields(t *testing.T) {
+	j := NewJournal(JournalConfig{Capacity: 2})
+	j.Append(JournalEvent{Kind: EventDrain, To: "begin"})
+	raw, err := json.Marshal(j.Events()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"subject", "from", "trace_id", "version", "previous", "concepts", "detail", "node"} {
+		if jsonHasKey(raw, absent) {
+			t.Fatalf("zero field %q not elided: %s", absent, raw)
+		}
+	}
+	for _, present := range []string{"seq", "time", "kind", "to"} {
+		if !jsonHasKey(raw, present) {
+			t.Fatalf("field %q missing: %s", present, raw)
+		}
+	}
+}
+
+// jsonHasKey reports whether a marshaled JSON object has the given top-level
+// key.
+func jsonHasKey(raw []byte, key string) bool {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}

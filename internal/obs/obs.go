@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/binary"
 	"math"
 	"sort"
 	"sync"
@@ -121,6 +122,17 @@ type Histogram struct {
 	sum     atomic.Int64 // nanoseconds
 	min     atomic.Int64 // nanoseconds+1; 0 until the first observation
 	max     atomic.Int64 // nanoseconds
+
+	// Exemplar slot: the trace ID of a recent bucket-max observation, kept
+	// consistent across its four words by a seqlock (exSeq odd while a write
+	// is in flight, 0 until the first capture). Writers that lose the CAS
+	// simply drop their candidate — exemplars are best-effort — so the slot
+	// adds no locking and no allocation to the observe path.
+	exSeq  atomic.Uint64
+	exHi   atomic.Uint64 // trace ID bytes 0..7, big-endian
+	exLo   atomic.Uint64 // trace ID bytes 8..15, big-endian
+	exNS   atomic.Int64  // observed duration, nanoseconds
+	exUnix atomic.Int64  // capture wall clock, unix nanoseconds
 }
 
 // Observe records one duration. Negative durations clamp to zero. No-op on a
@@ -160,6 +172,90 @@ func (h *Histogram) ObserveSince(start time.Time) {
 		return
 	}
 	h.Observe(time.Since(start))
+}
+
+// exemplarMaxAge bounds how long a retained exemplar outranks smaller-bucket
+// observations: past it, any traced observation refreshes the slot so the
+// exposed trace ID stays recent enough to still be in a flight recorder.
+const exemplarMaxAge = int64(60 * time.Second)
+
+// ObserveTrace records one duration like Observe and, when the observation
+// comes from a traced request, offers its trace ID as the histogram's
+// exemplar. The slot keeps the trace of a recent bucket-max observation: a
+// new observation replaces it when it lands in an equal-or-higher bucket, or
+// when the retained exemplar has gone stale. Allocation-free; no-op exemplar
+// capture on a zero trace ID.
+func (h *Histogram) ObserveTrace(d time.Duration, trace TraceID) {
+	if h == nil {
+		return
+	}
+	h.Observe(d)
+	if trace.IsZero() {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	now := time.Now().UnixNano()
+	s := h.exSeq.Load()
+	if s&1 == 1 {
+		return // another writer is mid-capture; drop this candidate
+	}
+	if s != 0 &&
+		bucketIndex(d) < bucketIndex(time.Duration(h.exNS.Load())) &&
+		now-h.exUnix.Load() < exemplarMaxAge {
+		return
+	}
+	if !h.exSeq.CompareAndSwap(s, s+1) {
+		return
+	}
+	h.exHi.Store(binary.BigEndian.Uint64(trace[:8]))
+	h.exLo.Store(binary.BigEndian.Uint64(trace[8:]))
+	h.exNS.Store(int64(d))
+	h.exUnix.Store(now)
+	h.exSeq.Store(s + 2)
+}
+
+// Exemplar links a histogram to one recent traced observation — the
+// OpenMetrics exemplar the exposition renders on the matching bucket line.
+type Exemplar struct {
+	// TraceID is the observation's trace (32 hex digits).
+	TraceID string `json:"traceId"`
+	// ValueSeconds is the observed duration in seconds.
+	ValueSeconds float64 `json:"valueSeconds"`
+	// Time is when the exemplar was captured.
+	Time time.Time `json:"time"`
+}
+
+// exemplar reads the slot consistently (retrying a bounded number of times
+// if captures race the read); nil when no traced observation was recorded.
+func (h *Histogram) exemplar() *Exemplar {
+	if h == nil {
+		return nil
+	}
+	for tries := 0; tries < 8; tries++ {
+		s1 := h.exSeq.Load()
+		if s1 == 0 {
+			return nil
+		}
+		if s1&1 == 1 {
+			continue
+		}
+		hi, lo := h.exHi.Load(), h.exLo.Load()
+		ns, unix := h.exNS.Load(), h.exUnix.Load()
+		if h.exSeq.Load() != s1 {
+			continue
+		}
+		var t TraceID
+		binary.BigEndian.PutUint64(t[:8], hi)
+		binary.BigEndian.PutUint64(t[8:], lo)
+		return &Exemplar{
+			TraceID:      t.String(),
+			ValueSeconds: time.Duration(ns).Seconds(),
+			Time:         time.Unix(0, unix),
+		}
+	}
+	return nil
 }
 
 // Count returns the number of observations.
@@ -218,6 +314,7 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	s.P50Seconds = quantile(counts, s.Count, 0.50)
 	s.P95Seconds = quantile(counts, s.Count, 0.95)
 	s.P99Seconds = quantile(counts, s.Count, 0.99)
+	s.Exemplar = h.exemplar()
 	return s
 }
 
@@ -280,6 +377,9 @@ type HistogramSnapshot struct {
 	P99Seconds float64 `json:"p99Seconds"`
 	// Buckets is the raw distribution.
 	Buckets []BucketCount `json:"buckets,omitempty"`
+	// Exemplar is the trace link of a recent bucket-max observation (absent
+	// until a traced observation is recorded via ObserveTrace).
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Snapshot is a point-in-time JSON-serializable view of a Registry.

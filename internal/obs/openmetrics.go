@@ -78,11 +78,24 @@ func sanitizeMetricName(name string) string {
 }
 
 // omSample is one exposition line within a family: an optional magic suffix
-// (_total, _bucket, _sum, _count, …), a label block and a value.
+// (_total, _bucket, _sum, _count, …), a label block, a value and an optional
+// exemplar.
 type omSample struct {
-	suffix string
-	labels string // rendered label pairs, no braces; "" when unlabeled
-	value  float64
+	suffix   string
+	labels   string // rendered label pairs, no braces; "" when unlabeled
+	value    float64
+	exemplar string // rendered " # {labels} value ts" suffix; "" when absent
+}
+
+// renderExemplar renders an exemplar in OpenMetrics syntax for attachment
+// after a sample value: " # {trace_id=\"…\"} <value> <unix seconds>".
+func renderExemplar(ex *Exemplar) string {
+	if ex == nil || ex.TraceID == "" {
+		return ""
+	}
+	ts := strconv.FormatFloat(float64(ex.Time.UnixNano())/1e9, 'f', 3, 64)
+	return ` # {trace_id="` + escapeLabelValue(ex.TraceID) + `"} ` +
+		formatValue(ex.ValueSeconds) + " " + ts
 }
 
 // omFamily is one metric family to render: a TYPE line plus its samples.
@@ -169,7 +182,7 @@ func (fs *familySet) write(w io.Writer) error {
 			if s.labels != "" {
 				line += "{" + s.labels + "}"
 			}
-			if _, err := fmt.Fprintf(w, "%s %s\n", line, formatValue(s.value)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %s%s\n", line, formatValue(s.value), s.exemplar); err != nil {
 				return err
 			}
 		}
@@ -233,13 +246,21 @@ func (fs *familySet) addRegistry(reg *Registry) {
 		h := snap.Histograms[name]
 		fam, labels := splitLabeled(name)
 		fname := histogramFamily(fam)
+		// The exemplar attaches to the first bucket whose range covers its
+		// value — per OpenMetrics, exemplars ride on _bucket sample lines.
+		exemplar := renderExemplar(h.Exemplar)
 		for _, b := range h.Buckets {
-			le := `le="` + formatValue(leSeconds(b.LE)) + `"`
-			fs.add(fname, "histogram", "", omSample{
+			bound := leSeconds(b.LE)
+			le := `le="` + formatValue(bound) + `"`
+			s := omSample{
 				suffix: "_bucket",
 				labels: joinLabels(labels, le),
 				value:  float64(b.Cumulative),
-			})
+			}
+			if exemplar != "" && h.Exemplar.ValueSeconds <= bound {
+				s.exemplar, exemplar = exemplar, ""
+			}
+			fs.add(fname, "histogram", "", s)
 		}
 		fs.add(fname, "histogram", "", omSample{suffix: "_sum", labels: labels, value: h.SumSeconds})
 		fs.add(fname, "histogram", "", omSample{suffix: "_count", labels: labels, value: float64(h.Count)})

@@ -48,6 +48,11 @@ type ProfilerConfig struct {
 	// Capacity bounds the in-memory profile ring; the oldest capture is
 	// evicted first. Zero defaults to 32 profiles.
 	Capacity int
+	// OnBurst, when set, fires once per capture burst (not per profile)
+	// with the burst reason — the seam the daemon uses to journal profiler
+	// activity. It runs on the capturing goroutine, before the profiles of
+	// the burst are taken.
+	OnBurst func(reason string)
 	// Now overrides the clock — the deterministic test seam. Nil uses
 	// time.Now.
 	Now func() time.Time
@@ -218,6 +223,9 @@ func infoSeq(id string) int64 {
 // capture performs one burst: CPU (unless disabled), heap and goroutine
 // profiles, each stored with the recorder's current trace IDs.
 func (p *Profiler) capture(reason string, now time.Time) {
+	if p.cfg.OnBurst != nil {
+		p.cfg.OnBurst(reason)
+	}
 	var traceIDs []string
 	if p.cfg.TraceIDs != nil {
 		traceIDs = p.cfg.TraceIDs()

@@ -53,6 +53,12 @@ type DebugOptions struct {
 	SLO *SLO
 	// Profiler feeds /debug/profiles and /debug/profiles/{id}.
 	Profiler *Profiler
+	// Journal feeds /debug/events.
+	Journal *Journal
+	// Node is the process identity stamped onto trace exports
+	// (/debug/traces/{id}?format=export). Falls back to the journal's node
+	// when empty.
+	Node string
 }
 
 // Handler returns the debug mux for the given registry, tracer and flight
@@ -73,12 +79,18 @@ func Handler(reg *Registry, tr *Tracer, rec *Recorder) http.Handler {
 //	/debug/thor/spans    — the tracer's span ring buffer as JSON
 //	/debug/traces        — the flight recorder's retained-trace listing
 //	/debug/traces/{id}   — one retained trace's full span tree
+//	                       (?format=export serves the TraceExport wire form)
+//	/debug/events        — the journal's state-transition timeline
 //
 // Each call builds a fresh mux, so any number of debug handlers (and debug
 // servers) can coexist in one process — multi-shard tests construct several
 // — without duplicate-registration panics.
 func DebugHandler(opts DebugOptions) http.Handler {
 	reg, tr, rec := opts.Registry, opts.Tracer, opts.Recorder
+	node := opts.Node
+	if node == "" {
+		node = opts.Journal.Node()
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(reg, opts.SLO))
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -107,14 +119,45 @@ func DebugHandler(opts DebugOptions) http.Handler {
 		id := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
 		rt, ok := rec.Trace(id)
 		if !ok {
-			w.Header().Set("Content-Type", "application/json; charset=utf-8")
-			w.WriteHeader(http.StatusNotFound)
-			_, _ = fmt.Fprintf(w, "{\"error\":\"trace %q not retained\"}\n", id)
+			writeErrorEnvelope(w, http.StatusNotFound, "not_found",
+				fmt.Sprintf("trace %q not retained", id), id)
+			return
+		}
+		if r.URL.Query().Get("format") == "export" {
+			writeIndentedJSON(w, ExportTrace(rt, node))
 			return
 		}
 		writeIndentedJSON(w, rt)
 	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+		writeIndentedJSON(w, opts.Journal.Export())
+	})
 	return mux
+}
+
+// errorEnvelope mirrors the serving tier's uniform error body
+// ({"error":{"code","message"},"trace_id"}) — replicated here because obs
+// sits below internal/serve in the import graph.
+type errorEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// writeErrorEnvelope writes the structured JSON error envelope the rest of
+// the system uses, so debug-endpoint failures parse like any other error.
+func writeErrorEnvelope(w http.ResponseWriter, status int, code, message, traceID string) {
+	var body errorEnvelope
+	body.Error.Code = code
+	body.Error.Message = message
+	body.TraceID = traceID
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
 }
 
 // writeIndentedJSON writes v as indented JSON with the standard header.

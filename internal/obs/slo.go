@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,6 +39,14 @@ type SLOConfig struct {
 	// Now overrides the clock — the deterministic test seam. Nil uses
 	// time.Now.
 	Now func() time.Time
+	// OnTransition, when set, fires on every healthy<->degraded edge
+	// observed by Status(): degraded reports the new state, violating the
+	// violating streams at the transition (nil on recovery). It fires at
+	// most once per edge — Status() is polled concurrently by /readyz,
+	// /metrics and the profiler, and only the poll that wins the state CAS
+	// invokes the callback. The very first evaluation never fires: a
+	// fresh engine entering its initial state is not a transition.
+	OnTransition func(degraded bool, violating []string)
 }
 
 func (c SLOConfig) withDefaults() SLOConfig {
@@ -131,6 +140,11 @@ type SLO struct {
 	cfg SLOConfig
 
 	streams map[string]*sloStream
+
+	// lastState is the edge detector behind OnTransition: 0 = never
+	// evaluated, 1 = healthy, 2 = degraded. Status() CASes the observed
+	// state in so exactly one concurrent poll fires the callback per edge.
+	lastState atomic.Int32
 }
 
 // NewSLO returns an SLO engine with the given configuration.
@@ -194,7 +208,6 @@ func (s *SLO) Status() SLOStatus {
 		return out
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	out.WindowSeconds = s.cfg.Window.Seconds()
 	out.LatencyObjectiveMS = float64(s.cfg.Latency) / float64(time.Millisecond)
 	epoch := s.cfg.Now().UnixNano() / int64(s.sliceDur())
@@ -206,8 +219,38 @@ func (s *SLO) Status() SLOStatus {
 			out.Violating = append(out.Violating, name)
 		}
 	}
+	s.mu.Unlock()
 	sort.Strings(out.Violating)
+	s.fireTransition(out)
 	return out
+}
+
+// fireTransition runs the OnTransition edge detector against one snapshot.
+// It is called after the engine lock is released, so the callback may call
+// back into the engine freely; the CAS below is the only synchronization
+// the edge itself needs.
+func (s *SLO) fireTransition(st SLOStatus) {
+	if s.cfg.OnTransition == nil {
+		return
+	}
+	state := int32(1)
+	if st.Degraded {
+		state = 2
+	}
+	for {
+		prev := s.lastState.Load()
+		if prev == state {
+			return // no edge
+		}
+		if !s.lastState.CompareAndSwap(prev, state) {
+			continue // raced with a concurrent poll; re-inspect
+		}
+		if prev == 0 {
+			return // first evaluation: initial state, not a transition
+		}
+		s.cfg.OnTransition(st.Degraded, st.Violating)
+		return
+	}
 }
 
 // streamStatusLocked folds the live window slices of one stream: counters

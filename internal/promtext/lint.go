@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // Problem is one lint finding.
@@ -119,6 +120,7 @@ func lintFamily(f *Family) []Problem {
 				bad("invalid label name %q on %s", ln, s.Name)
 			}
 		}
+		out = append(out, lintExemplar(f, s)...)
 	}
 	switch f.Type {
 	case "counter":
@@ -127,6 +129,41 @@ func lintFamily(f *Family) []Problem {
 		out = append(out, lintHistogram(f)...)
 	case "summary":
 		out = append(out, lintSummary(f)...)
+	}
+	return out
+}
+
+// lintExemplar checks one sample's exemplar, when present: OpenMetrics
+// allows exemplars only on histogram _bucket and counter _total samples,
+// label names must be valid, the combined label-set length is bounded at 128
+// runes, and a bucket exemplar's value must not exceed its le bound.
+func lintExemplar(f *Family, s Sample) []Problem {
+	if s.Exemplar == nil {
+		return nil
+	}
+	var out []Problem
+	bad := func(format string, args ...any) {
+		out = append(out, Problem{Family: f.Name, Msg: fmt.Sprintf(format, args...)})
+	}
+	isBucket := f.Type == "histogram" && s.Name == f.Name+"_bucket"
+	isTotal := f.Type == "counter" && s.Name == f.Name+"_total"
+	if !isBucket && !isTotal {
+		bad("exemplar on %s: exemplars are allowed only on histogram _bucket and counter _total samples", s.Name)
+	}
+	runes := 0
+	for ln, lv := range s.Exemplar.Labels {
+		if !validLabelName(ln) {
+			bad("invalid exemplar label name %q on %s", ln, s.Name)
+		}
+		runes += utf8.RuneCountInString(ln) + utf8.RuneCountInString(lv)
+	}
+	if runes > 128 {
+		bad("exemplar label set on %s exceeds 128 runes (%d)", s.Name, runes)
+	}
+	if isBucket {
+		if le, err := parseLE(s.Label("le")); err == nil && s.Exemplar.Value > le {
+			bad("exemplar value %g on %s exceeds bucket le %g", s.Exemplar.Value, s.Name, le)
+		}
 	}
 	return out
 }

@@ -19,7 +19,8 @@ import (
 )
 
 // Sample is one exposition line: a metric name (including any magic suffix
-// such as _total or _bucket), its label set and its value.
+// such as _total or _bucket), its label set, its value and an optional
+// OpenMetrics exemplar.
 type Sample struct {
 	// Name is the full sample name as written.
 	Name string
@@ -27,6 +28,22 @@ type Sample struct {
 	Labels map[string]string
 	// Value is the sample value (+Inf/-Inf/NaN parse to the IEEE values).
 	Value float64
+	// Exemplar is the sample's exemplar, when the line carries one
+	// (" # {labels} value [timestamp]" after the sample value).
+	Exemplar *Exemplar
+}
+
+// Exemplar is one sample's OpenMetrics exemplar: a label set (typically
+// trace_id), a value and an optional timestamp.
+type Exemplar struct {
+	// Labels maps exemplar label names to (unescaped) values; may be empty.
+	Labels map[string]string
+	// Value is the exemplar value.
+	Value float64
+	// HasTimestamp reports whether the line carried an exemplar timestamp.
+	HasTimestamp bool
+	// Timestamp is the exemplar timestamp in unix seconds (0 when absent).
+	Timestamp float64
 }
 
 // Label returns the value of the named label ("" when absent).
@@ -202,7 +219,8 @@ func (e *Exposition) parseComment(line string) error {
 	return nil
 }
 
-// parseSample parses one sample line: name[{labels}] value [timestamp].
+// parseSample parses one sample line:
+// name[{labels}] value [timestamp] [# {exemplar-labels} value [timestamp]].
 func parseSample(line string) (Sample, error) {
 	var s Sample
 	rest := line
@@ -222,6 +240,17 @@ func parseSample(line string) (Sample, error) {
 		rest = tail
 	}
 	rest = strings.TrimLeft(rest, " ")
+	// An OpenMetrics exemplar is introduced by " # " after the value (and
+	// optional timestamp). The sample's own label block is already consumed,
+	// so the first occurrence here is the introducer, never label content.
+	if j := strings.Index(rest, " # "); j >= 0 {
+		ex, err := parseExemplar(rest[j+3:])
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", s.Name, err)
+		}
+		s.Exemplar = ex
+		rest = rest[:j]
+	}
 	// Value is the next field; an optional timestamp may follow.
 	if j := strings.IndexByte(rest, ' '); j >= 0 {
 		rest = rest[:j]
@@ -235,6 +264,39 @@ func parseSample(line string) (Sample, error) {
 	}
 	s.Value = v
 	return s, nil
+}
+
+// parseExemplar parses an exemplar clause: "{labels} value [timestamp]".
+// The label block is mandatory (it may be empty: "{}"), the value mandatory,
+// the timestamp optional; anything further is an error.
+func parseExemplar(in string) (*Exemplar, error) {
+	if in == "" || in[0] != '{' {
+		return nil, fmt.Errorf("exemplar must start with a label block")
+	}
+	labels, rest, err := parseLabels(in)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("exemplar missing value")
+	}
+	if len(fields) > 2 {
+		return nil, fmt.Errorf("exemplar has trailing fields %q", fields[2:])
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: bad value %q", fields[0])
+	}
+	ex := &Exemplar{Labels: labels, Value: v}
+	if len(fields) == 2 {
+		ts, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("exemplar: bad timestamp %q", fields[1])
+		}
+		ex.HasTimestamp, ex.Timestamp = true, ts
+	}
+	return ex, nil
 }
 
 // parseLabels parses a '{…}' label block, handling escaped quotes,

@@ -38,6 +38,9 @@ type Options struct {
 	// Tracer records router spans and threads traceparent to backends
 	// (nil disables tracing).
 	Tracer *obs.Tracer
+	// Journal, when set, records router state transitions — breaker flips
+	// and topology loads — into the event timeline served at /debug/events.
+	Journal *obs.Journal
 	// Logger, when set, logs breaker transitions, brownouts and probe
 	// state changes.
 	Logger *slog.Logger
@@ -202,6 +205,12 @@ func New(opts Options) (*Router, error) {
 		if rt.log != nil {
 			rt.log.Info("breaker transition", "backend", host, "from", from.String(), "to", to.String())
 		}
+		opts.Journal.Append(obs.JournalEvent{
+			Kind:    obs.EventBreaker,
+			Subject: host,
+			From:    from.String(),
+			To:      to.String(),
+		})
 	}
 	for _, sc := range m.Shards {
 		sh := &shardState{
@@ -224,6 +233,16 @@ func New(opts Options) (*Router, error) {
 		rt.wg.Add(1)
 		go rt.proberLoop()
 	}
+	var topo []string
+	for _, sh := range rt.shards {
+		topo = append(topo, fmt.Sprintf("%s×%d", sh.cfg.ID, len(sh.backends)))
+	}
+	opts.Journal.Append(obs.JournalEvent{
+		Kind:    obs.EventTopology,
+		To:      "loaded",
+		Subject: strings.Join(topo, ","),
+		Detail:  fmt.Sprintf("%d shards", len(rt.shards)),
+	})
 	return rt, nil
 }
 
@@ -366,7 +385,7 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request, fill bool)
 
 	counter.Add(1)
 	start := time.Now()
-	defer hist.ObserveSince(start)
+	defer func() { hist.ObserveTrace(time.Since(start), tc.Trace) }()
 
 	key := requestKey(names)
 	if len(rt.shards) == 1 {
@@ -548,7 +567,7 @@ func (rt *Router) attemptShard(ctx context.Context, sh *shardState, order []*bac
 	if primary == nil {
 		return callResult{}, chaos.MarkTransient(fmt.Errorf("shard %s: all breakers open", sh.cfg.ID))
 	}
-	return rt.hedgedCall(ctx, primary, fallbacks, endpoint, body)
+	return rt.hedgedCall(ctx, primary, fallbacks, endpoint, body, attempt)
 }
 
 // hedgedCall issues the request to primary and, if the reply is still
@@ -556,7 +575,7 @@ func (rt *Router) attemptShard(ctx context.Context, sh *shardState, order []*bac
 // The first success wins and the loser's context is cancelled; if all
 // started calls fail, the first failure is returned (the retry layer
 // rotates and backs off).
-func (rt *Router) hedgedCall(ctx context.Context, primary *backend, fallbacks []*backend, endpoint string, body []byte) (callResult, error) {
+func (rt *Router) hedgedCall(ctx context.Context, primary *backend, fallbacks []*backend, endpoint string, body []byte, attempt int) (callResult, error) {
 	type done struct {
 		res callResult
 		err error
@@ -569,15 +588,15 @@ func (rt *Router) hedgedCall(ctx context.Context, primary *backend, fallbacks []
 			c()
 		}
 	}()
-	launch := func(b *backend) {
+	launch := func(b *backend, role string) {
 		cctx, cancel := context.WithCancel(ctx)
 		cancels = append(cancels, cancel)
 		go func() {
-			res, err := rt.callBackend(cctx, b, endpoint, body)
+			res, err := rt.callBackend(cctx, b, endpoint, body, attempt, role)
 			ch <- done{res: res, err: err, b: b}
 		}()
 	}
-	launch(primary)
+	launch(primary, "primary")
 	inflight := 1
 
 	var hedgeC <-chan time.Time
@@ -620,7 +639,7 @@ func (rt *Router) hedgedCall(ctx context.Context, primary *backend, fallbacks []
 				continue
 			}
 			rt.mHedges.Add(1)
-			launch(hedge)
+			launch(hedge, "hedge")
 			inflight++
 		case <-ctx.Done():
 			return callResult{}, ctx.Err()
@@ -671,12 +690,18 @@ func (e *errHTTP) Error() string {
 	return fmt.Sprintf("backend %s: http %d", e.res.backend, e.res.status)
 }
 
-// callBackend issues one HTTP call: child span, traceparent injection,
-// latency observation, breaker accounting, and error classification
-// (connection failures and 5xx transient, 503 additionally carrying the
-// server's Retry-After hint; other 4xx permanent).
-func (rt *Router) callBackend(ctx context.Context, b *backend, endpoint string, body []byte) (callResult, error) {
-	sctx, span := rt.opts.Tracer.StartSpanCtx(ctx, "router.backend", obs.String("backend", b.host))
+// callBackend issues one HTTP call: child span tagged with the chosen
+// backend/shard and the call's retry-attempt and hedge role (so stitched
+// trace trees attribute every branch, winning or losing), traceparent
+// injection, latency observation, breaker accounting, and error
+// classification (connection failures and 5xx transient, 503 additionally
+// carrying the server's Retry-After hint; other 4xx permanent).
+func (rt *Router) callBackend(ctx context.Context, b *backend, endpoint string, body []byte, attempt int, role string) (callResult, error) {
+	sctx, span := rt.opts.Tracer.StartSpanCtx(ctx, "router.backend",
+		obs.String("backend", b.host),
+		obs.String("shard", b.shard),
+		obs.String("role", role),
+		obs.String("attempt", strconv.Itoa(attempt)))
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+endpoint, bytes.NewReader(body))
 	if err != nil {
 		if span != nil {
@@ -691,15 +716,20 @@ func (rt *Router) callBackend(ctx context.Context, b *backend, endpoint string, 
 	start := time.Now()
 	resp, err := rt.client.Do(req)
 	if err != nil {
-		if span != nil {
-			span.End()
-		}
 		if ctx.Err() != nil {
 			// Abandoned by our own cancellation (hedge loser, client gone):
 			// says nothing about the backend, so neither the breaker nor
 			// the latency sketch should count it.
+			if span != nil {
+				span.Annotate("router.backend.cancelled")
+				span.End()
+			}
 			b.observeCancelled()
 			return callResult{backend: b.host}, ctx.Err()
+		}
+		if span != nil {
+			span.Annotate("router.backend.failed", obs.String("reason", err.Error()))
+			span.End()
 		}
 		b.observe(time.Since(start), false)
 		return callResult{backend: b.host}, chaos.MarkTransient(fmt.Errorf("backend %s: %w", b.host, err))

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"thor/internal/obs"
 	"thor/internal/schema"
 	"thor/internal/tablestore"
 )
@@ -20,7 +21,10 @@ import (
 // extraction on it too).
 func TestServeZeroAllocWarmBatch(t *testing.T) {
 	table, space := testWorld()
-	s, err := NewServer(Options{Table: table, Space: space, Tau: 0.6, Workers: 1})
+	// A live journal rides along: its hooks sit on drain/swap edges, so its
+	// presence must not cost the warm batch path anything.
+	journal := obs.NewJournal(obs.JournalConfig{Node: "test"})
+	s, err := NewServer(Options{Table: table, Space: space, Tau: 0.6, Workers: 1, Journal: journal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +80,8 @@ func TestServeZeroAllocWarmBatch(t *testing.T) {
 // swap re-derives one concept and inherits every other warm cache.
 func TestServeZeroAllocAfterUnrelatedMutation(t *testing.T) {
 	table, space := testWorld()
-	s, err := NewServer(Options{Table: table, Space: space, Tau: 0.6, Workers: 1})
+	journal := obs.NewJournal(obs.JournalConfig{Node: "test"})
+	s, err := NewServer(Options{Table: table, Space: space, Tau: 0.6, Workers: 1, Journal: journal})
 	if err != nil {
 		t.Fatal(err)
 	}

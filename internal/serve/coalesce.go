@@ -117,6 +117,7 @@ func (s *Server) dispatch() {
 				case p := <-s.queue:
 					s.runChain(p)
 				default:
+					s.opts.Journal.Append(obs.JournalEvent{Kind: obs.EventDrain, Subject: "server", To: "end"})
 					return
 				}
 			}

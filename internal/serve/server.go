@@ -105,6 +105,11 @@ type Options struct {
 	// /debug/profiles/{id}. The caller owns its capture loop (obs.Profiler.Run),
 	// typically wired to SLO.Degraded — see cmd/thord.
 	Profiler *obs.Profiler
+	// Journal, when set, records the server's state transitions — table
+	// swaps, version drains, drain begin/end — and is served at
+	// /debug/events. Appends are allocation-free, so the hooks may sit on
+	// serving-path edges without regressing the zero-alloc fill path.
+	Journal *obs.Journal
 	// Logger, when set, receives structured serving logs correlated by
 	// trace_id, batch_id and doc_id (see obs.Log* field names).
 	Logger *slog.Logger
@@ -339,6 +344,7 @@ func newServer(opts Options, batchStart func()) (*Server, error) {
 		Recorder: opts.Recorder,
 		SLO:      opts.SLO,
 		Profiler: opts.Profiler,
+		Journal:  opts.Journal,
 	})
 	s.mux.Handle("/debug/", debug)
 	s.mux.Handle("/metrics", debug)
@@ -450,7 +456,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
 		endpoint, reqs, lat = "fill", s.ins.fillReqs, s.ins.fillLat
 	}
 	start := time.Now()
-	defer lat.ObserveSince(start)
+	// exTrace links the latency observation to its trace as the histogram's
+	// exemplar, so a p99 spike on /metrics names a stitchable trace ID.
+	var exTrace obs.TraceID
+	defer func() { lat.ObserveTrace(time.Since(start), exTrace) }()
 	reqs.Add(1)
 
 	sw := &statusWriter{ResponseWriter: w}
@@ -473,6 +482,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, fill bool) {
 		if !ok {
 			tc = obs.TraceContext{Trace: obs.NewTraceID()}
 		}
+		exTrace = tc.Trace
 		traceID = tc.Trace.String()
 		sw.Header().Set("X-Trace-Id", traceID)
 		ctx, root = s.opts.Tracer.StartTrace(ctx, tc, "http."+endpoint,
@@ -715,5 +725,8 @@ func (s *Server) beginDrain() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
-	s.drain1.Do(func() { close(s.drainCh) })
+	s.drain1.Do(func() {
+		s.opts.Journal.Append(obs.JournalEvent{Kind: obs.EventDrain, Subject: "server", To: "begin"})
+		close(s.drainCh)
+	})
 }

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"thor/internal/obs"
 	"thor/internal/tablestore"
 )
 
@@ -38,13 +39,29 @@ func (s *Server) onTableSwap(sn *tablestore.Snapshot, res *tablestore.MutateResu
 	if s.opts.OnTableSwap != nil {
 		s.opts.OnTableSwap(sn.Version, sn.Table)
 	}
+	if s.opts.Journal != nil {
+		concepts := make([]string, 0, len(res.Invalidated))
+		for _, c := range res.Invalidated {
+			concepts = append(concepts, string(c))
+		}
+		s.opts.Journal.Append(obs.JournalEvent{
+			Kind:     obs.EventTableSwap,
+			Subject:  "table",
+			Previous: res.Previous,
+			Version:  sn.Version,
+			Concepts: concepts,
+		})
+	}
 }
 
 // onTableDrain is the store's OnDrain hook: it fires once per superseded
 // version, when the last request admitted under it finished.
-func (s *Server) onTableDrain(*tablestore.Snapshot) {
+func (s *Server) onTableDrain(sn *tablestore.Snapshot) {
 	s.ins.tableDrains.Add(1)
 	s.refreshTableGauges()
+	s.opts.Journal.Append(obs.JournalEvent{
+		Kind: obs.EventDrain, Subject: "table", To: "end", Version: sn.Version,
+	})
 }
 
 // refreshTableGauges samples the store's reader/liveness counters into their
